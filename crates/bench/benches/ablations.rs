@@ -1,0 +1,104 @@
+//! Criterion bench: ablations of the design choices DESIGN.md §6 calls out
+//! — postordering on/off, amalgamation on/off, static vs dynamic mapping,
+//! and the Gilbert–Peierls baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use splu_core::{analyze, gp::gp_factor, Options, TaskGraphKind};
+use splu_matgen::{paper_matrix, Scale};
+use splu_sched::Mapping;
+use splu_symbolic::SupernodeOptions;
+use std::time::Duration;
+
+fn bench_ablations(c: &mut Criterion) {
+    let a = paper_matrix("orsreg1", Scale::Full).expect("known matrix");
+    let mut g = c.benchmark_group("ablations_orsreg1");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+
+    let configs: [(&str, Options); 4] = [
+        ("default", Options::default()),
+        (
+            "no_postorder",
+            Options {
+                postorder: false,
+                ..Options::default()
+            },
+        ),
+        (
+            "no_amalgamation",
+            Options {
+                amalgamation: None,
+                ..Options::default()
+            },
+        ),
+        (
+            "wide_amalgamation",
+            Options {
+                amalgamation: Some(SupernodeOptions {
+                    max_width: 96,
+                    rel_fill: 0.5,
+                }),
+                ..Options::default()
+            },
+        ),
+    ];
+    for (label, opts) in configs {
+        let sym = analyze(a.pattern(), &opts).expect("analysis succeeds");
+        let permuted = sym.permute_matrix(&a);
+        let graph = sym.build_graph(TaskGraphKind::EForest);
+        g.bench_function(format!("numeric/{label}"), |b| {
+            b.iter(|| {
+                sym.factor_numeric_permuted(&permuted, &graph, 1, Mapping::Static1D, 0.0)
+                    .expect("factorization succeeds")
+            })
+        });
+    }
+
+    // Mapping ablation at 2 threads.
+    {
+        let sym = analyze(a.pattern(), &Options::default()).expect("analysis succeeds");
+        let permuted = sym.permute_matrix(&a);
+        let graph = sym.build_graph(TaskGraphKind::EForest);
+        for (label, mapping) in [("static1d", Mapping::Static1D), ("dynamic", Mapping::Dynamic)]
+        {
+            g.bench_function(format!("mapping_p2/{label}"), |b| {
+                b.iter(|| {
+                    sym.factor_numeric_permuted(&permuted, &graph, 2, mapping, 0.0)
+                        .expect("factorization succeeds")
+                })
+            });
+        }
+    }
+
+    // Baseline: Gilbert–Peierls (dynamic structure, no supernodes).
+    g.bench_function("baseline/gilbert_peierls", |b| {
+        b.iter(|| gp_factor(&a, 0.0).expect("factorization succeeds"))
+    });
+
+    // Discipline ablation: right-looking (graph-driven) vs left-looking.
+    {
+        use splu_core::{factor_left_looking, factor_with_graph, BlockMatrix};
+        let sym = analyze(a.pattern(), &Options::default()).expect("analysis succeeds");
+        let permuted = sym.permute_matrix(&a);
+        let graph = sym.build_graph(TaskGraphKind::EForest);
+        let mut bm = BlockMatrix::assemble(&permuted, &sym.block_structure);
+        g.bench_function("discipline/right_looking", |b| {
+            b.iter(|| {
+                bm.reset_from(&permuted, &sym.block_structure);
+                factor_with_graph(&bm, &graph, 1, Mapping::Static1D, 0.0).expect("ok")
+            })
+        });
+        g.bench_function("discipline/left_looking", |b| {
+            b.iter(|| {
+                bm.reset_from(&permuted, &sym.block_structure);
+                factor_left_looking(&bm, 0.0).expect("ok")
+            })
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

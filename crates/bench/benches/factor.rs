@@ -1,0 +1,29 @@
+//! Criterion bench: numerical factorization time per benchmark matrix
+//! (sequential, eforest graph) — the microbenchmark behind Table 2's P=1
+//! column.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use splu_bench::prepare_suite;
+use splu_sched::Mapping;
+use std::time::Duration;
+
+fn bench_factor(c: &mut Criterion) {
+    let prepared = prepare_suite();
+    let mut g = c.benchmark_group("factor_seq");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    for p in &prepared {
+        g.bench_function(p.name, |b| {
+            b.iter(|| {
+                p.sym
+                    .factor_numeric_permuted(&p.permuted, &p.eforest, 1, Mapping::Static1D, 0.0)
+                    .expect("factorization succeeds")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_factor);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench: S* vs eforest task graph at 2 worker threads — the
+//! microbenchmark behind Figures 5–6.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use splu_bench::prepare_suite;
+use splu_sched::Mapping;
+use std::time::Duration;
+
+fn bench_graphs(c: &mut Criterion) {
+    let prepared = prepare_suite();
+    let picks = ["sherman3", "orsreg1", "goodwin"];
+    let mut g = c.benchmark_group("task_graph_p2");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    for p in prepared.iter().filter(|p| picks.contains(&p.name)) {
+        g.bench_function(format!("{}/sstar", p.name), |b| {
+            b.iter(|| {
+                p.sym
+                    .factor_numeric_permuted(&p.permuted, &p.sstar, 2, Mapping::Static1D, 0.0)
+                    .expect("factorization succeeds")
+            })
+        });
+        g.bench_function(format!("{}/eforest", p.name), |b| {
+            b.iter(|| {
+                p.sym
+                    .factor_numeric_permuted(&p.permuted, &p.eforest, 2, Mapping::Static1D, 0.0)
+                    .expect("factorization succeeds")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_graphs);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion bench: the dense kernel substrate (`gemm_sub`, `trsm`,
+//! `lu_panel`) at supernode-typical sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use splu_dense::{gemm_sub, lu_panel, trsm_lower_unit, DenseMat};
+use std::time::Duration;
+
+fn mat(r: usize, c: usize, seed: u64) -> DenseMat {
+    // Deterministic pseudo-random fill without pulling rand into the bench.
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    DenseMat::from_fn(r, c, |_, _| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 2000) as f64 / 1000.0 - 1.0
+    })
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dense_kernels");
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for &(m, k, n) in &[(64usize, 16usize, 16usize), (256, 32, 32), (512, 48, 48)] {
+        let a = mat(m, k, 1);
+        let b = mat(k, n, 2);
+        let c0 = mat(m, n, 3);
+        g.bench_function(format!("gemm_sub/{m}x{k}x{n}"), |bch| {
+            bch.iter_batched(
+                || c0.clone(),
+                |mut cc| gemm_sub(&mut cc, &a, &b),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+
+    for &(n, rhs) in &[(16usize, 16usize), (48, 48), (96, 32)] {
+        let l = mat(n, n, 4);
+        let x0 = mat(n, rhs, 5);
+        g.bench_function(format!("trsm_lower_unit/{n}x{rhs}"), |bch| {
+            bch.iter_batched(
+                || x0.clone(),
+                |mut x| trsm_lower_unit(&l, &mut x),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+
+    for &(m, w) in &[(64usize, 16usize), (256, 32), (512, 48)] {
+        let p0 = {
+            let mut p = mat(m, w, 6);
+            // Boost the diagonal so the panel is never singular.
+            for c in 0..w {
+                p[(c, c)] += 4.0;
+            }
+            p
+        };
+        g.bench_function(format!("lu_panel/{m}x{w}"), |bch| {
+            bch.iter_batched(
+                || p0.clone(),
+                |mut p| lu_panel(&mut p, 0.0).expect("nonsingular"),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench: triangular solve and iterative refinement against the
+//! factorization cost (step 4 of the paper's pipeline).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use splu_core::{Options, SparseLu};
+use splu_matgen::{manufactured_rhs, paper_matrix, Scale};
+use std::time::Duration;
+
+fn bench_solve(c: &mut Criterion) {
+    let a = paper_matrix("saylr4", Scale::Full).expect("known matrix");
+    let lu = SparseLu::factor(&a, &Options::default()).expect("factors");
+    let (_, b) = manufactured_rhs(&a, 11);
+    let mut g = c.benchmark_group("solve_saylr4");
+    g.sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    g.bench_function("forward_backward", |bch| bch.iter(|| lu.solve(&b)));
+    g.bench_function("transpose", |bch| bch.iter(|| lu.solve_transposed(&b)));
+    g.bench_function("refined_1step", |bch| {
+        bch.iter(|| lu.solve_refined(&a, &b, 0.0, 1))
+    });
+    let nrhs = 8;
+    let bm: Vec<f64> = (0..a.ncols() * nrhs)
+        .map(|i| ((i % 13) as f64) - 6.0)
+        .collect();
+    g.bench_function("multi_rhs_8", |bch| bch.iter(|| lu.solve_many(&bm, nrhs)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_solve);
+criterion_main!(benches);

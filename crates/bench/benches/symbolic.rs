@@ -1,0 +1,50 @@
+//! Criterion bench: the symbolic phases (transversal, minimum degree,
+//! static symbolic factorization, postorder, supernode detection) on a
+//! mid-size benchmark matrix.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use splu_matgen::{paper_matrix, Scale};
+use splu_ordering::{column_min_degree, maximum_transversal, reverse_cuthill_mckee, StructuralRank};
+use splu_sparse::Permutation;
+use splu_symbolic::{
+    amalgamate, postorder_permutation, static_symbolic_factorization, supernode_partition,
+    SupernodeOptions,
+};
+use std::time::Duration;
+
+fn bench_symbolic(c: &mut Criterion) {
+    let a = paper_matrix("orsreg1", Scale::Full).expect("known matrix");
+    let p = a.pattern().clone();
+    let rp = match maximum_transversal(&p) {
+        StructuralRank::Full(x) => x,
+        _ => unreachable!("orsreg1 analogue is structurally nonsingular"),
+    };
+    let p1 = p.permuted(&rp, &Permutation::identity(p.ncols()));
+    let q = column_min_degree(&p1);
+    let p2 = p1.permuted(&q, &q);
+    let filled = static_symbolic_factorization(&p2).expect("zero-free diagonal");
+
+    let mut g = c.benchmark_group("symbolic_orsreg1");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    g.bench_function("transversal", |b| {
+        b.iter(|| maximum_transversal(&p))
+    });
+    g.bench_function("min_degree_ata", |b| b.iter(|| column_min_degree(&p1)));
+    g.bench_function("rcm", |b| b.iter(|| reverse_cuthill_mckee(&p1)));
+    g.bench_function("static_factorization", |b| {
+        b.iter(|| static_symbolic_factorization(&p2).expect("valid"))
+    });
+    g.bench_function("postorder", |b| b.iter(|| postorder_permutation(&filled)));
+    g.bench_function("supernodes_and_amalgamation", |b| {
+        b.iter(|| {
+            let part = supernode_partition(&filled);
+            amalgamate(&filled, &part, &SupernodeOptions::default())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_symbolic);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Regenerates the paper's **Figures 5 and 6**: performance improvement of
+//! the new (eforest) task dependence graph over the S* graph,
+//! `1 − T(new)/T(old)`, versus processor count.
+//!
+//! Figure 5 plots sherman3, sherman5, orsreg1, goodwin; Figure 6 plots
+//! lns3937, lnsp3937, saylr4. As in Table 2, both real-thread measurements
+//! (P ≤ host cores) and calibrated simulator results (P up to 8) are
+//! reported; the paper measures 4–30% improvement.
+//!
+//! ```text
+//! cargo run --release -p splu-bench --bin fig5_6
+//! ```
+
+use splu_bench::{calibrated_model, prepare_suite, simulated_seconds, time_factor, Prepared};
+use splu_sched::Mapping;
+
+fn improvement_line(p: &Prepared) -> String {
+    let procs = [2usize, 4, 8];
+    // Real threads at P=2 (the host has 2 cores).
+    let real_old = time_factor(p, &p.sstar, 2).as_secs_f64();
+    let real_new = time_factor(p, &p.eforest, 2).as_secs_f64();
+    let real_imp = 1.0 - real_new / real_old;
+    // Calibrated simulation for the full processor axis.
+    let serial = time_factor(p, &p.eforest, 1);
+    let model = calibrated_model(p, &p.eforest, serial);
+    let mut s = format!("{:<10} real P=2: {:>6.1}%   sim:", p.name, 100.0 * real_imp);
+    for &np in &procs {
+        let t_old = simulated_seconds(p, &p.sstar, np, Mapping::Dynamic, &model);
+        let t_new = simulated_seconds(p, &p.eforest, np, Mapping::Dynamic, &model);
+        s.push_str(&format!("  P={np}: {:>5.1}%", 100.0 * (1.0 - t_new / t_old)));
+    }
+    s
+}
+
+fn main() {
+    let prepared = prepare_suite();
+    let fig5 = ["sherman3", "sherman5", "orsreg1", "goodwin"];
+    let fig6 = ["lns3937", "lnsp3937", "saylr4"];
+    println!("Figures 5-6: improvement of the eforest task graph over the S* graph");
+    println!("(1 - T(new)/T(old); positive = new graph faster)\n");
+    println!("Figure 5:");
+    for p in prepared.iter().filter(|p| fig5.contains(&p.name)) {
+        println!("  {}", improvement_line(p));
+    }
+    println!("\nFigure 6:");
+    for p in prepared.iter().filter(|p| fig6.contains(&p.name)) {
+        println!("  {}", improvement_line(p));
+    }
+    println!("\n(the paper reports 4-30% improvements, generally growing with P)");
+    println!("\nTask graph shapes (context):");
+    println!(
+        "{:<10} {:>8} {:>12} {:>12} {:>10} {:>10}",
+        "Matrix", "tasks", "edges S*", "edges new", "cp S*", "cp new"
+    );
+    for p in &prepared {
+        println!(
+            "{:<10} {:>8} {:>12} {:>12} {:>10} {:>10}",
+            p.name,
+            p.sstar.len(),
+            p.sstar.num_edges(),
+            p.eforest.num_edges(),
+            p.sstar.critical_path_len(),
+            p.eforest.critical_path_len()
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Per-phase timing breakdown of the analysis pipeline, for every benchmark
+//! matrix — the "symbolic steps take 10–50% of total factorization time"
+//! discussion of the paper's introduction, measured.
+//!
+//! ```text
+//! cargo run --release -p splu-bench --bin phases
+//! ```
+
+use splu_bench::suite;
+use splu_ordering::{column_min_degree, maximum_transversal, StructuralRank};
+use splu_sparse::Permutation;
+use splu_symbolic::supernode::BlockStructure;
+use splu_symbolic::{
+    amalgamate, postorder_permutation, static_symbolic_factorization, supernode_partition,
+    FilledLu, SupernodeOptions,
+};
+use std::time::Instant;
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn main() {
+    println!("Analysis phase breakdown (milliseconds)");
+    println!(
+        "{:<10} {:>8} {:>8} {:>10} {:>9} {:>10} {:>9}",
+        "Matrix", "transv", "mindeg", "staticfact", "postord", "supernode", "blocks"
+    );
+    for m in suite() {
+        let p = m.a.pattern();
+        let t = Instant::now();
+        let rp = match maximum_transversal(p) {
+            StructuralRank::Full(x) => x,
+            StructuralRank::Deficient { rank } => panic!("{}: rank {rank}", m.name),
+        };
+        let t_tr = t.elapsed();
+        let p1 = p.permuted(&rp, &Permutation::identity(p.ncols()));
+        let t = Instant::now();
+        let q = column_min_degree(&p1);
+        let t_md = t.elapsed();
+        let p2 = p1.permuted(&q, &q);
+        let t = Instant::now();
+        let f = static_symbolic_factorization(&p2).expect("zero-free diagonal");
+        let t_sf = t.elapsed();
+        let t = Instant::now();
+        let po = postorder_permutation(&f);
+        let f2 = FilledLu::from_parts(f.l.permuted(&po, &po), f.u.permuted(&po, &po));
+        let t_po = t.elapsed();
+        let t = Instant::now();
+        let part = supernode_partition(&f2);
+        let am = amalgamate(&f2, &part, &SupernodeOptions::default());
+        let t_sn = t.elapsed();
+        let t = Instant::now();
+        let bs = BlockStructure::new(&f2, am);
+        let t_bs = t.elapsed();
+        println!(
+            "{:<10} {:>8.2} {:>8.2} {:>10.2} {:>9.2} {:>10.2} {:>9.2}   (N = {})",
+            m.name,
+            ms(t_tr),
+            ms(t_md),
+            ms(t_sf),
+            ms(t_po),
+            ms(t_sn),
+            ms(t_bs),
+            bs.num_blocks()
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Regenerates the paper's **Table 2**: numerical-factorization time for
+//! P = 1, 2, 4, 8 processors (eforest task graph, static 1D mapping).
+//!
+//! Two instruments are reported (DESIGN.md §5.2):
+//! * `real` — wall-clock with that many worker threads on this host
+//!   (meaningful up to the physical core count);
+//! * `sim`  — the list-scheduling simulator with a per-matrix cost model
+//!   calibrated so simulated P=1 matches the measured serial time, playing
+//!   the role of the paper's 8-processor Origin 2000.
+//!
+//! ```text
+//! cargo run --release -p splu-bench --bin table2
+//! ```
+
+use splu_bench::{calibrated_model, prepare_suite, simulated_seconds, time_factor};
+use splu_sched::Mapping;
+
+fn main() {
+    let procs = [1usize, 2, 4, 8];
+    println!("Table 2: numerical factorization time (seconds)");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>10}   {:>9} {:>9} {:>9} {:>9}  {:>8}",
+        "Matrix", "real P=1", "real P=2", "real P=4", "real P=8", "sim P=1", "sim P=2",
+        "sim P=4", "sim P=8", "speedup8"
+    );
+    for p in prepare_suite() {
+        let mut real = Vec::new();
+        for &np in &procs {
+            real.push(time_factor(&p, &p.eforest, np));
+        }
+        let model = calibrated_model(&p, &p.eforest, real[0]);
+        let sim: Vec<f64> = procs
+            .iter()
+            .map(|&np| simulated_seconds(&p, &p.eforest, np, Mapping::Dynamic, &model))
+            .collect();
+        println!(
+            "{:<10} {:>10.4} {:>10.4} {:>10.4} {:>10.4}   {:>9.4} {:>9.4} {:>9.4} {:>9.4}  {:>8.2}",
+            p.name,
+            real[0].as_secs_f64(),
+            real[1].as_secs_f64(),
+            real[2].as_secs_f64(),
+            real[3].as_secs_f64(),
+            sim[0],
+            sim[1],
+            sim[2],
+            sim[3],
+            sim[0] / sim[3]
+        );
+    }
+    println!("\n(speedup8 = simulated P=1 / simulated P=8; the paper reports 1.3-4.x at P=8)");
+}

@@ -1,0 +1,302 @@
+//! Block storage of the filled matrix `Ā` under the supernode partition.
+//!
+//! The matrix is divided into `N × N` submatrix blocks `B̄(I, J)` by the
+//! L/U supernode partition (the paper's Section 3). Each structurally
+//! nonzero block is stored as a dense column-major panel; positions inside a
+//! block that are outside the *scalar* static structure hold explicit zeros,
+//! and stay exactly `0.0` for the whole factorization (every kernel write
+//! lands inside the scalar structure — the George–Ng closure property).
+//!
+//! Storage is per block **column**, because the paper's 1D mapping makes the
+//! block column the unit of ownership: `Factor(k)` and all `Update(·, k)`
+//! write only column `k`.
+
+use parking_lot::RwLock;
+use splu_dense::{DenseMat, Pivots};
+use splu_sparse::CscMatrix;
+use splu_symbolic::supernode::BlockStructure;
+
+/// All blocks of one block column, plus the pivot sequence once factored.
+#[derive(Debug)]
+pub struct ColumnData {
+    /// Block-row ids with a structurally nonzero block in this column,
+    /// ascending (strictly above-diagonal `Ū` rows first, then the diagonal
+    /// and the `L̄` rows).
+    pub block_rows: Vec<usize>,
+    /// Dense storage parallel to `block_rows`.
+    pub blocks: Vec<DenseMat>,
+    /// Pivot sequence of `Factor(k)` over the stacked panel (positions are
+    /// stack-local); `None` until factored.
+    pub pivots: Option<Pivots>,
+}
+
+impl ColumnData {
+    /// Index into `blocks` for block row `i`, if present.
+    #[inline]
+    pub fn find(&self, i: usize) -> Option<usize> {
+        self.block_rows.binary_search(&i).ok()
+    }
+
+    /// Immutable block at block row `i`, if present.
+    pub fn block(&self, i: usize) -> Option<&DenseMat> {
+        self.find(i).map(|p| &self.blocks[p])
+    }
+
+    /// Mutable block at block row `i`, if present.
+    pub fn block_mut(&mut self, i: usize) -> Option<&mut DenseMat> {
+        self.find(i).map(move |p| &mut self.blocks[p])
+    }
+
+    /// Two distinct blocks mutably (for cross-block row swaps).
+    pub fn two_blocks_mut(&mut self, p1: usize, p2: usize) -> (&mut DenseMat, &mut DenseMat) {
+        assert_ne!(p1, p2);
+        if p1 < p2 {
+            let (a, b) = self.blocks.split_at_mut(p2);
+            (&mut a[p1], &mut b[0])
+        } else {
+            let (a, b) = self.blocks.split_at_mut(p1);
+            (&mut b[0], &mut a[p2])
+        }
+    }
+}
+
+/// Maps stacked-panel positions of a block column to `(block_row,
+/// local_row)` pairs — fixed by the structure, shared by `Factor`, every
+/// `Update` sourcing this column, and the triangular solves.
+#[derive(Debug, Clone)]
+pub struct StackMap {
+    /// L-region block rows of this column (`l_blocks[k]`: diagonal first).
+    pub l_rows: Vec<usize>,
+    /// Prefix offsets: block `l_rows[t]` occupies stacked positions
+    /// `offsets[t]..offsets[t + 1]`.
+    pub offsets: Vec<usize>,
+}
+
+impl StackMap {
+    /// Total stacked height.
+    pub fn height(&self) -> usize {
+        *self.offsets.last().expect("offsets nonempty")
+    }
+
+    /// Resolves a stacked position to `(block_row, local_row)`.
+    pub fn locate(&self, pos: usize) -> (usize, usize) {
+        debug_assert!(pos < self.height());
+        let t = match self.offsets.binary_search(&pos) {
+            Ok(t) => t,
+            Err(t) => t - 1,
+        };
+        (self.l_rows[t], pos - self.offsets[t])
+    }
+}
+
+/// The block matrix: per-column data behind `RwLock`s (readers: updates
+/// sourcing the column; writer: the column's own factor/update tasks).
+pub struct BlockMatrix {
+    columns: Vec<RwLock<ColumnData>>,
+    stacks: Vec<StackMap>,
+    n: usize,
+}
+
+impl BlockMatrix {
+    /// Assembles the block storage of `a` (already permuted into
+    /// factorization order) under the given block structure.
+    ///
+    /// Every structurally nonzero block of `Ā` is allocated (zero-filled)
+    /// and the entries of `a` scattered into place.
+    pub fn assemble(a: &CscMatrix, bs: &BlockStructure) -> Self {
+        let nb = bs.num_blocks();
+        let part = &bs.partition;
+        assert_eq!(a.ncols(), part.n(), "matrix and partition disagree");
+        let block_of = part.block_of_cols();
+
+        // Per column J: U-region block rows (I < J), from the row lists.
+        let mut u_region: Vec<Vec<usize>> = vec![Vec::new(); nb];
+        for i in 0..nb {
+            for &j in bs.u_blocks[i].iter().skip(1) {
+                u_region[j].push(i);
+            }
+        }
+        let mut columns = Vec::with_capacity(nb);
+        let mut stacks = Vec::with_capacity(nb);
+        for jb in 0..nb {
+            // u_region was filled in ascending i automatically.
+            let mut block_rows = u_region[jb].clone();
+            block_rows.extend_from_slice(&bs.l_blocks[jb]);
+            let width = part.width(jb);
+            let blocks: Vec<DenseMat> = block_rows
+                .iter()
+                .map(|&ib| DenseMat::zeros(part.width(ib), width))
+                .collect();
+            columns.push(RwLock::new(ColumnData {
+                block_rows,
+                blocks,
+                pivots: None,
+            }));
+            let l_rows = bs.l_blocks[jb].clone();
+            let mut offsets = Vec::with_capacity(l_rows.len() + 1);
+            offsets.push(0);
+            let mut acc = 0usize;
+            for &ib in &l_rows {
+                acc += part.width(ib);
+                offsets.push(acc);
+            }
+            stacks.push(StackMap { l_rows, offsets });
+        }
+        let mut bm = BlockMatrix {
+            columns,
+            stacks,
+            n: part.n(),
+        };
+        // Scatter values.
+        for (i, j, v) in a.triplets() {
+            let (ib, jb) = (block_of[i], block_of[j]);
+            let col = bm.columns[jb].get_mut();
+            let pos = col
+                .find(ib)
+                .expect("original entry outside the filled block structure");
+            let li = i - part.range(ib).start;
+            let lj = j - part.range(jb).start;
+            col.blocks[pos][(li, lj)] = v;
+        }
+        bm
+    }
+
+    /// Resets the storage to hold the values of `a` again (zero everything,
+    /// rescatter, forget pivots) — for repeated factorizations with the same
+    /// structure without reallocating.
+    pub fn reset_from(&mut self, a: &CscMatrix, bs: &BlockStructure) {
+        assert_eq!(a.ncols(), self.n, "matrix and structure disagree");
+        let part = &bs.partition;
+        let block_of = part.block_of_cols();
+        for col in &mut self.columns {
+            let col = col.get_mut();
+            col.pivots = None;
+            for blk in &mut col.blocks {
+                blk.data_mut().fill(0.0);
+            }
+        }
+        for (i, j, v) in a.triplets() {
+            let (ib, jb) = (block_of[i], block_of[j]);
+            let col = self.columns[jb].get_mut();
+            let pos = col
+                .find(ib)
+                .expect("entry outside the filled block structure");
+            let li = i - part.range(ib).start;
+            let lj = j - part.range(jb).start;
+            col.blocks[pos][(li, lj)] = v;
+        }
+    }
+
+    /// Matrix order (scalar).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of block columns.
+    pub fn num_block_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The lock guarding block column `j`.
+    pub fn column(&self, j: usize) -> &RwLock<ColumnData> {
+        &self.columns[j]
+    }
+
+    /// Exclusive access to column `j` without locking (requires `&mut`).
+    pub fn column_mut(&mut self, j: usize) -> &mut ColumnData {
+        self.columns[j].get_mut()
+    }
+
+    /// The stacked-panel map of block column `k`.
+    pub fn stack(&self, k: usize) -> &StackMap {
+        &self.stacks[k]
+    }
+
+    /// Total dense storage in f64 words (explicit zeros included).
+    pub fn storage_words(&self) -> usize {
+        self.columns
+            .iter()
+            .map(|c| {
+                let c = c.read();
+                c.blocks.iter().map(|b| b.nrows() * b.ncols()).sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splu_symbolic::fixtures::fig1_matrix;
+    use splu_symbolic::static_fact::static_symbolic_factorization;
+    use splu_symbolic::supernode::supernode_partition;
+    use splu_symbolic::Partition;
+
+    fn fig1_setup() -> (CscMatrix, BlockStructure) {
+        let a = fig1_matrix();
+        let f = static_symbolic_factorization(a.pattern()).unwrap();
+        let part = supernode_partition(&f);
+        (a, BlockStructure::new(&f, part))
+    }
+
+    #[test]
+    fn assemble_places_every_entry() {
+        let (a, bs) = fig1_setup();
+        let bm = BlockMatrix::assemble(&a, &bs);
+        let block_of = bs.partition.block_of_cols();
+        for (i, j, v) in a.triplets() {
+            let (ib, jb) = (block_of[i], block_of[j]);
+            let col = bm.column(jb).read();
+            let blk = col.block(ib).expect("block exists");
+            let li = i - bs.partition.range(ib).start;
+            let lj = j - bs.partition.range(jb).start;
+            assert_eq!(blk[(li, lj)], v, "entry ({i},{j})");
+        }
+    }
+
+    #[test]
+    fn stack_map_locates_positions() {
+        let (a, bs) = fig1_setup();
+        let bm = BlockMatrix::assemble(&a, &bs);
+        for k in 0..bm.num_block_cols() {
+            let st = bm.stack(k);
+            let mut pos = 0usize;
+            for (t, &ib) in st.l_rows.iter().enumerate() {
+                for local in 0..bs.partition.width(ib) {
+                    assert_eq!(st.locate(pos), (ib, local), "column {k}, t {t}");
+                    pos += 1;
+                }
+            }
+            assert_eq!(pos, st.height());
+            assert_eq!(st.l_rows[0], k, "diagonal block leads the stack");
+        }
+    }
+
+    #[test]
+    fn singleton_partition_gives_scalar_blocks() {
+        let a = fig1_matrix();
+        let f = static_symbolic_factorization(a.pattern()).unwrap();
+        let bs = BlockStructure::new(&f, Partition::singletons(7));
+        let bm = BlockMatrix::assemble(&a, &bs);
+        assert_eq!(bm.num_block_cols(), 7);
+        assert_eq!(bm.n(), 7);
+        // Storage equals the filled nnz exactly for 1x1 blocks.
+        assert_eq!(bm.storage_words(), f.nnz_filled());
+    }
+
+    #[test]
+    fn two_blocks_mut_returns_disjoint_references() {
+        let (a, bs) = fig1_setup();
+        let mut bm = BlockMatrix::assemble(&a, &bs);
+        for j in 0..bm.num_block_cols() {
+            let col = bm.column_mut(j);
+            if col.blocks.len() >= 2 {
+                let (x, y) = col.two_blocks_mut(0, 1);
+                let _ = (x.nrows(), y.nrows());
+                let (y2, x2) = col.two_blocks_mut(1, 0);
+                let _ = (x2.nrows(), y2.nrows());
+                return;
+            }
+        }
+    }
+}

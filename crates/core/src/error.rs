@@ -1,0 +1,81 @@
+//! Error type for the factorization driver.
+
+use splu_sparse::SparseError;
+use splu_symbolic::SymbolicError;
+
+/// Errors from analysis or numerical factorization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LuError {
+    /// The matrix is not square.
+    NotSquare {
+        /// Number of rows.
+        nrows: usize,
+        /// Number of columns.
+        ncols: usize,
+    },
+    /// The matrix is structurally singular: no full transversal exists.
+    StructurallySingular {
+        /// Size of the maximum matching found.
+        rank: usize,
+    },
+    /// Numerical breakdown: no acceptable pivot in this (post-ordering)
+    /// column despite a structurally full rank.
+    NumericallySingular {
+        /// Global column index (in factorization order) of the breakdown.
+        column: usize,
+    },
+    /// Propagated symbolic-phase error.
+    Symbolic(SymbolicError),
+    /// Propagated substrate error.
+    Sparse(SparseError),
+}
+
+impl std::fmt::Display for LuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LuError::NotSquare { nrows, ncols } => {
+                write!(f, "matrix is {nrows}x{ncols}, LU needs a square matrix")
+            }
+            LuError::StructurallySingular { rank } => {
+                write!(f, "structurally singular: maximum transversal has size {rank}")
+            }
+            LuError::NumericallySingular { column } => {
+                write!(f, "numerically singular at factorization column {column}")
+            }
+            LuError::Symbolic(e) => write!(f, "symbolic phase: {e}"),
+            LuError::Sparse(e) => write!(f, "sparse substrate: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LuError {}
+
+impl From<SymbolicError> for LuError {
+    fn from(e: SymbolicError) -> Self {
+        LuError::Symbolic(e)
+    }
+}
+
+impl From<SparseError> for LuError {
+    fn from(e: SparseError) -> Self {
+        LuError::Sparse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_relevant_index() {
+        assert!(LuError::NumericallySingular { column: 7 }
+            .to_string()
+            .contains('7'));
+        assert!(LuError::StructurallySingular { rank: 3 }
+            .to_string()
+            .contains('3'));
+        assert!(LuError::NotSquare { nrows: 2, ncols: 5 }
+            .to_string()
+            .contains("2x5"));
+    }
+}

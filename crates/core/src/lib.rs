@@ -1,0 +1,940 @@
+//! The paper's end-to-end pipeline: analysis (orderings → static symbolic
+//! factorization → eforest postordering → supernodes → task graph) and the
+//! parallel supernodal numerical factorization with partial pivoting.
+//!
+//! Typical use goes through [`SparseLu`]:
+//!
+//! ```
+//! use splu_core::{Options, SparseLu};
+//! use splu_symbolic::fixtures::fig1_matrix;
+//!
+//! let a = fig1_matrix();
+//! let b: Vec<f64> = (0..a.ncols()).map(|i| i as f64).collect();
+//! let lu = SparseLu::factor(&a, &Options::default()).unwrap();
+//! let x = lu.solve(&b);
+//! assert!(splu_sparse::relative_residual(&a, &x, &b) < 1e-10);
+//! ```
+//!
+//! The phases are also exposed separately ([`analyze`], [`SymbolicLu`],
+//! [`NumericLu`]) so the benchmark harness can re-run the numerical phase
+//! with different processor counts and task graphs against one symbolic
+//! analysis, exactly as the paper's experiments do.
+
+// Index-based loops are the natural idiom for the numerical kernels and
+// symbolic algorithms in this crate; iterator rewrites obscure the maths.
+#![allow(clippy::needless_range_loop)]
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod blocks;
+mod costs;
+mod error;
+pub mod gp;
+mod numeric;
+mod numeric_fine;
+mod psolve;
+mod solve;
+
+pub use blocks::{BlockMatrix, ColumnData, StackMap};
+pub use costs::{estimate_task_costs, total_flops};
+pub use error::LuError;
+pub use numeric::{
+    factor_left_looking, factor_task, factor_task_with_rule, factor_with_graph,
+    factor_with_graph_rule, update_task,
+};
+pub use splu_dense::PivotRule;
+pub use numeric_fine::{apply_task, factor_with_fine_graph, gemm_task, trsm_task};
+pub use psolve::solve_permuted_parallel;
+pub use solve::{
+    det_permuted, growth_factor, solve_many_permuted, solve_permuted, solve_transposed_permuted,
+};
+
+mod condest;
+pub use condest::estimate_inverse_1norm;
+
+use splu_ordering::{
+    column_min_degree, maximum_transversal, reverse_cuthill_mckee, StructuralRank,
+};
+use splu_sched::{block_forest, build_eforest_graph, build_sstar_graph, Mapping, TaskGraph};
+use splu_sparse::{CscMatrix, Permutation, SparsityPattern};
+use splu_symbolic::supernode::BlockStructure;
+use splu_symbolic::{
+    amalgamate, postorder_permutation, static_symbolic_factorization, supernode_partition,
+    EliminationForest, FilledLu, SupernodeOptions,
+};
+
+/// Fill-reducing ordering choices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderingChoice {
+    /// Minimum degree on the pattern of `AᵀA` — the paper's choice.
+    MinDegreeAtA,
+    /// Keep the given order (after the transversal).
+    Natural,
+    /// Reverse Cuthill–McKee on the symmetrized pattern (ablation).
+    Rcm,
+}
+
+/// Task dependence graph choices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskGraphKind {
+    /// The paper's least-dependence graph built from the block eforest.
+    EForest,
+    /// The S* graph: per destination column, updates chained by ascending
+    /// source index.
+    SStar,
+}
+
+/// Driver configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Options {
+    /// Fill-reducing ordering (paper: minimum degree on `AᵀA`).
+    pub ordering: OrderingChoice,
+    /// Apply the eforest postordering (Section 3). On by default.
+    pub postorder: bool,
+    /// Supernode amalgamation; `None` keeps exact supernodes.
+    pub amalgamation: Option<SupernodeOptions>,
+    /// Which task dependence graph drives the factorization.
+    pub task_graph: TaskGraphKind,
+    /// Worker threads for the numerical phase.
+    pub threads: usize,
+    /// Task-to-worker mapping (paper: static 1D column mapping).
+    pub mapping: Mapping,
+    /// Absolute pivot rejection threshold (`0.0`: any nonzero pivot).
+    pub pivot_threshold: f64,
+    /// Pivot-selection rule (partial, threshold, or static-diagonal
+    /// pivoting).
+    pub pivot_rule: PivotRule,
+    /// Row/column equilibration before factorization (robustness extension;
+    /// the paper's benchmark matrices do not need it).
+    pub equilibrate: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            ordering: OrderingChoice::MinDegreeAtA,
+            postorder: true,
+            amalgamation: Some(SupernodeOptions::default()),
+            task_graph: TaskGraphKind::EForest,
+            threads: 1,
+            mapping: Mapping::Static1D,
+            pivot_threshold: 0.0,
+            pivot_rule: PivotRule::Partial,
+            equilibrate: false,
+        }
+    }
+}
+
+/// Structural statistics gathered during analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stats {
+    /// Matrix order.
+    pub n: usize,
+    /// Nonzeros of the input matrix.
+    pub nnz_a: usize,
+    /// Entries of `Ā = L̄ + Ū − I`.
+    pub nnz_filled: usize,
+    /// `nnz_filled / nnz_a` — the paper's Table 1 ratio.
+    pub fill_ratio: f64,
+    /// Supernodes from the exact L/U partition (before amalgamation).
+    pub supernodes_exact: usize,
+    /// Supernodes after amalgamation (= number of block columns `N`).
+    pub supernodes: usize,
+    /// Widest supernode.
+    pub max_supernode_width: usize,
+    /// Diagonal blocks of the block-upper-triangular form (trees of the
+    /// eforest); meaningful when postordering is on.
+    pub btf_blocks: usize,
+    /// Tasks in the chosen dependence graph.
+    pub graph_tasks: usize,
+    /// Edges in the chosen dependence graph.
+    pub graph_edges: usize,
+    /// Critical path length (tasks) of the chosen graph.
+    pub critical_path: usize,
+    /// Estimated factorization flops (structural model).
+    pub flops_estimate: f64,
+}
+
+/// The analysis product: permutations, filled structure, block structure and
+/// the block-level eforest — everything the numerical phase needs.
+pub struct SymbolicLu {
+    /// Total row permutation: the factored matrix is
+    /// `A[row_perm, col_perm]`.
+    pub row_perm: Permutation,
+    /// Total column permutation.
+    pub col_perm: Permutation,
+    /// Filled structure in factorization order.
+    pub filled: FilledLu,
+    /// Supernode partition and block-level structure.
+    pub block_structure: BlockStructure,
+    /// Block-level LU elimination forest.
+    pub block_forest: EliminationForest,
+    /// Structural statistics (graph fields reflect `opts.task_graph`).
+    pub stats: Stats,
+    opts: Options,
+}
+
+impl SymbolicLu {
+    /// Builds the requested task dependence graph for this structure.
+    pub fn build_graph(&self, kind: TaskGraphKind) -> TaskGraph {
+        match kind {
+            TaskGraphKind::EForest => build_eforest_graph(&self.block_structure),
+            TaskGraphKind::SStar => build_sstar_graph(&self.block_structure),
+        }
+    }
+
+    /// Permutes an input matrix into factorization order.
+    pub fn permute_matrix(&self, a: &CscMatrix) -> CscMatrix {
+        a.permuted(&self.row_perm, &self.col_perm)
+    }
+
+    /// Runs the numerical factorization of `a` (in **original** order) over
+    /// a prebuilt graph — the benchmark entry point that lets callers time
+    /// the numerical phase alone and vary threads/graph.
+    pub fn factor_numeric(
+        &self,
+        a: &CscMatrix,
+        graph: &TaskGraph,
+        threads: usize,
+        mapping: Mapping,
+        pivot_threshold: f64,
+    ) -> Result<NumericLu<'_>, LuError> {
+        let permuted = self.permute_matrix(a);
+        self.factor_numeric_permuted(&permuted, graph, threads, mapping, pivot_threshold)
+    }
+
+    /// Same as [`Self::factor_numeric`] but takes the matrix already in
+    /// factorization order (lets benchmarks hoist the permutation).
+    pub fn factor_numeric_permuted(
+        &self,
+        permuted: &CscMatrix,
+        graph: &TaskGraph,
+        threads: usize,
+        mapping: Mapping,
+        pivot_threshold: f64,
+    ) -> Result<NumericLu<'_>, LuError> {
+        let bm = BlockMatrix::assemble(permuted, &self.block_structure);
+        factor_with_graph(&bm, graph, threads, mapping, pivot_threshold)?;
+        Ok(NumericLu { sym: self, bm })
+    }
+}
+
+/// A completed numerical factorization borrowing its symbolic analysis.
+pub struct NumericLu<'a> {
+    sym: &'a SymbolicLu,
+    bm: BlockMatrix,
+}
+
+impl NumericLu<'_> {
+    /// Solves `A x = b` for the original-order `b`, returning original-order
+    /// `x`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut y = self.sym.row_perm.apply_vec(b);
+        solve_permuted(&self.bm, &self.sym.block_structure, &mut y);
+        self.sym.col_perm.apply_inverse_vec(&y)
+    }
+
+    /// Solves `Aᵀ x = b` for the original-order `b`.
+    pub fn solve_transposed(&self, b: &[f64]) -> Vec<f64> {
+        let mut y = self.sym.col_perm.apply_vec(b);
+        solve_transposed_permuted(&self.bm, &self.sym.block_structure, &mut y);
+        self.sym.row_perm.apply_inverse_vec(&y)
+    }
+
+    /// The underlying block storage (diagnostics, storage accounting).
+    pub fn block_matrix(&self) -> &BlockMatrix {
+        &self.bm
+    }
+}
+
+/// Runs the full analysis pipeline on a sparsity pattern.
+pub fn analyze(pattern: &SparsityPattern, opts: &Options) -> Result<SymbolicLu, LuError> {
+    if !pattern.is_square() {
+        return Err(LuError::NotSquare {
+            nrows: pattern.nrows(),
+            ncols: pattern.ncols(),
+        });
+    }
+    let n = pattern.ncols();
+    // 0. Maximum transversal → zero-free diagonal.
+    let rp0 = match maximum_transversal(pattern) {
+        StructuralRank::Full(p) => p,
+        StructuralRank::Deficient { rank } => {
+            return Err(LuError::StructurallySingular { rank })
+        }
+    };
+    let id = Permutation::identity(n);
+    let p1 = pattern.permuted(&rp0, &id);
+
+    // 1. Fill-reducing ordering, applied symmetrically to keep the diagonal.
+    let q = match opts.ordering {
+        OrderingChoice::MinDegreeAtA => column_min_degree(&p1),
+        OrderingChoice::Natural => Permutation::identity(n),
+        OrderingChoice::Rcm => reverse_cuthill_mckee(&p1),
+    };
+    let p2 = p1.permuted(&q, &q);
+    let mut row_perm = q.compose(&rp0);
+    let mut col_perm = q.clone();
+
+    // 2. Static symbolic factorization.
+    let f2 = static_symbolic_factorization(&p2)?;
+
+    // 3. Eforest postordering (Theorem 3: permute the structures directly).
+    let filled = if opts.postorder {
+        let po = postorder_permutation(&f2);
+        row_perm = po.compose(&row_perm);
+        col_perm = po.compose(&col_perm);
+        FilledLu::from_parts(f2.l.permuted(&po, &po), f2.u.permuted(&po, &po))
+    } else {
+        f2
+    };
+
+    // 4. Supernodes (+ amalgamation) and the block structure.
+    let exact = supernode_partition(&filled);
+    let supernodes_exact = exact.num_blocks();
+    let partition = match &opts.amalgamation {
+        Some(sn_opts) => amalgamate(&filled, &exact, sn_opts),
+        None => exact,
+    };
+    let block_structure = BlockStructure::new(&filled, partition);
+    let bf = block_forest(&block_structure);
+
+    // 5. Statistics, including the chosen task graph's shape.
+    let scalar_forest = EliminationForest::from_filled(&filled);
+    let btf_blocks = scalar_forest.roots().len();
+    let graph = match opts.task_graph {
+        TaskGraphKind::EForest => build_eforest_graph(&block_structure),
+        TaskGraphKind::SStar => build_sstar_graph(&block_structure),
+    };
+    let flops_estimate = total_flops(&estimate_task_costs(&block_structure, &graph));
+    let stats = Stats {
+        n,
+        nnz_a: pattern.nnz(),
+        nnz_filled: filled.nnz_filled(),
+        fill_ratio: if pattern.nnz() == 0 {
+            0.0
+        } else {
+            filled.nnz_filled() as f64 / pattern.nnz() as f64
+        },
+        supernodes_exact,
+        supernodes: block_structure.num_blocks(),
+        max_supernode_width: block_structure.partition.max_width(),
+        btf_blocks,
+        graph_tasks: graph.len(),
+        graph_edges: graph.num_edges(),
+        critical_path: graph.critical_path_len(),
+        flops_estimate,
+    };
+    Ok(SymbolicLu {
+        row_perm,
+        col_perm,
+        filled,
+        block_structure,
+        block_forest: bf,
+        stats,
+        opts: *opts,
+    })
+}
+
+/// The one-stop factorization object.
+pub struct SparseLu {
+    sym: SymbolicLu,
+    bm: BlockMatrix,
+    equil: Option<splu_sparse::scaling::Equilibration>,
+}
+
+impl SparseLu {
+    /// Analyzes and factorizes `a` with the given options.
+    pub fn factor(a: &CscMatrix, opts: &Options) -> Result<SparseLu, LuError> {
+        let equil = opts
+            .equilibrate
+            .then(|| splu_sparse::scaling::equilibrate(a));
+        let work = equil.as_ref().map(|e| &e.scaled).unwrap_or(a);
+        let sym = analyze(work.pattern(), opts)?;
+        let permuted = sym.permute_matrix(work);
+        let graph = sym.build_graph(opts.task_graph);
+        let bm = BlockMatrix::assemble(&permuted, &sym.block_structure);
+        factor_with_graph_rule(
+            &bm,
+            &graph,
+            opts.threads,
+            opts.mapping,
+            opts.pivot_rule,
+            opts.pivot_threshold,
+        )?;
+        Ok(SparseLu { sym, bm, equil })
+    }
+
+    /// Solves `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let scaled_b;
+        let rhs: &[f64] = match &self.equil {
+            Some(eq) => {
+                scaled_b = eq.scale_rhs(b);
+                &scaled_b
+            }
+            None => b,
+        };
+        let mut y = self.sym.row_perm.apply_vec(rhs);
+        solve_permuted(&self.bm, &self.sym.block_structure, &mut y);
+        let x = self.sym.col_perm.apply_inverse_vec(&y);
+        match &self.equil {
+            Some(eq) => eq.unscale_solution(&x),
+            None => x,
+        }
+    }
+
+    /// Solves `A x = b` with the forest-scheduled parallel triangular
+    /// solve (bit-identical to [`Self::solve`], asserted by the tests).
+    pub fn solve_parallel(&self, b: &[f64], nthreads: usize) -> Vec<f64> {
+        let scaled_b;
+        let rhs: &[f64] = match &self.equil {
+            Some(eq) => {
+                scaled_b = eq.scale_rhs(b);
+                &scaled_b
+            }
+            None => b,
+        };
+        let mut y = self.sym.row_perm.apply_vec(rhs);
+        solve_permuted_parallel(&self.bm, &self.sym.block_structure, &mut y, nthreads);
+        let x = self.sym.col_perm.apply_inverse_vec(&y);
+        match &self.equil {
+            Some(eq) => eq.unscale_solution(&x),
+            None => x,
+        }
+    }
+
+    /// Solves `Aᵀ x = b`.
+    pub fn solve_transposed(&self, b: &[f64]) -> Vec<f64> {
+        // With equilibration S = R·A·C was factored, so Aᵀ = C⁻¹ Sᵀ R⁻¹ and
+        // x = R · S⁻ᵀ · (C b): the scale vectors swap roles.
+        let scaled_b;
+        let rhs: &[f64] = match &self.equil {
+            Some(eq) => {
+                scaled_b = b
+                    .iter()
+                    .zip(&eq.col_scale)
+                    .map(|(&v, &s)| v * s)
+                    .collect::<Vec<f64>>();
+                &scaled_b
+            }
+            None => b,
+        };
+        let mut y = self.sym.col_perm.apply_vec(rhs);
+        solve_transposed_permuted(&self.bm, &self.sym.block_structure, &mut y);
+        let x = self.sym.row_perm.apply_inverse_vec(&y);
+        match &self.equil {
+            Some(eq) => x
+                .iter()
+                .zip(&eq.row_scale)
+                .map(|(&v, &s)| v * s)
+                .collect(),
+            None => x,
+        }
+    }
+
+    /// Solves `A x = b` with iterative refinement against the original
+    /// matrix: repeat `x ← x + A⁻¹(b − A x)` until the scaled residual
+    /// drops below `tol` or `max_iters` refinements have run. Returns the
+    /// solution and the number of refinement steps taken.
+    pub fn solve_refined(
+        &self,
+        a: &CscMatrix,
+        b: &[f64],
+        tol: f64,
+        max_iters: usize,
+    ) -> (Vec<f64>, usize) {
+        let mut x = self.solve(b);
+        for it in 0..max_iters {
+            if splu_sparse::relative_residual(a, &x, b) <= tol {
+                return (x, it);
+            }
+            let mut r = b.to_vec();
+            a.mat_vec_sub(&x, &mut r);
+            let dx = self.solve(&r);
+            for (xi, di) in x.iter_mut().zip(&dx) {
+                *xi += di;
+            }
+        }
+        (x, max_iters)
+    }
+
+    /// Analysis statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.sym.stats
+    }
+
+    /// The symbolic analysis.
+    pub fn symbolic(&self) -> &SymbolicLu {
+        &self.sym
+    }
+
+    /// Options used to build this factorization.
+    pub fn options(&self) -> &Options {
+        &self.sym.opts
+    }
+
+    /// Solves `A X = B` for `nrhs` right-hand sides stored column-major in
+    /// `b` (`n × nrhs`), returning the solutions in the same layout.
+    ///
+    /// Walks the factors once, applying every elimination step to all
+    /// right-hand sides with the BLAS-3 kernels.
+    pub fn solve_many(&self, b: &[f64], nrhs: usize) -> Vec<f64> {
+        let n = self.sym.stats.n;
+        assert_eq!(b.len(), n * nrhs, "rhs block size mismatch");
+        // Permute (and scale) each column into factorization order.
+        let mut work = Vec::with_capacity(b.len());
+        for r in 0..nrhs {
+            let col = &b[r * n..(r + 1) * n];
+            let scaled;
+            let rhs: &[f64] = match &self.equil {
+                Some(eq) => {
+                    scaled = eq.scale_rhs(col);
+                    &scaled
+                }
+                None => col,
+            };
+            work.extend(self.sym.row_perm.apply_vec(rhs));
+        }
+        solve_many_permuted(&self.bm, &self.sym.block_structure, &mut work, nrhs);
+        let mut out = Vec::with_capacity(b.len());
+        for r in 0..nrhs {
+            let x = self
+                .sym
+                .col_perm
+                .apply_inverse_vec(&work[r * n..(r + 1) * n]);
+            match &self.equil {
+                Some(eq) => out.extend(eq.unscale_solution(&x)),
+                None => out.extend(x),
+            }
+        }
+        out
+    }
+
+    /// Sign and natural log of `|det(A)|`.
+    ///
+    /// Computed from the `Ū` diagonal, the pivot interchanges, and the
+    /// parities of the analysis permutations; equilibration scales are
+    /// divided back out.
+    pub fn determinant(&self) -> (f64, f64) {
+        let (mut sign, mut ln_abs) = det_permuted(&self.bm, &self.sym.block_structure);
+        if !self.sym.row_perm.is_even() {
+            sign = -sign;
+        }
+        if !self.sym.col_perm.is_even() {
+            sign = -sign;
+        }
+        if let Some(eq) = &self.equil {
+            for &s in eq.row_scale.iter().chain(&eq.col_scale) {
+                ln_abs -= s.ln();
+            }
+        }
+        (sign, ln_abs)
+    }
+
+    /// Element-growth factor `max|factor| / max|A|` — the standard
+    /// backward-stability diagnostic for partial pivoting.
+    pub fn growth(&self, a: &CscMatrix) -> f64 {
+        let max_a = a.values().iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+        growth_factor(&self.bm, max_a)
+    }
+
+    /// Storage accounting of the factored block matrix.
+    pub fn storage(&self) -> FactorStorage {
+        let words = self.bm.storage_words();
+        let structural = self.sym.stats.nnz_filled;
+        FactorStorage {
+            words,
+            structural,
+            padding_fraction: if words == 0 {
+                0.0
+            } else {
+                1.0 - structural as f64 / words as f64
+            },
+        }
+    }
+}
+
+/// Storage accounting for a factorization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FactorStorage {
+    /// Dense words allocated by the block storage (explicit zeros
+    /// included).
+    pub words: usize,
+    /// Entries of the scalar static structure `Ā`.
+    pub structural: usize,
+    /// Fraction of the stored words that are structural padding (explicit
+    /// zeros introduced by blocking and amalgamation).
+    pub padding_fraction: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splu_sparse::relative_residual;
+    use splu_symbolic::fixtures::fig1_matrix;
+
+    fn random_matrix(n: usize, extra: usize, seed: u64) -> CscMatrix {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut trips: Vec<(usize, usize, f64)> = (0..n)
+            .map(|i| (i, i, 4.0 + rng.gen_range(0.0..1.0)))
+            .collect();
+        for _ in 0..extra {
+            trips.push((
+                rng.gen_range(0..n),
+                rng.gen_range(0..n),
+                rng.gen_range(-1.0..1.0),
+            ));
+        }
+        CscMatrix::from_triplets(n, n, &trips).unwrap()
+    }
+
+    #[test]
+    fn default_pipeline_solves_fig1() {
+        let a = fig1_matrix();
+        let lu = SparseLu::factor(&a, &Options::default()).unwrap();
+        let b: Vec<f64> = (0..7).map(|i| (i as f64) - 2.0).collect();
+        let x = lu.solve(&b);
+        assert!(relative_residual(&a, &x, &b) < 1e-12);
+        assert!(lu.stats().nnz_filled >= lu.stats().nnz_a);
+        assert!(lu.stats().fill_ratio >= 1.0);
+    }
+
+    #[test]
+    fn every_option_combination_agrees_with_gp() {
+        let a = random_matrix(40, 110, 5);
+        let b: Vec<f64> = (0..40).map(|i| ((i % 9) as f64) - 4.0).collect();
+        let reference = {
+            let lu = crate::gp::gp_factor(&a, 0.0).unwrap();
+            let mut x = b.clone();
+            lu.solve(&mut x);
+            x
+        };
+        for ordering in [
+            OrderingChoice::MinDegreeAtA,
+            OrderingChoice::Natural,
+            OrderingChoice::Rcm,
+        ] {
+            for postorder in [false, true] {
+                for task_graph in [TaskGraphKind::EForest, TaskGraphKind::SStar] {
+                    for amalgamation in [None, Some(SupernodeOptions::default())] {
+                        let opts = Options {
+                            ordering,
+                            postorder,
+                            task_graph,
+                            amalgamation,
+                            ..Options::default()
+                        };
+                        let lu = SparseLu::factor(&a, &opts).unwrap();
+                        let x = lu.solve(&b);
+                        assert!(
+                            relative_residual(&a, &x, &b) < 1e-9,
+                            "bad residual for {opts:?}"
+                        );
+                        let err: f64 = x
+                            .iter()
+                            .zip(&reference)
+                            .map(|(p, q)| (p - q).abs())
+                            .fold(0.0, f64::max);
+                        assert!(err < 1e-6, "diverges from GP for {opts:?}: {err}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let a = random_matrix(60, 200, 8);
+        let b: Vec<f64> = (0..60).map(|i| (i as f64).cos()).collect();
+        let seq = SparseLu::factor(&a, &Options::default()).unwrap();
+        let x_seq = seq.solve(&b);
+        for threads in [2usize, 4] {
+            for mapping in [Mapping::Static1D, Mapping::Dynamic] {
+                let opts = Options {
+                    threads,
+                    mapping,
+                    ..Options::default()
+                };
+                let par = SparseLu::factor(&a, &opts).unwrap();
+                let x_par = par.solve(&b);
+                for i in 0..60 {
+                    assert!(
+                        (x_seq[i] - x_par[i]).abs() < 1e-10,
+                        "thread count changed the answer (threads={threads}, {mapping:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matrices_without_zero_free_diagonal_are_handled() {
+        // A cyclic permutation matrix plus noise: diagonal all zero.
+        let n = 12;
+        let mut trips: Vec<(usize, usize, f64)> =
+            (0..n).map(|i| ((i + 1) % n, i, 3.0)).collect();
+        trips.push((0, 4, 0.5));
+        trips.push((7, 2, -0.25));
+        let a = CscMatrix::from_triplets(n, n, &trips).unwrap();
+        let lu = SparseLu::factor(&a, &Options::default()).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let x = lu.solve(&b);
+        assert!(relative_residual(&a, &x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn structurally_singular_is_rejected() {
+        let a = CscMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (1, 0, 1.0), (2, 2, 1.0)])
+            .unwrap();
+        assert!(matches!(
+            SparseLu::factor(&a, &Options::default()),
+            Err(LuError::StructurallySingular { rank: 2 })
+        ));
+    }
+
+    #[test]
+    fn rectangular_is_rejected() {
+        let p = SparsityPattern::empty(2, 3);
+        assert!(matches!(
+            analyze(&p, &Options::default()),
+            Err(LuError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_are_coherent() {
+        let a = random_matrix(50, 150, 13);
+        let lu = SparseLu::factor(&a, &Options::default()).unwrap();
+        let s = lu.stats();
+        assert_eq!(s.n, 50);
+        assert!(s.supernodes <= s.supernodes_exact);
+        assert!(s.max_supernode_width >= 1);
+        assert!(s.graph_tasks >= s.supernodes);
+        assert!(s.critical_path <= s.graph_tasks);
+        assert!(s.flops_estimate > 0.0);
+        assert!(s.btf_blocks >= 1);
+        assert_eq!(lu.options().threads, 1);
+    }
+
+    #[test]
+    fn transpose_solve_through_the_full_pipeline() {
+        let a = random_matrix(40, 120, 99);
+        let b: Vec<f64> = (0..40).map(|i| (i as f64 * 0.31).cos()).collect();
+        for equilibrate in [false, true] {
+            let opts = Options {
+                equilibrate,
+                ..Options::default()
+            };
+            let lu = SparseLu::factor(&a, &opts).unwrap();
+            let x = lu.solve_transposed(&b);
+            let at = a.transpose();
+            assert!(
+                relative_residual(&at, &x, &b) < 1e-11,
+                "equilibrate={equilibrate}"
+            );
+        }
+    }
+
+    #[test]
+    fn storage_accounting_is_consistent() {
+        let a = random_matrix(45, 140, 3);
+        let lu = SparseLu::factor(&a, &Options::default()).unwrap();
+        let s = lu.storage();
+        assert!(s.words >= s.structural);
+        assert!((0.0..1.0).contains(&s.padding_fraction));
+        // No amalgamation + singleton-ish supernodes → padding only from
+        // exact supernode blocks; with amalgamation off it still holds that
+        // words >= structural.
+        let lu2 = SparseLu::factor(
+            &a,
+            &Options {
+                amalgamation: None,
+                ..Options::default()
+            },
+        )
+        .unwrap();
+        assert!(lu2.storage().padding_fraction <= s.padding_fraction + 1e-12);
+    }
+
+    #[test]
+    fn pivot_rules_through_the_full_pipeline() {
+        let a = random_matrix(45, 130, 55); // diagonally dominant
+        let b: Vec<f64> = (0..45).map(|i| (i as f64 * 0.17).sin()).collect();
+        for rule in [
+            PivotRule::Partial,
+            PivotRule::Threshold(0.5),
+            PivotRule::Threshold(0.01),
+            PivotRule::Diagonal,
+        ] {
+            let opts = Options {
+                pivot_rule: rule,
+                ..Options::default()
+            };
+            let lu = SparseLu::factor(&a, &opts).unwrap();
+            let x = lu.solve(&b);
+            assert!(
+                relative_residual(&a, &x, &b) < 1e-9,
+                "{rule:?}: residual too large"
+            );
+        }
+        // On a dominant matrix the diagonal rule does zero interchanges, so
+        // the growth matches the threshold rule's at τ→0.
+        let diag = SparseLu::factor(
+            &a,
+            &Options {
+                pivot_rule: PivotRule::Diagonal,
+                ..Options::default()
+            },
+        )
+        .unwrap();
+        assert!(diag.growth(&a) < 50.0);
+    }
+
+    #[test]
+    fn diagonal_rule_fails_where_partial_succeeds() {
+        // Zero diagonal entry: partial pivoting recovers, diagonal rule
+        // cannot.
+        let a = CscMatrix::from_triplets(
+            2,
+            2,
+            &[(0, 0, 0.0), (1, 0, 1.0), (0, 1, 1.0), (1, 1, 1.0)],
+        )
+        .unwrap();
+        assert!(SparseLu::factor(&a, &Options::default()).is_ok());
+        assert!(matches!(
+            SparseLu::factor(
+                &a,
+                &Options {
+                    pivot_rule: PivotRule::Diagonal,
+                    ..Options::default()
+                }
+            ),
+            Err(LuError::NumericallySingular { .. })
+        ));
+    }
+
+    #[test]
+    fn determinant_through_the_full_pipeline() {
+        use splu_dense::{lu_full, DenseMat};
+        let a = random_matrix(20, 55, 31);
+        // Dense oracle.
+        let n = 20;
+        let mut dense = DenseMat::from_fn(n, n, |i, j| a.get(i, j));
+        let piv = lu_full(&mut dense).unwrap();
+        let mut oracle_sign = 1.0_f64;
+        let mut oracle_ln = 0.0_f64;
+        for c in 0..n {
+            let d = dense[(c, c)];
+            if d < 0.0 {
+                oracle_sign = -oracle_sign;
+            }
+            oracle_ln += d.abs().ln();
+        }
+        for (c, &p) in piv.swaps().iter().enumerate() {
+            if c != p {
+                oracle_sign = -oracle_sign;
+            }
+        }
+        for equilibrate in [false, true] {
+            for postorder in [false, true] {
+                let opts = Options {
+                    equilibrate,
+                    postorder,
+                    ..Options::default()
+                };
+                let lu = SparseLu::factor(&a, &opts).unwrap();
+                let (sign, ln_abs) = lu.determinant();
+                assert_eq!(sign, oracle_sign, "equil={equilibrate} post={postorder}");
+                assert!(
+                    (ln_abs - oracle_ln).abs() < 1e-8,
+                    "equil={equilibrate} post={postorder}: {ln_abs} vs {oracle_ln}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solve_many_and_growth_api() {
+        let a = random_matrix(30, 80, 7);
+        let lu = SparseLu::factor(&a, &Options::default()).unwrap();
+        let n = 30;
+        let nrhs = 4;
+        let b: Vec<f64> = (0..n * nrhs).map(|i| ((i % 11) as f64) - 5.0).collect();
+        let xs = lu.solve_many(&b, nrhs);
+        for r in 0..nrhs {
+            let x1 = lu.solve(&b[r * n..(r + 1) * n]);
+            assert_eq!(&xs[r * n..(r + 1) * n], &x1[..]);
+            assert!(relative_residual(&a, &x1, &b[r * n..(r + 1) * n]) < 1e-12);
+        }
+        let g = lu.growth(&a);
+        assert!(g >= 1.0 - 1e-12 && g < 100.0, "growth {g}");
+    }
+
+    #[test]
+    fn equilibration_rescues_badly_scaled_systems() {
+        // Columns scaled over 12 orders of magnitude.
+        let n = 30;
+        let mut trips: Vec<(usize, usize, f64)> = Vec::new();
+        for i in 0..n {
+            let scale = 10f64.powi((i % 13) as i32 - 6);
+            trips.push((i, i, 5.0 * scale));
+            if i + 1 < n {
+                trips.push((i + 1, i, 1.0 * scale));
+                trips.push((i, i + 1, -0.5 * 10f64.powi(((i + 1) % 13) as i32 - 6)));
+            }
+        }
+        let a = CscMatrix::from_triplets(n, n, &trips).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).cos()).collect();
+        for equilibrate in [false, true] {
+            let opts = Options {
+                equilibrate,
+                ..Options::default()
+            };
+            let lu = SparseLu::factor(&a, &opts).unwrap();
+            let x = lu.solve(&b);
+            assert!(
+                relative_residual(&a, &x, &b) < 1e-10,
+                "equilibrate={equilibrate}"
+            );
+        }
+    }
+
+    #[test]
+    fn iterative_refinement_tightens_the_residual() {
+        let a = random_matrix(50, 160, 77);
+        let b: Vec<f64> = (0..50).map(|i| ((i * 11) % 17) as f64 - 8.0).collect();
+        let lu = SparseLu::factor(&a, &Options::default()).unwrap();
+        let (x, iters) = lu.solve_refined(&a, &b, 1e-15, 4);
+        assert!(iters <= 4);
+        assert!(relative_residual(&a, &x, &b) < 1e-13);
+        // Refinement from an exact-enough start takes 0 or few steps.
+        let (x2, iters2) = lu.solve_refined(&a, &b, 1e-2, 4);
+        assert_eq!(iters2, 0);
+        assert!(relative_residual(&a, &x2, &b) < 1e-2);
+    }
+
+    #[test]
+    fn symbolic_reuse_across_graphs_and_threads() {
+        let a = random_matrix(45, 130, 21);
+        let sym = analyze(a.pattern(), &Options::default()).unwrap();
+        let ge = sym.build_graph(TaskGraphKind::EForest);
+        let gs = sym.build_graph(TaskGraphKind::SStar);
+        assert!(ge.num_edges() <= gs.num_edges());
+        let b: Vec<f64> = (0..45).map(|i| (i as f64).sin()).collect();
+        let n1 = sym
+            .factor_numeric(&a, &ge, 1, Mapping::Static1D, 0.0)
+            .unwrap();
+        let n2 = sym
+            .factor_numeric(&a, &gs, 2, Mapping::Static1D, 0.0)
+            .unwrap();
+        let x1 = n1.solve(&b);
+        let x2 = n2.solve(&b);
+        for i in 0..45 {
+            assert!((x1[i] - x2[i]).abs() < 1e-10);
+        }
+        assert!(n1.block_matrix().storage_words() > 0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Numerical execution of the **fine-grained** task decomposition
+//! (`Apply`/`Trsm`/`Gemm` stages per update — the paper's §6 future-work
+//! direction, see `splu_sched::fine`).
+//!
+//! The task bodies are split out of [`crate::update_task`]:
+//!
+//! * [`apply_task`] — apply `Factor(src)`'s interchanges to column `dst`;
+//! * [`trsm_task`] — `Ū(src, dst) = L(src, src)⁻¹ B̄(src, dst)`;
+//! * [`gemm_task`] — one Schur update `B̄(row, dst) −= L(row, src)·Ū(src, dst)`.
+//!
+//! Because per-element write sets and orders are identical to the coarse
+//! tasks', the factored matrix is **bit-identical** to the coarse execution
+//! (asserted by the tests). Synchronization is per block *column* (the
+//! coarse storage's lock granularity), so on a shared-memory host the fine
+//! decomposition mainly demonstrates correctness; its scalability story is
+//! evaluated on the simulator with per-block ownership (`twod` binary). A
+//! production 2D build would shard the locks per block.
+
+use crate::blocks::BlockMatrix;
+use crate::numeric::factor_task;
+use crate::LuError;
+use parking_lot::Mutex;
+use splu_dense::{gemm_sub, trsm_lower_unit};
+use splu_sched::{execute_dag, FineGraph, FineTask};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Applies `Factor(src)`'s pivot interchanges to block column `dst`.
+pub fn apply_task(bm: &BlockMatrix, src: usize, dst: usize) {
+    debug_assert!(src < dst);
+    let stack = bm.stack(src);
+    let col_src = bm.column(src).read();
+    let mut col_dst = bm.column(dst).write();
+    let piv = col_src
+        .pivots
+        .as_ref()
+        .expect("Apply(src, dst) scheduled before Factor(src)");
+    let w = col_dst.blocks[0].ncols();
+    for (c, &p) in piv.swaps().iter().enumerate() {
+        if c == p {
+            continue;
+        }
+        let (ib1, r1) = stack.locate(c);
+        let (ib2, r2) = stack.locate(p);
+        match (col_dst.find(ib1), col_dst.find(ib2)) {
+            (Some(q1), Some(q2)) if q1 == q2 => col_dst.blocks[q1].swap_rows(r1, r2),
+            (Some(q1), Some(q2)) => {
+                let (b1, b2) = col_dst.two_blocks_mut(q1, q2);
+                for jj in 0..w {
+                    std::mem::swap(&mut b1[(r1, jj)], &mut b2[(r2, jj)]);
+                }
+            }
+            _ => {
+                // One (or both) side has no storage here: the values are
+                // structurally zero (see crate::numeric docs) — a no-op.
+            }
+        }
+    }
+}
+
+/// Computes `Ū(src, dst) = L(src, src)⁻¹ B̄(src, dst)` in place.
+pub fn trsm_task(bm: &BlockMatrix, src: usize, dst: usize) {
+    let col_src = bm.column(src).read();
+    let mut col_dst = bm.column(dst).write();
+    let diag = col_src.block(src).expect("diagonal block exists");
+    let q = col_dst
+        .find(src)
+        .expect("Trsm(src, dst) requires block B̄(src, dst)");
+    trsm_lower_unit(diag, &mut col_dst.blocks[q]);
+}
+
+/// One Schur update: `B̄(row, dst) −= L(row, src) · Ū(src, dst)`.
+pub fn gemm_task(bm: &BlockMatrix, src: usize, dst: usize, row: usize) {
+    let col_src = bm.column(src).read();
+    let mut col_dst = bm.column(dst).write();
+    let l = col_src
+        .block(row)
+        .expect("Gemm(src, dst, row) requires L(row, src)");
+    let q_dst = col_dst
+        .find(row)
+        .expect("fine graph only schedules present destinations");
+    let q_u = col_dst.find(src).expect("Ū(src, dst) block exists");
+    debug_assert_ne!(q_dst, q_u);
+    let (dst_blk, u_blk) = col_dst.two_blocks_mut(q_dst, q_u);
+    gemm_sub(dst_blk, l, u_blk);
+}
+
+/// Runs the numerical factorization over a fine-grained task graph with
+/// `nthreads` workers (shared ready queue). On breakdown the remaining
+/// tasks drain as no-ops and the first error is returned.
+pub fn factor_with_fine_graph(
+    bm: &BlockMatrix,
+    fg: &FineGraph,
+    nthreads: usize,
+    pivot_threshold: f64,
+) -> Result<(), LuError> {
+    let failed = AtomicBool::new(false);
+    let first_error: Mutex<Option<LuError>> = Mutex::new(None);
+    execute_dag(
+        fg.len(),
+        fg.pred_counts(),
+        |t| fg.successors(t),
+        nthreads,
+        1,
+        |_| 0,
+        |tid| {
+            if failed.load(Ordering::Acquire) {
+                return;
+            }
+            match fg.tasks()[tid] {
+                FineTask::Factor(k) => {
+                    if let Err(e) = factor_task(bm, k, pivot_threshold) {
+                        failed.store(true, Ordering::Release);
+                        first_error.lock().get_or_insert(e);
+                    }
+                }
+                FineTask::Apply { src, dst } => apply_task(bm, src, dst),
+                FineTask::Trsm { src, dst } => trsm_task(bm, src, dst),
+                FineTask::Gemm { src, dst, row } => gemm_task(bm, src, dst, row),
+            }
+        },
+    );
+    match first_error.into_inner() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::numeric::factor_with_graph;
+    use crate::solve::solve_permuted;
+    use splu_sched::{block_forest, build_eforest_graph, build_fine_graph, Mapping};
+    use splu_sparse::{relative_residual, CscMatrix};
+    use splu_symbolic::static_fact::static_symbolic_factorization;
+    use splu_symbolic::supernode::{supernode_partition, BlockStructure};
+
+    fn random_matrix(n: usize, extra: usize, seed: u64) -> CscMatrix {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut trips: Vec<(usize, usize, f64)> = (0..n)
+            .map(|i| (i, i, 3.0 + rng.gen_range(0.0..1.0)))
+            .collect();
+        for _ in 0..4 * n {
+            trips.push((
+                rng.gen_range(0..n),
+                rng.gen_range(0..n),
+                rng.gen_range(-1.0..1.0),
+            ));
+        }
+        CscMatrix::from_triplets(n, n, &trips).unwrap()
+    }
+
+    #[test]
+    fn fine_execution_is_bit_identical_to_coarse() {
+        for seed in [1u64, 7, 23] {
+            let a = random_matrix(40, 160, seed);
+            let f = static_symbolic_factorization(a.pattern()).unwrap();
+            let bs = BlockStructure::new(&f, supernode_partition(&f));
+            let forest = block_forest(&bs);
+            let fg = build_fine_graph(&bs, &forest);
+            let coarse = build_eforest_graph(&bs);
+
+            let bm_coarse = BlockMatrix::assemble(&a, &bs);
+            factor_with_graph(&bm_coarse, &coarse, 2, Mapping::Static1D, 0.0).unwrap();
+            for threads in [1usize, 2, 4] {
+                let bm_fine = BlockMatrix::assemble(&a, &bs);
+                factor_with_fine_graph(&bm_fine, &fg, threads, 0.0).unwrap();
+                for k in 0..bm_fine.num_block_cols() {
+                    let cf = bm_fine.column(k).read();
+                    let cc = bm_coarse.column(k).read();
+                    assert_eq!(cf.pivots, cc.pivots, "pivots differ (seed {seed}, col {k})");
+                    for (bf, bc) in cf.blocks.iter().zip(&cc.blocks) {
+                        assert_eq!(
+                            bf.data(),
+                            bc.data(),
+                            "values differ (seed {seed}, threads {threads}, col {k})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fine_execution_solves_with_pivoting() {
+        // Tiny diagonal forces interchanges through the Apply stage.
+        let n = 30;
+        let mut trips: Vec<(usize, usize, f64)> = (0..n).map(|i| (i, i, 1e-9)).collect();
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..5 * n {
+            trips.push((
+                rng.gen_range(0..n),
+                rng.gen_range(0..n),
+                rng.gen_range(-2.0..2.0),
+            ));
+        }
+        let a = CscMatrix::from_triplets(n, n, &trips).unwrap();
+        let f = static_symbolic_factorization(a.pattern()).unwrap();
+        let bs = BlockStructure::new(&f, supernode_partition(&f));
+        let forest = block_forest(&bs);
+        let fg = build_fine_graph(&bs, &forest);
+        let bm = BlockMatrix::assemble(&a, &bs);
+        factor_with_fine_graph(&bm, &fg, 2, 0.0).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.13).cos()).collect();
+        let mut x = b.clone();
+        solve_permuted(&bm, &bs, &mut x);
+        assert!(relative_residual(&a, &x, &b) < 1e-9);
+    }
+
+    #[test]
+    fn fine_execution_reports_singularity() {
+        let a = CscMatrix::from_triplets(
+            2,
+            2,
+            &[(0, 0, 0.0), (1, 1, 1.0), (0, 1, 1.0), (1, 0, 0.0)],
+        )
+        .unwrap();
+        let f = static_symbolic_factorization(a.pattern()).unwrap();
+        let bs = BlockStructure::new(&f, supernode_partition(&f));
+        let forest = block_forest(&bs);
+        let fg = build_fine_graph(&bs, &forest);
+        let bm = BlockMatrix::assemble(&a, &bs);
+        let err = factor_with_fine_graph(&bm, &fg, 1, 0.0).unwrap_err();
+        assert!(matches!(err, LuError::NumericallySingular { .. }));
+    }
+}

@@ -1,0 +1,545 @@
+//! Triangular solves on the factored block matrix.
+//!
+//! The factorization stores `L` with its pivot interchanges *not* applied
+//! retroactively to earlier columns (the distributed-memory discipline of
+//! S*: a pivot sequence is broadcast, never written back). The forward
+//! solve therefore interleaves each block column's interchanges right before
+//! eliminating with it, exactly mirroring the factorization's update order.
+
+use crate::blocks::BlockMatrix;
+use splu_symbolic::supernode::BlockStructure;
+
+/// Solves `Ā x = b` **in factorization order**: `b` is the right-hand side
+/// already permuted by the driver's total row permutation; the result is the
+/// solution in factorization column order. Overwrites `b`.
+pub fn solve_permuted(bm: &BlockMatrix, bs: &BlockStructure, b: &mut [f64]) {
+    assert_eq!(b.len(), bm.n(), "rhs length mismatch");
+    let part = &bs.partition;
+    let nb = bm.num_block_cols();
+
+    // Forward sweep: apply interchanges, solve the unit-lower diagonal
+    // block, then eliminate the sub-diagonal blocks.
+    for k in 0..nb {
+        let stack = bm.stack(k);
+        let col = bm.column(k).read();
+        let piv = col
+            .pivots
+            .as_ref()
+            .expect("solve requires a completed factorization");
+        let k_start = part.range(k).start;
+        let global_row = |pos: usize| -> usize {
+            let (ib, local) = stack.locate(pos);
+            part.range(ib).start + local
+        };
+        for (c, &p) in piv.swaps().iter().enumerate() {
+            if c != p {
+                b.swap(global_row(c), global_row(p));
+            }
+        }
+        let diag = col.block(k).expect("diagonal block exists");
+        let w = diag.ncols();
+        // Unit-lower solve within the diagonal block.
+        for c in 0..w {
+            let s = b[k_start + c];
+            if s != 0.0 {
+                let dcol = diag.col(c);
+                for r in c + 1..w {
+                    b[k_start + r] -= dcol[r] * s;
+                }
+            }
+        }
+        // Eliminate the L blocks below.
+        for &ib in &stack.l_rows[1..] {
+            let blk = col.block(ib).expect("L block exists");
+            let i_start = part.range(ib).start;
+            for c in 0..w {
+                let s = b[k_start + c];
+                if s != 0.0 {
+                    let bcol = blk.col(c);
+                    for (r, &v) in bcol.iter().enumerate() {
+                        b[i_start + r] -= v * s;
+                    }
+                }
+            }
+        }
+    }
+
+    // Backward sweep: solve the upper-triangular diagonal blocks and
+    // eliminate the U blocks above.
+    for k in (0..nb).rev() {
+        let col = bm.column(k).read();
+        let diag = col.block(k).expect("diagonal block exists");
+        let w = diag.ncols();
+        let k_start = part.range(k).start;
+        for c in (0..w).rev() {
+            let dcol = diag.col(c);
+            b[k_start + c] /= dcol[c];
+            let s = b[k_start + c];
+            if s != 0.0 {
+                for r in 0..c {
+                    b[k_start + r] -= dcol[r] * s;
+                }
+            }
+        }
+        // U-region blocks of column k (block rows < k).
+        for (pos, &ib) in col.block_rows.iter().enumerate() {
+            if ib >= k {
+                break;
+            }
+            let blk = &col.blocks[pos];
+            let i_start = part.range(ib).start;
+            for c in 0..w {
+                let s = b[k_start + c];
+                if s != 0.0 {
+                    let bcol = blk.col(c);
+                    for (r, &v) in bcol.iter().enumerate() {
+                        b[i_start + r] -= v * s;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Solves `Āᵀ x = b` in factorization order, given the same factored block
+/// matrix. Overwrites `b`.
+///
+/// The forward solve composes `Ā⁻¹ = Ū⁻¹ · (Lᴺ⁻¹ Pᴺ) ⋯ (L¹⁻¹ P¹)`, so
+/// `Ā⁻ᵀ = (P¹ᵀ L¹⁻ᵀ) ⋯ (Pᴺᵀ Lᴺ⁻ᵀ) · Ū⁻ᵀ`: first a left-looking
+/// lower-triangular sweep on the transposed `Ū` blocks, then for
+/// `k = N..1` the transposed unit-triangular solve on block column `k` of
+/// `L̄` followed by `k`'s interchanges applied **in reverse order**.
+pub fn solve_transposed_permuted(bm: &BlockMatrix, bs: &BlockStructure, b: &mut [f64]) {
+    assert_eq!(b.len(), bm.n(), "rhs length mismatch");
+    let part = &bs.partition;
+    let nb = bm.num_block_cols();
+
+    // Ūᵀ y = b: left-looking forward sweep over block rows. The U-region
+    // blocks of column k are exactly the transposed contributions into
+    // block k.
+    for k in 0..nb {
+        let col = bm.column(k).read();
+        let k_start = part.range(k).start;
+        let diag = col.block(k).expect("diagonal block exists");
+        let w = diag.ncols();
+        // Subtract U(i, k)ᵀ · y_i for every U-region block i < k.
+        for (pos, &ib) in col.block_rows.iter().enumerate() {
+            if ib >= k {
+                break;
+            }
+            let blk = &col.blocks[pos];
+            let i_start = part.range(ib).start;
+            for c in 0..w {
+                let bcol = blk.col(c);
+                let mut s = 0.0;
+                for (r, &v) in bcol.iter().enumerate() {
+                    s += v * b[i_start + r];
+                }
+                b[k_start + c] -= s;
+            }
+        }
+        // Diagonal block: Uᵀ is lower triangular → forward substitution
+        // over the local columns of U (rows of Uᵀ).
+        for c in 0..w {
+            let dcol = diag.col(c);
+            let mut s = b[k_start + c];
+            for (r, &v) in dcol.iter().enumerate().take(c) {
+                s -= v * b[k_start + r];
+            }
+            b[k_start + c] = s / dcol[c];
+        }
+    }
+
+    // x = Π_{k=N..1} (Pᵏᵀ Lᵏ⁻ᵀ) y: per block column from the last to the
+    // first, a transposed unit-triangular solve over the stacked panel,
+    // then the interchanges in reverse.
+    for k in (0..nb).rev() {
+        let stack = bm.stack(k);
+        let col = bm.column(k).read();
+        let diag = col.block(k).expect("diagonal block exists");
+        let w = diag.ncols();
+        let k_start = part.range(k).start;
+        // Subtract L(i, k)ᵀ · x_i for the sub-diagonal blocks, into the
+        // diagonal segment.
+        for &ib in &stack.l_rows[1..] {
+            let blk = col.block(ib).expect("L block exists");
+            let i_start = part.range(ib).start;
+            for c in 0..w {
+                let bcol = blk.col(c);
+                let mut s = 0.0;
+                for (r, &v) in bcol.iter().enumerate() {
+                    s += v * b[i_start + r];
+                }
+                b[k_start + c] -= s;
+            }
+        }
+        // Lᵀ of the unit-lower diagonal block is unit upper: backward
+        // substitution over local columns, x_c ← x_c − Σ_{r>c} L(r,c)·x_r.
+        for c in (0..w).rev() {
+            let dcol = diag.col(c);
+            let mut s = b[k_start + c];
+            for r in c + 1..w {
+                s -= dcol[r] * b[k_start + r];
+            }
+            b[k_start + c] = s;
+        }
+        // Apply the interchanges of Factor(k) in reverse.
+        let piv = col
+            .pivots
+            .as_ref()
+            .expect("solve requires a completed factorization");
+        let global_row = |pos: usize| -> usize {
+            let (ib, local) = stack.locate(pos);
+            part.range(ib).start + local
+        };
+        for (c, &p) in piv.swaps().iter().enumerate().rev() {
+            if c != p {
+                b.swap(global_row(c), global_row(p));
+            }
+        }
+    }
+}
+
+/// Solves `Ā X = B` for multiple right-hand sides stored column-major in
+/// `b` (`n × nrhs`), in factorization order. Overwrites `b`.
+///
+/// Unlike looping [`solve_permuted`] per column, this walks the factor
+/// **once**, applying each elimination step to all right-hand sides with
+/// the BLAS-3 kernels (`trsm` on the diagonal blocks, `gemm` for the
+/// off-diagonal eliminations) — the multi-RHS payoff of the supernodal
+/// storage.
+pub fn solve_many_permuted(bm: &BlockMatrix, bs: &BlockStructure, b: &mut [f64], nrhs: usize) {
+    use splu_dense::{gemm_sub, trsm_lower_unit, trsm_upper, DenseMat};
+    let n = bm.n();
+    assert_eq!(b.len(), n * nrhs, "rhs block size mismatch");
+    if n == 0 || nrhs == 0 {
+        return;
+    }
+    let part = &bs.partition;
+    let nb = bm.num_block_cols();
+    // X as a dense n × nrhs matrix (column-major, same layout as `b`).
+    let mut x = DenseMat::from_col_major(n, nrhs, b.to_vec());
+
+    // Forward sweep.
+    for k in 0..nb {
+        let stack = bm.stack(k);
+        let col = bm.column(k).read();
+        let piv = col
+            .pivots
+            .as_ref()
+            .expect("solve requires a completed factorization");
+        let k_range = part.range(k);
+        let global_row = |pos: usize| -> usize {
+            let (ib, local) = stack.locate(pos);
+            part.range(ib).start + local
+        };
+        for (c, &p) in piv.swaps().iter().enumerate() {
+            if c != p {
+                x.swap_rows(global_row(c), global_row(p));
+            }
+        }
+        let diag = col.block(k).expect("diagonal block exists");
+        let w = diag.ncols();
+        // Extract X_k, trsm, write back.
+        let mut xk = DenseMat::from_fn(w, nrhs, |r, c| x[(k_range.start + r, c)]);
+        trsm_lower_unit(diag, &mut xk);
+        for c in 0..nrhs {
+            for r in 0..w {
+                x[(k_range.start + r, c)] = xk[(r, c)];
+            }
+        }
+        // Eliminate below: X_i -= L(i, k) · X_k.
+        for &ib in &stack.l_rows[1..] {
+            let blk = col.block(ib).expect("L block exists");
+            let i_start = part.range(ib).start;
+            let mut xi = DenseMat::from_fn(blk.nrows(), nrhs, |r, c| x[(i_start + r, c)]);
+            gemm_sub(&mut xi, blk, &xk);
+            for c in 0..nrhs {
+                for r in 0..blk.nrows() {
+                    x[(i_start + r, c)] = xi[(r, c)];
+                }
+            }
+        }
+    }
+
+    // Backward sweep.
+    for k in (0..nb).rev() {
+        let col = bm.column(k).read();
+        let diag = col.block(k).expect("diagonal block exists");
+        let w = diag.ncols();
+        let k_start = part.range(k).start;
+        let mut xk = DenseMat::from_fn(w, nrhs, |r, c| x[(k_start + r, c)]);
+        trsm_upper(diag, &mut xk);
+        for c in 0..nrhs {
+            for r in 0..w {
+                x[(k_start + r, c)] = xk[(r, c)];
+            }
+        }
+        for (pos, &ib) in col.block_rows.iter().enumerate() {
+            if ib >= k {
+                break;
+            }
+            let blk = &col.blocks[pos];
+            let i_start = part.range(ib).start;
+            let mut xi = DenseMat::from_fn(blk.nrows(), nrhs, |r, c| x[(i_start + r, c)]);
+            gemm_sub(&mut xi, blk, &xk);
+            for c in 0..nrhs {
+                for r in 0..blk.nrows() {
+                    x[(i_start + r, c)] = xi[(r, c)];
+                }
+            }
+        }
+    }
+    b.copy_from_slice(x.data());
+}
+
+/// Log-magnitude and sign of `det(Ā)` from a factored block matrix, in
+/// factorization order: the product of the `Ū` diagonal with the parity of
+/// all interchanges.
+///
+/// Returns `(sign, ln|det|)`; `sign` is `0.0` only if a diagonal entry is
+/// exactly zero (which the factorization rejects, so in practice ±1).
+pub fn det_permuted(bm: &BlockMatrix, bs: &BlockStructure) -> (f64, f64) {
+    let part = &bs.partition;
+    let mut sign = 1.0_f64;
+    let mut ln_abs = 0.0_f64;
+    for k in 0..bm.num_block_cols() {
+        let col = bm.column(k).read();
+        let diag = col.block(k).expect("diagonal block exists");
+        for c in 0..part.width(k) {
+            let d = diag[(c, c)];
+            if d == 0.0 {
+                return (0.0, f64::NEG_INFINITY);
+            }
+            if d < 0.0 {
+                sign = -sign;
+            }
+            ln_abs += d.abs().ln();
+        }
+        if let Some(piv) = &col.pivots {
+            for (c, &p) in piv.swaps().iter().enumerate() {
+                if c != p {
+                    sign = -sign;
+                }
+            }
+        }
+    }
+    (sign, ln_abs)
+}
+
+/// The element-growth factor of the factorization:
+/// `max |stored factor entry| / max |Ā entry at assembly|`, a standard
+/// stability diagnostic (small growth ⇒ the partial-pivoting factorization
+/// is backward stable).
+pub fn growth_factor(bm: &BlockMatrix, max_abs_a: f64) -> f64 {
+    let mut max_f = 0.0_f64;
+    for k in 0..bm.num_block_cols() {
+        let col = bm.column(k).read();
+        for blk in &col.blocks {
+            max_f = max_f.max(blk.max_abs());
+        }
+    }
+    if max_abs_a == 0.0 {
+        1.0
+    } else {
+        max_f / max_abs_a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks::BlockMatrix;
+    use crate::numeric::factor_with_graph;
+    use splu_sched::{build_sstar_graph, Mapping};
+    use splu_sparse::{relative_residual, CscMatrix};
+    use splu_symbolic::fixtures::fig1_matrix;
+    use splu_symbolic::static_fact::static_symbolic_factorization;
+    use splu_symbolic::supernode::{supernode_partition, BlockStructure};
+
+    #[test]
+    fn residual_is_small_after_solve() {
+        let a = fig1_matrix();
+        let f = static_symbolic_factorization(a.pattern()).unwrap();
+        let bs = BlockStructure::new(&f, supernode_partition(&f));
+        let bm = BlockMatrix::assemble(&a, &bs);
+        let graph = build_sstar_graph(&bs);
+        factor_with_graph(&bm, &graph, 1, Mapping::Static1D, 0.0).unwrap();
+        let b: Vec<f64> = (0..7).map(|i| i as f64 - 3.0).collect();
+        let mut x = b.clone();
+        solve_permuted(&bm, &bs, &mut x);
+        assert!(relative_residual(&a, &x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn multiple_rhs_reuse_the_factorization() {
+        let a = fig1_matrix();
+        let f = static_symbolic_factorization(a.pattern()).unwrap();
+        let bs = BlockStructure::new(&f, supernode_partition(&f));
+        let bm = BlockMatrix::assemble(&a, &bs);
+        let graph = build_sstar_graph(&bs);
+        factor_with_graph(&bm, &graph, 1, Mapping::Static1D, 0.0).unwrap();
+        for t in 0..4 {
+            let b: Vec<f64> = (0..7).map(|i| ((i + t) % 3) as f64).collect();
+            let mut x = b.clone();
+            solve_permuted(&bm, &bs, &mut x);
+            assert!(relative_residual(&a, &x, &b) < 1e-12, "rhs {t}");
+        }
+    }
+
+    #[test]
+    fn transpose_solve_matches_dense_oracle() {
+        use splu_dense::{lu_full, lu_solve, DenseMat};
+        let a = fig1_matrix();
+        let n = a.nrows();
+        let f = static_symbolic_factorization(a.pattern()).unwrap();
+        let bs = BlockStructure::new(&f, supernode_partition(&f));
+        let bm = BlockMatrix::assemble(&a, &bs);
+        let graph = build_sstar_graph(&bs);
+        factor_with_graph(&bm, &graph, 1, Mapping::Static1D, 0.0).unwrap();
+
+        let at = a.transpose();
+        let mut dense = DenseMat::from_fn(n, n, |i, j| at.get(i, j));
+        let piv = lu_full(&mut dense).unwrap();
+        for trial in 0..3 {
+            let b: Vec<f64> = (0..n).map(|i| ((i * 5 + trial) % 7) as f64 - 3.0).collect();
+            let mut x_oracle = b.clone();
+            lu_solve(&dense, &piv, &mut x_oracle);
+            let mut x = b.clone();
+            solve_transposed_permuted(&bm, &bs, &mut x);
+            for i in 0..n {
+                assert!(
+                    (x[i] - x_oracle[i]).abs() < 1e-10,
+                    "transpose mismatch at {i}: {} vs {}",
+                    x[i],
+                    x_oracle[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_solve_with_pivoting() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(12);
+        let n = 24;
+        let mut trips: Vec<(usize, usize, f64)> =
+            (0..n).map(|i| (i, i, 1e-8)).collect(); // tiny diagonal → pivoting
+        for _ in 0..4 * n {
+            trips.push((
+                rng.gen_range(0..n),
+                rng.gen_range(0..n),
+                rng.gen_range(-2.0..2.0),
+            ));
+        }
+        let a = CscMatrix::from_triplets(n, n, &trips).unwrap();
+        let f = static_symbolic_factorization(a.pattern()).unwrap();
+        let bs = BlockStructure::new(&f, supernode_partition(&f));
+        let bm = BlockMatrix::assemble(&a, &bs);
+        let graph = build_sstar_graph(&bs);
+        factor_with_graph(&bm, &graph, 1, Mapping::Static1D, 0.0).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+        let mut x = b.clone();
+        solve_transposed_permuted(&bm, &bs, &mut x);
+        let at = a.transpose();
+        assert!(relative_residual(&at, &x, &b) < 1e-9);
+    }
+
+    #[test]
+    fn multi_rhs_matches_single_rhs() {
+        let a = fig1_matrix();
+        let f = static_symbolic_factorization(a.pattern()).unwrap();
+        let bs = BlockStructure::new(&f, supernode_partition(&f));
+        let bm = BlockMatrix::assemble(&a, &bs);
+        let graph = build_sstar_graph(&bs);
+        factor_with_graph(&bm, &graph, 1, Mapping::Static1D, 0.0).unwrap();
+        let n = 7;
+        let nrhs = 3;
+        let mut block: Vec<f64> = (0..n * nrhs).map(|i| (i as f64 * 0.37).sin()).collect();
+        let singles: Vec<Vec<f64>> = (0..nrhs)
+            .map(|r| {
+                let mut x = block[r * n..(r + 1) * n].to_vec();
+                solve_permuted(&bm, &bs, &mut x);
+                x
+            })
+            .collect();
+        solve_many_permuted(&bm, &bs, &mut block, nrhs);
+        for r in 0..nrhs {
+            assert_eq!(&block[r * n..(r + 1) * n], &singles[r][..]);
+        }
+    }
+
+    #[test]
+    fn determinant_matches_dense_oracle() {
+        use splu_dense::{lu_full, DenseMat};
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(42);
+        for n in [2usize, 5, 12, 20] {
+            let mut trips: Vec<(usize, usize, f64)> = (0..n)
+                .map(|i| (i, i, 2.0 + rng.gen_range(0.0..2.0)))
+                .collect();
+            for _ in 0..3 * n {
+                trips.push((
+                    rng.gen_range(0..n),
+                    rng.gen_range(0..n),
+                    rng.gen_range(-1.0..1.0),
+                ));
+            }
+            let a = CscMatrix::from_triplets(n, n, &trips).unwrap();
+            let f = static_symbolic_factorization(a.pattern()).unwrap();
+            let bs = BlockStructure::new(&f, supernode_partition(&f));
+            let bm = BlockMatrix::assemble(&a, &bs);
+            let graph = build_sstar_graph(&bs);
+            factor_with_graph(&bm, &graph, 1, Mapping::Static1D, 0.0).unwrap();
+            let (sign, ln_abs) = det_permuted(&bm, &bs);
+            // Dense oracle determinant.
+            let mut dense = DenseMat::from_fn(n, n, |i, j| a.get(i, j));
+            let piv = lu_full(&mut dense).unwrap();
+            let mut oracle_sign = 1.0_f64;
+            let mut oracle_ln = 0.0_f64;
+            for c in 0..n {
+                let d = dense[(c, c)];
+                if d < 0.0 {
+                    oracle_sign = -oracle_sign;
+                }
+                oracle_ln += d.abs().ln();
+            }
+            for (c, &p) in piv.swaps().iter().enumerate() {
+                if c != p {
+                    oracle_sign = -oracle_sign;
+                }
+            }
+            assert_eq!(sign, oracle_sign, "n={n}");
+            assert!((ln_abs - oracle_ln).abs() < 1e-8, "n={n}");
+        }
+    }
+
+    #[test]
+    fn growth_factor_is_modest_on_benign_matrices() {
+        let a = fig1_matrix();
+        let max_a = a.values().iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+        let f = static_symbolic_factorization(a.pattern()).unwrap();
+        let bs = BlockStructure::new(&f, supernode_partition(&f));
+        let bm = BlockMatrix::assemble(&a, &bs);
+        let graph = build_sstar_graph(&bs);
+        factor_with_graph(&bm, &graph, 1, Mapping::Static1D, 0.0).unwrap();
+        let g = growth_factor(&bm, max_a);
+        assert!(g >= 1.0 - 1e-12, "factor entries include A's max");
+        assert!(g < 10.0, "unexpected growth {g} on a dominant matrix");
+    }
+
+    #[test]
+    fn identity_solves_trivially() {
+        let a = CscMatrix::identity(5);
+        let f = static_symbolic_factorization(a.pattern()).unwrap();
+        let bs = BlockStructure::new(&f, supernode_partition(&f));
+        let bm = BlockMatrix::assemble(&a, &bs);
+        let graph = build_sstar_graph(&bs);
+        factor_with_graph(&bm, &graph, 1, Mapping::Static1D, 0.0).unwrap();
+        let mut x = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        solve_permuted(&bm, &bs, &mut x);
+        assert_eq!(x, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+}

@@ -1,0 +1,237 @@
+//! BLAS-3 style kernels: `gemm` and `trsm` on column-major matrices.
+
+use crate::DenseMat;
+
+/// Cache-block size (in rows/inner dimension) for the update kernel. Chosen
+/// so three `KB × KB` double blocks stay well inside a 256 KiB L2.
+const KB: usize = 64;
+
+/// `C ← C − A · B`.
+///
+/// The supernodal update kernel: `B̄(i, j) ← B̄(i, j) − L(i, k) · Ū(k, j)`.
+/// The inner micro-kernel processes **four columns of `C` at once**, so
+/// each loaded column of `A` is reused fourfold (quartering `A` traffic);
+/// `k` is additionally blocked to keep the active `A` panel cache-resident.
+pub fn gemm_sub(c: &mut DenseMat, a: &DenseMat, b: &DenseMat) {
+    assert_eq!(a.nrows(), c.nrows(), "gemm_sub: row mismatch");
+    assert_eq!(b.ncols(), c.ncols(), "gemm_sub: column mismatch");
+    assert_eq!(a.ncols(), b.nrows(), "gemm_sub: inner dimension mismatch");
+    let m = c.nrows();
+    let n = c.ncols();
+    let inner = a.ncols();
+    if m == 0 || n == 0 || inner == 0 {
+        return;
+    }
+    let quads = n / 4 * 4;
+    for k0 in (0..inner).step_by(KB) {
+        let k1 = (k0 + KB).min(inner);
+        let mut j = 0usize;
+        while j < quads {
+            // Four C columns at once, split out of the storage.
+            let (c0, c1, c2, c3) = four_cols_mut(c, j);
+            for k in k0..k1 {
+                let (s0, s1, s2, s3) = (b[(k, j)], b[(k, j + 1)], b[(k, j + 2)], b[(k, j + 3)]);
+                if s0 == 0.0 && s1 == 0.0 && s2 == 0.0 && s3 == 0.0 {
+                    continue;
+                }
+                let a_col = a.col(k);
+                for i in 0..m {
+                    let av = a_col[i];
+                    c0[i] -= av * s0;
+                    c1[i] -= av * s1;
+                    c2[i] -= av * s2;
+                    c3[i] -= av * s3;
+                }
+            }
+            j += 4;
+        }
+        for j in quads..n {
+            let c_col = c.col_mut(j);
+            for k in k0..k1 {
+                let s = b[(k, j)];
+                if s == 0.0 {
+                    continue;
+                }
+                let a_col = a.col(k);
+                for i in 0..m {
+                    c_col[i] -= a_col[i] * s;
+                }
+            }
+        }
+    }
+}
+
+/// Splits four consecutive columns `j..j+4` of `c` into disjoint mutable
+/// slices.
+fn four_cols_mut(
+    c: &mut DenseMat,
+    j: usize,
+) -> (&mut [f64], &mut [f64], &mut [f64], &mut [f64]) {
+    let m = c.nrows();
+    let data = c.data_mut();
+    let (_, rest) = data.split_at_mut(j * m);
+    let (c0, rest) = rest.split_at_mut(m);
+    let (c1, rest) = rest.split_at_mut(m);
+    let (c2, rest) = rest.split_at_mut(m);
+    let (c3, _) = rest.split_at_mut(m);
+    (c0, c1, c2, c3)
+}
+
+/// `X ← L⁻¹ · X` where `L` is **unit** lower triangular (strict lower part
+/// of `l` is read; the diagonal is taken as 1, the upper part ignored).
+///
+/// Used to turn a factored diagonal block into the `Ū` row blocks:
+/// `Ū(k, j) = L(k, k)⁻¹ B̄(k, j)`.
+pub fn trsm_lower_unit(l: &DenseMat, x: &mut DenseMat) {
+    assert_eq!(l.nrows(), l.ncols(), "trsm: L must be square");
+    assert_eq!(l.nrows(), x.nrows(), "trsm: dimension mismatch");
+    let n = l.nrows();
+    for j in 0..x.ncols() {
+        // Forward substitution down column j, expressed column-wise over L
+        // so both accesses stream with unit stride.
+        let x_col = x.col_mut(j);
+        for k in 0..n {
+            let s = x_col[k];
+            if s == 0.0 {
+                continue;
+            }
+            let l_col = l.col(k);
+            for i in k + 1..n {
+                x_col[i] -= l_col[i] * s;
+            }
+        }
+    }
+}
+
+/// `X ← U⁻¹ · X` where `U` is upper triangular with a nonzero diagonal
+/// (strict lower part of `u` is ignored).
+pub fn trsm_upper(u: &DenseMat, x: &mut DenseMat) {
+    assert_eq!(u.nrows(), u.ncols(), "trsm: U must be square");
+    assert_eq!(u.nrows(), x.nrows(), "trsm: dimension mismatch");
+    let n = u.nrows();
+    for j in 0..x.ncols() {
+        let x_col = x.col_mut(j);
+        for k in (0..n).rev() {
+            let diag = u[(k, k)];
+            debug_assert!(diag != 0.0, "trsm_upper: zero diagonal at {k}");
+            x_col[k] /= diag;
+            let s = x_col[k];
+            if s == 0.0 {
+                continue;
+            }
+            let u_col = u.col(k);
+            for i in 0..k {
+                x_col[i] -= u_col[i] * s;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_mat(r: usize, c: usize, rng: &mut SmallRng) -> DenseMat {
+        DenseMat::from_fn(r, c, |_, _| rng.gen_range(-1.0..1.0))
+    }
+
+    #[test]
+    fn gemm_sub_matches_naive() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for (m, k, n) in [(1, 1, 1), (3, 2, 4), (7, 7, 7), (65, 70, 33), (130, 5, 2)] {
+            let a = random_mat(m, k, &mut rng);
+            let b = random_mat(k, n, &mut rng);
+            let mut c = random_mat(m, n, &mut rng);
+            let mut expect = c.clone();
+            let prod = a.matmul(&b);
+            for j in 0..n {
+                for i in 0..m {
+                    expect[(i, j)] -= prod[(i, j)];
+                }
+            }
+            gemm_sub(&mut c, &a, &b);
+            for j in 0..n {
+                for i in 0..m {
+                    assert!(
+                        (c[(i, j)] - expect[(i, j)]).abs() < 1e-12,
+                        "mismatch at ({i},{j}) for {m}x{k}x{n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_lower_unit_solves() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for n in [1usize, 2, 5, 20, 64] {
+            // Build a unit lower triangular L (junk above the diagonal must
+            // be ignored).
+            let mut l = random_mat(n, n, &mut rng);
+            for i in 0..n {
+                l[(i, i)] = 123.0; // must be treated as 1
+            }
+            let x_true = random_mat(n, 3, &mut rng);
+            // b = L_unit * x_true
+            let mut l_unit = DenseMat::identity(n);
+            for j in 0..n {
+                for i in j + 1..n {
+                    l_unit[(i, j)] = l[(i, j)];
+                }
+            }
+            let mut b = l_unit.matmul(&x_true);
+            trsm_lower_unit(&l, &mut b);
+            for j in 0..3 {
+                for i in 0..n {
+                    assert!((b[(i, j)] - x_true[(i, j)]).abs() < 1e-9, "n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_upper_solves() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for n in [1usize, 2, 6, 31] {
+            let mut u = random_mat(n, n, &mut rng);
+            for i in 0..n {
+                u[(i, i)] = 2.0 + rng.gen_range(0.0..1.0); // well conditioned
+            }
+            let mut u_clean = DenseMat::zeros(n, n);
+            for j in 0..n {
+                for i in 0..=j {
+                    u_clean[(i, j)] = u[(i, j)];
+                }
+            }
+            let x_true = random_mat(n, 2, &mut rng);
+            let mut b = u_clean.matmul(&x_true);
+            trsm_upper(&u, &mut b);
+            for j in 0..2 {
+                for i in 0..n {
+                    assert!((b[(i, j)] - x_true[(i, j)]).abs() < 1e-9, "n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_handles_empty_dimensions() {
+        let a = DenseMat::zeros(3, 0);
+        let b = DenseMat::zeros(0, 2);
+        let mut c = DenseMat::from_fn(3, 2, |i, j| (i + j) as f64);
+        let before = c.clone();
+        gemm_sub(&mut c, &a, &b);
+        assert_eq!(c, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn gemm_validates_dims() {
+        let a = DenseMat::zeros(2, 3);
+        let b = DenseMat::zeros(4, 2);
+        let mut c = DenseMat::zeros(2, 2);
+        gemm_sub(&mut c, &a, &b);
+    }
+}

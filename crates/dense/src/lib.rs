@@ -1,0 +1,33 @@
+//! Dense kernels for `parsplu` — the BLAS substitute.
+//!
+//! The paper's numerical factorization runs on dense supernode panels using
+//! the SGI SCSL BLAS (levels 1–3). This workspace has no BLAS bindings, so
+//! this crate provides the needed subset, written in plain safe Rust with
+//! column-major layout and loop orders chosen for that layout:
+//!
+//! * [`DenseMat`] — an owned column-major matrix;
+//! * [`gemm_sub`] — `C ← C − A·B` (the supernodal update kernel);
+//! * [`trsm_lower_unit`] — `X ← L⁻¹·X` with `L` unit lower triangular
+//!   (computes `Ū` blocks from a factored panel);
+//! * [`lu_panel`] — panel LU with partial pivoting (the `Factor(k)` task);
+//! * [`apply_row_swaps`] / [`Pivots`] — the pivot-sequence representation
+//!   shared with the sparse driver;
+//! * [`lu_full`], [`lu_solve`] — full dense LU, the oracle the test-suites
+//!   compare against.
+
+// Index-based loops are the natural idiom for the numerical kernels and
+// symbolic algorithms in this crate; iterator rewrites obscure the maths.
+#![allow(clippy::needless_range_loop)]
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod kernels;
+mod lu;
+mod mat;
+
+pub use kernels::{gemm_sub, trsm_lower_unit, trsm_upper};
+pub use lu::{
+    apply_row_swaps, lu_full, lu_panel, lu_panel_with_rule, lu_solve, PanelError, PivotRule,
+    Pivots,
+};
+pub use mat::DenseMat;

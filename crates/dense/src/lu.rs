@@ -1,0 +1,372 @@
+//! Panel and full dense LU with partial pivoting.
+
+use crate::DenseMat;
+
+/// A partial-pivoting interchange sequence, LAPACK `ipiv`-style: at step
+/// `c`, rows `c` and `swap[c]` were exchanged (`swap[c] ≥ c`).
+///
+/// Indices are **local to the panel** that produced them; the sparse driver
+/// translates them to candidate-row positions of the block column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pivots {
+    swaps: Vec<usize>,
+}
+
+impl Pivots {
+    /// The identity sequence of length `w` (no interchanges).
+    pub fn identity(w: usize) -> Self {
+        Pivots {
+            swaps: (0..w).collect(),
+        }
+    }
+
+    /// The raw swap targets (`swaps[c] ≥ c`).
+    pub fn swaps(&self) -> &[usize] {
+        &self.swaps
+    }
+
+    /// Number of elimination steps recorded.
+    pub fn len(&self) -> usize {
+        self.swaps.len()
+    }
+
+    /// `true` when no steps are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.swaps.is_empty()
+    }
+
+    /// `true` when no actual interchange happens.
+    pub fn is_identity(&self) -> bool {
+        self.swaps.iter().enumerate().all(|(c, &r)| c == r)
+    }
+
+    /// Applies the interchanges to a vector (in factorization order).
+    pub fn apply_vec(&self, v: &mut [f64]) {
+        for (c, &r) in self.swaps.iter().enumerate() {
+            v.swap(c, r);
+        }
+    }
+
+    /// The permutation vector `perm[new_local_row] = old_local_row` realised
+    /// by the swap sequence over `m` rows.
+    pub fn as_row_permutation(&self, m: usize) -> Vec<usize> {
+        let mut p: Vec<usize> = (0..m).collect();
+        for (c, &r) in self.swaps.iter().enumerate() {
+            p.swap(c, r);
+        }
+        p
+    }
+}
+
+/// Applies a pivot sequence to the rows of a matrix (in factorization
+/// order) — LAPACK's `laswp`.
+pub fn apply_row_swaps(m: &mut DenseMat, pivots: &Pivots) {
+    for (c, &r) in pivots.swaps().iter().enumerate() {
+        m.swap_rows(c, r);
+    }
+}
+
+/// Errors from panel factorization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PanelError {
+    /// No usable pivot in this panel column (all candidates ~ 0): the matrix
+    /// is numerically singular.
+    Singular {
+        /// Panel-local column index where elimination broke down.
+        column: usize,
+    },
+}
+
+impl std::fmt::Display for PanelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PanelError::Singular { column } => {
+                write!(f, "no nonzero pivot available in panel column {column}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PanelError {}
+
+/// Pivot-selection policy for the panel factorization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PivotRule {
+    /// Classic partial pivoting: the maximum-magnitude candidate wins.
+    Partial,
+    /// Threshold pivoting: keep the diagonal candidate whenever
+    /// `|a_cc| ≥ τ · max |a_rc|` (0 < τ ≤ 1). Reduces interchanges — and
+    /// therefore the pivot traffic every `Update` must replay — at a
+    /// bounded cost in element growth (`≤ (1 + 1/τ)` per step).
+    Threshold(f64),
+    /// No interchanges at all ("static pivoting"): fail on a zero diagonal.
+    Diagonal,
+}
+
+/// Factorizes an `m × w` panel (`m ≥ w`) in place with partial pivoting.
+///
+/// On return the strict lower trapezoid holds the multipliers `L` (unit
+/// diagonal implicit) and the upper `w × w` triangle holds `U`. The pivot
+/// rows are chosen over **all** panel rows `c..m` — in the sparse driver
+/// those are exactly the candidate pivot rows of the static symbolic
+/// factorization, so any choice stays inside the static structure.
+pub fn lu_panel(panel: &mut DenseMat, pivot_threshold: f64) -> Result<Pivots, PanelError> {
+    lu_panel_with_rule(panel, PivotRule::Partial, pivot_threshold)
+}
+
+/// [`lu_panel`] with an explicit pivot-selection rule.
+pub fn lu_panel_with_rule(
+    panel: &mut DenseMat,
+    rule: PivotRule,
+    pivot_threshold: f64,
+) -> Result<Pivots, PanelError> {
+    let m = panel.nrows();
+    let w = panel.ncols();
+    assert!(m >= w, "panel must be at least as tall as wide");
+    let mut swaps = Vec::with_capacity(w);
+    for c in 0..w {
+        // Pivot search down column c.
+        let col = panel.col(c);
+        let mut best = c;
+        let mut best_abs = col[c].abs();
+        for r in c + 1..m {
+            let a = col[r].abs();
+            if a > best_abs {
+                best_abs = a;
+                best = r;
+            }
+        }
+        match rule {
+            PivotRule::Partial => {}
+            PivotRule::Threshold(tau) => {
+                debug_assert!((0.0..=1.0).contains(&tau), "threshold in (0, 1]");
+                if col[c].abs() >= tau * best_abs {
+                    best = c;
+                    best_abs = col[c].abs();
+                }
+            }
+            PivotRule::Diagonal => {
+                best = c;
+                best_abs = col[c].abs();
+            }
+        }
+        if best_abs <= pivot_threshold {
+            return Err(PanelError::Singular { column: c });
+        }
+        swaps.push(best);
+        panel.swap_rows(c, best);
+        // Scale multipliers.
+        let diag = panel[(c, c)];
+        let col_c = panel.col_mut(c);
+        for r in c + 1..m {
+            col_c[r] /= diag;
+        }
+        // Rank-1 update of the trailing columns.
+        for j in c + 1..w {
+            let s = panel[(c, j)];
+            if s == 0.0 {
+                continue;
+            }
+            let (col_c, col_j) = panel.two_cols_mut(c, j);
+            for r in c + 1..m {
+                col_j[r] -= col_c[r] * s;
+            }
+        }
+    }
+    Ok(Pivots { swaps })
+}
+
+/// Full dense LU with partial pivoting, in place (`getrf`).
+pub fn lu_full(a: &mut DenseMat) -> Result<Pivots, PanelError> {
+    assert_eq!(a.nrows(), a.ncols(), "lu_full requires a square matrix");
+    lu_panel(a, 0.0)
+}
+
+/// Solves `A x = b` given the in-place factorization from [`lu_full`]
+/// (`getrs`): applies the interchanges, then unit-lower forward and upper
+/// backward substitution. `b` is overwritten with the solution.
+pub fn lu_solve(lu: &DenseMat, pivots: &Pivots, b: &mut [f64]) {
+    let n = lu.nrows();
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    pivots.apply_vec(b);
+    // Forward: L y = Pb (unit diagonal).
+    for k in 0..n {
+        let s = b[k];
+        if s != 0.0 {
+            let col = lu.col(k);
+            for i in k + 1..n {
+                b[i] -= col[i] * s;
+            }
+        }
+    }
+    // Backward: U x = y.
+    for k in (0..n).rev() {
+        b[k] /= lu[(k, k)];
+        let s = b[k];
+        if s != 0.0 {
+            let col = lu.col(k);
+            for i in 0..k {
+                b[i] -= col[i] * s;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_mat(r: usize, c: usize, rng: &mut SmallRng) -> DenseMat {
+        DenseMat::from_fn(r, c, |_, _| rng.gen_range(-1.0..1.0))
+    }
+
+    /// Reconstructs `P·A` from the in-place panel factorization and checks
+    /// it equals `L·U`.
+    fn check_panel(orig: &DenseMat, lu: &DenseMat, piv: &Pivots) {
+        let m = orig.nrows();
+        let w = orig.ncols();
+        // P*orig
+        let mut pa = orig.clone();
+        apply_row_swaps(&mut pa, piv);
+        // L (m×w trapezoid, unit diagonal) * U (w×w upper)
+        let mut l = DenseMat::zeros(m, w);
+        for j in 0..w {
+            l[(j, j)] = 1.0;
+            for i in j + 1..m {
+                l[(i, j)] = lu[(i, j)];
+            }
+        }
+        let mut u = DenseMat::zeros(w, w);
+        for j in 0..w {
+            for i in 0..=j {
+                u[(i, j)] = lu[(i, j)];
+            }
+        }
+        let prod = l.matmul(&u);
+        for j in 0..w {
+            for i in 0..m {
+                assert!(
+                    (prod[(i, j)] - pa[(i, j)]).abs() < 1e-10,
+                    "PA != LU at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn panel_factorization_reconstructs() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        for (m, w) in [(1, 1), (4, 4), (8, 3), (20, 20), (33, 7), (64, 16)] {
+            let orig = random_mat(m, w, &mut rng);
+            let mut lu = orig.clone();
+            let piv = lu_panel(&mut lu, 0.0).expect("random panels are nonsingular");
+            check_panel(&orig, &lu, &piv);
+        }
+    }
+
+    #[test]
+    fn pivoting_picks_largest_magnitude() {
+        // First column is [1e-8, 5.0]: row 1 must be chosen.
+        let mut a = DenseMat::from_col_major(2, 2, vec![1e-8, 5.0, 1.0, 2.0]);
+        let piv = lu_panel(&mut a, 0.0).unwrap();
+        assert_eq!(piv.swaps()[0], 1);
+        assert!(!piv.is_identity());
+    }
+
+    #[test]
+    fn singular_panel_reports_column() {
+        let mut a = DenseMat::from_col_major(3, 2, vec![0.0, 0.0, 0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(
+            lu_panel(&mut a, 0.0),
+            Err(PanelError::Singular { column: 0 })
+        );
+        let e = PanelError::Singular { column: 0 };
+        assert!(e.to_string().contains("column 0"));
+    }
+
+    #[test]
+    fn full_lu_solve_residual_small() {
+        let mut rng = SmallRng::seed_from_u64(20);
+        for n in [1usize, 2, 5, 17, 50] {
+            let a = random_mat(n, n, &mut rng);
+            let x_true: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let b = a.matvec(&x_true);
+            let mut lu = a.clone();
+            let piv = lu_full(&mut lu).unwrap();
+            let mut x = b.clone();
+            lu_solve(&lu, &piv, &mut x);
+            let err: f64 = x
+                .iter()
+                .zip(&x_true)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            assert!(err < 1e-8, "n={n}, err={err}");
+        }
+    }
+
+    #[test]
+    fn pivots_vector_application_and_permutation() {
+        // swap sequence: step 0 ↔ row 2, step 1 ↔ row 1 (no-op).
+        let piv = Pivots { swaps: vec![2, 1] };
+        let mut v = vec![10.0, 20.0, 30.0];
+        piv.apply_vec(&mut v);
+        assert_eq!(v, vec![30.0, 20.0, 10.0]);
+        assert_eq!(piv.as_row_permutation(3), vec![2, 1, 0]);
+        assert_eq!(Pivots::identity(3).as_row_permutation(3), vec![0, 1, 2]);
+        assert!(Pivots::identity(2).is_identity());
+        assert_eq!(piv.len(), 2);
+        assert!(!piv.is_empty());
+    }
+
+    #[test]
+    fn threshold_rule_keeps_acceptable_diagonals() {
+        // Column [2.0, -3.0]: partial pivoting swaps; τ = 0.5 keeps the
+        // diagonal (2 ≥ 0.5·3); τ = 0.9 swaps (2 < 0.9·3).
+        let base = DenseMat::from_col_major(2, 2, vec![2.0, -3.0, 1.0, 1.0]);
+        let mut a = base.clone();
+        let p = lu_panel_with_rule(&mut a, PivotRule::Threshold(0.5), 0.0).unwrap();
+        assert!(p.is_identity(), "τ=0.5 must keep the diagonal");
+        let mut b = base.clone();
+        let p = lu_panel_with_rule(&mut b, PivotRule::Threshold(0.9), 0.0).unwrap();
+        assert_eq!(p.swaps()[0], 1, "τ=0.9 must swap");
+        // Either way the factorization is exact.
+        check_panel(&base, &a, &Pivots::identity(2));
+    }
+
+    #[test]
+    fn diagonal_rule_never_swaps_and_fails_on_zero_diagonal() {
+        let mut ok = DenseMat::from_col_major(2, 2, vec![1.0, 5.0, 2.0, 3.0]);
+        let p = lu_panel_with_rule(&mut ok, PivotRule::Diagonal, 0.0).unwrap();
+        assert!(p.is_identity());
+        let mut bad = DenseMat::from_col_major(2, 2, vec![0.0, 5.0, 2.0, 3.0]);
+        assert_eq!(
+            lu_panel_with_rule(&mut bad, PivotRule::Diagonal, 0.0),
+            Err(PanelError::Singular { column: 0 })
+        );
+    }
+
+    #[test]
+    fn threshold_one_equals_partial_pivoting() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let orig = random_mat(12, 6, &mut rng);
+        let mut a = orig.clone();
+        let pa = lu_panel(&mut a, 0.0).unwrap();
+        let mut b = orig.clone();
+        // τ = 1.0 only keeps the diagonal on exact ties; random data has
+        // none, so the factorizations coincide.
+        let pb = lu_panel_with_rule(&mut b, PivotRule::Threshold(1.0), 0.0).unwrap();
+        assert_eq!(pa, pb);
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn threshold_rejects_tiny_pivots() {
+        let mut a = DenseMat::from_col_major(2, 2, vec![1e-30, 1e-31, 1.0, 1.0]);
+        assert!(matches!(
+            lu_panel(&mut a, 1e-20),
+            Err(PanelError::Singular { column: 0 })
+        ));
+    }
+}

@@ -1,0 +1,42 @@
+//! Task dependence graphs and runtimes for the parallel factorization
+//! (Section 4 of the paper).
+//!
+//! The numerical factorization is expressed as tasks `Factor(k)` (factor
+//! block column `k`, choosing its pivot sequence) and `Update(k, j)` (update
+//! block column `j` by block column `k`), exactly as in S*. Two graph
+//! builders are provided:
+//!
+//! * [`build_sstar_graph`] — the S* graph: all updates into a column are
+//!   chained in ascending source order;
+//! * [`build_eforest_graph`] — the paper's contribution: only the *least
+//!   necessary* dependences, derived from the block-level LU elimination
+//!   forest (rules 1–5 of Section 4). Updates from independent subtrees run
+//!   concurrently.
+//!
+//! Two runtimes consume the graphs:
+//!
+//! * [`execute`] — a multithreaded executor with the paper's static 1D
+//!   column-block mapping (our RAPID substitute) or a dynamic shared queue;
+//! * [`simulate`] — a deterministic list-scheduling simulator with a
+//!   flops + latency cost model, used to evaluate processor counts beyond
+//!   the physical cores of the host (DESIGN.md §5, substitution 2).
+
+// Index-based loops are the natural idiom for the numerical kernels and
+// symbolic algorithms in this crate; iterator rewrites obscure the maths.
+#![allow(clippy::needless_range_loop)]
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod executor;
+pub mod fine;
+mod graph;
+mod simulate;
+
+pub use executor::{execute, execute_dag, Mapping};
+pub use fine::{build_fine_graph, simulate_fine, FineGraph, FineTask, Grid};
+pub use graph::{block_forest, build_eforest_graph, build_sstar_graph, Task, TaskGraph};
+pub use simulate::{simulate, simulate_static_order, CostModel, SimResult, TaskCost};
+
+// Re-exported so downstream crates can name the forest type the graph
+// builders consume without an extra dependency edge.
+pub use splu_symbolic::EliminationForest;

@@ -1,0 +1,130 @@
+//! Triplet (coordinate) sparse matrices — the assembly format.
+
+use crate::{CscMatrix, SparseError};
+
+/// A sparse matrix in coordinate (triplet) form.
+///
+/// This is the natural assembly format for generators and file readers;
+/// duplicates are allowed and are **summed** on conversion to [`CscMatrix`],
+/// matching finite-element assembly semantics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CooMatrix {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl CooMatrix {
+    /// An empty `nrows × ncols` matrix.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        CooMatrix {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// An empty matrix with room for `cap` entries.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        CooMatrix {
+            nrows,
+            ncols,
+            rows: Vec::with_capacity(cap),
+            cols: Vec::with_capacity(cap),
+            vals: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored triplets (duplicates counted separately).
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Appends the triplet `(row, col, val)`.
+    ///
+    /// # Panics
+    /// Panics when the indices are out of bounds; generators are trusted
+    /// code, so this is a programming error rather than a recoverable one.
+    pub fn push(&mut self, row: usize, col: usize, val: f64) {
+        assert!(
+            row < self.nrows && col < self.ncols,
+            "triplet ({row}, {col}) outside {}x{}",
+            self.nrows,
+            self.ncols
+        );
+        self.rows.push(row);
+        self.cols.push(col);
+        self.vals.push(val);
+    }
+
+    /// Iterator over stored triplets.
+    pub fn triplets(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.rows
+            .iter()
+            .zip(&self.cols)
+            .zip(&self.vals)
+            .map(|((&r, &c), &v)| (r, c, v))
+    }
+
+    /// Converts to compressed-column form, summing duplicate entries.
+    pub fn to_csc(&self) -> CscMatrix {
+        CscMatrix::from_triplets_iter(self.nrows, self.ncols, self.triplets())
+            .expect("CooMatrix::push already validated the indices")
+    }
+}
+
+impl TryFrom<&CooMatrix> for CscMatrix {
+    type Error = SparseError;
+
+    fn try_from(coo: &CooMatrix) -> Result<Self, Self::Error> {
+        CscMatrix::from_triplets_iter(coo.nrows, coo.ncols, coo.triplets())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_convert_sums_duplicates() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 0, 2.5);
+        coo.push(1, 1, -1.0);
+        assert_eq!(coo.nnz(), 3);
+        let csc = coo.to_csc();
+        assert_eq!(csc.nnz(), 2);
+        assert_eq!(csc.get(0, 0), 3.5);
+        assert_eq!(csc.get(1, 1), -1.0);
+        assert_eq!(csc.get(0, 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn push_rejects_out_of_bounds() {
+        CooMatrix::new(1, 1).push(1, 0, 1.0);
+    }
+
+    #[test]
+    fn with_capacity_and_accessors() {
+        let coo = CooMatrix::with_capacity(3, 4, 10);
+        assert_eq!(coo.nrows(), 3);
+        assert_eq!(coo.ncols(), 4);
+        assert_eq!(coo.nnz(), 0);
+        assert_eq!(coo.triplets().count(), 0);
+    }
+}

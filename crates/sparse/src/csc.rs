@@ -1,0 +1,359 @@
+//! Compressed sparse column matrices — the solver's working format.
+
+use crate::{CsrMatrix, Permutation, SparseError, SparsityPattern};
+
+/// A numeric sparse matrix in compressed-column form.
+///
+/// Values are stored parallel to the pattern's row indices; explicit zeros
+/// are allowed (static symbolic factorization deliberately pads structures).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    pattern: SparsityPattern,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Builds a matrix from a pattern and values of matching length.
+    pub fn from_pattern_values(
+        pattern: SparsityPattern,
+        values: Vec<f64>,
+    ) -> Result<Self, SparseError> {
+        if values.len() != pattern.nnz() {
+            return Err(SparseError::InvalidStructure(format!(
+                "value count {} != nnz {}",
+                values.len(),
+                pattern.nnz()
+            )));
+        }
+        Ok(CscMatrix { pattern, values })
+    }
+
+    /// Builds a matrix with the given pattern and all values zero.
+    pub fn zeros_from_pattern(pattern: SparsityPattern) -> Self {
+        let values = vec![0.0; pattern.nnz()];
+        CscMatrix { pattern, values }
+    }
+
+    /// Builds a matrix from `(row, col, value)` triplets, summing duplicates.
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> Result<Self, SparseError> {
+        Self::from_triplets_iter(nrows, ncols, triplets.iter().copied())
+    }
+
+    /// Iterator-based triplet constructor, summing duplicates.
+    pub fn from_triplets_iter<I>(
+        nrows: usize,
+        ncols: usize,
+        triplets: I,
+    ) -> Result<Self, SparseError>
+    where
+        I: IntoIterator<Item = (usize, usize, f64)>,
+    {
+        let mut per_col: Vec<Vec<(usize, f64)>> = vec![Vec::new(); ncols];
+        for (r, c, v) in triplets {
+            if r >= nrows || c >= ncols {
+                return Err(SparseError::IndexOutOfBounds {
+                    row: r,
+                    col: c,
+                    nrows,
+                    ncols,
+                });
+            }
+            per_col[c].push((r, v));
+        }
+        let mut col_ptr = Vec::with_capacity(ncols + 1);
+        let mut row_idx = Vec::new();
+        let mut values = Vec::new();
+        col_ptr.push(0);
+        for col in &mut per_col {
+            col.sort_unstable_by_key(|&(r, _)| r);
+            let mut it = col.iter().copied().peekable();
+            while let Some((r, mut v)) = it.next() {
+                while matches!(it.peek(), Some(&(r2, _)) if r2 == r) {
+                    v += it.next().unwrap().1;
+                }
+                row_idx.push(r);
+                values.push(v);
+            }
+            col_ptr.push(row_idx.len());
+        }
+        let pattern = SparsityPattern::new(nrows, ncols, col_ptr, row_idx)?;
+        Ok(CscMatrix { pattern, values })
+    }
+
+    /// The dense `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        CscMatrix {
+            pattern: SparsityPattern::identity(n),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.pattern.nrows()
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.pattern.ncols()
+    }
+
+    /// Number of stored entries (including explicit zeros).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.pattern.nnz()
+    }
+
+    /// Borrow the structure.
+    #[inline]
+    pub fn pattern(&self) -> &SparsityPattern {
+        &self.pattern
+    }
+
+    /// Borrow the value array (parallel to `pattern().row_indices()`).
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable borrow of the value array.
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Row indices and values of column `j`.
+    pub fn col(&self, j: usize) -> (&[usize], &[f64]) {
+        let lo = self.pattern.col_ptr()[j];
+        let hi = self.pattern.col_ptr()[j + 1];
+        (&self.pattern.row_indices()[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Value at `(i, j)`, zero when not stored.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (rows, vals) = self.col(j);
+        match rows.binary_search(&i) {
+            Ok(k) => vals[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterator over `(row, col, value)` in column-major order.
+    pub fn triplets(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.ncols()).flat_map(move |j| {
+            let (rows, vals) = self.col(j);
+            rows.iter().zip(vals).map(move |(&i, &v)| (i, j, v))
+        })
+    }
+
+    /// `y ← y + A x`.
+    pub fn mat_vec_add(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols());
+        assert_eq!(y.len(), self.nrows());
+        for j in 0..self.ncols() {
+            let xj = x[j];
+            if xj == 0.0 {
+                continue;
+            }
+            let (rows, vals) = self.col(j);
+            for (&i, &v) in rows.iter().zip(vals) {
+                y[i] += v * xj;
+            }
+        }
+    }
+
+    /// `y ← y − A x`.
+    pub fn mat_vec_sub(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols());
+        assert_eq!(y.len(), self.nrows());
+        for j in 0..self.ncols() {
+            let xj = x[j];
+            if xj == 0.0 {
+                continue;
+            }
+            let (rows, vals) = self.col(j);
+            for (&i, &v) in rows.iter().zip(vals) {
+                y[i] -= v * xj;
+            }
+        }
+    }
+
+    /// `y = A x` into a fresh vector.
+    pub fn mat_vec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.nrows()];
+        self.mat_vec_add(x, &mut y);
+        y
+    }
+
+    /// Infinity norm: maximum absolute row sum.
+    pub fn inf_norm(&self) -> f64 {
+        let mut row_sum = vec![0.0_f64; self.nrows()];
+        for (i, _, v) in self.triplets() {
+            row_sum[i] += v.abs();
+        }
+        row_sum.iter().fold(0.0_f64, |m, &s| m.max(s))
+    }
+
+    /// One norm: maximum absolute column sum.
+    pub fn one_norm(&self) -> f64 {
+        (0..self.ncols())
+            .map(|j| self.col(j).1.iter().map(|v| v.abs()).sum::<f64>())
+            .fold(0.0_f64, f64::max)
+    }
+
+    /// Transposed matrix.
+    pub fn transpose(&self) -> CscMatrix {
+        CscMatrix::from_triplets_iter(
+            self.ncols(),
+            self.nrows(),
+            self.triplets().map(|(i, j, v)| (j, i, v)),
+        )
+        .expect("transpose preserves validity")
+    }
+
+    /// Permuted matrix `B[i][j] = A[rp[i]][cp[j]]`.
+    pub fn permuted(&self, row_perm: &Permutation, col_perm: &Permutation) -> CscMatrix {
+        assert_eq!(row_perm.len(), self.nrows());
+        assert_eq!(col_perm.len(), self.ncols());
+        CscMatrix::from_triplets_iter(
+            self.nrows(),
+            self.ncols(),
+            self.triplets()
+                .map(|(i, j, v)| (row_perm.new_of(i), col_perm.new_of(j), v)),
+        )
+        .expect("permutation preserves validity")
+    }
+
+    /// Conversion to compressed-row form.
+    pub fn to_csr(&self) -> CsrMatrix {
+        CsrMatrix::from_triplets_iter(self.nrows(), self.ncols(), self.triplets())
+            .expect("valid matrix converts")
+    }
+
+    /// Dense column-major dump: element `(i, j)` at `out[i + j * nrows]`.
+    pub fn to_dense_col_major(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.nrows() * self.ncols()];
+        for (i, j, v) in self.triplets() {
+            out[i + j * self.nrows()] += v;
+        }
+        out
+    }
+
+    /// Drops stored entries with `|value| <= tol`, returning the count removed.
+    pub fn prune(&mut self, tol: f64) -> usize {
+        let before = self.nnz();
+        let kept: Vec<(usize, usize, f64)> =
+            self.triplets().filter(|&(_, _, v)| v.abs() > tol).collect();
+        *self = CscMatrix::from_triplets_iter(self.nrows(), self.ncols(), kept)
+            .expect("pruning preserves validity");
+        before - self.nnz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CscMatrix {
+        // [ 1  0  2 ]
+        // [ 0 -3  0 ]
+        // [ 4  0  5 ]
+        CscMatrix::from_triplets(
+            3,
+            3,
+            &[
+                (0, 0, 1.0),
+                (2, 0, 4.0),
+                (1, 1, -3.0),
+                (0, 2, 2.0),
+                (2, 2, 5.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn get_and_col_access() {
+        let a = sample();
+        assert_eq!(a.get(0, 0), 1.0);
+        assert_eq!(a.get(1, 0), 0.0);
+        let (rows, vals) = a.col(2);
+        assert_eq!(rows, &[0, 2]);
+        assert_eq!(vals, &[2.0, 5.0]);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let a = sample();
+        let y = a.mat_vec(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![1.0 + 6.0, -6.0, 4.0 + 15.0]);
+    }
+
+    #[test]
+    fn norms() {
+        let a = sample();
+        assert_eq!(a.inf_norm(), 9.0); // row 2: 4 + 5
+        assert_eq!(a.one_norm(), 7.0); // col 2: 2 + 5
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = sample();
+        let at = a.transpose();
+        assert_eq!(at.get(0, 2), 4.0);
+        assert_eq!(at.transpose(), a);
+    }
+
+    #[test]
+    fn permuted_matches_definition() {
+        let a = sample();
+        let rp = Permutation::from_vec(vec![2, 0, 1]).unwrap();
+        let cp = Permutation::from_vec(vec![1, 2, 0]).unwrap();
+        let b = a.permuted(&rp, &cp);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(b.get(i, j), a.get(rp.old_of(i), cp.old_of(j)));
+            }
+        }
+    }
+
+    #[test]
+    fn identity_and_dense_dump() {
+        let i3 = CscMatrix::identity(3);
+        assert_eq!(i3.nnz(), 3);
+        let d = i3.to_dense_col_major();
+        assert_eq!(d[0], 1.0);
+        assert_eq!(d[1], 0.0);
+        assert_eq!(d[2 + 2 * 3], 1.0);
+    }
+
+    #[test]
+    fn prune_drops_small_entries() {
+        let mut a = CscMatrix::from_triplets(2, 2, &[(0, 0, 1e-20), (1, 1, 2.0)]).unwrap();
+        assert_eq!(a.prune(1e-12), 1);
+        assert_eq!(a.nnz(), 1);
+        assert_eq!(a.get(1, 1), 2.0);
+    }
+
+    #[test]
+    fn from_pattern_values_validates_length() {
+        let p = SparsityPattern::identity(2);
+        assert!(CscMatrix::from_pattern_values(p.clone(), vec![1.0]).is_err());
+        let m = CscMatrix::from_pattern_values(p.clone(), vec![1.0, 2.0]).unwrap();
+        assert_eq!(m.get(1, 1), 2.0);
+        let z = CscMatrix::zeros_from_pattern(p);
+        assert_eq!(z.get(0, 0), 0.0);
+        assert_eq!(z.nnz(), 2);
+    }
+
+    #[test]
+    fn triplet_constructor_rejects_out_of_bounds() {
+        assert!(CscMatrix::from_triplets(1, 1, &[(0, 1, 1.0)]).is_err());
+    }
+}

@@ -1,0 +1,73 @@
+//! Error type shared by the sparse substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing or parsing sparse matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// An index was outside the matrix dimensions.
+    IndexOutOfBounds {
+        /// Row index of the offending entry.
+        row: usize,
+        /// Column index of the offending entry.
+        col: usize,
+        /// Number of rows of the matrix.
+        nrows: usize,
+        /// Number of columns of the matrix.
+        ncols: usize,
+    },
+    /// A compressed structure was internally inconsistent.
+    InvalidStructure(String),
+    /// A permutation vector was not a bijection on `0..n`.
+    InvalidPermutation(String),
+    /// A file could not be parsed.
+    Parse(String),
+    /// An I/O error occurred (message only, to keep the type `Eq`).
+    Io(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds {
+                row,
+                col,
+                nrows,
+                ncols,
+            } => write!(
+                f,
+                "entry ({row}, {col}) outside matrix dimensions {nrows}x{ncols}"
+            ),
+            SparseError::InvalidStructure(msg) => write!(f, "invalid sparse structure: {msg}"),
+            SparseError::InvalidPermutation(msg) => write!(f, "invalid permutation: {msg}"),
+            SparseError::Parse(msg) => write!(f, "parse error: {msg}"),
+            SparseError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+impl From<std::io::Error> for SparseError {
+    fn from(e: std::io::Error) -> Self {
+        SparseError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SparseError::IndexOutOfBounds {
+            row: 5,
+            col: 1,
+            nrows: 3,
+            ncols: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("(5, 1)") && s.contains("3x3"));
+        assert!(SparseError::Parse("bad".into()).to_string().contains("bad"));
+    }
+}

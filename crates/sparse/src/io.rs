@@ -1,0 +1,538 @@
+//! Matrix file formats: Matrix Market and Harwell–Boeing.
+//!
+//! The paper's experiments use matrices from the Harwell–Boeing collection
+//! and Tim Davis's (then ftp-hosted) collection. Those files are not shipped
+//! with this repository, so the benchmark harness uses the synthetic
+//! generators in `splu-matgen`; these readers exist so the real files can be
+//! dropped in when available (see DESIGN.md §5).
+
+use std::fs;
+use std::path::Path;
+
+use crate::{CooMatrix, CscMatrix, SparseError};
+
+/// Reads a Matrix Market file (`coordinate real/integer/pattern`,
+/// `general`/`symmetric`/`skew-symmetric`).
+///
+/// Pattern entries get value `1.0`; symmetric storage is expanded.
+pub fn read_matrix_market(path: &Path) -> Result<CscMatrix, SparseError> {
+    let text = fs::read_to_string(path)?;
+    parse_matrix_market(&text)
+}
+
+/// Parses Matrix Market text. See [`read_matrix_market`].
+pub fn parse_matrix_market(text: &str) -> Result<CscMatrix, SparseError> {
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| SparseError::Parse("empty file".into()))?;
+    let header_lc = header.to_ascii_lowercase();
+    if !header_lc.starts_with("%%matrixmarket") {
+        return Err(SparseError::Parse("missing MatrixMarket banner".into()));
+    }
+    let toks: Vec<&str> = header_lc.split_whitespace().collect();
+    if toks.len() < 5 || toks[1] != "matrix" || toks[2] != "coordinate" {
+        return Err(SparseError::Parse(
+            "only `matrix coordinate` files are supported".into(),
+        ));
+    }
+    let field = toks[3];
+    let symmetry = toks[4];
+    if !matches!(field, "real" | "integer" | "pattern") {
+        return Err(SparseError::Parse(format!("unsupported field `{field}`")));
+    }
+    if !matches!(symmetry, "general" | "symmetric" | "skew-symmetric") {
+        return Err(SparseError::Parse(format!(
+            "unsupported symmetry `{symmetry}`"
+        )));
+    }
+
+    let mut data = lines.filter(|l| !l.trim_start().starts_with('%') && !l.trim().is_empty());
+    let size_line = data
+        .next()
+        .ok_or_else(|| SparseError::Parse("missing size line".into()))?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| {
+            t.parse::<usize>()
+                .map_err(|_| SparseError::Parse(format!("bad size token `{t}`")))
+        })
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 3 {
+        return Err(SparseError::Parse("size line must have 3 fields".into()));
+    }
+    let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut coo = CooMatrix::with_capacity(nrows, ncols, nnz);
+    let mut seen = 0usize;
+    for line in data {
+        let mut it = line.split_whitespace();
+        let r: usize = it
+            .next()
+            .ok_or_else(|| SparseError::Parse("missing row index".into()))?
+            .parse()
+            .map_err(|_| SparseError::Parse("bad row index".into()))?;
+        let c: usize = it
+            .next()
+            .ok_or_else(|| SparseError::Parse("missing column index".into()))?
+            .parse()
+            .map_err(|_| SparseError::Parse("bad column index".into()))?;
+        let v: f64 = if field == "pattern" {
+            1.0
+        } else {
+            it.next()
+                .ok_or_else(|| SparseError::Parse("missing value".into()))?
+                .parse()
+                .map_err(|_| SparseError::Parse("bad value".into()))?
+        };
+        if r == 0 || c == 0 || r > nrows || c > ncols {
+            return Err(SparseError::IndexOutOfBounds {
+                row: r,
+                col: c,
+                nrows,
+                ncols,
+            });
+        }
+        let (r, c) = (r - 1, c - 1);
+        coo.push(r, c, v);
+        match symmetry {
+            "symmetric" if r != c => coo.push(c, r, v),
+            "skew-symmetric" if r != c => coo.push(c, r, -v),
+            _ => {}
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(SparseError::Parse(format!(
+            "expected {nnz} entries, found {seen}"
+        )));
+    }
+    Ok(coo.to_csc())
+}
+
+/// Writes a matrix in Matrix Market `coordinate real general` format.
+pub fn write_matrix_market(m: &CscMatrix, path: &Path) -> Result<(), SparseError> {
+    Ok(fs::write(path, format_matrix_market(m))?)
+}
+
+/// Formats a matrix as Matrix Market text. See [`write_matrix_market`].
+pub fn format_matrix_market(m: &CscMatrix) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    out.push_str("%%MatrixMarket matrix coordinate real general\n");
+    let _ = writeln!(out, "{} {} {}", m.nrows(), m.ncols(), m.nnz());
+    for (i, j, v) in m.triplets() {
+        let _ = writeln!(out, "{} {} {:.17e}", i + 1, j + 1, v);
+    }
+    out
+}
+
+/// A parsed Fortran edit descriptor like `(16I5)` or `(4E20.12)`.
+struct FortranFormat {
+    /// Field width in characters.
+    width: usize,
+}
+
+fn parse_fortran_format(spec: &str) -> Result<FortranFormat, SparseError> {
+    // Accept shapes like (16I5), (4E20.12), (1P5D16.8), (10I8), (3(1P,E25.16)).
+    let s: String = spec
+        .trim()
+        .trim_start_matches('(')
+        .trim_end_matches(')')
+        .chars()
+        .filter(|c| !c.is_whitespace())
+        .collect();
+    // Find the conversion character (I, E, D, F, G) scanning left to right,
+    // skipping scale factors like `1P`.
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i].to_ascii_uppercase();
+        if matches!(c, b'I' | b'E' | b'D' | b'F' | b'G') {
+            // Width is the integer right after the conversion char.
+            let rest = &s[i + 1..];
+            let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+            let width: usize = digits
+                .parse()
+                .map_err(|_| SparseError::Parse(format!("bad format `{spec}`")))?;
+            if width == 0 {
+                return Err(SparseError::Parse(format!("zero width in `{spec}`")));
+            }
+            return Ok(FortranFormat { width });
+        }
+        i += 1;
+    }
+    Err(SparseError::Parse(format!(
+        "no conversion character in format `{spec}`"
+    )))
+}
+
+/// Extracts `count` fixed-width fields from consecutive `lines`.
+fn read_fixed_fields<'a, I>(
+    lines: &mut I,
+    fmt: &FortranFormat,
+    count: usize,
+) -> Result<Vec<String>, SparseError>
+where
+    I: Iterator<Item = &'a str>,
+{
+    let mut fields = Vec::with_capacity(count);
+    while fields.len() < count {
+        let line = lines
+            .next()
+            .ok_or_else(|| SparseError::Parse("unexpected end of file".into()))?;
+        let chars: Vec<char> = line.chars().collect();
+        let mut pos = 0;
+        while pos < chars.len() && fields.len() < count {
+            let end = (pos + fmt.width).min(chars.len());
+            let field: String = chars[pos..end].iter().collect();
+            if !field.trim().is_empty() {
+                fields.push(field.trim().to_string());
+            }
+            pos = end;
+        }
+    }
+    Ok(fields)
+}
+
+/// Reads a Harwell–Boeing (`*.rua` / `*.rsa`) matrix file.
+///
+/// Supports real assembled matrices (`RUA`, `RSA`, `RUS`-style type codes
+/// beginning `R?A`); symmetric storage is expanded. Right-hand sides, if
+/// present, are ignored.
+pub fn read_harwell_boeing(path: &Path) -> Result<CscMatrix, SparseError> {
+    let text = fs::read_to_string(path)?;
+    parse_harwell_boeing(&text)
+}
+
+/// Parses Harwell–Boeing text. See [`read_harwell_boeing`].
+pub fn parse_harwell_boeing(text: &str) -> Result<CscMatrix, SparseError> {
+    let mut lines = text.lines();
+    let _title = lines
+        .next()
+        .ok_or_else(|| SparseError::Parse("empty file".into()))?;
+    let card_line = lines
+        .next()
+        .ok_or_else(|| SparseError::Parse("missing card-count line".into()))?;
+    let cards: Vec<usize> = card_line
+        .split_whitespace()
+        .take(5)
+        .map(|t| {
+            t.parse::<usize>()
+                .map_err(|_| SparseError::Parse(format!("bad card count `{t}`")))
+        })
+        .collect::<Result<_, _>>()?;
+    if cards.len() < 4 {
+        return Err(SparseError::Parse("short card-count line".into()));
+    }
+    let valcrd = cards[3];
+
+    let type_line = lines
+        .next()
+        .ok_or_else(|| SparseError::Parse("missing type line".into()))?;
+    let mut tl = type_line.split_whitespace();
+    let mxtype = tl
+        .next()
+        .ok_or_else(|| SparseError::Parse("missing matrix type".into()))?
+        .to_ascii_uppercase();
+    let dims: Vec<usize> = tl
+        .take(3)
+        .map(|t| {
+            t.parse::<usize>()
+                .map_err(|_| SparseError::Parse(format!("bad dimension `{t}`")))
+        })
+        .collect::<Result<_, _>>()?;
+    if dims.len() < 3 {
+        return Err(SparseError::Parse("short type line".into()));
+    }
+    let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+    let mut ty = mxtype.chars();
+    let value_type = ty.next().unwrap_or('R');
+    let symmetry = ty.next().unwrap_or('U');
+    let assembled = ty.next().unwrap_or('A');
+    if assembled != 'A' {
+        return Err(SparseError::Parse("elemental matrices unsupported".into()));
+    }
+    if !matches!(value_type, 'R' | 'P') {
+        return Err(SparseError::Parse(format!(
+            "unsupported value type `{value_type}`"
+        )));
+    }
+
+    let fmt_line = lines
+        .next()
+        .ok_or_else(|| SparseError::Parse("missing format line".into()))?;
+    // The format line contains 3-4 parenthesized descriptors; split on ')'.
+    let specs: Vec<String> = fmt_line
+        .split(')')
+        .filter(|s| s.contains('('))
+        .map(|s| format!("{s})"))
+        .collect();
+    if specs.len() < 2 {
+        return Err(SparseError::Parse("format line too short".into()));
+    }
+    let ptr_fmt = parse_fortran_format(&specs[0])?;
+    let ind_fmt = parse_fortran_format(&specs[1])?;
+    let val_fmt = if specs.len() > 2 && valcrd > 0 {
+        Some(parse_fortran_format(&specs[2])?)
+    } else {
+        None
+    };
+    // Skip optional RHS descriptor line (present when rhscrd > 0).
+    if cards.len() >= 5 && cards[4] > 0 {
+        lines
+            .next()
+            .ok_or_else(|| SparseError::Parse("missing RHS format line".into()))?;
+    }
+
+    let ptr_fields = read_fixed_fields(&mut lines, &ptr_fmt, ncols + 1)?;
+    let ind_fields = read_fixed_fields(&mut lines, &ind_fmt, nnz)?;
+    let col_ptr: Vec<usize> = ptr_fields
+        .iter()
+        .map(|t| {
+            t.parse::<usize>()
+                .map_err(|_| SparseError::Parse(format!("bad pointer `{t}`")))
+        })
+        .collect::<Result<_, _>>()?;
+    let row_idx: Vec<usize> = ind_fields
+        .iter()
+        .map(|t| {
+            t.parse::<usize>()
+                .map_err(|_| SparseError::Parse(format!("bad index `{t}`")))
+        })
+        .collect::<Result<_, _>>()?;
+    let values: Vec<f64> = if let Some(vf) = &val_fmt {
+        read_fixed_fields(&mut lines, vf, nnz)?
+            .iter()
+            .map(|t| {
+                t.replace(['D', 'd'], "E")
+                    .parse::<f64>()
+                    .map_err(|_| SparseError::Parse(format!("bad value `{t}`")))
+            })
+            .collect::<Result<_, _>>()?
+    } else {
+        vec![1.0; nnz]
+    };
+
+    let mut coo = CooMatrix::with_capacity(nrows, ncols, nnz * 2);
+    for j in 0..ncols {
+        let lo = col_ptr[j]
+            .checked_sub(1)
+            .ok_or_else(|| SparseError::Parse("zero column pointer".into()))?;
+        let hi = col_ptr[j + 1] - 1;
+        if hi > nnz || lo > hi {
+            return Err(SparseError::Parse("inconsistent column pointers".into()));
+        }
+        for k in lo..hi {
+            let i = row_idx[k]
+                .checked_sub(1)
+                .ok_or_else(|| SparseError::Parse("zero row index".into()))?;
+            coo.push(i, j, values[k]);
+            if symmetry == 'S' && i != j {
+                coo.push(j, i, values[k]);
+            }
+            if symmetry == 'Z' && i != j {
+                coo.push(j, i, -values[k]);
+            }
+        }
+    }
+    Ok(coo.to_csc())
+}
+
+/// Writes a matrix as a Harwell–Boeing `RUA` (real, unsymmetric,
+/// assembled) file.
+pub fn write_harwell_boeing(m: &CscMatrix, title: &str, path: &Path) -> Result<(), SparseError> {
+    Ok(fs::write(path, format_harwell_boeing(m, title))?)
+}
+
+/// Formats a matrix as Harwell–Boeing `RUA` text. See
+/// [`write_harwell_boeing`].
+pub fn format_harwell_boeing(m: &CscMatrix, title: &str) -> String {
+    use std::fmt::Write;
+    let ncols = m.ncols();
+    let nnz = m.nnz();
+    // Fixed formats: pointers/indices as I10 (8 per line), values as
+    // E24.16 (3 per line) — wide enough for any index and full precision.
+    let per_line_int = 8usize;
+    let per_line_val = 3usize;
+    let ptrcrd = (ncols + 1).div_ceil(per_line_int);
+    let indcrd = nnz.div_ceil(per_line_int).max(0);
+    let valcrd = nnz.div_ceil(per_line_val).max(0);
+    let totcrd = ptrcrd + indcrd + valcrd;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<72}{:<8}", title.chars().take(72).collect::<String>(), "parsplu");
+    let _ = writeln!(out, "{totcrd:>14}{ptrcrd:>14}{indcrd:>14}{valcrd:>14}{:>14}", 0);
+    let _ = writeln!(
+        out,
+        "{:<14}{:>14}{:>14}{:>14}{:>14}",
+        "RUA",
+        m.nrows(),
+        ncols,
+        nnz,
+        0
+    );
+    let _ = writeln!(out, "{:<16}{:<16}{:<20}", "(8I10)", "(8I10)", "(3E24.16)");
+
+    let write_ints = |out: &mut String, vals: &mut dyn Iterator<Item = usize>| {
+        let mut count = 0;
+        for v in vals {
+            let _ = write!(out, "{v:>10}");
+            count += 1;
+            if count % per_line_int == 0 {
+                out.push('\n');
+            }
+        }
+        if count % per_line_int != 0 {
+            out.push('\n');
+        }
+    };
+    // 1-based column pointers.
+    let mut ptrs = m.pattern().col_ptr().iter().map(|&p| p + 1);
+    write_ints(&mut out, &mut ptrs);
+    let mut rows = m.pattern().row_indices().iter().map(|&r| r + 1);
+    write_ints(&mut out, &mut rows);
+    let mut count = 0;
+    for &v in m.values() {
+        let _ = write!(out, "{v:>24.16E}");
+        count += 1;
+        if count % per_line_val == 0 {
+            out.push('\n');
+        }
+    }
+    if count % per_line_val != 0 {
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_market_roundtrip() {
+        let a = CscMatrix::from_triplets(
+            3,
+            2,
+            &[(0, 0, 1.5), (2, 0, -2.0), (1, 1, 3.25)],
+        )
+        .unwrap();
+        let text = format_matrix_market(&a);
+        let b = parse_matrix_market(&text).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn matrix_market_symmetric_expansion() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    % comment\n\
+                    2 2 2\n\
+                    1 1 4.0\n\
+                    2 1 1.0\n";
+        let a = parse_matrix_market(text).unwrap();
+        assert_eq!(a.get(0, 1), 1.0);
+        assert_eq!(a.get(1, 0), 1.0);
+        assert_eq!(a.get(0, 0), 4.0);
+        assert_eq!(a.nnz(), 3);
+    }
+
+    #[test]
+    fn matrix_market_pattern_and_errors() {
+        let ok = "%%MatrixMarket matrix coordinate pattern general\n1 1 1\n1 1\n";
+        assert_eq!(parse_matrix_market(ok).unwrap().get(0, 0), 1.0);
+        assert!(parse_matrix_market("nonsense").is_err());
+        let wrong_count = "%%MatrixMarket matrix coordinate real general\n1 1 2\n1 1 1.0\n";
+        assert!(parse_matrix_market(wrong_count).is_err());
+        let oob = "%%MatrixMarket matrix coordinate real general\n1 1 1\n2 1 1.0\n";
+        assert!(parse_matrix_market(oob).is_err());
+    }
+
+    #[test]
+    fn fortran_format_parsing() {
+        assert_eq!(parse_fortran_format("(16I5)").unwrap().width, 5);
+        assert_eq!(parse_fortran_format("(4E20.12)").unwrap().width, 20);
+        assert_eq!(parse_fortran_format("(1P5D16.8)").unwrap().width, 16);
+        assert!(parse_fortran_format("(XYZ)").is_err());
+    }
+
+    #[test]
+    fn harwell_boeing_tiny_rua() {
+        // 3x3 matrix, columns: {(1,1)=1, (3,1)=4}, {(2,2)=3}, {(1,3)=2, (3,3)=5}
+        let text = "\
+tiny example                                                            tiny
+             5             1             2             2             0
+RUA                        3             3             5             0
+(6I3)           (8I3)           (4E16.8)
+  1  3  4  6
+  1  3  2  1  3
+  1.00000000E+00  4.00000000E+00  3.00000000E+00  2.00000000E+00  5.00000000E+00
+";
+        let a = parse_harwell_boeing(text).unwrap();
+        assert_eq!(a.nrows(), 3);
+        assert_eq!(a.nnz(), 5);
+        assert_eq!(a.get(0, 0), 1.0);
+        assert_eq!(a.get(2, 0), 4.0);
+        assert_eq!(a.get(1, 1), 3.0);
+        assert_eq!(a.get(0, 2), 2.0);
+        assert_eq!(a.get(2, 2), 5.0);
+    }
+
+    #[test]
+    fn harwell_boeing_symmetric_expansion() {
+        let text = "\
+sym example                                                             sym
+             4             1             1             1             0
+RSA                        2             2             2             0
+(6I3)           (8I3)           (4E16.8)
+  1  3  3
+  1  2
+  2.00000000E+00 -1.00000000E+00
+";
+        let a = parse_harwell_boeing(text).unwrap();
+        assert_eq!(a.get(0, 0), 2.0);
+        assert_eq!(a.get(1, 0), -1.0);
+        assert_eq!(a.get(0, 1), -1.0);
+    }
+
+    #[test]
+    fn harwell_boeing_writer_roundtrips() {
+        let a = CscMatrix::from_triplets(
+            4,
+            3,
+            &[
+                (0, 0, 1.5),
+                (3, 0, -2.25e-7),
+                (1, 1, 3.0),
+                (0, 2, 4.125e9),
+                (2, 2, -5.5),
+            ],
+        )
+        .unwrap();
+        let text = format_harwell_boeing(&a, "roundtrip test");
+        let b = parse_harwell_boeing(&text).unwrap();
+        assert_eq!(a.pattern(), b.pattern());
+        for ((_, _, va), (_, _, vb)) in a.triplets().zip(b.triplets()) {
+            assert!((va - vb).abs() <= 1e-15 * va.abs().max(1.0), "{va} vs {vb}");
+        }
+    }
+
+    #[test]
+    fn harwell_boeing_writer_handles_empty_columns() {
+        let a = CscMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (1, 2, 2.0)]).unwrap();
+        let text = format_harwell_boeing(&a, "empties");
+        let b = parse_harwell_boeing(&text).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn read_write_files() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("parsplu_io_test.mtx");
+        let a = CscMatrix::identity(4);
+        write_matrix_market(&a, &path).unwrap();
+        let b = read_matrix_market(&path).unwrap();
+        assert_eq!(a, b);
+        let _ = std::fs::remove_file(&path);
+    }
+}

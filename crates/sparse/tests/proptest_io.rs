@@ -1,0 +1,55 @@
+//! Property tests for the file formats: arbitrary matrices must survive a
+//! Matrix Market or Harwell–Boeing round-trip exactly.
+
+use proptest::prelude::*;
+use splu_sparse::io::{
+    format_harwell_boeing, format_matrix_market, parse_harwell_boeing, parse_matrix_market,
+};
+use splu_sparse::CscMatrix;
+
+fn arb_matrix() -> impl Strategy<Value = CscMatrix> {
+    (1usize..12, 1usize..12).prop_flat_map(|(nrows, ncols)| {
+        proptest::collection::vec(
+            (0..nrows, 0..ncols, -1e6f64..1e6),
+            0..(nrows * ncols).min(40),
+        )
+        .prop_map(move |trips| {
+            CscMatrix::from_triplets(nrows, ncols, &trips).expect("in range")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn matrix_market_roundtrip_is_exact(a in arb_matrix()) {
+        let text = format_matrix_market(&a);
+        let b = parse_matrix_market(&text).expect("own output parses");
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn harwell_boeing_roundtrip_preserves_structure_and_values(a in arb_matrix()) {
+        let text = format_harwell_boeing(&a, "proptest");
+        let b = parse_harwell_boeing(&text).expect("own output parses");
+        prop_assert_eq!(a.pattern(), b.pattern());
+        for ((_, _, va), (_, _, vb)) in a.triplets().zip(b.triplets()) {
+            prop_assert!(
+                (va - vb).abs() <= 1e-12 * va.abs().max(1.0),
+                "value drift: {} vs {}", va, vb
+            );
+        }
+    }
+
+    /// Values with extreme magnitudes survive (format width is sufficient).
+    #[test]
+    fn extreme_values_roundtrip(exp in -300i32..300) {
+        let v = 1.2345678901234567 * 10f64.powi(exp);
+        let a = CscMatrix::from_triplets(1, 1, &[(0, 0, v)]).expect("valid");
+        let mm = parse_matrix_market(&format_matrix_market(&a)).expect("parses");
+        prop_assert_eq!(mm.get(0, 0), v);
+        let hb = parse_harwell_boeing(&format_harwell_boeing(&a, "x")).expect("parses");
+        prop_assert!((hb.get(0, 0) - v).abs() <= 1e-12 * v.abs());
+    }
+}

@@ -1,0 +1,215 @@
+//! Postordering the LU elimination forest (Section 3).
+//!
+//! The paper proves (Theorem 3) that symmetrically permuting `Ā` by a
+//! postorder of its LU eforest leaves the static symbolic factorization
+//! unchanged — only the labels move. The payoff is twofold:
+//!
+//! * supernodes become **contiguous** (columns of a supernode are siblings /
+//!   chains in the forest, and a postorder lays each subtree out
+//!   consecutively), enlarging the dense blocks handed to the BLAS-3
+//!   kernels;
+//! * the permuted matrix is **block upper triangular**: each tree of the
+//!   forest becomes one diagonal block, and all coupling between trees lies
+//!   strictly above the diagonal blocks (a consequence of the Theorem 1–2
+//!   characterizations).
+//!
+//! The paper's `postorder(...)` pseudo-code performs adjacent interchanges;
+//! like the authors ("for the ease of implementation, we preferred to code
+//! the postorder depth-first search"), we implement the DFS directly.
+
+use crate::eforest::EliminationForest;
+use crate::static_fact::FilledLu;
+use splu_sparse::Permutation;
+
+/// Computes the postorder permutation of the filled structure's eforest.
+///
+/// Returns the symmetric permutation `P` (rows and columns) to apply to
+/// `Ā` — and, by Theorem 3, equivalently to `A` before re-running the
+/// static symbolic factorization. Trees are visited in ascending root
+/// order and children in ascending order, so an already-postordered
+/// structure yields the identity.
+pub fn postorder_permutation(f: &FilledLu) -> Permutation {
+    EliminationForest::from_filled(f).postorder()
+}
+
+/// A contiguous diagonal block of the block-upper-triangular decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BtfBlock {
+    /// First (new-label) column of the block.
+    pub start: usize,
+    /// One past the last column of the block.
+    pub end: usize,
+}
+
+impl BtfBlock {
+    /// Number of columns in the block.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` for an empty range (never produced by the decomposition).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Block-upper-triangular decomposition induced by a **postordered**
+/// eforest: one diagonal block per tree, in label order.
+///
+/// # Panics
+/// Panics when the forest is not postordered (run
+/// [`postorder_permutation`] and relabel first).
+pub fn block_triangular_form(forest: &EliminationForest) -> Vec<BtfBlock> {
+    assert!(
+        forest.is_postordered(),
+        "block_triangular_form requires a postordered forest"
+    );
+    let sizes = forest.subtree_sizes();
+    let mut blocks = Vec::new();
+    let mut start = 0usize;
+    for root in forest.roots() {
+        // In a postorder with trees in ascending order, each tree occupies
+        // [root + 1 - size, root].
+        let lo = root + 1 - sizes[root];
+        debug_assert_eq!(lo, start, "trees must tile the index range");
+        blocks.push(BtfBlock {
+            start: lo,
+            end: root + 1,
+        });
+        start = root + 1;
+    }
+    debug_assert_eq!(start, forest.n());
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::fig1_pattern;
+    use crate::static_fact::static_symbolic_factorization;
+    use splu_sparse::SparsityPattern;
+
+    fn random_pattern(n: usize, extra: usize, seed: u64) -> SparsityPattern {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut entries: Vec<(usize, usize)> = (0..n).map(|i| (i, i)).collect();
+        for _ in 0..extra {
+            entries.push((rng.gen_range(0..n), rng.gen_range(0..n)));
+        }
+        SparsityPattern::from_entries(n, n, entries).unwrap()
+    }
+
+    /// Theorem 3: permuting `A` by the postorder and re-running the static
+    /// symbolic factorization gives exactly the permuted `Ā`.
+    #[test]
+    fn theorem3_static_factorization_invariance() {
+        for (n, extra, seed) in [(7, 10, 1u64), (15, 25, 2), (25, 50, 3), (40, 60, 4)] {
+            let p = random_pattern(n, extra, seed);
+            let f = static_symbolic_factorization(&p).unwrap();
+            let po = postorder_permutation(&f);
+            let permuted_a = p.permuted(&po, &po);
+            let f2 = static_symbolic_factorization(&permuted_a).unwrap();
+            assert_eq!(
+                f2.l,
+                f.l.permuted(&po, &po),
+                "L̄ changed under postorder (n={n}, seed={seed})"
+            );
+            assert_eq!(
+                f2.u,
+                f.u.permuted(&po, &po),
+                "Ū changed under postorder (n={n}, seed={seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem3_on_fig1() {
+        let p = fig1_pattern();
+        let f = static_symbolic_factorization(&p).unwrap();
+        let po = postorder_permutation(&f);
+        let f2 = static_symbolic_factorization(&p.permuted(&po, &po)).unwrap();
+        assert_eq!(f2.filled_pattern(), f.filled_pattern().permuted(&po, &po));
+    }
+
+    /// The postorder preserves the zero-free diagonal (the paper reorders
+    /// rows and columns symmetrically exactly for this reason).
+    #[test]
+    fn postorder_preserves_diagonal() {
+        for seed in 0..6 {
+            let p = random_pattern(20, 35, seed);
+            let f = static_symbolic_factorization(&p).unwrap();
+            let po = postorder_permutation(&f);
+            assert!(p.permuted(&po, &po).has_zero_free_diagonal());
+        }
+    }
+
+    /// After postordering, the filled matrix is block upper triangular with
+    /// one block per tree: no entry below the diagonal blocks.
+    #[test]
+    fn permuted_filled_matrix_is_block_upper_triangular() {
+        for seed in 0..8 {
+            let p = random_pattern(22, 30, seed);
+            let f = static_symbolic_factorization(&p).unwrap();
+            let po = postorder_permutation(&f);
+            let forest = EliminationForest::from_filled(&f).relabel(&po);
+            let blocks = block_triangular_form(&forest);
+            // Block id per column.
+            let mut block_of = vec![0usize; forest.n()];
+            for (b, blk) in blocks.iter().enumerate() {
+                for j in blk.start..blk.end {
+                    block_of[j] = b;
+                }
+            }
+            let filled = f.filled_pattern().permuted(&po, &po);
+            for (i, j) in filled.entries() {
+                assert!(
+                    block_of[i] <= block_of[j],
+                    "entry ({i},{j}) below the block diagonal (seed {seed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_tile_the_range_and_respect_roots() {
+        let p = fig1_pattern();
+        let f = static_symbolic_factorization(&p).unwrap();
+        let po = postorder_permutation(&f);
+        let forest = EliminationForest::from_filled(&f).relabel(&po);
+        let blocks = block_triangular_form(&forest);
+        assert!(!blocks.is_empty());
+        assert_eq!(blocks[0].start, 0);
+        assert_eq!(blocks.last().unwrap().end, 7);
+        for w in blocks.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+            assert!(!w[0].is_empty());
+        }
+        let total: usize = blocks.iter().map(BtfBlock::len).sum();
+        assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn postorder_of_postordered_is_identity() {
+        let p = random_pattern(18, 30, 11);
+        let f = static_symbolic_factorization(&p).unwrap();
+        let po = postorder_permutation(&f);
+        let f2 = static_symbolic_factorization(&p.permuted(&po, &po)).unwrap();
+        let po2 = postorder_permutation(&f2);
+        assert!(po2.is_identity(), "postorder must be idempotent");
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a postordered forest")]
+    fn btf_rejects_unpostordered_forest() {
+        // parent = [3, NONE, NONE, NONE]: node 0's parent is 3 while nodes
+        // 1 and 2 are interleaved roots — not a postorder.
+        let forest = EliminationForest::from_parent_vec(vec![
+            3,
+            usize::MAX,
+            usize::MAX,
+            usize::MAX,
+        ]);
+        let _ = block_triangular_form(&forest);
+    }
+}

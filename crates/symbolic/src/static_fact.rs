@@ -1,0 +1,479 @@
+//! Static symbolic factorization (George & Ng, 1987).
+//!
+//! Computes structures `L̄`, `Ū` containing the nonzeros of the LU factors of
+//! `P A` for **every** row permutation `P` that partial pivoting could
+//! select. The numerical factorization can then run on a fixed data
+//! structure (the S*/S+ approach the paper builds on), at the cost of some
+//! explicitly stored zeros.
+//!
+//! The scheme: at step `k`, the *candidate pivot rows* are the uneliminated
+//! rows with a nonzero in column `k`. Row `k` of `Ū` becomes the union of
+//! the candidate rows' structures; column `k` of `L̄` becomes the candidate
+//! row set; every remaining candidate row's structure is replaced by that
+//! union. Because all candidates end up structurally identical, the
+//! implementation keeps one shared structure per *row class* (union–find),
+//! which is how S+ achieves near-linear behaviour.
+
+use splu_sparse::{SparsityPattern, SparseError};
+
+/// Structures of the filled factors `L̄` (lower, including the unit
+/// diagonal) and `Ū` (upper, including the diagonal).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilledLu {
+    /// Lower-triangular structure, diagonal included.
+    pub l: SparsityPattern,
+    /// Upper-triangular structure, diagonal included.
+    pub u: SparsityPattern,
+    /// Row-major copy of `Ū` ("column" `i` = row `i` of `Ū`), kept because
+    /// the eforest and supernode algorithms walk `Ū` by rows.
+    u_rows: SparsityPattern,
+}
+
+impl FilledLu {
+    /// Matrix order.
+    pub fn n(&self) -> usize {
+        self.l.ncols()
+    }
+
+    /// Total entries of `Ā = L̄ + Ū − I` (diagonal counted once).
+    pub fn nnz_filled(&self) -> usize {
+        self.l.nnz() + self.u.nnz() - self.n()
+    }
+
+    /// The pattern of `Ā = L̄ + Ū − I`.
+    pub fn filled_pattern(&self) -> SparsityPattern {
+        self.l.union(&self.u)
+    }
+
+    /// Rows of `L̄` column `j` (strictly increasing, starts with `j`).
+    pub fn l_col(&self, j: usize) -> &[usize] {
+        self.l.col(j)
+    }
+
+    /// Columns of `Ū` row `i` (strictly increasing, starts with `i`).
+    ///
+    /// `Ū` is stored transposed internally through [`Self::u`] being a
+    /// column pattern; this accessor reads the row via the precomputed
+    /// row-major copy.
+    pub fn u_row(&self, i: usize) -> &[usize] {
+        self.u_rows.col(i)
+    }
+
+    /// Pattern of `Ū` by rows (each "column" `i` of the returned pattern is
+    /// row `i` of `Ū`).
+    pub fn u_by_rows(&self) -> &SparsityPattern {
+        &self.u_rows
+    }
+}
+
+impl FilledLu {
+    /// Builds a [`FilledLu`] from the two triangular patterns, establishing
+    /// the internal row-major copy of `Ū`.
+    pub fn from_parts(l: SparsityPattern, u: SparsityPattern) -> Self {
+        let u_rows = u.transpose();
+        FilledLu { l, u, u_rows }
+    }
+}
+
+/// Errors from the symbolic phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymbolicError {
+    /// The input pattern was not square.
+    NotSquare,
+    /// The diagonal had a structural zero at this index; run the maximum
+    /// transversal first.
+    ZeroOnDiagonal(usize),
+    /// Propagated substrate error.
+    Sparse(SparseError),
+}
+
+impl std::fmt::Display for SymbolicError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SymbolicError::NotSquare => write!(f, "pattern is not square"),
+            SymbolicError::ZeroOnDiagonal(i) => {
+                write!(f, "structural zero on the diagonal at index {i}")
+            }
+            SymbolicError::Sparse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SymbolicError {}
+
+impl From<SparseError> for SymbolicError {
+    fn from(e: SparseError) -> Self {
+        SymbolicError::Sparse(e)
+    }
+}
+
+/// Runs the static symbolic factorization on a square pattern with a
+/// zero-free diagonal.
+pub fn static_symbolic_factorization(
+    pattern: &SparsityPattern,
+) -> Result<FilledLu, SymbolicError> {
+    if !pattern.is_square() {
+        return Err(SymbolicError::NotSquare);
+    }
+    let n = pattern.ncols();
+    for j in 0..n {
+        if !pattern.contains(j, j) {
+            return Err(SymbolicError::ZeroOnDiagonal(j));
+        }
+    }
+    if n == 0 {
+        let empty = SparsityPattern::empty(0, 0);
+        return Ok(FilledLu::from_parts(empty.clone(), empty));
+    }
+
+    // Row structures, by row: columns of each row, sorted.
+    let by_rows = pattern.transpose();
+
+    // Union–find over rows; each class representative owns a shared
+    // structure (sorted column list, trimmed to columns ≥ current step) and
+    // the list of member rows still uneliminated.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+
+    let mut class_struct: Vec<Vec<usize>> = (0..n).map(|i| by_rows.col(i).to_vec()).collect();
+    let mut class_rows: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    // Buckets: class representatives whose smallest remaining column is k.
+    let mut bucket: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        let first = class_struct[i][0];
+        bucket[first].push(i);
+    }
+
+    let mut l_cols: Vec<Vec<usize>> = Vec::with_capacity(n);
+    let mut u_rows: Vec<Vec<usize>> = Vec::with_capacity(n);
+    let mut merge_scratch: Vec<usize> = Vec::new();
+    let mut in_union = vec![false; n];
+
+    for k in 0..n {
+        // Representatives of classes whose first remaining column is k.
+        let mut reps: Vec<usize> = Vec::new();
+        for cand in std::mem::take(&mut bucket[k]) {
+            let r = find(&mut parent, cand);
+            if !class_rows[r].is_empty()
+                && !class_struct[r].is_empty()
+                && class_struct[r][0] == k
+                && !reps.contains(&r)
+            {
+                reps.push(r);
+            }
+        }
+        debug_assert!(
+            !reps.is_empty(),
+            "zero-free diagonal guarantees a candidate class at step {k}"
+        );
+
+        // Union of the candidate structures (columns ≥ k).
+        merge_scratch.clear();
+        for &r in &reps {
+            for &c in &class_struct[r] {
+                if !in_union[c] {
+                    in_union[c] = true;
+                    merge_scratch.push(c);
+                }
+            }
+        }
+        merge_scratch.sort_unstable();
+        for &c in &merge_scratch {
+            in_union[c] = false;
+        }
+        // Ū row k = the union (starts at k by construction).
+        u_rows.push(merge_scratch.clone());
+
+        // L̄ column k = all rows in the candidate classes (all ≥ k).
+        let mut lcol: Vec<usize> = Vec::new();
+        for &r in &reps {
+            lcol.extend_from_slice(&class_rows[r]);
+        }
+        lcol.sort_unstable();
+        debug_assert_eq!(lcol.first(), Some(&k), "pivot row k must be a candidate");
+        l_cols.push(lcol);
+
+        // Merge the classes into one; drop column k and row k from it.
+        let root = reps[0];
+        for &r in &reps[1..] {
+            parent[r] = root;
+            let rows = std::mem::take(&mut class_rows[r]);
+            class_rows[root].extend(rows);
+            class_struct[r] = Vec::new();
+        }
+        class_rows[root].retain(|&i| i != k);
+        let mut s = std::mem::take(&mut merge_scratch);
+        s.retain(|&c| c > k);
+        class_struct[root] = s;
+        if !class_rows[root].is_empty() {
+            debug_assert!(
+                !class_struct[root].is_empty(),
+                "surviving rows must have a diagonal entry ahead"
+            );
+            let first = class_struct[root][0];
+            bucket[first].push(root);
+        }
+    }
+
+    // Assemble L̄ (by columns) and Ū (by columns, from its rows).
+    let l = SparsityPattern::new(
+        n,
+        n,
+        {
+            let mut ptr = Vec::with_capacity(n + 1);
+            ptr.push(0);
+            let mut acc = 0;
+            for c in &l_cols {
+                acc += c.len();
+                ptr.push(acc);
+            }
+            ptr
+        },
+        l_cols.concat(),
+    )?;
+    let u_row_pattern = SparsityPattern::new(
+        n,
+        n,
+        {
+            let mut ptr = Vec::with_capacity(n + 1);
+            ptr.push(0);
+            let mut acc = 0;
+            for r in &u_rows {
+                acc += r.len();
+                ptr.push(acc);
+            }
+            ptr
+        },
+        u_rows.concat(),
+    )?;
+    // `u_row_pattern` holds row i in its column slot i; transposing yields
+    // the column-compressed Ū.
+    let u = u_row_pattern.transpose();
+    Ok(FilledLu::from_parts(l, u))
+}
+
+/// Brute-force reference implementation on dense boolean matrices, O(n³).
+///
+/// Used by the test-suite (and available to downstream property tests) to
+/// validate the union–find implementation.
+pub fn static_symbolic_reference(pattern: &SparsityPattern) -> Result<FilledLu, SymbolicError> {
+    if !pattern.is_square() {
+        return Err(SymbolicError::NotSquare);
+    }
+    let n = pattern.ncols();
+    for j in 0..n {
+        if !pattern.contains(j, j) {
+            return Err(SymbolicError::ZeroOnDiagonal(j));
+        }
+    }
+    let mut a = vec![vec![false; n]; n];
+    for (i, j) in pattern.entries() {
+        a[i][j] = true;
+    }
+    let mut eliminated = vec![false; n];
+    let mut l_entries: Vec<(usize, usize)> = Vec::new();
+    let mut u_entries: Vec<(usize, usize)> = Vec::new();
+    for k in 0..n {
+        let candidates: Vec<usize> = (0..n)
+            .filter(|&i| !eliminated[i] && a[i][k])
+            .collect();
+        // Union of candidate structures over columns ≥ k.
+        let mut union_row = vec![false; n];
+        for &i in &candidates {
+            for (j, ur) in union_row.iter_mut().enumerate().skip(k) {
+                *ur |= a[i][j];
+            }
+        }
+        for (j, &u) in union_row.iter().enumerate().skip(k) {
+            if u {
+                u_entries.push((k, j));
+            }
+        }
+        for &i in &candidates {
+            l_entries.push((i, k));
+            a[i][k..n].copy_from_slice(&union_row[k..n]);
+        }
+        eliminated[k] = true;
+        for row in a.iter_mut() {
+            row[k] = false;
+        }
+    }
+    let l = SparsityPattern::from_entries(n, n, l_entries)?;
+    let u_rows = SparsityPattern::from_entries(n, n, u_entries.iter().map(|&(i, j)| (j, i)))?;
+    Ok(FilledLu::from_parts(l, u_rows.transpose()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splu_sparse::SparsityPattern;
+
+    use crate::fixtures::fig1_pattern;
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let rect = SparsityPattern::empty(2, 3);
+        assert_eq!(
+            static_symbolic_factorization(&rect),
+            Err(SymbolicError::NotSquare)
+        );
+        let holed = SparsityPattern::from_entries(2, 2, vec![(0, 0), (0, 1)]).unwrap();
+        assert_eq!(
+            static_symbolic_factorization(&holed),
+            Err(SymbolicError::ZeroOnDiagonal(1))
+        );
+    }
+
+    #[test]
+    fn diagonal_matrix_has_no_fill() {
+        let p = SparsityPattern::identity(5);
+        let f = static_symbolic_factorization(&p).unwrap();
+        assert_eq!(f.l, SparsityPattern::identity(5));
+        assert_eq!(f.u, SparsityPattern::identity(5));
+        assert_eq!(f.nnz_filled(), 5);
+    }
+
+    #[test]
+    fn dense_matrix_stays_dense() {
+        let n = 4;
+        let p = SparsityPattern::from_entries(
+            n,
+            n,
+            (0..n).flat_map(|i| (0..n).map(move |j| (i, j))),
+        )
+        .unwrap();
+        let f = static_symbolic_factorization(&p).unwrap();
+        assert_eq!(f.l.nnz(), n * (n + 1) / 2);
+        assert_eq!(f.u.nnz(), n * (n + 1) / 2);
+    }
+
+    #[test]
+    fn contains_original_pattern() {
+        let p = fig1_pattern();
+        let f = static_symbolic_factorization(&p).unwrap();
+        let filled = f.filled_pattern();
+        for (i, j) in p.entries() {
+            assert!(filled.contains(i, j), "lost original entry ({i},{j})");
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_fig1() {
+        let p = fig1_pattern();
+        let fast = static_symbolic_factorization(&p).unwrap();
+        let slow = static_symbolic_reference(&p).unwrap();
+        assert_eq!(fast.l, slow.l);
+        assert_eq!(fast.u, slow.u);
+    }
+
+    #[test]
+    fn matches_reference_on_random_matrices() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(2024);
+        for n in [1usize, 2, 3, 5, 8, 13, 21] {
+            for _ in 0..8 {
+                let mut entries: Vec<(usize, usize)> = (0..n).map(|i| (i, i)).collect();
+                for _ in 0..(2 * n) {
+                    entries.push((rng.gen_range(0..n), rng.gen_range(0..n)));
+                }
+                let p = SparsityPattern::from_entries(n, n, entries).unwrap();
+                let fast = static_symbolic_factorization(&p).unwrap();
+                let slow = static_symbolic_reference(&p).unwrap();
+                assert_eq!(fast.l, slow.l, "L mismatch, n={n}");
+                assert_eq!(fast.u, slow.u, "U mismatch, n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn upper_bounds_cholesky_of_ata_is_not_required_but_lu_covers_any_pivoting() {
+        // For every pivot order realizable by partial pivoting, the actual
+        // fill must be inside (L̄, Ū). We verify on a small matrix by brute
+        // force: simulate Gaussian elimination structure for EVERY candidate
+        // pivot choice sequence and check containment.
+        let p = fig1_pattern();
+        let f = static_symbolic_factorization(&p).unwrap();
+        let n = p.ncols();
+        let mut worklist = vec![{
+            let mut a = vec![vec![false; n]; n];
+            for (i, j) in p.entries() {
+                a[i][j] = true;
+            }
+            (0usize, a, (0..n).collect::<Vec<usize>>())
+        }];
+        // (step, current structure, row labels: row_labels[r] = original row)
+        // Enumerate every pivot choice (bounded: n=7, candidates small).
+        let mut explored = 0usize;
+        while let Some((k, a, labels)) = worklist.pop() {
+            explored += 1;
+            if explored > 5000 {
+                break; // combinatorial safety valve; plenty explored already
+            }
+            if k == n {
+                continue;
+            }
+            let candidates: Vec<usize> = (k..n).filter(|&r| a[r][k]).collect();
+            assert!(!candidates.is_empty(), "structurally nonsingular");
+            for &piv in &candidates {
+                let mut b = a.clone();
+                let mut lab = labels.clone();
+                b.swap(k, piv);
+                lab.swap(k, piv);
+                // Row k is now the pivot row: check U row containment.
+                for j in k..n {
+                    if b[k][j] {
+                        assert!(
+                            f.u.contains(k, j),
+                            "U entry ({k},{j}) outside static structure"
+                        );
+                    }
+                }
+                for r in k + 1..n {
+                    if b[r][k] {
+                        // L entry at (position r) — static L̄ column k must
+                        // contain position r.
+                        assert!(
+                            f.l.contains(r, k),
+                            "L entry ({r},{k}) outside static structure"
+                        );
+                        for j in k + 1..n {
+                            if b[k][j] {
+                                b[r][j] = true; // fill
+                            }
+                        }
+                    }
+                }
+                worklist.push((k + 1, b, lab));
+            }
+        }
+        assert!(explored > 100, "exploration should branch");
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let p = SparsityPattern::empty(0, 0);
+        let f = static_symbolic_factorization(&p).unwrap();
+        assert_eq!(f.n(), 0);
+        assert_eq!(f.nnz_filled(), 0);
+    }
+
+    #[test]
+    fn u_row_accessor_agrees_with_column_pattern() {
+        let p = fig1_pattern();
+        let f = static_symbolic_factorization(&p).unwrap();
+        for i in 0..p.ncols() {
+            for &j in f.u_row(i) {
+                assert!(f.u.contains(i, j));
+            }
+            let via_cols: Vec<usize> = (0..p.ncols()).filter(|&j| f.u.contains(i, j)).collect();
+            assert_eq!(f.u_row(i), &via_cols[..]);
+        }
+    }
+}

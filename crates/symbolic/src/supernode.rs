@@ -1,0 +1,464 @@
+//! L/U supernode partitioning and amalgamation (Section 3, after S+ \[10\]).
+//!
+//! After static symbolic factorization, consecutive columns with identical
+//! `L̄` structure *and* identical `Ū` row structure form an unsymmetric
+//! supernode: the corresponding panel is dense in both factors, so the
+//! numerical factorization can run on dense BLAS-3 blocks. The same
+//! partition is then applied to the rows, subdividing the matrix into
+//! `N × N` submatrix blocks (the paper's `B̄_kj`).
+//!
+//! Supernodes occurring in practice are small ("2 or 3 columns"), so
+//! [`amalgamate`] merges adjacent supernodes while the fraction of explicit
+//! zeros it introduces stays below a threshold — the paper's amalgamation
+//! step.
+
+use crate::static_fact::FilledLu;
+use splu_sparse::SparsityPattern;
+
+/// A partition of `0..n` into consecutive blocks (supernodes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Block boundaries: block `k` spans `starts[k]..starts[k + 1]`;
+    /// `starts.len() == num_blocks() + 1`.
+    starts: Vec<usize>,
+}
+
+impl Partition {
+    /// Builds a partition from boundary offsets (`starts[0] == 0`, strictly
+    /// increasing, last element = `n`).
+    pub fn from_starts(starts: Vec<usize>) -> Self {
+        assert!(!starts.is_empty() && starts[0] == 0, "partition must start at 0");
+        assert!(
+            starts.windows(2).all(|w| w[0] < w[1]),
+            "partition boundaries must be strictly increasing"
+        );
+        Partition { starts }
+    }
+
+    /// The trivial partition: every column its own block.
+    pub fn singletons(n: usize) -> Self {
+        Partition {
+            starts: (0..=n).collect(),
+        }
+    }
+
+    /// Number of blocks `N`.
+    pub fn num_blocks(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Total number of columns.
+    pub fn n(&self) -> usize {
+        *self.starts.last().expect("starts nonempty")
+    }
+
+    /// Column range of block `k`.
+    pub fn range(&self, k: usize) -> std::ops::Range<usize> {
+        self.starts[k]..self.starts[k + 1]
+    }
+
+    /// Width of block `k`.
+    pub fn width(&self, k: usize) -> usize {
+        self.starts[k + 1] - self.starts[k]
+    }
+
+    /// Boundary offsets, length `num_blocks() + 1`.
+    pub fn starts(&self) -> &[usize] {
+        &self.starts
+    }
+
+    /// Map column → block index.
+    pub fn block_of_cols(&self) -> Vec<usize> {
+        let mut out = vec![0usize; self.n()];
+        for k in 0..self.num_blocks() {
+            for j in self.range(k) {
+                out[j] = k;
+            }
+        }
+        out
+    }
+
+    /// Largest block width.
+    pub fn max_width(&self) -> usize {
+        (0..self.num_blocks()).map(|k| self.width(k)).max().unwrap_or(0)
+    }
+
+    /// Mean block width.
+    pub fn mean_width(&self) -> f64 {
+        if self.num_blocks() == 0 {
+            0.0
+        } else {
+            self.n() as f64 / self.num_blocks() as f64
+        }
+    }
+}
+
+/// Computes the exact L/U supernode partition of a filled structure.
+///
+/// Columns `j` and `j + 1` share a supernode iff the sub-diagonal structure
+/// of `L̄` column `j` equals that of column `j + 1` **and** the
+/// super-diagonal structure of `Ū` row `j` equals that of row `j + 1`
+/// (both including the required `(j+1, j)` / `(j, j+1)` couplings).
+pub fn supernode_partition(f: &FilledLu) -> Partition {
+    let n = f.n();
+    let mut starts = vec![0usize];
+    for j in 0..n.saturating_sub(1) {
+        let l_match = f.l_col(j)[1..] == *f.l_col(j + 1);
+        let u_match = f.u_row(j)[1..] == *f.u_row(j + 1);
+        if !(l_match && u_match) {
+            starts.push(j + 1);
+        }
+    }
+    if n > 0 {
+        starts.push(n);
+    }
+    Partition::from_starts(starts)
+}
+
+/// Tuning knobs for [`amalgamate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupernodeOptions {
+    /// Maximum supernode width after amalgamation.
+    pub max_width: usize,
+    /// Maximum fraction of explicit zeros the merged panels may contain,
+    /// relative to the merged panel storage.
+    pub rel_fill: f64,
+}
+
+impl Default for SupernodeOptions {
+    fn default() -> Self {
+        SupernodeOptions {
+            max_width: 48,
+            rel_fill: 0.3,
+        }
+    }
+}
+
+/// Panel storage (in entries) and exact nonzeros of a candidate supernode
+/// `[a, c)`, counting both the `L̄` and `Ū` panels.
+fn panel_cost(f: &FilledLu, a: usize, c: usize) -> (usize, usize) {
+    let width = c - a;
+    // Rows below the panel reached by any column, columns right of the panel
+    // reached by any row.
+    let mut l_rows: Vec<usize> = Vec::new();
+    let mut u_cols: Vec<usize> = Vec::new();
+    let mut exact = 0usize;
+    for j in a..c {
+        exact += f.l_col(j).len() + f.u_row(j).len();
+        l_rows.extend(f.l_col(j).iter().copied().filter(|&i| i >= c));
+        u_cols.extend(f.u_row(j).iter().copied().filter(|&x| x >= c));
+    }
+    l_rows.sort_unstable();
+    l_rows.dedup();
+    u_cols.sort_unstable();
+    u_cols.dedup();
+    let triangle = width * (width + 1) / 2;
+    let storage = 2 * triangle + width * (l_rows.len() + u_cols.len());
+    (storage, exact)
+}
+
+/// Merges adjacent supernodes while the explicit-zero fraction of the merged
+/// panels stays below `opts.rel_fill` and the width below `opts.max_width`.
+///
+/// Merging is restricted to supernodes connected by the scalar eforest
+/// **parent relation** (`parent(last column of left) = first column of
+/// right`). Columns of an exact supernode already form a parent chain, so
+/// this keeps every amalgamated supernode a single chain of the elimination
+/// forest — which is exactly what makes the block-level task graph of
+/// Section 4 sound: every nonzero `Ū` block row of a chain supernode is
+/// witnessed by its top column, so Theorem 1 lifts from scalar columns to
+/// supernode blocks and the rule-4 edge targets always exist.
+///
+/// A single greedy left-to-right pass: each group is extended with the next
+/// supernode as long as the chain relation and the fill criterion hold.
+pub fn amalgamate(f: &FilledLu, base: &Partition, opts: &SupernodeOptions) -> Partition {
+    let nb = base.num_blocks();
+    if nb == 0 {
+        return base.clone();
+    }
+    // Scalar parent relation at the candidate boundaries: parent(b - 1) = b
+    // iff column b-1 has off-diagonal L entries and b is the first
+    // off-diagonal of Ū row b-1.
+    let chain_boundary = |b: usize| -> bool {
+        f.l_col(b - 1).len() > 1 && f.u_row(b - 1).get(1) == Some(&b)
+    };
+    let mut starts = vec![0usize];
+    let mut group_start = 0usize; // column index
+    let mut k = 0usize;
+    while k < nb {
+        // Try to extend the current group [group_start, end_k) with block k+1.
+        let mut end = base.range(k).end;
+        let mut next = k + 1;
+        while next < nb {
+            let cand_end = base.range(next).end;
+            if cand_end - group_start > opts.max_width {
+                break;
+            }
+            if !chain_boundary(base.range(next).start) {
+                break;
+            }
+            let (storage, exact) = panel_cost(f, group_start, cand_end);
+            let zeros = storage.saturating_sub(exact);
+            if (zeros as f64) > opts.rel_fill * storage as f64 {
+                break;
+            }
+            end = cand_end;
+            next += 1;
+        }
+        starts.push(end);
+        group_start = end;
+        k = next;
+    }
+    Partition::from_starts(starts)
+}
+
+/// Block structure of the filled matrix under a partition: which submatrix
+/// blocks `B̄(I, J)` are structurally nonzero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockStructure {
+    /// The column/row partition (identical, as in the paper).
+    pub partition: Partition,
+    /// For each block column `J`: sorted block rows `I ≥ J` with a nonzero
+    /// `L̄` block (always starts with `J` itself).
+    pub l_blocks: Vec<Vec<usize>>,
+    /// For each block row `I`: sorted block columns `J ≥ I` with a nonzero
+    /// `Ū` block (always starts with `I` itself).
+    pub u_blocks: Vec<Vec<usize>>,
+}
+
+impl BlockStructure {
+    /// Computes the block structure of `f` under `partition`.
+    pub fn new(f: &FilledLu, partition: Partition) -> Self {
+        let nb = partition.num_blocks();
+        let block_of = partition.block_of_cols();
+        let mut l_blocks: Vec<Vec<usize>> = vec![Vec::new(); nb];
+        let mut u_blocks: Vec<Vec<usize>> = vec![Vec::new(); nb];
+        for jb in 0..nb {
+            let mut mark = vec![false; nb];
+            for j in partition.range(jb) {
+                for &i in f.l_col(j) {
+                    mark[block_of[i]] = true;
+                }
+            }
+            l_blocks[jb] = (jb..nb).filter(|&ib| mark[ib]).collect();
+        }
+        for ib in 0..nb {
+            let mut mark = vec![false; nb];
+            for i in partition.range(ib) {
+                for &c in f.u_row(i) {
+                    mark[block_of[c]] = true;
+                }
+            }
+            u_blocks[ib] = (ib..nb).filter(|&jb| mark[jb]).collect();
+        }
+        BlockStructure {
+            partition,
+            l_blocks,
+            u_blocks,
+        }
+    }
+
+    /// Number of blocks per side.
+    pub fn num_blocks(&self) -> usize {
+        self.partition.num_blocks()
+    }
+
+    /// `true` when block `(ib, jb)` is structurally nonzero (either factor).
+    pub fn block_nonzero(&self, ib: usize, jb: usize) -> bool {
+        if ib >= jb {
+            self.l_blocks[jb].binary_search(&ib).is_ok()
+        } else {
+            self.u_blocks[ib].binary_search(&jb).is_ok()
+        }
+    }
+
+    /// Block-level sparsity pattern (N×N) of `Ā`.
+    pub fn block_pattern(&self) -> SparsityPattern {
+        let nb = self.num_blocks();
+        let mut entries = Vec::new();
+        for jb in 0..nb {
+            for &ib in &self.l_blocks[jb] {
+                entries.push((ib, jb));
+            }
+        }
+        for ib in 0..nb {
+            for &jb in &self.u_blocks[ib] {
+                if jb > ib {
+                    entries.push((ib, jb));
+                }
+            }
+        }
+        SparsityPattern::from_entries(nb, nb, entries).expect("block indices are in range")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::fig1_pattern;
+    use crate::postorder::postorder_permutation;
+    use crate::static_fact::static_symbolic_factorization;
+    use splu_sparse::SparsityPattern;
+
+    fn filled(p: &SparsityPattern) -> FilledLu {
+        static_symbolic_factorization(p).unwrap()
+    }
+
+    #[test]
+    fn partition_basics() {
+        let p = Partition::from_starts(vec![0, 2, 3, 7]);
+        assert_eq!(p.num_blocks(), 3);
+        assert_eq!(p.n(), 7);
+        assert_eq!(p.range(0), 0..2);
+        assert_eq!(p.width(2), 4);
+        assert_eq!(p.block_of_cols(), vec![0, 0, 1, 2, 2, 2, 2]);
+        assert_eq!(p.max_width(), 4);
+        assert!((p.mean_width() - 7.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn partition_rejects_bad_boundaries() {
+        Partition::from_starts(vec![0, 3, 3]);
+    }
+
+    #[test]
+    fn dense_matrix_is_one_supernode() {
+        let n = 5;
+        let p = SparsityPattern::from_entries(
+            n,
+            n,
+            (0..n).flat_map(|i| (0..n).map(move |j| (i, j))),
+        )
+        .unwrap();
+        let f = filled(&p);
+        let part = supernode_partition(&f);
+        assert_eq!(part.num_blocks(), 1);
+        assert_eq!(part.width(0), n);
+    }
+
+    #[test]
+    fn diagonal_matrix_is_all_singletons() {
+        let f = filled(&SparsityPattern::identity(6));
+        let part = supernode_partition(&f);
+        assert_eq!(part.num_blocks(), 6);
+        assert_eq!(part.max_width(), 1);
+    }
+
+    /// Supernode columns must be genuinely identical in both factors.
+    #[test]
+    fn partition_columns_share_structure() {
+        let p = fig1_pattern();
+        let f = filled(&p);
+        let part = supernode_partition(&f);
+        for k in 0..part.num_blocks() {
+            let r = part.range(k);
+            for j in r.start..r.end.saturating_sub(1) {
+                assert_eq!(f.l_col(j)[1..], *f.l_col(j + 1), "L mismatch in supernode");
+                assert_eq!(f.u_row(j)[1..], *f.u_row(j + 1), "U mismatch in supernode");
+            }
+        }
+    }
+
+    /// Postordering must not increase the number of supernodes on matrices
+    /// where it brings siblings together (the paper's Table 3 effect).
+    #[test]
+    fn postordering_does_not_fragment_supernodes() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(31);
+        let mut improved = 0usize;
+        let mut total = 0usize;
+        for _ in 0..12 {
+            let n = 30;
+            let mut entries: Vec<(usize, usize)> = (0..n).map(|i| (i, i)).collect();
+            for _ in 0..70 {
+                entries.push((rng.gen_range(0..n), rng.gen_range(0..n)));
+            }
+            let p = SparsityPattern::from_entries(n, n, entries).unwrap();
+            let f = filled(&p);
+            let sn = supernode_partition(&f).num_blocks();
+            let po = postorder_permutation(&f);
+            let f2 = static_symbolic_factorization(&p.permuted(&po, &po)).unwrap();
+            let snpo = supernode_partition(&f2).num_blocks();
+            total += 1;
+            if snpo <= sn {
+                improved += 1;
+            }
+        }
+        // Postordering should help (or tie) in the vast majority of cases.
+        assert!(
+            improved * 3 >= total * 2,
+            "postordering fragmented supernodes too often: {improved}/{total}"
+        );
+    }
+
+    #[test]
+    fn amalgamation_reduces_block_count_and_respects_width() {
+        let p = fig1_pattern();
+        let f = filled(&p);
+        let base = supernode_partition(&f);
+        let opts = SupernodeOptions {
+            max_width: 4,
+            rel_fill: 0.9,
+        };
+        let am = amalgamate(&f, &base, &opts);
+        assert!(am.num_blocks() <= base.num_blocks());
+        assert!(am.max_width() <= 4);
+        assert_eq!(am.n(), base.n());
+    }
+
+    #[test]
+    fn amalgamation_with_zero_tolerance_is_identity_on_singletons() {
+        let f = filled(&SparsityPattern::identity(5));
+        let base = supernode_partition(&f);
+        let opts = SupernodeOptions {
+            max_width: 5,
+            rel_fill: 0.0,
+        };
+        let am = amalgamate(&f, &base, &opts);
+        // Merging two disjoint singleton columns introduces zeros, so
+        // nothing merges at tolerance 0 unless structures truly overlap.
+        assert_eq!(am.num_blocks(), 5);
+    }
+
+    #[test]
+    fn block_structure_covers_every_entry() {
+        let p = fig1_pattern();
+        let f = filled(&p);
+        let part = supernode_partition(&f);
+        let bs = BlockStructure::new(&f, part);
+        let block_of = bs.partition.block_of_cols();
+        for (i, j) in f.filled_pattern().entries() {
+            assert!(
+                bs.block_nonzero(block_of[i], block_of[j]),
+                "entry ({i},{j}) not covered by block structure"
+            );
+        }
+        // Diagonal blocks always present.
+        for k in 0..bs.num_blocks() {
+            assert!(bs.block_nonzero(k, k));
+            assert_eq!(bs.l_blocks[k][0], k);
+            assert_eq!(bs.u_blocks[k][0], k);
+        }
+        let bp = bs.block_pattern();
+        assert!(bp.has_zero_free_diagonal());
+    }
+
+    #[test]
+    fn panel_cost_counts_triangles_once() {
+        // Dense 3x3: one supernode [0,3): storage = 2*6 + 0 = 12,
+        // exact = Σ |l_col| + |u_row| = (3+2+1)+(3+2+1) = 12 → no zeros.
+        let n = 3;
+        let p = SparsityPattern::from_entries(
+            n,
+            n,
+            (0..n).flat_map(|i| (0..n).map(move |j| (i, j))),
+        )
+        .unwrap();
+        let f = filled(&p);
+        let (storage, exact) = panel_cost(&f, 0, 3);
+        assert_eq!(storage, 12);
+        assert_eq!(exact, 12);
+    }
+}

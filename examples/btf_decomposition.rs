@@ -1,0 +1,57 @@
+//! The block-upper-triangular decomposition from postordering (Section 3).
+//!
+//! The paper observes that postordering the LU eforest yields a block upper
+//! triangular form "for free": each tree of the forest becomes one diagonal
+//! block, with all coupling strictly above. On reducible matrices (our
+//! sherman3 analogue: 137 trees) this decouples the factorization into
+//! independent diagonal blocks. This example prints the block profile and
+//! verifies the decomposition.
+//!
+//! ```text
+//! cargo run --release --example btf_decomposition
+//! ```
+
+use parsplu::matgen::{paper_suite, Scale};
+use parsplu::symbolic::{
+    block_triangular_form, postorder_permutation, static_symbolic_factorization,
+    EliminationForest,
+};
+
+fn main() {
+    for m in paper_suite(Scale::Full) {
+        let f = static_symbolic_factorization(m.a.pattern()).expect("zero-free diagonal");
+        let po = postorder_permutation(&f);
+        let forest = EliminationForest::from_filled(&f).relabel(&po);
+        let blocks = block_triangular_form(&forest);
+        let filled = f.filled_pattern().permuted(&po, &po);
+
+        // Verify: no entry below the block diagonal.
+        let mut block_of = vec![0usize; forest.n()];
+        for (b, blk) in blocks.iter().enumerate() {
+            for j in blk.start..blk.end {
+                block_of[j] = b;
+            }
+        }
+        for (i, j) in filled.entries() {
+            assert!(
+                block_of[i] <= block_of[j],
+                "{}: entry below block diagonal",
+                m.name
+            );
+        }
+
+        let largest = blocks.iter().map(|b| b.len()).max().unwrap_or(0);
+        let singletons = blocks.iter().filter(|b| b.len() == 1).count();
+        println!(
+            "{:<10} blocks = {:>4}  largest = {:>5} ({:>5.1}%)  1x1 blocks = {:>4}",
+            m.name,
+            blocks.len(),
+            largest,
+            100.0 * largest as f64 / forest.n() as f64,
+            singletons
+        );
+    }
+    println!("\n(paper: 'a large number of blocks for the first four matrices...");
+    println!(" only the last block has a significant size' — our sherman3 analogue");
+    println!(" shows that profile; the other generators are irreducible)");
+}

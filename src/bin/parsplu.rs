@@ -1,0 +1,15 @@
+//! The `parsplu` command-line tool. See `parsplu --help`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parsplu::cli::run(&args) {
+        Ok(out) => print!("{out}"),
+        Err(msg) => {
+            eprint!("{msg}");
+            if !msg.ends_with('\n') {
+                eprintln!();
+            }
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Command-line interface: `parsplu <command> [args]`.
+//!
+//! The logic lives here (returning the output as a `String`) so the
+//! integration tests can drive it without spawning processes; the
+//! `parsplu` binary is a thin wrapper.
+
+use splu_core::{
+    analyze, estimate_inverse_1norm, Options, OrderingChoice, PivotRule, SparseLu,
+    TaskGraphKind,
+};
+use splu_matgen::{manufactured_rhs, paper_matrix, Scale};
+use splu_sched::Mapping;
+use splu_sparse::io::{read_matrix_market, write_matrix_market};
+use splu_sparse::{relative_residual, CscMatrix};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Usage text for `--help` and errors.
+pub const USAGE: &str = "\
+parsplu — parallel sparse LU with postordering and static symbolic factorization
+
+USAGE:
+  parsplu analyze <matrix.mtx> [options]        print analysis statistics
+  parsplu solve   <matrix.mtx> [options]        factor and solve (manufactured RHS)
+  parsplu condest <matrix.mtx> [options]        estimate the 1-norm condition number
+  parsplu gen     <name> <out.mtx> [--reduced]  write a benchmark matrix
+                  (names: sherman3 sherman5 lnsp3937 lns3937 orsreg1 saylr4 goodwin)
+
+OPTIONS:
+  --threads <N>         worker threads for the numerical phase   [1]
+  --graph eforest|sstar task dependence graph                    [eforest]
+  --ordering md|natural|rcm                                      [md]
+  --no-postorder        skip the eforest postordering
+  --no-amalgamation     keep exact supernodes
+  --dynamic             dynamic scheduling instead of static 1D
+  --equilibrate         row/column scaling before factorization
+  --refine              one step of iterative refinement
+  --transpose           solve the transposed system instead
+  --rule partial|threshold:<tau>|diagonal   pivot-selection rule [partial]
+  --dot-forest <file>   (analyze) write the block eforest as Graphviz DOT
+  --dot-graph <file>    (analyze) write the task graph as Graphviz DOT
+  --rhs <file>          (solve) right-hand side, one value per line
+                        [default: manufactured b = A·x with known x]
+  --out <file>          (solve) write the solution, one value per line
+";
+
+/// Parsed global options.
+struct Cli {
+    opts: Options,
+    refine: bool,
+    transpose: bool,
+    dot_forest: Option<String>,
+    dot_graph: Option<String>,
+    rhs: Option<String>,
+    out: Option<String>,
+}
+
+fn parse_flags(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        opts: Options::default(),
+        refine: false,
+        transpose: false,
+        dot_forest: None,
+        dot_graph: None,
+        rhs: None,
+        out: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                cli.opts.threads = v.parse().map_err(|_| format!("bad thread count `{v}`"))?;
+            }
+            "--graph" => {
+                let v = it.next().ok_or("--graph needs a value")?;
+                cli.opts.task_graph = match v.as_str() {
+                    "eforest" => TaskGraphKind::EForest,
+                    "sstar" => TaskGraphKind::SStar,
+                    _ => return Err(format!("unknown graph `{v}`")),
+                };
+            }
+            "--ordering" => {
+                let v = it.next().ok_or("--ordering needs a value")?;
+                cli.opts.ordering = match v.as_str() {
+                    "md" => OrderingChoice::MinDegreeAtA,
+                    "natural" => OrderingChoice::Natural,
+                    "rcm" => OrderingChoice::Rcm,
+                    _ => return Err(format!("unknown ordering `{v}`")),
+                };
+            }
+            "--rhs" => {
+                cli.rhs = Some(it.next().ok_or("--rhs needs a path")?.clone());
+            }
+            "--out" => {
+                cli.out = Some(it.next().ok_or("--out needs a path")?.clone());
+            }
+            "--dot-forest" => {
+                cli.dot_forest = Some(it.next().ok_or("--dot-forest needs a path")?.clone());
+            }
+            "--dot-graph" => {
+                cli.dot_graph = Some(it.next().ok_or("--dot-graph needs a path")?.clone());
+            }
+            "--rule" => {
+                let v = it.next().ok_or("--rule needs a value")?;
+                cli.opts.pivot_rule = if v == "partial" {
+                    PivotRule::Partial
+                } else if v == "diagonal" {
+                    PivotRule::Diagonal
+                } else if let Some(tau) = v.strip_prefix("threshold:") {
+                    let tau: f64 = tau
+                        .parse()
+                        .map_err(|_| format!("bad threshold `{tau}`"))?;
+                    if !(tau > 0.0 && tau <= 1.0) {
+                        return Err(format!("threshold must be in (0, 1], got {tau}"));
+                    }
+                    PivotRule::Threshold(tau)
+                } else {
+                    return Err(format!("unknown pivot rule `{v}`"));
+                };
+            }
+            "--no-postorder" => cli.opts.postorder = false,
+            "--no-amalgamation" => cli.opts.amalgamation = None,
+            "--dynamic" => cli.opts.mapping = Mapping::Dynamic,
+            "--equilibrate" => cli.opts.equilibrate = true,
+            "--refine" => cli.refine = true,
+            "--transpose" => cli.transpose = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(cli)
+}
+
+fn load(path: &str) -> Result<CscMatrix, String> {
+    read_matrix_market(Path::new(path)).map_err(|e| format!("reading {path}: {e}"))
+}
+
+fn cmd_analyze(path: &str, flags: &[String]) -> Result<String, String> {
+    let cli = parse_flags(flags)?;
+    let a = load(path)?;
+    let ms = splu_sparse::stats::matrix_stats(&a);
+    let sym = analyze(a.pattern(), &cli.opts).map_err(|e| e.to_string())?;
+    let s = &sym.stats;
+    let mut out = String::new();
+    let _ = writeln!(out, "matrix            : {path}");
+    let _ = writeln!(out, "order             : {}", s.n);
+    let _ = writeln!(out, "nnz(A)            : {}", s.nnz_a);
+    let _ = writeln!(
+        out,
+        "structure         : bandwidth {}, symmetry {:.2} (values {:.2}), {} diagonal",
+        ms.bandwidth,
+        ms.structural_symmetry,
+        ms.numerical_symmetry,
+        if ms.zero_free_diagonal {
+            "zero-free"
+        } else {
+            "deficient"
+        }
+    );
+    let _ = writeln!(out, "nnz(Abar)         : {} ({:.2}x)", s.nnz_filled, s.fill_ratio);
+    let _ = writeln!(
+        out,
+        "supernodes        : {} (exact {}, max width {})",
+        s.supernodes, s.supernodes_exact, s.max_supernode_width
+    );
+    let _ = writeln!(out, "BTF blocks        : {}", s.btf_blocks);
+    let _ = writeln!(
+        out,
+        "task graph        : {} tasks, {} edges, critical path {}",
+        s.graph_tasks, s.graph_edges, s.critical_path
+    );
+    let _ = writeln!(out, "estimated flops   : {:.3e}", s.flops_estimate);
+    if let Some(p) = &cli.dot_forest {
+        std::fs::write(p, sym.block_forest.to_dot("eforest")).map_err(|e| e.to_string())?;
+        let _ = writeln!(out, "wrote block eforest DOT to {p}");
+    }
+    if let Some(p) = &cli.dot_graph {
+        let g = sym.build_graph(cli.opts.task_graph);
+        std::fs::write(p, g.to_dot("tasks")).map_err(|e| e.to_string())?;
+        let _ = writeln!(out, "wrote task graph DOT to {p}");
+    }
+    Ok(out)
+}
+
+fn read_vector(path: &str, n: usize) -> Result<Vec<f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let v: Vec<f64> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#') && !l.starts_with('%'))
+        .map(|l| l.parse::<f64>().map_err(|_| format!("bad value `{l}` in {path}")))
+        .collect::<Result<_, _>>()?;
+    if v.len() != n {
+        return Err(format!("{path}: expected {n} values, found {}", v.len()));
+    }
+    Ok(v)
+}
+
+fn cmd_solve(path: &str, flags: &[String]) -> Result<String, String> {
+    let cli = parse_flags(flags)?;
+    let a = load(path)?;
+    let b = match &cli.rhs {
+        Some(p) => read_vector(p, a.nrows())?,
+        None => manufactured_rhs(&a, 1).1,
+    };
+    let t0 = std::time::Instant::now();
+    let lu = SparseLu::factor(&a, &cli.opts).map_err(|e| e.to_string())?;
+    let t_factor = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    let x = if cli.transpose {
+        lu.solve_transposed(&b)
+    } else if cli.refine {
+        lu.solve_refined(&a, &b, 1e-14, 2).0
+    } else {
+        lu.solve(&b)
+    };
+    let t_solve = t1.elapsed();
+    let resid = if cli.transpose {
+        relative_residual(&a.transpose(), &x, &b)
+    } else {
+        relative_residual(&a, &x, &b)
+    };
+    let st = lu.storage();
+    let (dsign, dln) = lu.determinant();
+    let mut out = String::new();
+    let _ = writeln!(out, "factor time       : {t_factor:?}");
+    let _ = writeln!(out, "solve time        : {t_solve:?}");
+    let _ = writeln!(out, "scaled residual   : {resid:.3e}");
+    let _ = writeln!(out, "growth factor     : {:.3e}", lu.growth(&a));
+    let _ = writeln!(
+        out,
+        "determinant       : {} exp({dln:.6})",
+        if dsign > 0.0 { "+" } else { "-" }
+    );
+    if let Some(p) = &cli.out {
+        let mut text = String::with_capacity(x.len() * 24);
+        for v in &x {
+            let _ = writeln!(text, "{v:.17e}");
+        }
+        std::fs::write(p, text).map_err(|e| e.to_string())?;
+        let _ = writeln!(out, "wrote solution to {p}");
+    }
+    let _ = writeln!(
+        out,
+        "factor storage    : {} words ({:.1}% padding)",
+        st.words,
+        100.0 * st.padding_fraction
+    );
+    if resid > 1e-8 {
+        let _ = writeln!(out, "WARNING: large residual — check conditioning");
+    }
+    Ok(out)
+}
+
+fn cmd_condest(path: &str, flags: &[String]) -> Result<String, String> {
+    let cli = parse_flags(flags)?;
+    let a = load(path)?;
+    let lu = SparseLu::factor(&a, &cli.opts).map_err(|e| e.to_string())?;
+    let inv_norm = estimate_inverse_1norm(&lu, a.ncols(), 6);
+    let cond = inv_norm * a.one_norm();
+    Ok(format!(
+        "||A||_1          : {:.6e}\n||A^-1||_1 (est) : {:.6e}\ncond_1 (est)     : {:.6e}\n",
+        a.one_norm(),
+        inv_norm,
+        cond
+    ))
+}
+
+fn cmd_gen(name: &str, out_path: &str, flags: &[String]) -> Result<String, String> {
+    let scale = if flags.iter().any(|f| f == "--reduced") {
+        Scale::Reduced
+    } else {
+        Scale::Full
+    };
+    let unknown: Vec<&String> = flags.iter().filter(|f| *f != "--reduced").collect();
+    if !unknown.is_empty() {
+        return Err(format!("unknown option `{}`", unknown[0]));
+    }
+    let a = paper_matrix(name, scale)
+        .ok_or_else(|| format!("unknown matrix `{name}` (see --help)"))?;
+    write_matrix_market(&a, Path::new(out_path)).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "wrote {} ({}x{}, {} nonzeros)\n",
+        out_path,
+        a.nrows(),
+        a.ncols(),
+        a.nnz()
+    ))
+}
+
+/// Runs the CLI on the given arguments (without the program name), returning
+/// the output text or an error message.
+pub fn run(args: &[String]) -> Result<String, String> {
+    match args {
+        [] => Err(USAGE.to_string()),
+        [h] if h == "--help" || h == "-h" || h == "help" => Ok(USAGE.to_string()),
+        [cmd, rest @ ..] => match (cmd.as_str(), rest) {
+            ("analyze", [path, flags @ ..]) => cmd_analyze(path, flags),
+            ("solve", [path, flags @ ..]) => cmd_solve(path, flags),
+            ("condest", [path, flags @ ..]) => cmd_condest(path, flags),
+            ("gen", [name, out, flags @ ..]) => cmd_gen(name, out, flags),
+            _ => Err(format!("unknown or incomplete command `{cmd}`\n\n{USAGE}")),
+        },
+    }
+}

@@ -1,0 +1,172 @@
+//! Integration tests for the `parsplu` command-line interface.
+
+use parsplu::cli::run;
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| s.to_string()).collect()
+}
+
+fn tmp(name: &str) -> String {
+    std::env::temp_dir()
+        .join(format!("parsplu_cli_{name}_{}.mtx", std::process::id()))
+        .to_string_lossy()
+        .into_owned()
+}
+
+#[test]
+fn help_and_empty_args() {
+    assert!(run(&args(&["--help"])).unwrap().contains("USAGE"));
+    let err = run(&[]).unwrap_err();
+    assert!(err.contains("USAGE"));
+    assert!(run(&args(&["frobnicate"])).unwrap_err().contains("unknown"));
+}
+
+#[test]
+fn gen_analyze_solve_condest_roundtrip() {
+    let path = tmp("roundtrip");
+    let out = run(&args(&["gen", "orsreg1", &path, "--reduced"])).unwrap();
+    assert!(out.contains("wrote"), "{out}");
+
+    let out = run(&args(&["analyze", &path])).unwrap();
+    assert!(out.contains("supernodes"), "{out}");
+    assert!(out.contains("task graph"), "{out}");
+
+    let out = run(&args(&["solve", &path])).unwrap();
+    assert!(out.contains("scaled residual"), "{out}");
+    assert!(!out.contains("WARNING"), "{out}");
+
+    let out = run(&args(&["solve", &path, "--threads", "2", "--graph", "sstar"])).unwrap();
+    assert!(out.contains("scaled residual"), "{out}");
+
+    let out = run(&args(&["solve", &path, "--transpose", "--equilibrate"])).unwrap();
+    assert!(out.contains("scaled residual"), "{out}");
+
+    let out = run(&args(&["solve", &path, "--refine", "--no-postorder"])).unwrap();
+    assert!(out.contains("scaled residual"), "{out}");
+
+    let out = run(&args(&["condest", &path])).unwrap();
+    assert!(out.contains("cond_1"), "{out}");
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn flag_errors_are_reported() {
+    let path = tmp("flags");
+    run(&args(&["gen", "sherman5", &path, "--reduced"])).unwrap();
+    assert!(run(&args(&["solve", &path, "--graph", "bogus"]))
+        .unwrap_err()
+        .contains("unknown graph"));
+    assert!(run(&args(&["solve", &path, "--threads"]))
+        .unwrap_err()
+        .contains("needs a value"));
+    assert!(run(&args(&["solve", &path, "--wat"]))
+        .unwrap_err()
+        .contains("unknown option"));
+    assert!(run(&args(&["gen", "nosuch", &path]))
+        .unwrap_err()
+        .contains("unknown matrix"));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn solve_with_rhs_and_out_files() {
+    let path = tmp("rhsout");
+    run(&args(&["gen", "sherman3", &path, "--reduced"])).unwrap();
+    // Build an RHS file of the right length by reading the matrix header.
+    let n = {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let size_line = text.lines().nth(1).unwrap();
+        size_line
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse::<usize>()
+            .unwrap()
+    };
+    let rhs_path = format!("{path}.rhs");
+    let out_path = format!("{path}.x");
+    let rhs_text: String = (0..n).map(|i| format!("{}\n", (i % 5) as f64 - 2.0)).collect();
+    std::fs::write(&rhs_path, &rhs_text).unwrap();
+    let out = run(&args(&[
+        "solve", &path, "--rhs", &rhs_path, "--out", &out_path,
+    ]))
+    .unwrap();
+    assert!(out.contains("wrote solution"), "{out}");
+    assert!(out.contains("determinant"), "{out}");
+    assert!(out.contains("growth factor"), "{out}");
+    let x: Vec<f64> = std::fs::read_to_string(&out_path)
+        .unwrap()
+        .lines()
+        .map(|l| l.parse().unwrap())
+        .collect();
+    assert_eq!(x.len(), n);
+    // Wrong-length RHS must error.
+    std::fs::write(&rhs_path, "1.0\n2.0\n").unwrap();
+    assert!(run(&args(&["solve", &path, "--rhs", &rhs_path]))
+        .unwrap_err()
+        .contains("expected"));
+    for f in [path, rhs_path, out_path] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
+fn analyze_writes_dot_files() {
+    let path = tmp("dot");
+    run(&args(&["gen", "orsreg1", &path, "--reduced"])).unwrap();
+    let df = format!("{path}.forest.dot");
+    let dg = format!("{path}.graph.dot");
+    let out = run(&args(&[
+        "analyze",
+        &path,
+        "--dot-forest",
+        &df,
+        "--dot-graph",
+        &dg,
+    ]))
+    .unwrap();
+    assert!(out.contains("wrote block eforest DOT"));
+    let forest = std::fs::read_to_string(&df).unwrap();
+    assert!(forest.starts_with("digraph"));
+    let graph = std::fs::read_to_string(&dg).unwrap();
+    assert!(graph.contains("\"F(0)\""));
+    for f in [path, df, dg] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
+fn missing_file_is_an_error() {
+    let err = run(&args(&["analyze", "/nonexistent/x.mtx"])).unwrap_err();
+    assert!(err.contains("reading"), "{err}");
+}
+
+#[test]
+fn all_orderings_work_through_the_cli() {
+    let path = tmp("ord");
+    run(&args(&["gen", "saylr4", &path, "--reduced"])).unwrap();
+    for ord in ["md", "natural", "rcm"] {
+        let out = run(&args(&["solve", &path, "--ordering", ord])).unwrap();
+        assert!(out.contains("scaled residual"), "{ord}: {out}");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn pivot_rules_through_the_cli() {
+    let path = tmp("rule");
+    run(&args(&["gen", "orsreg1", &path, "--reduced"])).unwrap();
+    for rule in ["partial", "threshold:0.1", "diagonal"] {
+        let out = run(&args(&["solve", &path, "--rule", rule])).unwrap();
+        assert!(out.contains("scaled residual"), "{rule}: {out}");
+        assert!(!out.contains("WARNING"), "{rule}: {out}");
+    }
+    assert!(run(&args(&["solve", &path, "--rule", "bogus"]))
+        .unwrap_err()
+        .contains("unknown pivot rule"));
+    assert!(run(&args(&["solve", &path, "--rule", "threshold:7"]))
+        .unwrap_err()
+        .contains("threshold must be"));
+    let _ = std::fs::remove_file(&path);
+}

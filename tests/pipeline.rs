@@ -1,0 +1,121 @@
+//! End-to-end integration tests: the full pipeline on every benchmark
+//! generator, across task graphs, thread counts and mappings.
+
+use parsplu::core::{analyze, Options, SparseLu, TaskGraphKind};
+use parsplu::matgen::{manufactured_rhs, paper_suite, Scale};
+use parsplu::sched::Mapping;
+use parsplu::sparse::relative_residual;
+
+#[test]
+fn whole_suite_factors_and_solves_with_both_graphs() {
+    for m in paper_suite(Scale::Reduced) {
+        let (_, b) = manufactured_rhs(&m.a, 17);
+        for task_graph in [TaskGraphKind::EForest, TaskGraphKind::SStar] {
+            let opts = Options {
+                task_graph,
+                ..Options::default()
+            };
+            let lu = SparseLu::factor(&m.a, &opts)
+                .unwrap_or_else(|e| panic!("{}: {e}", m.name));
+            let x = lu.solve(&b);
+            let r = relative_residual(&m.a, &x, &b);
+            assert!(r < 1e-10, "{} ({task_graph:?}): residual {r}", m.name);
+        }
+    }
+}
+
+#[test]
+fn parallel_runs_reproduce_sequential_bits() {
+    for m in paper_suite(Scale::Reduced) {
+        let (_, b) = manufactured_rhs(&m.a, 23);
+        let seq = SparseLu::factor(&m.a, &Options::default()).expect("sequential");
+        let x_seq = seq.solve(&b);
+        for threads in [2usize, 4] {
+            for mapping in [Mapping::Static1D, Mapping::Dynamic] {
+                let opts = Options {
+                    threads,
+                    mapping,
+                    ..Options::default()
+                };
+                let par = SparseLu::factor(&m.a, &opts).expect("parallel");
+                let x = par.solve(&b);
+                // Same pivots, same arithmetic order within tasks → the
+                // results must agree to the last bit.
+                assert_eq!(
+                    x, x_seq,
+                    "{}: threads={threads} {mapping:?} changed the numbers",
+                    m.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn postorder_and_amalgamation_toggles_preserve_solutions() {
+    let m = &paper_suite(Scale::Reduced)[4]; // orsreg1
+    let (x_true, b) = manufactured_rhs(&m.a, 31);
+    for postorder in [false, true] {
+        for amalgamation in [None, Some(Default::default())] {
+            let opts = Options {
+                postorder,
+                amalgamation,
+                ..Options::default()
+            };
+            let lu = SparseLu::factor(&m.a, &opts).expect("factors");
+            let x = lu.solve(&b);
+            let err = x
+                .iter()
+                .zip(&x_true)
+                .map(|(p, q)| (p - q).abs())
+                .fold(0.0_f64, f64::max);
+            assert!(err < 1e-8, "postorder={postorder}: error {err}");
+        }
+    }
+}
+
+#[test]
+fn supernode_counts_shrink_with_postordering_suitewide() {
+    // The paper's Table 3 claim, asserted as a suite-wide invariant: the
+    // total supernode count with postordering never exceeds the count
+    // without it (individual matrices may tie).
+    let mut with_total = 0usize;
+    let mut without_total = 0usize;
+    for m in paper_suite(Scale::Reduced) {
+        let with = analyze(m.a.pattern(), &Options::default()).expect("analysis");
+        let without = analyze(
+            m.a.pattern(),
+            &Options {
+                postorder: false,
+                ..Options::default()
+            },
+        )
+        .expect("analysis");
+        with_total += with.stats.supernodes;
+        without_total += without.stats.supernodes;
+    }
+    assert!(
+        with_total < without_total,
+        "postordering should reduce supernodes overall: {with_total} vs {without_total}"
+    );
+}
+
+#[test]
+fn eforest_graph_is_sparser_suitewide() {
+    for m in paper_suite(Scale::Reduced) {
+        let sym = analyze(m.a.pattern(), &Options::default()).expect("analysis");
+        let e = sym.build_graph(TaskGraphKind::EForest);
+        let s = sym.build_graph(TaskGraphKind::SStar);
+        assert_eq!(e.len(), s.len(), "{}: task sets differ", m.name);
+        assert!(
+            e.num_edges() <= s.num_edges(),
+            "{}: eforest graph has more edges",
+            m.name
+        );
+        assert!(
+            e.critical_path_len() <= s.critical_path_len(),
+            "{}: eforest graph has a longer critical path",
+            m.name
+        );
+    }
+}

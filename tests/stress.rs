@@ -1,0 +1,45 @@
+//! Full-scale stress runs (ignored by default — run with
+//! `cargo test --release --test stress -- --ignored`).
+
+use parsplu::core::{Options, SparseLu, TaskGraphKind};
+use parsplu::matgen::{manufactured_rhs, paper_suite, random_unsymmetric, Scale};
+use parsplu::sparse::relative_residual;
+
+/// The complete paper-scale suite through the default pipeline.
+#[test]
+#[ignore = "full-scale run (~2 s per matrix in release, much slower in debug)"]
+fn full_scale_suite_end_to_end() {
+    for m in paper_suite(Scale::Full) {
+        let (_, b) = manufactured_rhs(&m.a, 1);
+        for task_graph in [TaskGraphKind::EForest, TaskGraphKind::SStar] {
+            let opts = Options {
+                task_graph,
+                threads: 2,
+                ..Options::default()
+            };
+            let lu = SparseLu::factor(&m.a, &opts)
+                .unwrap_or_else(|e| panic!("{}: {e}", m.name));
+            let x = lu.solve(&b);
+            let r = relative_residual(&m.a, &x, &b);
+            assert!(r < 1e-9, "{} ({task_graph:?}): residual {r}", m.name);
+        }
+    }
+}
+
+/// A large random matrix exercising deep elimination chains.
+#[test]
+#[ignore = "full-scale run"]
+fn large_random_matrix() {
+    let a = random_unsymmetric(10_000, 5, 2024);
+    let (_, b) = manufactured_rhs(&a, 3);
+    let lu = SparseLu::factor(
+        &a,
+        &Options {
+            threads: 2,
+            ..Options::default()
+        },
+    )
+    .unwrap();
+    let x = lu.solve(&b);
+    assert!(relative_residual(&a, &x, &b) < 1e-9);
+}
