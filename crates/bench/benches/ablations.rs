@@ -60,8 +60,10 @@ fn bench_ablations(c: &mut Criterion) {
         let sym = analyze(a.pattern(), &Options::default()).expect("analysis succeeds");
         let permuted = sym.permute_matrix(&a);
         let graph = sym.build_graph(TaskGraphKind::EForest);
-        for (label, mapping) in [("static1d", Mapping::Static1D), ("dynamic", Mapping::Dynamic)]
-        {
+        for (label, mapping) in [
+            ("static1d", Mapping::Static1D),
+            ("dynamic", Mapping::Dynamic),
+        ] {
             g.bench_function(format!("mapping_p2/{label}"), |b| {
                 b.iter(|| {
                     sym.factor_numeric_permuted(&permuted, &graph, 2, mapping, 0.0)

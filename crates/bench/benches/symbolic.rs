@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use splu_matgen::{paper_matrix, Scale};
-use splu_ordering::{column_min_degree, maximum_transversal, reverse_cuthill_mckee, StructuralRank};
+use splu_ordering::{
+    column_min_degree, maximum_transversal, reverse_cuthill_mckee, StructuralRank,
+};
 use splu_sparse::Permutation;
 use splu_symbolic::{
     amalgamate, postorder_permutation, static_symbolic_factorization, supernode_partition,
@@ -28,9 +30,7 @@ fn bench_symbolic(c: &mut Criterion) {
     g.sample_size(10)
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(2));
-    g.bench_function("transversal", |b| {
-        b.iter(|| maximum_transversal(&p))
-    });
+    g.bench_function("transversal", |b| b.iter(|| maximum_transversal(&p)));
     g.bench_function("min_degree_ata", |b| b.iter(|| column_min_degree(&p1)));
     g.bench_function("rcm", |b| b.iter(|| reverse_cuthill_mckee(&p1)));
     g.bench_function("static_factorization", |b| {

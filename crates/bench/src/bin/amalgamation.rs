@@ -12,7 +12,7 @@
 //! ```
 
 use splu_bench::min_time;
-use splu_core::{analyze, BlockMatrix, factor_with_graph, Options, TaskGraphKind};
+use splu_core::{analyze, factor_with_graph, BlockMatrix, Options, TaskGraphKind};
 use splu_matgen::{paper_matrix, Scale};
 use splu_sched::Mapping;
 use splu_symbolic::SupernodeOptions;

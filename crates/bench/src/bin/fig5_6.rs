@@ -27,7 +27,10 @@ fn improvement_line(p: &Prepared) -> String {
     for &np in &procs {
         let t_old = simulated_seconds(p, &p.sstar, np, Mapping::Dynamic, &model);
         let t_new = simulated_seconds(p, &p.eforest, np, Mapping::Dynamic, &model);
-        s.push_str(&format!("  P={np}: {:>5.1}%", 100.0 * (1.0 - t_new / t_old)));
+        s.push_str(&format!(
+            "  P={np}: {:>5.1}%",
+            100.0 * (1.0 - t_new / t_old)
+        ));
     }
     s
 }

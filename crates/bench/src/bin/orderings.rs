@@ -35,8 +35,12 @@ fn main() {
         let rcm = run(OrderingChoice::Rcm);
         println!(
             "{:<10} {:>14} {:>14} {:>14}   {:>10.2e} {:>10.2e}",
-            m.name, md.nnz_filled, nat.nnz_filled, rcm.nnz_filled,
-            md.flops_estimate, rcm.flops_estimate
+            m.name,
+            md.nnz_filled,
+            nat.nnz_filled,
+            rcm.nnz_filled,
+            md.flops_estimate,
+            rcm.flops_estimate
         );
     }
     println!("\n(MD = minimum degree on AtA, the paper's choice)");

@@ -1,0 +1,184 @@
+//! Thread-scaling benchmark of the numerical factorization, comparing the
+//! work-stealing critical-path-priority executor against the retained
+//! shared-FIFO baseline.
+//!
+//! For every suite matrix, every thread count in {1, 2, 4, 8} and every
+//! scheduling discipline — `static1d` (owner-computes, priority pools),
+//! `dynamic` (work stealing, priority pools) and `fifo-dynamic` (the
+//! pre-work-stealing shared FIFO queue, kept as [`splu_sched::execute_fifo`])
+//! — the median of [`splu_bench::REPS`] factorization times is recorded to
+//! `BENCH_factor.json` in the working directory:
+//!
+//! ```json
+//! [{"matrix": "...", "threads": 8, "mapping": "dynamic",
+//!   "median_seconds": 0.0123}, ...]
+//! ```
+//!
+//! The host may have fewer physical cores than the paper's 8-processor
+//! Origin 2000 (this container has one), in which case wall-clock numbers
+//! only expose scheduler overhead, not scheduling quality. Two additional
+//! rows per matrix therefore evaluate the *policy* itself on the calibrated
+//! simulator (DESIGN.md §5, substitution 2) at 8 virtual processors:
+//! `sim8-priority` (the executor's critical-path inspector) versus
+//! `sim8-fifo` (the pre-rework FIFO inspector), identical costs and
+//! mapping otherwise.
+//!
+//! The closing summary prints both 8-way ratios (`dynamic` over
+//! `fifo-dynamic` wall clock; priority over FIFO simulated) on the largest
+//! matrix — the headline numbers of the executor rework. Set
+//! `PARSPLU_REDUCED=1` for a fast CI-sized run.
+
+use splu_bench::{calibrated_model, prepare_suite, Prepared, REPS};
+use splu_core::{estimate_task_costs, factor_task, factor_with_graph, update_task, BlockMatrix};
+use splu_sched::{execute_fifo, simulate_dynamic, Mapping, ReadyPolicy, Task};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Median wall time of `REPS` runs of `f`, in seconds.
+fn median_time<F: FnMut()>(mut f: F) -> f64 {
+    let mut times: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    times[times.len() / 2]
+}
+
+/// One timed configuration.
+struct Record {
+    matrix: String,
+    threads: usize,
+    mapping: &'static str,
+    median_seconds: f64,
+}
+
+fn time_mapping(p: &Prepared, threads: usize, mapping: Mapping) -> f64 {
+    let mut bm = BlockMatrix::assemble(&p.permuted, &p.sym.block_structure);
+    median_time(|| {
+        bm.reset_from(&p.permuted, &p.sym.block_structure);
+        factor_with_graph(&bm, &p.eforest, threads, mapping, 0.0).expect("factorization succeeds");
+    })
+}
+
+/// The baseline: same task bodies, same graph, but the old shared-FIFO
+/// executor under dynamic self-scheduling.
+fn time_fifo(p: &Prepared, threads: usize) -> f64 {
+    let mut bm = BlockMatrix::assemble(&p.permuted, &p.sym.block_structure);
+    median_time(|| {
+        bm.reset_from(&p.permuted, &p.sym.block_structure);
+        execute_fifo(&p.eforest, threads, Mapping::Dynamic, |task| match task {
+            Task::Factor(k) => {
+                factor_task(&bm, k, 0.0).expect("factorization succeeds");
+            }
+            Task::Update { src, dst } => update_task(&bm, src, dst),
+        });
+    })
+}
+
+fn main() {
+    let prepared = prepare_suite();
+    let threads_axis = [1usize, 2, 4, 8];
+    let mut records: Vec<Record> = Vec::new();
+
+    println!(
+        "{:<14} {:>7} {:>13} {:>13} {:>13}",
+        "matrix", "threads", "static1d", "dynamic", "fifo-dynamic"
+    );
+    for p in &prepared {
+        for &threads in &threads_axis {
+            let t_static = time_mapping(p, threads, Mapping::Static1D);
+            let t_dynamic = time_mapping(p, threads, Mapping::Dynamic);
+            let t_fifo = time_fifo(p, threads);
+            println!(
+                "{:<14} {:>7} {:>12.6}s {:>12.6}s {:>12.6}s",
+                p.name, threads, t_static, t_dynamic, t_fifo
+            );
+            for (mapping, secs) in [
+                ("static1d", t_static),
+                ("dynamic", t_dynamic),
+                ("fifo-dynamic", t_fifo),
+            ] {
+                records.push(Record {
+                    matrix: p.name.to_string(),
+                    threads,
+                    mapping,
+                    median_seconds: secs,
+                });
+            }
+        }
+        // Scheduling-policy comparison at 8 virtual processors on the
+        // calibrated simulator (ground truth for hosts with < 8 cores).
+        let serial = records
+            .iter()
+            .find(|r| r.matrix == p.name && r.threads == 1 && r.mapping == "static1d")
+            .map(|r| std::time::Duration::from_secs_f64(r.median_seconds))
+            .expect("serial measurement recorded first");
+        let model = calibrated_model(p, &p.eforest, serial);
+        let costs = estimate_task_costs(&p.sym.block_structure, &p.eforest);
+        let sim_prio =
+            simulate_dynamic(&p.eforest, 8, &costs, &model, ReadyPolicy::Priority).makespan;
+        let sim_fifo = simulate_dynamic(&p.eforest, 8, &costs, &model, ReadyPolicy::Fifo).makespan;
+        println!(
+            "{:<14} {:>7} {:>12.6}s {:>12.6}s   (sim8 priority vs fifo: {:.2}x)",
+            p.name,
+            "sim8",
+            sim_prio,
+            sim_fifo,
+            sim_fifo / sim_prio
+        );
+        for (mapping, secs) in [("sim8-priority", sim_prio), ("sim8-fifo", sim_fifo)] {
+            records.push(Record {
+                matrix: p.name.to_string(),
+                threads: 8,
+                mapping,
+                median_seconds: secs,
+            });
+        }
+    }
+
+    // Headline: 8-thread dynamic (stealing) vs the FIFO baseline on the
+    // largest matrix of the suite.
+    if let Some(largest) = prepared.iter().max_by_key(|p| p.a.ncols()) {
+        let find = |mapping: &str| {
+            records
+                .iter()
+                .find(|r| r.matrix == largest.name && r.threads == 8 && r.mapping == mapping)
+                .map(|r| r.median_seconds)
+        };
+        if let (Some(dynamic), Some(fifo)) = (find("dynamic"), find("fifo-dynamic")) {
+            println!(
+                "\n{}@8 threads: work-stealing {:.6}s vs FIFO {:.6}s  ({:.2}x wall clock)",
+                largest.name,
+                dynamic,
+                fifo,
+                fifo / dynamic
+            );
+        }
+        if let (Some(prio), Some(fifo)) = (find("sim8-priority"), find("sim8-fifo")) {
+            println!(
+                "{}@8 virtual procs: priority {:.6}s vs FIFO {:.6}s  ({:.2}x simulated)",
+                largest.name,
+                prio,
+                fifo,
+                fifo / prio
+            );
+        }
+    }
+
+    let mut json = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 == records.len() { "" } else { "," };
+        writeln!(
+            json,
+            "  {{\"matrix\": \"{}\", \"threads\": {}, \"mapping\": \"{}\", \"median_seconds\": {:.9}}}{}",
+            r.matrix, r.threads, r.mapping, r.median_seconds, sep
+        )
+        .expect("string write");
+    }
+    json.push_str("]\n");
+    std::fs::write("BENCH_factor.json", json).expect("write BENCH_factor.json");
+    println!("\nwrote BENCH_factor.json ({} records)", records.len());
+}

@@ -24,11 +24,7 @@ fn main() {
             .unwrap_or("-");
         println!(
             "{:<10} {:<26} {:>7} {:>9} {:>9.2}",
-            m.name,
-            domain,
-            sym.stats.n,
-            sym.stats.nnz_a,
-            sym.stats.fill_ratio
+            m.name, domain, sym.stats.n, sym.stats.nnz_a, sym.stats.fill_ratio
         );
     }
 }

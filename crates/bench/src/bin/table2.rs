@@ -20,8 +20,16 @@ fn main() {
     println!("Table 2: numerical factorization time (seconds)");
     println!(
         "{:<10} {:>10} {:>10} {:>10} {:>10}   {:>9} {:>9} {:>9} {:>9}  {:>8}",
-        "Matrix", "real P=1", "real P=2", "real P=4", "real P=8", "sim P=1", "sim P=2",
-        "sim P=4", "sim P=8", "speedup8"
+        "Matrix",
+        "real P=1",
+        "real P=2",
+        "real P=4",
+        "real P=8",
+        "sim P=1",
+        "sim P=2",
+        "sim P=4",
+        "sim P=8",
+        "speedup8"
     );
     for p in prepare_suite() {
         let mut real = Vec::new();

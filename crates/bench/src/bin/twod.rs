@@ -51,7 +51,10 @@ fn main() {
     // (bit-identical to the coarse tasks — enforced by the test-suite);
     // measured here at host scale.
     println!("\nMeasured fine-DAG execution on this host (wall milliseconds):");
-    println!("{:<10} {:>10} {:>10} {:>12}", "Matrix", "fine P=1", "fine P=2", "coarse P=2");
+    println!(
+        "{:<10} {:>10} {:>10} {:>12}",
+        "Matrix", "fine P=1", "fine P=2", "coarse P=2"
+    );
     for p in prepare_suite().into_iter().take(3) {
         let forest = block_forest(&p.sym.block_structure);
         let fg = build_fine_graph(&p.sym.block_structure, &forest);

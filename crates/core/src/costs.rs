@@ -107,12 +107,9 @@ mod tests {
         use splu_sparse::SparsityPattern;
         use splu_symbolic::Partition;
         let n = 6;
-        let p = SparsityPattern::from_entries(
-            n,
-            n,
-            (0..n).flat_map(|i| (0..n).map(move |j| (i, j))),
-        )
-        .unwrap();
+        let p =
+            SparsityPattern::from_entries(n, n, (0..n).flat_map(|i| (0..n).map(move |j| (i, j))))
+                .unwrap();
         let f = static_symbolic_factorization(&p).unwrap();
         let bs1 = BlockStructure::new(&f, supernode_partition(&f));
         assert_eq!(bs1.num_blocks(), 1);

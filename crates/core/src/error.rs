@@ -37,7 +37,10 @@ impl std::fmt::Display for LuError {
                 write!(f, "matrix is {nrows}x{ncols}, LU needs a square matrix")
             }
             LuError::StructurallySingular { rank } => {
-                write!(f, "structurally singular: maximum transversal has size {rank}")
+                write!(
+                    f,
+                    "structurally singular: maximum transversal has size {rank}"
+                )
             }
             LuError::NumericallySingular { column } => {
                 write!(f, "numerically singular at factorization column {column}")

@@ -126,7 +126,13 @@ pub fn gp_factor(a: &CscMatrix, pivot_threshold: f64) -> Result<GpLu, LuError> {
         }
         // --- Numeric: sparse lower solve in topological (reverse postorder)
         // order.
-        for &(r, v) in a_rows.iter().zip(a_vals).map(|(&r, &v)| (r, v)).collect::<Vec<_>>().iter() {
+        for &(r, v) in a_rows
+            .iter()
+            .zip(a_vals)
+            .map(|(&r, &v)| (r, v))
+            .collect::<Vec<_>>()
+            .iter()
+        {
             x[r] = v;
         }
         for &r in reach.iter().rev() {

@@ -42,12 +42,12 @@ pub use numeric::{
     factor_left_looking, factor_task, factor_task_with_rule, factor_with_graph,
     factor_with_graph_rule, update_task,
 };
-pub use splu_dense::PivotRule;
 pub use numeric_fine::{apply_task, factor_with_fine_graph, gemm_task, trsm_task};
 pub use psolve::solve_permuted_parallel;
 pub use solve::{
     det_permuted, growth_factor, solve_many_permuted, solve_permuted, solve_transposed_permuted,
 };
+pub use splu_dense::PivotRule;
 
 mod condest;
 pub use condest::estimate_inverse_1norm;
@@ -259,9 +259,7 @@ pub fn analyze(pattern: &SparsityPattern, opts: &Options) -> Result<SymbolicLu, 
     // 0. Maximum transversal → zero-free diagonal.
     let rp0 = match maximum_transversal(pattern) {
         StructuralRank::Full(p) => p,
-        StructuralRank::Deficient { rank } => {
-            return Err(LuError::StructurallySingular { rank })
-        }
+        StructuralRank::Deficient { rank } => return Err(LuError::StructurallySingular { rank }),
     };
     let id = Permutation::identity(n);
     let p1 = pattern.permuted(&rp0, &id);
@@ -424,11 +422,7 @@ impl SparseLu {
         solve_transposed_permuted(&self.bm, &self.sym.block_structure, &mut y);
         let x = self.sym.row_perm.apply_inverse_vec(&y);
         match &self.equil {
-            Some(eq) => x
-                .iter()
-                .zip(&eq.row_scale)
-                .map(|(&v, &s)| v * s)
-                .collect(),
+            Some(eq) => x.iter().zip(&eq.row_scale).map(|(&v, &s)| v * s).collect(),
             None => x,
         }
     }
@@ -674,8 +668,7 @@ mod tests {
     fn matrices_without_zero_free_diagonal_are_handled() {
         // A cyclic permutation matrix plus noise: diagonal all zero.
         let n = 12;
-        let mut trips: Vec<(usize, usize, f64)> =
-            (0..n).map(|i| ((i + 1) % n, i, 3.0)).collect();
+        let mut trips: Vec<(usize, usize, f64)> = (0..n).map(|i| ((i + 1) % n, i, 3.0)).collect();
         trips.push((0, 4, 0.5));
         trips.push((7, 2, -0.25));
         let a = CscMatrix::from_triplets(n, n, &trips).unwrap();
@@ -687,8 +680,7 @@ mod tests {
 
     #[test]
     fn structurally_singular_is_rejected() {
-        let a = CscMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (1, 0, 1.0), (2, 2, 1.0)])
-            .unwrap();
+        let a = CscMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (1, 0, 1.0), (2, 2, 1.0)]).unwrap();
         assert!(matches!(
             SparseLu::factor(&a, &Options::default()),
             Err(LuError::StructurallySingular { rank: 2 })
@@ -797,12 +789,9 @@ mod tests {
     fn diagonal_rule_fails_where_partial_succeeds() {
         // Zero diagonal entry: partial pivoting recovers, diagonal rule
         // cannot.
-        let a = CscMatrix::from_triplets(
-            2,
-            2,
-            &[(0, 0, 0.0), (1, 0, 1.0), (0, 1, 1.0), (1, 1, 1.0)],
-        )
-        .unwrap();
+        let a =
+            CscMatrix::from_triplets(2, 2, &[(0, 0, 0.0), (1, 0, 1.0), (0, 1, 1.0), (1, 1, 1.0)])
+                .unwrap();
         assert!(SparseLu::factor(&a, &Options::default()).is_ok());
         assert!(matches!(
             SparseLu::factor(
@@ -869,8 +858,10 @@ mod tests {
             assert_eq!(&xs[r * n..(r + 1) * n], &x1[..]);
             assert!(relative_residual(&a, &x1, &b[r * n..(r + 1) * n]) < 1e-12);
         }
+        // Growth can dip marginally below 1 when the largest entry of A lies
+        // in a row that elimination reduces, so the lower bound is loose.
         let g = lu.growth(&a);
-        assert!(g >= 1.0 - 1e-12 && g < 100.0, "growth {g}");
+        assert!((0.99..100.0).contains(&g), "growth {g}");
     }
 
     #[test]

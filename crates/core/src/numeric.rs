@@ -11,17 +11,23 @@
 //! `Update(k, j)` is always possible: either both rows are stored in the
 //! destination column, or both are structurally (hence numerically) zero
 //! there.
+//!
+//! Storage is panel-major (see [`crate::blocks`]): the L-region of a block
+//! column *is* the stacked panel, so `Factor(k)` pivots **in place** — no
+//! gather into a temporary and no scatter back — and `Update(k, j)` reads
+//! the `L(i, k)` operands as strided row ranges of column `k`'s panel
+//! straight into the gemm kernel. [`BlockMatrix::panel_copy_count`] stays
+//! at zero across the whole factorization (asserted by the test-suite).
 
 use crate::blocks::BlockMatrix;
 use crate::LuError;
 use parking_lot::Mutex;
-use splu_dense::{gemm_sub, lu_panel_with_rule, trsm_lower_unit, DenseMat, PivotRule};
+use splu_dense::{gemm_sub_view, lu_panel_with_rule, trsm_lower_unit_view, PivotRule};
 use splu_sched::{execute, Mapping, Task, TaskGraph};
 use std::sync::atomic::{AtomicBool, Ordering};
 
-/// Factorizes block column `k`: gathers the stacked panel, runs panel LU
-/// with partial pivoting, scatters the factors back and records the pivot
-/// sequence.
+/// Factorizes block column `k`: runs panel LU with partial pivoting **in
+/// place** on the stored stacked panel and records the pivot sequence.
 pub fn factor_task(bm: &BlockMatrix, k: usize, pivot_threshold: f64) -> Result<(), LuError> {
     factor_task_with_rule(bm, k, PivotRule::Partial, pivot_threshold)
 }
@@ -34,39 +40,14 @@ pub fn factor_task_with_rule(
     rule: PivotRule,
     pivot_threshold: f64,
 ) -> Result<(), LuError> {
-    let stack = bm.stack(k);
     let mut col = bm.column(k).write();
-    let w = col.blocks[0].ncols();
-    let m = stack.height();
-
-    // Gather the L-region blocks into one contiguous panel.
-    let mut panel = DenseMat::zeros(m, w);
-    for (t, &ib) in stack.l_rows.iter().enumerate() {
-        let off = stack.offsets[t];
-        let blk = col.block(ib).expect("L-region block must exist");
-        let h = blk.nrows();
-        for jj in 0..w {
-            panel.col_mut(jj)[off..off + h].copy_from_slice(blk.col(jj));
-        }
-    }
-
-    let piv = lu_panel_with_rule(&mut panel, rule, pivot_threshold).map_err(|e| {
+    let piv = lu_panel_with_rule(&mut col.panel, rule, pivot_threshold).map_err(|e| {
         let splu_dense::PanelError::Singular { column } = e;
         // Report the global column (in factorization order).
         LuError::NumericallySingular {
             column: stack_global_col(bm, k, column),
         }
     })?;
-
-    // Scatter back.
-    for (t, &ib) in stack.l_rows.iter().enumerate() {
-        let off = stack.offsets[t];
-        let blk = col.block_mut(ib).expect("L-region block must exist");
-        let h = blk.nrows();
-        for jj in 0..w {
-            blk.col_mut(jj).copy_from_slice(&panel.col(jj)[off..off + h]);
-        }
-    }
     col.pivots = Some(piv);
     Ok(())
 }
@@ -83,7 +64,8 @@ fn stack_global_col(bm: &BlockMatrix, k: usize, c: usize) -> usize {
 /// Updates block column `j` by the factored block column `k`:
 /// applies `k`'s pivot interchanges to column `j`, computes
 /// `Ū(k, j) = L(k, k)⁻¹ B̄(k, j)` and performs the Schur updates
-/// `B̄(I, j) ← B̄(I, j) − L(I, k) · Ū(k, j)`.
+/// `B̄(I, j) ← B̄(I, j) − L(I, k) · Ū(k, j)` — each `L(I, k)` read as a
+/// strided row range of column `k`'s stored panel (zero copies).
 pub fn update_task(bm: &BlockMatrix, k: usize, j: usize) {
     debug_assert!(k < j);
     let stack = bm.stack(k);
@@ -95,57 +77,32 @@ pub fn update_task(bm: &BlockMatrix, k: usize, j: usize) {
         .expect("Update(k, j) scheduled before Factor(k)");
 
     // 1. Apply the interchanges of Factor(k) to column j.
-    let w_j = col_j.blocks[0].ncols();
     for (c, &p) in piv.swaps().iter().enumerate() {
         if c == p {
             continue;
         }
-        let (ib1, r1) = stack.locate(c);
-        let (ib2, r2) = stack.locate(p);
-        match (col_j.find(ib1), col_j.find(ib2)) {
-            (Some(q1), Some(q2)) if q1 == q2 => col_j.blocks[q1].swap_rows(r1, r2),
-            (Some(q1), Some(q2)) => {
-                let (b1, b2) = col_j.two_blocks_mut(q1, q2);
-                for jj in 0..w_j {
-                    std::mem::swap(&mut b1[(r1, jj)], &mut b2[(r2, jj)]);
-                }
-            }
-            (Some(q), None) => debug_assert_row_zero(&col_j.blocks[q], r1),
-            (None, Some(q)) => debug_assert_row_zero(&col_j.blocks[q], r2),
-            (None, None) => {}
-        }
+        col_j.swap_scalar_rows(stack.locate(c), stack.locate(p));
     }
 
-    // 2. Ū(k, j) = L(k, k)⁻¹ · B̄(k, j) (unit lower triangular solve).
-    let diag = col_k.block(k).expect("diagonal block exists");
-    let qk = col_j
-        .find(k)
-        .expect("Update(k, j) requires block B̄(k, j)");
-    trsm_lower_unit(diag, &mut col_j.blocks[qk]);
+    // 2. Ū(k, j) = L(k, k)⁻¹ · B̄(k, j) (unit lower triangular solve). The
+    //    diagonal block is the top square of column k's panel; B̄(k, j) is
+    //    in column j's U-region because k < j.
+    let w_k = col_k.width();
+    let diag = col_k.panel.row_range(0..w_k);
+    let qk = col_j.find(k).expect("Update(k, j) requires block B̄(k, j)");
+    debug_assert!(qk < col_j.u_count());
+    trsm_lower_unit_view(diag, col_j.ublocks[qk].as_view_mut());
 
     // 3. Schur updates down the L blocks of column k. A missing destination
     //    block means the contribution is structurally — hence exactly —
     //    zero (see module docs), and can be skipped.
-    for &ib in &stack.l_rows[1..] {
-        let l_ik = col_k.block(ib).expect("L-region block must exist");
+    for (t, &ib) in stack.l_rows.iter().enumerate().skip(1) {
         if let Some(q) = col_j.find(ib) {
-            debug_assert_ne!(q, qk);
-            let (dst, u_kj) = col_j.two_blocks_mut(q, qk);
-            gemm_sub(dst, l_ik, u_kj);
-        }
-    }
-}
-
-/// Debug-only invariant: a row involved in an interchange whose partner has
-/// no storage in this column must itself be entirely zero here.
-fn debug_assert_row_zero(blk: &DenseMat, r: usize) {
-    if cfg!(debug_assertions) {
-        for jj in 0..blk.ncols() {
-            debug_assert_eq!(
-                blk[(r, jj)],
-                0.0,
-                "pivot interchange would lose a nonzero at local row {r}"
-            );
+            let l_ik = col_k
+                .panel
+                .row_range(stack.offsets[t]..stack.offsets[t + 1]);
+            let (dst, u_kj) = col_j.dst_and_u(q, qk);
+            gemm_sub_view(dst, l_ik, u_kj);
         }
     }
 }
@@ -160,7 +117,14 @@ pub fn factor_with_graph(
     mapping: Mapping,
     pivot_threshold: f64,
 ) -> Result<(), LuError> {
-    factor_with_graph_rule(bm, graph, nthreads, mapping, PivotRule::Partial, pivot_threshold)
+    factor_with_graph_rule(
+        bm,
+        graph,
+        nthreads,
+        mapping,
+        PivotRule::Partial,
+        pivot_threshold,
+    )
 }
 
 /// [`factor_with_graph`] with an explicit pivot-selection rule.
@@ -210,7 +174,11 @@ pub fn factor_left_looking(bm: &BlockMatrix, pivot_threshold: f64) -> Result<(),
         // Sources = U-region block rows of column j, ascending.
         let sources: Vec<usize> = {
             let col = bm.column(j).read();
-            col.block_rows.iter().copied().take_while(|&k| k < j).collect()
+            col.block_rows
+                .iter()
+                .copied()
+                .take_while(|&k| k < j)
+                .collect()
         };
         for k in sources {
             update_task(bm, k, j);
@@ -224,7 +192,7 @@ pub fn factor_left_looking(bm: &BlockMatrix, pivot_threshold: f64) -> Result<(),
 mod tests {
     use super::*;
     use crate::blocks::BlockMatrix;
-    use splu_dense::{lu_full, lu_solve};
+    use splu_dense::{lu_full, lu_solve, DenseMat};
     use splu_sched::build_eforest_graph;
     use splu_sparse::CscMatrix;
     use splu_symbolic::fixtures::fig1_matrix;
@@ -240,6 +208,7 @@ mod tests {
         let bm = BlockMatrix::assemble(a, &bs);
         let graph = build_eforest_graph(&bs);
         factor_with_graph(&bm, &graph, 1, Mapping::Static1D, 0.0).unwrap();
+        assert_eq!(bm.panel_copy_count(), 0, "factorization must be zero-copy");
 
         // Dense oracle.
         let n = a.nrows();
@@ -248,7 +217,9 @@ mod tests {
 
         // Compare solves on a few right-hand sides.
         for trial in 0..3 {
-            let b: Vec<f64> = (0..n).map(|i| ((i * 7 + trial * 3) % 5) as f64 - 2.0).collect();
+            let b: Vec<f64> = (0..n)
+                .map(|i| ((i * 7 + trial * 3) % 5) as f64 - 2.0)
+                .collect();
             let mut x_oracle = b.clone();
             lu_solve(&dense, &piv, &mut x_oracle);
             let mut x = b.clone();
@@ -314,22 +285,37 @@ mod tests {
             let cr = bm_right.column(k).read();
             let cl = bm_left.column(k).read();
             assert_eq!(cr.pivots, cl.pivots, "pivot sequences differ at {k}");
-            for (br, bl) in cr.blocks.iter().zip(&cl.blocks) {
-                assert_eq!(br.data(), bl.data(), "block values differ at column {k}");
+            for (br, bl) in cr.ublocks.iter().zip(&cl.ublocks) {
+                assert_eq!(br.data(), bl.data(), "U values differ at column {k}");
             }
+            assert_eq!(
+                cr.panel.data(),
+                cl.panel.data(),
+                "panel values differ at column {k}"
+            );
         }
+    }
+
+    /// The acceptance instrument of the zero-copy layout: a full graph
+    /// factorization never gathers or scatters a panel.
+    #[test]
+    fn graph_factorization_performs_zero_panel_copies() {
+        let a = fig1_matrix();
+        let f = static_symbolic_factorization(a.pattern()).unwrap();
+        let bs = BlockStructure::new(&f, supernode_partition(&f));
+        let bm = BlockMatrix::assemble(&a, &bs);
+        let graph = build_eforest_graph(&bs);
+        factor_with_graph(&bm, &graph, 4, Mapping::Dynamic, 0.0).unwrap();
+        assert_eq!(bm.panel_copy_count(), 0);
     }
 
     #[test]
     fn singular_matrix_reports_breakdown() {
         // Structurally fine but numerically rank-deficient: zero out all of
         // column 0 except a diagonal explicitly set to 0.
-        let a = CscMatrix::from_triplets(
-            2,
-            2,
-            &[(0, 0, 0.0), (1, 1, 1.0), (0, 1, 1.0), (1, 0, 0.0)],
-        )
-        .unwrap();
+        let a =
+            CscMatrix::from_triplets(2, 2, &[(0, 0, 0.0), (1, 1, 1.0), (0, 1, 1.0), (1, 0, 0.0)])
+                .unwrap();
         let f = static_symbolic_factorization(a.pattern()).unwrap();
         let bs = BlockStructure::new(&f, supernode_partition(&f));
         let bm = BlockMatrix::assemble(&a, &bs);

@@ -20,7 +20,7 @@ use crate::blocks::BlockMatrix;
 use crate::numeric::factor_task;
 use crate::LuError;
 use parking_lot::Mutex;
-use splu_dense::{gemm_sub, trsm_lower_unit};
+use splu_dense::{gemm_sub_view, trsm_lower_unit_view};
 use splu_sched::{execute_dag, FineGraph, FineTask};
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -34,59 +34,54 @@ pub fn apply_task(bm: &BlockMatrix, src: usize, dst: usize) {
         .pivots
         .as_ref()
         .expect("Apply(src, dst) scheduled before Factor(src)");
-    let w = col_dst.blocks[0].ncols();
     for (c, &p) in piv.swaps().iter().enumerate() {
         if c == p {
             continue;
         }
-        let (ib1, r1) = stack.locate(c);
-        let (ib2, r2) = stack.locate(p);
-        match (col_dst.find(ib1), col_dst.find(ib2)) {
-            (Some(q1), Some(q2)) if q1 == q2 => col_dst.blocks[q1].swap_rows(r1, r2),
-            (Some(q1), Some(q2)) => {
-                let (b1, b2) = col_dst.two_blocks_mut(q1, q2);
-                for jj in 0..w {
-                    std::mem::swap(&mut b1[(r1, jj)], &mut b2[(r2, jj)]);
-                }
-            }
-            _ => {
-                // One (or both) side has no storage here: the values are
-                // structurally zero (see crate::numeric docs) — a no-op.
-            }
-        }
+        // A side without storage in column dst is structurally zero there
+        // (see crate::numeric docs) and the swap degenerates to a no-op.
+        col_dst.swap_scalar_rows(stack.locate(c), stack.locate(p));
     }
 }
 
-/// Computes `Ū(src, dst) = L(src, src)⁻¹ B̄(src, dst)` in place.
+/// Computes `Ū(src, dst) = L(src, src)⁻¹ B̄(src, dst)` in place. The
+/// diagonal block is read straight off the top of column `src`'s panel.
 pub fn trsm_task(bm: &BlockMatrix, src: usize, dst: usize) {
     let col_src = bm.column(src).read();
     let mut col_dst = bm.column(dst).write();
-    let diag = col_src.block(src).expect("diagonal block exists");
+    let w = col_src.width();
+    let diag = col_src.panel.row_range(0..w);
     let q = col_dst
         .find(src)
         .expect("Trsm(src, dst) requires block B̄(src, dst)");
-    trsm_lower_unit(diag, &mut col_dst.blocks[q]);
+    debug_assert!(q < col_dst.u_count());
+    trsm_lower_unit_view(diag, col_dst.ublocks[q].as_view_mut());
 }
 
-/// One Schur update: `B̄(row, dst) −= L(row, src) · Ū(src, dst)`.
+/// One Schur update: `B̄(row, dst) −= L(row, src) · Ū(src, dst)`, with
+/// `L(row, src)` read as a strided row range of column `src`'s panel.
 pub fn gemm_task(bm: &BlockMatrix, src: usize, dst: usize, row: usize) {
+    let stack = bm.stack(src);
     let col_src = bm.column(src).read();
     let mut col_dst = bm.column(dst).write();
-    let l = col_src
-        .block(row)
+    let t = stack
+        .find_row(row)
         .expect("Gemm(src, dst, row) requires L(row, src)");
+    let l = col_src
+        .panel
+        .row_range(stack.offsets[t]..stack.offsets[t + 1]);
     let q_dst = col_dst
         .find(row)
         .expect("fine graph only schedules present destinations");
     let q_u = col_dst.find(src).expect("Ū(src, dst) block exists");
-    debug_assert_ne!(q_dst, q_u);
-    let (dst_blk, u_blk) = col_dst.two_blocks_mut(q_dst, q_u);
-    gemm_sub(dst_blk, l, u_blk);
+    debug_assert!(q_u < col_dst.u_count());
+    let (dst_blk, u_blk) = col_dst.dst_and_u(q_dst, q_u);
+    gemm_sub_view(dst_blk, l, u_blk);
 }
 
 /// Runs the numerical factorization over a fine-grained task graph with
-/// `nthreads` workers (shared ready queue). On breakdown the remaining
-/// tasks drain as no-ops and the first error is returned.
+/// `nthreads` workers (single shared priority pool). On breakdown the
+/// remaining tasks drain as no-ops and the first error is returned.
 pub fn factor_with_fine_graph(
     bm: &BlockMatrix,
     fg: &FineGraph,
@@ -142,7 +137,7 @@ mod tests {
         let mut trips: Vec<(usize, usize, f64)> = (0..n)
             .map(|i| (i, i, 3.0 + rng.gen_range(0.0..1.0)))
             .collect();
-        for _ in 0..4 * n {
+        for _ in 0..extra {
             trips.push((
                 rng.gen_range(0..n),
                 rng.gen_range(0..n),
@@ -167,17 +162,23 @@ mod tests {
             for threads in [1usize, 2, 4] {
                 let bm_fine = BlockMatrix::assemble(&a, &bs);
                 factor_with_fine_graph(&bm_fine, &fg, threads, 0.0).unwrap();
+                assert_eq!(bm_fine.panel_copy_count(), 0);
                 for k in 0..bm_fine.num_block_cols() {
                     let cf = bm_fine.column(k).read();
                     let cc = bm_coarse.column(k).read();
                     assert_eq!(cf.pivots, cc.pivots, "pivots differ (seed {seed}, col {k})");
-                    for (bf, bc) in cf.blocks.iter().zip(&cc.blocks) {
+                    for (bf, bc) in cf.ublocks.iter().zip(&cc.ublocks) {
                         assert_eq!(
                             bf.data(),
                             bc.data(),
-                            "values differ (seed {seed}, threads {threads}, col {k})"
+                            "U values differ (seed {seed}, threads {threads}, col {k})"
                         );
                     }
+                    assert_eq!(
+                        cf.panel.data(),
+                        cc.panel.data(),
+                        "panel values differ (seed {seed}, threads {threads}, col {k})"
+                    );
                 }
             }
         }
@@ -213,12 +214,9 @@ mod tests {
 
     #[test]
     fn fine_execution_reports_singularity() {
-        let a = CscMatrix::from_triplets(
-            2,
-            2,
-            &[(0, 0, 0.0), (1, 1, 1.0), (0, 1, 1.0), (1, 0, 0.0)],
-        )
-        .unwrap();
+        let a =
+            CscMatrix::from_triplets(2, 2, &[(0, 0, 0.0), (1, 1, 1.0), (0, 1, 1.0), (1, 0, 0.0)])
+                .unwrap();
         let f = static_symbolic_factorization(a.pattern()).unwrap();
         let bs = BlockStructure::new(&f, supernode_partition(&f));
         let forest = block_forest(&bs);

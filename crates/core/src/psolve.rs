@@ -207,7 +207,7 @@ pub fn solve_permuted_parallel(
                 if ib >= k {
                     break;
                 }
-                let blk = &col.blocks[pos];
+                let blk = &col.ublocks[pos];
                 let mut seg = shards.segs[ib].lock();
                 for c in 0..w {
                     let s = xk[c];

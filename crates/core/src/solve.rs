@@ -86,7 +86,7 @@ pub fn solve_permuted(bm: &BlockMatrix, bs: &BlockStructure, b: &mut [f64]) {
             if ib >= k {
                 break;
             }
-            let blk = &col.blocks[pos];
+            let blk = &col.ublocks[pos];
             let i_start = part.range(ib).start;
             for c in 0..w {
                 let s = b[k_start + c];
@@ -127,7 +127,7 @@ pub fn solve_transposed_permuted(bm: &BlockMatrix, bs: &BlockStructure, b: &mut 
             if ib >= k {
                 break;
             }
-            let blk = &col.blocks[pos];
+            let blk = &col.ublocks[pos];
             let i_start = part.range(ib).start;
             for c in 0..w {
                 let bcol = blk.col(c);
@@ -209,7 +209,7 @@ pub fn solve_transposed_permuted(bm: &BlockMatrix, bs: &BlockStructure, b: &mut 
 /// off-diagonal eliminations) — the multi-RHS payoff of the supernodal
 /// storage.
 pub fn solve_many_permuted(bm: &BlockMatrix, bs: &BlockStructure, b: &mut [f64], nrhs: usize) {
-    use splu_dense::{gemm_sub, trsm_lower_unit, trsm_upper, DenseMat};
+    use splu_dense::{gemm_sub_view, trsm_lower_unit_view, trsm_upper_view, DenseMat};
     let n = bm.n();
     assert_eq!(b.len(), n * nrhs, "rhs block size mismatch");
     if n == 0 || nrhs == 0 {
@@ -242,7 +242,7 @@ pub fn solve_many_permuted(bm: &BlockMatrix, bs: &BlockStructure, b: &mut [f64],
         let w = diag.ncols();
         // Extract X_k, trsm, write back.
         let mut xk = DenseMat::from_fn(w, nrhs, |r, c| x[(k_range.start + r, c)]);
-        trsm_lower_unit(diag, &mut xk);
+        trsm_lower_unit_view(diag, xk.as_view_mut());
         for c in 0..nrhs {
             for r in 0..w {
                 x[(k_range.start + r, c)] = xk[(r, c)];
@@ -253,7 +253,7 @@ pub fn solve_many_permuted(bm: &BlockMatrix, bs: &BlockStructure, b: &mut [f64],
             let blk = col.block(ib).expect("L block exists");
             let i_start = part.range(ib).start;
             let mut xi = DenseMat::from_fn(blk.nrows(), nrhs, |r, c| x[(i_start + r, c)]);
-            gemm_sub(&mut xi, blk, &xk);
+            gemm_sub_view(xi.as_view_mut(), blk, xk.as_view());
             for c in 0..nrhs {
                 for r in 0..blk.nrows() {
                     x[(i_start + r, c)] = xi[(r, c)];
@@ -269,7 +269,7 @@ pub fn solve_many_permuted(bm: &BlockMatrix, bs: &BlockStructure, b: &mut [f64],
         let w = diag.ncols();
         let k_start = part.range(k).start;
         let mut xk = DenseMat::from_fn(w, nrhs, |r, c| x[(k_start + r, c)]);
-        trsm_upper(diag, &mut xk);
+        trsm_upper_view(diag, xk.as_view_mut());
         for c in 0..nrhs {
             for r in 0..w {
                 x[(k_start + r, c)] = xk[(r, c)];
@@ -279,10 +279,10 @@ pub fn solve_many_permuted(bm: &BlockMatrix, bs: &BlockStructure, b: &mut [f64],
             if ib >= k {
                 break;
             }
-            let blk = &col.blocks[pos];
+            let blk = &col.ublocks[pos];
             let i_start = part.range(ib).start;
             let mut xi = DenseMat::from_fn(blk.nrows(), nrhs, |r, c| x[(i_start + r, c)]);
-            gemm_sub(&mut xi, blk, &xk);
+            gemm_sub_view(xi.as_view_mut(), blk.as_view(), xk.as_view());
             for c in 0..nrhs {
                 for r in 0..blk.nrows() {
                     x[(i_start + r, c)] = xi[(r, c)];
@@ -335,9 +335,10 @@ pub fn growth_factor(bm: &BlockMatrix, max_abs_a: f64) -> f64 {
     let mut max_f = 0.0_f64;
     for k in 0..bm.num_block_cols() {
         let col = bm.column(k).read();
-        for blk in &col.blocks {
+        for blk in &col.ublocks {
             max_f = max_f.max(blk.max_abs());
         }
+        max_f = max_f.max(col.panel.max_abs());
     }
     if max_abs_a == 0.0 {
         1.0
@@ -424,8 +425,7 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = SmallRng::seed_from_u64(12);
         let n = 24;
-        let mut trips: Vec<(usize, usize, f64)> =
-            (0..n).map(|i| (i, i, 1e-8)).collect(); // tiny diagonal → pivoting
+        let mut trips: Vec<(usize, usize, f64)> = (0..n).map(|i| (i, i, 1e-8)).collect(); // tiny diagonal → pivoting
         for _ in 0..4 * n {
             trips.push((
                 rng.gen_range(0..n),
@@ -472,9 +472,9 @@ mod tests {
 
     #[test]
     fn determinant_matches_dense_oracle() {
-        use splu_dense::{lu_full, DenseMat};
         use rand::rngs::SmallRng;
         use rand::{Rng, SeedableRng};
+        use splu_dense::{lu_full, DenseMat};
         let mut rng = SmallRng::seed_from_u64(42);
         for n in [2usize, 5, 12, 20] {
             let mut trips: Vec<(usize, usize, f64)> = (0..n)

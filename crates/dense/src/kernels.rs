@@ -1,18 +1,25 @@
 //! BLAS-3 style kernels: `gemm` and `trsm` on column-major matrices.
+//!
+//! The core implementations operate on strided views ([`MatRef`] /
+//! [`MatMut`]) so sub-blocks of a stacked supernode panel feed the kernels
+//! **in place** — no gather into temporaries. The [`DenseMat`] entry points
+//! are thin wrappers over whole-matrix views.
 
+use crate::view::{MatMut, MatRef};
 use crate::DenseMat;
 
 /// Cache-block size (in rows/inner dimension) for the update kernel. Chosen
 /// so three `KB × KB` double blocks stay well inside a 256 KiB L2.
 const KB: usize = 64;
 
-/// `C ← C − A · B`.
+/// `C ← C − A · B` on strided views.
 ///
-/// The supernodal update kernel: `B̄(i, j) ← B̄(i, j) − L(i, k) · Ū(k, j)`.
+/// The supernodal update kernel: `B̄(i, j) ← B̄(i, j) − L(i, k) · Ū(k, j)`,
+/// where `L(i, k)` is typically a row range of column `k`'s stacked panel.
 /// The inner micro-kernel processes **four columns of `C` at once**, so
 /// each loaded column of `A` is reused fourfold (quartering `A` traffic);
 /// `k` is additionally blocked to keep the active `A` panel cache-resident.
-pub fn gemm_sub(c: &mut DenseMat, a: &DenseMat, b: &DenseMat) {
+pub fn gemm_sub_view(mut c: MatMut<'_>, a: MatRef<'_>, b: MatRef<'_>) {
     assert_eq!(a.nrows(), c.nrows(), "gemm_sub: row mismatch");
     assert_eq!(b.ncols(), c.ncols(), "gemm_sub: column mismatch");
     assert_eq!(a.ncols(), b.nrows(), "gemm_sub: inner dimension mismatch");
@@ -28,7 +35,7 @@ pub fn gemm_sub(c: &mut DenseMat, a: &DenseMat, b: &DenseMat) {
         let mut j = 0usize;
         while j < quads {
             // Four C columns at once, split out of the storage.
-            let (c0, c1, c2, c3) = four_cols_mut(c, j);
+            let (c0, c1, c2, c3) = c.four_cols_mut(j);
             for k in k0..k1 {
                 let (s0, s1, s2, s3) = (b[(k, j)], b[(k, j + 1)], b[(k, j + 2)], b[(k, j + 3)]);
                 if s0 == 0.0 && s1 == 0.0 && s2 == 0.0 && s3 == 0.0 {
@@ -61,28 +68,19 @@ pub fn gemm_sub(c: &mut DenseMat, a: &DenseMat, b: &DenseMat) {
     }
 }
 
-/// Splits four consecutive columns `j..j+4` of `c` into disjoint mutable
-/// slices.
-fn four_cols_mut(
-    c: &mut DenseMat,
-    j: usize,
-) -> (&mut [f64], &mut [f64], &mut [f64], &mut [f64]) {
-    let m = c.nrows();
-    let data = c.data_mut();
-    let (_, rest) = data.split_at_mut(j * m);
-    let (c0, rest) = rest.split_at_mut(m);
-    let (c1, rest) = rest.split_at_mut(m);
-    let (c2, rest) = rest.split_at_mut(m);
-    let (c3, _) = rest.split_at_mut(m);
-    (c0, c1, c2, c3)
+/// `C ← C − A · B` on owned matrices; see [`gemm_sub_view`].
+pub fn gemm_sub(c: &mut DenseMat, a: &DenseMat, b: &DenseMat) {
+    gemm_sub_view(c.as_view_mut(), a.as_view(), b.as_view());
 }
 
 /// `X ← L⁻¹ · X` where `L` is **unit** lower triangular (strict lower part
-/// of `l` is read; the diagonal is taken as 1, the upper part ignored).
+/// of `l` is read; the diagonal is taken as 1, the upper part ignored), on
+/// strided views.
 ///
 /// Used to turn a factored diagonal block into the `Ū` row blocks:
-/// `Ū(k, j) = L(k, k)⁻¹ B̄(k, j)`.
-pub fn trsm_lower_unit(l: &DenseMat, x: &mut DenseMat) {
+/// `Ū(k, j) = L(k, k)⁻¹ B̄(k, j)` — with `L(k, k)` read straight from the
+/// top of column `k`'s stacked panel.
+pub fn trsm_lower_unit_view(l: MatRef<'_>, mut x: MatMut<'_>) {
     assert_eq!(l.nrows(), l.ncols(), "trsm: L must be square");
     assert_eq!(l.nrows(), x.nrows(), "trsm: dimension mismatch");
     let n = l.nrows();
@@ -103,9 +101,14 @@ pub fn trsm_lower_unit(l: &DenseMat, x: &mut DenseMat) {
     }
 }
 
+/// `X ← L⁻¹ · X` on owned matrices; see [`trsm_lower_unit_view`].
+pub fn trsm_lower_unit(l: &DenseMat, x: &mut DenseMat) {
+    trsm_lower_unit_view(l.as_view(), x.as_view_mut());
+}
+
 /// `X ← U⁻¹ · X` where `U` is upper triangular with a nonzero diagonal
-/// (strict lower part of `u` is ignored).
-pub fn trsm_upper(u: &DenseMat, x: &mut DenseMat) {
+/// (strict lower part of `u` is ignored), on strided views.
+pub fn trsm_upper_view(u: MatRef<'_>, mut x: MatMut<'_>) {
     assert_eq!(u.nrows(), u.ncols(), "trsm: U must be square");
     assert_eq!(u.nrows(), x.nrows(), "trsm: dimension mismatch");
     let n = u.nrows();
@@ -125,6 +128,11 @@ pub fn trsm_upper(u: &DenseMat, x: &mut DenseMat) {
             }
         }
     }
+}
+
+/// `X ← U⁻¹ · X` on owned matrices; see [`trsm_upper_view`].
+pub fn trsm_upper(u: &DenseMat, x: &mut DenseMat) {
+    trsm_upper_view(u.as_view(), x.as_view_mut());
 }
 
 #[cfg(test)]
@@ -161,6 +169,46 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Strided row-range views must produce bitwise the same results as
+    /// gathering the sub-blocks into compact matrices first.
+    #[test]
+    fn strided_gemm_is_bitwise_identical_to_compact() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        // A tall "panel" whose row ranges play L(i, k) and C.
+        let panel = random_mat(40, 6, &mut rng);
+        let b = random_mat(6, 6, &mut rng);
+        let mut c_panel = random_mat(40, 6, &mut rng);
+        let c_orig = c_panel.clone();
+        for (ar, cr) in [((3, 13), (20, 30)), ((0, 6), (34, 40)), ((7, 8), (0, 1))] {
+            // Compact reference.
+            let a_cmp = panel.row_range(ar.0..ar.1).to_dense();
+            let mut c_cmp = c_orig.row_range(cr.0..cr.1).to_dense();
+            gemm_sub(&mut c_cmp, &a_cmp, &b);
+            // Strided in place.
+            c_panel = c_orig.clone();
+            gemm_sub_view(
+                c_panel.row_range_mut(cr.0..cr.1),
+                panel.row_range(ar.0..ar.1),
+                b.as_view(),
+            );
+            let got = c_panel.row_range(cr.0..cr.1).to_dense();
+            assert_eq!(got.data(), c_cmp.data(), "rows {ar:?} -> {cr:?}");
+        }
+    }
+
+    #[test]
+    fn strided_trsm_matches_compact() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let panel = random_mat(20, 5, &mut rng);
+        let l = panel.row_range(0..5); // top square as unit-lower L
+        let mut x_panel = random_mat(20, 5, &mut rng);
+        let x_orig = x_panel.clone();
+        let mut x_cmp = x_orig.row_range(10..15).to_dense();
+        trsm_lower_unit(&l.to_dense(), &mut x_cmp);
+        trsm_lower_unit_view(l, x_panel.row_range_mut(10..15));
+        assert_eq!(x_panel.row_range(10..15).to_dense().data(), x_cmp.data());
     }
 
     #[test]

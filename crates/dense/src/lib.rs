@@ -6,9 +6,12 @@
 //! column-major layout and loop orders chosen for that layout:
 //!
 //! * [`DenseMat`] — an owned column-major matrix;
-//! * [`gemm_sub`] — `C ← C − A·B` (the supernodal update kernel);
-//! * [`trsm_lower_unit`] — `X ← L⁻¹·X` with `L` unit lower triangular
-//!   (computes `Ū` blocks from a factored panel);
+//! * [`MatRef`] / [`MatMut`] — borrowed strided views (a leading-dimension
+//!   layout), so kernels run in place on row ranges of stacked panels;
+//! * [`gemm_sub`] / [`gemm_sub_view`] — `C ← C − A·B` (the supernodal
+//!   update kernel);
+//! * [`trsm_lower_unit`] / [`trsm_lower_unit_view`] — `X ← L⁻¹·X` with `L`
+//!   unit lower triangular (computes `Ū` blocks from a factored panel);
 //! * [`lu_panel`] — panel LU with partial pivoting (the `Factor(k)` task);
 //! * [`apply_row_swaps`] / [`Pivots`] — the pivot-sequence representation
 //!   shared with the sparse driver;
@@ -24,10 +27,13 @@
 mod kernels;
 mod lu;
 mod mat;
+mod view;
 
-pub use kernels::{gemm_sub, trsm_lower_unit, trsm_upper};
+pub use kernels::{
+    gemm_sub, gemm_sub_view, trsm_lower_unit, trsm_lower_unit_view, trsm_upper, trsm_upper_view,
+};
 pub use lu::{
-    apply_row_swaps, lu_full, lu_panel, lu_panel_with_rule, lu_solve, PanelError, PivotRule,
-    Pivots,
+    apply_row_swaps, lu_full, lu_panel, lu_panel_with_rule, lu_solve, PanelError, PivotRule, Pivots,
 };
 pub use mat::DenseMat;
+pub use view::{MatMut, MatRef};

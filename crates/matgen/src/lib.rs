@@ -90,12 +90,7 @@ pub fn grid3d_anisotropic(nx: usize, ny: usize, nz: usize, opts: GridOptions) ->
                     // directions agree; unsymmetric patterns decide each
                     // direction independently from the sequential stream.
                     let keep = if opts.pattern_symmetric {
-                        pair_kept(
-                            opts.pattern_seed,
-                            i.min(j),
-                            i.max(j),
-                            opts.connection_prob,
-                        )
+                        pair_kept(opts.pattern_seed, i.min(j), i.max(j), opts.connection_prob)
                     } else {
                         keep_pair(&mut pat_rng)
                     };
@@ -119,7 +114,8 @@ pub fn grid3d_anisotropic(nx: usize, ny: usize, nz: usize, opts: GridOptions) ->
 /// Deterministic keep/drop decision for the undirected pair `(a, b)`.
 fn pair_kept(seed: u64, a: usize, b: usize, prob: f64) -> bool {
     let mut rng = SmallRng::seed_from_u64(
-        seed ^ (a as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (b as u64).wrapping_mul(0xD1B5_4A32_D192_ED03),
+        seed ^ (a as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (b as u64).wrapping_mul(0xD1B5_4A32_D192_ED03),
     );
     rng.gen_bool(prob.clamp(0.0, 1.0))
 }
@@ -248,8 +244,7 @@ pub fn fem2d_unsymmetric(nx: usize, ny: usize, dofs: usize, value_seed: u64) -> 
                                 coo.push(r, c, 30.0 + rng.gen_range(0.0..5.0));
                             } else {
                                 // Unsymmetric advection-like coupling.
-                                let v = (1.0 / (1.0 + dist))
-                                    * rng.gen_range(-1.0..1.0)
+                                let v = (1.0 / (1.0 + dist)) * rng.gen_range(-1.0..1.0)
                                     + 0.15 * dx as f64;
                                 coo.push(r, c, v);
                             }
@@ -406,7 +401,11 @@ pub fn random_unsymmetric(n: usize, extra_per_row: usize, seed: u64) -> CscMatri
     }
     // Dominant diagonal added last so duplicate sums keep it dominant.
     for i in 0..n {
-        coo.push(i, i, 2.0 * extra_per_row as f64 + 2.0 + rng.gen_range(0.0..1.0));
+        coo.push(
+            i,
+            i,
+            2.0 * extra_per_row as f64 + 2.0 + rng.gen_range(0.0..1.0),
+        );
     }
     coo.to_csc()
 }

@@ -206,10 +206,8 @@ fn detect_and_merge(
                 }
                 // adj sets must match modulo the pair itself.
                 let eq = {
-                    let ai: Vec<usize> =
-                        adj[i].iter().copied().filter(|&v| v != j).collect();
-                    let aj: Vec<usize> =
-                        adj[j].iter().copied().filter(|&v| v != i).collect();
+                    let ai: Vec<usize> = adj[i].iter().copied().filter(|&v| v != j).collect();
+                    let aj: Vec<usize> = adj[j].iter().copied().filter(|&v| v != i).collect();
                     ai == aj
                 };
                 if !eq {
@@ -416,12 +414,9 @@ mod tests {
         // In K_n every vertex is indistinguishable after the first
         // elimination; the ordering must still enumerate all vertices.
         let n = 12;
-        let p = SparsityPattern::from_entries(
-            n,
-            n,
-            (0..n).flat_map(|i| (0..n).map(move |j| (i, j))),
-        )
-        .unwrap();
+        let p =
+            SparsityPattern::from_entries(n, n, (0..n).flat_map(|i| (0..n).map(move |j| (i, j))))
+                .unwrap();
         let perm = min_degree(&p);
         assert_eq!(perm.len(), n);
         assert_eq!(fill_count(&p, &perm), 0); // already complete

@@ -92,10 +92,7 @@ mod tests {
     fn bandwidth(pattern: &SparsityPattern, perm: &Permutation) -> usize {
         let sym = pattern.union(&pattern.transpose());
         let b = sym.permuted(perm, perm);
-        b.entries()
-            .map(|(i, j)| i.abs_diff(j))
-            .max()
-            .unwrap_or(0)
+        b.entries().map(|(i, j)| i.abs_diff(j)).max().unwrap_or(0)
     }
 
     fn grid(nx: usize, ny: usize) -> SparsityPattern {
@@ -122,8 +119,8 @@ mod tests {
     #[test]
     fn rcm_is_a_permutation_and_reduces_bandwidth_of_shuffled_path() {
         use rand::rngs::SmallRng;
-        use rand::SeedableRng;
         use rand::Rng;
+        use rand::SeedableRng;
         let n = 30;
         // A path graph with shuffled labels has large bandwidth; RCM should
         // recover bandwidth 1.
@@ -154,7 +151,17 @@ mod tests {
     #[test]
     fn handles_disconnected_components_and_isolated_vertices() {
         // Two disjoint edges + one isolated vertex.
-        let e = vec![(0, 0), (1, 1), (0, 1), (1, 0), (2, 2), (3, 3), (2, 3), (3, 2), (4, 4)];
+        let e = vec![
+            (0, 0),
+            (1, 1),
+            (0, 1),
+            (1, 0),
+            (2, 2),
+            (3, 3),
+            (2, 3),
+            (3, 2),
+            (4, 4),
+        ];
         let p = SparsityPattern::from_entries(5, 5, e).unwrap();
         let perm = reverse_cuthill_mckee(&p);
         assert_eq!(perm.len(), 5);

@@ -144,12 +144,8 @@ mod tests {
         // Column 0: rows {0}; column 1: rows {0, 1}; column 2: rows {1, 2}.
         // The cheap pass matches col0→row0; col1 must then take row1 via the
         // augmenting machinery when col2 competes.
-        let p = SparsityPattern::from_entries(
-            3,
-            3,
-            vec![(0, 0), (0, 1), (1, 1), (1, 2), (2, 2)],
-        )
-        .unwrap();
+        let p = SparsityPattern::from_entries(3, 3, vec![(0, 0), (0, 1), (1, 1), (1, 2), (2, 2)])
+            .unwrap();
         check_full(&p);
     }
 
@@ -158,12 +154,8 @@ mod tests {
         // Designed so the cheap assignment takes a row that the last column
         // needs, forcing a length-3 augmenting path.
         // col0: {r0, r1}; col1: {r0}; col2: {r1, r2}; all matched only via flip.
-        let p = SparsityPattern::from_entries(
-            3,
-            3,
-            vec![(0, 0), (1, 0), (0, 1), (1, 2), (2, 2)],
-        )
-        .unwrap();
+        let p = SparsityPattern::from_entries(3, 3, vec![(0, 0), (1, 0), (0, 1), (1, 2), (2, 2)])
+            .unwrap();
         check_full(&p);
     }
 
@@ -179,8 +171,7 @@ mod tests {
 
     #[test]
     fn two_columns_sharing_single_row_is_singular() {
-        let p =
-            SparsityPattern::from_entries(2, 2, vec![(0, 0), (0, 1)]).unwrap();
+        let p = SparsityPattern::from_entries(2, 2, vec![(0, 0), (0, 1)]).unwrap();
         assert_eq!(
             maximum_transversal(&p),
             StructuralRank::Deficient { rank: 1 }

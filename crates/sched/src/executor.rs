@@ -1,29 +1,356 @@
 //! Multithreaded DAG executor — the RAPID substitute (DESIGN.md §5).
 //!
-//! The paper schedules the task graph with the RAPID run-time system using a
-//! static 1D column-block mapping: every task writing block column `j`
-//! (its `Factor(j)` and all `Update(·, j)`) runs on processor
-//! `j mod P`. [`Mapping::Static1D`] reproduces that discipline with one
-//! ready-queue per worker; because all writers of a column share a worker,
-//! no two tasks ever race on the same column data. [`Mapping::Dynamic`]
-//! (shared ready queue, any worker takes any task) is provided as the
-//! ablation the paper's future-work section hints at — callers must then
-//! guard per-column state themselves.
+//! Tasks are dispatched from per-worker **ready pools ordered by
+//! bottom-level priority**: the priority of a task is the length of the
+//! longest dependence path from it to a sink of the DAG (its *bottom
+//! level*, [`TaskGraph::bottom_levels`]), so workers always prefer the task
+//! deepest on the critical path. This is the same rule the static-order
+//! simulator's inspector uses ([`crate::simulate_static_order`]); both get
+//! their priorities from the shared [`TaskGraph::bottom_levels_with`]
+//! sweep.
+//!
+//! Two mapping disciplines are supported:
+//!
+//! - [`Mapping::Static1D`] reproduces the paper's static 1D column-block
+//!   mapping: every task writing block column `j` (its `Factor(j)` and all
+//!   `Update(·, j)`) runs on worker `j mod P`. Each worker pops **only its
+//!   own pool** — no stealing — because the mapping is what serializes all
+//!   writers of a column on one worker; a stolen task could race another
+//!   writer of the same column. Callers relying on Static1D for mutual
+//!   exclusion (e.g. lock-free column updates) keep that guarantee.
+//! - [`Mapping::Dynamic`] is the work-stealing mode: a worker pushes newly
+//!   ready tasks into its own pool (locality: the successor usually reads
+//!   what the worker just wrote) and, when its pool runs dry, steals the
+//!   highest-priority task from the first non-empty victim pool. Tasks of
+//!   one column may then run on different workers, which is safe for the
+//!   numeric factorization because block columns are `RwLock`-guarded and
+//!   Gilbert's disjoint-row-structure property makes concurrent updates of
+//!   one column commute bitwise.
+//!
+//! Shutdown uses a gate (mutex + condvar) per pool owner: a pusher acquires
+//! the gate lock before notifying, and a parking worker re-checks both the
+//! pools and the remaining-task count under that same lock before waiting,
+//! so the park/push race cannot lose a wakeup. When the last task retires,
+//! the retiring worker locks every gate and broadcasts once — each parked
+//! worker wakes exactly once, observes `remaining == 0`, and exits. A
+//! panicking task sets an abort flag and broadcasts the same way, so the
+//! panic propagates instead of deadlocking the remaining workers.
+//!
+//! The previous executor — one shared FIFO queue, no priorities — is kept
+//! verbatim as [`execute_dag_fifo`]/[`execute_fifo`] so benchmarks can
+//! measure the scheduling improvement against an unchanged baseline.
 
 use crate::graph::TaskGraph;
 use crate::Task;
 use parking_lot::{Condvar, Mutex};
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::{BinaryHeap, VecDeque};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Task-to-worker assignment policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mapping {
     /// The paper's static 1D column-block mapping: `owner(j) = j mod P`.
+    /// Owner-only execution — no stealing — so all writers of a column are
+    /// serialized on one worker.
     Static1D,
-    /// A single shared ready queue; workers self-schedule.
+    /// Work-stealing self-scheduling: any worker may run any task. Callers
+    /// must guard shared per-column state themselves.
     Dynamic,
 }
+
+/// Ready-pool entry: max-heap by bottom-level priority, ties broken toward
+/// the lower task id so pool order is reproducible.
+#[derive(PartialEq, Eq)]
+struct Ready {
+    prio: u64,
+    tid: usize,
+}
+
+impl Ord for Ready {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.prio
+            .cmp(&other.prio)
+            .then_with(|| other.tid.cmp(&self.tid))
+    }
+}
+
+impl PartialOrd for Ready {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Sleep gate: pushers notify under the lock; parkers re-check work and
+/// termination under the lock before waiting. See the module docs for the
+/// lost-wakeup argument.
+struct Gate {
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new() -> Self {
+        Gate {
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn notify_one(&self) {
+        let _guard = self.lock.lock();
+        self.cv.notify_one();
+    }
+
+    fn notify_all(&self) {
+        let _guard = self.lock.lock();
+        self.cv.notify_all();
+    }
+}
+
+/// Unit-weight bottom levels computed from a successor closure — the
+/// priority source for [`execute_dag`], whose callers have no [`TaskGraph`].
+fn unit_bottom_levels<'a, S>(n_tasks: usize, pred_counts: &[usize], successors: &S) -> Vec<u64>
+where
+    S: Fn(usize) -> &'a [usize],
+{
+    let mut indeg = pred_counts.to_vec();
+    let mut queue: VecDeque<usize> = (0..n_tasks).filter(|&t| indeg[t] == 0).collect();
+    let mut order = Vec::with_capacity(n_tasks);
+    while let Some(t) = queue.pop_front() {
+        order.push(t);
+        for &s in successors(t) {
+            indeg[s] -= 1;
+            if indeg[s] == 0 {
+                queue.push_back(s);
+            }
+        }
+    }
+    assert_eq!(order.len(), n_tasks, "task graph contains a cycle");
+    let mut level = vec![1u64; n_tasks];
+    for &t in order.iter().rev() {
+        for &s in successors(t) {
+            level[t] = level[t].max(1 + level[s]);
+        }
+    }
+    level
+}
+
+/// Generic DAG execution core with caller-supplied scheduling priorities:
+/// runs `n_tasks` tasks on `nthreads` workers, honouring the dependence
+/// edges given by `successors`/`pred_counts`, always preferring the ready
+/// task with the largest `priority`.
+///
+/// `nqueues == nthreads` selects owner-mapped execution: task `t` runs on
+/// worker `queue_of(t)`, workers never steal. `nqueues == 1` selects
+/// work-stealing execution: `queue_of` is ignored, newly ready tasks join
+/// the discovering worker's pool, and idle workers steal.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_dag_with_priorities<'a, S, Q, F>(
+    n_tasks: usize,
+    pred_counts: &[usize],
+    successors: S,
+    priority: &[u64],
+    nthreads: usize,
+    nqueues: usize,
+    queue_of: Q,
+    runner: F,
+) where
+    S: Fn(usize) -> &'a [usize] + Sync,
+    Q: Fn(usize) -> usize + Sync,
+    F: Fn(usize) + Sync,
+{
+    let nthreads = nthreads.max(1);
+    if n_tasks == 0 {
+        return;
+    }
+    assert!(nqueues == 1 || nqueues == nthreads, "queue/worker mismatch");
+    assert_eq!(priority.len(), n_tasks, "one priority per task");
+    let owner_mode = nqueues == nthreads && nthreads > 1;
+    let pools: Vec<Mutex<BinaryHeap<Ready>>> = (0..nthreads)
+        .map(|_| Mutex::new(BinaryHeap::new()))
+        .collect();
+    let gates: Vec<Gate> = (0..if owner_mode { nthreads } else { 1 })
+        .map(|_| Gate::new())
+        .collect();
+    let indeg: Vec<AtomicUsize> = pred_counts.iter().map(|&c| AtomicUsize::new(c)).collect();
+    let remaining = AtomicUsize::new(n_tasks);
+    let aborted = AtomicBool::new(false);
+
+    // Seed the pools: owners get their own roots; in stealing mode roots are
+    // dealt round-robin so all workers start busy.
+    for (i, (t, _)) in pred_counts
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c == 0)
+        .enumerate()
+    {
+        let pool = if owner_mode {
+            queue_of(t)
+        } else {
+            i % nthreads
+        };
+        pools[pool].lock().push(Ready {
+            prio: priority[t],
+            tid: t,
+        });
+    }
+
+    crossbeam::thread::scope(|scope| {
+        for w in 0..nthreads {
+            let pools = &pools;
+            let gates = &gates;
+            let indeg = &indeg;
+            let remaining = &remaining;
+            let aborted = &aborted;
+            let runner = &runner;
+            let successors = &successors;
+            let queue_of = &queue_of;
+            let priority = &priority;
+            scope.spawn(move |_| {
+                let my_gate = &gates[if owner_mode { w } else { 0 }];
+                'work: loop {
+                    // Acquire a task: own pool first, then (Dynamic only)
+                    // steal from the first non-empty victim.
+                    let tid = 'acquire: loop {
+                        if aborted.load(Ordering::Acquire) {
+                            return;
+                        }
+                        if let Some(r) = pools[w].lock().pop() {
+                            break 'acquire r.tid;
+                        }
+                        if !owner_mode {
+                            for i in 1..nthreads {
+                                let victim = (w + i) % nthreads;
+                                if let Some(r) = pools[victim].lock().pop() {
+                                    break 'acquire r.tid;
+                                }
+                            }
+                        }
+                        // Park. The gate lock makes the emptiness re-check
+                        // and the wait atomic against pushers and retirement.
+                        let mut guard = my_gate.lock.lock();
+                        if remaining.load(Ordering::Acquire) == 0 || aborted.load(Ordering::Acquire)
+                        {
+                            return;
+                        }
+                        let has_work = if owner_mode {
+                            !pools[w].lock().is_empty()
+                        } else {
+                            pools.iter().any(|p| !p.lock().is_empty())
+                        };
+                        if !has_work {
+                            my_gate.cv.wait(&mut guard);
+                        }
+                    };
+
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| runner(tid))) {
+                        // Leave no worker parked behind a task that will
+                        // never retire; then let the panic propagate.
+                        aborted.store(true, Ordering::Release);
+                        for g in gates {
+                            g.notify_all();
+                        }
+                        resume_unwind(payload);
+                    }
+
+                    for &s in successors(tid) {
+                        if indeg[s].fetch_sub(1, Ordering::AcqRel) == 1 {
+                            let pool = if owner_mode { queue_of(s) } else { w };
+                            pools[pool].lock().push(Ready {
+                                prio: priority[s],
+                                tid: s,
+                            });
+                            gates[if owner_mode { pool } else { 0 }].notify_one();
+                        }
+                    }
+                    if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        // Last task retired: broadcast once on every gate so
+                        // each parked worker wakes exactly once and exits.
+                        for g in gates {
+                            g.notify_all();
+                        }
+                        return;
+                    }
+                    continue 'work;
+                }
+            });
+        }
+    })
+    .expect("executor worker panicked");
+    debug_assert_eq!(remaining.load(Ordering::Acquire), 0);
+}
+
+/// [`execute_dag_with_priorities`] with priorities computed internally as
+/// unit-weight bottom levels of the given DAG. Callers that already hold a
+/// [`TaskGraph`] should use [`execute`], which shares the graph's own
+/// [`TaskGraph::bottom_levels`].
+pub fn execute_dag<'a, S, Q, F>(
+    n_tasks: usize,
+    pred_counts: &[usize],
+    successors: S,
+    nthreads: usize,
+    nqueues: usize,
+    queue_of: Q,
+    runner: F,
+) where
+    S: Fn(usize) -> &'a [usize] + Sync,
+    Q: Fn(usize) -> usize + Sync,
+    F: Fn(usize) + Sync,
+{
+    if n_tasks == 0 {
+        return;
+    }
+    let priority = unit_bottom_levels(n_tasks, pred_counts, &successors);
+    execute_dag_with_priorities(
+        n_tasks,
+        pred_counts,
+        successors,
+        &priority,
+        nthreads,
+        nqueues,
+        queue_of,
+        runner,
+    );
+}
+
+/// Executes every task of `graph` on `nthreads` workers, honouring all
+/// dependence edges, scheduling by critical-path (bottom-level) priority.
+/// `runner` is invoked once per task; with [`Mapping::Static1D`] all tasks
+/// with the same [`Task::home_column`] run on the same worker
+/// (sequentially), matching the paper's distribution, while
+/// [`Mapping::Dynamic`] lets idle workers steal ready tasks.
+pub fn execute<F>(graph: &TaskGraph, nthreads: usize, mapping: Mapping, runner: F)
+where
+    F: Fn(Task) + Sync,
+{
+    let nthreads = nthreads.max(1);
+    if graph.is_empty() {
+        return;
+    }
+    let priority = graph.bottom_levels();
+    let nqueues = match mapping {
+        Mapping::Static1D => nthreads,
+        Mapping::Dynamic => 1,
+    };
+    execute_dag_with_priorities(
+        graph.len(),
+        graph.pred_counts(),
+        |t| graph.successors(t),
+        &priority,
+        nthreads,
+        nqueues,
+        |t| match mapping {
+            Mapping::Static1D => graph.task(t).home_column() % nthreads,
+            Mapping::Dynamic => 0,
+        },
+        |t| runner(graph.task(t)),
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Legacy shared-FIFO executor, kept as the measurement baseline.
+// ---------------------------------------------------------------------------
 
 struct ReadyQueue {
     deque: Mutex<VecDeque<usize>>,
@@ -62,12 +389,12 @@ impl ReadyQueue {
     }
 }
 
-/// Generic DAG execution core: runs `n_tasks` tasks on `nthreads` workers,
-/// honouring the dependence edges given by `successors`/`pred_counts`.
-/// Tasks are dispatched by id; `queue_of(tid)` selects the ready queue
-/// (and thereby the worker) a task runs on, with `nqueues == nthreads` for
-/// owner-mapped execution or `nqueues == 1` for a shared queue.
-pub fn execute_dag<'a, S, Q, F>(
+/// The pre-work-stealing executor: plain FIFO ready queues (one shared
+/// queue for `nqueues == 1`, one per worker for `nqueues == nthreads`), no
+/// scheduling priorities. Kept only so `bench/scaling` can quantify the
+/// work-stealing, critical-path-priority scheduler against the original
+/// design; new callers should use [`execute_dag`].
+pub fn execute_dag_fifo<'a, S, Q, F>(
     n_tasks: usize,
     pred_counts: &[usize],
     successors: S,
@@ -125,12 +452,9 @@ pub fn execute_dag<'a, S, Q, F>(
     debug_assert_eq!(remaining.load(Ordering::Acquire), 0);
 }
 
-/// Executes every task of `graph` on `nthreads` workers, honouring all
-/// dependence edges. `runner` is invoked once per task; with
-/// [`Mapping::Static1D`] all tasks with the same
-/// [`Task::home_column`] run on the same worker (sequentially), matching the
-/// paper's distribution.
-pub fn execute<F>(graph: &TaskGraph, nthreads: usize, mapping: Mapping, runner: F)
+/// [`execute`] on the legacy FIFO executor ([`execute_dag_fifo`]) — the
+/// benchmark baseline for the work-stealing scheduler.
+pub fn execute_fifo<F>(graph: &TaskGraph, nthreads: usize, mapping: Mapping, runner: F)
 where
     F: Fn(Task) + Sync,
 {
@@ -139,7 +463,7 @@ where
         Mapping::Static1D => nthreads,
         Mapping::Dynamic => 1,
     };
-    execute_dag(
+    execute_dag_fifo(
         graph.len(),
         graph.pred_counts(),
         |t| graph.successors(t),
@@ -227,6 +551,20 @@ mod tests {
     }
 
     #[test]
+    fn fifo_baseline_still_executes_in_dependence_order() {
+        for seed in 0..4 {
+            let g = random_graph(15, 30, seed);
+            for (p, mapping) in [(2, Mapping::Static1D), (4, Mapping::Dynamic)] {
+                let log = PlMutex::new(Vec::<Task>::new());
+                execute_fifo(&g, p, mapping, |t| {
+                    log.lock().push(t);
+                });
+                assert_eq!(log.into_inner().len(), g.len());
+            }
+        }
+    }
+
+    #[test]
     fn static_mapping_serializes_columns() {
         // All tasks with the same home column must run on the same worker:
         // observable as: per column, completions are totally ordered even
@@ -257,5 +595,80 @@ mod tests {
         let g = random_graph(3, 2, 5);
         run_and_check(&g, 16, Mapping::Static1D);
         run_and_check(&g, 16, Mapping::Dynamic);
+    }
+
+    #[test]
+    fn higher_priority_root_runs_first_on_one_worker() {
+        // Chain F(0) → U(0,1) → F(1) plus isolated F(2): on one worker the
+        // chain head (bottom level 3) must be taken before the isolated
+        // task (bottom level 1), whatever the seeding order.
+        let p = SparsityPattern::from_entries(3, 3, vec![(0, 0), (1, 0), (1, 1), (2, 2)]).unwrap();
+        let f = static_symbolic_factorization(&p).unwrap();
+        let bs = BlockStructure::new(&f, Partition::singletons(3));
+        let g = build_eforest_graph(&bs);
+        let levels = g.bottom_levels();
+        let log = PlMutex::new(Vec::<usize>::new());
+        execute_dag_with_priorities(
+            g.len(),
+            g.pred_counts(),
+            |t| g.successors(t),
+            &levels,
+            1,
+            1,
+            |_| 0,
+            |t| log.lock().push(t),
+        );
+        let order = log.into_inner();
+        let pos = |tid: usize| order.iter().position(|&t| t == tid).unwrap();
+        // The deepest root (F(0), level 3) precedes the shallow root (F(2)).
+        assert!(pos(g.factor_id(0)) < pos(g.factor_id(2)));
+    }
+
+    #[test]
+    fn worker_panic_propagates_without_deadlock() {
+        let g = random_graph(12, 24, 3);
+        let hit = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            execute(&g, 4, Mapping::Dynamic, |_| {
+                if hit.fetch_add(1, Ordering::SeqCst) == 2 {
+                    panic!("injected task failure");
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic must propagate to the caller");
+    }
+
+    /// Satellite regression: shutdown must wake a parked worker exactly once
+    /// — looping tiny and empty graphs at 8 threads would hang (or panic on
+    /// a double-wake use-after-retire) if the last-retire broadcast raced
+    /// the park re-check.
+    #[test]
+    fn shutdown_stress_one_column_and_empty_graphs_at_8_threads() {
+        let one = {
+            let p = SparsityPattern::from_entries(1, 1, vec![(0, 0)]).unwrap();
+            let f = static_symbolic_factorization(&p).unwrap();
+            let bs = BlockStructure::new(&f, Partition::singletons(1));
+            build_eforest_graph(&bs)
+        };
+        assert_eq!(one.len(), 1, "one Factor task");
+        let empty = {
+            let p = SparsityPattern::empty(0, 0);
+            let f = static_symbolic_factorization(&p).unwrap();
+            let bs = BlockStructure::new(&f, Partition::from_starts(vec![0]));
+            build_eforest_graph(&bs)
+        };
+        for round in 0..200 {
+            let ran = AtomicUsize::new(0);
+            let mapping = if round % 2 == 0 {
+                Mapping::Dynamic
+            } else {
+                Mapping::Static1D
+            };
+            execute(&one, 8, mapping, |_| {
+                ran.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(ran.load(Ordering::SeqCst), 1, "round {round}");
+            execute(&empty, 8, mapping, |_| panic!("no tasks expected"));
+        }
     }
 }

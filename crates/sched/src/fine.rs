@@ -163,9 +163,9 @@ pub fn build_fine_graph(bs: &BlockStructure, forest: &EliminationForest) -> Fine
     let mut succ: Vec<Vec<usize>> = Vec::new();
     let mut pred_count: Vec<usize> = Vec::new();
     let add = |tasks: &mut Vec<FineTask>,
-                   succ: &mut Vec<Vec<usize>>,
-                   pred_count: &mut Vec<usize>,
-                   t: FineTask| {
+               succ: &mut Vec<Vec<usize>>,
+               pred_count: &mut Vec<usize>,
+               t: FineTask| {
         tasks.push(t);
         succ.push(Vec::new());
         pred_count.push(0);
@@ -214,7 +214,11 @@ pub fn build_fine_graph(bs: &BlockStructure, forest: &EliminationForest) -> Fine
                         &mut tasks,
                         &mut succ,
                         &mut pred_count,
-                        FineTask::Gemm { src: k, dst: j, row: i },
+                        FineTask::Gemm {
+                            src: k,
+                            dst: j,
+                            row: i,
+                        },
                     );
                     edge(&mut succ, &mut pred_count, trsm, g);
                     gemms.push(g);
@@ -266,12 +270,7 @@ pub fn build_fine_graph(bs: &BlockStructure, forest: &EliminationForest) -> Fine
 }
 
 /// Per-task time for the fine decomposition under a grid and model.
-fn fine_task_time(
-    bs: &BlockStructure,
-    grid: &Grid,
-    model: &CostModel,
-    t: FineTask,
-) -> f64 {
+fn fine_task_time(bs: &BlockStructure, grid: &Grid, model: &CostModel, t: FineTask) -> f64 {
     let w = |b: usize| bs.partition.width(b) as f64;
     let stack_height = |k: usize| -> f64 {
         bs.l_blocks[k]
@@ -350,7 +349,9 @@ impl PartialOrd for Key {
 }
 impl Ord for Key {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0).then_with(|| self.1.cmp(&other.1))
+        self.0
+            .total_cmp(&other.0)
+            .then_with(|| self.1.cmp(&other.1))
     }
 }
 
@@ -490,7 +491,11 @@ mod tests {
         }
         assert_eq!(Grid::OneD(4).nprocs(), 4);
         assert_eq!(
-            Grid::OneD(4).owner_of(FineTask::Gemm { src: 0, dst: 6, row: 9 }),
+            Grid::OneD(4).owner_of(FineTask::Gemm {
+                src: 0,
+                dst: 6,
+                row: 9
+            }),
             2
         );
     }

@@ -114,9 +114,8 @@ impl TaskGraph {
     /// would indicate a builder bug.
     pub fn topo_order(&self) -> Vec<usize> {
         let mut indeg = self.pred_count.clone();
-        let mut queue: std::collections::VecDeque<usize> = (0..self.len())
-            .filter(|&t| indeg[t] == 0)
-            .collect();
+        let mut queue: std::collections::VecDeque<usize> =
+            (0..self.len()).filter(|&t| indeg[t] == 0).collect();
         let mut order = Vec::with_capacity(self.len());
         while let Some(t) = queue.pop_front() {
             order.push(t);
@@ -134,16 +133,44 @@ impl TaskGraph {
     /// Length of the longest path in tasks (unit task weights) — the
     /// height of the DAG, a parallelism indicator used by the experiments.
     pub fn critical_path_len(&self) -> usize {
-        let order = self.topo_order();
-        let mut depth = vec![1usize; self.len()];
-        let mut best = 0usize;
-        for &t in &order {
-            best = best.max(depth[t]);
+        self.bottom_levels().into_iter().max().unwrap_or(0) as usize
+    }
+
+    /// Unit-weight **bottom level** of every task: the number of tasks on
+    /// the longest dependence path from the task to a sink, inclusive (so
+    /// sinks have level 1 and `max = critical_path_len`). This is the
+    /// scheduling priority of the work-stealing executor
+    /// ([`crate::execute`]): always prefer the ready task deepest on the
+    /// critical path.
+    pub fn bottom_levels(&self) -> Vec<u64> {
+        let mut level = vec![1u64; self.len()];
+        for &t in self.topo_order().iter().rev() {
             for &s in &self.succ[t] {
-                depth[s] = depth[s].max(depth[t] + 1);
+                level[t] = level[t].max(1 + level[s]);
             }
         }
-        best
+        level
+    }
+
+    /// Weighted bottom levels: `level(t) = time_of(t) + max over successors
+    /// s of (level(s) + edge_latency(t, s))`, computed by one reverse
+    /// topological sweep. Shared by the static-order simulator's inspector
+    /// ([`crate::simulate_static_order`]) and the executor's priority rule
+    /// (unit weights, [`Self::bottom_levels`]).
+    pub fn bottom_levels_with<T, E>(&self, time_of: T, edge_latency: E) -> Vec<f64>
+    where
+        T: Fn(usize) -> f64,
+        E: Fn(usize, usize) -> f64,
+    {
+        let mut level = vec![0.0_f64; self.len()];
+        for &t in self.topo_order().iter().rev() {
+            let mut best = 0.0_f64;
+            for &s in &self.succ[t] {
+                best = best.max(level[s] + edge_latency(t, s));
+            }
+            level[t] = best + time_of(t);
+        }
+        level
     }
 
     /// Graphviz DOT rendering of the task graph (Figure 4 style).
@@ -309,11 +336,11 @@ pub fn build_eforest_graph_with(bs: &BlockStructure, forest: &EliminationForest)
 #[cfg(test)]
 mod tests {
     use super::*;
+    use splu_sparse::SparsityPattern;
     use splu_symbolic::fixtures::fig1_pattern;
     use splu_symbolic::static_fact::static_symbolic_factorization;
     use splu_symbolic::supernode::{supernode_partition, BlockStructure};
     use splu_symbolic::Partition;
-    use splu_sparse::SparsityPattern;
 
     fn fig1_blocks() -> BlockStructure {
         let f = static_symbolic_factorization(&fig1_pattern()).unwrap();

@@ -15,11 +15,16 @@
 //!
 //! Two runtimes consume the graphs:
 //!
-//! * [`execute`] — a multithreaded executor with the paper's static 1D
-//!   column-block mapping (our RAPID substitute) or a dynamic shared queue;
+//! * [`execute`] — a multithreaded work-stealing executor scheduling by
+//!   critical-path (bottom-level) priority, with the paper's static 1D
+//!   column-block mapping (owner-only, our RAPID substitute) or dynamic
+//!   self-scheduling with stealing; the pre-work-stealing shared-FIFO
+//!   executor survives as [`execute_fifo`] for baseline measurements;
 //! * [`simulate`] — a deterministic list-scheduling simulator with a
 //!   flops + latency cost model, used to evaluate processor counts beyond
-//!   the physical cores of the host (DESIGN.md §5, substitution 2).
+//!   the physical cores of the host (DESIGN.md §5, substitution 2). Its
+//!   static-order inspector and the executor share one priority source:
+//!   [`TaskGraph::bottom_levels_with`].
 
 // Index-based loops are the natural idiom for the numerical kernels and
 // symbolic algorithms in this crate; iterator rewrites obscure the maths.
@@ -32,10 +37,15 @@ pub mod fine;
 mod graph;
 mod simulate;
 
-pub use executor::{execute, execute_dag, Mapping};
+pub use executor::{
+    execute, execute_dag, execute_dag_fifo, execute_dag_with_priorities, execute_fifo, Mapping,
+};
 pub use fine::{build_fine_graph, simulate_fine, FineGraph, FineTask, Grid};
 pub use graph::{block_forest, build_eforest_graph, build_sstar_graph, Task, TaskGraph};
-pub use simulate::{simulate, simulate_static_order, CostModel, SimResult, TaskCost};
+pub use simulate::{
+    simulate, simulate_dynamic, simulate_static_order, simulate_static_order_fifo, CostModel,
+    ReadyPolicy, SimResult, TaskCost,
+};
 
 // Re-exported so downstream crates can name the forest type the graph
 // builders consume without an extra dependency edge.

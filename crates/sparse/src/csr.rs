@@ -95,12 +95,7 @@ mod tests {
 
     #[test]
     fn csr_csc_roundtrip() {
-        let a = CscMatrix::from_triplets(
-            2,
-            3,
-            &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)],
-        )
-        .unwrap();
+        let a = CscMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]).unwrap();
         let r = a.to_csr();
         assert_eq!(r.nnz(), 3);
         assert_eq!(r.get(0, 2), 2.0);
@@ -113,8 +108,7 @@ mod tests {
 
     #[test]
     fn duplicates_are_summed() {
-        let r =
-            CsrMatrix::from_triplets_iter(1, 1, vec![(0, 0, 1.0), (0, 0, 4.0)]).unwrap();
+        let r = CsrMatrix::from_triplets_iter(1, 1, vec![(0, 0, 1.0), (0, 0, 4.0)]).unwrap();
         assert_eq!(r.get(0, 0), 5.0);
         assert_eq!(r.nnz(), 1);
         assert_eq!(r.row_ptr(), &[0, 1]);

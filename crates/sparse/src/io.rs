@@ -356,13 +356,22 @@ pub fn format_harwell_boeing(m: &CscMatrix, title: &str) -> String {
     let per_line_int = 8usize;
     let per_line_val = 3usize;
     let ptrcrd = (ncols + 1).div_ceil(per_line_int);
-    let indcrd = nnz.div_ceil(per_line_int).max(0);
-    let valcrd = nnz.div_ceil(per_line_val).max(0);
+    let indcrd = nnz.div_ceil(per_line_int);
+    let valcrd = nnz.div_ceil(per_line_val);
     let totcrd = ptrcrd + indcrd + valcrd;
 
     let mut out = String::new();
-    let _ = writeln!(out, "{:<72}{:<8}", title.chars().take(72).collect::<String>(), "parsplu");
-    let _ = writeln!(out, "{totcrd:>14}{ptrcrd:>14}{indcrd:>14}{valcrd:>14}{:>14}", 0);
+    let _ = writeln!(
+        out,
+        "{:<72}{:<8}",
+        title.chars().take(72).collect::<String>(),
+        "parsplu"
+    );
+    let _ = writeln!(
+        out,
+        "{totcrd:>14}{ptrcrd:>14}{indcrd:>14}{valcrd:>14}{:>14}",
+        0
+    );
     let _ = writeln!(
         out,
         "{:<14}{:>14}{:>14}{:>14}{:>14}",
@@ -412,12 +421,7 @@ mod tests {
 
     #[test]
     fn matrix_market_roundtrip() {
-        let a = CscMatrix::from_triplets(
-            3,
-            2,
-            &[(0, 0, 1.5), (2, 0, -2.0), (1, 1, 3.25)],
-        )
-        .unwrap();
+        let a = CscMatrix::from_triplets(3, 2, &[(0, 0, 1.5), (2, 0, -2.0), (1, 1, 3.25)]).unwrap();
         let text = format_matrix_market(&a);
         let b = parse_matrix_market(&text).unwrap();
         assert_eq!(a, b);

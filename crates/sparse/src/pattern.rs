@@ -371,18 +371,13 @@ mod tests {
         // x . x .
         // . x x .
         // x . . x
-        SparsityPattern::from_entries(
-            3,
-            4,
-            vec![(0, 0), (2, 0), (1, 1), (0, 2), (1, 2), (2, 3)],
-        )
-        .unwrap()
+        SparsityPattern::from_entries(3, 4, vec![(0, 0), (2, 0), (1, 1), (0, 2), (1, 2), (2, 3)])
+            .unwrap()
     }
 
     #[test]
     fn from_entries_sorts_and_dedups() {
-        let p =
-            SparsityPattern::from_entries(3, 2, vec![(2, 0), (0, 0), (2, 0), (1, 1)]).unwrap();
+        let p = SparsityPattern::from_entries(3, 2, vec![(2, 0), (0, 0), (2, 0), (1, 1)]).unwrap();
         assert_eq!(p.col(0), &[0, 2]);
         assert_eq!(p.col(1), &[1]);
         assert_eq!(p.nnz(), 3);
@@ -425,8 +420,7 @@ mod tests {
         let ata = p.ata();
         for i in 0..4 {
             for j in 0..4 {
-                let expect = i == j
-                    || (0..3).any(|r| p.contains(r, i) && p.contains(r, j));
+                let expect = i == j || (0..3).any(|r| p.contains(r, i) && p.contains(r, j));
                 assert_eq!(ata.contains(i, j), expect, "({i},{j})");
             }
         }

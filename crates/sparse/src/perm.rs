@@ -128,7 +128,7 @@ impl Permutation {
             }
             transpositions += len - 1;
         }
-        transpositions % 2 == 0
+        transpositions.is_multiple_of(2)
     }
 
     /// Gathers `x` into new order: `out[new] = x[perm[new]]`.

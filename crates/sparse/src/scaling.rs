@@ -22,13 +22,19 @@ impl Equilibration {
     /// Transforms a right-hand side of `A x = b` into the scaled system's
     /// right-hand side `R b`.
     pub fn scale_rhs(&self, b: &[f64]) -> Vec<f64> {
-        b.iter().zip(&self.row_scale).map(|(&v, &s)| v * s).collect()
+        b.iter()
+            .zip(&self.row_scale)
+            .map(|(&v, &s)| v * s)
+            .collect()
     }
 
     /// Recovers the original solution from the scaled system's solution:
     /// `x = C y`.
     pub fn unscale_solution(&self, y: &[f64]) -> Vec<f64> {
-        y.iter().zip(&self.col_scale).map(|(&v, &s)| v * s).collect()
+        y.iter()
+            .zip(&self.col_scale)
+            .map(|(&v, &s)| v * s)
+            .collect()
     }
 }
 

@@ -69,7 +69,11 @@ pub fn pattern_stats(p: &SparsityPattern) -> MatrixStats {
         nrows: p.nrows(),
         ncols,
         nnz,
-        mean_col_nnz: if ncols == 0 { 0.0 } else { nnz as f64 / ncols as f64 },
+        mean_col_nnz: if ncols == 0 {
+            0.0
+        } else {
+            nnz as f64 / ncols as f64
+        },
         max_col_nnz: max_col,
         bandwidth,
         profile,
@@ -127,12 +131,9 @@ mod tests {
 
     #[test]
     fn unsymmetric_values_are_detected() {
-        let a = CscMatrix::from_triplets(
-            2,
-            2,
-            &[(0, 0, 1.0), (1, 1, 1.0), (0, 1, 3.0), (1, 0, -3.0)],
-        )
-        .unwrap();
+        let a =
+            CscMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 1.0), (0, 1, 3.0), (1, 0, -3.0)])
+                .unwrap();
         let s = matrix_stats(&a);
         assert!((s.structural_symmetry - 1.0).abs() < 1e-15);
         assert_eq!(s.numerical_symmetry, 0.0);
@@ -140,8 +141,9 @@ mod tests {
 
     #[test]
     fn structurally_unsymmetric() {
-        let a = CscMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0), (0, 2, 5.0)])
-            .unwrap();
+        let a =
+            CscMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0), (0, 2, 5.0)])
+                .unwrap();
         let s = matrix_stats(&a);
         assert_eq!(s.structural_symmetry, 0.0);
         assert_eq!(s.bandwidth, 2);

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use splu_sparse::scaling::equilibrate;
-use splu_sparse::{CscMatrix, Permutation, SparsityPattern};
+use splu_sparse::{CscMatrix, Permutation};
 
 fn arb_perm(max_n: usize) -> impl Strategy<Value = Permutation> {
     (1..=max_n).prop_flat_map(|n| {
@@ -20,9 +20,8 @@ fn arb_perm(max_n: usize) -> impl Strategy<Value = Permutation> {
 
 fn arb_square(max_n: usize) -> impl Strategy<Value = CscMatrix> {
     (1..=max_n).prop_flat_map(|n| {
-        proptest::collection::vec((0..n, 0..n, -10.0f64..10.0), 0..5 * n).prop_map(
-            move |trips| CscMatrix::from_triplets(n, n, &trips).expect("in range"),
-        )
+        proptest::collection::vec((0..n, 0..n, -10.0f64..10.0), 0..5 * n)
+            .prop_map(move |trips| CscMatrix::from_triplets(n, n, &trips).expect("in range"))
     })
 }
 

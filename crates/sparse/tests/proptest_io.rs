@@ -13,9 +13,7 @@ fn arb_matrix() -> impl Strategy<Value = CscMatrix> {
             (0..nrows, 0..ncols, -1e6f64..1e6),
             0..(nrows * ncols).min(40),
         )
-        .prop_map(move |trips| {
-            CscMatrix::from_triplets(nrows, ncols, &trips).expect("in range")
-        })
+        .prop_map(move |trips| CscMatrix::from_triplets(nrows, ncols, &trips).expect("in range"))
     })
 }
 

@@ -145,11 +145,7 @@ mod tests {
             // characterization.
             for j in 0..16 {
                 let expected = chol[j].iter().copied().find(|&i| i > j);
-                assert_eq!(
-                    forest.parent(j),
-                    expected,
-                    "node {j}, seed {seed}"
-                );
+                assert_eq!(forest.parent(j), expected, "node {j}, seed {seed}");
             }
         }
     }

@@ -140,9 +140,7 @@ impl EliminationForest {
         let size = self.subtree_sizes();
         (0..self.n()).all(|j| {
             let lo = j + 1 - size[j];
-            self.children(j)
-                .iter()
-                .all(|&c| c >= lo && c < j)
+            self.children(j).iter().all(|&c| c >= lo && c < j)
         })
     }
 
@@ -359,12 +357,7 @@ impl ExtendedEforest {
     /// start per row + leaf lists + parent array), for the storage
     /// comparison in the benchmark harness.
     pub fn compact_words(&self) -> usize {
-        self.forest.n() * 2
-            + self
-                .col_subtree_leaves
-                .iter()
-                .map(Vec::len)
-                .sum::<usize>()
+        self.forest.n() * 2 + self.col_subtree_leaves.iter().map(Vec::len).sum::<usize>()
     }
 }
 
@@ -541,8 +534,7 @@ mod tests {
     #[test]
     fn subtree_and_ancestor_queries() {
         // Hand-built forest: parent = [2, 2, 4, 4, NONE, NONE]
-        let forest =
-            EliminationForest::from_parent_vec(vec![2, 2, 4, 4, usize::MAX, usize::MAX]);
+        let forest = EliminationForest::from_parent_vec(vec![2, 2, 4, 4, usize::MAX, usize::MAX]);
         assert_eq!(forest.subtree(4), vec![0, 1, 2, 3, 4]);
         assert_eq!(forest.subtree(2), vec![0, 1, 2]);
         assert!(forest.is_ancestor(4, 0));
@@ -564,8 +556,7 @@ mod tests {
 
     #[test]
     fn dot_export_lists_every_edge_and_root() {
-        let forest =
-            EliminationForest::from_parent_vec(vec![2, 2, usize::MAX, usize::MAX]);
+        let forest = EliminationForest::from_parent_vec(vec![2, 2, usize::MAX, usize::MAX]);
         let dot = forest.to_dot("t");
         assert!(dot.starts_with("digraph t {"));
         assert!(dot.contains("0 -> 2;"));

@@ -34,6 +34,4 @@ pub use postorder::{block_triangular_form, postorder_permutation, BtfBlock};
 pub use static_fact::{
     static_symbolic_factorization, static_symbolic_reference, FilledLu, SymbolicError,
 };
-pub use supernode::{
-    amalgamate, supernode_partition, BlockStructure, Partition, SupernodeOptions,
-};
+pub use supernode::{amalgamate, supernode_partition, BlockStructure, Partition, SupernodeOptions};

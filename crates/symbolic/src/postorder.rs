@@ -204,12 +204,8 @@ mod tests {
     fn btf_rejects_unpostordered_forest() {
         // parent = [3, NONE, NONE, NONE]: node 0's parent is 3 while nodes
         // 1 and 2 are interleaved roots — not a postorder.
-        let forest = EliminationForest::from_parent_vec(vec![
-            3,
-            usize::MAX,
-            usize::MAX,
-            usize::MAX,
-        ]);
+        let forest =
+            EliminationForest::from_parent_vec(vec![3, usize::MAX, usize::MAX, usize::MAX]);
         let _ = block_triangular_form(&forest);
     }
 }

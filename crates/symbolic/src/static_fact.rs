@@ -14,7 +14,7 @@
 //! implementation keeps one shared structure per *row class* (union–find),
 //! which is how S+ achieves near-linear behaviour.
 
-use splu_sparse::{SparsityPattern, SparseError};
+use splu_sparse::{SparseError, SparsityPattern};
 
 /// Structures of the filled factors `L̄` (lower, including the unit
 /// diagonal) and `Ū` (upper, including the diagonal).
@@ -109,9 +109,7 @@ impl From<SparseError> for SymbolicError {
 
 /// Runs the static symbolic factorization on a square pattern with a
 /// zero-free diagonal.
-pub fn static_symbolic_factorization(
-    pattern: &SparsityPattern,
-) -> Result<FilledLu, SymbolicError> {
+pub fn static_symbolic_factorization(pattern: &SparsityPattern) -> Result<FilledLu, SymbolicError> {
     if !pattern.is_square() {
         return Err(SymbolicError::NotSquare);
     }
@@ -280,9 +278,7 @@ pub fn static_symbolic_reference(pattern: &SparsityPattern) -> Result<FilledLu, 
     let mut l_entries: Vec<(usize, usize)> = Vec::new();
     let mut u_entries: Vec<(usize, usize)> = Vec::new();
     for k in 0..n {
-        let candidates: Vec<usize> = (0..n)
-            .filter(|&i| !eliminated[i] && a[i][k])
-            .collect();
+        let candidates: Vec<usize> = (0..n).filter(|&i| !eliminated[i] && a[i][k]).collect();
         // Union of candidate structures over columns ≥ k.
         let mut union_row = vec![false; n];
         for &i in &candidates {
@@ -342,12 +338,9 @@ mod tests {
     #[test]
     fn dense_matrix_stays_dense() {
         let n = 4;
-        let p = SparsityPattern::from_entries(
-            n,
-            n,
-            (0..n).flat_map(|i| (0..n).map(move |j| (i, j))),
-        )
-        .unwrap();
+        let p =
+            SparsityPattern::from_entries(n, n, (0..n).flat_map(|i| (0..n).map(move |j| (i, j))))
+                .unwrap();
         let f = static_symbolic_factorization(&p).unwrap();
         assert_eq!(f.l.nnz(), n * (n + 1) / 2);
         assert_eq!(f.u.nnz(), n * (n + 1) / 2);

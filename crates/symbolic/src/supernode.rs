@@ -27,7 +27,10 @@ impl Partition {
     /// Builds a partition from boundary offsets (`starts[0] == 0`, strictly
     /// increasing, last element = `n`).
     pub fn from_starts(starts: Vec<usize>) -> Self {
-        assert!(!starts.is_empty() && starts[0] == 0, "partition must start at 0");
+        assert!(
+            !starts.is_empty() && starts[0] == 0,
+            "partition must start at 0"
+        );
         assert!(
             starts.windows(2).all(|w| w[0] < w[1]),
             "partition boundaries must be strictly increasing"
@@ -80,7 +83,10 @@ impl Partition {
 
     /// Largest block width.
     pub fn max_width(&self) -> usize {
-        (0..self.num_blocks()).map(|k| self.width(k)).max().unwrap_or(0)
+        (0..self.num_blocks())
+            .map(|k| self.width(k))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Mean block width.
@@ -179,9 +185,8 @@ pub fn amalgamate(f: &FilledLu, base: &Partition, opts: &SupernodeOptions) -> Pa
     // Scalar parent relation at the candidate boundaries: parent(b - 1) = b
     // iff column b-1 has off-diagonal L entries and b is the first
     // off-diagonal of Ū row b-1.
-    let chain_boundary = |b: usize| -> bool {
-        f.l_col(b - 1).len() > 1 && f.u_row(b - 1).get(1) == Some(&b)
-    };
+    let chain_boundary =
+        |b: usize| -> bool { f.l_col(b - 1).len() > 1 && f.u_row(b - 1).get(1) == Some(&b) };
     let mut starts = vec![0usize];
     let mut group_start = 0usize; // column index
     let mut k = 0usize;
@@ -325,12 +330,9 @@ mod tests {
     #[test]
     fn dense_matrix_is_one_supernode() {
         let n = 5;
-        let p = SparsityPattern::from_entries(
-            n,
-            n,
-            (0..n).flat_map(|i| (0..n).map(move |j| (i, j))),
-        )
-        .unwrap();
+        let p =
+            SparsityPattern::from_entries(n, n, (0..n).flat_map(|i| (0..n).map(move |j| (i, j))))
+                .unwrap();
         let f = filled(&p);
         let part = supernode_partition(&f);
         assert_eq!(part.num_blocks(), 1);
@@ -450,12 +452,9 @@ mod tests {
         // Dense 3x3: one supernode [0,3): storage = 2*6 + 0 = 12,
         // exact = Σ |l_col| + |u_row| = (3+2+1)+(3+2+1) = 12 → no zeros.
         let n = 3;
-        let p = SparsityPattern::from_entries(
-            n,
-            n,
-            (0..n).flat_map(|i| (0..n).map(move |j| (i, j))),
-        )
-        .unwrap();
+        let p =
+            SparsityPattern::from_entries(n, n, (0..n).flat_map(|i| (0..n).map(move |j| (i, j))))
+                .unwrap();
         let f = filled(&p);
         let (storage, exact) = panel_cost(&f, 0, 3);
         assert_eq!(storage, 12);

@@ -13,8 +13,7 @@
 
 use parsplu::matgen::{paper_suite, Scale};
 use parsplu::symbolic::{
-    block_triangular_form, postorder_permutation, static_symbolic_factorization,
-    EliminationForest,
+    block_triangular_form, postorder_permutation, static_symbolic_factorization, EliminationForest,
 };
 
 fn main() {
@@ -28,9 +27,7 @@ fn main() {
         // Verify: no entry below the block diagonal.
         let mut block_of = vec![0usize; forest.n()];
         for (b, blk) in blocks.iter().enumerate() {
-            for j in blk.start..blk.end {
-                block_of[j] = b;
-            }
+            block_of[blk.start..blk.end].fill(b);
         }
         for (i, j) in filled.entries() {
             assert!(

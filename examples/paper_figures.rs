@@ -10,8 +10,7 @@ use parsplu::sched::{build_eforest_graph, build_sstar_graph, Task};
 use parsplu::symbolic::fixtures::fig1_pattern;
 use parsplu::symbolic::supernode::BlockStructure;
 use parsplu::symbolic::{
-    block_triangular_form, static_symbolic_factorization, ExtendedEforest,
-    Partition,
+    block_triangular_form, static_symbolic_factorization, ExtendedEforest, Partition,
 };
 
 fn print_pattern(title: &str, p: &parsplu::sparse::SparsityPattern) {
@@ -60,10 +59,7 @@ fn main() {
     let blocks = block_triangular_form(&relabelled);
     println!(
         "diagonal blocks: {:?}",
-        blocks
-            .iter()
-            .map(|b| (b.start, b.end))
-            .collect::<Vec<_>>()
+        blocks.iter().map(|b| (b.start, b.end)).collect::<Vec<_>>()
     );
 
     // --- Figure 4: the task dependence graphs (per-column granularity, as

@@ -5,8 +5,7 @@
 //! `parsplu` binary is a thin wrapper.
 
 use splu_core::{
-    analyze, estimate_inverse_1norm, Options, OrderingChoice, PivotRule, SparseLu,
-    TaskGraphKind,
+    analyze, estimate_inverse_1norm, Options, OrderingChoice, PivotRule, SparseLu, TaskGraphKind,
 };
 use splu_matgen::{manufactured_rhs, paper_matrix, Scale};
 use splu_sched::Mapping;
@@ -108,9 +107,7 @@ fn parse_flags(args: &[String]) -> Result<Cli, String> {
                 } else if v == "diagonal" {
                     PivotRule::Diagonal
                 } else if let Some(tau) = v.strip_prefix("threshold:") {
-                    let tau: f64 = tau
-                        .parse()
-                        .map_err(|_| format!("bad threshold `{tau}`"))?;
+                    let tau: f64 = tau.parse().map_err(|_| format!("bad threshold `{tau}`"))?;
                     if !(tau > 0.0 && tau <= 1.0) {
                         return Err(format!("threshold must be in (0, 1], got {tau}"));
                     }
@@ -157,7 +154,11 @@ fn cmd_analyze(path: &str, flags: &[String]) -> Result<String, String> {
             "deficient"
         }
     );
-    let _ = writeln!(out, "nnz(Abar)         : {} ({:.2}x)", s.nnz_filled, s.fill_ratio);
+    let _ = writeln!(
+        out,
+        "nnz(Abar)         : {} ({:.2}x)",
+        s.nnz_filled, s.fill_ratio
+    );
     let _ = writeln!(
         out,
         "supernodes        : {} (exact {}, max width {})",
@@ -188,7 +189,10 @@ fn read_vector(path: &str, n: usize) -> Result<Vec<f64>, String> {
         .lines()
         .map(str::trim)
         .filter(|l| !l.is_empty() && !l.starts_with('#') && !l.starts_with('%'))
-        .map(|l| l.parse::<f64>().map_err(|_| format!("bad value `{l}` in {path}")))
+        .map(|l| {
+            l.parse::<f64>()
+                .map_err(|_| format!("bad value `{l}` in {path}"))
+        })
         .collect::<Result<_, _>>()?;
     if v.len() != n {
         return Err(format!("{path}: expected {n} values, found {}", v.len()));
@@ -276,8 +280,8 @@ fn cmd_gen(name: &str, out_path: &str, flags: &[String]) -> Result<String, Strin
     if !unknown.is_empty() {
         return Err(format!("unknown option `{}`", unknown[0]));
     }
-    let a = paper_matrix(name, scale)
-        .ok_or_else(|| format!("unknown matrix `{name}` (see --help)"))?;
+    let a =
+        paper_matrix(name, scale).ok_or_else(|| format!("unknown matrix `{name}` (see --help)"))?;
     write_matrix_market(&a, Path::new(out_path)).map_err(|e| e.to_string())?;
     Ok(format!(
         "wrote {} ({}x{}, {} nonzeros)\n",

@@ -35,7 +35,15 @@ fn gen_analyze_solve_condest_roundtrip() {
     assert!(out.contains("scaled residual"), "{out}");
     assert!(!out.contains("WARNING"), "{out}");
 
-    let out = run(&args(&["solve", &path, "--threads", "2", "--graph", "sstar"])).unwrap();
+    let out = run(&args(&[
+        "solve",
+        &path,
+        "--threads",
+        "2",
+        "--graph",
+        "sstar",
+    ]))
+    .unwrap();
     assert!(out.contains("scaled residual"), "{out}");
 
     let out = run(&args(&["solve", &path, "--transpose", "--equilibrate"])).unwrap();
@@ -86,7 +94,9 @@ fn solve_with_rhs_and_out_files() {
     };
     let rhs_path = format!("{path}.rhs");
     let out_path = format!("{path}.x");
-    let rhs_text: String = (0..n).map(|i| format!("{}\n", (i % 5) as f64 - 2.0)).collect();
+    let rhs_text: String = (0..n)
+        .map(|i| format!("{}\n", (i % 5) as f64 - 2.0))
+        .collect();
     std::fs::write(&rhs_path, &rhs_text).unwrap();
     let out = run(&args(&[
         "solve", &path, "--rhs", &rhs_path, "--out", &out_path,

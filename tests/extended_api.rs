@@ -132,7 +132,9 @@ fn determinant_sign_flips_with_a_row_swap() {
         }),
     )
     .unwrap();
-    let (s1, l1) = SparseLu::factor(&a, &Options::default()).unwrap().determinant();
+    let (s1, l1) = SparseLu::factor(&a, &Options::default())
+        .unwrap()
+        .determinant();
     let (s2, l2) = SparseLu::factor(&swapped, &Options::default())
         .unwrap()
         .determinant();

@@ -3,9 +3,7 @@
 
 use parsplu::core::{Options, SparseLu};
 use parsplu::matgen::{manufactured_rhs, paper_matrix, Scale};
-use parsplu::sparse::io::{
-    parse_harwell_boeing, read_matrix_market, write_matrix_market,
-};
+use parsplu::sparse::io::{parse_harwell_boeing, read_matrix_market, write_matrix_market};
 use parsplu::sparse::relative_residual;
 use std::path::PathBuf;
 
@@ -23,7 +21,9 @@ fn matrix_market_file_roundtrip_preserves_solutions() {
 
     let (_, b) = manufactured_rhs(&a, 3);
     let x1 = SparseLu::factor(&a, &Options::default()).unwrap().solve(&b);
-    let x2 = SparseLu::factor(&a2, &Options::default()).unwrap().solve(&b);
+    let x2 = SparseLu::factor(&a2, &Options::default())
+        .unwrap()
+        .solve(&b);
     assert_eq!(x1, x2, "file round-trip changed the solution");
     let _ = std::fs::remove_file(&path);
 }

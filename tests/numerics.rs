@@ -13,15 +13,11 @@ use parsplu::sparse::{relative_residual, CscMatrix};
 /// plus a right-hand side.
 fn matrix_and_rhs(max_n: usize) -> impl Strategy<Value = (CscMatrix, Vec<f64>)> {
     (2..=max_n).prop_flat_map(|n| {
-        let entries = proptest::collection::vec(
-            (0..n, 0..n, -1.0_f64..1.0),
-            0..5 * n,
-        );
+        let entries = proptest::collection::vec((0..n, 0..n, -1.0_f64..1.0), 0..5 * n);
         let rhs = proptest::collection::vec(-2.0_f64..2.0, n);
         (entries, rhs).prop_map(move |(extra, b)| {
-            let mut trips: Vec<(usize, usize, f64)> = (0..n)
-                .map(|i| (i, i, 6.0 + (i % 3) as f64))
-                .collect();
+            let mut trips: Vec<(usize, usize, f64)> =
+                (0..n).map(|i| (i, i, 6.0 + (i % 3) as f64)).collect();
             trips.extend(extra);
             (
                 CscMatrix::from_triplets(n, n, &trips).expect("valid triplets"),
@@ -100,8 +96,9 @@ fn pivoting_rescues_tiny_diagonals() {
 #[test]
 fn cyclic_structure_is_solved() {
     let n = 31;
-    let mut trips: Vec<(usize, usize, f64)> =
-        (0..n).map(|i| ((i + 7) % n, i, 5.0 + (i % 4) as f64)).collect();
+    let mut trips: Vec<(usize, usize, f64)> = (0..n)
+        .map(|i| ((i + 7) % n, i, 5.0 + (i % 4) as f64))
+        .collect();
     for i in 0..n {
         trips.push(((i + 2) % n, i, 0.5));
     }

@@ -15,8 +15,7 @@ fn whole_suite_factors_and_solves_with_both_graphs() {
                 task_graph,
                 ..Options::default()
             };
-            let lu = SparseLu::factor(&m.a, &opts)
-                .unwrap_or_else(|e| panic!("{}: {e}", m.name));
+            let lu = SparseLu::factor(&m.a, &opts).unwrap_or_else(|e| panic!("{}: {e}", m.name));
             let x = lu.solve(&b);
             let r = relative_residual(&m.a, &x, &b);
             assert!(r < 1e-10, "{} ({task_graph:?}): residual {r}", m.name);

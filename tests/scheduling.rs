@@ -94,7 +94,8 @@ fn fine_decomposition_covers_the_same_work() {
         let costs = estimate_task_costs(&sym.block_structure, &coarse);
         let coarse_work: f64 = costs.iter().map(|c| c.flops).sum();
         assert!(
-            fine.total_work <= 2.0 * coarse_work + 1e-9 && coarse_work <= 2.0 * fine.total_work + 1e-9,
+            fine.total_work <= 2.0 * coarse_work + 1e-9
+                && coarse_work <= 2.0 * fine.total_work + 1e-9,
             "{}: fine {} vs coarse {}",
             m.name,
             fine.total_work,

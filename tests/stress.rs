@@ -17,8 +17,7 @@ fn full_scale_suite_end_to_end() {
                 threads: 2,
                 ..Options::default()
             };
-            let lu = SparseLu::factor(&m.a, &opts)
-                .unwrap_or_else(|e| panic!("{}: {e}", m.name));
+            let lu = SparseLu::factor(&m.a, &opts).unwrap_or_else(|e| panic!("{}: {e}", m.name));
             let x = lu.solve(&b);
             let r = relative_residual(&m.a, &x, &b);
             assert!(r < 1e-9, "{} ({task_graph:?}): residual {r}", m.name);

@@ -6,8 +6,8 @@ use proptest::prelude::*;
 use parsplu::ordering::{maximum_transversal, StructuralRank};
 use parsplu::sparse::{Permutation, SparsityPattern};
 use parsplu::symbolic::{
-    postorder_permutation, static_fact::static_symbolic_reference,
-    static_symbolic_factorization, EliminationForest, ExtendedEforest,
+    postorder_permutation, static_fact::static_symbolic_reference, static_symbolic_factorization,
+    EliminationForest, ExtendedEforest,
 };
 
 /// Strategy: a random square pattern with a zero-free diagonal.

@@ -1,0 +1,491 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest this workspace uses: the [`Strategy`]
+//! trait with `prop_map` / `prop_flat_map` / `prop_perturb`, [`Just`],
+//! strategies for integer/float ranges and tuples, [`collection::vec`],
+//! [`ProptestConfig`], and the `proptest!` / `prop_assert*!` macros.
+//!
+//! Differences from real proptest, deliberate for an offline build:
+//! failing cases are NOT shrunk (the panic reports the case number and the
+//! deterministic per-test seed instead), and there is no persistence file.
+//! Case generation is fully deterministic: the RNG seed is a hash of the
+//! test name, so a failure reproduces on every run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic RNG handed to strategies (SplitMix64).
+///
+/// Also the type passed by value to `prop_perturb` closures; its only
+/// public entropy source is [`TestRng::next_u64`].
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Builds a generator from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// The next 64 uniformly random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A double in `[0, 1)` with 53-bit precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Derives an independent child generator (used by `prop_perturb`).
+    pub fn fork(&mut self) -> TestRng {
+        TestRng::from_seed(self.next_u64() ^ 0xA5A5_A5A5_5A5A_5A5A)
+    }
+}
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Feeds generated values into a second, value-dependent strategy.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Transforms generated values with `f`, handing it a private RNG.
+    fn prop_perturb<O, F>(self, f: F) -> Perturb<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value, TestRng) -> O,
+    {
+        Perturb { inner: self, f }
+    }
+}
+
+/// Strategy that always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Result of [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Result of [`Strategy::prop_perturb`].
+#[derive(Debug, Clone)]
+pub struct Perturb<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value, TestRng) -> O> Strategy for Perturb<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        let value = self.inner.generate(rng);
+        (self.f)(value, rng.fork())
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy range is empty");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (rng.next_u64() as u128) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "strategy range is empty");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = (rng.next_u64() as u128) % span;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(usize, u64, u32, u16, u8, i64, i32, i16, i8);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "strategy range is empty");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "strategy range is empty");
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+}
+
+/// Strategies over collections.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A length specification for [`vec`]: an exact `usize` or a range.
+    pub trait SizeRange {
+        /// Draws a length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.clone().generate(rng)
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.clone().generate(rng)
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `Vec` strategy with the given element strategy and length spec.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Test-runner configuration and errors.
+pub mod test_runner {
+    /// How a `proptest!` block runs its cases.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A failed `prop_assert*!` inside a test case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+}
+
+/// Support functions for the `proptest!` macro (not part of the public
+/// proptest API, but must be reachable from macro expansions).
+pub mod sugar {
+    use super::test_runner::TestCaseError;
+    use super::TestRng;
+
+    /// Stable 64-bit FNV-1a hash of a test name — the per-test seed.
+    pub fn seed_of(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Runs `f` once per case with a deterministic RNG; panics on failure
+    /// with the case index and seed so the run can be reproduced.
+    pub fn run_cases<F>(cases: u32, name: &str, mut f: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let seed = seed_of(name);
+        for case in 0..cases {
+            let mut rng =
+                TestRng::from_seed(seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            if let Err(e) = f(&mut rng) {
+                panic!(
+                    "proptest case {}/{} of `{}` failed (seed {:#x}): {}",
+                    case + 1,
+                    cases,
+                    name,
+                    seed,
+                    e
+                );
+            }
+        }
+    }
+}
+
+/// The usual `use proptest::prelude::*;` import surface.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Just, Strategy, TestRng};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supports an optional leading `#![proptest_config(...)]`, multiple test
+/// functions per block, and pattern arguments (`(a, b) in strat`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)]
+     $( $(#[$meta:meta])* fn $name:ident( $($arg:pat_param in $strat:expr),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                $crate::sugar::run_cases(config.cases, stringify!($name), |rng| {
+                    $( let $arg = $crate::Strategy::generate(&$strat, rng); )*
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+/// Like `assert!` but fails only the current proptest case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Like `assert_eq!` but fails only the current proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: {} == {}",
+                    stringify!($left),
+                    stringify!($right)
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Like `assert_ne!` but fails only the current proptest case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: {} != {}",
+                    stringify!($left),
+                    stringify!($right)
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::from_seed(42);
+        for _ in 0..200 {
+            let v = (1usize..12, -5i32..=5, -1.0f64..1.0).generate(&mut rng);
+            assert!((1..12).contains(&v.0));
+            assert!((-5..=5).contains(&v.1));
+            assert!((-1.0..1.0).contains(&v.2));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_specs() {
+        let mut rng = TestRng::from_seed(7);
+        let exact = collection::vec(0usize..10, 5usize).generate(&mut rng);
+        assert_eq!(exact.len(), 5);
+        for _ in 0..100 {
+            let ranged = collection::vec(0usize..10, 0usize..8).generate(&mut rng);
+            assert!(ranged.len() < 8);
+        }
+    }
+
+    #[test]
+    fn flat_map_threads_dependent_sizes() {
+        let strat =
+            (1usize..6).prop_flat_map(|n| collection::vec(0..n, n).prop_map(move |v| (n, v)));
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..100 {
+            let (n, v) = strat.generate(&mut rng);
+            assert_eq!(v.len(), n);
+            assert!(v.iter().all(|&x| x < n));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_binds_patterns((a, b) in (0usize..10, 0usize..10), c in -1.0f64..1.0) {
+            prop_assert!(a < 10 && b < 10, "out of range: {} {}", a, b);
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_ne!(c, 2.0);
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides the (small) subset of the `rand 0.8` API the workspace uses:
+//! [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`], and the [`Rng`]
+//! methods `gen_range` (half-open and inclusive integer ranges, half-open
+//! float ranges) and `gen_bool`. The generator is xoshiro256++ seeded via
+//! SplitMix64 — the same construction `rand`'s `SmallRng` uses on 64-bit
+//! targets, deterministic for a given seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable random generator constructors.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A type with a uniform sampler over an interval.
+///
+/// The single generic [`SampleRange`] impl below ties the sampled type to
+/// the range's element type, so `gen_range(0.0..1.0)` infers `f64` from the
+/// surrounding expression exactly as with the real `rand`.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_half_open(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_inclusive(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self;
+}
+
+/// A uniformly sampleable range; the argument type of [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from(self, rng: &mut dyn RngCore) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty range");
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+/// The raw 64-bit generator interface.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling methods, in the style of `rand::Rng`.
+pub trait Rng: RngCore + Sized {
+    /// Uniform sample from `range` (`low..high` or `low..=high`).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    ///
+    /// Matches rand 0.8's `Bernoulli`: `p >= 1` short-circuits without
+    /// drawing; otherwise one `next_u64` is compared against `p · 2⁶⁴`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        let p_int = (p * (u64::MAX as f64 + 1.0)) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<T: RngCore + Sized> Rng for T {}
+
+/// Maps 64 random bits to a double in `[0, 1)` with 53-bit precision.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Lemire's widening-multiply rejection sampler over `[0, range)`, matching
+/// `rand 0.8`'s 64-bit `UniformInt` path bit for bit: `zone` is the largest
+/// low-half product accepted without bias, and each rejected draw consumes
+/// one `next_u64` exactly as the original does. Bit-exactness matters here:
+/// tests seed `SmallRng` and assert over the resulting random ensembles.
+fn lemire_u64(range: u64, rng: &mut dyn RngCore) -> u64 {
+    debug_assert!(range > 0);
+    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+    loop {
+        let v = rng.next_u64();
+        let m = (v as u128) * (range as u128);
+        if (m as u64) <= zone {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self {
+                let range = (hi as i128 - lo as i128) as u64;
+                (lo as i128 + lemire_u64(range, rng) as i128) as $t
+            }
+            fn sample_inclusive(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self {
+                let range = (hi as i128 - lo as i128) as u128 + 1;
+                if range > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + lemire_u64(range as u64, rng) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_uniform!(usize, u64, u32, i64, i32, i16, u16, i8, u8);
+
+impl SampleUniform for f64 {
+    // rand 0.8's `UniformFloat<f64>::sample_single`: 52 random fraction
+    // bits make `value1_2` uniform in [1, 2); the affine map and the
+    // rejection of the (rounding-only) `res == hi` case are kept verbatim.
+    fn sample_half_open(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self {
+        let scale = hi - lo;
+        loop {
+            let value1_2 = f64::from_bits((rng.next_u64() >> 12) | (1023u64 << 52));
+            let res = value1_2 * scale + (lo - scale);
+            if res < hi {
+                return res;
+            }
+        }
+    }
+    fn sample_inclusive(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self {
+        lo + unit_f64(rng.next_u64()) * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_half_open(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self {
+        let scale = hi - lo;
+        loop {
+            let bits = (rng.next_u64() >> 32) as u32;
+            let value1_2 = f32::from_bits((bits >> 9) | (127u32 << 23));
+            let res = value1_2 * scale + (lo - scale);
+            if res < hi {
+                return res;
+            }
+        }
+    }
+    fn sample_inclusive(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self {
+        lo + (unit_f64(rng.next_u64()) as f32) * (hi - lo)
+    }
+}
+
+/// Small, fast generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ seeded through SplitMix64 — deterministic, 64-bit.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed, as rand does.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000usize), b.gen_range(0..1000usize));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-5..=5i32);
+            assert!((-5..=5).contains(&w));
+            let f = rng.gen_range(-1.0..1.0f64);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}
