@@ -11,8 +11,12 @@
 //!
 //! ```json
 //! [{"matrix": "...", "threads": 8, "mapping": "dynamic",
-//!   "median_seconds": 0.0123}, ...]
+//!   "kind": "measured", "median_seconds": 0.0123}, ...]
 //! ```
+//!
+//! Each record carries a `kind` field — `"measured"` for wall-clock rows,
+//! `"simulated"` for the calibrated-simulator rows — so downstream tooling
+//! never averages simulator ticks into wall-clock aggregates.
 //!
 //! The host may have fewer physical cores than the paper's 8-processor
 //! Origin 2000 (this container has one), in which case wall-clock numbers
@@ -47,11 +51,13 @@ fn median_time<F: FnMut()>(mut f: F) -> f64 {
     times[times.len() / 2]
 }
 
-/// One timed configuration.
+/// One timed configuration. `kind` distinguishes wall-clock measurements
+/// from calibrated-simulator predictions in the JSON output.
 struct Record {
     matrix: String,
     threads: usize,
     mapping: &'static str,
+    kind: &'static str,
     median_seconds: f64,
 }
 
@@ -105,6 +111,7 @@ fn main() {
                     matrix: p.name.to_string(),
                     threads,
                     mapping,
+                    kind: "measured",
                     median_seconds: secs,
                 });
             }
@@ -134,6 +141,7 @@ fn main() {
                 matrix: p.name.to_string(),
                 threads: 8,
                 mapping,
+                kind: "simulated",
                 median_seconds: secs,
             });
         }
@@ -173,12 +181,14 @@ fn main() {
         let sep = if i + 1 == records.len() { "" } else { "," };
         writeln!(
             json,
-            "  {{\"matrix\": \"{}\", \"threads\": {}, \"mapping\": \"{}\", \"median_seconds\": {:.9}}}{}",
-            r.matrix, r.threads, r.mapping, r.median_seconds, sep
+            "  {{\"matrix\": \"{}\", \"threads\": {}, \"mapping\": \"{}\", \"kind\": \"{}\", \"median_seconds\": {:.9}}}{}",
+            r.matrix, r.threads, r.mapping, r.kind, r.median_seconds, sep
         )
         .expect("string write");
     }
     json.push_str("]\n");
+    let parsed = splu_bench::json::parse(&json).expect("BENCH_factor.json is valid JSON");
+    splu_bench::json::validate_bench_factor(&parsed).expect("BENCH_factor.json matches schema");
     std::fs::write("BENCH_factor.json", json).expect("write BENCH_factor.json");
     println!("\nwrote BENCH_factor.json ({} records)", records.len());
 }

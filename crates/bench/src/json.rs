@@ -1,0 +1,388 @@
+//! Minimal JSON parsing and schema validation for the benchmark artifacts.
+//!
+//! The workspace is offline (no serde), but the observability artifacts —
+//! `BENCH_sched.json`, `BENCH_factor.json` and the Chrome `trace_event`
+//! files — must be *verifiably* well-formed: CI parses and schema-checks
+//! them after every `perf_report` run, and the test-suite validates the
+//! Chrome export (valid JSON, monotone per-worker timestamps). This module
+//! is a small recursive-descent parser over the JSON grammar plus the
+//! schema validators for the artifacts this repo writes.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// String (escapes decoded).
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object, key-ordered.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// The value at `key` if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The number if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a complete JSON document, rejecting trailing garbage.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing characters at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected '{}' at byte {} (found {:?})",
+            c as char,
+            *pos,
+            b.get(*pos).map(|&x| x as char)
+        ))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(_) => parse_num(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if matches!(b.get(*pos), Some(b'-')) {
+        *pos += 1;
+    }
+    while matches!(
+        b.get(*pos),
+        Some(b'0'..=b'9') | Some(b'.') | Some(b'e') | Some(b'E') | Some(b'+') | Some(b'-')
+    ) {
+        *pos += 1;
+    }
+    let s = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    s.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("invalid number {s:?} at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape".to_string())?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        // Surrogate pairs are not needed by our artifacts;
+                        // map lone surrogates to the replacement character.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(&c) if c < 0x20 => {
+                return Err(format!("unescaped control character at byte {}", *pos))
+            }
+            Some(_) => {
+                // Copy one UTF-8 scalar (multibyte-safe).
+                let s = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                let ch = s.chars().next().expect("non-empty");
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if matches!(b.get(*pos), Some(b']')) {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(b, pos);
+    if matches!(b.get(*pos), Some(b'}')) {
+        *pos += 1;
+        return Ok(Json::Obj(map));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        expect(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        map.insert(key, value);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Schema validators for the artifacts this repo writes.
+// ---------------------------------------------------------------------------
+
+fn require_num(rec: &Json, key: &str, ctx: &str) -> Result<f64, String> {
+    rec.get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("{ctx}: missing numeric field {key:?}"))
+}
+
+fn require_str<'j>(rec: &'j Json, key: &str, ctx: &str) -> Result<&'j str, String> {
+    rec.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{ctx}: missing string field {key:?}"))
+}
+
+/// Validates a Chrome `trace_event` document: a `traceEvents` array whose
+/// complete (`"X"`) events carry `name`/`ts`/`dur`/`tid` with non-negative
+/// durations and **monotone non-decreasing `ts` per `tid`** (each worker's
+/// stream is recorded in order). Returns the number of `"X"` events.
+pub fn validate_chrome_trace(doc: &Json) -> Result<usize, String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("chrome trace: missing traceEvents array")?;
+    let mut last_ts: BTreeMap<i64, f64> = BTreeMap::new();
+    let mut complete = 0usize;
+    for (i, e) in events.iter().enumerate() {
+        let ctx = format!("traceEvents[{i}]");
+        let ph = require_str(e, "ph", &ctx)?;
+        if ph != "X" {
+            continue;
+        }
+        complete += 1;
+        require_str(e, "name", &ctx)?;
+        let tid = require_num(e, "tid", &ctx)? as i64;
+        let ts = require_num(e, "ts", &ctx)?;
+        let dur = require_num(e, "dur", &ctx)?;
+        if dur < 0.0 {
+            return Err(format!("{ctx}: negative duration {dur}"));
+        }
+        if let Some(&prev) = last_ts.get(&tid) {
+            if ts < prev {
+                return Err(format!(
+                    "{ctx}: timestamps regress on tid {tid} ({ts} < {prev})"
+                ));
+            }
+        }
+        last_ts.insert(tid, ts);
+    }
+    Ok(complete)
+}
+
+/// Validates `BENCH_sched.json`: an array of records each carrying the
+/// identifying fields, a `kind` of `measured`/`simulated`, the overhead
+/// measurement, and per-worker breakdown arrays of consistent length.
+pub fn validate_bench_sched(doc: &Json) -> Result<usize, String> {
+    let records = doc.as_arr().ok_or("BENCH_sched.json: not an array")?;
+    for (i, r) in records.iter().enumerate() {
+        let ctx = format!("record[{i}]");
+        require_str(r, "matrix", &ctx)?;
+        require_str(r, "mode", &ctx)?;
+        let kind = require_str(r, "kind", &ctx)?;
+        if kind != "measured" && kind != "simulated" {
+            return Err(format!("{ctx}: bad kind {kind:?}"));
+        }
+        let threads = require_num(r, "threads", &ctx)?;
+        if kind == "measured" {
+            require_num(r, "median_off_s", &ctx)?;
+            require_num(r, "median_traced_s", &ctx)?;
+            require_num(r, "overhead_pct", &ctx)?;
+            require_num(r, "wall_s", &ctx)?;
+            require_num(r, "tasks_total", &ctx)?;
+            require_num(r, "panel_copies", &ctx)?;
+            for key in ["busy_s", "idle_s", "steal_s", "tasks", "steals_in"] {
+                let arr = r
+                    .get(key)
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| format!("{ctx}: missing array {key:?}"))?;
+                if arr.len() != threads as usize {
+                    return Err(format!(
+                        "{ctx}: {key:?} has {} entries for {threads} workers",
+                        arr.len()
+                    ));
+                }
+            }
+        } else {
+            require_num(r, "makespan_s", &ctx)?;
+        }
+    }
+    Ok(records.len())
+}
+
+/// Validates `BENCH_factor.json`: an array of records each with `matrix`,
+/// `threads`, `mapping`, `median_seconds` and a `kind` of
+/// `measured`/`simulated` (the field that stops downstream tooling from
+/// averaging simulator ticks into wall-clock rows).
+pub fn validate_bench_factor(doc: &Json) -> Result<usize, String> {
+    let records = doc.as_arr().ok_or("BENCH_factor.json: not an array")?;
+    for (i, r) in records.iter().enumerate() {
+        let ctx = format!("record[{i}]");
+        require_str(r, "matrix", &ctx)?;
+        require_str(r, "mapping", &ctx)?;
+        require_num(r, "threads", &ctx)?;
+        require_num(r, "median_seconds", &ctx)?;
+        let kind = require_str(r, "kind", &ctx)?;
+        if kind != "measured" && kind != "simulated" {
+            return Err(format!("{ctx}: bad kind {kind:?}"));
+        }
+    }
+    Ok(records.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_nesting() {
+        let v = parse(r#"{"a": [1, -2.5e3, "x\n\"y\"", true, null], "b": {}}"#).unwrap();
+        let arr = v.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0].as_num(), Some(1.0));
+        assert_eq!(arr[1].as_num(), Some(-2500.0));
+        assert_eq!(arr[2].as_str(), Some("x\n\"y\""));
+        assert_eq!(arr[3], Json::Bool(true));
+        assert_eq!(arr[4], Json::Null);
+        assert_eq!(v.get("b"), Some(&Json::Obj(BTreeMap::new())));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["{", "[1,]", "{\"a\" 1}", "[1] x", "\"\\q\"", "nul"] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn chrome_validator_requires_monotone_per_tid() {
+        let good = r#"{"traceEvents": [
+            {"ph": "X", "name": "a", "tid": 0, "ts": 1.0, "dur": 2.0},
+            {"ph": "X", "name": "b", "tid": 1, "ts": 0.5, "dur": 1.0},
+            {"ph": "X", "name": "c", "tid": 0, "ts": 3.0, "dur": 0.0}
+        ]}"#;
+        assert_eq!(validate_chrome_trace(&parse(good).unwrap()), Ok(3));
+        let bad = r#"{"traceEvents": [
+            {"ph": "X", "name": "a", "tid": 0, "ts": 5.0, "dur": 2.0},
+            {"ph": "X", "name": "b", "tid": 0, "ts": 1.0, "dur": 1.0}
+        ]}"#;
+        assert!(validate_chrome_trace(&parse(bad).unwrap()).is_err());
+    }
+}

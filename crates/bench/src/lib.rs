@@ -4,6 +4,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+
 use splu_core::{analyze, estimate_task_costs, Options, SymbolicLu, TaskGraphKind};
 use splu_matgen::{paper_suite, BenchMatrix, Scale};
 use splu_sched::{simulate, CostModel, Mapping, TaskGraph};

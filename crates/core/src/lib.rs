@@ -40,14 +40,17 @@ pub use costs::{estimate_task_costs, total_flops};
 pub use error::LuError;
 pub use numeric::{
     factor_left_looking, factor_task, factor_task_with_rule, factor_with_graph,
-    factor_with_graph_rule, update_task,
+    factor_with_graph_rule, factor_with_graph_rule_traced, factor_with_graph_traced, update_task,
 };
-pub use numeric_fine::{apply_task, factor_with_fine_graph, gemm_task, trsm_task};
+pub use numeric_fine::{
+    apply_task, factor_with_fine_graph, factor_with_fine_graph_traced, gemm_task, trsm_task,
+};
 pub use psolve::solve_permuted_parallel;
 pub use solve::{
     det_permuted, growth_factor, solve_many_permuted, solve_permuted, solve_transposed_permuted,
 };
 pub use splu_dense::PivotRule;
+pub use splu_sched::{ExecReport, ExecTrace, SchedStats, TraceConfig, TraceMode, WorkerStats};
 
 mod condest;
 pub use condest::estimate_inverse_1norm;

@@ -23,7 +23,7 @@ use crate::blocks::BlockMatrix;
 use crate::LuError;
 use parking_lot::Mutex;
 use splu_dense::{gemm_sub_view, lu_panel_with_rule, trsm_lower_unit_view, PivotRule};
-use splu_sched::{execute, Mapping, Task, TaskGraph};
+use splu_sched::{execute_traced, ExecReport, Mapping, Task, TaskGraph, TraceConfig};
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Factorizes block column `k`: runs panel LU with partial pivoting **in
@@ -136,25 +136,78 @@ pub fn factor_with_graph_rule(
     rule: PivotRule,
     pivot_threshold: f64,
 ) -> Result<(), LuError> {
+    factor_with_graph_rule_traced(
+        bm,
+        graph,
+        nthreads,
+        mapping,
+        rule,
+        pivot_threshold,
+        &TraceConfig::off(),
+    )
+    .map(|_| ())
+}
+
+/// [`factor_with_graph`] with scheduler telemetry: returns the executor's
+/// [`ExecReport`] alongside the factorization, with
+/// [`splu_sched::SchedStats::panel_copies`] filled from the block storage's
+/// zero-copy counter. [`TraceConfig::off`] reduces to the untraced path.
+pub fn factor_with_graph_traced(
+    bm: &BlockMatrix,
+    graph: &TaskGraph,
+    nthreads: usize,
+    mapping: Mapping,
+    pivot_threshold: f64,
+    config: &TraceConfig,
+) -> Result<ExecReport, LuError> {
+    factor_with_graph_rule_traced(
+        bm,
+        graph,
+        nthreads,
+        mapping,
+        PivotRule::Partial,
+        pivot_threshold,
+        config,
+    )
+}
+
+/// [`factor_with_graph_traced`] with an explicit pivot-selection rule — the
+/// full-surface entry point all the other drivers delegate to.
+pub fn factor_with_graph_rule_traced(
+    bm: &BlockMatrix,
+    graph: &TaskGraph,
+    nthreads: usize,
+    mapping: Mapping,
+    rule: PivotRule,
+    pivot_threshold: f64,
+    config: &TraceConfig,
+) -> Result<ExecReport, LuError> {
     let failed = AtomicBool::new(false);
     let first_error: Mutex<Option<LuError>> = Mutex::new(None);
-    execute(graph, nthreads, mapping, |task| {
-        if failed.load(Ordering::Acquire) {
-            return;
-        }
-        match task {
-            Task::Factor(k) => {
-                if let Err(e) = factor_task_with_rule(bm, k, rule, pivot_threshold) {
-                    failed.store(true, Ordering::Release);
-                    first_error.lock().get_or_insert(e);
-                }
+    let mut report = execute_traced(
+        graph,
+        nthreads,
+        mapping,
+        |task| {
+            if failed.load(Ordering::Acquire) {
+                return;
             }
-            Task::Update { src, dst } => update_task(bm, src, dst),
-        }
-    });
+            match task {
+                Task::Factor(k) => {
+                    if let Err(e) = factor_task_with_rule(bm, k, rule, pivot_threshold) {
+                        failed.store(true, Ordering::Release);
+                        first_error.lock().get_or_insert(e);
+                    }
+                }
+                Task::Update { src, dst } => update_task(bm, src, dst),
+            }
+        },
+        config,
+    );
+    report.stats.panel_copies = bm.panel_copy_count();
     match first_error.into_inner() {
         Some(e) => Err(e),
-        None => Ok(()),
+        None => Ok(report),
     }
 }
 

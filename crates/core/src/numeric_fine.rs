@@ -21,7 +21,7 @@ use crate::numeric::factor_task;
 use crate::LuError;
 use parking_lot::Mutex;
 use splu_dense::{gemm_sub_view, trsm_lower_unit_view};
-use splu_sched::{execute_dag, FineGraph, FineTask};
+use splu_sched::{execute_dag_report, ExecReport, FineGraph, FineTask, TraceConfig};
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Applies `Factor(src)`'s pivot interchanges to block column `dst`.
@@ -88,9 +88,23 @@ pub fn factor_with_fine_graph(
     nthreads: usize,
     pivot_threshold: f64,
 ) -> Result<(), LuError> {
+    factor_with_fine_graph_traced(bm, fg, nthreads, pivot_threshold, &TraceConfig::off())
+        .map(|_| ())
+}
+
+/// [`factor_with_fine_graph`] with scheduler telemetry — the fine-grained
+/// counterpart of [`crate::factor_with_graph_traced`], returning the
+/// executor's [`ExecReport`] with the zero-copy counter filled in.
+pub fn factor_with_fine_graph_traced(
+    bm: &BlockMatrix,
+    fg: &FineGraph,
+    nthreads: usize,
+    pivot_threshold: f64,
+    config: &TraceConfig,
+) -> Result<ExecReport, LuError> {
     let failed = AtomicBool::new(false);
     let first_error: Mutex<Option<LuError>> = Mutex::new(None);
-    execute_dag(
+    let mut report = execute_dag_report(
         fg.len(),
         fg.pred_counts(),
         |t| fg.successors(t),
@@ -113,10 +127,12 @@ pub fn factor_with_fine_graph(
                 FineTask::Gemm { src, dst, row } => gemm_task(bm, src, dst, row),
             }
         },
+        config,
     );
+    report.stats.panel_copies = bm.panel_copy_count();
     match first_error.into_inner() {
         Some(e) => Err(e),
-        None => Ok(()),
+        None => Ok(report),
     }
 }
 

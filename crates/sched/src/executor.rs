@@ -41,11 +41,13 @@
 //! measure the scheduling improvement against an unchanged baseline.
 
 use crate::graph::TaskGraph;
+use crate::trace::{assemble_report, ExecReport, TraceConfig, WorkerRecorder};
 use crate::Task;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{BinaryHeap, VecDeque};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Task-to-worker assignment policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -160,9 +162,45 @@ pub fn execute_dag_with_priorities<'a, S, Q, F>(
     Q: Fn(usize) -> usize + Sync,
     F: Fn(usize) + Sync,
 {
+    execute_dag_with_priorities_report(
+        n_tasks,
+        pred_counts,
+        successors,
+        priority,
+        nthreads,
+        nqueues,
+        queue_of,
+        runner,
+        &TraceConfig::off(),
+    );
+}
+
+/// [`execute_dag_with_priorities`] with telemetry: per-worker busy/idle/steal
+/// timing, task and steal counters, and (in [`crate::TraceMode::Full`]) the
+/// raw event streams for Chrome-trace export. With [`TraceConfig::off`] the
+/// recorder calls reduce to a dead branch per task and the returned report
+/// is empty — this is the path every untraced entry point takes.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_dag_with_priorities_report<'a, S, Q, F>(
+    n_tasks: usize,
+    pred_counts: &[usize],
+    successors: S,
+    priority: &[u64],
+    nthreads: usize,
+    nqueues: usize,
+    queue_of: Q,
+    runner: F,
+    config: &TraceConfig,
+) -> ExecReport
+where
+    S: Fn(usize) -> &'a [usize] + Sync,
+    Q: Fn(usize) -> usize + Sync,
+    F: Fn(usize) + Sync,
+{
     let nthreads = nthreads.max(1);
+    let epoch = Instant::now();
     if n_tasks == 0 {
-        return;
+        return assemble_report(0, nthreads, 0.0, config, Vec::new());
     }
     assert!(nqueues == 1 || nqueues == nthreads, "queue/worker mismatch");
     assert_eq!(priority.len(), n_tasks, "one priority per task");
@@ -176,6 +214,8 @@ pub fn execute_dag_with_priorities<'a, S, Q, F>(
     let indeg: Vec<AtomicUsize> = pred_counts.iter().map(|&c| AtomicUsize::new(c)).collect();
     let remaining = AtomicUsize::new(n_tasks);
     let aborted = AtomicBool::new(false);
+    // Drained worker recorders; locked once per worker, at exit.
+    let drained = Mutex::new(Vec::with_capacity(nthreads));
 
     // Seed the pools: owners get their own roots; in stealing mode roots are
     // dealt round-robin so all workers start busy.
@@ -207,78 +247,114 @@ pub fn execute_dag_with_priorities<'a, S, Q, F>(
             let successors = &successors;
             let queue_of = &queue_of;
             let priority = &priority;
+            let drained = &drained;
             scope.spawn(move |_| {
+                let mut rec = WorkerRecorder::new(w, nthreads, config, epoch);
                 let my_gate = &gates[if owner_mode { w } else { 0 }];
-                'work: loop {
-                    // Acquire a task: own pool first, then (Dynamic only)
-                    // steal from the first non-empty victim.
-                    let tid = 'acquire: loop {
-                        if aborted.load(Ordering::Acquire) {
-                            return;
-                        }
-                        if let Some(r) = pools[w].lock().pop() {
-                            break 'acquire r.tid;
-                        }
-                        if !owner_mode {
-                            for i in 1..nthreads {
-                                let victim = (w + i) % nthreads;
-                                if let Some(r) = pools[victim].lock().pop() {
-                                    break 'acquire r.tid;
+                // The worker body proper; returns a panic payload instead of
+                // unwinding so the recorder is drained on every exit path.
+                let mut body = || -> Option<Box<dyn std::any::Any + Send>> {
+                    'work: loop {
+                        // Acquire a task: own pool first, then (Dynamic only)
+                        // steal from the first non-empty victim.
+                        let tid = 'acquire: loop {
+                            if aborted.load(Ordering::Acquire) {
+                                return None;
+                            }
+                            if let Some(r) = pools[w].lock().pop() {
+                                break 'acquire r.tid;
+                            }
+                            if !owner_mode && nthreads > 1 {
+                                let t0 = rec.begin();
+                                let mut hit = None;
+                                for i in 1..nthreads {
+                                    let victim = (w + i) % nthreads;
+                                    if let Some(r) = pools[victim].lock().pop() {
+                                        hit = Some((r.tid, victim));
+                                        break;
+                                    }
+                                }
+                                match hit {
+                                    Some((tid, victim)) => {
+                                        rec.end_steal(t0, victim, true);
+                                        break 'acquire tid;
+                                    }
+                                    None => rec.end_steal(t0, w, false),
                                 }
                             }
-                        }
-                        // Park. The gate lock makes the emptiness re-check
-                        // and the wait atomic against pushers and retirement.
-                        let mut guard = my_gate.lock.lock();
-                        if remaining.load(Ordering::Acquire) == 0 || aborted.load(Ordering::Acquire)
-                        {
-                            return;
-                        }
-                        let has_work = if owner_mode {
-                            !pools[w].lock().is_empty()
-                        } else {
-                            pools.iter().any(|p| !p.lock().is_empty())
+                            // Park. The gate lock makes the emptiness re-check
+                            // and the wait atomic against pushers and
+                            // retirement.
+                            let mut guard = my_gate.lock.lock();
+                            if remaining.load(Ordering::Acquire) == 0
+                                || aborted.load(Ordering::Acquire)
+                            {
+                                return None;
+                            }
+                            let has_work = if owner_mode {
+                                !pools[w].lock().is_empty()
+                            } else {
+                                pools.iter().any(|p| !p.lock().is_empty())
+                            };
+                            if !has_work {
+                                let t0 = rec.begin();
+                                my_gate.cv.wait(&mut guard);
+                                rec.end_park(t0);
+                            }
                         };
-                        if !has_work {
-                            my_gate.cv.wait(&mut guard);
-                        }
-                    };
 
-                    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| runner(tid))) {
-                        // Leave no worker parked behind a task that will
-                        // never retire; then let the panic propagate.
-                        aborted.store(true, Ordering::Release);
-                        for g in gates {
-                            g.notify_all();
+                        let t0 = rec.begin();
+                        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| runner(tid))) {
+                            // Leave no worker parked behind a task that will
+                            // never retire; then let the panic propagate.
+                            aborted.store(true, Ordering::Release);
+                            for g in gates {
+                                g.notify_all();
+                            }
+                            return Some(payload);
                         }
-                        resume_unwind(payload);
-                    }
+                        rec.end_task(t0, tid);
 
-                    for &s in successors(tid) {
-                        if indeg[s].fetch_sub(1, Ordering::AcqRel) == 1 {
-                            let pool = if owner_mode { queue_of(s) } else { w };
-                            pools[pool].lock().push(Ready {
-                                prio: priority[s],
-                                tid: s,
-                            });
-                            gates[if owner_mode { pool } else { 0 }].notify_one();
+                        for &s in successors(tid) {
+                            if indeg[s].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                let pool = if owner_mode { queue_of(s) } else { w };
+                                pools[pool].lock().push(Ready {
+                                    prio: priority[s],
+                                    tid: s,
+                                });
+                                gates[if owner_mode { pool } else { 0 }].notify_one();
+                            }
                         }
-                    }
-                    if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                        // Last task retired: broadcast once on every gate so
-                        // each parked worker wakes exactly once and exits.
-                        for g in gates {
-                            g.notify_all();
+                        rec.count_retired();
+                        if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                            // Last task retired: broadcast once on every gate
+                            // so each parked worker wakes exactly once and
+                            // exits.
+                            for g in gates {
+                                g.notify_all();
+                            }
+                            return None;
                         }
-                        return;
+                        continue 'work;
                     }
-                    continue 'work;
+                };
+                let payload = body();
+                drained.lock().push(rec.finish());
+                if let Some(p) = payload {
+                    resume_unwind(p);
                 }
             });
         }
     })
     .expect("executor worker panicked");
     debug_assert_eq!(remaining.load(Ordering::Acquire), 0);
+    assemble_report(
+        n_tasks,
+        nthreads,
+        epoch.elapsed().as_secs_f64(),
+        config,
+        drained.into_inner(),
+    )
 }
 
 /// [`execute_dag_with_priorities`] with priorities computed internally as
@@ -314,6 +390,41 @@ pub fn execute_dag<'a, S, Q, F>(
     );
 }
 
+/// [`execute_dag`] with telemetry — see
+/// [`execute_dag_with_priorities_report`].
+#[allow(clippy::too_many_arguments)]
+pub fn execute_dag_report<'a, S, Q, F>(
+    n_tasks: usize,
+    pred_counts: &[usize],
+    successors: S,
+    nthreads: usize,
+    nqueues: usize,
+    queue_of: Q,
+    runner: F,
+    config: &TraceConfig,
+) -> ExecReport
+where
+    S: Fn(usize) -> &'a [usize] + Sync,
+    Q: Fn(usize) -> usize + Sync,
+    F: Fn(usize) + Sync,
+{
+    if n_tasks == 0 {
+        return ExecReport::default();
+    }
+    let priority = unit_bottom_levels(n_tasks, pred_counts, &successors);
+    execute_dag_with_priorities_report(
+        n_tasks,
+        pred_counts,
+        successors,
+        &priority,
+        nthreads,
+        nqueues,
+        queue_of,
+        runner,
+        config,
+    )
+}
+
 /// Executes every task of `graph` on `nthreads` workers, honouring all
 /// dependence edges, scheduling by critical-path (bottom-level) priority.
 /// `runner` is invoked once per task; with [`Mapping::Static1D`] all tasks
@@ -324,16 +435,33 @@ pub fn execute<F>(graph: &TaskGraph, nthreads: usize, mapping: Mapping, runner: 
 where
     F: Fn(Task) + Sync,
 {
+    execute_traced(graph, nthreads, mapping, runner, &TraceConfig::off());
+}
+
+/// [`execute`] with telemetry: returns the run's [`ExecReport`] (per-worker
+/// busy/idle/steal breakdown, steal/task counters, and — under
+/// [`crate::TraceMode::Full`] — the raw event streams for Chrome-trace
+/// export). [`TraceConfig::off`] makes this identical to [`execute`].
+pub fn execute_traced<F>(
+    graph: &TaskGraph,
+    nthreads: usize,
+    mapping: Mapping,
+    runner: F,
+    config: &TraceConfig,
+) -> ExecReport
+where
+    F: Fn(Task) + Sync,
+{
     let nthreads = nthreads.max(1);
     if graph.is_empty() {
-        return;
+        return ExecReport::default();
     }
     let priority = graph.bottom_levels();
     let nqueues = match mapping {
         Mapping::Static1D => nthreads,
         Mapping::Dynamic => 1,
     };
-    execute_dag_with_priorities(
+    execute_dag_with_priorities_report(
         graph.len(),
         graph.pred_counts(),
         |t| graph.successors(t),
@@ -345,7 +473,8 @@ where
             Mapping::Dynamic => 0,
         },
         |t| runner(graph.task(t)),
-    );
+        config,
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -370,8 +499,9 @@ impl ReadyQueue {
         self.cv.notify_one();
     }
 
-    /// Pops a task, blocking until one arrives or all work is done.
-    fn pop(&self, remaining: &AtomicUsize) -> Option<usize> {
+    /// Pops a task, blocking until one arrives or all work is done. Waits
+    /// are recorded as idle (park) intervals on `rec`.
+    fn pop(&self, remaining: &AtomicUsize, rec: &mut WorkerRecorder) -> Option<usize> {
         let mut q = self.deque.lock();
         loop {
             if let Some(t) = q.pop_front() {
@@ -380,7 +510,9 @@ impl ReadyQueue {
             if remaining.load(Ordering::Acquire) == 0 {
                 return None;
             }
+            let t0 = rec.begin();
             self.cv.wait(&mut q);
+            rec.end_park(t0);
         }
     }
 
@@ -407,14 +539,47 @@ pub fn execute_dag_fifo<'a, S, Q, F>(
     Q: Fn(usize) -> usize + Sync,
     F: Fn(usize) + Sync,
 {
+    execute_dag_fifo_report(
+        n_tasks,
+        pred_counts,
+        successors,
+        nthreads,
+        nqueues,
+        queue_of,
+        runner,
+        &TraceConfig::off(),
+    );
+}
+
+/// [`execute_dag_fifo`] with telemetry, so the baseline's busy/idle profile
+/// is measurable with the same instruments as the work-stealing executor
+/// (steal counters stay zero — the FIFO discipline never steals).
+#[allow(clippy::too_many_arguments)]
+pub fn execute_dag_fifo_report<'a, S, Q, F>(
+    n_tasks: usize,
+    pred_counts: &[usize],
+    successors: S,
+    nthreads: usize,
+    nqueues: usize,
+    queue_of: Q,
+    runner: F,
+    config: &TraceConfig,
+) -> ExecReport
+where
+    S: Fn(usize) -> &'a [usize] + Sync,
+    Q: Fn(usize) -> usize + Sync,
+    F: Fn(usize) + Sync,
+{
     let nthreads = nthreads.max(1);
+    let epoch = Instant::now();
     if n_tasks == 0 {
-        return;
+        return assemble_report(0, nthreads, 0.0, config, Vec::new());
     }
     assert!(nqueues == 1 || nqueues == nthreads, "queue/worker mismatch");
     let queues: Vec<ReadyQueue> = (0..nqueues).map(|_| ReadyQueue::new()).collect();
     let indeg: Vec<AtomicUsize> = pred_counts.iter().map(|&c| AtomicUsize::new(c)).collect();
     let remaining = AtomicUsize::new(n_tasks);
+    let drained = Mutex::new(Vec::with_capacity(nthreads));
 
     for (t, &c) in pred_counts.iter().enumerate() {
         if c == 0 {
@@ -430,26 +595,39 @@ pub fn execute_dag_fifo<'a, S, Q, F>(
             let runner = &runner;
             let successors = &successors;
             let queue_of = &queue_of;
+            let drained = &drained;
             let my_queue = &queues[if nqueues == 1 { 0 } else { w }];
             scope.spawn(move |_| {
-                while let Some(tid) = my_queue.pop(remaining) {
+                let mut rec = WorkerRecorder::new(w, nthreads, config, epoch);
+                while let Some(tid) = my_queue.pop(remaining, &mut rec) {
+                    let t0 = rec.begin();
                     runner(tid);
+                    rec.end_task(t0, tid);
                     for &s in successors(tid) {
                         if indeg[s].fetch_sub(1, Ordering::AcqRel) == 1 {
                             queues[queue_of(s)].push(s);
                         }
                     }
+                    rec.count_retired();
                     if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
                         for q in queues {
                             q.wake_all();
                         }
                     }
                 }
+                drained.lock().push(rec.finish());
             });
         }
     })
     .expect("executor worker panicked");
     debug_assert_eq!(remaining.load(Ordering::Acquire), 0);
+    assemble_report(
+        n_tasks,
+        nthreads,
+        epoch.elapsed().as_secs_f64(),
+        config,
+        drained.into_inner(),
+    )
 }
 
 /// [`execute`] on the legacy FIFO executor ([`execute_dag_fifo`]) — the
@@ -458,12 +636,30 @@ pub fn execute_fifo<F>(graph: &TaskGraph, nthreads: usize, mapping: Mapping, run
 where
     F: Fn(Task) + Sync,
 {
+    execute_fifo_traced(graph, nthreads, mapping, runner, &TraceConfig::off());
+}
+
+/// [`execute_fifo`] with telemetry — the baseline counterpart of
+/// [`execute_traced`].
+pub fn execute_fifo_traced<F>(
+    graph: &TaskGraph,
+    nthreads: usize,
+    mapping: Mapping,
+    runner: F,
+    config: &TraceConfig,
+) -> ExecReport
+where
+    F: Fn(Task) + Sync,
+{
     let nthreads = nthreads.max(1);
+    if graph.is_empty() {
+        return ExecReport::default();
+    }
     let nqueues = match mapping {
         Mapping::Static1D => nthreads,
         Mapping::Dynamic => 1,
     };
-    execute_dag_fifo(
+    execute_dag_fifo_report(
         graph.len(),
         graph.pred_counts(),
         |t| graph.successors(t),
@@ -474,7 +670,8 @@ where
             Mapping::Dynamic => 0,
         },
         |t| runner(graph.task(t)),
-    );
+        config,
+    )
 }
 
 #[cfg(test)]
@@ -506,12 +703,22 @@ mod tests {
     }
 
     /// Runs a graph and records the completion order; asserts every task ran
-    /// exactly once and no task ran before a predecessor.
+    /// exactly once, no task ran before a predecessor, and the telemetry
+    /// counters are consistent (started == retired == n_tasks).
     fn run_and_check(graph: &TaskGraph, nthreads: usize, mapping: Mapping) {
         let log = PlMutex::new(Vec::<Task>::new());
-        execute(graph, nthreads, mapping, |t| {
-            log.lock().push(t);
-        });
+        let report = execute_traced(
+            graph,
+            nthreads,
+            mapping,
+            |t| {
+                log.lock().push(t);
+            },
+            &crate::trace::TraceConfig::counters(),
+        );
+        report.stats.assert_consistent();
+        assert_eq!(report.stats.nthreads, nthreads);
+        assert!(report.trace.is_none(), "counters mode keeps no events");
         let log = log.into_inner();
         assert_eq!(log.len(), graph.len(), "every task runs exactly once");
         let mut pos = std::collections::HashMap::new();
@@ -556,12 +763,87 @@ mod tests {
             let g = random_graph(15, 30, seed);
             for (p, mapping) in [(2, Mapping::Static1D), (4, Mapping::Dynamic)] {
                 let log = PlMutex::new(Vec::<Task>::new());
-                execute_fifo(&g, p, mapping, |t| {
-                    log.lock().push(t);
-                });
+                let report = execute_fifo_traced(
+                    &g,
+                    p,
+                    mapping,
+                    |t| {
+                        log.lock().push(t);
+                    },
+                    &crate::trace::TraceConfig::counters(),
+                );
+                report.stats.assert_consistent();
+                assert_eq!(
+                    report.stats.steals_total(),
+                    0,
+                    "the FIFO discipline never steals"
+                );
                 assert_eq!(log.into_inner().len(), g.len());
             }
         }
+    }
+
+    /// Full tracing yields one Task event per task with monotone per-worker
+    /// timestamps, and the busy total matches the sum of task durations.
+    #[test]
+    fn full_tracing_yields_consistent_event_streams() {
+        use crate::trace::{EventKind, TraceConfig};
+        let g = random_graph(18, 40, 4);
+        for mapping in [Mapping::Static1D, Mapping::Dynamic] {
+            let report = execute_traced(
+                &g,
+                4,
+                mapping,
+                |_| std::thread::sleep(std::time::Duration::from_micros(20)),
+                &TraceConfig::full(g.len(), 4),
+            );
+            report.stats.assert_consistent();
+            let trace = report.trace.expect("full mode keeps events");
+            let task_events: Vec<_> = trace
+                .events
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::Task { .. }))
+                .collect();
+            assert_eq!(task_events.len(), g.len(), "one Task event per task");
+            for w in 0..4 {
+                let mut last = 0u64;
+                for e in trace.events.iter().filter(|e| e.worker == w) {
+                    assert!(e.start_ns >= last, "worker {w} timestamps not monotone");
+                    assert!(e.end_ns >= e.start_ns);
+                    last = e.start_ns;
+                }
+            }
+            let busy_from_events: f64 = task_events
+                .iter()
+                .map(|e| (e.end_ns - e.start_ns) as f64 / 1e9)
+                .sum();
+            assert!(
+                (busy_from_events - report.stats.busy_total()).abs() < 1e-6,
+                "busy aggregate disagrees with the event stream"
+            );
+        }
+    }
+
+    /// In Dynamic mode at several threads with serialized tasks, at least
+    /// one steal is observed and in/out counts balance per victim.
+    #[test]
+    fn steals_are_counted_and_balanced() {
+        use crate::trace::TraceConfig;
+        // A wide graph (many roots) so workers contend for seeded pools.
+        let g = random_graph(30, 20, 6);
+        let report = execute_traced(
+            &g,
+            4,
+            Mapping::Dynamic,
+            |_| std::thread::sleep(std::time::Duration::from_micros(50)),
+            &TraceConfig::counters(),
+        );
+        report.stats.assert_consistent();
+        let in_total: u64 = report.stats.workers.iter().map(|w| w.steals_in).sum();
+        let out_total: u64 = report.stats.workers.iter().map(|w| w.steals_out).sum();
+        assert_eq!(in_total, out_total);
+        let attempts: u64 = report.stats.workers.iter().map(|w| w.steal_attempts).sum();
+        assert!(attempts >= in_total);
     }
 
     #[test]

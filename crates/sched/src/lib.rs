@@ -25,6 +25,13 @@
 //!   the physical cores of the host (DESIGN.md §5, substitution 2). Its
 //!   static-order inspector and the executor share one priority source:
 //!   [`TaskGraph::bottom_levels_with`].
+//!
+//! Both runtimes are observable through the telemetry layer (`trace`
+//! module): the `*_traced`/`*_report` entry points record lock-free
+//! per-worker event streams and steal/idle counters into an [`ExecReport`]
+//! ([`SchedStats`] + Chrome-trace export via [`ExecTrace::chrome_json`]),
+//! and [`simulate_dynamic_traced`] emits the comparable predicted schedule
+//! ([`SimEvent`], exported by [`sim_chrome_json`]).
 
 // Index-based loops are the natural idiom for the numerical kernels and
 // symbolic algorithms in this crate; iterator rewrites obscure the maths.
@@ -36,15 +43,22 @@ mod executor;
 pub mod fine;
 mod graph;
 mod simulate;
+mod trace;
 
 pub use executor::{
-    execute, execute_dag, execute_dag_fifo, execute_dag_with_priorities, execute_fifo, Mapping,
+    execute, execute_dag, execute_dag_fifo, execute_dag_fifo_report, execute_dag_report,
+    execute_dag_with_priorities, execute_dag_with_priorities_report, execute_fifo,
+    execute_fifo_traced, execute_traced, Mapping,
 };
 pub use fine::{build_fine_graph, simulate_fine, FineGraph, FineTask, Grid};
 pub use graph::{block_forest, build_eforest_graph, build_sstar_graph, Task, TaskGraph};
 pub use simulate::{
-    simulate, simulate_dynamic, simulate_static_order, simulate_static_order_fifo, CostModel,
-    ReadyPolicy, SimResult, TaskCost,
+    simulate, simulate_dynamic, simulate_dynamic_traced, simulate_static_order,
+    simulate_static_order_fifo, CostModel, ReadyPolicy, SimEvent, SimResult, TaskCost,
+};
+pub use trace::{
+    sim_chrome_json, EventKind, ExecReport, ExecTrace, SchedStats, TraceConfig, TraceEvent,
+    TraceMode, WorkerStats,
 };
 
 // Re-exported so downstream crates can name the forest type the graph

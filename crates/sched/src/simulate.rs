@@ -206,6 +206,23 @@ pub enum ReadyPolicy {
     Priority,
 }
 
+/// One scheduled task interval of a simulation run — the simulator's
+/// counterpart of the executor's `Task` trace event, so measured and
+/// predicted schedules can be exported and compared in the same
+/// Chrome-trace shape (see [`crate::sim_chrome_json`]). Times are model
+/// seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimEvent {
+    /// Virtual processor the task ran on.
+    pub proc: usize,
+    /// Task id in the simulated graph.
+    pub task: usize,
+    /// Model time the task started.
+    pub start: f64,
+    /// Model time the task finished.
+    pub finish: f64,
+}
+
 /// Discrete-event simulation of **dynamic self-scheduling**: whenever a
 /// processor frees up, it takes a task from the shared ready pool under
 /// `policy`, preferring tasks already released at that instant and
@@ -226,6 +243,18 @@ pub fn simulate_dynamic(
     model: &CostModel,
     policy: ReadyPolicy,
 ) -> SimResult {
+    simulate_dynamic_traced(graph, nprocs, costs, model, policy).0
+}
+
+/// [`simulate_dynamic`] additionally returning the per-processor schedule
+/// as an event stream comparable with the real executor's trace.
+pub fn simulate_dynamic_traced(
+    graph: &TaskGraph,
+    nprocs: usize,
+    costs: &[TaskCost],
+    model: &CostModel,
+    policy: ReadyPolicy,
+) -> (SimResult, Vec<SimEvent>) {
     assert_eq!(costs.len(), graph.len(), "one cost per task");
     let nprocs = nprocs.max(1);
     let time_of = |t: usize| -> f64 {
@@ -255,6 +284,7 @@ pub fn simulate_dynamic(
     let mut total_work = 0.0;
     let mut makespan = 0.0_f64;
     let mut scheduled = 0usize;
+    let mut events: Vec<SimEvent> = Vec::with_capacity(graph.len());
 
     while !pool.is_empty() {
         // Earliest-free processor makes the next pick.
@@ -300,6 +330,12 @@ pub fn simulate_dynamic(
         busy[proc] += time;
         total_work += time;
         makespan = makespan.max(finish);
+        events.push(SimEvent {
+            proc,
+            task: t,
+            start,
+            finish,
+        });
         for &s in graph.successors(t) {
             let visible = if nprocs > 1 {
                 finish + model.edge_latency
@@ -315,11 +351,14 @@ pub fn simulate_dynamic(
         }
     }
     assert_eq!(scheduled, graph.len(), "cycle in task graph");
-    SimResult {
-        makespan,
-        total_work,
-        busy,
-    }
+    (
+        SimResult {
+            makespan,
+            total_work,
+            busy,
+        },
+        events,
+    )
 }
 
 /// Simulates a **static-order** schedule, emulating the RAPID run-time the
@@ -779,6 +818,33 @@ mod tests {
             mean <= 1.01,
             "eforest graph should not lose on average: {mean}"
         );
+    }
+
+    /// The simulator's event stream covers every task exactly once, stays
+    /// within the makespan, and is non-overlapping per processor — the
+    /// properties that make it comparable with the executor's trace.
+    #[test]
+    fn dynamic_sim_event_stream_is_a_valid_schedule() {
+        let g = graph_from(18, 36, 5, true);
+        let costs = unit_costs(&g);
+        for policy in [ReadyPolicy::Fifo, ReadyPolicy::Priority] {
+            let (r, events) = simulate_dynamic_traced(&g, 3, &costs, &unit_model(), policy);
+            assert_eq!(events.len(), g.len(), "one event per task");
+            let mut seen = vec![false; g.len()];
+            for e in &events {
+                assert!(!seen[e.task], "task scheduled twice");
+                seen[e.task] = true;
+                assert!(e.finish <= r.makespan + 1e-9);
+                assert!(e.start <= e.finish);
+            }
+            for p in 0..3 {
+                let mut free = 0.0;
+                for e in events.iter().filter(|e| e.proc == p) {
+                    assert!(e.start >= free - 1e-9, "overlap on proc {p}");
+                    free = e.finish;
+                }
+            }
+        }
     }
 
     #[test]

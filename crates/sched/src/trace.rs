@@ -1,0 +1,639 @@
+//! Scheduler telemetry: lock-free per-worker event tracing, steal/idle
+//! counters, and Chrome-trace export for the DAG executors.
+//!
+//! The executors in this crate barely scale on real threads while the
+//! calibrated simulator predicts large speedups; this module is the
+//! measurement substrate that says *where executor time actually goes* —
+//! steal contention, idle workers, or critical-path serialization.
+//!
+//! Design (hot-path budget: one `Instant::now()` pair plus a `Vec` push per
+//! recorded interval):
+//!
+//! * Every worker owns a private [`WorkerRecorder`] — a plain `Vec` of
+//!   fixed-size [`TraceEvent`] entries plus a counter block. Nothing on the
+//!   hot path takes a lock or touches shared memory; recorders are drained
+//!   once, after the worker joins.
+//! * Recording is gated by [`TraceConfig`]: [`TraceMode::Off`] short-circuits
+//!   every recorder method before it reads the clock, so the untraced entry
+//!   points ([`crate::execute`], [`crate::execute_dag`], …) pay only a dead
+//!   branch per task. [`TraceMode::Counters`] keeps the timing/counter
+//!   aggregates but drops the event list; [`TraceMode::Full`] keeps both.
+//! * After `execute` the recorders are assembled into an [`ExecReport`]:
+//!   a [`SchedStats`] aggregate (per-worker busy/idle/steal time, tasks run,
+//!   steals in/out, load imbalance) and, in full mode, an [`ExecTrace`]
+//!   whose [`ExecTrace::chrome_json`] renders the run as a Gantt chart in
+//!   `chrome://tracing` / [Perfetto](https://ui.perfetto.dev).
+//!
+//! The simulator emits the same shape of data ([`crate::SimEvent`], exported
+//! by [`sim_chrome_json`]) so a measured run and its model prediction can be
+//! compared side by side.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// How much telemetry the executor records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// No instrumentation: recorder calls compile down to a dead branch.
+    #[default]
+    Off,
+    /// Per-worker timing aggregates and counters, no event list.
+    Counters,
+    /// Counters plus the full per-worker event list (Chrome-trace export).
+    Full,
+}
+
+/// Telemetry configuration handed to the traced executor entry points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceConfig {
+    /// What to record.
+    pub mode: TraceMode,
+    /// Per-worker event buffer pre-allocation (events, [`TraceMode::Full`]
+    /// only). A worker whose run outgrows the hint reallocates; sizing it to
+    /// `2 × n_tasks / nthreads` keeps the hot path push amortized O(1) with
+    /// no reallocation in the common case.
+    pub events_capacity: usize,
+}
+
+impl TraceConfig {
+    /// Zero-instrumentation configuration (the default).
+    pub fn off() -> Self {
+        TraceConfig::default()
+    }
+
+    /// Counters and timing aggregates only.
+    pub fn counters() -> Self {
+        TraceConfig {
+            mode: TraceMode::Counters,
+            events_capacity: 0,
+        }
+    }
+
+    /// Full event recording with a buffer hint for `n_tasks` tasks on
+    /// `nthreads` workers.
+    pub fn full(n_tasks: usize, nthreads: usize) -> Self {
+        TraceConfig {
+            mode: TraceMode::Full,
+            events_capacity: 2 * n_tasks / nthreads.max(1) + 16,
+        }
+    }
+
+    /// `true` unless the mode is [`TraceMode::Off`].
+    pub fn is_on(&self) -> bool {
+        self.mode != TraceMode::Off
+    }
+}
+
+/// What a recorded interval was spent on. Fixed-size — no allocation per
+/// event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// The runner executed task `tid` (executor task id; map through
+    /// `TaskGraph::task` for the Factor/Update labels).
+    Task {
+        /// Executor task id.
+        tid: usize,
+    },
+    /// A victim-scan over other workers' pools. `success` means a task was
+    /// taken from `victim`'s pool; on a dry scan `victim` is the scanning
+    /// worker itself.
+    Steal {
+        /// Pool the task was taken from (= the scanning worker on a miss).
+        victim: usize,
+        /// Whether the scan yielded a task.
+        success: bool,
+    },
+    /// The worker parked on its sleep gate waiting for work.
+    Park,
+}
+
+/// One fixed-size event interval recorded by a worker. Timestamps are
+/// nanoseconds since the run epoch (the moment the executor started), so
+/// they are directly comparable across workers of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Worker that recorded the event.
+    pub worker: usize,
+    /// What the interval was spent on.
+    pub kind: EventKind,
+    /// Interval start, nanoseconds since the run epoch.
+    pub start_ns: u64,
+    /// Interval end, nanoseconds since the run epoch.
+    pub end_ns: u64,
+}
+
+/// Per-worker counter block, updated worker-locally (no atomics: each worker
+/// owns its block exclusively until the run ends).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkerStats {
+    /// Seconds spent inside task runners.
+    pub busy_s: f64,
+    /// Seconds spent scanning victim pools (successful or not).
+    pub steal_s: f64,
+    /// Seconds spent parked on the sleep gate.
+    pub idle_s: f64,
+    /// Tasks this worker executed.
+    pub tasks_run: u64,
+    /// Tasks this worker retired (ran + released successors). Equals
+    /// `tasks_run` on a clean run.
+    pub tasks_retired: u64,
+    /// Victim scans that yielded a task (tasks stolen *by* this worker).
+    pub steals_in: u64,
+    /// Tasks other workers took from this worker's pool. Filled during
+    /// assembly from the thieves' per-victim counts.
+    pub steals_out: u64,
+    /// Victim scans attempted (hits + misses).
+    pub steal_attempts: u64,
+    /// Times the worker parked.
+    pub parks: u64,
+    /// Steal hits by victim id (length = nthreads), the source of every
+    /// worker's `steals_out`.
+    pub steals_by_victim: Vec<u64>,
+}
+
+/// Aggregate scheduler statistics for one executor run — the single home of
+/// the counters previously scattered over ad-hoc atomics, plus the numeric
+/// layer's zero-copy counter.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SchedStats {
+    /// Worker threads the run used.
+    pub nthreads: usize,
+    /// Tasks the DAG contained.
+    pub n_tasks: usize,
+    /// Wall-clock seconds from executor start to the last worker joining.
+    pub wall_s: f64,
+    /// Per-worker breakdown.
+    pub workers: Vec<WorkerStats>,
+    /// Tasks handed to runners, summed over workers.
+    pub tasks_started: u64,
+    /// Tasks fully retired (successors released), summed over workers.
+    pub tasks_retired: u64,
+    /// Panel gather/scatter copies the numeric layer performed
+    /// (`BlockMatrix::panel_copy_count`; zero for the zero-copy layout).
+    /// Left 0 by the raw executor — the numeric drivers fill it.
+    pub panel_copies: usize,
+}
+
+impl SchedStats {
+    /// Total busy seconds across workers.
+    pub fn busy_total(&self) -> f64 {
+        self.workers.iter().map(|w| w.busy_s).sum()
+    }
+
+    /// Total steal-scan seconds across workers.
+    pub fn steal_total(&self) -> f64 {
+        self.workers.iter().map(|w| w.steal_s).sum()
+    }
+
+    /// Total parked seconds across workers.
+    pub fn idle_total(&self) -> f64 {
+        self.workers.iter().map(|w| w.idle_s).sum()
+    }
+
+    /// Successful steals across workers.
+    pub fn steals_total(&self) -> u64 {
+        self.workers.iter().map(|w| w.steals_in).sum()
+    }
+
+    /// Load-imbalance factor: max over workers of busy time divided by the
+    /// mean busy time (1.0 = perfectly balanced). 1.0 for degenerate runs.
+    pub fn load_imbalance(&self) -> f64 {
+        let mean = self.busy_total() / self.workers.len().max(1) as f64;
+        if mean <= 0.0 {
+            return 1.0;
+        }
+        let max = self.workers.iter().map(|w| w.busy_s).fold(0.0, f64::max);
+        max / mean
+    }
+
+    /// Parallel efficiency: `busy_total / (nthreads × wall)`.
+    pub fn parallel_efficiency(&self) -> f64 {
+        let denom = self.nthreads as f64 * self.wall_s;
+        if denom <= 0.0 {
+            1.0
+        } else {
+            self.busy_total() / denom
+        }
+    }
+
+    /// Panics unless `tasks_started == tasks_retired == n_tasks` — the
+    /// counter-consistency invariant of a clean (panic-free) run.
+    pub fn assert_consistent(&self) {
+        assert_eq!(
+            self.tasks_started, self.n_tasks as u64,
+            "tasks started != tasks in DAG"
+        );
+        assert_eq!(
+            self.tasks_retired, self.n_tasks as u64,
+            "tasks retired != tasks in DAG"
+        );
+        let run: u64 = self.workers.iter().map(|w| w.tasks_run).sum();
+        assert_eq!(run, self.tasks_started, "per-worker run counts disagree");
+        let in_: u64 = self.workers.iter().map(|w| w.steals_in).sum();
+        let out: u64 = self.workers.iter().map(|w| w.steals_out).sum();
+        assert_eq!(in_, out, "steals_in and steals_out must balance");
+    }
+
+    /// One row per worker: busy / idle / steal seconds, task and steal
+    /// counts — the table `perf_report` prints.
+    pub fn table(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{:>6} {:>10} {:>10} {:>10} {:>7} {:>9} {:>10} {:>8}",
+            "worker", "busy_s", "idle_s", "steal_s", "tasks", "steals_in", "steals_out", "parks"
+        );
+        for (i, w) in self.workers.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "{:>6} {:>10.6} {:>10.6} {:>10.6} {:>7} {:>9} {:>10} {:>8}",
+                i, w.busy_s, w.idle_s, w.steal_s, w.tasks_run, w.steals_in, w.steals_out, w.parks
+            );
+        }
+        let _ = writeln!(
+            s,
+            "{:>6} {:>10.6} {:>10.6} {:>10.6} {:>7} {:>9} {:>10}   wall {:.6}s  imbalance {:.2}  efficiency {:.2}",
+            "total",
+            self.busy_total(),
+            self.idle_total(),
+            self.steal_total(),
+            self.tasks_started,
+            self.steals_total(),
+            self.workers.iter().map(|w| w.steals_out).sum::<u64>(),
+            self.wall_s,
+            self.load_imbalance(),
+            self.parallel_efficiency()
+        );
+        s
+    }
+}
+
+/// The raw event streams of one run ([`TraceMode::Full`] only).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecTrace {
+    /// Worker count of the run (Chrome `tid` range).
+    pub nthreads: usize,
+    /// All recorded events, grouped by worker in recording order (each
+    /// worker's subsequence has monotone non-decreasing timestamps).
+    pub events: Vec<TraceEvent>,
+}
+
+impl ExecTrace {
+    /// Renders the event streams as Chrome `trace_event` JSON (the
+    /// `{"traceEvents": [...]}` envelope), loadable in `chrome://tracing`
+    /// and Perfetto. `label` maps an executor task id to a display name
+    /// (e.g. `F(3)` / `U(2,5)`); workers become Chrome threads.
+    pub fn chrome_json(&self, label: &dyn Fn(usize) -> String) -> String {
+        let mut out = String::from("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+        for w in 0..self.nthreads {
+            let _ = writeln!(
+                out,
+                "  {{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 0, \"tid\": {w}, \
+                 \"args\": {{\"name\": \"worker {w}\"}}}},"
+            );
+        }
+        for (i, e) in self.events.iter().enumerate() {
+            let (name, cat, args) = match e.kind {
+                EventKind::Task { tid } => (label(tid), "task", format!("{{\"task\": {tid}}}")),
+                EventKind::Steal { victim, success } => (
+                    if success {
+                        format!("steal<-{victim}")
+                    } else {
+                        "steal-miss".to_string()
+                    },
+                    "steal",
+                    format!("{{\"victim\": {victim}, \"success\": {success}}}"),
+                ),
+                EventKind::Park => ("idle".to_string(), "idle", "{}".to_string()),
+            };
+            let sep = if i + 1 == self.events.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "  {{\"ph\": \"X\", \"name\": \"{}\", \"cat\": \"{cat}\", \"pid\": 0, \
+                 \"tid\": {}, \"ts\": {:.3}, \"dur\": {:.3}, \"args\": {args}}}{sep}",
+                escape_json(&name),
+                e.worker,
+                e.start_ns as f64 / 1e3,
+                (e.end_ns - e.start_ns) as f64 / 1e3,
+            );
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+/// Everything a traced executor run produces.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecReport {
+    /// Aggregate statistics (always filled when tracing is on).
+    pub stats: SchedStats,
+    /// Raw event streams ([`TraceMode::Full`] only).
+    pub trace: Option<ExecTrace>,
+}
+
+/// Renders a simulator schedule ([`crate::SimEvent`] stream, model seconds)
+/// in the same Chrome `trace_event` JSON shape as [`ExecTrace::chrome_json`]
+/// so predicted and measured Gantt charts load side by side.
+pub fn sim_chrome_json(
+    events: &[crate::SimEvent],
+    nprocs: usize,
+    label: &dyn Fn(usize) -> String,
+) -> String {
+    let mut out = String::from("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+    for p in 0..nprocs {
+        let _ = writeln!(
+            out,
+            "  {{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 0, \"tid\": {p}, \
+             \"args\": {{\"name\": \"sim proc {p}\"}}}},"
+        );
+    }
+    for (i, e) in events.iter().enumerate() {
+        let sep = if i + 1 == events.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "  {{\"ph\": \"X\", \"name\": \"{}\", \"cat\": \"task\", \"pid\": 0, \
+             \"tid\": {}, \"ts\": {:.3}, \"dur\": {:.3}, \"args\": {{\"task\": {}}}}}{sep}",
+            escape_json(&label(e.task)),
+            e.proc,
+            e.start * 1e6,
+            (e.finish - e.start) * 1e6,
+            e.task,
+        );
+    }
+    out.push_str("]}\n");
+    out
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Worker-side recording (crate-internal).
+// ---------------------------------------------------------------------------
+
+/// Worker-local recorder: owned exclusively by one worker thread for the
+/// duration of the run, so every method is lock-free and race-free by
+/// construction. Drained once via [`WorkerRecorder::finish`].
+pub(crate) struct WorkerRecorder {
+    worker: usize,
+    mode: TraceMode,
+    epoch: Instant,
+    events: Vec<TraceEvent>,
+    stats: WorkerStats,
+}
+
+impl WorkerRecorder {
+    pub(crate) fn new(
+        worker: usize,
+        nthreads: usize,
+        config: &TraceConfig,
+        epoch: Instant,
+    ) -> Self {
+        let events = if config.mode == TraceMode::Full {
+            Vec::with_capacity(config.events_capacity)
+        } else {
+            Vec::new()
+        };
+        let stats = WorkerStats {
+            steals_by_victim: if config.is_on() {
+                vec![0; nthreads]
+            } else {
+                Vec::new()
+            },
+            ..WorkerStats::default()
+        };
+        WorkerRecorder {
+            worker,
+            mode: config.mode,
+            epoch,
+            events,
+            stats,
+        }
+    }
+
+    /// Start an interval. `None` (no clock read) when tracing is off.
+    #[inline]
+    pub(crate) fn begin(&self) -> Option<Instant> {
+        if self.mode == TraceMode::Off {
+            None
+        } else {
+            Some(Instant::now())
+        }
+    }
+
+    #[inline]
+    fn interval_ns(&self, t0: Instant) -> (u64, u64) {
+        let start = t0.duration_since(self.epoch).as_nanos() as u64;
+        let end = self.epoch.elapsed().as_nanos() as u64;
+        (start, end.max(start))
+    }
+
+    #[inline]
+    fn push(&mut self, kind: EventKind, start_ns: u64, end_ns: u64) {
+        if self.mode == TraceMode::Full {
+            self.events.push(TraceEvent {
+                worker: self.worker,
+                kind,
+                start_ns,
+                end_ns,
+            });
+        }
+    }
+
+    /// Close a task interval opened by [`Self::begin`].
+    #[inline]
+    pub(crate) fn end_task(&mut self, t0: Option<Instant>, tid: usize) {
+        let Some(t0) = t0 else { return };
+        let (s, e) = self.interval_ns(t0);
+        self.stats.busy_s += (e - s) as f64 / 1e9;
+        self.stats.tasks_run += 1;
+        self.push(EventKind::Task { tid }, s, e);
+    }
+
+    /// Close a victim-scan interval opened by [`Self::begin`].
+    #[inline]
+    pub(crate) fn end_steal(&mut self, t0: Option<Instant>, victim: usize, success: bool) {
+        let Some(t0) = t0 else { return };
+        let (s, e) = self.interval_ns(t0);
+        self.stats.steal_s += (e - s) as f64 / 1e9;
+        self.stats.steal_attempts += 1;
+        if success {
+            self.stats.steals_in += 1;
+            self.stats.steals_by_victim[victim] += 1;
+        }
+        self.push(EventKind::Steal { victim, success }, s, e);
+    }
+
+    /// Close a park interval opened by [`Self::begin`].
+    #[inline]
+    pub(crate) fn end_park(&mut self, t0: Option<Instant>) {
+        let Some(t0) = t0 else { return };
+        let (s, e) = self.interval_ns(t0);
+        self.stats.idle_s += (e - s) as f64 / 1e9;
+        self.stats.parks += 1;
+        self.push(EventKind::Park, s, e);
+    }
+
+    /// Count a retired task (cheap: no clock).
+    #[inline]
+    pub(crate) fn count_retired(&mut self) {
+        if self.mode != TraceMode::Off {
+            self.stats.tasks_retired += 1;
+        }
+    }
+
+    pub(crate) fn finish(self) -> (usize, WorkerStats, Vec<TraceEvent>) {
+        (self.worker, self.stats, self.events)
+    }
+}
+
+/// Assembles drained worker recorders into an [`ExecReport`].
+pub(crate) fn assemble_report(
+    n_tasks: usize,
+    nthreads: usize,
+    wall_s: f64,
+    config: &TraceConfig,
+    drained: Vec<(usize, WorkerStats, Vec<TraceEvent>)>,
+) -> ExecReport {
+    let mut workers = vec![WorkerStats::default(); nthreads];
+    let mut all_events: Vec<TraceEvent> = Vec::new();
+    for (w, stats, events) in drained {
+        workers[w] = stats;
+        all_events.extend(events);
+    }
+    // steals_out: credit each victim from the thieves' per-victim hit counts.
+    let mut outs = vec![0u64; nthreads];
+    for w in &workers {
+        for (v, &hits) in w.steals_by_victim.iter().enumerate() {
+            outs[v] += hits;
+        }
+    }
+    for (w, &o) in workers.iter_mut().zip(&outs) {
+        w.steals_out = o;
+    }
+    let tasks_started: u64 = workers.iter().map(|w| w.tasks_run).sum();
+    let tasks_retired: u64 = workers.iter().map(|w| w.tasks_retired).sum();
+    let stats = SchedStats {
+        nthreads,
+        n_tasks,
+        wall_s,
+        workers,
+        tasks_started,
+        tasks_retired,
+        panel_copies: 0,
+    };
+    let trace = (config.mode == TraceMode::Full).then_some(ExecTrace {
+        nthreads,
+        events: all_events,
+    });
+    ExecReport { stats, trace }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_mode_records_nothing() {
+        let cfg = TraceConfig::off();
+        let mut rec = WorkerRecorder::new(0, 2, &cfg, Instant::now());
+        let t0 = rec.begin();
+        assert!(t0.is_none());
+        rec.end_task(t0, 3);
+        rec.end_steal(t0, 1, true);
+        rec.end_park(t0);
+        rec.count_retired();
+        let (_, stats, events) = rec.finish();
+        assert_eq!(stats, WorkerStats::default());
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn full_mode_records_intervals_and_counts() {
+        let cfg = TraceConfig::full(4, 2);
+        let epoch = Instant::now();
+        let mut rec = WorkerRecorder::new(1, 2, &cfg, epoch);
+        let t0 = rec.begin();
+        rec.end_task(t0, 7);
+        let t1 = rec.begin();
+        rec.end_steal(t1, 0, true);
+        let t2 = rec.begin();
+        rec.end_park(t2);
+        rec.count_retired();
+        let (w, stats, events) = rec.finish();
+        assert_eq!(w, 1);
+        assert_eq!(stats.tasks_run, 1);
+        assert_eq!(stats.tasks_retired, 1);
+        assert_eq!(stats.steals_in, 1);
+        assert_eq!(stats.steals_by_victim, vec![1, 0]);
+        assert_eq!(events.len(), 3);
+        for pair in events.windows(2) {
+            assert!(pair[0].start_ns <= pair[1].start_ns, "monotone per worker");
+        }
+        assert!(matches!(events[0].kind, EventKind::Task { tid: 7 }));
+    }
+
+    #[test]
+    fn chrome_json_escapes_and_closes() {
+        let trace = ExecTrace {
+            nthreads: 1,
+            events: vec![TraceEvent {
+                worker: 0,
+                kind: EventKind::Task { tid: 0 },
+                start_ns: 10,
+                end_ns: 1010,
+            }],
+        };
+        let json = trace.chrome_json(&|_| "F(\"0\")".to_string());
+        assert!(json.contains("\\\"0\\\""));
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn stats_helpers() {
+        let stats = SchedStats {
+            nthreads: 2,
+            n_tasks: 3,
+            wall_s: 2.0,
+            workers: vec![
+                WorkerStats {
+                    busy_s: 2.0,
+                    tasks_run: 2,
+                    tasks_retired: 2,
+                    steals_in: 1,
+                    steals_out: 0,
+                    ..WorkerStats::default()
+                },
+                WorkerStats {
+                    busy_s: 1.0,
+                    tasks_run: 1,
+                    tasks_retired: 1,
+                    steals_in: 0,
+                    steals_out: 1,
+                    ..WorkerStats::default()
+                },
+            ],
+            tasks_started: 3,
+            tasks_retired: 3,
+            panel_copies: 0,
+        };
+        assert!((stats.busy_total() - 3.0).abs() < 1e-12);
+        assert!((stats.load_imbalance() - 2.0 / 1.5).abs() < 1e-12);
+        assert!((stats.parallel_efficiency() - 0.75).abs() < 1e-12);
+        stats.assert_consistent();
+        assert!(stats.table().contains("worker"));
+    }
+}
