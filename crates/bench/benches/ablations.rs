@@ -80,15 +80,16 @@ fn bench_ablations(c: &mut Criterion) {
 
     // Discipline ablation: right-looking (graph-driven) vs left-looking.
     {
-        use splu_core::{factor_left_looking, factor_with_graph, BlockMatrix};
+        use splu_core::{factor_left_looking, factor_numeric_with, BlockMatrix, NumericRequest};
         let sym = analyze(a.pattern(), &Options::default()).expect("analysis succeeds");
         let permuted = sym.permute_matrix(&a);
         let graph = sym.build_graph(TaskGraphKind::EForest);
         let mut bm = BlockMatrix::assemble(&permuted, &sym.block_structure);
+        let req = NumericRequest::coarse(&graph, Mapping::Static1D);
         g.bench_function("discipline/right_looking", |b| {
             b.iter(|| {
                 bm.reset_from(&permuted, &sym.block_structure);
-                factor_with_graph(&bm, &graph, 1, Mapping::Static1D, 0.0).expect("ok")
+                factor_numeric_with(&bm, &req).expect("ok")
             })
         });
         g.bench_function("discipline/left_looking", |b| {

@@ -12,7 +12,9 @@
 //! ```
 
 use splu_bench::min_time;
-use splu_core::{analyze, factor_with_graph, BlockMatrix, Options, TaskGraphKind};
+use splu_core::{
+    analyze, factor_numeric_with, BlockMatrix, NumericRequest, Options, TaskGraphKind,
+};
 use splu_matgen::{paper_matrix, Scale};
 use splu_sched::Mapping;
 use splu_symbolic::SupernodeOptions;
@@ -69,10 +71,10 @@ fn main() {
         let graph = sym.build_graph(TaskGraphKind::EForest);
         let permuted = sym.permute_matrix(&a);
         let mut bm = BlockMatrix::assemble(&permuted, &sym.block_structure);
+        let req = NumericRequest::coarse(&graph, Mapping::Static1D);
         let t = min_time(|| {
             bm.reset_from(&permuted, &sym.block_structure);
-            factor_with_graph(&bm, &graph, 1, Mapping::Static1D, 0.0)
-                .expect("factorization succeeds");
+            factor_numeric_with(&bm, &req).expect("factorization succeeds");
         });
         let words = bm.storage_words();
         let pad = 1.0 - sym.stats.nnz_filled as f64 / words as f64;

@@ -32,8 +32,8 @@
 
 use splu_bench::{calibrated_model, json, prepare_suite, Prepared, REPS};
 use splu_core::{
-    estimate_task_costs, factor_task, factor_with_graph, factor_with_graph_traced, update_task,
-    BlockMatrix, ExecReport, TraceConfig,
+    estimate_task_costs, factor_numeric_with, factor_task, update_task, BlockMatrix, ExecReport,
+    KernelChoice, NumericRequest, TraceConfig,
 };
 use splu_sched::{
     execute_fifo_traced, sim_chrome_json, simulate, simulate_dynamic_traced, Mapping, ReadyPolicy,
@@ -68,11 +68,19 @@ fn factor_mode(
     mode: &str,
     config: &TraceConfig,
 ) -> ExecReport {
+    let coarse = |mapping: Mapping| {
+        factor_numeric_with(
+            bm,
+            &NumericRequest::coarse(graph, mapping)
+                .threads(threads)
+                .kernels(KernelChoice::Auto)
+                .trace(*config),
+        )
+        .expect("factorization succeeds")
+    };
     match mode {
-        "static1d" => factor_with_graph_traced(bm, graph, threads, Mapping::Static1D, 0.0, config)
-            .expect("factorization succeeds"),
-        "dynamic" => factor_with_graph_traced(bm, graph, threads, Mapping::Dynamic, 0.0, config)
-            .expect("factorization succeeds"),
+        "static1d" => coarse(Mapping::Static1D),
+        "dynamic" => coarse(Mapping::Dynamic),
         "fifo" => {
             let mut report = execute_fifo_traced(
                 graph,
@@ -179,19 +187,21 @@ fn main() {
     let mut n_records = 0usize;
     for p in &selected {
         println!(
-            "== {} ({} tasks, {} threads) ==",
+            "== {} ({} tasks, {} threads, {} kernels) ==",
             p.name,
             p.eforest.len(),
-            threads
+            threads,
+            splu_core::Dispatch::resolve(KernelChoice::Auto).name()
         );
 
         // Calibrate the simulator on the measured serial time so predicted
         // makespans live in this machine's seconds.
         let mut bm = BlockMatrix::assemble(&p.permuted, &p.sym.block_structure);
+        let serial_req =
+            NumericRequest::coarse(&p.eforest, Mapping::Static1D).kernels(KernelChoice::Auto);
         let serial = median_time(|| {
             bm.reset_from(&p.permuted, &p.sym.block_structure);
-            factor_with_graph(&bm, &p.eforest, 1, Mapping::Static1D, 0.0)
-                .expect("factorization succeeds");
+            factor_numeric_with(&bm, &serial_req).expect("factorization succeeds");
         });
         let model = calibrated_model(p, &p.eforest, std::time::Duration::from_secs_f64(serial));
         let costs = estimate_task_costs(&p.sym.block_structure, &p.eforest);

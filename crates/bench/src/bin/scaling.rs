@@ -33,7 +33,10 @@
 //! `PARSPLU_REDUCED=1` for a fast CI-sized run.
 
 use splu_bench::{calibrated_model, prepare_suite, Prepared, REPS};
-use splu_core::{estimate_task_costs, factor_task, factor_with_graph, update_task, BlockMatrix};
+use splu_core::{
+    estimate_task_costs, factor_numeric_with, factor_task, update_task_with, BlockMatrix, Dispatch,
+    KernelChoice, NumericRequest,
+};
 use splu_sched::{execute_fifo, simulate_dynamic, Mapping, ReadyPolicy, Task};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -58,14 +61,18 @@ struct Record {
     threads: usize,
     mapping: &'static str,
     kind: &'static str,
+    kernel: &'static str,
     median_seconds: f64,
 }
 
 fn time_mapping(p: &Prepared, threads: usize, mapping: Mapping) -> f64 {
     let mut bm = BlockMatrix::assemble(&p.permuted, &p.sym.block_structure);
+    let req = NumericRequest::coarse(&p.eforest, mapping)
+        .threads(threads)
+        .kernels(KernelChoice::Auto);
     median_time(|| {
         bm.reset_from(&p.permuted, &p.sym.block_structure);
-        factor_with_graph(&bm, &p.eforest, threads, mapping, 0.0).expect("factorization succeeds");
+        factor_numeric_with(&bm, &req).expect("factorization succeeds");
     })
 }
 
@@ -73,19 +80,23 @@ fn time_mapping(p: &Prepared, threads: usize, mapping: Mapping) -> f64 {
 /// executor under dynamic self-scheduling.
 fn time_fifo(p: &Prepared, threads: usize) -> f64 {
     let mut bm = BlockMatrix::assemble(&p.permuted, &p.sym.block_structure);
+    let kernels = Dispatch::resolve(KernelChoice::Auto);
     median_time(|| {
         bm.reset_from(&p.permuted, &p.sym.block_structure);
         execute_fifo(&p.eforest, threads, Mapping::Dynamic, |task| match task {
             Task::Factor(k) => {
                 factor_task(&bm, k, 0.0).expect("factorization succeeds");
             }
-            Task::Update { src, dst } => update_task(&bm, src, dst),
+            Task::Update { src, dst } => update_task_with(&bm, src, dst, &kernels),
         });
     })
 }
 
 fn main() {
     let prepared = prepare_suite();
+    // One resolved name for every measured row: the same Auto choice the
+    // timing loops run through.
+    let kernel = Dispatch::resolve(KernelChoice::Auto).name();
     let threads_axis = [1usize, 2, 4, 8];
     let mut records: Vec<Record> = Vec::new();
 
@@ -112,6 +123,7 @@ fn main() {
                     threads,
                     mapping,
                     kind: "measured",
+                    kernel,
                     median_seconds: secs,
                 });
             }
@@ -142,6 +154,7 @@ fn main() {
                 threads: 8,
                 mapping,
                 kind: "simulated",
+                kernel: "none",
                 median_seconds: secs,
             });
         }
@@ -181,8 +194,8 @@ fn main() {
         let sep = if i + 1 == records.len() { "" } else { "," };
         writeln!(
             json,
-            "  {{\"matrix\": \"{}\", \"threads\": {}, \"mapping\": \"{}\", \"kind\": \"{}\", \"median_seconds\": {:.9}}}{}",
-            r.matrix, r.threads, r.mapping, r.kind, r.median_seconds, sep
+            "  {{\"matrix\": \"{}\", \"threads\": {}, \"mapping\": \"{}\", \"kind\": \"{}\", \"kernel\": \"{}\", \"median_seconds\": {:.9}}}{}",
+            r.matrix, r.threads, r.mapping, r.kind, r.kernel, r.median_seconds, sep
         )
         .expect("string write");
     }

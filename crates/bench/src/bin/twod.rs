@@ -12,7 +12,7 @@
 //! ```
 
 use splu_bench::{calibrated_model, min_time, prepare_suite, time_factor};
-use splu_core::{factor_with_fine_graph, BlockMatrix};
+use splu_core::{factor_numeric_with, BlockMatrix, NumericRequest};
 use splu_sched::{block_forest, build_fine_graph, simulate_fine, Grid};
 
 fn main() {
@@ -60,9 +60,10 @@ fn main() {
         let fg = build_fine_graph(&p.sym.block_structure, &forest);
         let mut bm = BlockMatrix::assemble(&p.permuted, &p.sym.block_structure);
         let mut run_fine = |threads: usize| {
+            let req = NumericRequest::fine(&fg).threads(threads);
             min_time(|| {
                 bm.reset_from(&p.permuted, &p.sym.block_structure);
-                factor_with_fine_graph(&bm, &fg, threads, 0.0).expect("factorization succeeds");
+                factor_numeric_with(&bm, &req).expect("factorization succeeds");
             })
         };
         let f1 = run_fine(1);

@@ -338,11 +338,38 @@ pub fn validate_bench_factor(doc: &Json) -> Result<usize, String> {
         let ctx = format!("record[{i}]");
         require_str(r, "matrix", &ctx)?;
         require_str(r, "mapping", &ctx)?;
+        require_str(r, "kernel", &ctx)?;
         require_num(r, "threads", &ctx)?;
         require_num(r, "median_seconds", &ctx)?;
         let kind = require_str(r, "kind", &ctx)?;
         if kind != "measured" && kind != "simulated" {
             return Err(format!("{ctx}: bad kind {kind:?}"));
+        }
+    }
+    Ok(records.len())
+}
+
+/// Validates `BENCH_kernels.json`: an array of records, one per
+/// kernel × op × panel shape, each carrying the op name (one of the three
+/// dispatched kernels), the shape label, the kernel implementation name
+/// and a strictly positive throughput plus per-call time.
+pub fn validate_bench_kernels(doc: &Json) -> Result<usize, String> {
+    let records = doc.as_arr().ok_or("BENCH_kernels.json: not an array")?;
+    for (i, r) in records.iter().enumerate() {
+        let ctx = format!("record[{i}]");
+        let op = require_str(r, "op", &ctx)?;
+        if !matches!(op, "gemm_sub" | "trsm_lower_unit" | "trsm_upper") {
+            return Err(format!("{ctx}: bad op {op:?}"));
+        }
+        require_str(r, "shape", &ctx)?;
+        require_str(r, "kernel", &ctx)?;
+        let gflops = require_num(r, "gflops", &ctx)?;
+        let secs = require_num(r, "seconds_per_call", &ctx)?;
+        // NaN must fail too, so test for the valid range directly.
+        if gflops <= 0.0 || secs <= 0.0 || gflops.is_nan() || secs.is_nan() {
+            return Err(format!(
+                "{ctx}: non-positive measurement (gflops {gflops}, seconds {secs})"
+            ));
         }
     }
     Ok(records.len())
@@ -369,6 +396,58 @@ mod tests {
         for bad in ["{", "[1,]", "{\"a\" 1}", "[1] x", "\"\\q\"", "nul"] {
             assert!(parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    /// The benchmark artifacts committed at the repository root (when
+    /// present — a fresh checkout may have regenerated or deleted them)
+    /// must match the schemas this module enforces at write time. CI runs
+    /// this after the bench binaries to catch partial or corrupt writes.
+    #[test]
+    fn committed_artifacts_match_their_schemas() {
+        type Validator = fn(&Json) -> Result<usize, String>;
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+        for (file, validate) in [
+            ("BENCH_sched.json", validate_bench_sched as Validator),
+            ("BENCH_factor.json", validate_bench_factor as Validator),
+            ("BENCH_kernels.json", validate_bench_kernels as Validator),
+        ] {
+            let Ok(text) = std::fs::read_to_string(format!("{root}/{file}")) else {
+                continue;
+            };
+            let doc = parse(&text).unwrap_or_else(|e| panic!("{file}: invalid JSON: {e}"));
+            let n = validate(&doc).unwrap_or_else(|e| panic!("{file}: schema violation: {e}"));
+            assert!(n > 0, "{file}: empty artifact");
+        }
+    }
+
+    #[test]
+    fn kernels_validator_rejects_bad_records() {
+        let good = r#"[{"op": "gemm_sub", "shape": "64x16x16", "kernel": "portable",
+                        "gflops": 5.2, "seconds_per_call": 1e-6}]"#;
+        assert_eq!(validate_bench_kernels(&parse(good).unwrap()), Ok(1));
+        for bad in [
+            r#"[{"op": "gemm", "shape": "s", "kernel": "portable", "gflops": 1.0,
+                 "seconds_per_call": 1e-6}]"#,
+            r#"[{"op": "gemm_sub", "shape": "s", "kernel": "portable", "gflops": 0.0,
+                 "seconds_per_call": 1e-6}]"#,
+            r#"[{"op": "gemm_sub", "shape": "s", "gflops": 1.0, "seconds_per_call": 1e-6}]"#,
+        ] {
+            assert!(
+                validate_bench_kernels(&parse(bad).unwrap()).is_err(),
+                "accepted {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn factor_validator_requires_the_kernel_field() {
+        let with = r#"[{"matrix": "m", "threads": 2, "mapping": "static1d",
+                        "kind": "measured", "kernel": "portable",
+                        "median_seconds": 0.5}]"#;
+        assert_eq!(validate_bench_factor(&parse(with).unwrap()), Ok(1));
+        let without = r#"[{"matrix": "m", "threads": 2, "mapping": "static1d",
+                           "kind": "measured", "median_seconds": 0.5}]"#;
+        assert!(validate_bench_factor(&parse(without).unwrap()).is_err());
     }
 
     #[test]

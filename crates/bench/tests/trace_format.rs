@@ -4,7 +4,9 @@
 //! `perf_report` artifacts.
 
 use splu_bench::json;
-use splu_core::{analyze, BlockMatrix, Options, TaskGraphKind, TraceConfig};
+use splu_core::{
+    analyze, factor_numeric_with, BlockMatrix, NumericRequest, Options, TaskGraphKind, TraceConfig,
+};
 use splu_matgen::{paper_suite, Scale};
 use splu_sched::{EventKind, Mapping, Task};
 
@@ -21,9 +23,13 @@ fn chrome_trace_json_is_valid_and_per_worker_monotone() {
 
     let threads = 4;
     let config = TraceConfig::full(graph.len(), threads);
-    let report =
-        splu_core::factor_with_graph_traced(&bm, &graph, threads, Mapping::Dynamic, 0.0, &config)
-            .expect("factorization succeeds");
+    let report = factor_numeric_with(
+        &bm,
+        &NumericRequest::coarse(&graph, Mapping::Dynamic)
+            .threads(threads)
+            .trace(config),
+    )
+    .expect("factorization succeeds");
     report.stats.assert_consistent();
     let trace = report.trace.expect("full mode keeps the event stream");
 

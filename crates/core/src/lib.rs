@@ -33,23 +33,29 @@ pub mod gp;
 mod numeric;
 mod numeric_fine;
 mod psolve;
+mod request;
 mod solve;
 
 pub use blocks::{BlockMatrix, ColumnData, StackMap};
 pub use costs::{estimate_task_costs, total_flops};
 pub use error::LuError;
+#[allow(deprecated)]
 pub use numeric::{
     factor_left_looking, factor_task, factor_task_with_rule, factor_with_graph,
     factor_with_graph_rule, factor_with_graph_rule_traced, factor_with_graph_traced, update_task,
+    update_task_with,
 };
+#[allow(deprecated)]
 pub use numeric_fine::{
-    apply_task, factor_with_fine_graph, factor_with_fine_graph_traced, gemm_task, trsm_task,
+    apply_task, factor_with_fine_graph, factor_with_fine_graph_traced, gemm_task, gemm_task_with,
+    trsm_task, trsm_task_with,
 };
 pub use psolve::solve_permuted_parallel;
+pub use request::{factor_numeric_with, GraphRef, NumericRequest};
 pub use solve::{
     det_permuted, growth_factor, solve_many_permuted, solve_permuted, solve_transposed_permuted,
 };
-pub use splu_dense::PivotRule;
+pub use splu_dense::{Dispatch, KernelChoice, PivotRule};
 pub use splu_sched::{ExecReport, ExecTrace, SchedStats, TraceConfig, TraceMode, WorkerStats};
 
 mod condest;
@@ -110,6 +116,11 @@ pub struct Options {
     /// Row/column equilibration before factorization (robustness extension;
     /// the paper's benchmark matrices do not need it).
     pub equilibrate: bool,
+    /// Dense kernel selection for the numerical phase (portable scalar by
+    /// default; `Simd`/`Auto` use the explicit-width kernels when the
+    /// `simd` cargo feature is compiled in — factors are bit-identical
+    /// either way).
+    pub kernels: KernelChoice,
 }
 
 impl Default for Options {
@@ -124,6 +135,7 @@ impl Default for Options {
             pivot_threshold: 0.0,
             pivot_rule: PivotRule::Partial,
             equilibrate: false,
+            kernels: KernelChoice::Portable,
         }
     }
 }
@@ -217,7 +229,13 @@ impl SymbolicLu {
         pivot_threshold: f64,
     ) -> Result<NumericLu<'_>, LuError> {
         let bm = BlockMatrix::assemble(permuted, &self.block_structure);
-        factor_with_graph(&bm, graph, threads, mapping, pivot_threshold)?;
+        factor_numeric_with(
+            &bm,
+            &NumericRequest::coarse(graph, mapping)
+                .threads(threads)
+                .pivot_threshold(pivot_threshold)
+                .kernels(self.opts.kernels),
+        )?;
         Ok(NumericLu { sym: self, bm })
     }
 }
@@ -355,13 +373,13 @@ impl SparseLu {
         let permuted = sym.permute_matrix(work);
         let graph = sym.build_graph(opts.task_graph);
         let bm = BlockMatrix::assemble(&permuted, &sym.block_structure);
-        factor_with_graph_rule(
+        factor_numeric_with(
             &bm,
-            &graph,
-            opts.threads,
-            opts.mapping,
-            opts.pivot_rule,
-            opts.pivot_threshold,
+            &NumericRequest::coarse(&graph, opts.mapping)
+                .threads(opts.threads)
+                .pivot_rule(opts.pivot_rule)
+                .pivot_threshold(opts.pivot_threshold)
+                .kernels(opts.kernels),
         )?;
         Ok(SparseLu { sym, bm, equil })
     }

@@ -20,11 +20,10 @@
 //! at zero across the whole factorization (asserted by the test-suite).
 
 use crate::blocks::BlockMatrix;
+use crate::request::{factor_numeric_with, NumericRequest};
 use crate::LuError;
-use parking_lot::Mutex;
-use splu_dense::{gemm_sub_view, lu_panel_with_rule, trsm_lower_unit_view, PivotRule};
-use splu_sched::{execute_traced, ExecReport, Mapping, Task, TaskGraph, TraceConfig};
-use std::sync::atomic::{AtomicBool, Ordering};
+use splu_dense::{lu_panel_with_rule, Dispatch, PivotRule};
+use splu_sched::{ExecReport, Mapping, TaskGraph, TraceConfig};
 
 /// Factorizes block column `k`: runs panel LU with partial pivoting **in
 /// place** on the stored stacked panel and records the pivot sequence.
@@ -67,6 +66,14 @@ fn stack_global_col(bm: &BlockMatrix, k: usize, c: usize) -> usize {
 /// `B̄(I, j) ← B̄(I, j) − L(I, k) · Ū(k, j)` — each `L(I, k)` read as a
 /// strided row range of column `k`'s stored panel (zero copies).
 pub fn update_task(bm: &BlockMatrix, k: usize, j: usize) {
+    update_task_with(bm, k, j, &Dispatch::portable())
+}
+
+/// [`update_task`] through an explicit kernel [`Dispatch`] table — the form
+/// the unified driver calls, with the table resolved once per
+/// factorization. Every table produces bit-identical results (the contract
+/// on [`splu_dense::gemm_sub_view`]).
+pub fn update_task_with(bm: &BlockMatrix, k: usize, j: usize, kernels: &Dispatch) {
     debug_assert!(k < j);
     let stack = bm.stack(k);
     let col_k = bm.column(k).read();
@@ -91,7 +98,7 @@ pub fn update_task(bm: &BlockMatrix, k: usize, j: usize) {
     let diag = col_k.panel.row_range(0..w_k);
     let qk = col_j.find(k).expect("Update(k, j) requires block B̄(k, j)");
     debug_assert!(qk < col_j.u_count());
-    trsm_lower_unit_view(diag, col_j.ublocks[qk].as_view_mut());
+    kernels.trsm_lower_unit(diag, col_j.ublocks[qk].as_view_mut());
 
     // 3. Schur updates down the L blocks of column k. A missing destination
     //    block means the contribution is structurally — hence exactly —
@@ -102,7 +109,7 @@ pub fn update_task(bm: &BlockMatrix, k: usize, j: usize) {
                 .panel
                 .row_range(stack.offsets[t]..stack.offsets[t + 1]);
             let (dst, u_kj) = col_j.dst_and_u(q, qk);
-            gemm_sub_view(dst, l_ik, u_kj);
+            kernels.gemm_sub(dst, l_ik, u_kj);
         }
     }
 }
@@ -110,6 +117,7 @@ pub fn update_task(bm: &BlockMatrix, k: usize, j: usize) {
 /// Runs the whole factorization over a task graph with `nthreads` workers
 /// under the given mapping. On numerical breakdown the remaining tasks
 /// drain as no-ops and the first error is returned.
+#[deprecated(note = "build a NumericRequest and call factor_numeric_with")]
 pub fn factor_with_graph(
     bm: &BlockMatrix,
     graph: &TaskGraph,
@@ -117,17 +125,17 @@ pub fn factor_with_graph(
     mapping: Mapping,
     pivot_threshold: f64,
 ) -> Result<(), LuError> {
-    factor_with_graph_rule(
+    factor_numeric_with(
         bm,
-        graph,
-        nthreads,
-        mapping,
-        PivotRule::Partial,
-        pivot_threshold,
+        &NumericRequest::coarse(graph, mapping)
+            .threads(nthreads)
+            .pivot_threshold(pivot_threshold),
     )
+    .map(|_| ())
 }
 
 /// [`factor_with_graph`] with an explicit pivot-selection rule.
+#[deprecated(note = "build a NumericRequest and call factor_numeric_with")]
 pub fn factor_with_graph_rule(
     bm: &BlockMatrix,
     graph: &TaskGraph,
@@ -136,22 +144,19 @@ pub fn factor_with_graph_rule(
     rule: PivotRule,
     pivot_threshold: f64,
 ) -> Result<(), LuError> {
-    factor_with_graph_rule_traced(
+    factor_numeric_with(
         bm,
-        graph,
-        nthreads,
-        mapping,
-        rule,
-        pivot_threshold,
-        &TraceConfig::off(),
+        &NumericRequest::coarse(graph, mapping)
+            .threads(nthreads)
+            .pivot_rule(rule)
+            .pivot_threshold(pivot_threshold),
     )
     .map(|_| ())
 }
 
 /// [`factor_with_graph`] with scheduler telemetry: returns the executor's
-/// [`ExecReport`] alongside the factorization, with
-/// [`splu_sched::SchedStats::panel_copies`] filled from the block storage's
-/// zero-copy counter. [`TraceConfig::off`] reduces to the untraced path.
+/// [`ExecReport`] alongside the factorization.
+#[deprecated(note = "build a NumericRequest and call factor_numeric_with")]
 pub fn factor_with_graph_traced(
     bm: &BlockMatrix,
     graph: &TaskGraph,
@@ -160,19 +165,17 @@ pub fn factor_with_graph_traced(
     pivot_threshold: f64,
     config: &TraceConfig,
 ) -> Result<ExecReport, LuError> {
-    factor_with_graph_rule_traced(
+    factor_numeric_with(
         bm,
-        graph,
-        nthreads,
-        mapping,
-        PivotRule::Partial,
-        pivot_threshold,
-        config,
+        &NumericRequest::coarse(graph, mapping)
+            .threads(nthreads)
+            .pivot_threshold(pivot_threshold)
+            .trace(*config),
     )
 }
 
-/// [`factor_with_graph_traced`] with an explicit pivot-selection rule — the
-/// full-surface entry point all the other drivers delegate to.
+/// [`factor_with_graph_traced`] with an explicit pivot-selection rule.
+#[deprecated(note = "build a NumericRequest and call factor_numeric_with")]
 pub fn factor_with_graph_rule_traced(
     bm: &BlockMatrix,
     graph: &TaskGraph,
@@ -182,33 +185,14 @@ pub fn factor_with_graph_rule_traced(
     pivot_threshold: f64,
     config: &TraceConfig,
 ) -> Result<ExecReport, LuError> {
-    let failed = AtomicBool::new(false);
-    let first_error: Mutex<Option<LuError>> = Mutex::new(None);
-    let mut report = execute_traced(
-        graph,
-        nthreads,
-        mapping,
-        |task| {
-            if failed.load(Ordering::Acquire) {
-                return;
-            }
-            match task {
-                Task::Factor(k) => {
-                    if let Err(e) = factor_task_with_rule(bm, k, rule, pivot_threshold) {
-                        failed.store(true, Ordering::Release);
-                        first_error.lock().get_or_insert(e);
-                    }
-                }
-                Task::Update { src, dst } => update_task(bm, src, dst),
-            }
-        },
-        config,
-    );
-    report.stats.panel_copies = bm.panel_copy_count();
-    match first_error.into_inner() {
-        Some(e) => Err(e),
-        None => Ok(report),
-    }
+    factor_numeric_with(
+        bm,
+        &NumericRequest::coarse(graph, mapping)
+            .threads(nthreads)
+            .pivot_rule(rule)
+            .pivot_threshold(pivot_threshold)
+            .trace(*config),
+    )
 }
 
 /// Sequential **left-looking** (fan-in) factorization: for each block
@@ -260,7 +244,7 @@ mod tests {
         let bs = BlockStructure::new(&f, part);
         let bm = BlockMatrix::assemble(a, &bs);
         let graph = build_eforest_graph(&bs);
-        factor_with_graph(&bm, &graph, 1, Mapping::Static1D, 0.0).unwrap();
+        factor_numeric_with(&bm, &NumericRequest::coarse(&graph, Mapping::Static1D)).unwrap();
         assert_eq!(bm.panel_copy_count(), 0, "factorization must be zero-copy");
 
         // Dense oracle.
@@ -330,7 +314,11 @@ mod tests {
         let graph = build_eforest_graph(&bs);
 
         let bm_right = BlockMatrix::assemble(&a, &bs);
-        factor_with_graph(&bm_right, &graph, 2, Mapping::Static1D, 0.0).unwrap();
+        factor_numeric_with(
+            &bm_right,
+            &NumericRequest::coarse(&graph, Mapping::Static1D).threads(2),
+        )
+        .unwrap();
         let bm_left = BlockMatrix::assemble(&a, &bs);
         factor_left_looking(&bm_left, 0.0).unwrap();
 
@@ -358,7 +346,11 @@ mod tests {
         let bs = BlockStructure::new(&f, supernode_partition(&f));
         let bm = BlockMatrix::assemble(&a, &bs);
         let graph = build_eforest_graph(&bs);
-        factor_with_graph(&bm, &graph, 4, Mapping::Dynamic, 0.0).unwrap();
+        factor_numeric_with(
+            &bm,
+            &NumericRequest::coarse(&graph, Mapping::Dynamic).threads(4),
+        )
+        .unwrap();
         assert_eq!(bm.panel_copy_count(), 0);
     }
 
@@ -373,7 +365,8 @@ mod tests {
         let bs = BlockStructure::new(&f, supernode_partition(&f));
         let bm = BlockMatrix::assemble(&a, &bs);
         let graph = build_eforest_graph(&bs);
-        let err = factor_with_graph(&bm, &graph, 1, Mapping::Static1D, 0.0).unwrap_err();
+        let err = factor_numeric_with(&bm, &NumericRequest::coarse(&graph, Mapping::Static1D))
+            .unwrap_err();
         assert!(matches!(err, LuError::NumericallySingular { column: 0 }));
     }
 }

@@ -17,12 +17,10 @@
 //! production 2D build would shard the locks per block.
 
 use crate::blocks::BlockMatrix;
-use crate::numeric::factor_task;
+use crate::request::{factor_numeric_with, NumericRequest};
 use crate::LuError;
-use parking_lot::Mutex;
-use splu_dense::{gemm_sub_view, trsm_lower_unit_view};
-use splu_sched::{execute_dag_report, ExecReport, FineGraph, FineTask, TraceConfig};
-use std::sync::atomic::{AtomicBool, Ordering};
+use splu_dense::Dispatch;
+use splu_sched::{ExecReport, FineGraph, TraceConfig};
 
 /// Applies `Factor(src)`'s pivot interchanges to block column `dst`.
 pub fn apply_task(bm: &BlockMatrix, src: usize, dst: usize) {
@@ -47,6 +45,12 @@ pub fn apply_task(bm: &BlockMatrix, src: usize, dst: usize) {
 /// Computes `Ū(src, dst) = L(src, src)⁻¹ B̄(src, dst)` in place. The
 /// diagonal block is read straight off the top of column `src`'s panel.
 pub fn trsm_task(bm: &BlockMatrix, src: usize, dst: usize) {
+    trsm_task_with(bm, src, dst, &Dispatch::portable())
+}
+
+/// [`trsm_task`] through an explicit kernel [`Dispatch`] table (resolved
+/// once per factorization by the unified driver).
+pub fn trsm_task_with(bm: &BlockMatrix, src: usize, dst: usize, kernels: &Dispatch) {
     let col_src = bm.column(src).read();
     let mut col_dst = bm.column(dst).write();
     let w = col_src.width();
@@ -55,12 +59,18 @@ pub fn trsm_task(bm: &BlockMatrix, src: usize, dst: usize) {
         .find(src)
         .expect("Trsm(src, dst) requires block B̄(src, dst)");
     debug_assert!(q < col_dst.u_count());
-    trsm_lower_unit_view(diag, col_dst.ublocks[q].as_view_mut());
+    kernels.trsm_lower_unit(diag, col_dst.ublocks[q].as_view_mut());
 }
 
 /// One Schur update: `B̄(row, dst) −= L(row, src) · Ū(src, dst)`, with
 /// `L(row, src)` read as a strided row range of column `src`'s panel.
 pub fn gemm_task(bm: &BlockMatrix, src: usize, dst: usize, row: usize) {
+    gemm_task_with(bm, src, dst, row, &Dispatch::portable())
+}
+
+/// [`gemm_task`] through an explicit kernel [`Dispatch`] table (resolved
+/// once per factorization by the unified driver).
+pub fn gemm_task_with(bm: &BlockMatrix, src: usize, dst: usize, row: usize, kernels: &Dispatch) {
     let stack = bm.stack(src);
     let col_src = bm.column(src).read();
     let mut col_dst = bm.column(dst).write();
@@ -76,25 +86,31 @@ pub fn gemm_task(bm: &BlockMatrix, src: usize, dst: usize, row: usize) {
     let q_u = col_dst.find(src).expect("Ū(src, dst) block exists");
     debug_assert!(q_u < col_dst.u_count());
     let (dst_blk, u_blk) = col_dst.dst_and_u(q_dst, q_u);
-    gemm_sub_view(dst_blk, l, u_blk);
+    kernels.gemm_sub(dst_blk, l, u_blk);
 }
 
 /// Runs the numerical factorization over a fine-grained task graph with
 /// `nthreads` workers (single shared priority pool). On breakdown the
 /// remaining tasks drain as no-ops and the first error is returned.
+#[deprecated(note = "build a NumericRequest::fine and call factor_numeric_with")]
 pub fn factor_with_fine_graph(
     bm: &BlockMatrix,
     fg: &FineGraph,
     nthreads: usize,
     pivot_threshold: f64,
 ) -> Result<(), LuError> {
-    factor_with_fine_graph_traced(bm, fg, nthreads, pivot_threshold, &TraceConfig::off())
-        .map(|_| ())
+    factor_numeric_with(
+        bm,
+        &NumericRequest::fine(fg)
+            .threads(nthreads)
+            .pivot_threshold(pivot_threshold),
+    )
+    .map(|_| ())
 }
 
-/// [`factor_with_fine_graph`] with scheduler telemetry — the fine-grained
-/// counterpart of [`crate::factor_with_graph_traced`], returning the
+/// [`factor_with_fine_graph`] with scheduler telemetry, returning the
 /// executor's [`ExecReport`] with the zero-copy counter filled in.
+#[deprecated(note = "build a NumericRequest::fine and call factor_numeric_with")]
 pub fn factor_with_fine_graph_traced(
     bm: &BlockMatrix,
     fg: &FineGraph,
@@ -102,44 +118,18 @@ pub fn factor_with_fine_graph_traced(
     pivot_threshold: f64,
     config: &TraceConfig,
 ) -> Result<ExecReport, LuError> {
-    let failed = AtomicBool::new(false);
-    let first_error: Mutex<Option<LuError>> = Mutex::new(None);
-    let mut report = execute_dag_report(
-        fg.len(),
-        fg.pred_counts(),
-        |t| fg.successors(t),
-        nthreads,
-        1,
-        |_| 0,
-        |tid| {
-            if failed.load(Ordering::Acquire) {
-                return;
-            }
-            match fg.tasks()[tid] {
-                FineTask::Factor(k) => {
-                    if let Err(e) = factor_task(bm, k, pivot_threshold) {
-                        failed.store(true, Ordering::Release);
-                        first_error.lock().get_or_insert(e);
-                    }
-                }
-                FineTask::Apply { src, dst } => apply_task(bm, src, dst),
-                FineTask::Trsm { src, dst } => trsm_task(bm, src, dst),
-                FineTask::Gemm { src, dst, row } => gemm_task(bm, src, dst, row),
-            }
-        },
-        config,
-    );
-    report.stats.panel_copies = bm.panel_copy_count();
-    match first_error.into_inner() {
-        Some(e) => Err(e),
-        None => Ok(report),
-    }
+    factor_numeric_with(
+        bm,
+        &NumericRequest::fine(fg)
+            .threads(nthreads)
+            .pivot_threshold(pivot_threshold)
+            .trace(*config),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::numeric::factor_with_graph;
     use crate::solve::solve_permuted;
     use splu_sched::{block_forest, build_eforest_graph, build_fine_graph, Mapping};
     use splu_sparse::{relative_residual, CscMatrix};
@@ -174,10 +164,14 @@ mod tests {
             let coarse = build_eforest_graph(&bs);
 
             let bm_coarse = BlockMatrix::assemble(&a, &bs);
-            factor_with_graph(&bm_coarse, &coarse, 2, Mapping::Static1D, 0.0).unwrap();
+            factor_numeric_with(
+                &bm_coarse,
+                &NumericRequest::coarse(&coarse, Mapping::Static1D).threads(2),
+            )
+            .unwrap();
             for threads in [1usize, 2, 4] {
                 let bm_fine = BlockMatrix::assemble(&a, &bs);
-                factor_with_fine_graph(&bm_fine, &fg, threads, 0.0).unwrap();
+                factor_numeric_with(&bm_fine, &NumericRequest::fine(&fg).threads(threads)).unwrap();
                 assert_eq!(bm_fine.panel_copy_count(), 0);
                 for k in 0..bm_fine.num_block_cols() {
                     let cf = bm_fine.column(k).read();
@@ -221,7 +215,7 @@ mod tests {
         let forest = block_forest(&bs);
         let fg = build_fine_graph(&bs, &forest);
         let bm = BlockMatrix::assemble(&a, &bs);
-        factor_with_fine_graph(&bm, &fg, 2, 0.0).unwrap();
+        factor_numeric_with(&bm, &NumericRequest::fine(&fg).threads(2)).unwrap();
         let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.13).cos()).collect();
         let mut x = b.clone();
         solve_permuted(&bm, &bs, &mut x);
@@ -238,7 +232,7 @@ mod tests {
         let forest = block_forest(&bs);
         let fg = build_fine_graph(&bs, &forest);
         let bm = BlockMatrix::assemble(&a, &bs);
-        let err = factor_with_fine_graph(&bm, &fg, 1, 0.0).unwrap_err();
+        let err = factor_numeric_with(&bm, &NumericRequest::fine(&fg)).unwrap_err();
         assert!(matches!(err, LuError::NumericallySingular { .. }));
     }
 }

@@ -229,7 +229,7 @@ pub fn solve_permuted_parallel(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::numeric::factor_with_graph;
+    use crate::request::{factor_numeric_with, NumericRequest};
     use crate::solve::solve_permuted;
     use splu_sched::{build_eforest_graph, Mapping};
     use splu_sparse::CscMatrix;
@@ -241,7 +241,7 @@ mod tests {
         let bs = BlockStructure::new(&f, supernode_partition(&f));
         let bm = BlockMatrix::assemble(a, &bs);
         let graph = build_eforest_graph(&bs);
-        factor_with_graph(&bm, &graph, 1, Mapping::Static1D, 0.0).unwrap();
+        factor_numeric_with(&bm, &NumericRequest::coarse(&graph, Mapping::Static1D)).unwrap();
         (bm, bs)
     }
 

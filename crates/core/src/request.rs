@@ -1,0 +1,287 @@
+//! The unified numeric-phase entry point: a [`NumericRequest`] names every
+//! parameter of one factorization — task graph, worker count and mapping,
+//! pivoting, tracing, and kernel selection — and
+//! [`factor_numeric_with`] is the single driver that runs it.
+//!
+//! Historically each parameter combination grew its own entry point
+//! (`factor_with_graph`, `factor_with_graph_rule`, `…_traced`,
+//! `factor_with_fine_graph`, …): six functions whose signatures drifted
+//! apart — the fine-grained path, for instance, could not select a pivot
+//! rule. The request struct collapses them: new parameters (like
+//! [`KernelChoice`] for the SIMD kernel layer) become fields with defaults
+//! instead of new functions, and the old names survive as thin deprecated
+//! shims.
+//!
+//! The kernel choice resolves to one [`Dispatch`] table **once per
+//! factorization** (CPU feature probing included), and that table threads
+//! through every `Update`/`Trsm`/`Gemm` task body — all of which preserve
+//! the bitwise-equivalence contract documented on
+//! [`splu_dense::gemm_sub_view`], so the factors are independent of the
+//! selected kernels.
+
+use crate::blocks::BlockMatrix;
+use crate::numeric::{factor_task_with_rule, update_task_with};
+use crate::numeric_fine::{apply_task, gemm_task_with, trsm_task_with};
+use crate::LuError;
+use parking_lot::Mutex;
+use splu_dense::{Dispatch, KernelChoice, PivotRule};
+use splu_sched::{
+    execute_dag_report, execute_traced, ExecReport, FineGraph, FineTask, Mapping, Task, TaskGraph,
+    TraceConfig,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Which task dependence graph drives the factorization.
+#[derive(Clone, Copy)]
+pub enum GraphRef<'g> {
+    /// The coarse `Factor`/`Update` graph, executed under a task-to-worker
+    /// [`Mapping`].
+    Coarse {
+        /// The dependence graph.
+        graph: &'g TaskGraph,
+        /// Task-to-worker mapping (paper: static 1D column mapping).
+        mapping: Mapping,
+    },
+    /// The fine-grained `Apply`/`Trsm`/`Gemm` decomposition, executed on a
+    /// single shared priority pool.
+    Fine(&'g FineGraph),
+}
+
+/// All parameters of one numeric factorization. Build with
+/// [`NumericRequest::coarse`] / [`NumericRequest::fine`], adjust with the
+/// chainable setters, run with [`factor_numeric_with`].
+#[derive(Clone, Copy)]
+pub struct NumericRequest<'g> {
+    /// The task graph (and, for the coarse form, its mapping).
+    pub graph: GraphRef<'g>,
+    /// Worker threads for the numerical phase.
+    pub threads: usize,
+    /// Pivot-selection rule (partial, threshold, or static-diagonal).
+    pub pivot_rule: PivotRule,
+    /// Absolute pivot rejection threshold (`0.0`: any nonzero pivot).
+    pub pivot_threshold: f64,
+    /// Scheduler telemetry; [`TraceConfig::off`] is the untraced fast path.
+    pub trace: TraceConfig,
+    /// Dense kernel selection, resolved once into a [`Dispatch`] table.
+    pub kernels: KernelChoice,
+}
+
+impl<'g> NumericRequest<'g> {
+    /// A request over the coarse graph with the defaults: 1 thread, partial
+    /// pivoting with zero threshold, tracing off, portable kernels.
+    pub fn coarse(graph: &'g TaskGraph, mapping: Mapping) -> Self {
+        Self::with_graph(GraphRef::Coarse { graph, mapping })
+    }
+
+    /// A request over the fine-grained graph (same defaults).
+    pub fn fine(graph: &'g FineGraph) -> Self {
+        Self::with_graph(GraphRef::Fine(graph))
+    }
+
+    /// A request over an explicit [`GraphRef`] (same defaults).
+    pub fn with_graph(graph: GraphRef<'g>) -> Self {
+        NumericRequest {
+            graph,
+            threads: 1,
+            pivot_rule: PivotRule::Partial,
+            pivot_threshold: 0.0,
+            trace: TraceConfig::off(),
+            kernels: KernelChoice::Portable,
+        }
+    }
+
+    /// Sets the worker-thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the pivot-selection rule.
+    pub fn pivot_rule(mut self, rule: PivotRule) -> Self {
+        self.pivot_rule = rule;
+        self
+    }
+
+    /// Sets the absolute pivot rejection threshold.
+    pub fn pivot_threshold(mut self, threshold: f64) -> Self {
+        self.pivot_threshold = threshold;
+        self
+    }
+
+    /// Sets the scheduler trace configuration.
+    pub fn trace(mut self, config: TraceConfig) -> Self {
+        self.trace = config;
+        self
+    }
+
+    /// Sets the dense kernel selection.
+    pub fn kernels(mut self, kernels: KernelChoice) -> Self {
+        self.kernels = kernels;
+        self
+    }
+}
+
+/// Runs one numeric factorization described by `req` over the assembled
+/// block storage, returning the executor's [`ExecReport`] (with the
+/// zero-copy counter filled in from the block storage). On numerical
+/// breakdown the remaining tasks drain as no-ops and the first error is
+/// returned.
+///
+/// This is the single driver behind every public factorization entry point;
+/// the kernel table is resolved from `req.kernels` exactly once here.
+pub fn factor_numeric_with(
+    bm: &BlockMatrix,
+    req: &NumericRequest<'_>,
+) -> Result<ExecReport, LuError> {
+    let dispatch = Dispatch::resolve(req.kernels);
+    let failed = AtomicBool::new(false);
+    let first_error: Mutex<Option<LuError>> = Mutex::new(None);
+    let factor = |k: usize| {
+        if let Err(e) = factor_task_with_rule(bm, k, req.pivot_rule, req.pivot_threshold) {
+            failed.store(true, Ordering::Release);
+            first_error.lock().get_or_insert(e);
+        }
+    };
+    let mut report = match req.graph {
+        GraphRef::Coarse { graph, mapping } => execute_traced(
+            graph,
+            req.threads,
+            mapping,
+            |task| {
+                if failed.load(Ordering::Acquire) {
+                    return;
+                }
+                match task {
+                    Task::Factor(k) => factor(k),
+                    Task::Update { src, dst } => update_task_with(bm, src, dst, &dispatch),
+                }
+            },
+            &req.trace,
+        ),
+        GraphRef::Fine(fg) => execute_dag_report(
+            fg.len(),
+            fg.pred_counts(),
+            |t| fg.successors(t),
+            req.threads,
+            1,
+            |_| 0,
+            |tid| {
+                if failed.load(Ordering::Acquire) {
+                    return;
+                }
+                match fg.tasks()[tid] {
+                    FineTask::Factor(k) => factor(k),
+                    FineTask::Apply { src, dst } => apply_task(bm, src, dst),
+                    FineTask::Trsm { src, dst } => trsm_task_with(bm, src, dst, &dispatch),
+                    FineTask::Gemm { src, dst, row } => {
+                        gemm_task_with(bm, src, dst, row, &dispatch)
+                    }
+                }
+            },
+            &req.trace,
+        ),
+    };
+    report.stats.panel_copies = bm.panel_copy_count();
+    report.stats.kernel = dispatch.name();
+    match first_error.into_inner() {
+        Some(e) => Err(e),
+        None => Ok(report),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splu_sched::{block_forest, build_eforest_graph, build_fine_graph};
+    use splu_sparse::CscMatrix;
+    use splu_symbolic::static_fact::static_symbolic_factorization;
+    use splu_symbolic::supernode::{supernode_partition, BlockStructure};
+
+    fn random_matrix(n: usize, extra: usize, seed: u64) -> CscMatrix {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut trips: Vec<(usize, usize, f64)> = (0..n)
+            .map(|i| (i, i, 3.0 + rng.gen_range(0.0..1.0)))
+            .collect();
+        for _ in 0..extra {
+            trips.push((
+                rng.gen_range(0..n),
+                rng.gen_range(0..n),
+                rng.gen_range(-1.0..1.0),
+            ));
+        }
+        CscMatrix::from_triplets(n, n, &trips).unwrap()
+    }
+
+    /// One request drives both graph forms, and every kernel choice yields
+    /// bit-identical factors on both.
+    #[test]
+    fn unified_driver_is_kernel_and_graph_invariant() {
+        let a = random_matrix(40, 150, 17);
+        let f = static_symbolic_factorization(a.pattern()).unwrap();
+        let bs = BlockStructure::new(&f, supernode_partition(&f));
+        let graph = build_eforest_graph(&bs);
+        let forest = block_forest(&bs);
+        let fg = build_fine_graph(&bs, &forest);
+
+        let bm_ref = BlockMatrix::assemble(&a, &bs);
+        let report =
+            factor_numeric_with(&bm_ref, &NumericRequest::coarse(&graph, Mapping::Static1D))
+                .unwrap();
+        assert_eq!(report.stats.kernel, "portable");
+        assert_eq!(report.stats.panel_copies, 0);
+
+        for kernels in [
+            KernelChoice::Portable,
+            KernelChoice::Simd,
+            KernelChoice::Auto,
+        ] {
+            let coarse_req = NumericRequest::coarse(&graph, Mapping::Dynamic)
+                .threads(2)
+                .kernels(kernels);
+            let fine_req = NumericRequest::fine(&fg).threads(2).kernels(kernels);
+            for req in [coarse_req, fine_req] {
+                let bm = BlockMatrix::assemble(&a, &bs);
+                factor_numeric_with(&bm, &req).unwrap();
+                for k in 0..bm.num_block_cols() {
+                    let c = bm.column(k).read();
+                    let r = bm_ref.column(k).read();
+                    assert_eq!(c.pivots, r.pivots, "pivots differ ({kernels:?}, col {k})");
+                    assert_eq!(
+                        c.panel.data(),
+                        r.panel.data(),
+                        "panel differs ({kernels:?}, col {k})"
+                    );
+                    for (cb, rb) in c.ublocks.iter().zip(&r.ublocks) {
+                        assert_eq!(cb.data(), rb.data(), "U differs ({kernels:?}, col {k})");
+                    }
+                }
+            }
+        }
+    }
+
+    /// The fine path honours the pivot rule (it could not before the
+    /// request API).
+    #[test]
+    fn fine_path_honours_pivot_rule() {
+        let a = random_matrix(30, 100, 5);
+        let f = static_symbolic_factorization(a.pattern()).unwrap();
+        let bs = BlockStructure::new(&f, supernode_partition(&f));
+        let forest = block_forest(&bs);
+        let fg = build_fine_graph(&bs, &forest);
+
+        // Diagonally dominant → the diagonal rule does zero interchanges.
+        let bm = BlockMatrix::assemble(&a, &bs);
+        factor_numeric_with(
+            &bm,
+            &NumericRequest::fine(&fg).pivot_rule(PivotRule::Diagonal),
+        )
+        .unwrap();
+        for k in 0..bm.num_block_cols() {
+            let col = bm.column(k).read();
+            let piv = col.pivots.as_ref().unwrap();
+            assert!(piv.swaps().iter().enumerate().all(|(c, &p)| c == p));
+        }
+    }
+}

@@ -351,7 +351,7 @@ pub fn growth_factor(bm: &BlockMatrix, max_abs_a: f64) -> f64 {
 mod tests {
     use super::*;
     use crate::blocks::BlockMatrix;
-    use crate::numeric::factor_with_graph;
+    use crate::request::{factor_numeric_with, NumericRequest};
     use splu_sched::{build_sstar_graph, Mapping};
     use splu_sparse::{relative_residual, CscMatrix};
     use splu_symbolic::fixtures::fig1_matrix;
@@ -365,7 +365,7 @@ mod tests {
         let bs = BlockStructure::new(&f, supernode_partition(&f));
         let bm = BlockMatrix::assemble(&a, &bs);
         let graph = build_sstar_graph(&bs);
-        factor_with_graph(&bm, &graph, 1, Mapping::Static1D, 0.0).unwrap();
+        factor_numeric_with(&bm, &NumericRequest::coarse(&graph, Mapping::Static1D)).unwrap();
         let b: Vec<f64> = (0..7).map(|i| i as f64 - 3.0).collect();
         let mut x = b.clone();
         solve_permuted(&bm, &bs, &mut x);
@@ -379,7 +379,7 @@ mod tests {
         let bs = BlockStructure::new(&f, supernode_partition(&f));
         let bm = BlockMatrix::assemble(&a, &bs);
         let graph = build_sstar_graph(&bs);
-        factor_with_graph(&bm, &graph, 1, Mapping::Static1D, 0.0).unwrap();
+        factor_numeric_with(&bm, &NumericRequest::coarse(&graph, Mapping::Static1D)).unwrap();
         for t in 0..4 {
             let b: Vec<f64> = (0..7).map(|i| ((i + t) % 3) as f64).collect();
             let mut x = b.clone();
@@ -397,7 +397,7 @@ mod tests {
         let bs = BlockStructure::new(&f, supernode_partition(&f));
         let bm = BlockMatrix::assemble(&a, &bs);
         let graph = build_sstar_graph(&bs);
-        factor_with_graph(&bm, &graph, 1, Mapping::Static1D, 0.0).unwrap();
+        factor_numeric_with(&bm, &NumericRequest::coarse(&graph, Mapping::Static1D)).unwrap();
 
         let at = a.transpose();
         let mut dense = DenseMat::from_fn(n, n, |i, j| at.get(i, j));
@@ -438,7 +438,7 @@ mod tests {
         let bs = BlockStructure::new(&f, supernode_partition(&f));
         let bm = BlockMatrix::assemble(&a, &bs);
         let graph = build_sstar_graph(&bs);
-        factor_with_graph(&bm, &graph, 1, Mapping::Static1D, 0.0).unwrap();
+        factor_numeric_with(&bm, &NumericRequest::coarse(&graph, Mapping::Static1D)).unwrap();
         let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
         let mut x = b.clone();
         solve_transposed_permuted(&bm, &bs, &mut x);
@@ -453,7 +453,7 @@ mod tests {
         let bs = BlockStructure::new(&f, supernode_partition(&f));
         let bm = BlockMatrix::assemble(&a, &bs);
         let graph = build_sstar_graph(&bs);
-        factor_with_graph(&bm, &graph, 1, Mapping::Static1D, 0.0).unwrap();
+        factor_numeric_with(&bm, &NumericRequest::coarse(&graph, Mapping::Static1D)).unwrap();
         let n = 7;
         let nrhs = 3;
         let mut block: Vec<f64> = (0..n * nrhs).map(|i| (i as f64 * 0.37).sin()).collect();
@@ -492,7 +492,7 @@ mod tests {
             let bs = BlockStructure::new(&f, supernode_partition(&f));
             let bm = BlockMatrix::assemble(&a, &bs);
             let graph = build_sstar_graph(&bs);
-            factor_with_graph(&bm, &graph, 1, Mapping::Static1D, 0.0).unwrap();
+            factor_numeric_with(&bm, &NumericRequest::coarse(&graph, Mapping::Static1D)).unwrap();
             let (sign, ln_abs) = det_permuted(&bm, &bs);
             // Dense oracle determinant.
             let mut dense = DenseMat::from_fn(n, n, |i, j| a.get(i, j));
@@ -524,7 +524,7 @@ mod tests {
         let bs = BlockStructure::new(&f, supernode_partition(&f));
         let bm = BlockMatrix::assemble(&a, &bs);
         let graph = build_sstar_graph(&bs);
-        factor_with_graph(&bm, &graph, 1, Mapping::Static1D, 0.0).unwrap();
+        factor_numeric_with(&bm, &NumericRequest::coarse(&graph, Mapping::Static1D)).unwrap();
         let g = growth_factor(&bm, max_a);
         assert!(g >= 1.0 - 1e-12, "factor entries include A's max");
         assert!(g < 10.0, "unexpected growth {g} on a dominant matrix");
@@ -537,7 +537,7 @@ mod tests {
         let bs = BlockStructure::new(&f, supernode_partition(&f));
         let bm = BlockMatrix::assemble(&a, &bs);
         let graph = build_sstar_graph(&bs);
-        factor_with_graph(&bm, &graph, 1, Mapping::Static1D, 0.0).unwrap();
+        factor_numeric_with(&bm, &NumericRequest::coarse(&graph, Mapping::Static1D)).unwrap();
         let mut x = vec![1.0, 2.0, 3.0, 4.0, 5.0];
         solve_permuted(&bm, &bs, &mut x);
         assert_eq!(x, vec![1.0, 2.0, 3.0, 4.0, 5.0]);

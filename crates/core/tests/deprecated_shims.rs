@@ -1,0 +1,106 @@
+//! Compatibility test for the deprecated factorization entry points.
+//!
+//! The six pre-request drivers (`factor_with_graph`,
+//! `factor_with_graph_rule`, their `_traced` forms, and the two
+//! `factor_with_fine_graph` forms) survive as thin shims over
+//! [`splu_core::factor_numeric_with`]. This is the **only** place that may
+//! still call them: it pins the shims' signatures and checks each one
+//! produces bit-identical factors to the request it is documented to build.
+#![allow(deprecated)]
+
+use splu_core::{
+    factor_numeric_with, factor_with_fine_graph, factor_with_fine_graph_traced, factor_with_graph,
+    factor_with_graph_rule, factor_with_graph_rule_traced, factor_with_graph_traced, BlockMatrix,
+    NumericRequest, PivotRule, TraceConfig,
+};
+use splu_sched::{block_forest, build_eforest_graph, build_fine_graph, Mapping};
+use splu_sparse::CscMatrix;
+use splu_symbolic::static_fact::static_symbolic_factorization;
+use splu_symbolic::supernode::{supernode_partition, BlockStructure};
+
+fn random_matrix(n: usize, extra: usize, seed: u64) -> CscMatrix {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut trips: Vec<(usize, usize, f64)> = (0..n)
+        .map(|i| (i, i, 3.0 + rng.gen_range(0.0..1.0)))
+        .collect();
+    for _ in 0..extra {
+        trips.push((
+            rng.gen_range(0..n),
+            rng.gen_range(0..n),
+            rng.gen_range(-1.0..1.0),
+        ));
+    }
+    CscMatrix::from_triplets(n, n, &trips).unwrap()
+}
+
+fn assert_same_factors(a: &BlockMatrix, b: &BlockMatrix, what: &str) {
+    for k in 0..a.num_block_cols() {
+        let ca = a.column(k).read();
+        let cb = b.column(k).read();
+        assert_eq!(ca.pivots, cb.pivots, "{what}: pivots differ at {k}");
+        assert_eq!(
+            ca.panel.data(),
+            cb.panel.data(),
+            "{what}: panel differs at {k}"
+        );
+        for (ba, bb) in ca.ublocks.iter().zip(&cb.ublocks) {
+            assert_eq!(ba.data(), bb.data(), "{what}: U differs at {k}");
+        }
+    }
+}
+
+#[test]
+fn every_shim_matches_its_request() {
+    let a = random_matrix(36, 120, 11);
+    let f = static_symbolic_factorization(a.pattern()).unwrap();
+    let bs = BlockStructure::new(&f, supernode_partition(&f));
+    let graph = build_eforest_graph(&bs);
+    let forest = block_forest(&bs);
+    let fg = build_fine_graph(&bs, &forest);
+    let rule = PivotRule::Threshold(0.5);
+    let trace = TraceConfig::counters();
+
+    let reference = BlockMatrix::assemble(&a, &bs);
+    factor_numeric_with(
+        &reference,
+        &NumericRequest::coarse(&graph, Mapping::Static1D).threads(2),
+    )
+    .unwrap();
+
+    let bm = BlockMatrix::assemble(&a, &bs);
+    factor_with_graph(&bm, &graph, 2, Mapping::Static1D, 0.0).unwrap();
+    assert_same_factors(&bm, &reference, "factor_with_graph");
+
+    let bm = BlockMatrix::assemble(&a, &bs);
+    let report = factor_with_graph_traced(&bm, &graph, 2, Mapping::Static1D, 0.0, &trace).unwrap();
+    assert_eq!(report.stats.kernel, "portable");
+    assert_same_factors(&bm, &reference, "factor_with_graph_traced");
+
+    // Rule-carrying shims against a rule-carrying request.
+    let rule_ref = BlockMatrix::assemble(&a, &bs);
+    factor_numeric_with(
+        &rule_ref,
+        &NumericRequest::coarse(&graph, Mapping::Static1D).pivot_rule(rule),
+    )
+    .unwrap();
+
+    let bm = BlockMatrix::assemble(&a, &bs);
+    factor_with_graph_rule(&bm, &graph, 1, Mapping::Static1D, rule, 0.0).unwrap();
+    assert_same_factors(&bm, &rule_ref, "factor_with_graph_rule");
+
+    let bm = BlockMatrix::assemble(&a, &bs);
+    factor_with_graph_rule_traced(&bm, &graph, 1, Mapping::Static1D, rule, 0.0, &trace).unwrap();
+    assert_same_factors(&bm, &rule_ref, "factor_with_graph_rule_traced");
+
+    // Fine-grained shims.
+    let bm = BlockMatrix::assemble(&a, &bs);
+    factor_with_fine_graph(&bm, &fg, 2, 0.0).unwrap();
+    assert_same_factors(&bm, &reference, "factor_with_fine_graph");
+
+    let bm = BlockMatrix::assemble(&a, &bs);
+    let report = factor_with_fine_graph_traced(&bm, &fg, 2, 0.0, &trace).unwrap();
+    assert_eq!(report.stats.panel_copies, 0);
+    assert_same_factors(&bm, &reference, "factor_with_fine_graph_traced");
+}

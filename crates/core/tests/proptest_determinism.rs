@@ -13,10 +13,14 @@
 //! and 8 threads over random diagonally-dominant matrices and compares
 //! every stored `Ū` block, every L panel and every pivot sequence bitwise
 //! against the sequential reference, also asserting the zero-copy counter
-//! stayed at zero.
+//! stayed at zero. Every run repeats under each [`KernelChoice`] — the
+//! kernel dispatch layer promises the same bits, so the SIMD tables (when
+//! compiled in) must reproduce the sequential portable reference exactly.
 
 use proptest::prelude::*;
-use splu_core::{factor_left_looking, factor_with_graph, BlockMatrix};
+use splu_core::{
+    factor_left_looking, factor_numeric_with, BlockMatrix, KernelChoice, NumericRequest,
+};
 use splu_sched::{build_eforest_graph, Mapping};
 use splu_sparse::CscMatrix;
 use splu_symbolic::static_fact::static_symbolic_factorization;
@@ -49,26 +53,36 @@ proptest! {
         factor_left_looking(&bm_seq, 0.0).unwrap();
 
         for threads in [1usize, 2, 4, 8] {
-            let bm = BlockMatrix::assemble(&a, &bs);
-            factor_with_graph(&bm, &graph, threads, Mapping::Dynamic, 0.0).unwrap();
-            prop_assert_eq!(bm.panel_copy_count(), 0, "threads {}", threads);
-            for k in 0..bm.num_block_cols() {
-                let cd = bm.column(k).read();
-                let cs = bm_seq.column(k).read();
-                prop_assert_eq!(
-                    &cd.pivots, &cs.pivots,
-                    "pivots differ: threads {}, column {}", threads, k
-                );
-                for (bd, bref) in cd.ublocks.iter().zip(&cs.ublocks) {
+            for kernels in [KernelChoice::Portable, KernelChoice::Simd, KernelChoice::Auto] {
+                let bm = BlockMatrix::assemble(&a, &bs);
+                factor_numeric_with(
+                    &bm,
+                    &NumericRequest::coarse(&graph, Mapping::Dynamic)
+                        .threads(threads)
+                        .kernels(kernels),
+                )
+                .unwrap();
+                prop_assert_eq!(bm.panel_copy_count(), 0, "threads {}", threads);
+                for k in 0..bm.num_block_cols() {
+                    let cd = bm.column(k).read();
+                    let cs = bm_seq.column(k).read();
                     prop_assert_eq!(
-                        bd.data(), bref.data(),
-                        "U block bits differ: threads {}, column {}", threads, k
+                        &cd.pivots, &cs.pivots,
+                        "pivots differ: threads {}, {:?}, column {}", threads, kernels, k
+                    );
+                    for (bd, bref) in cd.ublocks.iter().zip(&cs.ublocks) {
+                        prop_assert_eq!(
+                            bd.data(), bref.data(),
+                            "U block bits differ: threads {}, {:?}, column {}",
+                            threads, kernels, k
+                        );
+                    }
+                    prop_assert_eq!(
+                        cd.panel.data(), cs.panel.data(),
+                        "panel bits differ: threads {}, {:?}, column {}",
+                        threads, kernels, k
                     );
                 }
-                prop_assert_eq!(
-                    cd.panel.data(), cs.panel.data(),
-                    "panel bits differ: threads {}, column {}", threads, k
-                );
             }
         }
     }

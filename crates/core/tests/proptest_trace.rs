@@ -12,7 +12,9 @@
 //! Task event per task in the event stream).
 
 use proptest::prelude::*;
-use splu_core::{factor_left_looking, factor_with_graph_traced, BlockMatrix, TraceConfig};
+use splu_core::{
+    factor_left_looking, factor_numeric_with, BlockMatrix, NumericRequest, TraceConfig,
+};
 use splu_sched::{build_eforest_graph, EventKind, Mapping};
 use splu_sparse::CscMatrix;
 use splu_symbolic::static_fact::static_symbolic_factorization;
@@ -46,8 +48,11 @@ proptest! {
         for threads in [1usize, 2, 4, 8] {
             let bm = BlockMatrix::assemble(&a, &bs);
             let config = TraceConfig::full(graph.len(), threads);
-            let report = factor_with_graph_traced(
-                &bm, &graph, threads, Mapping::Dynamic, 0.0, &config,
+            let report = factor_numeric_with(
+                &bm,
+                &NumericRequest::coarse(&graph, Mapping::Dynamic)
+                    .threads(threads)
+                    .trace(config),
             ).unwrap();
 
             // Accounting invariants of the report itself.

@@ -1,0 +1,178 @@
+//! Kernel selection: a [`KernelChoice`] names an implementation family, a
+//! [`Dispatch`] is the resolved function table the numeric phase calls
+//! through.
+//!
+//! Selection is a *parameter*, not a separate entry point: the sparse
+//! driver resolves its `KernelChoice` into one `Dispatch` per factorization
+//! and threads that table through every `Factor`/`Update` task body, so
+//! adding a kernel variant never multiplies driver functions. All variants
+//! obey the bitwise-equivalence contract documented on
+//! [`gemm_sub_view`](crate::gemm_sub_view): the factors are bit-for-bit
+//! independent of the choice.
+
+use crate::view::{MatMut, MatRef};
+
+/// Which dense kernel implementation the numeric phase uses.
+///
+/// The scalar portable kernels are the default; the explicit-width SIMD
+/// kernels exist behind the `simd` cargo feature. Resolution happens once
+/// per factorization via [`Dispatch::resolve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelChoice {
+    /// The portable scalar kernels (the default).
+    #[default]
+    Portable,
+    /// The explicit-width `f64x4` kernels: AVX2 intrinsics when the host
+    /// CPU supports them, the portable-chunked fallback otherwise. Without
+    /// the `simd` cargo feature this resolves to `Portable` (documented
+    /// fallback — results are bitwise identical either way).
+    Simd,
+    /// `Simd` when compiled in (`simd` feature) and usable on this CPU,
+    /// otherwise `Portable`.
+    Auto,
+}
+
+/// `C ← C − A·B` kernel signature (see [`crate::gemm_sub_view`]).
+pub type GemmSubFn = fn(MatMut<'_>, MatRef<'_>, MatRef<'_>);
+/// `X ← L⁻¹·X` / `X ← U⁻¹·X` kernel signature (see
+/// [`crate::trsm_lower_unit_view`] / [`crate::trsm_upper_view`]).
+pub type TrsmFn = fn(MatRef<'_>, MatMut<'_>);
+
+/// The resolved kernel function table. Copy it around freely — it is three
+/// function pointers and a name.
+#[derive(Clone, Copy)]
+pub struct Dispatch {
+    name: &'static str,
+    gemm_sub: GemmSubFn,
+    trsm_lower_unit: TrsmFn,
+    trsm_upper: TrsmFn,
+}
+
+impl Dispatch {
+    /// The portable scalar kernel table.
+    pub const fn portable() -> Self {
+        Dispatch {
+            name: "portable",
+            gemm_sub: super::gemm_sub_view,
+            trsm_lower_unit: super::trsm_lower_unit_view,
+            trsm_upper: super::trsm_upper_view,
+        }
+    }
+
+    /// Resolves a [`KernelChoice`] into a concrete table, probing CPU
+    /// features (`is_x86_feature_detected!("avx2")` on x86_64) exactly once
+    /// per call — do this once per factorization, not per task.
+    pub fn resolve(choice: KernelChoice) -> Self {
+        match choice {
+            KernelChoice::Portable => Self::portable(),
+            KernelChoice::Simd | KernelChoice::Auto => {
+                #[cfg(feature = "simd")]
+                {
+                    super::simd::best_dispatch()
+                }
+                #[cfg(not(feature = "simd"))]
+                {
+                    Self::portable()
+                }
+            }
+        }
+    }
+
+    /// `true` when the `simd` cargo feature was compiled in, i.e. when
+    /// [`KernelChoice::Simd`] resolves to something other than the portable
+    /// table.
+    pub const fn simd_compiled() -> bool {
+        cfg!(feature = "simd")
+    }
+
+    /// Implementation name: `"portable"`, `"simd-avx2"` or
+    /// `"simd-chunked"` — recorded in benchmark artifacts.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Builds a table from raw parts (used by the kernel variants).
+    #[cfg_attr(not(feature = "simd"), allow(dead_code))]
+    pub(crate) const fn from_parts(
+        name: &'static str,
+        gemm_sub: GemmSubFn,
+        trsm_lower_unit: TrsmFn,
+        trsm_upper: TrsmFn,
+    ) -> Self {
+        Dispatch {
+            name,
+            gemm_sub,
+            trsm_lower_unit,
+            trsm_upper,
+        }
+    }
+
+    /// `C ← C − A · B` through the selected kernel.
+    #[inline]
+    pub fn gemm_sub(&self, c: MatMut<'_>, a: MatRef<'_>, b: MatRef<'_>) {
+        (self.gemm_sub)(c, a, b)
+    }
+
+    /// `X ← L⁻¹ · X` (`L` unit lower triangular) through the selected
+    /// kernel.
+    #[inline]
+    pub fn trsm_lower_unit(&self, l: MatRef<'_>, x: MatMut<'_>) {
+        (self.trsm_lower_unit)(l, x)
+    }
+
+    /// `X ← U⁻¹ · X` (`U` upper triangular) through the selected kernel.
+    #[inline]
+    pub fn trsm_upper(&self, u: MatRef<'_>, x: MatMut<'_>) {
+        (self.trsm_upper)(u, x)
+    }
+}
+
+impl Default for Dispatch {
+    fn default() -> Self {
+        Self::portable()
+    }
+}
+
+impl std::fmt::Debug for Dispatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dispatch")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn portable_resolves_to_portable() {
+        assert_eq!(Dispatch::resolve(KernelChoice::Portable).name(), "portable");
+        assert_eq!(Dispatch::default().name(), "portable");
+    }
+
+    #[test]
+    fn simd_resolution_matches_feature_gate() {
+        let d = Dispatch::resolve(KernelChoice::Simd);
+        if Dispatch::simd_compiled() {
+            assert!(d.name().starts_with("simd-"), "got {}", d.name());
+        } else {
+            assert_eq!(d.name(), "portable");
+        }
+        // Auto resolves to the same table as Simd under either gate.
+        assert_eq!(d.name(), Dispatch::resolve(KernelChoice::Auto).name());
+    }
+
+    #[test]
+    fn table_calls_reach_the_kernels() {
+        use crate::DenseMat;
+        let d = Dispatch::portable();
+        let a = DenseMat::from_fn(3, 2, |i, j| (i + j) as f64);
+        let b = DenseMat::from_fn(2, 2, |i, j| (i * 2 + j) as f64 - 1.0);
+        let mut c = DenseMat::from_fn(3, 2, |i, j| (i * j) as f64);
+        let mut expect = c.clone();
+        crate::gemm_sub(&mut expect, &a, &b);
+        d.gemm_sub(c.as_view_mut(), a.as_view(), b.as_view());
+        assert_eq!(c.data(), expect.data());
+    }
+}

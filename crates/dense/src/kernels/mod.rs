@@ -4,21 +4,53 @@
 //! [`MatMut`]) so sub-blocks of a stacked supernode panel feed the kernels
 //! **in place** — no gather into temporaries. The [`DenseMat`] entry points
 //! are thin wrappers over whole-matrix views.
+//!
+//! The free functions in this module are the **portable** (scalar Rust)
+//! implementations and remain the default. The [`simd`] submodule (cargo
+//! feature `simd`) provides explicit-width `f64x4` variants of the same
+//! kernels, and [`Dispatch`] is the function table through which a
+//! factorization selects an implementation **once** (from a
+//! [`KernelChoice`]) instead of branching per call. Every variant obeys the
+//! bitwise-equivalence contract spelled out on [`gemm_sub_view`].
+
+pub mod dispatch;
+#[cfg(feature = "simd")]
+pub mod simd;
+
+pub use dispatch::{Dispatch, KernelChoice};
 
 use crate::view::{MatMut, MatRef};
 use crate::DenseMat;
 
 /// Cache-block size (in rows/inner dimension) for the update kernel. Chosen
-/// so three `KB × KB` double blocks stay well inside a 256 KiB L2.
-const KB: usize = 64;
+/// so three `KB × KB` double blocks stay well inside a 256 KiB L2. The SIMD
+/// variants reuse the same constant so their `k` traversal per element is
+/// identical to the portable kernel's.
+pub(crate) const KB: usize = 64;
 
-/// `C ← C − A · B` on strided views.
+/// `C ← C − A · B` on strided views — the portable reference kernel.
 ///
 /// The supernodal update kernel: `B̄(i, j) ← B̄(i, j) − L(i, k) · Ū(k, j)`,
 /// where `L(i, k)` is typically a row range of column `k`'s stacked panel.
 /// The inner micro-kernel processes **four columns of `C` at once**, so
 /// each loaded column of `A` is reused fourfold (quartering `A` traffic);
 /// `k` is additionally blocked to keep the active `A` panel cache-resident.
+///
+/// # Kernel dispatch and the bitwise-equivalence contract
+///
+/// This function is the `Portable` entry of the [`Dispatch`] table; the
+/// `simd` cargo feature adds explicit-width variants ([`simd`]) selected
+/// through [`KernelChoice`] on the factorization options. Every variant
+/// must produce **bitwise identical** results to this kernel: for each
+/// element `C(i, j)` the sequence of IEEE-754 operations — one
+/// `c ← c − a·s` (round(mul) then round(sub), never fused) per inner index
+/// `k`, in ascending `k` within each `KB` block, skipping exactly the `k`
+/// whose 4-column scalar quad (or single remainder column scalar) is zero —
+/// is the same in every implementation; vectorizing over `i` (and blocking
+/// registers over columns) only regroups *independent* element streams.
+/// That contract is what keeps factors independent of the selected kernel,
+/// lets the determinism property tests double as cross-kernel equivalence
+/// tests, and is asserted by `proptest_kernel_equiv` on ragged shapes.
 pub fn gemm_sub_view(mut c: MatMut<'_>, a: MatRef<'_>, b: MatRef<'_>) {
     assert_eq!(a.nrows(), c.nrows(), "gemm_sub: row mismatch");
     assert_eq!(b.ncols(), c.ncols(), "gemm_sub: column mismatch");

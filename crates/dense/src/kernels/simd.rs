@@ -1,0 +1,556 @@
+//! Explicit-width `f64x4` kernel variants (cargo feature `simd`).
+//!
+//! Two implementations share one loop skeleton per kernel:
+//!
+//! * [`avx2`] — AVX2 intrinsics (x86_64 only, runtime-detected); the
+//!   micro-kernels are `#[target_feature(enable = "avx2")]` functions
+//!   reached only through [`best_dispatch`], which probes
+//!   `is_x86_feature_detected!("avx2")` first.
+//! * [`chunked`] — a portable explicit-width fallback: the same skeletons
+//!   over fixed `[f64; 4]` blocks in safe Rust (autovectorizer-friendly),
+//!   used on non-x86_64 hosts or when AVX2 is absent.
+//!
+//! **Bitwise-equivalence contract** (see
+//! [`gemm_sub_view`](crate::gemm_sub_view)): both variants perform, per
+//! element, exactly the scalar kernels' IEEE-754 operation sequence —
+//! `round(mul)` then `round(sub)`, never an FMA, ascending `k` within the
+//! same `KB` blocking, with the same zero-quad/zero-scalar skips.
+//! Vectorizing over rows `i` and register-blocking over right-hand-side
+//! columns only regroups independent per-element streams, so the results
+//! are bit-for-bit identical to the portable path — which is what lets the
+//! factorization change kernels without changing factors.
+
+use super::KB;
+use crate::view::{MatMut, MatRef};
+
+/// The best SIMD dispatch table this build + CPU supports: AVX2 when
+/// detected at runtime, the portable-chunked variant otherwise.
+pub fn best_dispatch() -> super::Dispatch {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return super::Dispatch::from_parts(
+                "simd-avx2",
+                avx2::gemm_sub_view,
+                avx2::trsm_lower_unit_view,
+                avx2::trsm_upper_view,
+            );
+        }
+    }
+    chunked_dispatch()
+}
+
+/// The portable-chunked dispatch table (exposed so the test-suite can
+/// exercise it even on hosts where [`best_dispatch`] picks AVX2).
+pub fn chunked_dispatch() -> super::Dispatch {
+    super::Dispatch::from_parts(
+        "simd-chunked",
+        chunked::gemm_sub_view,
+        chunked::trsm_lower_unit_view,
+        chunked::trsm_upper_view,
+    )
+}
+
+/// `C ← C − A·B` skeleton shared by the SIMD variants: identical control
+/// flow to the portable [`crate::gemm_sub_view`] (same `KB` blocking, same
+/// 4-column quads, same zero skips), with the row loop delegated to the
+/// variant's `axpy4`/`axpy1` micro-kernels.
+#[inline(always)]
+fn gemm_skeleton<F4, F1>(mut c: MatMut<'_>, a: MatRef<'_>, b: MatRef<'_>, axpy4: F4, axpy1: F1)
+where
+    F4: Fn(&mut [f64], &mut [f64], &mut [f64], &mut [f64], &[f64], f64, f64, f64, f64),
+    F1: Fn(&mut [f64], &[f64], f64),
+{
+    assert_eq!(a.nrows(), c.nrows(), "gemm_sub: row mismatch");
+    assert_eq!(b.ncols(), c.ncols(), "gemm_sub: column mismatch");
+    assert_eq!(a.ncols(), b.nrows(), "gemm_sub: inner dimension mismatch");
+    let m = c.nrows();
+    let n = c.ncols();
+    let inner = a.ncols();
+    if m == 0 || n == 0 || inner == 0 {
+        return;
+    }
+    let quads = n / 4 * 4;
+    for k0 in (0..inner).step_by(KB) {
+        let k1 = (k0 + KB).min(inner);
+        let mut j = 0usize;
+        while j < quads {
+            let (c0, c1, c2, c3) = c.four_cols_mut(j);
+            for k in k0..k1 {
+                let (s0, s1, s2, s3) = (b[(k, j)], b[(k, j + 1)], b[(k, j + 2)], b[(k, j + 3)]);
+                if s0 == 0.0 && s1 == 0.0 && s2 == 0.0 && s3 == 0.0 {
+                    continue;
+                }
+                axpy4(c0, c1, c2, c3, a.col(k), s0, s1, s2, s3);
+            }
+            j += 4;
+        }
+        for j in quads..n {
+            let c_col = c.col_mut(j);
+            for k in k0..k1 {
+                let s = b[(k, j)];
+                if s == 0.0 {
+                    continue;
+                }
+                axpy1(c_col, a.col(k), s);
+            }
+        }
+    }
+}
+
+/// `X ← L⁻¹·X` skeleton: forward substitution per the portable
+/// [`crate::trsm_lower_unit_view`], register-blocked over **pairs** of
+/// right-hand-side columns so each loaded `L` column is reused twice. The
+/// zero-skip stays per column (skipping vs. not skipping differs in signed
+/// zeros, so lane-masking across columns would break bitwise equality).
+#[inline(always)]
+fn trsm_lower_skeleton<F2, F1>(l: MatRef<'_>, mut x: MatMut<'_>, axpy2: F2, axpy1: F1)
+where
+    F2: Fn(&mut [f64], &mut [f64], &[f64], f64, f64),
+    F1: Fn(&mut [f64], &[f64], f64),
+{
+    assert_eq!(l.nrows(), l.ncols(), "trsm: L must be square");
+    assert_eq!(l.nrows(), x.nrows(), "trsm: dimension mismatch");
+    let n = l.nrows();
+    let ncols = x.ncols();
+    let pairs = ncols / 2 * 2;
+    let mut j = 0usize;
+    while j < pairs {
+        let (xa, xb) = x.two_cols_mut(j, j + 1);
+        for k in 0..n {
+            let (sa, sb) = (xa[k], xb[k]);
+            let l_tail = &l.col(k)[k + 1..];
+            match (sa != 0.0, sb != 0.0) {
+                (true, true) => axpy2(&mut xa[k + 1..], &mut xb[k + 1..], l_tail, sa, sb),
+                (true, false) => axpy1(&mut xa[k + 1..], l_tail, sa),
+                (false, true) => axpy1(&mut xb[k + 1..], l_tail, sb),
+                (false, false) => {}
+            }
+        }
+        j += 2;
+    }
+    for j in pairs..ncols {
+        let x_col = x.col_mut(j);
+        for k in 0..n {
+            let s = x_col[k];
+            if s == 0.0 {
+                continue;
+            }
+            axpy1(&mut x_col[k + 1..], &l.col(k)[k + 1..], s);
+        }
+    }
+}
+
+/// `X ← U⁻¹·X` skeleton: backward substitution per the portable
+/// [`crate::trsm_upper_view`], register-blocked over pairs of columns.
+#[inline(always)]
+fn trsm_upper_skeleton<F2, F1>(u: MatRef<'_>, mut x: MatMut<'_>, axpy2: F2, axpy1: F1)
+where
+    F2: Fn(&mut [f64], &mut [f64], &[f64], f64, f64),
+    F1: Fn(&mut [f64], &[f64], f64),
+{
+    assert_eq!(u.nrows(), u.ncols(), "trsm: U must be square");
+    assert_eq!(u.nrows(), x.nrows(), "trsm: dimension mismatch");
+    let n = u.nrows();
+    let ncols = x.ncols();
+    let pairs = ncols / 2 * 2;
+    let mut j = 0usize;
+    while j < pairs {
+        let (xa, xb) = x.two_cols_mut(j, j + 1);
+        for k in (0..n).rev() {
+            let diag = u[(k, k)];
+            debug_assert!(diag != 0.0, "trsm_upper: zero diagonal at {k}");
+            xa[k] /= diag;
+            xb[k] /= diag;
+            let (sa, sb) = (xa[k], xb[k]);
+            let u_head = &u.col(k)[..k];
+            match (sa != 0.0, sb != 0.0) {
+                (true, true) => axpy2(&mut xa[..k], &mut xb[..k], u_head, sa, sb),
+                (true, false) => axpy1(&mut xa[..k], u_head, sa),
+                (false, true) => axpy1(&mut xb[..k], u_head, sb),
+                (false, false) => {}
+            }
+        }
+        j += 2;
+    }
+    for j in pairs..ncols {
+        let x_col = x.col_mut(j);
+        for k in (0..n).rev() {
+            let diag = u[(k, k)];
+            debug_assert!(diag != 0.0, "trsm_upper: zero diagonal at {k}");
+            x_col[k] /= diag;
+            let s = x_col[k];
+            if s == 0.0 {
+                continue;
+            }
+            axpy1(&mut x_col[..k], &u.col(k)[..k], s);
+        }
+    }
+}
+
+/// Portable explicit-width fallback: the skeletons over `[f64; 4]` blocks
+/// in safe Rust. Same per-element operation sequence as the scalar kernels.
+pub mod chunked {
+    use crate::view::{MatMut, MatRef};
+
+    /// Four interleaved `c ← c − a·s` streams over one loaded `a` column,
+    /// in aligned 4-row blocks with a scalar tail.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    fn axpy4(
+        c0: &mut [f64],
+        c1: &mut [f64],
+        c2: &mut [f64],
+        c3: &mut [f64],
+        a: &[f64],
+        s0: f64,
+        s1: f64,
+        s2: f64,
+        s3: f64,
+    ) {
+        let m = a.len();
+        let m4 = m - m % 4;
+        let mut i = 0usize;
+        while i < m4 {
+            // Fixed-width block: one `a` load feeds four column updates,
+            // each still round(mul) → round(sub) per element.
+            for l in 0..4 {
+                let av = a[i + l];
+                c0[i + l] -= av * s0;
+                c1[i + l] -= av * s1;
+                c2[i + l] -= av * s2;
+                c3[i + l] -= av * s3;
+            }
+            i += 4;
+        }
+        for i in m4..m {
+            let av = a[i];
+            c0[i] -= av * s0;
+            c1[i] -= av * s1;
+            c2[i] -= av * s2;
+            c3[i] -= av * s3;
+        }
+    }
+
+    /// Two interleaved `c ← c − a·s` streams (trsm register blocking).
+    #[inline(always)]
+    fn axpy2(c0: &mut [f64], c1: &mut [f64], a: &[f64], s0: f64, s1: f64) {
+        let m = a.len();
+        let m4 = m - m % 4;
+        let mut i = 0usize;
+        while i < m4 {
+            for l in 0..4 {
+                let av = a[i + l];
+                c0[i + l] -= av * s0;
+                c1[i + l] -= av * s1;
+            }
+            i += 4;
+        }
+        for i in m4..m {
+            let av = a[i];
+            c0[i] -= av * s0;
+            c1[i] -= av * s1;
+        }
+    }
+
+    /// One `c ← c − a·s` stream in 4-row blocks.
+    #[inline(always)]
+    fn axpy1(c: &mut [f64], a: &[f64], s: f64) {
+        let m = a.len();
+        let m4 = m - m % 4;
+        let mut i = 0usize;
+        while i < m4 {
+            for l in 0..4 {
+                c[i + l] -= a[i + l] * s;
+            }
+            i += 4;
+        }
+        for i in m4..m {
+            c[i] -= a[i] * s;
+        }
+    }
+
+    /// Chunked `C ← C − A·B`; see [`crate::gemm_sub_view`] for the
+    /// contract.
+    pub fn gemm_sub_view(c: MatMut<'_>, a: MatRef<'_>, b: MatRef<'_>) {
+        super::gemm_skeleton(c, a, b, axpy4, axpy1);
+    }
+
+    /// Chunked `X ← L⁻¹·X` (unit lower); see
+    /// [`crate::trsm_lower_unit_view`].
+    pub fn trsm_lower_unit_view(l: MatRef<'_>, x: MatMut<'_>) {
+        super::trsm_lower_skeleton(l, x, axpy2, axpy1);
+    }
+
+    /// Chunked `X ← U⁻¹·X` (upper); see [`crate::trsm_upper_view`].
+    pub fn trsm_upper_view(u: MatRef<'_>, x: MatMut<'_>) {
+        super::trsm_upper_skeleton(u, x, axpy2, axpy1);
+    }
+}
+
+/// AVX2 micro-kernels (x86_64). Only [`best_dispatch`] hands these out, and
+/// only after `is_x86_feature_detected!("avx2")` succeeded; the public
+/// wrappers re-assert detection so a direct call on a non-AVX2 host panics
+/// instead of executing illegal instructions.
+#[cfg(target_arch = "x86_64")]
+pub mod avx2 {
+    #![allow(unsafe_code)]
+
+    use crate::view::{MatMut, MatRef};
+    use std::arch::x86_64::{
+        _mm256_loadu_pd, _mm256_mul_pd, _mm256_set1_pd, _mm256_storeu_pd, _mm256_sub_pd,
+    };
+
+    /// One guard per kernel entry: the intrinsics below are only sound on a
+    /// CPU with AVX2 (the detection macro caches, so this is one relaxed
+    /// atomic load per kernel call).
+    #[inline]
+    fn require_avx2() {
+        assert!(
+            std::arch::is_x86_feature_detected!("avx2"),
+            "avx2 kernels selected on a CPU without AVX2"
+        );
+    }
+
+    /// Four `c ← c − a·s` streams; `_mm256_mul_pd` + `_mm256_sub_pd` per
+    /// lane is exactly the scalar `round(mul)`/`round(sub)` pair (no FMA),
+    /// so lanes match the portable kernel bit for bit.
+    ///
+    /// # Safety
+    /// Requires AVX2; all five slices must hold at least `a.len()`
+    /// elements.
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn axpy4(
+        c0: &mut [f64],
+        c1: &mut [f64],
+        c2: &mut [f64],
+        c3: &mut [f64],
+        a: &[f64],
+        s0: f64,
+        s1: f64,
+        s2: f64,
+        s3: f64,
+    ) {
+        let m = a.len();
+        let m4 = m - m % 4;
+        let (vs0, vs1, vs2, vs3) = (
+            _mm256_set1_pd(s0),
+            _mm256_set1_pd(s1),
+            _mm256_set1_pd(s2),
+            _mm256_set1_pd(s3),
+        );
+        let ap = a.as_ptr();
+        let (p0, p1, p2, p3) = (
+            c0.as_mut_ptr(),
+            c1.as_mut_ptr(),
+            c2.as_mut_ptr(),
+            c3.as_mut_ptr(),
+        );
+        let mut i = 0usize;
+        while i < m4 {
+            // SAFETY: i + 4 <= m <= len of every slice.
+            unsafe {
+                let av = _mm256_loadu_pd(ap.add(i));
+                _mm256_storeu_pd(
+                    p0.add(i),
+                    _mm256_sub_pd(_mm256_loadu_pd(p0.add(i)), _mm256_mul_pd(av, vs0)),
+                );
+                _mm256_storeu_pd(
+                    p1.add(i),
+                    _mm256_sub_pd(_mm256_loadu_pd(p1.add(i)), _mm256_mul_pd(av, vs1)),
+                );
+                _mm256_storeu_pd(
+                    p2.add(i),
+                    _mm256_sub_pd(_mm256_loadu_pd(p2.add(i)), _mm256_mul_pd(av, vs2)),
+                );
+                _mm256_storeu_pd(
+                    p3.add(i),
+                    _mm256_sub_pd(_mm256_loadu_pd(p3.add(i)), _mm256_mul_pd(av, vs3)),
+                );
+            }
+            i += 4;
+        }
+        for i in m4..m {
+            let av = a[i];
+            c0[i] -= av * s0;
+            c1[i] -= av * s1;
+            c2[i] -= av * s2;
+            c3[i] -= av * s3;
+        }
+    }
+
+    /// Two `c ← c − a·s` streams (trsm register blocking).
+    ///
+    /// # Safety
+    /// Requires AVX2; `c0`/`c1` must hold at least `a.len()` elements.
+    #[target_feature(enable = "avx2")]
+    unsafe fn axpy2(c0: &mut [f64], c1: &mut [f64], a: &[f64], s0: f64, s1: f64) {
+        let m = a.len();
+        let m4 = m - m % 4;
+        let (vs0, vs1) = (_mm256_set1_pd(s0), _mm256_set1_pd(s1));
+        let ap = a.as_ptr();
+        let (p0, p1) = (c0.as_mut_ptr(), c1.as_mut_ptr());
+        let mut i = 0usize;
+        while i < m4 {
+            // SAFETY: i + 4 <= m <= len of every slice.
+            unsafe {
+                let av = _mm256_loadu_pd(ap.add(i));
+                _mm256_storeu_pd(
+                    p0.add(i),
+                    _mm256_sub_pd(_mm256_loadu_pd(p0.add(i)), _mm256_mul_pd(av, vs0)),
+                );
+                _mm256_storeu_pd(
+                    p1.add(i),
+                    _mm256_sub_pd(_mm256_loadu_pd(p1.add(i)), _mm256_mul_pd(av, vs1)),
+                );
+            }
+            i += 4;
+        }
+        for i in m4..m {
+            let av = a[i];
+            c0[i] -= av * s0;
+            c1[i] -= av * s1;
+        }
+    }
+
+    /// One `c ← c − a·s` stream.
+    ///
+    /// # Safety
+    /// Requires AVX2; `c` must hold at least `a.len()` elements.
+    #[target_feature(enable = "avx2")]
+    unsafe fn axpy1(c: &mut [f64], a: &[f64], s: f64) {
+        let m = a.len();
+        let m4 = m - m % 4;
+        let vs = _mm256_set1_pd(s);
+        let ap = a.as_ptr();
+        let cp = c.as_mut_ptr();
+        let mut i = 0usize;
+        while i < m4 {
+            // SAFETY: i + 4 <= m <= len of both slices.
+            unsafe {
+                let av = _mm256_loadu_pd(ap.add(i));
+                _mm256_storeu_pd(
+                    cp.add(i),
+                    _mm256_sub_pd(_mm256_loadu_pd(cp.add(i)), _mm256_mul_pd(av, vs)),
+                );
+            }
+            i += 4;
+        }
+        for i in m4..m {
+            c[i] -= a[i] * s;
+        }
+    }
+
+    /// AVX2 `C ← C − A·B`; see [`crate::gemm_sub_view`] for the contract.
+    pub fn gemm_sub_view(c: MatMut<'_>, a: MatRef<'_>, b: MatRef<'_>) {
+        require_avx2();
+        super::gemm_skeleton(
+            c,
+            a,
+            b,
+            // SAFETY: AVX2 presence asserted above; the skeleton passes
+            // equal-length column slices.
+            |c0, c1, c2, c3, a, s0, s1, s2, s3| unsafe { axpy4(c0, c1, c2, c3, a, s0, s1, s2, s3) },
+            |c, a, s| unsafe { axpy1(c, a, s) },
+        );
+    }
+
+    /// AVX2 `X ← L⁻¹·X` (unit lower); see [`crate::trsm_lower_unit_view`].
+    pub fn trsm_lower_unit_view(l: MatRef<'_>, x: MatMut<'_>) {
+        require_avx2();
+        // SAFETY: AVX2 presence asserted above.
+        super::trsm_lower_skeleton(
+            l,
+            x,
+            |c0, c1, a, s0, s1| unsafe { axpy2(c0, c1, a, s0, s1) },
+            |c, a, s| unsafe { axpy1(c, a, s) },
+        );
+    }
+
+    /// AVX2 `X ← U⁻¹·X` (upper); see [`crate::trsm_upper_view`].
+    pub fn trsm_upper_view(u: MatRef<'_>, x: MatMut<'_>) {
+        require_avx2();
+        // SAFETY: AVX2 presence asserted above.
+        super::trsm_upper_skeleton(
+            u,
+            x,
+            |c0, c1, a, s0, s1| unsafe { axpy2(c0, c1, a, s0, s1) },
+            |c, a, s| unsafe { axpy1(c, a, s) },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DenseMat;
+
+    fn pseudo_mat(r: usize, c: usize, seed: u64) -> DenseMat {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        DenseMat::from_fn(r, c, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 2000) as f64 / 1000.0 - 1.0
+        })
+    }
+
+    /// Every compiled SIMD variant matches the portable kernels bit for bit
+    /// on ragged shapes (the proptest suite widens this; this is the quick
+    /// deterministic check).
+    #[test]
+    fn variants_match_portable_bitwise() {
+        let mut tables = vec![chunked_dispatch()];
+        let best = best_dispatch();
+        if best.name() != "simd-chunked" {
+            tables.push(best);
+        }
+        for d in tables {
+            for (m, k, n) in [(1, 1, 1), (5, 3, 2), (7, 7, 7), (66, 65, 33), (130, 5, 6)] {
+                let a = pseudo_mat(m, k, 7);
+                let b = pseudo_mat(k, n, 8);
+                let c0 = pseudo_mat(m, n, 9);
+                let mut c_ref = c0.clone();
+                crate::gemm_sub_view(c_ref.as_view_mut(), a.as_view(), b.as_view());
+                let mut c_simd = c0.clone();
+                d.gemm_sub(c_simd.as_view_mut(), a.as_view(), b.as_view());
+                assert_eq!(
+                    c_ref.data(),
+                    c_simd.data(),
+                    "{}: gemm {m}x{k}x{n}",
+                    d.name()
+                );
+            }
+            for (n, rhs) in [(1, 1), (4, 3), (17, 5), (48, 16)] {
+                let l = pseudo_mat(n, n, 10);
+                let x0 = pseudo_mat(n, rhs, 11);
+                let mut x_ref = x0.clone();
+                crate::trsm_lower_unit_view(l.as_view(), x_ref.as_view_mut());
+                let mut x_simd = x0.clone();
+                d.trsm_lower_unit(l.as_view(), x_simd.as_view_mut());
+                assert_eq!(
+                    x_ref.data(),
+                    x_simd.data(),
+                    "{}: trsm_l {n}x{rhs}",
+                    d.name()
+                );
+
+                let mut u = pseudo_mat(n, n, 12);
+                for i in 0..n {
+                    u[(i, i)] = 2.0 + u[(i, i)].abs();
+                }
+                let mut y_ref = x0.clone();
+                crate::trsm_upper_view(u.as_view(), y_ref.as_view_mut());
+                let mut y_simd = x0.clone();
+                d.trsm_upper(u.as_view(), y_simd.as_view_mut());
+                assert_eq!(
+                    y_ref.data(),
+                    y_simd.data(),
+                    "{}: trsm_u {n}x{rhs}",
+                    d.name()
+                );
+            }
+        }
+    }
+}

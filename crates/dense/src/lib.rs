@@ -16,21 +16,29 @@
 //! * [`apply_row_swaps`] / [`Pivots`] — the pivot-sequence representation
 //!   shared with the sparse driver;
 //! * [`lu_full`], [`lu_solve`] — full dense LU, the oracle the test-suites
-//!   compare against.
+//!   compare against;
+//! * [`KernelChoice`] / [`Dispatch`] — kernel selection: the portable scalar
+//!   kernels above are the default, and the `simd` cargo feature adds
+//!   explicit-width `f64x4` variants (`kernels::simd`) that produce
+//!   bit-for-bit identical factors (see the contract on [`gemm_sub_view`]).
 
 // Index-based loops are the natural idiom for the numerical kernels and
 // symbolic algorithms in this crate; iterator rewrites obscure the maths.
 #![allow(clippy::needless_range_loop)]
-#![forbid(unsafe_code)]
+// The only unsafe in this crate is the AVX2 micro-kernel module compiled
+// under the `simd` feature; the default build still forbids unsafe outright.
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![cfg_attr(feature = "simd", deny(unsafe_code))]
 #![warn(missing_docs)]
 
-mod kernels;
+pub mod kernels;
 mod lu;
 mod mat;
 mod view;
 
 pub use kernels::{
     gemm_sub, gemm_sub_view, trsm_lower_unit, trsm_lower_unit_view, trsm_upper, trsm_upper_view,
+    Dispatch, KernelChoice,
 };
 pub use lu::{
     apply_row_swaps, lu_full, lu_panel, lu_panel_with_rule, lu_solve, PanelError, PivotRule, Pivots,

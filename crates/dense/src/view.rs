@@ -149,6 +149,16 @@ impl<'a> MatMut<'a> {
         }
     }
 
+    /// Splits columns `j1 < j2` into two disjoint mutable column slices
+    /// (columns never overlap because `ld ≥ nrows`).
+    pub fn two_cols_mut(&mut self, j1: usize, j2: usize) -> (&mut [f64], &mut [f64]) {
+        assert!(j1 < j2 && j2 < self.ncols, "column pair out of order/range");
+        let (m, ld) = (self.nrows, self.ld);
+        let (_, rest) = self.data.split_at_mut(j1 * ld);
+        let (a, rest) = rest.split_at_mut((j2 - j1) * ld);
+        (&mut a[..m], &mut rest[..m])
+    }
+
     /// Splits four consecutive columns `j..j+4` into disjoint mutable
     /// column slices (columns never overlap because `ld ≥ nrows`).
     pub fn four_cols_mut(&mut self, j: usize) -> (&mut [f64], &mut [f64], &mut [f64], &mut [f64]) {

@@ -1,0 +1,183 @@
+//! Property test: every kernel variant is **bitwise identical** to the
+//! portable scalar kernels.
+//!
+//! The dispatch layer's contract (documented on `gemm_sub_view`) is that a
+//! `KernelChoice` changes only throughput, never bits: every variant
+//! performs the same per-element IEEE-754 operation sequence, so the
+//! output a `Dispatch` produces is independent of the selected table.
+//! This suite drives random **ragged** shapes — dimensions deliberately not
+//! multiples of the 4-wide vector width, including 0- and 1-extent edge
+//! panels — through both full and strided sub-views (leading dimension
+//! larger than the row count, exactly how stacked-panel blocks reach the
+//! kernels) and compares every output bit for bit, for each table
+//! `Dispatch::resolve` can hand out in this build.
+
+use proptest::prelude::*;
+use splu_dense::{DenseMat, Dispatch, KernelChoice};
+
+/// Every distinct kernel table reachable in this build: portable always;
+/// with the `simd` feature also the chunked fallback and (on hosts with
+/// AVX2) the AVX2 table resolved by `KernelChoice::Simd`.
+fn all_tables() -> Vec<Dispatch> {
+    #[allow(unused_mut)]
+    let mut tables = vec![Dispatch::resolve(KernelChoice::Portable)];
+    #[cfg(feature = "simd")]
+    {
+        tables.push(splu_dense::kernels::simd::chunked_dispatch());
+        let best = Dispatch::resolve(KernelChoice::Simd);
+        if best.name() != "simd-chunked" {
+            tables.push(best);
+        }
+    }
+    tables
+}
+
+fn bits(m: &DenseMat) -> Vec<u64> {
+    m.data().iter().map(|x| x.to_bits()).collect()
+}
+
+/// A matrix of "awkward" doubles: mixed magnitudes, signs, exact and signed
+/// zeros — values whose rounding and zero-skip behaviour expose any
+/// deviation from the scalar operation sequence.
+fn arb_mat(rows: usize, cols: usize) -> impl Strategy<Value = DenseMat> {
+    collection::vec((0usize..8, -1.0e3f64..1.0e3), rows * cols).prop_map(move |v| {
+        DenseMat::from_fn(rows, cols, |i, j| {
+            let (class, x) = v[i + j * rows];
+            match class {
+                0 => 0.0,
+                1 => -0.0,
+                2 => x * 1.0e-10,
+                _ => x,
+            }
+        })
+    })
+}
+
+/// One ragged dimension: 0 and 1 (edge panels), a value past one `KB=64`
+/// block boundary, or a small non-multiple-of-4 extent.
+fn ragged_dim() -> impl Strategy<Value = usize> + Clone {
+    (0usize..10, 2usize..23).prop_map(|(sel, r)| match sel {
+        0 => 0,
+        1 => 1,
+        2 => 67,
+        _ => r,
+    })
+}
+
+/// `(A, B, C)` gemm operands with independently ragged `m`, `k`, `n`
+/// (dimensions recoverable from the matrices themselves).
+fn gemm_case() -> impl Strategy<Value = (DenseMat, DenseMat, DenseMat)> {
+    (ragged_dim(), ragged_dim(), ragged_dim())
+        .prop_flat_map(|(m, k, n)| (arb_mat(m, k), arb_mat(k, n), arb_mat(m, n)))
+}
+
+/// Strided gemm operands: taller backing matrices plus the row offset the
+/// kernels should view them at. `k`/`n` stay ≥ 1 — a stacked panel always
+/// has at least one column, and `row_range` on a 0-column matrix has no
+/// backing storage to offset into.
+fn strided_gemm_case() -> impl Strategy<Value = (usize, DenseMat, DenseMat, DenseMat)> {
+    (ragged_dim(), ragged_dim(), ragged_dim(), 1usize..5).prop_flat_map(|(m, k, n, pad)| {
+        let (k, n) = (k.max(1), n.max(1));
+        (
+            Just(pad),
+            arb_mat(m + pad, k),
+            arb_mat(k, n),
+            arb_mat(m + pad, n),
+        )
+    })
+}
+
+/// `(L-candidate, U-candidate, X)` trsm operands with ragged right-hand
+/// sides (diagonals fixed up in the test body).
+fn trsm_case() -> impl Strategy<Value = (DenseMat, DenseMat, DenseMat)> {
+    let n = (0usize..10, 2usize..21).prop_map(|(sel, r)| match sel {
+        0 | 1 => 1,
+        2 => 35,
+        _ => r,
+    });
+    let rhs = (0usize..10, 1usize..18).prop_map(|(sel, r)| match sel {
+        0 => 0,
+        1 | 2 => 1,
+        _ => r,
+    });
+    (n, rhs).prop_flat_map(|(n, rhs)| (arb_mat(n, n), arb_mat(n, n), arb_mat(n, rhs)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `C ← C − A·B` matches the portable kernel bitwise on ragged shapes.
+    #[test]
+    fn gemm_sub_bitwise_identical((a, b, c0) in gemm_case()) {
+        let mut c_ref = c0.clone();
+        splu_dense::gemm_sub_view(c_ref.as_view_mut(), a.as_view(), b.as_view());
+
+        for d in all_tables() {
+            let mut c = c0.clone();
+            d.gemm_sub(c.as_view_mut(), a.as_view(), b.as_view());
+            prop_assert_eq!(
+                bits(&c), bits(&c_ref),
+                "{}: gemm {}x{}x{}", d.name(), a.nrows(), a.ncols(), b.ncols()
+            );
+        }
+    }
+
+    /// Same check through strided row-range views: the kernels see
+    /// `ld > nrows`, as they do on stacked-panel sub-blocks.
+    #[test]
+    fn gemm_sub_bitwise_identical_strided((pad, a_full, b, c_full) in strided_gemm_case()) {
+        let m = a_full.nrows() - pad;
+        let mut c_ref = c_full.clone();
+        splu_dense::gemm_sub_view(
+            c_ref.row_range_mut(pad..pad + m),
+            a_full.row_range(pad..pad + m),
+            b.as_view(),
+        );
+
+        for d in all_tables() {
+            let mut c = c_full.clone();
+            d.gemm_sub(
+                c.row_range_mut(pad..pad + m),
+                a_full.row_range(pad..pad + m),
+                b.as_view(),
+            );
+            prop_assert_eq!(
+                bits(&c), bits(&c_ref),
+                "{}: strided gemm {}x{}x{} pad {}",
+                d.name(), m, a_full.ncols(), b.ncols(), pad
+            );
+        }
+    }
+
+    /// Both triangular solves match bitwise on ragged right-hand sides,
+    /// including 0- and 1-column edge panels.
+    #[test]
+    fn trsm_bitwise_identical((mut l, mut u, x0) in trsm_case()) {
+        let n = l.nrows();
+        for i in 0..n {
+            l[(i, i)] = 1.0;
+            u[(i, i)] = 3.0 + u[(i, i)].abs();
+        }
+
+        let mut xl_ref = x0.clone();
+        splu_dense::trsm_lower_unit_view(l.as_view(), xl_ref.as_view_mut());
+        let mut xu_ref = x0.clone();
+        splu_dense::trsm_upper_view(u.as_view(), xu_ref.as_view_mut());
+
+        for d in all_tables() {
+            let mut xl = x0.clone();
+            d.trsm_lower_unit(l.as_view(), xl.as_view_mut());
+            prop_assert_eq!(
+                bits(&xl), bits(&xl_ref),
+                "{}: trsm_lower {}x{}", d.name(), n, x0.ncols()
+            );
+
+            let mut xu = x0.clone();
+            d.trsm_upper(u.as_view(), xu.as_view_mut());
+            prop_assert_eq!(
+                bits(&xu), bits(&xu_ref),
+                "{}: trsm_upper {}x{}", d.name(), n, x0.ncols()
+            );
+        }
+    }
+}

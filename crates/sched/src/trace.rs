@@ -172,6 +172,10 @@ pub struct SchedStats {
     /// (`BlockMatrix::panel_copy_count`; zero for the zero-copy layout).
     /// Left 0 by the raw executor — the numeric drivers fill it.
     pub panel_copies: usize,
+    /// Dense kernel implementation the numeric layer ran through
+    /// (`"portable"`, `"simd-avx2"`, `"simd-chunked"`). Left `""` by the
+    /// raw executor — the numeric drivers fill it.
+    pub kernel: &'static str,
 }
 
 impl SchedStats {
@@ -533,6 +537,7 @@ pub(crate) fn assemble_report(
         tasks_started,
         tasks_retired,
         panel_copies: 0,
+        kernel: "",
     };
     let trace = (config.mode == TraceMode::Full).then_some(ExecTrace {
         nthreads,
@@ -629,6 +634,7 @@ mod tests {
             tasks_started: 3,
             tasks_retired: 3,
             panel_copies: 0,
+            kernel: "portable",
         };
         assert!((stats.busy_total() - 3.0).abs() < 1e-12);
         assert!((stats.load_imbalance() - 2.0 / 1.5).abs() < 1e-12);

@@ -5,7 +5,8 @@
 //! `parsplu` binary is a thin wrapper.
 
 use splu_core::{
-    analyze, estimate_inverse_1norm, Options, OrderingChoice, PivotRule, SparseLu, TaskGraphKind,
+    analyze, estimate_inverse_1norm, KernelChoice, Options, OrderingChoice, PivotRule, SparseLu,
+    TaskGraphKind,
 };
 use splu_matgen::{manufactured_rhs, paper_matrix, Scale};
 use splu_sched::Mapping;
@@ -36,6 +37,9 @@ OPTIONS:
   --refine              one step of iterative refinement
   --transpose           solve the transposed system instead
   --rule partial|threshold:<tau>|diagonal   pivot-selection rule [partial]
+  --kernels portable|simd|auto   dense kernel implementation      [portable]
+                        (simd/auto need the `simd` cargo feature; factors
+                        are bitwise identical under every choice)
   --dot-forest <file>   (analyze) write the block eforest as Graphviz DOT
   --dot-graph <file>    (analyze) write the task graph as Graphviz DOT
   --rhs <file>          (solve) right-hand side, one value per line
@@ -114,6 +118,15 @@ fn parse_flags(args: &[String]) -> Result<Cli, String> {
                     PivotRule::Threshold(tau)
                 } else {
                     return Err(format!("unknown pivot rule `{v}`"));
+                };
+            }
+            "--kernels" => {
+                let v = it.next().ok_or("--kernels needs a value")?;
+                cli.opts.kernels = match v.as_str() {
+                    "portable" => KernelChoice::Portable,
+                    "simd" => KernelChoice::Simd,
+                    "auto" => KernelChoice::Auto,
+                    _ => return Err(format!("unknown kernel choice `{v}`")),
                 };
             }
             "--no-postorder" => cli.opts.postorder = false,

@@ -59,6 +59,29 @@ fn gen_analyze_solve_condest_roundtrip() {
 }
 
 #[test]
+fn kernel_choice_is_accepted_and_solution_invariant() {
+    let path = tmp("kernels");
+    run(&args(&["gen", "saylr4", &path, "--reduced"])).unwrap();
+    let solve = |choice: &str| {
+        let out = tmp(&format!("kernels_x_{choice}"));
+        run(&args(&["solve", &path, "--kernels", choice, "--out", &out])).unwrap();
+        let x = std::fs::read_to_string(&out).unwrap();
+        let _ = std::fs::remove_file(&out);
+        x
+    };
+    let portable = solve("portable");
+    // Bitwise identity of the printed solution under every kernel choice
+    // (simd/auto fall back to portable without the `simd` cargo feature;
+    // with it, the SIMD tables must reproduce the same bits).
+    assert_eq!(portable, solve("simd"));
+    assert_eq!(portable, solve("auto"));
+    assert!(run(&args(&["solve", &path, "--kernels", "avx9000"]))
+        .unwrap_err()
+        .contains("unknown kernel choice"));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn flag_errors_are_reported() {
     let path = tmp("flags");
     run(&args(&["gen", "sherman5", &path, "--reduced"])).unwrap();

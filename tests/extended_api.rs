@@ -4,8 +4,8 @@
 //! suite at reduced scale.
 
 use parsplu::core::{
-    analyze, estimate_inverse_1norm, factor_left_looking, factor_with_fine_graph, BlockMatrix,
-    Options, SparseLu, TaskGraphKind,
+    analyze, estimate_inverse_1norm, factor_left_looking, factor_numeric_with, BlockMatrix,
+    NumericRequest, Options, SparseLu, TaskGraphKind,
 };
 use parsplu::matgen::{manufactured_rhs, paper_suite, Scale};
 use parsplu::sched::{block_forest, build_fine_graph, Mapping};
@@ -61,7 +61,7 @@ fn left_looking_and_fine_execution_match_the_driver_numerically() {
         let forest = block_forest(&sym.block_structure);
         let fg = build_fine_graph(&sym.block_structure, &forest);
         let bm_fine = BlockMatrix::assemble(&permuted, &sym.block_structure);
-        factor_with_fine_graph(&bm_fine, &fg, 2, 0.0).unwrap();
+        factor_numeric_with(&bm_fine, &NumericRequest::fine(&fg).threads(2)).unwrap();
 
         // Solve through each factored storage via the permuted interface.
         for bm in [&bm_left, &bm_fine] {
