@@ -237,6 +237,10 @@ pub struct BlockMatrix {
     columns: Vec<RwLock<ColumnData>>,
     stacks: Vec<StackMap>,
     n: usize,
+    /// Global scalar column index of the first column of each block column —
+    /// the single source callers use to map panel-local pivot columns to
+    /// factorization-order column indices.
+    col_starts: Vec<usize>,
     /// Panel gather/scatter copies performed since assembly — instrumenting
     /// the zero-copy claim; see [`Self::panel_copy_count`].
     panel_copies: AtomicUsize,
@@ -290,10 +294,12 @@ impl BlockMatrix {
             }));
             stacks.push(StackMap { l_rows, offsets });
         }
+        let col_starts = (0..nb).map(|jb| part.range(jb).start).collect();
         let mut bm = BlockMatrix {
             columns,
             stacks,
             n: part.n(),
+            col_starts,
             panel_copies: AtomicUsize::new(0),
         };
         // Scatter values.
@@ -361,6 +367,47 @@ impl BlockMatrix {
     /// The stacked-panel map of block column `k`.
     pub fn stack(&self, k: usize) -> &StackMap {
         &self.stacks[k]
+    }
+
+    /// Global (factorization-order) scalar column index of the first column
+    /// of block column `k` — the offset that maps a panel-local column to
+    /// its global index, so every caller reports breakdown positions in the
+    /// same coordinate system.
+    pub fn global_col_start(&self, k: usize) -> usize {
+        self.col_starts[k]
+    }
+
+    /// The matrix 1-norm `‖A‖₁` (maximum absolute column sum) of the stored
+    /// values. Meaningful on the *assembled* values, before factoring — the
+    /// perturbation magnitude `eps·‖A‖₁` of GESP-style static pivoting is
+    /// computed from it.
+    pub fn one_norm(&self) -> f64 {
+        let mut norm = 0.0f64;
+        for col in &self.columns {
+            let col = col.read();
+            for lj in 0..col.width() {
+                let mut sum: f64 = col.panel.col(lj).iter().map(|x| x.abs()).sum();
+                for blk in &col.ublocks {
+                    sum += blk.col(lj).iter().map(|x| x.abs()).sum::<f64>();
+                }
+                norm = norm.max(sum);
+            }
+        }
+        norm
+    }
+
+    /// Largest absolute stored value (`max |a_ij|` on the assembled values;
+    /// `max |l/u_ij|` after factoring) — the two ends of the element-growth
+    /// estimate.
+    pub fn max_abs(&self) -> f64 {
+        self.columns
+            .iter()
+            .map(|c| {
+                let c = c.read();
+                let u = c.ublocks.iter().fold(0.0f64, |m, b| m.max(b.max_abs()));
+                u.max(c.panel.max_abs())
+            })
+            .fold(0.0f64, f64::max)
     }
 
     /// Records one panel gather or scatter copy. The panel-major layout
@@ -504,6 +551,31 @@ mod tests {
             return;
         }
         panic!("fixture has no column with both regions");
+    }
+
+    #[test]
+    fn global_col_start_and_norms_match_dense_reference() {
+        let (a, bs) = fig1_setup();
+        let bm = BlockMatrix::assemble(&a, &bs);
+        for k in 0..bm.num_block_cols() {
+            assert_eq!(bm.global_col_start(k), bs.partition.range(k).start);
+        }
+        let n = a.ncols();
+        let mut dense = vec![0.0f64; n * n];
+        for (i, j, v) in a.triplets() {
+            dense[j * n + i] = v;
+        }
+        let one = (0..n)
+            .map(|j| {
+                dense[j * n..(j + 1) * n]
+                    .iter()
+                    .map(|x| x.abs())
+                    .sum::<f64>()
+            })
+            .fold(0.0f64, f64::max);
+        let mx = dense.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        assert_eq!(bm.one_norm(), one);
+        assert_eq!(bm.max_abs(), mx);
     }
 
     #[test]

@@ -24,6 +24,27 @@ pub enum LuError {
         /// Global column index (in factorization order) of the breakdown.
         column: usize,
     },
+    /// A NaN or infinity in the input matrix values, detected before the
+    /// factorization starts.
+    NonFiniteInput {
+        /// Original (pre-permutation) column index of the offending entry.
+        column: usize,
+    },
+    /// A NaN or infinity surfaced in a pivot region during the
+    /// factorization (overflow-scale element growth).
+    NonFinitePivot {
+        /// Global column index (in factorization order) where it appeared.
+        column: usize,
+    },
+    /// A worker thread panicked during the parallel factorization. The
+    /// executors contain the panic (no unwind, no hang, no poisoned state)
+    /// and the driver reports it as this structured error.
+    WorkerPanic {
+        /// Index of the worker thread that panicked.
+        worker: usize,
+        /// Human-readable description of the task that panicked.
+        task: String,
+    },
     /// Propagated symbolic-phase error.
     Symbolic(SymbolicError),
     /// Propagated substrate error.
@@ -44,6 +65,18 @@ impl std::fmt::Display for LuError {
             }
             LuError::NumericallySingular { column } => {
                 write!(f, "numerically singular at factorization column {column}")
+            }
+            LuError::NonFiniteInput { column } => {
+                write!(f, "non-finite value (NaN/Inf) in input column {column}")
+            }
+            LuError::NonFinitePivot { column } => {
+                write!(
+                    f,
+                    "non-finite pivot region at factorization column {column}"
+                )
+            }
+            LuError::WorkerPanic { worker, task } => {
+                write!(f, "worker {worker} panicked in task {task}")
             }
             LuError::Symbolic(e) => write!(f, "symbolic phase: {e}"),
             LuError::Sparse(e) => write!(f, "sparse substrate: {e}"),
@@ -80,5 +113,17 @@ mod tests {
         assert!(LuError::NotSquare { nrows: 2, ncols: 5 }
             .to_string()
             .contains("2x5"));
+        assert!(LuError::NonFiniteInput { column: 4 }
+            .to_string()
+            .contains('4'));
+        assert!(LuError::NonFinitePivot { column: 9 }
+            .to_string()
+            .contains('9'));
+        let wp = LuError::WorkerPanic {
+            worker: 2,
+            task: "Factor(5)".into(),
+        };
+        assert!(wp.to_string().contains("worker 2"));
+        assert!(wp.to_string().contains("Factor(5)"));
     }
 }

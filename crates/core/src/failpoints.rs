@@ -1,0 +1,88 @@
+//! Deterministic fault-injection points for the robustness test harness.
+//!
+//! Compiled only under the test-only `failpoints` cargo feature. A test
+//! arms one [`FailScenario`] at a time (a process-wide lock serializes
+//! scenarios, so `cargo test`'s default parallelism cannot interleave
+//! them), sets the injection knobs, runs a factorization, and the guard
+//! resets every knob on drop — panicking test bodies included.
+//!
+//! Two injection points exist, both keyed deterministically so a fault
+//! fires at the same place on every thread count and mapping:
+//!
+//! * [`FailScenario::panic_at_factor`] — the `Factor(k)` task body panics
+//!   before touching the panel, exercising the executors' panic
+//!   containment ([`crate::LuError::WorkerPanic`]);
+//! * [`FailScenario::force_breakdown_at`] — the pivot search at one global
+//!   column behaves as if every candidate were below the threshold,
+//!   exercising the breakdown policy
+//!   ([`crate::BreakdownPolicy`]).
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Sentinel for "injection point disarmed".
+const OFF: usize = usize::MAX;
+
+static SCENARIO_LOCK: Mutex<()> = Mutex::new(());
+static PANIC_AT_FACTOR: AtomicUsize = AtomicUsize::new(OFF);
+static FORCE_BREAKDOWN_AT: AtomicUsize = AtomicUsize::new(OFF);
+
+fn reset() {
+    PANIC_AT_FACTOR.store(OFF, Ordering::SeqCst);
+    FORCE_BREAKDOWN_AT.store(OFF, Ordering::SeqCst);
+}
+
+/// RAII guard over one fault-injection scenario: creation takes the
+/// process-wide scenario lock and clears every knob; drop clears them
+/// again, so a panicking test cannot leak an armed failpoint into the
+/// next one.
+pub struct FailScenario {
+    _guard: parking_lot::MutexGuard<'static, ()>,
+}
+
+impl FailScenario {
+    /// Starts a clean scenario (all injection points disarmed), blocking
+    /// until any other live scenario is dropped.
+    pub fn new() -> Self {
+        let guard = SCENARIO_LOCK.lock();
+        reset();
+        FailScenario { _guard: guard }
+    }
+
+    /// Arms a panic inside the `Factor(k)` task body for block column `k`.
+    pub fn panic_at_factor(&self, k: usize) {
+        PANIC_AT_FACTOR.store(k, Ordering::SeqCst);
+    }
+
+    /// Forces the pivot search at **global** column `col` to report no
+    /// acceptable pivot, as if every candidate were below the threshold.
+    pub fn force_breakdown_at(&self, col: usize) {
+        FORCE_BREAKDOWN_AT.store(col, Ordering::SeqCst);
+    }
+}
+
+impl Default for FailScenario {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for FailScenario {
+    fn drop(&mut self) {
+        reset();
+    }
+}
+
+/// Checked by the `Factor(k)` task body: panics if this block column is
+/// the armed injection target.
+pub(crate) fn maybe_panic_factor(k: usize) {
+    if PANIC_AT_FACTOR.load(Ordering::SeqCst) == k {
+        panic!("failpoint: injected panic in Factor({k})");
+    }
+}
+
+/// The armed forced-breakdown global column, if any.
+pub(crate) fn forced_breakdown_column() -> Option<usize> {
+    let v = FORCE_BREAKDOWN_AT.load(Ordering::SeqCst);
+    (v != OFF).then_some(v)
+}

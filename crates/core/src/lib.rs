@@ -29,6 +29,8 @@
 mod blocks;
 mod costs;
 mod error;
+#[cfg(feature = "failpoints")]
+pub mod failpoints;
 pub mod gp;
 mod numeric;
 mod numeric_fine;
@@ -41,9 +43,9 @@ pub use costs::{estimate_task_costs, total_flops};
 pub use error::LuError;
 #[allow(deprecated)]
 pub use numeric::{
-    factor_left_looking, factor_task, factor_task_with_rule, factor_with_graph,
-    factor_with_graph_rule, factor_with_graph_rule_traced, factor_with_graph_traced, update_task,
-    update_task_with,
+    factor_left_looking, factor_task, factor_task_with_policy, factor_task_with_rule,
+    factor_with_graph, factor_with_graph_rule, factor_with_graph_rule_traced,
+    factor_with_graph_traced, update_task, update_task_with,
 };
 #[allow(deprecated)]
 pub use numeric_fine::{
@@ -51,12 +53,14 @@ pub use numeric_fine::{
     trsm_task, trsm_task_with,
 };
 pub use psolve::solve_permuted_parallel;
-pub use request::{factor_numeric_with, GraphRef, NumericRequest};
+pub use request::{factor_numeric_with, BreakdownPolicy, GraphRef, NumericRequest};
 pub use solve::{
     det_permuted, growth_factor, solve_many_permuted, solve_permuted, solve_transposed_permuted,
 };
-pub use splu_dense::{Dispatch, KernelChoice, PivotRule};
-pub use splu_sched::{ExecReport, ExecTrace, SchedStats, TraceConfig, TraceMode, WorkerStats};
+pub use splu_dense::{Dispatch, KernelChoice, PanelBreakdown, PivotRule};
+pub use splu_sched::{
+    ExecReport, ExecTrace, FactorHealth, SchedStats, TaskPanic, TraceConfig, TraceMode, WorkerStats,
+};
 
 mod condest;
 pub use condest::estimate_inverse_1norm;
@@ -121,6 +125,10 @@ pub struct Options {
     /// `simd` cargo feature is compiled in — factors are bit-identical
     /// either way).
     pub kernels: KernelChoice,
+    /// What to do at a column with no acceptable pivot: fail
+    /// ([`BreakdownPolicy::Error`], the default) or perturb the diagonal
+    /// and recover through refinement ([`BreakdownPolicy::Perturb`]).
+    pub breakdown: BreakdownPolicy,
 }
 
 impl Default for Options {
@@ -136,6 +144,7 @@ impl Default for Options {
             pivot_rule: PivotRule::Partial,
             equilibrate: false,
             kernels: KernelChoice::Portable,
+            breakdown: BreakdownPolicy::Error,
         }
     }
 }
@@ -234,7 +243,8 @@ impl SymbolicLu {
             &NumericRequest::coarse(graph, mapping)
                 .threads(threads)
                 .pivot_threshold(pivot_threshold)
-                .kernels(self.opts.kernels),
+                .kernels(self.opts.kernels)
+                .breakdown(self.opts.breakdown),
         )?;
         Ok(NumericLu { sym: self, bm })
     }
@@ -360,11 +370,26 @@ pub struct SparseLu {
     sym: SymbolicLu,
     bm: BlockMatrix,
     equil: Option<splu_sparse::scaling::Equilibration>,
+    /// Robustness report of the numeric phase (perturbed columns, growth,
+    /// condition estimate); trivial unless the breakdown policy perturbed.
+    health: FactorHealth,
+    /// The original input, retained when the factorization perturbed
+    /// pivots — [`Self::solve`] then refines against it automatically.
+    refine_with: Option<CscMatrix>,
 }
 
 impl SparseLu {
     /// Analyzes and factorizes `a` with the given options.
+    ///
+    /// Input values are validated up front: any NaN or infinity is rejected
+    /// as [`LuError::NonFiniteInput`] before the (parallel) numeric phase
+    /// can propagate it silently.
     pub fn factor(a: &CscMatrix, opts: &Options) -> Result<SparseLu, LuError> {
+        for (_, j, v) in a.triplets() {
+            if !v.is_finite() {
+                return Err(LuError::NonFiniteInput { column: j });
+            }
+        }
         let equil = opts
             .equilibrate
             .then(|| splu_sparse::scaling::equilibrate(a));
@@ -373,19 +398,48 @@ impl SparseLu {
         let permuted = sym.permute_matrix(work);
         let graph = sym.build_graph(opts.task_graph);
         let bm = BlockMatrix::assemble(&permuted, &sym.block_structure);
-        factor_numeric_with(
+        let report = factor_numeric_with(
             &bm,
             &NumericRequest::coarse(&graph, opts.mapping)
                 .threads(opts.threads)
                 .pivot_rule(opts.pivot_rule)
                 .pivot_threshold(opts.pivot_threshold)
-                .kernels(opts.kernels),
+                .kernels(opts.kernels)
+                .breakdown(opts.breakdown),
         )?;
-        Ok(SparseLu { sym, bm, equil })
+        let mut lu = SparseLu {
+            sym,
+            bm,
+            equil,
+            health: report.health,
+            refine_with: None,
+        };
+        if lu.health.is_perturbed() {
+            // The factors are those of a nearby matrix: estimate its
+            // conditioning (Hager–Higham, through the perturbed factors)
+            // and arm automatic refinement against the true input.
+            lu.health.condest = Some(estimate_inverse_1norm(&lu, a.ncols(), 5));
+            lu.refine_with = Some(a.clone());
+        }
+        Ok(lu)
     }
 
-    /// Solves `A x = b`.
+    /// Solves `A x = b`. If the factorization perturbed pivots
+    /// ([`BreakdownPolicy::Perturb`]), the solve automatically routes
+    /// through iterative refinement against the retained input matrix, so
+    /// the returned solution is accurate for `A` itself, not the perturbed
+    /// nearby matrix; check the achieved residual with
+    /// [`splu_sparse::relative_residual`].
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        match &self.refine_with {
+            Some(a) => self.refine(a, b, 1e-12, 20).0,
+            None => self.solve_raw(b),
+        }
+    }
+
+    /// One forward/backward substitution through the stored factors, with
+    /// no refinement — the raw factors' answer.
+    fn solve_raw(&self, b: &[f64]) -> Vec<f64> {
         let scaled_b;
         let rhs: &[f64] = match &self.equil {
             Some(eq) => {
@@ -459,19 +513,33 @@ impl SparseLu {
         tol: f64,
         max_iters: usize,
     ) -> (Vec<f64>, usize) {
-        let mut x = self.solve(b);
+        self.refine(a, b, tol, max_iters)
+    }
+
+    /// Refinement loop over the raw (unrouted) solve — shared by
+    /// [`Self::solve_refined`] and the automatic routing in
+    /// [`Self::solve`], which must not recurse back into itself.
+    fn refine(&self, a: &CscMatrix, b: &[f64], tol: f64, max_iters: usize) -> (Vec<f64>, usize) {
+        let mut x = self.solve_raw(b);
         for it in 0..max_iters {
             if splu_sparse::relative_residual(a, &x, b) <= tol {
                 return (x, it);
             }
             let mut r = b.to_vec();
             a.mat_vec_sub(&x, &mut r);
-            let dx = self.solve(&r);
+            let dx = self.solve_raw(&r);
             for (xi, di) in x.iter_mut().zip(&dx) {
                 *xi += di;
             }
         }
         (x, max_iters)
+    }
+
+    /// The numeric phase's robustness report: perturbed columns, largest
+    /// perturbation, element-growth estimate, and (when perturbed) a
+    /// Hager–Higham condition estimate of the factored nearby matrix.
+    pub fn health(&self) -> &FactorHealth {
+        &self.health
     }
 
     /// Analysis statistics.

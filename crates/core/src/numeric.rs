@@ -22,7 +22,7 @@
 use crate::blocks::BlockMatrix;
 use crate::request::{factor_numeric_with, NumericRequest};
 use crate::LuError;
-use splu_dense::{lu_panel_with_rule, Dispatch, PivotRule};
+use splu_dense::{lu_panel_with_policy, Dispatch, PanelBreakdown, PanelError, PivotRule};
 use splu_sched::{ExecReport, Mapping, TaskGraph, TraceConfig};
 
 /// Factorizes block column `k`: runs panel LU with partial pivoting **in
@@ -39,25 +39,55 @@ pub fn factor_task_with_rule(
     rule: PivotRule,
     pivot_threshold: f64,
 ) -> Result<(), LuError> {
-    let mut col = bm.column(k).write();
-    let piv = lu_panel_with_rule(&mut col.panel, rule, pivot_threshold).map_err(|e| {
-        let splu_dense::PanelError::Singular { column } = e;
-        // Report the global column (in factorization order).
-        LuError::NumericallySingular {
-            column: stack_global_col(bm, k, column),
-        }
-    })?;
-    col.pivots = Some(piv);
-    Ok(())
+    factor_task_with_policy(bm, k, rule, pivot_threshold, PanelBreakdown::Error, None).map(|_| ())
 }
 
-/// Global (factorization-order) column index of panel-local column `c` of
-/// block column `k` — the diagonal block starts the stack, so position `c`
-/// of the stack is row/column `start(k) + c`.
-fn stack_global_col(bm: &BlockMatrix, k: usize, c: usize) -> usize {
-    // Widths of blocks 0..k sum to the start of block k; recover it from the
-    // stack maps (the diagonal block of column t has width offsets[1]).
-    (0..k).map(|t| bm.stack(t).offsets[1]).sum::<usize>() + c
+/// [`factor_task_with_rule`] under an explicit breakdown policy: with
+/// [`PanelBreakdown::Perturb`] a column with no acceptable pivot gets its
+/// diagonal replaced instead of failing, and the perturbed columns are
+/// returned as **global** (factorization-order) column indices with their
+/// perturbation magnitudes. `force_breakdown_at` deterministically treats
+/// that global column as below threshold (the fault-injection hook).
+///
+/// Every column index this function emits — in errors and in the perturbed
+/// list — is global, mapped through [`BlockMatrix::global_col_start`], so
+/// callers never remap panel-local indices themselves.
+pub fn factor_task_with_policy(
+    bm: &BlockMatrix,
+    k: usize,
+    rule: PivotRule,
+    pivot_threshold: f64,
+    breakdown: PanelBreakdown,
+    force_breakdown_at: Option<usize>,
+) -> Result<Vec<(usize, f64)>, LuError> {
+    let start = bm.global_col_start(k);
+    let mut col = bm.column(k).write();
+    let width = col.width();
+    let force_local = force_breakdown_at
+        .filter(|&g| g >= start && g < start + width)
+        .map(|g| g - start);
+    let out = lu_panel_with_policy(
+        &mut col.panel,
+        rule,
+        pivot_threshold,
+        breakdown,
+        force_local,
+    )
+    .map_err(|e| match e {
+        // Report the global column (in factorization order).
+        PanelError::Singular { column } => LuError::NumericallySingular {
+            column: start + column,
+        },
+        PanelError::NonFinite { column } => LuError::NonFinitePivot {
+            column: start + column,
+        },
+    })?;
+    col.pivots = Some(out.pivots);
+    Ok(out
+        .perturbed
+        .into_iter()
+        .map(|(c, v)| (start + c, v))
+        .collect())
 }
 
 /// Updates block column `j` by the factored block column `k`:

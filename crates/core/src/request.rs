@@ -20,16 +20,47 @@
 //! selected kernels.
 
 use crate::blocks::BlockMatrix;
-use crate::numeric::{factor_task_with_rule, update_task_with};
+use crate::numeric::{factor_task_with_policy, update_task_with};
 use crate::numeric_fine::{apply_task, gemm_task_with, trsm_task_with};
+use crate::solve::growth_factor;
 use crate::LuError;
 use parking_lot::Mutex;
-use splu_dense::{Dispatch, KernelChoice, PivotRule};
+use splu_dense::{Dispatch, KernelChoice, PanelBreakdown, PivotRule};
 use splu_sched::{
     execute_dag_report, execute_traced, ExecReport, FineGraph, FineTask, Mapping, Task, TaskGraph,
     TraceConfig,
 };
 use std::sync::atomic::{AtomicBool, Ordering};
+
+/// What the factorization does at a column whose static structure offers no
+/// pivot above the threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum BreakdownPolicy {
+    /// Stop: the driver returns [`LuError::NumericallySingular`] at the
+    /// first such column (the remaining tasks drain as no-ops).
+    #[default]
+    Error,
+    /// GESP-style static pivoting (cf. SuperLU_DIST): replace the column's
+    /// diagonal by `sign(d)·eps·‖A‖₁`, complete the factorization, and
+    /// report every perturbed column through
+    /// [`splu_sched::FactorHealth`]. The factors are those of a nearby
+    /// matrix, so callers must recover accuracy with iterative refinement
+    /// ([`crate::SparseLu::solve`] does so automatically).
+    Perturb {
+        /// Perturbation magnitude relative to `‖A‖₁`.
+        eps: f64,
+    },
+}
+
+impl BreakdownPolicy {
+    /// The customary perturbation magnitude `√ε ≈ 1.49e-8` (machine
+    /// epsilon's square root, SuperLU_DIST's default).
+    pub fn perturb_default() -> Self {
+        BreakdownPolicy::Perturb {
+            eps: f64::EPSILON.sqrt(),
+        }
+    }
+}
 
 /// Which task dependence graph drives the factorization.
 #[derive(Clone, Copy)]
@@ -64,6 +95,9 @@ pub struct NumericRequest<'g> {
     pub trace: TraceConfig,
     /// Dense kernel selection, resolved once into a [`Dispatch`] table.
     pub kernels: KernelChoice,
+    /// What to do at a column with no acceptable pivot
+    /// ([`BreakdownPolicy::Error`] by default).
+    pub breakdown: BreakdownPolicy,
 }
 
 impl<'g> NumericRequest<'g> {
@@ -87,6 +121,7 @@ impl<'g> NumericRequest<'g> {
             pivot_threshold: 0.0,
             trace: TraceConfig::off(),
             kernels: KernelChoice::Portable,
+            breakdown: BreakdownPolicy::Error,
         }
     }
 
@@ -119,13 +154,23 @@ impl<'g> NumericRequest<'g> {
         self.kernels = kernels;
         self
     }
+
+    /// Sets the breakdown policy.
+    pub fn breakdown(mut self, policy: BreakdownPolicy) -> Self {
+        self.breakdown = policy;
+        self
+    }
 }
 
 /// Runs one numeric factorization described by `req` over the assembled
 /// block storage, returning the executor's [`ExecReport`] (with the
 /// zero-copy counter filled in from the block storage). On numerical
-/// breakdown the remaining tasks drain as no-ops and the first error is
-/// returned.
+/// breakdown under [`BreakdownPolicy::Error`] the remaining tasks drain as
+/// no-ops and the first error is returned; under
+/// [`BreakdownPolicy::Perturb`] the run completes and the perturbed
+/// columns land in the report's [`splu_sched::FactorHealth`]. A worker
+/// panic is contained by the executor and surfaces as
+/// [`LuError::WorkerPanic`] — never as an unwind or a hang.
 ///
 /// This is the single driver behind every public factorization entry point;
 /// the kernel table is resolved from `req.kernels` exactly once here.
@@ -136,10 +181,42 @@ pub fn factor_numeric_with(
     let dispatch = Dispatch::resolve(req.kernels);
     let failed = AtomicBool::new(false);
     let first_error: Mutex<Option<LuError>> = Mutex::new(None);
+    let perturbed: Mutex<Vec<(usize, f64)>> = Mutex::new(Vec::new());
+    // Resolve the policy once: the perturbation is `eps·‖A‖₁` of the
+    // assembled values, and the element-growth estimate needs `max|a_ij|`
+    // from before the factorization overwrites the storage.
+    let (panel_policy, max_abs_a) = match req.breakdown {
+        BreakdownPolicy::Error => (PanelBreakdown::Error, 0.0),
+        BreakdownPolicy::Perturb { eps } => {
+            let norm = bm.one_norm();
+            let value = if norm > 0.0 { eps * norm } else { eps };
+            (PanelBreakdown::Perturb { value }, bm.max_abs())
+        }
+    };
     let factor = |k: usize| {
-        if let Err(e) = factor_task_with_rule(bm, k, req.pivot_rule, req.pivot_threshold) {
-            failed.store(true, Ordering::Release);
-            first_error.lock().get_or_insert(e);
+        #[cfg(feature = "failpoints")]
+        crate::failpoints::maybe_panic_factor(k);
+        #[cfg(feature = "failpoints")]
+        let force = crate::failpoints::forced_breakdown_column();
+        #[cfg(not(feature = "failpoints"))]
+        let force = None;
+        match factor_task_with_policy(
+            bm,
+            k,
+            req.pivot_rule,
+            req.pivot_threshold,
+            panel_policy,
+            force,
+        ) {
+            Ok(p) => {
+                if !p.is_empty() {
+                    perturbed.lock().extend(p);
+                }
+            }
+            Err(e) => {
+                failed.store(true, Ordering::Release);
+                first_error.lock().get_or_insert(e);
+            }
         }
     };
     let mut report = match req.graph {
@@ -183,10 +260,29 @@ pub fn factor_numeric_with(
     };
     report.stats.panel_copies = bm.panel_copy_count();
     report.stats.kernel = dispatch.name();
-    match first_error.into_inner() {
-        Some(e) => Err(e),
-        None => Ok(report),
+    if let Some(e) = first_error.into_inner() {
+        return Err(e);
     }
+    if let Some(p) = report.panic.take() {
+        let task = match req.graph {
+            GraphRef::Coarse { graph, .. } => format!("{:?}", graph.task(p.task)),
+            GraphRef::Fine(fg) => format!("{:?}", fg.tasks()[p.task]),
+        };
+        return Err(LuError::WorkerPanic {
+            worker: p.worker,
+            task,
+        });
+    }
+    let mut perturbed = perturbed.into_inner();
+    if !perturbed.is_empty() {
+        // The perturbed *set* is deterministic (each column's panel decides
+        // independently); only the collection order is scheduling-dependent.
+        perturbed.sort_unstable_by_key(|a| a.0);
+        report.health.max_perturbation = perturbed.iter().fold(0.0f64, |m, &(_, v)| m.max(v));
+        report.health.perturbed_columns = perturbed.into_iter().map(|(c, _)| c).collect();
+        report.health.growth = growth_factor(bm, max_abs_a);
+    }
+    Ok(report)
 }
 
 #[cfg(test)]

@@ -75,6 +75,12 @@ pub enum PanelError {
         /// Panel-local column index where elimination broke down.
         column: usize,
     },
+    /// A NaN or infinity reached the pivot region of this column — either
+    /// present in the input or produced by overflow during elimination.
+    NonFinite {
+        /// Panel-local column index where the non-finite value was found.
+        column: usize,
+    },
 }
 
 impl std::fmt::Display for PanelError {
@@ -83,11 +89,42 @@ impl std::fmt::Display for PanelError {
             PanelError::Singular { column } => {
                 write!(f, "no nonzero pivot available in panel column {column}")
             }
+            PanelError::NonFinite { column } => {
+                write!(f, "non-finite value in panel column {column}")
+            }
         }
     }
 }
 
 impl std::error::Error for PanelError {}
+
+/// What the panel factorization does when a column offers no pivot above
+/// the rejection threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PanelBreakdown {
+    /// Fail with [`PanelError::Singular`] (the classic behaviour).
+    Error,
+    /// GESP-style static pivoting: replace the diagonal entry with
+    /// `sign(d) · value` (a zero diagonal counts as positive), take it as
+    /// the pivot without interchange, record the column, and continue.
+    /// `value` is the perturbation magnitude — typically `ε · ‖A‖₁`,
+    /// precomputed once by the caller; it must be finite and positive.
+    Perturb {
+        /// Replacement magnitude for the broken-down diagonal.
+        value: f64,
+    },
+}
+
+/// Result of a policy-aware panel factorization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PanelOutcome {
+    /// The recorded interchange sequence.
+    pub pivots: Pivots,
+    /// `(panel-local column, perturbation magnitude)` for every column whose
+    /// diagonal was replaced under [`PanelBreakdown::Perturb`]. Empty on a
+    /// breakdown-free factorization.
+    pub perturbed: Vec<(usize, f64)>,
+}
 
 /// Pivot-selection policy for the panel factorization.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -120,13 +157,51 @@ pub fn lu_panel_with_rule(
     rule: PivotRule,
     pivot_threshold: f64,
 ) -> Result<Pivots, PanelError> {
+    lu_panel_with_policy(panel, rule, pivot_threshold, PanelBreakdown::Error, None)
+        .map(|out| out.pivots)
+}
+
+/// [`lu_panel_with_rule`] with an explicit breakdown policy.
+///
+/// Under [`PanelBreakdown::Error`] this is exactly [`lu_panel_with_rule`].
+/// Under [`PanelBreakdown::Perturb`] a column whose best candidate falls at
+/// or below `pivot_threshold` has its diagonal replaced by
+/// `sign(d) · value` and elimination continues; the perturbed columns are
+/// reported in [`PanelOutcome::perturbed`]. Any NaN/∞ in a column's pivot
+/// region fails with [`PanelError::NonFinite`] under either policy.
+///
+/// `force_breakdown_at` is a deterministic fault-injection hook for the
+/// robustness test-suite: the named panel-local column is treated as if its
+/// best candidate fell below the threshold, regardless of the actual
+/// values. Production callers pass `None`.
+pub fn lu_panel_with_policy(
+    panel: &mut DenseMat,
+    rule: PivotRule,
+    pivot_threshold: f64,
+    breakdown: PanelBreakdown,
+    force_breakdown_at: Option<usize>,
+) -> Result<PanelOutcome, PanelError> {
     let m = panel.nrows();
     let w = panel.ncols();
     assert!(m >= w, "panel must be at least as tall as wide");
+    if let PanelBreakdown::Perturb { value } = breakdown {
+        assert!(
+            value.is_finite() && value > 0.0,
+            "perturbation magnitude must be finite and positive"
+        );
+    }
     let mut swaps = Vec::with_capacity(w);
+    let mut perturbed: Vec<(usize, f64)> = Vec::new();
     for c in 0..w {
-        // Pivot search down column c.
+        // Pivot search down column c. A NaN anywhere in the candidate range
+        // would silently poison the comparisons below (every `>` on NaN is
+        // false), so non-finite candidates are rejected explicitly first.
         let col = panel.col(c);
+        for r in c..m {
+            if !col[r].is_finite() {
+                return Err(PanelError::NonFinite { column: c });
+            }
+        }
         let mut best = c;
         let mut best_abs = col[c].abs();
         for r in c + 1..m {
@@ -150,8 +225,19 @@ pub fn lu_panel_with_rule(
                 best_abs = col[c].abs();
             }
         }
-        if best_abs <= pivot_threshold {
-            return Err(PanelError::Singular { column: c });
+        if best_abs <= pivot_threshold || force_breakdown_at == Some(c) {
+            match breakdown {
+                PanelBreakdown::Error => return Err(PanelError::Singular { column: c }),
+                PanelBreakdown::Perturb { value } => {
+                    // Static pivoting: keep the diagonal position, replace
+                    // its value by sign(d)·value (zero counts as positive).
+                    let d = panel[(c, c)];
+                    let sign = if d < 0.0 { -1.0 } else { 1.0 };
+                    panel[(c, c)] = sign * value;
+                    best = c;
+                    perturbed.push((c, value));
+                }
+            }
         }
         swaps.push(best);
         panel.swap_rows(c, best);
@@ -173,7 +259,10 @@ pub fn lu_panel_with_rule(
             }
         }
     }
-    Ok(Pivots { swaps })
+    Ok(PanelOutcome {
+        pivots: Pivots { swaps },
+        perturbed,
+    })
 }
 
 /// Full dense LU with partial pivoting, in place (`getrf`).
@@ -368,5 +457,98 @@ mod tests {
             lu_panel(&mut a, 1e-20),
             Err(PanelError::Singular { column: 0 })
         ));
+    }
+
+    #[test]
+    fn perturb_policy_completes_and_reports_columns() {
+        // Column 0 has no candidate above the threshold; Perturb replaces
+        // the diagonal by sign(d)·value and finishes.
+        let mut a = DenseMat::from_col_major(2, 2, vec![-1e-30, 1e-31, 1.0, 2.0]);
+        let out = lu_panel_with_policy(
+            &mut a,
+            PivotRule::Partial,
+            1e-20,
+            PanelBreakdown::Perturb { value: 0.5 },
+            None,
+        )
+        .unwrap();
+        assert_eq!(out.perturbed, vec![(0, 0.5)]);
+        assert!(out.pivots.is_identity(), "perturbation never interchanges");
+        assert_eq!(a[(0, 0)], -0.5, "sign of the tiny diagonal is kept");
+        // The factorization continued: multiplier and trailing update exist.
+        assert_eq!(a[(1, 0)], 1e-31 / -0.5);
+        assert!((a[(1, 1)] - (2.0 - a[(1, 0)] * 1.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn perturb_policy_matches_error_policy_on_clean_panels() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let orig = random_mat(10, 5, &mut rng);
+        let mut a = orig.clone();
+        let pa = lu_panel(&mut a, 0.0).unwrap();
+        let mut b = orig.clone();
+        let out = lu_panel_with_policy(
+            &mut b,
+            PivotRule::Partial,
+            0.0,
+            PanelBreakdown::Perturb { value: 1e-8 },
+            None,
+        )
+        .unwrap();
+        assert!(out.perturbed.is_empty());
+        assert_eq!(pa, out.pivots);
+        assert_eq!(a.data(), b.data(), "clean panels must be untouched");
+    }
+
+    #[test]
+    fn forced_breakdown_is_deterministic() {
+        // A perfectly healthy column breaks down when forced — the
+        // fault-injection hook used by the `failpoints` suite.
+        let mut rng = SmallRng::seed_from_u64(77);
+        let orig = random_mat(6, 3, &mut rng);
+        let mut a = orig.clone();
+        assert_eq!(
+            lu_panel_with_policy(
+                &mut a,
+                PivotRule::Partial,
+                0.0,
+                PanelBreakdown::Error,
+                Some(1)
+            ),
+            Err(PanelError::Singular { column: 1 })
+        );
+        let mut b = orig.clone();
+        let out = lu_panel_with_policy(
+            &mut b,
+            PivotRule::Partial,
+            0.0,
+            PanelBreakdown::Perturb { value: 1e-6 },
+            Some(1),
+        )
+        .unwrap();
+        assert_eq!(out.perturbed, vec![(1, 1e-6)]);
+    }
+
+    #[test]
+    fn non_finite_pivot_region_is_rejected() {
+        for poison in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut a = DenseMat::from_col_major(2, 2, vec![1.0, poison, 1.0, 2.0]);
+            let err = lu_panel_with_policy(
+                &mut a,
+                PivotRule::Partial,
+                0.0,
+                PanelBreakdown::Perturb { value: 1.0 },
+                None,
+            )
+            .unwrap_err();
+            assert_eq!(err, PanelError::NonFinite { column: 0 });
+            assert!(err.to_string().contains("non-finite"));
+        }
+        // A NaN produced mid-elimination surfaces at the column it reaches.
+        let mut a = DenseMat::from_col_major(2, 2, vec![1.0, 1.0, 1.0, f64::NAN]);
+        assert_eq!(
+            lu_panel(&mut a, 0.0),
+            Err(PanelError::NonFinite { column: 1 })
+        );
     }
 }

@@ -430,6 +430,67 @@ pub fn banded(n: usize, lower: usize, upper: usize, seed: u64) -> CscMatrix {
     coo.to_csc()
 }
 
+/// An ill-conditioned pivoting stress matrix: a banded, diagonally dominant
+/// operator in which each column listed in `tiny_cols` is reduced to a
+/// `tiny` diagonal plus a boosted subdiagonal `a[j+1, j] = 3.0` (no
+/// entries above the diagonal, so under no-interchange pivoting the
+/// column's upper factor stays numerically zero and the diagonal reaches
+/// elimination still equal to `tiny`). Restricted (diagonal-rule) pivoting
+/// therefore breaks down at exactly those columns, while the matrix itself
+/// stays well conditioned because the large subdiagonal keeps the column
+/// far from the span of the others. Used by the breakdown-policy and
+/// fault-injection tests: `BreakdownPolicy::Error` must fail at the first
+/// tiny column, and `BreakdownPolicy::Perturb` plus iterative refinement
+/// must still reach a small residual.
+///
+/// # Panics
+///
+/// Panics if any entry of `tiny_cols` is `>= n - 1` (the boosted
+/// subdiagonal must exist) or if `tiny_cols` has adjacent columns (the
+/// boosted subdiagonal of one tiny column must not be the diagonal row of
+/// another).
+pub fn tiny_pivot_matrix(n: usize, tiny_cols: &[usize], tiny: f64, seed: u64) -> CscMatrix {
+    for &j in tiny_cols {
+        assert!(
+            j + 1 < n,
+            "tiny column {j} needs a subdiagonal row in 0..{n}"
+        );
+        assert!(
+            !tiny_cols.contains(&(j + 1)),
+            "tiny columns {j} and {} are adjacent",
+            j + 1
+        );
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::with_capacity(n, n, 5 * n);
+    for j in 0..n {
+        let is_tiny = tiny_cols.contains(&j);
+        let lo = j.saturating_sub(2);
+        let hi = (j + 2).min(n - 1);
+        for i in lo..=hi {
+            let v = if i == j {
+                if is_tiny {
+                    tiny
+                } else {
+                    8.0 + rng.gen_range(0.0..1.0)
+                }
+            } else if is_tiny && i == j + 1 {
+                // Boosted subdiagonal: keeps the column well scaled even
+                // though its diagonal is negligible.
+                3.0
+            } else if is_tiny {
+                // No other entries: in particular nothing above the
+                // diagonal, so Schur updates cannot inflate the tiny pivot.
+                continue;
+            } else {
+                rng.gen_range(-1.0..1.0)
+            };
+            coo.push(i, j, v);
+        }
+    }
+    coo.to_csc()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -530,6 +591,37 @@ mod tests {
             assert!(diag.abs() > off, "column {i} not dominant");
         }
         assert_eq!(a, random_unsymmetric(50, 4, 7), "deterministic");
+    }
+
+    #[test]
+    fn tiny_pivot_matrix_has_tiny_diagonals_and_boosted_subdiagonals() {
+        let n = 40;
+        let tiny_cols = [7, 19, 31];
+        let a = tiny_pivot_matrix(n, &tiny_cols, 1e-30, 11);
+        assert_eq!(a.ncols(), n);
+        for j in 0..n {
+            let d = a.get(j, j);
+            if tiny_cols.contains(&j) {
+                assert_eq!(d, 1e-30, "column {j}");
+                assert_eq!(a.get(j + 1, j), 3.0, "subdiagonal of column {j}");
+                let (rows, _) = a.col(j);
+                assert_eq!(rows, &[j, j + 1], "tiny column {j} structure");
+            } else {
+                assert!(d >= 8.0, "column {j} diagonal {d}");
+            }
+        }
+        assert_eq!(
+            a,
+            tiny_pivot_matrix(n, &tiny_cols, 1e-30, 11),
+            "deterministic"
+        );
+        assert!(a.pattern().has_zero_free_diagonal());
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a subdiagonal row")]
+    fn tiny_pivot_matrix_rejects_last_column() {
+        tiny_pivot_matrix(10, &[9], 1e-30, 1);
     }
 
     #[test]

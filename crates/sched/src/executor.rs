@@ -33,21 +33,38 @@
 //! so the park/push race cannot lose a wakeup. When the last task retires,
 //! the retiring worker locks every gate and broadcasts once — each parked
 //! worker wakes exactly once, observes `remaining == 0`, and exits. A
-//! panicking task sets an abort flag and broadcasts the same way, so the
-//! panic propagates instead of deadlocking the remaining workers.
+//! panicking task is **contained**: the worker records a [`TaskPanic`]
+//! (first panic wins), sets the abort flag, and broadcasts the same way, so
+//! the remaining workers drain and exit instead of deadlocking. The
+//! `_report` entry points return the panic in [`ExecReport::panic`] — no
+//! unwind escapes them and no lock is poisoned; the fire-and-forget entry
+//! points ([`execute`], [`execute_dag`], …) re-raise it, preserving their
+//! historical semantics.
 //!
 //! The previous executor — one shared FIFO queue, no priorities — is kept
 //! verbatim as [`execute_dag_fifo`]/[`execute_fifo`] so benchmarks can
 //! measure the scheduling improvement against an unchanged baseline.
 
 use crate::graph::TaskGraph;
-use crate::trace::{assemble_report, ExecReport, TraceConfig, WorkerRecorder};
+use crate::trace::{assemble_report, ExecReport, TaskPanic, TraceConfig, WorkerRecorder};
 use crate::Task;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{BinaryHeap, VecDeque};
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
+
+/// Best-effort extraction of a panic payload's message (the `&str`/`String`
+/// cases `panic!` produces).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Task-to-worker assignment policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -162,7 +179,7 @@ pub fn execute_dag_with_priorities<'a, S, Q, F>(
     Q: Fn(usize) -> usize + Sync,
     F: Fn(usize) + Sync,
 {
-    execute_dag_with_priorities_report(
+    let report = execute_dag_with_priorities_report(
         n_tasks,
         pred_counts,
         successors,
@@ -173,6 +190,11 @@ pub fn execute_dag_with_priorities<'a, S, Q, F>(
         runner,
         &TraceConfig::off(),
     );
+    // The `_report` entry points contain worker panics; the fire-and-forget
+    // entry points have no report to carry one, so re-raise.
+    if let Some(p) = report.panic {
+        panic!("{p}");
+    }
 }
 
 /// [`execute_dag_with_priorities`] with telemetry: per-worker busy/idle/steal
@@ -200,7 +222,7 @@ where
     let nthreads = nthreads.max(1);
     let epoch = Instant::now();
     if n_tasks == 0 {
-        return assemble_report(0, nthreads, 0.0, config, Vec::new());
+        return assemble_report(0, nthreads, 0.0, config, Vec::new(), None);
     }
     assert!(nqueues == 1 || nqueues == nthreads, "queue/worker mismatch");
     assert_eq!(priority.len(), n_tasks, "one priority per task");
@@ -216,6 +238,9 @@ where
     let aborted = AtomicBool::new(false);
     // Drained worker recorders; locked once per worker, at exit.
     let drained = Mutex::new(Vec::with_capacity(nthreads));
+    // First caught worker panic; reported through `ExecReport::panic`
+    // instead of unwinding out of the scope.
+    let panicked: Mutex<Option<TaskPanic>> = Mutex::new(None);
 
     // Seed the pools: owners get their own roots; in stealing mode roots are
     // dealt round-robin so all workers start busy.
@@ -248,18 +273,19 @@ where
             let queue_of = &queue_of;
             let priority = &priority;
             let drained = &drained;
+            let panicked = &panicked;
             scope.spawn(move |_| {
                 let mut rec = WorkerRecorder::new(w, nthreads, config, epoch);
                 let my_gate = &gates[if owner_mode { w } else { 0 }];
-                // The worker body proper; returns a panic payload instead of
-                // unwinding so the recorder is drained on every exit path.
-                let mut body = || -> Option<Box<dyn std::any::Any + Send>> {
+                // The worker body proper; a closure so the recorder is
+                // drained on every exit path, panicked or clean.
+                let mut body = || {
                     'work: loop {
                         // Acquire a task: own pool first, then (Dynamic only)
                         // steal from the first non-empty victim.
                         let tid = 'acquire: loop {
                             if aborted.load(Ordering::Acquire) {
-                                return None;
+                                return;
                             }
                             if let Some(r) = pools[w].lock().pop() {
                                 break 'acquire r.tid;
@@ -289,7 +315,7 @@ where
                             if remaining.load(Ordering::Acquire) == 0
                                 || aborted.load(Ordering::Acquire)
                             {
-                                return None;
+                                return;
                             }
                             let has_work = if owner_mode {
                                 !pools[w].lock().is_empty()
@@ -305,13 +331,24 @@ where
 
                         let t0 = rec.begin();
                         if let Err(payload) = catch_unwind(AssertUnwindSafe(|| runner(tid))) {
-                            // Leave no worker parked behind a task that will
-                            // never retire; then let the panic propagate.
+                            // Containment: record the first panic for the
+                            // report, then abort so no worker stays parked
+                            // behind a task that will never retire. Nothing
+                            // unwinds out of the scope.
+                            let mut slot = panicked.lock();
+                            if slot.is_none() {
+                                *slot = Some(TaskPanic {
+                                    worker: w,
+                                    task: tid,
+                                    message: panic_message(payload.as_ref()),
+                                });
+                            }
+                            drop(slot);
                             aborted.store(true, Ordering::Release);
                             for g in gates {
                                 g.notify_all();
                             }
-                            return Some(payload);
+                            return;
                         }
                         rec.end_task(t0, tid);
 
@@ -333,27 +370,29 @@ where
                             for g in gates {
                                 g.notify_all();
                             }
-                            return None;
+                            return;
                         }
                         continue 'work;
                     }
                 };
-                let payload = body();
+                body();
                 drained.lock().push(rec.finish());
-                if let Some(p) = payload {
-                    resume_unwind(p);
-                }
             });
         }
     })
-    .expect("executor worker panicked");
-    debug_assert_eq!(remaining.load(Ordering::Acquire), 0);
+    .expect("executor scope failed");
+    let panicked = panicked.into_inner();
+    debug_assert!(
+        panicked.is_some() || remaining.load(Ordering::Acquire) == 0,
+        "clean shutdown must retire every task"
+    );
     assemble_report(
         n_tasks,
         nthreads,
         epoch.elapsed().as_secs_f64(),
         config,
         drained.into_inner(),
+        panicked,
     )
 }
 
@@ -435,7 +474,10 @@ pub fn execute<F>(graph: &TaskGraph, nthreads: usize, mapping: Mapping, runner: 
 where
     F: Fn(Task) + Sync,
 {
-    execute_traced(graph, nthreads, mapping, runner, &TraceConfig::off());
+    let report = execute_traced(graph, nthreads, mapping, runner, &TraceConfig::off());
+    if let Some(p) = report.panic {
+        panic!("{p}");
+    }
 }
 
 /// [`execute`] with telemetry: returns the run's [`ExecReport`] (per-worker
@@ -499,11 +541,20 @@ impl ReadyQueue {
         self.cv.notify_one();
     }
 
-    /// Pops a task, blocking until one arrives or all work is done. Waits
-    /// are recorded as idle (park) intervals on `rec`.
-    fn pop(&self, remaining: &AtomicUsize, rec: &mut WorkerRecorder) -> Option<usize> {
+    /// Pops a task, blocking until one arrives, all work is done, or the
+    /// run is aborted. Waits are recorded as idle (park) intervals on
+    /// `rec`.
+    fn pop(
+        &self,
+        remaining: &AtomicUsize,
+        aborted: &AtomicBool,
+        rec: &mut WorkerRecorder,
+    ) -> Option<usize> {
         let mut q = self.deque.lock();
         loop {
+            if aborted.load(Ordering::Acquire) {
+                return None;
+            }
             if let Some(t) = q.pop_front() {
                 return Some(t);
             }
@@ -517,6 +568,10 @@ impl ReadyQueue {
     }
 
     fn wake_all(&self) {
+        // Taken under the deque lock: a waiter checks `remaining`/`aborted`
+        // while holding it, so an unlocked broadcast could slip between that
+        // check and the wait and lose the wakeup.
+        let _q = self.deque.lock();
         self.cv.notify_all();
     }
 }
@@ -539,7 +594,7 @@ pub fn execute_dag_fifo<'a, S, Q, F>(
     Q: Fn(usize) -> usize + Sync,
     F: Fn(usize) + Sync,
 {
-    execute_dag_fifo_report(
+    let report = execute_dag_fifo_report(
         n_tasks,
         pred_counts,
         successors,
@@ -549,6 +604,9 @@ pub fn execute_dag_fifo<'a, S, Q, F>(
         runner,
         &TraceConfig::off(),
     );
+    if let Some(p) = report.panic {
+        panic!("{p}");
+    }
 }
 
 /// [`execute_dag_fifo`] with telemetry, so the baseline's busy/idle profile
@@ -573,13 +631,15 @@ where
     let nthreads = nthreads.max(1);
     let epoch = Instant::now();
     if n_tasks == 0 {
-        return assemble_report(0, nthreads, 0.0, config, Vec::new());
+        return assemble_report(0, nthreads, 0.0, config, Vec::new(), None);
     }
     assert!(nqueues == 1 || nqueues == nthreads, "queue/worker mismatch");
     let queues: Vec<ReadyQueue> = (0..nqueues).map(|_| ReadyQueue::new()).collect();
     let indeg: Vec<AtomicUsize> = pred_counts.iter().map(|&c| AtomicUsize::new(c)).collect();
     let remaining = AtomicUsize::new(n_tasks);
+    let aborted = AtomicBool::new(false);
     let drained = Mutex::new(Vec::with_capacity(nthreads));
+    let panicked: Mutex<Option<TaskPanic>> = Mutex::new(None);
 
     for (t, &c) in pred_counts.iter().enumerate() {
         if c == 0 {
@@ -596,12 +656,31 @@ where
             let successors = &successors;
             let queue_of = &queue_of;
             let drained = &drained;
+            let aborted = &aborted;
+            let panicked = &panicked;
             let my_queue = &queues[if nqueues == 1 { 0 } else { w }];
             scope.spawn(move |_| {
                 let mut rec = WorkerRecorder::new(w, nthreads, config, epoch);
-                while let Some(tid) = my_queue.pop(remaining, &mut rec) {
+                while let Some(tid) = my_queue.pop(remaining, aborted, &mut rec) {
                     let t0 = rec.begin();
-                    runner(tid);
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| runner(tid))) {
+                        // Same containment contract as the priority
+                        // executor: record, abort, wake everyone, exit.
+                        let mut slot = panicked.lock();
+                        if slot.is_none() {
+                            *slot = Some(TaskPanic {
+                                worker: w,
+                                task: tid,
+                                message: panic_message(payload.as_ref()),
+                            });
+                        }
+                        drop(slot);
+                        aborted.store(true, Ordering::Release);
+                        for q in queues {
+                            q.wake_all();
+                        }
+                        break;
+                    }
                     rec.end_task(t0, tid);
                     for &s in successors(tid) {
                         if indeg[s].fetch_sub(1, Ordering::AcqRel) == 1 {
@@ -619,14 +698,19 @@ where
             });
         }
     })
-    .expect("executor worker panicked");
-    debug_assert_eq!(remaining.load(Ordering::Acquire), 0);
+    .expect("executor scope failed");
+    let panicked = panicked.into_inner();
+    debug_assert!(
+        panicked.is_some() || remaining.load(Ordering::Acquire) == 0,
+        "clean shutdown must retire every task"
+    );
     assemble_report(
         n_tasks,
         nthreads,
         epoch.elapsed().as_secs_f64(),
         config,
         drained.into_inner(),
+        panicked,
     )
 }
 
@@ -636,7 +720,10 @@ pub fn execute_fifo<F>(graph: &TaskGraph, nthreads: usize, mapping: Mapping, run
 where
     F: Fn(Task) + Sync,
 {
-    execute_fifo_traced(graph, nthreads, mapping, runner, &TraceConfig::off());
+    let report = execute_fifo_traced(graph, nthreads, mapping, runner, &TraceConfig::off());
+    if let Some(p) = report.panic {
+        panic!("{p}");
+    }
 }
 
 /// [`execute_fifo`] with telemetry — the baseline counterpart of
@@ -918,6 +1005,122 @@ mod tests {
             });
         }));
         assert!(result.is_err(), "panic must propagate to the caller");
+    }
+
+    /// Tentpole contract: the `_report` entry points contain worker panics —
+    /// the run returns normally with [`ExecReport::panic`] set to the first
+    /// caught panic, at every thread count and mapping, with no hang.
+    #[test]
+    fn contained_panic_is_reported_not_raised() {
+        let g = random_graph(12, 24, 3);
+        for mapping in [Mapping::Static1D, Mapping::Dynamic] {
+            for p in [1, 2, 4, 8] {
+                let hit = AtomicUsize::new(0);
+                let report = execute_traced(
+                    &g,
+                    p,
+                    mapping,
+                    |_| {
+                        if hit.fetch_add(1, Ordering::SeqCst) == 2 {
+                            panic!("injected task failure");
+                        }
+                    },
+                    &crate::trace::TraceConfig::counters(),
+                );
+                let tp = report.panic.expect("panic must land in the report");
+                assert_eq!(tp.message, "injected task failure");
+                assert!(tp.worker < p, "worker id in range");
+                assert!(tp.task < g.len(), "task id in range");
+            }
+        }
+    }
+
+    /// Same containment contract on the legacy FIFO executor, plus the
+    /// re-raising void wrapper.
+    #[test]
+    fn fifo_contained_panic_is_reported_not_raised() {
+        let g = random_graph(12, 24, 3);
+        for mapping in [Mapping::Static1D, Mapping::Dynamic] {
+            for p in [1, 2, 4, 8] {
+                let hit = AtomicUsize::new(0);
+                let report = execute_fifo_traced(
+                    &g,
+                    p,
+                    mapping,
+                    |_| {
+                        if hit.fetch_add(1, Ordering::SeqCst) == 2 {
+                            panic!("injected task failure");
+                        }
+                    },
+                    &crate::trace::TraceConfig::counters(),
+                );
+                let tp = report.panic.expect("panic must land in the report");
+                assert_eq!(tp.message, "injected task failure");
+            }
+        }
+        let hit = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            execute_fifo(&g, 4, Mapping::Dynamic, |_| {
+                if hit.fetch_add(1, Ordering::SeqCst) == 2 {
+                    panic!("injected task failure");
+                }
+            });
+        }));
+        assert!(result.is_err(), "void wrapper must re-raise");
+    }
+
+    /// A panic on the very first task must not hang workers that are
+    /// parked waiting for successors that will never become ready — stress
+    /// both executors' abort/broadcast path.
+    #[test]
+    fn panic_on_first_task_leaves_no_parked_worker() {
+        // A chain graph: only one task is ever ready, so 7 of 8 workers
+        // are parked when the panic fires.
+        let n = 8;
+        let entries: Vec<(usize, usize)> = (0..n)
+            .map(|i| (i, i))
+            .chain((1..n).map(|i| (i, i - 1)))
+            .collect();
+        let p = SparsityPattern::from_entries(n, n, entries).unwrap();
+        let f = static_symbolic_factorization(&p).unwrap();
+        let bs = BlockStructure::new(&f, Partition::singletons(n));
+        let g = build_eforest_graph(&bs);
+        for _ in 0..50 {
+            let report = execute_traced(
+                &g,
+                8,
+                Mapping::Dynamic,
+                |_| panic!("first task fails"),
+                &crate::trace::TraceConfig::off(),
+            );
+            assert!(report.panic.is_some());
+            let report = execute_fifo_traced(
+                &g,
+                8,
+                Mapping::Dynamic,
+                |_| panic!("first task fails"),
+                &crate::trace::TraceConfig::off(),
+            );
+            assert!(report.panic.is_some());
+        }
+    }
+
+    /// After a contained panic the same executor state types are reusable —
+    /// nothing is poisoned (parking_lot locks never poison; this guards the
+    /// contract against a future std-Mutex regression).
+    #[test]
+    fn executor_is_reusable_after_contained_panic() {
+        let g = random_graph(12, 24, 3);
+        let report = execute_traced(
+            &g,
+            4,
+            Mapping::Dynamic,
+            |_| panic!("boom"),
+            &crate::trace::TraceConfig::off(),
+        );
+        assert!(report.panic.is_some());
+        // A clean run right after must still retire every task.
+        run_and_check(&g, 4, Mapping::Dynamic);
     }
 
     /// Satellite regression: shutdown must wake a parked worker exactly once

@@ -57,8 +57,8 @@ pub use simulate::{
     simulate_static_order_fifo, CostModel, ReadyPolicy, SimEvent, SimResult, TaskCost,
 };
 pub use trace::{
-    sim_chrome_json, EventKind, ExecReport, ExecTrace, SchedStats, TraceConfig, TraceEvent,
-    TraceMode, WorkerStats,
+    sim_chrome_json, EventKind, ExecReport, ExecTrace, FactorHealth, SchedStats, TaskPanic,
+    TraceConfig, TraceEvent, TraceMode, WorkerStats,
 };
 
 // Re-exported so downstream crates can name the forest type the graph

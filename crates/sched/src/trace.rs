@@ -326,6 +326,56 @@ impl ExecTrace {
     }
 }
 
+/// A worker panic caught and contained by the executor. The run is aborted
+/// (remaining tasks drain without executing) but every worker joins cleanly
+/// and the caller gets a report instead of an unwinding panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// Worker that caught the panic.
+    pub worker: usize,
+    /// Executor task id of the panicking task (map through the graph for a
+    /// `Factor`/`Update` label).
+    pub task: usize,
+    /// The panic payload, when it was a string (the usual `panic!` case).
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worker {} panicked running task {}: {}",
+            self.worker, self.task, self.message
+        )
+    }
+}
+
+/// Numeric-layer health report of one factorization. Like
+/// [`SchedStats::panel_copies`], this is left at its default by the raw
+/// executor — the numeric drivers fill it (and [`splu-core`'s `SparseLu`]
+/// adds the condition estimate).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FactorHealth {
+    /// Global columns (factorization order) whose diagonal was replaced by
+    /// a static-pivoting perturbation, ascending. Empty on a clean run.
+    pub perturbed_columns: Vec<usize>,
+    /// Largest perturbation magnitude applied (0.0 on a clean run).
+    pub max_perturbation: f64,
+    /// Element-growth estimate `max|factor| / max|A|`; filled when a
+    /// perturbing breakdown policy is active, 0.0 otherwise.
+    pub growth: f64,
+    /// Hager–Higham estimate of `‖A⁻¹‖₁`, filled by `SparseLu` for
+    /// perturbed factorizations (refinement quality depends on it).
+    pub condest: Option<f64>,
+}
+
+impl FactorHealth {
+    /// `true` when at least one column was perturbed.
+    pub fn is_perturbed(&self) -> bool {
+        !self.perturbed_columns.is_empty()
+    }
+}
+
 /// Everything a traced executor run produces.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ExecReport {
@@ -333,6 +383,13 @@ pub struct ExecReport {
     pub stats: SchedStats,
     /// Raw event streams ([`TraceMode::Full`] only).
     pub trace: Option<ExecTrace>,
+    /// First worker panic caught by the executor, if any. When set, the run
+    /// aborted early: `stats` covers only the tasks that actually ran and
+    /// [`SchedStats::assert_consistent`] does not apply.
+    pub panic: Option<TaskPanic>,
+    /// Numeric-layer health report (perturbed columns, growth); left at its
+    /// default by the raw executor — the numeric drivers fill it.
+    pub health: FactorHealth,
 }
 
 /// Renders a simulator schedule ([`crate::SimEvent`] stream, model seconds)
@@ -510,6 +567,7 @@ pub(crate) fn assemble_report(
     wall_s: f64,
     config: &TraceConfig,
     drained: Vec<(usize, WorkerStats, Vec<TraceEvent>)>,
+    panic: Option<TaskPanic>,
 ) -> ExecReport {
     let mut workers = vec![WorkerStats::default(); nthreads];
     let mut all_events: Vec<TraceEvent> = Vec::new();
@@ -543,7 +601,12 @@ pub(crate) fn assemble_report(
         nthreads,
         events: all_events,
     });
-    ExecReport { stats, trace }
+    ExecReport {
+        stats,
+        trace,
+        panic,
+        health: FactorHealth::default(),
+    }
 }
 
 #[cfg(test)]

@@ -22,6 +22,18 @@ pub enum SparseError {
     InvalidPermutation(String),
     /// A file could not be parsed.
     Parse(String),
+    /// A file could not be parsed, with the 1-based source line and the
+    /// offending token — the precise form the file readers emit for
+    /// malformed entries (bad tokens, non-finite values, out-of-range
+    /// indices).
+    ParseAt {
+        /// 1-based line number in the source text.
+        line: usize,
+        /// The offending token, verbatim.
+        token: String,
+        /// What was wrong with it.
+        msg: String,
+    },
     /// An I/O error occurred (message only, to keep the type `Eq`).
     Io(String),
 }
@@ -41,6 +53,9 @@ impl fmt::Display for SparseError {
             SparseError::InvalidStructure(msg) => write!(f, "invalid sparse structure: {msg}"),
             SparseError::InvalidPermutation(msg) => write!(f, "invalid permutation: {msg}"),
             SparseError::Parse(msg) => write!(f, "parse error: {msg}"),
+            SparseError::ParseAt { line, token, msg } => {
+                write!(f, "parse error at line {line}: {msg} (`{token}`)")
+            }
             SparseError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }
@@ -69,5 +84,12 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("(5, 1)") && s.contains("3x3"));
         assert!(SparseError::Parse("bad".into()).to_string().contains("bad"));
+        let at = SparseError::ParseAt {
+            line: 12,
+            token: "nan".into(),
+            msg: "non-finite value".into(),
+        };
+        let s = at.to_string();
+        assert!(s.contains("line 12") && s.contains("`nan`") && s.contains("non-finite"));
     }
 }

@@ -20,10 +20,24 @@ pub fn read_matrix_market(path: &Path) -> Result<CscMatrix, SparseError> {
     parse_matrix_market(&text)
 }
 
+/// A [`SparseError::ParseAt`] pinned to a 1-based source line and token.
+fn tok_err(line: usize, token: &str, msg: &str) -> SparseError {
+    SparseError::ParseAt {
+        line,
+        token: token.to_string(),
+        msg: msg.to_string(),
+    }
+}
+
 /// Parses Matrix Market text. See [`read_matrix_market`].
+///
+/// Malformed entry lines are rejected with [`SparseError::ParseAt`] naming
+/// the 1-based line and offending token; non-finite values (`nan`, `inf` —
+/// which `f64` parsing would otherwise accept) and out-of-range indices are
+/// rejected the same way.
 pub fn parse_matrix_market(text: &str) -> Result<CscMatrix, SparseError> {
-    let mut lines = text.lines();
-    let header = lines
+    let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l));
+    let (_, header) = lines
         .next()
         .ok_or_else(|| SparseError::Parse("empty file".into()))?;
     let header_lc = header.to_ascii_lowercase();
@@ -47,51 +61,60 @@ pub fn parse_matrix_market(text: &str) -> Result<CscMatrix, SparseError> {
         )));
     }
 
-    let mut data = lines.filter(|l| !l.trim_start().starts_with('%') && !l.trim().is_empty());
-    let size_line = data
+    let mut data = lines.filter(|(_, l)| !l.trim_start().starts_with('%') && !l.trim().is_empty());
+    let (size_ln, size_line) = data
         .next()
         .ok_or_else(|| SparseError::Parse("missing size line".into()))?;
     let dims: Vec<usize> = size_line
         .split_whitespace()
         .map(|t| {
             t.parse::<usize>()
-                .map_err(|_| SparseError::Parse(format!("bad size token `{t}`")))
+                .map_err(|_| tok_err(size_ln, t, "bad size token"))
         })
         .collect::<Result<_, _>>()?;
     if dims.len() != 3 {
-        return Err(SparseError::Parse("size line must have 3 fields".into()));
+        return Err(tok_err(
+            size_ln,
+            size_line.trim(),
+            "size line must have 3 fields",
+        ));
     }
     let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
 
     let mut coo = CooMatrix::with_capacity(nrows, ncols, nnz);
     let mut seen = 0usize;
-    for line in data {
+    for (ln, line) in data {
         let mut it = line.split_whitespace();
-        let r: usize = it
+        let r_tok = it
             .next()
-            .ok_or_else(|| SparseError::Parse("missing row index".into()))?
+            .ok_or_else(|| tok_err(ln, line.trim(), "missing row index"))?;
+        let r: usize = r_tok
             .parse()
-            .map_err(|_| SparseError::Parse("bad row index".into()))?;
-        let c: usize = it
+            .map_err(|_| tok_err(ln, r_tok, "bad row index"))?;
+        let c_tok = it
             .next()
-            .ok_or_else(|| SparseError::Parse("missing column index".into()))?
+            .ok_or_else(|| tok_err(ln, line.trim(), "missing column index"))?;
+        let c: usize = c_tok
             .parse()
-            .map_err(|_| SparseError::Parse("bad column index".into()))?;
+            .map_err(|_| tok_err(ln, c_tok, "bad column index"))?;
         let v: f64 = if field == "pattern" {
             1.0
         } else {
-            it.next()
-                .ok_or_else(|| SparseError::Parse("missing value".into()))?
-                .parse()
-                .map_err(|_| SparseError::Parse("bad value".into()))?
+            let v_tok = it
+                .next()
+                .ok_or_else(|| tok_err(ln, line.trim(), "missing value"))?;
+            let v: f64 = v_tok.parse().map_err(|_| tok_err(ln, v_tok, "bad value"))?;
+            if !v.is_finite() {
+                return Err(tok_err(ln, v_tok, "non-finite value (NaN/Inf rejected)"));
+            }
+            v
         };
         if r == 0 || c == 0 || r > nrows || c > ncols {
-            return Err(SparseError::IndexOutOfBounds {
-                row: r,
-                col: c,
-                nrows,
-                ncols,
-            });
+            return Err(tok_err(
+                ln,
+                line.trim(),
+                &format!("1-based entry indices outside the declared {nrows}x{ncols} shape"),
+            ));
         }
         let (r, c) = (r - 1, c - 1);
         coo.push(r, c, v);
@@ -305,9 +328,16 @@ pub fn parse_harwell_boeing(text: &str) -> Result<CscMatrix, SparseError> {
         read_fixed_fields(&mut lines, vf, nnz)?
             .iter()
             .map(|t| {
-                t.replace(['D', 'd'], "E")
+                let v = t
+                    .replace(['D', 'd'], "E")
                     .parse::<f64>()
-                    .map_err(|_| SparseError::Parse(format!("bad value `{t}`")))
+                    .map_err(|_| SparseError::Parse(format!("bad value `{t}`")))?;
+                if !v.is_finite() {
+                    return Err(SparseError::Parse(format!(
+                        "non-finite value `{t}` (NaN/Inf rejected)"
+                    )));
+                }
+                Ok(v)
             })
             .collect::<Result<_, _>>()?
     } else {
@@ -450,6 +480,84 @@ mod tests {
         assert!(parse_matrix_market(wrong_count).is_err());
         let oob = "%%MatrixMarket matrix coordinate real general\n1 1 1\n2 1 1.0\n";
         assert!(parse_matrix_market(oob).is_err());
+    }
+
+    /// Satellite regression: malformed Matrix Market files are rejected
+    /// with [`SparseError::ParseAt`] carrying the 1-based line number and
+    /// the offending token — NaN/Inf values (which `f64` parsing would
+    /// accept) and out-of-range indices included.
+    #[test]
+    fn matrix_market_rejects_malformed_entries_with_line_and_token() {
+        let cases: &[(&str, usize, &str)] = &[
+            // (file text, expected line, expected token substring)
+            (
+                "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 2.0\n2 2 nan\n",
+                4,
+                "nan",
+            ),
+            (
+                "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 inf\n",
+                3,
+                "inf",
+            ),
+            (
+                "%%MatrixMarket matrix coordinate real general\n% pad\n2 2 1\n1 1 -Infinity\n",
+                4,
+                "-Infinity",
+            ),
+            (
+                "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n",
+                3,
+                "3 1 1.0",
+            ),
+            (
+                "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n",
+                3,
+                "0 1 1.0",
+            ),
+            (
+                "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 x 1.0\n",
+                3,
+                "x",
+            ),
+            (
+                "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",
+                3,
+                "1 1",
+            ),
+            (
+                "%%MatrixMarket matrix coordinate real general\n2 two 1\n1 1 1.0\n",
+                2,
+                "two",
+            ),
+        ];
+        for (text, want_line, want_token) in cases {
+            match parse_matrix_market(text) {
+                Err(SparseError::ParseAt { line, token, .. }) => {
+                    assert_eq!(line, *want_line, "line for {text:?}");
+                    assert!(
+                        token.contains(want_token),
+                        "token `{token}` misses `{want_token}` for {text:?}"
+                    );
+                }
+                other => panic!("expected ParseAt for {text:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn harwell_boeing_rejects_non_finite_values() {
+        let text = "\
+bad example                                                             bad
+             4             1             1             2             0
+RUA                        2             2             2             0
+(6I3)           (8I3)           (4E16.8)
+  1  2  3
+  1  2
+             NaN  1.00000000E+00
+";
+        let err = parse_harwell_boeing(text).unwrap_err();
+        assert!(err.to_string().contains("non-finite"), "{err}");
     }
 
     #[test]

@@ -1,15 +1,19 @@
 //! The `parsplu` command-line tool. See `parsplu --help`.
+//!
+//! Exit codes: `0` success, `2` usage/input errors, `3` numerical
+//! failures, `4` contained worker panics (see the `EXIT CODES` section of
+//! the usage text).
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match parsplu::cli::run(&args) {
         Ok(out) => print!("{out}"),
-        Err(msg) => {
-            eprint!("{msg}");
-            if !msg.ends_with('\n') {
+        Err(e) => {
+            eprint!("{}", e.message);
+            if !e.message.ends_with('\n') {
                 eprintln!();
             }
-            std::process::exit(2);
+            std::process::exit(e.exit_code);
         }
     }
 }

@@ -5,15 +5,67 @@
 //! `parsplu` binary is a thin wrapper.
 
 use splu_core::{
-    analyze, estimate_inverse_1norm, KernelChoice, Options, OrderingChoice, PivotRule, SparseLu,
-    TaskGraphKind,
+    analyze, estimate_inverse_1norm, BreakdownPolicy, KernelChoice, LuError, Options,
+    OrderingChoice, PivotRule, SparseLu, TaskGraphKind,
 };
 use splu_matgen::{manufactured_rhs, paper_matrix, Scale};
 use splu_sched::Mapping;
 use splu_sparse::io::{read_matrix_market, write_matrix_market};
 use splu_sparse::{relative_residual, CscMatrix};
+use std::fmt;
 use std::fmt::Write as _;
 use std::path::Path;
+
+/// A failed CLI run: the message to print on stderr plus the process exit
+/// code the binary should use (see the `EXIT CODES` section of [`USAGE`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// Human-readable error text.
+    pub message: String,
+    /// `2` usage/input errors, `3` numerical failures, `4` contained
+    /// worker panics.
+    pub exit_code: i32,
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError {
+            message,
+            exit_code: 2,
+        }
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> Self {
+        CliError::from(message.to_string())
+    }
+}
+
+impl From<LuError> for CliError {
+    fn from(e: LuError) -> Self {
+        let exit_code = match &e {
+            LuError::StructurallySingular { .. }
+            | LuError::NumericallySingular { .. }
+            | LuError::NonFiniteInput { .. }
+            | LuError::NonFinitePivot { .. } => 3,
+            LuError::WorkerPanic { .. } => 4,
+            _ => 2,
+        };
+        CliError {
+            message: e.to_string(),
+            exit_code,
+        }
+    }
+}
 
 /// Usage text for `--help` and errors.
 pub const USAGE: &str = "\
@@ -37,6 +89,11 @@ OPTIONS:
   --refine              one step of iterative refinement
   --transpose           solve the transposed system instead
   --rule partial|threshold:<tau>|diagonal   pivot-selection rule [partial]
+  --breakdown error|perturb|perturb:<eps>   pivot-breakdown policy [error]
+                        `error` fails at the first unacceptable pivot;
+                        `perturb` replaces it by sign(d)·eps·||A||_1 and
+                        recovers through iterative refinement
+                        [default eps: sqrt(machine epsilon)]
   --kernels portable|simd|auto   dense kernel implementation      [portable]
                         (simd/auto need the `simd` cargo feature; factors
                         are bitwise identical under every choice)
@@ -45,6 +102,13 @@ OPTIONS:
   --rhs <file>          (solve) right-hand side, one value per line
                         [default: manufactured b = A·x with known x]
   --out <file>          (solve) write the solution, one value per line
+
+EXIT CODES:
+  0  success
+  2  usage or input error (bad flags, unreadable or malformed files)
+  3  numerical failure (structural/numerical singularity, NaN/Inf input
+     or overflow during factorization)
+  4  a worker thread panicked; the panic was contained and reported
 ";
 
 /// Parsed global options.
@@ -120,6 +184,24 @@ fn parse_flags(args: &[String]) -> Result<Cli, String> {
                     return Err(format!("unknown pivot rule `{v}`"));
                 };
             }
+            "--breakdown" => {
+                let v = it.next().ok_or("--breakdown needs a value")?;
+                cli.opts.breakdown = if v == "error" {
+                    BreakdownPolicy::Error
+                } else if v == "perturb" {
+                    BreakdownPolicy::perturb_default()
+                } else if let Some(eps) = v.strip_prefix("perturb:") {
+                    let eps: f64 = eps
+                        .parse()
+                        .map_err(|_| format!("bad perturbation `{eps}`"))?;
+                    if !(eps > 0.0 && eps.is_finite()) {
+                        return Err(format!("perturbation must be positive, got {eps}"));
+                    }
+                    BreakdownPolicy::Perturb { eps }
+                } else {
+                    return Err(format!("unknown breakdown policy `{v}`"));
+                };
+            }
             "--kernels" => {
                 let v = it.next().ok_or("--kernels needs a value")?;
                 cli.opts.kernels = match v.as_str() {
@@ -145,11 +227,11 @@ fn load(path: &str) -> Result<CscMatrix, String> {
     read_matrix_market(Path::new(path)).map_err(|e| format!("reading {path}: {e}"))
 }
 
-fn cmd_analyze(path: &str, flags: &[String]) -> Result<String, String> {
+fn cmd_analyze(path: &str, flags: &[String]) -> Result<String, CliError> {
     let cli = parse_flags(flags)?;
     let a = load(path)?;
     let ms = splu_sparse::stats::matrix_stats(&a);
-    let sym = analyze(a.pattern(), &cli.opts).map_err(|e| e.to_string())?;
+    let sym = analyze(a.pattern(), &cli.opts)?;
     let s = &sym.stats;
     let mut out = String::new();
     let _ = writeln!(out, "matrix            : {path}");
@@ -213,7 +295,7 @@ fn read_vector(path: &str, n: usize) -> Result<Vec<f64>, String> {
     Ok(v)
 }
 
-fn cmd_solve(path: &str, flags: &[String]) -> Result<String, String> {
+fn cmd_solve(path: &str, flags: &[String]) -> Result<String, CliError> {
     let cli = parse_flags(flags)?;
     let a = load(path)?;
     let b = match &cli.rhs {
@@ -221,7 +303,7 @@ fn cmd_solve(path: &str, flags: &[String]) -> Result<String, String> {
         None => manufactured_rhs(&a, 1).1,
     };
     let t0 = std::time::Instant::now();
-    let lu = SparseLu::factor(&a, &cli.opts).map_err(|e| e.to_string())?;
+    let lu = SparseLu::factor(&a, &cli.opts)?;
     let t_factor = t0.elapsed();
     let t1 = std::time::Instant::now();
     let x = if cli.transpose {
@@ -244,6 +326,18 @@ fn cmd_solve(path: &str, flags: &[String]) -> Result<String, String> {
     let _ = writeln!(out, "solve time        : {t_solve:?}");
     let _ = writeln!(out, "scaled residual   : {resid:.3e}");
     let _ = writeln!(out, "growth factor     : {:.3e}", lu.growth(&a));
+    let health = lu.health();
+    if health.is_perturbed() {
+        let _ = writeln!(
+            out,
+            "pivot perturbations: {} column(s), max {:.3e} (policy `perturb`; solves refine against the input)",
+            health.perturbed_columns.len(),
+            health.max_perturbation
+        );
+        if let Some(c) = health.condest {
+            let _ = writeln!(out, "condest (perturbed): {c:.3e}");
+        }
+    }
     let _ = writeln!(
         out,
         "determinant       : {} exp({dln:.6})",
@@ -269,10 +363,10 @@ fn cmd_solve(path: &str, flags: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
-fn cmd_condest(path: &str, flags: &[String]) -> Result<String, String> {
+fn cmd_condest(path: &str, flags: &[String]) -> Result<String, CliError> {
     let cli = parse_flags(flags)?;
     let a = load(path)?;
-    let lu = SparseLu::factor(&a, &cli.opts).map_err(|e| e.to_string())?;
+    let lu = SparseLu::factor(&a, &cli.opts)?;
     let inv_norm = estimate_inverse_1norm(&lu, a.ncols(), 6);
     let cond = inv_norm * a.one_norm();
     Ok(format!(
@@ -283,7 +377,7 @@ fn cmd_condest(path: &str, flags: &[String]) -> Result<String, String> {
     ))
 }
 
-fn cmd_gen(name: &str, out_path: &str, flags: &[String]) -> Result<String, String> {
+fn cmd_gen(name: &str, out_path: &str, flags: &[String]) -> Result<String, CliError> {
     let scale = if flags.iter().any(|f| f == "--reduced") {
         Scale::Reduced
     } else {
@@ -291,7 +385,7 @@ fn cmd_gen(name: &str, out_path: &str, flags: &[String]) -> Result<String, Strin
     };
     let unknown: Vec<&String> = flags.iter().filter(|f| *f != "--reduced").collect();
     if !unknown.is_empty() {
-        return Err(format!("unknown option `{}`", unknown[0]));
+        return Err(format!("unknown option `{}`", unknown[0]).into());
     }
     let a =
         paper_matrix(name, scale).ok_or_else(|| format!("unknown matrix `{name}` (see --help)"))?;
@@ -306,17 +400,20 @@ fn cmd_gen(name: &str, out_path: &str, flags: &[String]) -> Result<String, Strin
 }
 
 /// Runs the CLI on the given arguments (without the program name), returning
-/// the output text or an error message.
-pub fn run(args: &[String]) -> Result<String, String> {
+/// the output text or a [`CliError`] carrying the message and the process
+/// exit code.
+pub fn run(args: &[String]) -> Result<String, CliError> {
     match args {
-        [] => Err(USAGE.to_string()),
+        [] => Err(CliError::from(USAGE)),
         [h] if h == "--help" || h == "-h" || h == "help" => Ok(USAGE.to_string()),
         [cmd, rest @ ..] => match (cmd.as_str(), rest) {
             ("analyze", [path, flags @ ..]) => cmd_analyze(path, flags),
             ("solve", [path, flags @ ..]) => cmd_solve(path, flags),
             ("condest", [path, flags @ ..]) => cmd_condest(path, flags),
             ("gen", [name, out, flags @ ..]) => cmd_gen(name, out, flags),
-            _ => Err(format!("unknown or incomplete command `{cmd}`\n\n{USAGE}")),
+            _ => Err(CliError::from(format!(
+                "unknown or incomplete command `{cmd}`\n\n{USAGE}"
+            ))),
         },
     }
 }

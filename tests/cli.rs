@@ -17,8 +17,12 @@ fn tmp(name: &str) -> String {
 fn help_and_empty_args() {
     assert!(run(&args(&["--help"])).unwrap().contains("USAGE"));
     let err = run(&[]).unwrap_err();
-    assert!(err.contains("USAGE"));
-    assert!(run(&args(&["frobnicate"])).unwrap_err().contains("unknown"));
+    assert!(err.message.contains("USAGE"));
+    assert_eq!(err.exit_code, 2);
+    assert!(run(&args(&["frobnicate"]))
+        .unwrap_err()
+        .message
+        .contains("unknown"));
 }
 
 #[test]
@@ -77,6 +81,7 @@ fn kernel_choice_is_accepted_and_solution_invariant() {
     assert_eq!(portable, solve("auto"));
     assert!(run(&args(&["solve", &path, "--kernels", "avx9000"]))
         .unwrap_err()
+        .message
         .contains("unknown kernel choice"));
     let _ = std::fs::remove_file(&path);
 }
@@ -87,15 +92,19 @@ fn flag_errors_are_reported() {
     run(&args(&["gen", "sherman5", &path, "--reduced"])).unwrap();
     assert!(run(&args(&["solve", &path, "--graph", "bogus"]))
         .unwrap_err()
+        .message
         .contains("unknown graph"));
     assert!(run(&args(&["solve", &path, "--threads"]))
         .unwrap_err()
+        .message
         .contains("needs a value"));
     assert!(run(&args(&["solve", &path, "--wat"]))
         .unwrap_err()
+        .message
         .contains("unknown option"));
     assert!(run(&args(&["gen", "nosuch", &path]))
         .unwrap_err()
+        .message
         .contains("unknown matrix"));
     let _ = std::fs::remove_file(&path);
 }
@@ -138,6 +147,7 @@ fn solve_with_rhs_and_out_files() {
     std::fs::write(&rhs_path, "1.0\n2.0\n").unwrap();
     assert!(run(&args(&["solve", &path, "--rhs", &rhs_path]))
         .unwrap_err()
+        .message
         .contains("expected"));
     for f in [path, rhs_path, out_path] {
         let _ = std::fs::remove_file(f);
@@ -170,9 +180,93 @@ fn analyze_writes_dot_files() {
 }
 
 #[test]
+fn breakdown_policy_through_the_cli() {
+    // A matrix whose column 5 has an exactly-zero diagonal and no entries
+    // above it: diagonal-rule pivoting in natural order must break down
+    // there, and the two policies must respond per the documented exit
+    // codes.
+    let path = tmp("breakdown");
+    let a = parsplu::matgen::tiny_pivot_matrix(16, &[5], 0.0, 3);
+    parsplu::sparse::io::write_matrix_market(&a, std::path::Path::new(&path)).unwrap();
+    let base = [
+        "solve",
+        path.as_str(),
+        "--rule",
+        "diagonal",
+        "--ordering",
+        "natural",
+        "--no-postorder",
+    ];
+
+    // Default policy (and explicit `--breakdown error`): numerical failure,
+    // exit code 3, naming the breakdown column.
+    for extra in [&[][..], &["--breakdown", "error"][..]] {
+        let mut cmd = base.to_vec();
+        cmd.extend_from_slice(extra);
+        let err = run(&args(&cmd)).unwrap_err();
+        assert_eq!(err.exit_code, 3, "{err}");
+        assert!(err.message.contains("column 5"), "{err}");
+    }
+
+    // Perturbation policy: completes, reports the perturbation, and the
+    // auto-refined solve reaches a small residual (no WARNING line).
+    for policy in ["perturb", "perturb:1e-6"] {
+        let mut cmd = base.to_vec();
+        cmd.extend_from_slice(&["--breakdown", policy]);
+        let out = run(&args(&cmd)).unwrap();
+        assert!(out.contains("pivot perturbations: 1 column(s)"), "{out}");
+        assert!(out.contains("condest (perturbed)"), "{out}");
+        assert!(!out.contains("WARNING"), "{policy}: {out}");
+    }
+
+    // Flag-parsing errors stay usage errors (exit code 2).
+    for bad in ["bogus", "perturb:-1.0", "perturb:x"] {
+        let err = run(&args(&["solve", &path, "--breakdown", bad])).unwrap_err();
+        assert_eq!(err.exit_code, 2, "{bad}: {err}");
+    }
+    // Partial pivoting sails through the same matrix without perturbing.
+    let out = run(&args(&["solve", &path, "--breakdown", "perturb"])).unwrap();
+    assert!(!out.contains("pivot perturbations"), "{out}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn structural_singularity_exits_with_code_3() {
+    let path = tmp("singular");
+    // Column 2 of 2 is empty: no transversal exists.
+    std::fs::write(
+        &path,
+        "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n2 1 1.0\n",
+    )
+    .unwrap();
+    let err = run(&args(&["solve", &path])).unwrap_err();
+    assert_eq!(err.exit_code, 3, "{err}");
+    assert!(err.message.contains("singular"), "{err}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn malformed_matrix_file_exits_with_code_2_and_names_the_line() {
+    let path = tmp("malformed");
+    std::fs::write(
+        &path,
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 nan\n",
+    )
+    .unwrap();
+    let err = run(&args(&["solve", &path])).unwrap_err();
+    assert_eq!(err.exit_code, 2, "{err}");
+    assert!(
+        err.message.contains("line 3") && err.message.contains("non-finite"),
+        "{err}"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn missing_file_is_an_error() {
     let err = run(&args(&["analyze", "/nonexistent/x.mtx"])).unwrap_err();
-    assert!(err.contains("reading"), "{err}");
+    assert!(err.message.contains("reading"), "{err}");
+    assert_eq!(err.exit_code, 2);
 }
 
 #[test]
@@ -197,9 +291,11 @@ fn pivot_rules_through_the_cli() {
     }
     assert!(run(&args(&["solve", &path, "--rule", "bogus"]))
         .unwrap_err()
+        .message
         .contains("unknown pivot rule"));
     assert!(run(&args(&["solve", &path, "--rule", "threshold:7"]))
         .unwrap_err()
+        .message
         .contains("threshold must be"));
     let _ = std::fs::remove_file(&path);
 }

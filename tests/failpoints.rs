@@ -1,0 +1,229 @@
+//! Deterministic fault-injection suite (the `failpoints` cargo feature).
+//!
+//! Property: any single injected fault — a worker panic inside a `Factor`
+//! task, a forced pivot breakdown at a chosen column, or a non-finite
+//! input value — yields a clean structured error or a perturbed-but-
+//! refined solution on every thread count and mapping. Never a hang,
+//! never a panic escaping the library, never a nondeterministic outcome.
+//!
+//! Scenarios are serialized by [`FailScenario`]'s process-wide lock, so
+//! `cargo test`'s default test-level parallelism cannot interleave armed
+//! injection points.
+
+#![cfg(feature = "failpoints")]
+
+use parsplu::core::failpoints::FailScenario;
+use parsplu::core::{
+    analyze, BreakdownPolicy, LuError, Options, OrderingChoice, PivotRule, SparseLu,
+};
+use parsplu::matgen::{manufactured_rhs, random_unsymmetric};
+use parsplu::sched::Mapping;
+use proptest::prelude::*;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn opts(threads: usize, mapping: Mapping) -> Options {
+    Options {
+        threads,
+        mapping,
+        ..Options::default()
+    }
+}
+
+fn arb_mapping() -> impl Strategy<Value = Mapping> {
+    (0usize..2).prop_map(|i| {
+        if i == 0 {
+            Mapping::Static1D
+        } else {
+            Mapping::Dynamic
+        }
+    })
+}
+
+proptest! {
+    // Each case runs the full pipeline on up to 8 threads for every entry
+    // of THREADS; keep the case count small.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// An injected panic inside `Factor(k)` surfaces as
+    /// [`LuError::WorkerPanic`] naming the task — on every thread count
+    /// and mapping, with the executor quiescent afterwards (the test
+    /// returning at all proves no worker was left parked).
+    #[test]
+    fn injected_factor_panic_becomes_worker_panic_error(
+        seed in 0u64..32,
+        k_raw in 0usize..64,
+        mapping in arb_mapping(),
+    ) {
+        let a = random_unsymmetric(40, 3, seed);
+        let scenario = FailScenario::new();
+        for &threads in &THREADS {
+            let o = opts(threads, mapping);
+            let nb = analyze(a.pattern(), &o).unwrap().block_structure.num_blocks();
+            let k = k_raw % nb;
+            scenario.panic_at_factor(k);
+            match SparseLu::factor(&a, &o).map(|_| ()) {
+                Err(LuError::WorkerPanic { worker, task }) => {
+                    prop_assert!(worker < threads.max(1), "worker {worker}");
+                    prop_assert!(
+                        task.contains(&format!("Factor({k})")),
+                        "task `{task}` should name Factor({k})"
+                    );
+                }
+                other => {
+                    return Err(TestCaseError::fail(format!(
+                        "threads={threads}: expected WorkerPanic, got {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// A forced pivot breakdown under [`BreakdownPolicy::Error`] is a
+    /// deterministic [`LuError::NumericallySingular`] at exactly the
+    /// forced global column, independent of thread count and mapping.
+    #[test]
+    fn forced_breakdown_error_policy_is_deterministic(
+        seed in 0u64..32,
+        col in 0usize..40,
+        mapping in arb_mapping(),
+    ) {
+        let a = random_unsymmetric(40, 3, seed);
+        let scenario = FailScenario::new();
+        scenario.force_breakdown_at(col);
+        for &threads in &THREADS {
+            match SparseLu::factor(&a, &opts(threads, mapping)).map(|_| ()) {
+                Err(LuError::NumericallySingular { column }) => {
+                    prop_assert_eq!(column, col, "threads={}", threads)
+                }
+                other => {
+                    return Err(TestCaseError::fail(format!(
+                        "threads={threads}: expected NumericallySingular({col}), got {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// The same forced breakdown under [`BreakdownPolicy::Perturb`]
+    /// completes, reports exactly the forced column in the health record,
+    /// and the solve path produces bitwise-identical finite output on
+    /// every thread count — the perturbed-column set and the factors are
+    /// schedule-independent.
+    #[test]
+    fn forced_breakdown_perturb_policy_is_deterministic(
+        seed in 0u64..32,
+        col in 0usize..40,
+        mapping in arb_mapping(),
+    ) {
+        let a = random_unsymmetric(40, 3, seed);
+        let (_, b) = manufactured_rhs(&a, seed ^ 0x5eed);
+        let scenario = FailScenario::new();
+        scenario.force_breakdown_at(col);
+        let mut reference: Option<(Vec<usize>, f64, Vec<f64>)> = None;
+        for &threads in &THREADS {
+            let o = Options {
+                breakdown: BreakdownPolicy::perturb_default(),
+                ..opts(threads, mapping)
+            };
+            let lu = SparseLu::factor(&a, &o).expect("perturb policy completes");
+            let health = lu.health().clone();
+            prop_assert_eq!(&health.perturbed_columns, &vec![col], "threads={}", threads);
+            prop_assert!(health.max_perturbation > 0.0 && health.max_perturbation.is_finite());
+            prop_assert!(health.condest.is_some(), "perturbed factors carry a condest");
+            let x = lu.solve(&b);
+            prop_assert!(x.iter().all(|v| v.is_finite()), "threads={}", threads);
+            match &reference {
+                None => reference = Some((health.perturbed_columns, health.max_perturbation, x)),
+                Some((cols, maxp, x0)) => {
+                    prop_assert_eq!(&health.perturbed_columns, cols, "threads={}", threads);
+                    prop_assert_eq!(health.max_perturbation, *maxp, "threads={}", threads);
+                    prop_assert_eq!(&x, x0, "solution bits differ at threads={}", threads);
+                }
+            }
+        }
+    }
+
+    /// Non-finite input values are rejected up front as
+    /// [`LuError::NonFiniteInput`] naming the offending column — the
+    /// parallel numeric phase never sees them.
+    #[test]
+    fn non_finite_input_is_rejected_before_factorization(
+        seed in 0u64..32,
+        pos in 0usize..1000,
+        inf in 0usize..2,
+        mapping in arb_mapping(),
+    ) {
+        let a = random_unsymmetric(40, 3, seed);
+        let bad = if inf == 1 { f64::INFINITY } else { f64::NAN };
+        let (mut coo_r, mut coo_c, mut coo_v) = (Vec::new(), Vec::new(), Vec::new());
+        for (i, j, v) in a.triplets() {
+            coo_r.push(i);
+            coo_c.push(j);
+            coo_v.push(v);
+        }
+        let hit = pos % coo_v.len();
+        coo_v[hit] = bad;
+        let expect_col = coo_c[hit];
+        let t: Vec<(usize, usize, f64)> = coo_r
+            .into_iter()
+            .zip(coo_c)
+            .zip(coo_v)
+            .map(|((i, j), v)| (i, j, v))
+            .collect();
+        let poisoned = parsplu::sparse::CscMatrix::from_triplets(40, 40, &t).unwrap();
+        for &threads in &THREADS {
+            match SparseLu::factor(&poisoned, &opts(threads, mapping)).map(|_| ()) {
+                Err(LuError::NonFiniteInput { column }) => {
+                    prop_assert_eq!(column, expect_col, "threads={}", threads)
+                }
+                other => {
+                    return Err(TestCaseError::fail(format!(
+                        "threads={threads}: expected NonFiniteInput, got {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+}
+
+/// After a contained injected panic, the very same process can factor the
+/// same matrix cleanly — no poisoned locks, no leaked abort flags.
+#[test]
+fn factorization_recovers_after_injected_panic() {
+    let a = random_unsymmetric(48, 3, 7);
+    let (_, b) = manufactured_rhs(&a, 8);
+    for &threads in &THREADS {
+        let o = opts(threads, Mapping::Dynamic);
+        {
+            let scenario = FailScenario::new();
+            scenario.panic_at_factor(0);
+            let err = SparseLu::factor(&a, &o).map(|_| ()).unwrap_err();
+            assert!(matches!(err, LuError::WorkerPanic { .. }), "{err:?}");
+        }
+        // Scenario dropped: the same inputs now factor and solve cleanly.
+        let lu = SparseLu::factor(&a, &o).expect("clean run after contained panic");
+        let x = lu.solve(&b);
+        assert!(parsplu::sparse::relative_residual(&a, &x, &b) < 1e-10);
+    }
+}
+
+/// Arming a failpoint while [`PivotRule::Diagonal`] and natural ordering
+/// are active exercises the restricted-pivoting panel path too.
+#[test]
+fn forced_breakdown_hits_the_diagonal_rule_path() {
+    let a = random_unsymmetric(32, 2, 3);
+    let o = Options {
+        ordering: OrderingChoice::Natural,
+        postorder: false,
+        pivot_rule: PivotRule::Diagonal,
+        threads: 2,
+        ..Options::default()
+    };
+    let scenario = FailScenario::new();
+    scenario.force_breakdown_at(17);
+    match SparseLu::factor(&a, &o).map(|_| ()) {
+        Err(LuError::NumericallySingular { column }) => assert_eq!(column, 17),
+        other => panic!("expected NumericallySingular(17), got {other:?}"),
+    }
+}
