@@ -45,6 +45,33 @@ pub enum LuError {
         /// Human-readable description of the task that panicked.
         task: String,
     },
+    /// The run's [`CancelToken`](splu_sched::CancelToken) was cancelled
+    /// (caller request or Ctrl-C). The factorization drained cleanly; the
+    /// fields record how far it got.
+    Cancelled {
+        /// Block columns fully factored before the cancellation landed.
+        columns_done: usize,
+        /// Scheduler tasks not yet retired when the interrupt tripped.
+        tasks_pending: usize,
+    },
+    /// The run's deadline ([`RunBudget::deadline`](splu_sched::RunBudget))
+    /// passed. Checked at task boundaries, so detection latency is bounded
+    /// by the longest single task.
+    DeadlineExceeded {
+        /// Block columns fully factored before the deadline fired.
+        columns_done: usize,
+        /// Scheduler tasks not yet retired when the interrupt tripped.
+        tasks_pending: usize,
+    },
+    /// The liveness watchdog observed no scheduler progress for a full
+    /// stall window and aborted the run.
+    Stalled {
+        /// Block columns fully factored before the stall was declared.
+        columns_done: usize,
+        /// The watchdog's diagnosis: per-worker states, last tasks,
+        /// heartbeat epochs, and ready-queue depths.
+        report: splu_sched::StallReport,
+    },
     /// Propagated symbolic-phase error.
     Symbolic(SymbolicError),
     /// Propagated substrate error.
@@ -77,6 +104,35 @@ impl std::fmt::Display for LuError {
             }
             LuError::WorkerPanic { worker, task } => {
                 write!(f, "worker {worker} panicked in task {task}")
+            }
+            LuError::Cancelled {
+                columns_done,
+                tasks_pending,
+            } => {
+                write!(
+                    f,
+                    "factorization cancelled: {columns_done} column(s) done, \
+                     {tasks_pending} task(s) pending"
+                )
+            }
+            LuError::DeadlineExceeded {
+                columns_done,
+                tasks_pending,
+            } => {
+                write!(
+                    f,
+                    "factorization deadline exceeded: {columns_done} column(s) done, \
+                     {tasks_pending} task(s) pending"
+                )
+            }
+            LuError::Stalled {
+                columns_done,
+                report,
+            } => {
+                write!(
+                    f,
+                    "factorization stalled after {columns_done} column(s): {report}"
+                )
             }
             LuError::Symbolic(e) => write!(f, "symbolic phase: {e}"),
             LuError::Sparse(e) => write!(f, "sparse substrate: {e}"),
@@ -125,5 +181,35 @@ mod tests {
         };
         assert!(wp.to_string().contains("worker 2"));
         assert!(wp.to_string().contains("Factor(5)"));
+    }
+
+    #[test]
+    fn interrupt_errors_report_progress() {
+        let c = LuError::Cancelled {
+            columns_done: 11,
+            tasks_pending: 4,
+        };
+        assert!(c.to_string().contains("11 column(s)"));
+        assert!(c.to_string().contains("4 task(s)"));
+        let d = LuError::DeadlineExceeded {
+            columns_done: 0,
+            tasks_pending: 9,
+        };
+        assert!(d.to_string().contains("deadline"));
+        assert!(d.to_string().contains("9 task(s)"));
+        let s = LuError::Stalled {
+            columns_done: 3,
+            report: splu_sched::StallReport {
+                stalled_for: std::time::Duration::from_millis(120),
+                tasks_pending: 2,
+                workers: vec![],
+                queue_depths: vec![1],
+            },
+        };
+        assert!(s.to_string().contains("stalled after 3 column(s)"));
+        assert!(s.to_string().contains("120 ms"));
+        // Structured comparison works (the variants are Eq).
+        assert_eq!(c.clone(), c);
+        assert_ne!(c, d);
     }
 }

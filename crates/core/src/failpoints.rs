@@ -6,7 +6,7 @@
 //! them), sets the injection knobs, runs a factorization, and the guard
 //! resets every knob on drop — panicking test bodies included.
 //!
-//! Two injection points exist, both keyed deterministically so a fault
+//! Three injection points exist, all keyed deterministically so a fault
 //! fires at the same place on every thread count and mapping:
 //!
 //! * [`FailScenario::panic_at_factor`] — the `Factor(k)` task body panics
@@ -15,10 +15,24 @@
 //! * [`FailScenario::force_breakdown_at`] — the pivot search at one global
 //!   column behaves as if every candidate were below the threshold,
 //!   exercising the breakdown policy
-//!   ([`crate::BreakdownPolicy`]).
+//!   ([`crate::BreakdownPolicy`]);
+//! * [`FailScenario::stall_at_factor`] — the `Factor(k)` task body parks
+//!   (sleep-loops) until the run is cancelled or fails, simulating a hung
+//!   worker for the liveness watchdog ([`crate::LuError::Stalled`]). The
+//!   stall is cooperative: the watchdog's abort cancels the run token,
+//!   which releases the parked task so the run drains instead of leaking
+//!   a thread.
+//!
+//! The scenario lock is a `parking_lot`-style mutex that **never
+//! poisons**: a test that panics while holding a scenario (the panic
+//! containment tests do this on purpose, on worker threads) must not
+//! poison the lock and cascade spurious failures into every later
+//! scenario. `tests/failpoints.rs` carries a regression test for exactly
+//! that.
 
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
 
 /// Sentinel for "injection point disarmed".
 const OFF: usize = usize::MAX;
@@ -26,10 +40,12 @@ const OFF: usize = usize::MAX;
 static SCENARIO_LOCK: Mutex<()> = Mutex::new(());
 static PANIC_AT_FACTOR: AtomicUsize = AtomicUsize::new(OFF);
 static FORCE_BREAKDOWN_AT: AtomicUsize = AtomicUsize::new(OFF);
+static STALL_AT_FACTOR: AtomicUsize = AtomicUsize::new(OFF);
 
 fn reset() {
     PANIC_AT_FACTOR.store(OFF, Ordering::SeqCst);
     FORCE_BREAKDOWN_AT.store(OFF, Ordering::SeqCst);
+    STALL_AT_FACTOR.store(OFF, Ordering::SeqCst);
 }
 
 /// RAII guard over one fault-injection scenario: creation takes the
@@ -59,6 +75,14 @@ impl FailScenario {
     pub fn force_breakdown_at(&self, col: usize) {
         FORCE_BREAKDOWN_AT.store(col, Ordering::SeqCst);
     }
+
+    /// Arms an indefinite cooperative stall inside the `Factor(k)` task
+    /// body for block column `k`: the task sleep-loops until the run is
+    /// cancelled or another failure aborts it. Pair with a watchdog (or a
+    /// cancellation) so the run can drain.
+    pub fn stall_at_factor(&self, k: usize) {
+        STALL_AT_FACTOR.store(k, Ordering::SeqCst);
+    }
 }
 
 impl Default for FailScenario {
@@ -85,4 +109,20 @@ pub(crate) fn maybe_panic_factor(k: usize) {
 pub(crate) fn forced_breakdown_column() -> Option<usize> {
     let v = FORCE_BREAKDOWN_AT.load(Ordering::SeqCst);
     (v != OFF).then_some(v)
+}
+
+/// Checked by the `Factor(k)` task body: if this block column is the armed
+/// stall target, sleep-loop until `release` reports the run is being torn
+/// down (token cancelled, abort latched, or another task failed). The knob
+/// is cleared on entry so a retry of the same column (or the next
+/// scenario) is not re-stalled.
+pub(crate) fn maybe_stall_factor(k: usize, release: &dyn Fn() -> bool) {
+    if STALL_AT_FACTOR
+        .compare_exchange(k, OFF, Ordering::SeqCst, Ordering::SeqCst)
+        .is_ok()
+    {
+        while !release() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
 }

@@ -59,7 +59,9 @@ pub use solve::{
 };
 pub use splu_dense::{Dispatch, KernelChoice, PanelBreakdown, PivotRule};
 pub use splu_sched::{
-    ExecReport, ExecTrace, FactorHealth, SchedStats, TaskPanic, TraceConfig, TraceMode, WorkerStats,
+    CancelToken, ExecReport, ExecTrace, FactorHealth, Interrupt, RunBudget, SchedStats,
+    StallReport, TaskPanic, TraceConfig, TraceMode, WatchdogConfig, WorkerSnapshot, WorkerState,
+    WorkerStats,
 };
 
 mod condest;
@@ -98,7 +100,7 @@ pub enum TaskGraphKind {
 }
 
 /// Driver configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Options {
     /// Fill-reducing ordering (paper: minimum degree on `AᵀA`).
     pub ordering: OrderingChoice,
@@ -129,6 +131,12 @@ pub struct Options {
     /// ([`BreakdownPolicy::Error`], the default) or perturb the diagonal
     /// and recover through refinement ([`BreakdownPolicy::Perturb`]).
     pub breakdown: BreakdownPolicy,
+    /// Bounds on the numeric phase: a [`CancelToken`] (caller or Ctrl-C
+    /// driven), a wall-clock deadline, and/or a liveness watchdog.
+    /// Unbounded by default; an interrupted run drains every worker and
+    /// returns [`LuError::Cancelled`] / [`LuError::DeadlineExceeded`] /
+    /// [`LuError::Stalled`] with progress attached.
+    pub budget: RunBudget,
 }
 
 impl Default for Options {
@@ -145,6 +153,7 @@ impl Default for Options {
             equilibrate: false,
             kernels: KernelChoice::Portable,
             breakdown: BreakdownPolicy::Error,
+            budget: RunBudget::default(),
         }
     }
 }
@@ -244,7 +253,8 @@ impl SymbolicLu {
                 .threads(threads)
                 .pivot_threshold(pivot_threshold)
                 .kernels(self.opts.kernels)
-                .breakdown(self.opts.breakdown),
+                .breakdown(self.opts.breakdown)
+                .budget(self.opts.budget.clone()),
         )?;
         Ok(NumericLu { sym: self, bm })
     }
@@ -361,7 +371,7 @@ pub fn analyze(pattern: &SparsityPattern, opts: &Options) -> Result<SymbolicLu, 
         block_structure,
         block_forest: bf,
         stats,
-        opts: *opts,
+        opts: opts.clone(),
     })
 }
 
@@ -405,7 +415,8 @@ impl SparseLu {
                 .pivot_rule(opts.pivot_rule)
                 .pivot_threshold(opts.pivot_threshold)
                 .kernels(opts.kernels)
-                .breakdown(opts.breakdown),
+                .breakdown(opts.breakdown)
+                .budget(opts.budget.clone()),
         )?;
         let mut lu = SparseLu {
             sym,

@@ -27,10 +27,10 @@ use crate::LuError;
 use parking_lot::Mutex;
 use splu_dense::{Dispatch, KernelChoice, PanelBreakdown, PivotRule};
 use splu_sched::{
-    execute_dag_report, execute_traced, ExecReport, FineGraph, FineTask, Mapping, Task, TaskGraph,
-    TraceConfig,
+    execute_dag_report_budgeted, execute_traced_budgeted, CancelToken, ExecReport, FineGraph,
+    FineTask, Interrupt, Mapping, RunBudget, Task, TaskGraph, TraceConfig,
 };
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// What the factorization does at a column whose static structure offers no
 /// pivot above the threshold.
@@ -81,7 +81,7 @@ pub enum GraphRef<'g> {
 /// All parameters of one numeric factorization. Build with
 /// [`NumericRequest::coarse`] / [`NumericRequest::fine`], adjust with the
 /// chainable setters, run with [`factor_numeric_with`].
-#[derive(Clone, Copy)]
+#[derive(Clone)]
 pub struct NumericRequest<'g> {
     /// The task graph (and, for the coarse form, its mapping).
     pub graph: GraphRef<'g>,
@@ -98,6 +98,11 @@ pub struct NumericRequest<'g> {
     /// What to do at a column with no acceptable pivot
     /// ([`BreakdownPolicy::Error`] by default).
     pub breakdown: BreakdownPolicy,
+    /// Run bounds: cancellation token, deadline, liveness watchdog. The
+    /// default is unbounded; an interrupted run drains and returns
+    /// [`LuError::Cancelled`] / [`LuError::DeadlineExceeded`] /
+    /// [`LuError::Stalled`] with progress attached.
+    pub budget: RunBudget,
 }
 
 impl<'g> NumericRequest<'g> {
@@ -122,6 +127,7 @@ impl<'g> NumericRequest<'g> {
             trace: TraceConfig::off(),
             kernels: KernelChoice::Portable,
             breakdown: BreakdownPolicy::Error,
+            budget: RunBudget::default(),
         }
     }
 
@@ -160,6 +166,12 @@ impl<'g> NumericRequest<'g> {
         self.breakdown = policy;
         self
     }
+
+    /// Sets the run budget (cancellation / deadline / watchdog).
+    pub fn budget(mut self, budget: RunBudget) -> Self {
+        self.budget = budget;
+        self
+    }
 }
 
 /// Runs one numeric factorization described by `req` over the assembled
@@ -172,6 +184,11 @@ impl<'g> NumericRequest<'g> {
 /// panic is contained by the executor and surfaces as
 /// [`LuError::WorkerPanic`] — never as an unwind or a hang.
 ///
+/// A bounded run ([`NumericRequest::budget`]) that is cancelled, misses its
+/// deadline, or trips the liveness watchdog likewise drains every worker
+/// and returns the matching [`LuError`] variant with the number of block
+/// columns completed and tasks still pending.
+///
 /// This is the single driver behind every public factorization entry point;
 /// the kernel table is resolved from `req.kernels` exactly once here.
 pub fn factor_numeric_with(
@@ -179,7 +196,15 @@ pub fn factor_numeric_with(
     req: &NumericRequest<'_>,
 ) -> Result<ExecReport, LuError> {
     let dispatch = Dispatch::resolve(req.kernels);
+    // Effective budget: a deadline or watchdog without a caller token gets
+    // an internal one, so a budget trip can release cooperative waiters
+    // (e.g. the stall failpoint) that poll the token.
+    let mut budget = req.budget.clone();
+    if budget.token.is_none() && (budget.deadline.is_some() || budget.watchdog.is_some()) {
+        budget.token = Some(CancelToken::new());
+    }
     let failed = AtomicBool::new(false);
+    let columns_done = AtomicUsize::new(0);
     let first_error: Mutex<Option<LuError>> = Mutex::new(None);
     let perturbed: Mutex<Vec<(usize, f64)>> = Mutex::new(Vec::new());
     // Resolve the policy once: the perturbation is `eps·‖A‖₁` of the
@@ -197,6 +222,11 @@ pub fn factor_numeric_with(
         #[cfg(feature = "failpoints")]
         crate::failpoints::maybe_panic_factor(k);
         #[cfg(feature = "failpoints")]
+        crate::failpoints::maybe_stall_factor(k, &|| {
+            failed.load(Ordering::Acquire)
+                || budget.token.as_ref().is_some_and(|t| t.is_cancelled())
+        });
+        #[cfg(feature = "failpoints")]
         let force = crate::failpoints::forced_breakdown_column();
         #[cfg(not(feature = "failpoints"))]
         let force = None;
@@ -209,6 +239,7 @@ pub fn factor_numeric_with(
             force,
         ) {
             Ok(p) => {
+                columns_done.fetch_add(1, Ordering::Relaxed);
                 if !p.is_empty() {
                     perturbed.lock().extend(p);
                 }
@@ -220,7 +251,7 @@ pub fn factor_numeric_with(
         }
     };
     let mut report = match req.graph {
-        GraphRef::Coarse { graph, mapping } => execute_traced(
+        GraphRef::Coarse { graph, mapping } => execute_traced_budgeted(
             graph,
             req.threads,
             mapping,
@@ -234,8 +265,9 @@ pub fn factor_numeric_with(
                 }
             },
             &req.trace,
+            &budget,
         ),
-        GraphRef::Fine(fg) => execute_dag_report(
+        GraphRef::Fine(fg) => execute_dag_report_budgeted(
             fg.len(),
             fg.pred_counts(),
             |t| fg.successors(t),
@@ -256,6 +288,7 @@ pub fn factor_numeric_with(
                 }
             },
             &req.trace,
+            &budget,
         ),
     };
     report.stats.panel_copies = bm.panel_copy_count();
@@ -271,6 +304,23 @@ pub fn factor_numeric_with(
         return Err(LuError::WorkerPanic {
             worker: p.worker,
             task,
+        });
+    }
+    if let Some(interrupt) = report.interrupt.take() {
+        let columns_done = columns_done.load(Ordering::Relaxed);
+        return Err(match interrupt {
+            Interrupt::Cancelled { tasks_pending } => LuError::Cancelled {
+                columns_done,
+                tasks_pending,
+            },
+            Interrupt::DeadlineExceeded { tasks_pending } => LuError::DeadlineExceeded {
+                columns_done,
+                tasks_pending,
+            },
+            Interrupt::Stalled(report) => LuError::Stalled {
+                columns_done,
+                report,
+            },
         });
     }
     let mut perturbed = perturbed.into_inner();
@@ -355,6 +405,36 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// A pre-cancelled token yields a structured `Cancelled` error with
+    /// zero progress, and the same storage then factors cleanly once the
+    /// budget is lifted (the drained run left no partial state behind).
+    #[test]
+    fn pre_cancelled_budget_returns_structured_error() {
+        let a = random_matrix(30, 100, 11);
+        let f = static_symbolic_factorization(a.pattern()).unwrap();
+        let bs = BlockStructure::new(&f, supernode_partition(&f));
+        let graph = build_eforest_graph(&bs);
+
+        let token = CancelToken::new();
+        token.cancel();
+        let req = NumericRequest::coarse(&graph, Mapping::Dynamic)
+            .threads(2)
+            .budget(RunBudget::unbounded().with_token(token));
+        let bm = BlockMatrix::assemble(&a, &bs);
+        match factor_numeric_with(&bm, &req) {
+            Err(LuError::Cancelled {
+                columns_done,
+                tasks_pending,
+            }) => {
+                assert_eq!(columns_done, 0, "no task ran under a pre-cancelled token");
+                assert!(tasks_pending > 0);
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        let req = req.budget(RunBudget::default());
+        factor_numeric_with(&bm, &req).unwrap();
     }
 
     /// The fine path honours the pivot rule (it could not before the

@@ -27,6 +27,12 @@
 //!   Gilbert's disjoint-row-structure property makes concurrent updates of
 //!   one column commute bitwise.
 //!
+//! The synchronization primitives the worker loops are built on — the
+//! sleep [`Gate`], the legacy FIFO [`ReadyQueue`], the [`Countdown`] of
+//! unretired tasks and the abort latch — live in [`crate::sync`], where a
+//! `cfg(loom)` shim lets the loom harness model-check them (no lost
+//! wakeup, abort broadcast terminates every worker, `started == retired`).
+//!
 //! Shutdown uses a gate (mutex + condvar) per pool owner: a pusher acquires
 //! the gate lock before notifying, and a parking worker re-checks both the
 //! pools and the remaining-task count under that same lock before waiting,
@@ -41,17 +47,28 @@
 //! points ([`execute`], [`execute_dag`], …) re-raise it, preserving their
 //! historical semantics.
 //!
+//! The same abort-broadcast path also serves the **run budget**
+//! ([`crate::RunBudget`]): the `_budgeted` entry points check a
+//! cancellation token and a deadline at every task-acquisition boundary,
+//! and can spawn a watchdog monitor that reads the per-worker heartbeat
+//! epochs and aborts a run that makes no progress for
+//! a full stall window. An interrupted run **drains** — workers exit at
+//! their next boundary, parked workers are woken — and the reason lands in
+//! [`ExecReport::interrupt`]. All checks are cooperative: a task body is
+//! never killed mid-flight, so enforcement latency is bounded by the
+//! longest single task.
+//!
 //! The previous executor — one shared FIFO queue, no priorities — is kept
 //! verbatim as [`execute_dag_fifo`]/[`execute_fifo`] so benchmarks can
 //! measure the scheduling improvement against an unchanged baseline.
 
+use crate::control::{RunBudget, Supervisor};
 use crate::graph::TaskGraph;
+use crate::sync::{AtomicUsize, Gate, Mutex, Ordering, Park, ReadyQueue};
 use crate::trace::{assemble_report, ExecReport, TaskPanic, TraceConfig, WorkerRecorder};
 use crate::Task;
-use parking_lot::{Condvar, Mutex};
 use std::collections::{BinaryHeap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Best-effort extraction of a panic payload's message (the `&str`/`String`
@@ -97,33 +114,6 @@ impl Ord for Ready {
 impl PartialOrd for Ready {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
-    }
-}
-
-/// Sleep gate: pushers notify under the lock; parkers re-check work and
-/// termination under the lock before waiting. See the module docs for the
-/// lost-wakeup argument.
-struct Gate {
-    lock: Mutex<()>,
-    cv: Condvar,
-}
-
-impl Gate {
-    fn new() -> Self {
-        Gate {
-            lock: Mutex::new(()),
-            cv: Condvar::new(),
-        }
-    }
-
-    fn notify_one(&self) {
-        let _guard = self.lock.lock();
-        self.cv.notify_one();
-    }
-
-    fn notify_all(&self) {
-        let _guard = self.lock.lock();
-        self.cv.notify_all();
     }
 }
 
@@ -219,10 +209,48 @@ where
     Q: Fn(usize) -> usize + Sync,
     F: Fn(usize) + Sync,
 {
+    execute_dag_with_priorities_report_budgeted(
+        n_tasks,
+        pred_counts,
+        successors,
+        priority,
+        nthreads,
+        nqueues,
+        queue_of,
+        runner,
+        config,
+        &RunBudget::default(),
+    )
+}
+
+/// [`execute_dag_with_priorities_report`] bounded by a [`RunBudget`]:
+/// cancellation token and deadline are checked at every task-acquisition
+/// boundary, and `budget.watchdog` spawns a monitor thread that aborts the
+/// run (with a [`crate::StallReport`]) when no worker makes progress for a
+/// stall window. An interrupted run returns with
+/// [`ExecReport::interrupt`] set; the default budget is free.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_dag_with_priorities_report_budgeted<'a, S, Q, F>(
+    n_tasks: usize,
+    pred_counts: &[usize],
+    successors: S,
+    priority: &[u64],
+    nthreads: usize,
+    nqueues: usize,
+    queue_of: Q,
+    runner: F,
+    config: &TraceConfig,
+    budget: &RunBudget,
+) -> ExecReport
+where
+    S: Fn(usize) -> &'a [usize] + Sync,
+    Q: Fn(usize) -> usize + Sync,
+    F: Fn(usize) + Sync,
+{
     let nthreads = nthreads.max(1);
     let epoch = Instant::now();
     if n_tasks == 0 {
-        return assemble_report(0, nthreads, 0.0, config, Vec::new(), None);
+        return assemble_report(0, nthreads, 0.0, config, Vec::new(), None, None);
     }
     assert!(nqueues == 1 || nqueues == nthreads, "queue/worker mismatch");
     assert_eq!(priority.len(), n_tasks, "one priority per task");
@@ -234,13 +262,19 @@ where
         .map(|_| Gate::new())
         .collect();
     let indeg: Vec<AtomicUsize> = pred_counts.iter().map(|&c| AtomicUsize::new(c)).collect();
-    let remaining = AtomicUsize::new(n_tasks);
-    let aborted = AtomicBool::new(false);
+    let sup = Supervisor::new(n_tasks, nthreads, budget);
     // Drained worker recorders; locked once per worker, at exit.
     let drained = Mutex::new(Vec::with_capacity(nthreads));
     // First caught worker panic; reported through `ExecReport::panic`
     // instead of unwinding out of the scope.
     let panicked: Mutex<Option<TaskPanic>> = Mutex::new(None);
+    // The run-wide wake broadcast: last retire, panic containment, and
+    // budget interrupts all go through it so no worker stays parked.
+    let wake_all = || {
+        for g in &gates {
+            g.notify_all();
+        }
+    };
 
     // Seed the pools: owners get their own roots; in stealing mode roots are
     // dealt round-robin so all workers start busy.
@@ -262,18 +296,28 @@ where
     }
 
     crossbeam::thread::scope(|scope| {
+        if let Some(cfg) = budget.watchdog {
+            let sup = &sup;
+            let wake_all = &wake_all;
+            let pools = &pools;
+            scope.spawn(move |_| {
+                sup.monitor(cfg, wake_all, &|| {
+                    pools.iter().map(|p| p.lock().len()).collect()
+                });
+            });
+        }
         for w in 0..nthreads {
             let pools = &pools;
             let gates = &gates;
             let indeg = &indeg;
-            let remaining = &remaining;
-            let aborted = &aborted;
+            let sup = &sup;
             let runner = &runner;
             let successors = &successors;
             let queue_of = &queue_of;
             let priority = &priority;
             let drained = &drained;
             let panicked = &panicked;
+            let wake_all = &wake_all;
             scope.spawn(move |_| {
                 let mut rec = WorkerRecorder::new(w, nthreads, config, epoch);
                 let my_gate = &gates[if owner_mode { w } else { 0 }];
@@ -282,15 +326,17 @@ where
                 let mut body = || {
                     'work: loop {
                         // Acquire a task: own pool first, then (Dynamic only)
-                        // steal from the first non-empty victim.
+                        // steal from the first non-empty victim. The budget
+                        // check runs first, outside every lock.
                         let tid = 'acquire: loop {
-                            if aborted.load(Ordering::Acquire) {
+                            if sup.check_budget(wake_all) {
                                 return;
                             }
                             if let Some(r) = pools[w].lock().pop() {
                                 break 'acquire r.tid;
                             }
                             if !owner_mode && nthreads > 1 {
+                                sup.beat_scan(w);
                                 let t0 = rec.begin();
                                 let mut hit = None;
                                 for i in 1..nthreads {
@@ -308,28 +354,32 @@ where
                                     None => rec.end_steal(t0, w, false),
                                 }
                             }
-                            // Park. The gate lock makes the emptiness re-check
-                            // and the wait atomic against pushers and
-                            // retirement.
-                            let mut guard = my_gate.lock.lock();
-                            if remaining.load(Ordering::Acquire) == 0
-                                || aborted.load(Ordering::Acquire)
-                            {
-                                return;
-                            }
-                            let has_work = if owner_mode {
-                                !pools[w].lock().is_empty()
-                            } else {
-                                pools.iter().any(|p| !p.lock().is_empty())
-                            };
-                            if !has_work {
-                                let t0 = rec.begin();
-                                my_gate.cv.wait(&mut guard);
-                                rec.end_park(t0);
+                            // Park. The gate lock makes the emptiness
+                            // re-check and the wait atomic against pushers
+                            // and retirement — see `sync::Gate`.
+                            let t0 = rec.begin();
+                            sup.beat_park(w);
+                            match my_gate.park_if(
+                                || sup.remaining.is_done() || sup.is_aborted(),
+                                || {
+                                    if owner_mode {
+                                        !pools[w].lock().is_empty()
+                                    } else {
+                                        pools.iter().any(|p| !p.lock().is_empty())
+                                    }
+                                },
+                            ) {
+                                Park::Exit => return,
+                                Park::Retry => sup.beat_unpark(w),
+                                Park::Waited => {
+                                    rec.end_park(t0);
+                                    sup.beat_unpark(w);
+                                }
                             }
                         };
 
                         let t0 = rec.begin();
+                        sup.beat_task(w, tid);
                         if let Err(payload) = catch_unwind(AssertUnwindSafe(|| runner(tid))) {
                             // Containment: record the first panic for the
                             // report, then abort so no worker stays parked
@@ -344,10 +394,7 @@ where
                                 });
                             }
                             drop(slot);
-                            aborted.store(true, Ordering::Release);
-                            for g in gates {
-                                g.notify_all();
-                            }
+                            sup.abort_for_panic(wake_all);
                             return;
                         }
                         rec.end_task(t0, tid);
@@ -363,27 +410,29 @@ where
                             }
                         }
                         rec.count_retired();
-                        if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        if sup.remaining.retire() {
                             // Last task retired: broadcast once on every gate
                             // so each parked worker wakes exactly once and
-                            // exits.
-                            for g in gates {
-                                g.notify_all();
-                            }
+                            // exits, and release the watchdog monitor.
+                            wake_all();
+                            sup.on_last_retire();
                             return;
                         }
                         continue 'work;
                     }
                 };
                 body();
+                sup.mark_exited(w);
                 drained.lock().push(rec.finish());
             });
         }
     })
     .expect("executor scope failed");
+    let leftover = sup.remaining.remaining();
+    let interrupt = sup.finish();
     let panicked = panicked.into_inner();
     debug_assert!(
-        panicked.is_some() || remaining.load(Ordering::Acquire) == 0,
+        panicked.is_some() || interrupt.is_some() || leftover == 0,
         "clean shutdown must retire every task"
     );
     assemble_report(
@@ -393,6 +442,7 @@ where
         config,
         drained.into_inner(),
         panicked,
+        interrupt,
     )
 }
 
@@ -447,11 +497,43 @@ where
     Q: Fn(usize) -> usize + Sync,
     F: Fn(usize) + Sync,
 {
+    execute_dag_report_budgeted(
+        n_tasks,
+        pred_counts,
+        successors,
+        nthreads,
+        nqueues,
+        queue_of,
+        runner,
+        config,
+        &RunBudget::default(),
+    )
+}
+
+/// [`execute_dag_report`] bounded by a [`RunBudget`] — see
+/// [`execute_dag_with_priorities_report_budgeted`].
+#[allow(clippy::too_many_arguments)]
+pub fn execute_dag_report_budgeted<'a, S, Q, F>(
+    n_tasks: usize,
+    pred_counts: &[usize],
+    successors: S,
+    nthreads: usize,
+    nqueues: usize,
+    queue_of: Q,
+    runner: F,
+    config: &TraceConfig,
+    budget: &RunBudget,
+) -> ExecReport
+where
+    S: Fn(usize) -> &'a [usize] + Sync,
+    Q: Fn(usize) -> usize + Sync,
+    F: Fn(usize) + Sync,
+{
     if n_tasks == 0 {
         return ExecReport::default();
     }
     let priority = unit_bottom_levels(n_tasks, pred_counts, &successors);
-    execute_dag_with_priorities_report(
+    execute_dag_with_priorities_report_budgeted(
         n_tasks,
         pred_counts,
         successors,
@@ -461,6 +543,7 @@ where
         queue_of,
         runner,
         config,
+        budget,
     )
 }
 
@@ -494,6 +577,31 @@ pub fn execute_traced<F>(
 where
     F: Fn(Task) + Sync,
 {
+    execute_traced_budgeted(
+        graph,
+        nthreads,
+        mapping,
+        runner,
+        config,
+        &RunBudget::default(),
+    )
+}
+
+/// [`execute_traced`] bounded by a [`RunBudget`]: the graph-level budgeted
+/// entry point the numeric driver uses. Cancellation/deadline are observed
+/// at task boundaries, the optional watchdog at its poll cadence; an
+/// interrupted run drains and reports through [`ExecReport::interrupt`].
+pub fn execute_traced_budgeted<F>(
+    graph: &TaskGraph,
+    nthreads: usize,
+    mapping: Mapping,
+    runner: F,
+    config: &TraceConfig,
+    budget: &RunBudget,
+) -> ExecReport
+where
+    F: Fn(Task) + Sync,
+{
     let nthreads = nthreads.max(1);
     if graph.is_empty() {
         return ExecReport::default();
@@ -503,7 +611,7 @@ where
         Mapping::Static1D => nthreads,
         Mapping::Dynamic => 1,
     };
-    execute_dag_with_priorities_report(
+    execute_dag_with_priorities_report_budgeted(
         graph.len(),
         graph.pred_counts(),
         |t| graph.successors(t),
@@ -516,65 +624,13 @@ where
         },
         |t| runner(graph.task(t)),
         config,
+        budget,
     )
 }
 
 // ---------------------------------------------------------------------------
 // Legacy shared-FIFO executor, kept as the measurement baseline.
 // ---------------------------------------------------------------------------
-
-struct ReadyQueue {
-    deque: Mutex<VecDeque<usize>>,
-    cv: Condvar,
-}
-
-impl ReadyQueue {
-    fn new() -> Self {
-        ReadyQueue {
-            deque: Mutex::new(VecDeque::new()),
-            cv: Condvar::new(),
-        }
-    }
-
-    fn push(&self, t: usize) {
-        self.deque.lock().push_back(t);
-        self.cv.notify_one();
-    }
-
-    /// Pops a task, blocking until one arrives, all work is done, or the
-    /// run is aborted. Waits are recorded as idle (park) intervals on
-    /// `rec`.
-    fn pop(
-        &self,
-        remaining: &AtomicUsize,
-        aborted: &AtomicBool,
-        rec: &mut WorkerRecorder,
-    ) -> Option<usize> {
-        let mut q = self.deque.lock();
-        loop {
-            if aborted.load(Ordering::Acquire) {
-                return None;
-            }
-            if let Some(t) = q.pop_front() {
-                return Some(t);
-            }
-            if remaining.load(Ordering::Acquire) == 0 {
-                return None;
-            }
-            let t0 = rec.begin();
-            self.cv.wait(&mut q);
-            rec.end_park(t0);
-        }
-    }
-
-    fn wake_all(&self) {
-        // Taken under the deque lock: a waiter checks `remaining`/`aborted`
-        // while holding it, so an unlocked broadcast could slip between that
-        // check and the wait and lose the wakeup.
-        let _q = self.deque.lock();
-        self.cv.notify_all();
-    }
-}
 
 /// The pre-work-stealing executor: plain FIFO ready queues (one shared
 /// queue for `nqueues == 1`, one per worker for `nqueues == nthreads`), no
@@ -628,18 +684,55 @@ where
     Q: Fn(usize) -> usize + Sync,
     F: Fn(usize) + Sync,
 {
+    execute_dag_fifo_report_budgeted(
+        n_tasks,
+        pred_counts,
+        successors,
+        nthreads,
+        nqueues,
+        queue_of,
+        runner,
+        config,
+        &RunBudget::default(),
+    )
+}
+
+/// [`execute_dag_fifo_report`] bounded by a [`RunBudget`] — the baseline
+/// executor honours the same cancellation/deadline/watchdog contract as the
+/// work-stealing one, so robustness tests can cover both.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_dag_fifo_report_budgeted<'a, S, Q, F>(
+    n_tasks: usize,
+    pred_counts: &[usize],
+    successors: S,
+    nthreads: usize,
+    nqueues: usize,
+    queue_of: Q,
+    runner: F,
+    config: &TraceConfig,
+    budget: &RunBudget,
+) -> ExecReport
+where
+    S: Fn(usize) -> &'a [usize] + Sync,
+    Q: Fn(usize) -> usize + Sync,
+    F: Fn(usize) + Sync,
+{
     let nthreads = nthreads.max(1);
     let epoch = Instant::now();
     if n_tasks == 0 {
-        return assemble_report(0, nthreads, 0.0, config, Vec::new(), None);
+        return assemble_report(0, nthreads, 0.0, config, Vec::new(), None, None);
     }
     assert!(nqueues == 1 || nqueues == nthreads, "queue/worker mismatch");
     let queues: Vec<ReadyQueue> = (0..nqueues).map(|_| ReadyQueue::new()).collect();
     let indeg: Vec<AtomicUsize> = pred_counts.iter().map(|&c| AtomicUsize::new(c)).collect();
-    let remaining = AtomicUsize::new(n_tasks);
-    let aborted = AtomicBool::new(false);
+    let sup = Supervisor::new(n_tasks, nthreads, budget);
     let drained = Mutex::new(Vec::with_capacity(nthreads));
     let panicked: Mutex<Option<TaskPanic>> = Mutex::new(None);
+    let wake_all = || {
+        for q in &queues {
+            q.wake_all();
+        }
+    };
 
     for (t, &c) in pred_counts.iter().enumerate() {
         if c == 0 {
@@ -648,21 +741,53 @@ where
     }
 
     crossbeam::thread::scope(|scope| {
+        if let Some(cfg) = budget.watchdog {
+            let sup = &sup;
+            let wake_all = &wake_all;
+            let queues = &queues;
+            scope.spawn(move |_| {
+                sup.monitor(cfg, wake_all, &|| queues.iter().map(|q| q.len()).collect());
+            });
+        }
         for w in 0..nthreads {
             let queues = &queues;
             let indeg = &indeg;
-            let remaining = &remaining;
+            let sup = &sup;
             let runner = &runner;
             let successors = &successors;
             let queue_of = &queue_of;
             let drained = &drained;
-            let aborted = &aborted;
             let panicked = &panicked;
+            let wake_all = &wake_all;
             let my_queue = &queues[if nqueues == 1 { 0 } else { w }];
             scope.spawn(move |_| {
                 let mut rec = WorkerRecorder::new(w, nthreads, config, epoch);
-                while let Some(tid) = my_queue.pop(remaining, aborted, &mut rec) {
+                loop {
+                    // Budget check first, outside the deque lock: the trip
+                    // path's wake broadcast locks the deque, so checking
+                    // inside `pop` would deadlock.
+                    if sup.check_budget(wake_all) {
+                        break;
+                    }
+                    let mut park_t0 = None;
+                    let popped = my_queue.pop(
+                        || sup.is_aborted(),
+                        || sup.remaining.is_done(),
+                        |parking| {
+                            if parking {
+                                sup.beat_park(w);
+                                park_t0 = Some(rec.begin());
+                            } else {
+                                if let Some(t0) = park_t0.take() {
+                                    rec.end_park(t0);
+                                }
+                                sup.beat_unpark(w);
+                            }
+                        },
+                    );
+                    let Some(tid) = popped else { break };
                     let t0 = rec.begin();
+                    sup.beat_task(w, tid);
                     if let Err(payload) = catch_unwind(AssertUnwindSafe(|| runner(tid))) {
                         // Same containment contract as the priority
                         // executor: record, abort, wake everyone, exit.
@@ -675,10 +800,7 @@ where
                             });
                         }
                         drop(slot);
-                        aborted.store(true, Ordering::Release);
-                        for q in queues {
-                            q.wake_all();
-                        }
+                        sup.abort_for_panic(wake_all);
                         break;
                     }
                     rec.end_task(t0, tid);
@@ -688,20 +810,22 @@ where
                         }
                     }
                     rec.count_retired();
-                    if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                        for q in queues {
-                            q.wake_all();
-                        }
+                    if sup.remaining.retire() {
+                        wake_all();
+                        sup.on_last_retire();
                     }
                 }
+                sup.mark_exited(w);
                 drained.lock().push(rec.finish());
             });
         }
     })
     .expect("executor scope failed");
+    let leftover = sup.remaining.remaining();
+    let interrupt = sup.finish();
     let panicked = panicked.into_inner();
     debug_assert!(
-        panicked.is_some() || remaining.load(Ordering::Acquire) == 0,
+        panicked.is_some() || interrupt.is_some() || leftover == 0,
         "clean shutdown must retire every task"
     );
     assemble_report(
@@ -711,6 +835,7 @@ where
         config,
         drained.into_inner(),
         panicked,
+        interrupt,
     )
 }
 
@@ -738,6 +863,29 @@ pub fn execute_fifo_traced<F>(
 where
     F: Fn(Task) + Sync,
 {
+    execute_fifo_traced_budgeted(
+        graph,
+        nthreads,
+        mapping,
+        runner,
+        config,
+        &RunBudget::default(),
+    )
+}
+
+/// [`execute_fifo_traced`] bounded by a [`RunBudget`] — the baseline
+/// counterpart of [`execute_traced_budgeted`].
+pub fn execute_fifo_traced_budgeted<F>(
+    graph: &TaskGraph,
+    nthreads: usize,
+    mapping: Mapping,
+    runner: F,
+    config: &TraceConfig,
+    budget: &RunBudget,
+) -> ExecReport
+where
+    F: Fn(Task) + Sync,
+{
     let nthreads = nthreads.max(1);
     if graph.is_empty() {
         return ExecReport::default();
@@ -746,7 +894,7 @@ where
         Mapping::Static1D => nthreads,
         Mapping::Dynamic => 1,
     };
-    execute_dag_fifo_report(
+    execute_dag_fifo_report_budgeted(
         graph.len(),
         graph.pred_counts(),
         |t| graph.successors(t),
@@ -758,18 +906,21 @@ where
         },
         |t| runner(graph.task(t)),
         config,
+        budget,
     )
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
+    use crate::control::{CancelToken, Interrupt, WatchdogConfig};
     use crate::graph::{build_eforest_graph, build_sstar_graph};
     use parking_lot::Mutex as PlMutex;
     use splu_sparse::SparsityPattern;
     use splu_symbolic::static_fact::static_symbolic_factorization;
     use splu_symbolic::supernode::BlockStructure;
     use splu_symbolic::Partition;
+    use std::time::Duration;
 
     fn random_graph(n: usize, extra: usize, seed: u64) -> TaskGraph {
         use rand::rngs::SmallRng;
@@ -806,6 +957,10 @@ mod tests {
         report.stats.assert_consistent();
         assert_eq!(report.stats.nthreads, nthreads);
         assert!(report.trace.is_none(), "counters mode keeps no events");
+        assert!(
+            report.interrupt.is_none(),
+            "unbudgeted runs never interrupt"
+        );
         let log = log.into_inner();
         assert_eq!(log.len(), graph.len(), "every task runs exactly once");
         let mut pos = std::collections::HashMap::new();
@@ -1155,5 +1310,220 @@ mod tests {
             assert_eq!(ran.load(Ordering::SeqCst), 1, "round {round}");
             execute(&empty, 8, mapping, |_| panic!("no tasks expected"));
         }
+    }
+
+    // -- run-budget coverage (cancellation / deadline / watchdog) --
+
+    /// A token armed to trip at the very first checkpoint stops the run
+    /// before any task starts: the interrupt carries the full pending
+    /// count, no task runs, nothing hangs — at every thread count, both
+    /// mappings, both executors.
+    #[test]
+    fn pre_tripped_token_interrupts_before_any_task() {
+        let g = random_graph(12, 24, 3);
+        for mapping in [Mapping::Static1D, Mapping::Dynamic] {
+            for p in [1, 2, 4, 8] {
+                for fifo in [false, true] {
+                    let token = CancelToken::new();
+                    token.cancel_after_checkpoints(0);
+                    let budget = RunBudget::unbounded().with_token(token.clone());
+                    let ran = AtomicUsize::new(0);
+                    let runner = |_t: Task| {
+                        ran.fetch_add(1, Ordering::SeqCst);
+                    };
+                    let report = if fifo {
+                        execute_fifo_traced_budgeted(
+                            &g,
+                            p,
+                            mapping,
+                            runner,
+                            &TraceConfig::off(),
+                            &budget,
+                        )
+                    } else {
+                        execute_traced_budgeted(
+                            &g,
+                            p,
+                            mapping,
+                            runner,
+                            &TraceConfig::off(),
+                            &budget,
+                        )
+                    };
+                    assert_eq!(
+                        report.interrupt,
+                        Some(Interrupt::Cancelled {
+                            tasks_pending: g.len()
+                        }),
+                        "fifo={fifo} p={p} {mapping:?}"
+                    );
+                    assert_eq!(ran.load(Ordering::SeqCst), 0, "no task may start");
+                    assert!(report.panic.is_none());
+                    assert!(token.is_cancelled());
+                }
+            }
+        }
+    }
+
+    /// An already-expired deadline interrupts the same way.
+    #[test]
+    fn expired_deadline_interrupts_before_any_task() {
+        let g = random_graph(12, 24, 3);
+        let budget = RunBudget::unbounded().with_deadline(Instant::now() - Duration::from_secs(1));
+        let report = execute_traced_budgeted(
+            &g,
+            4,
+            Mapping::Dynamic,
+            |_| {},
+            &TraceConfig::off(),
+            &budget,
+        );
+        assert_eq!(
+            report.interrupt,
+            Some(Interrupt::DeadlineExceeded {
+                tasks_pending: g.len()
+            })
+        );
+    }
+
+    /// A token cancelled midway through the run still drains cleanly: the
+    /// run returns (no hang), reports the interrupt, and the retired count
+    /// never exceeds the DAG size.
+    #[test]
+    fn mid_run_cancellation_drains() {
+        let g = random_graph(20, 40, 2);
+        for trip_at in [1, 3, 7, 100] {
+            let token = CancelToken::new();
+            token.cancel_after_checkpoints(trip_at);
+            let budget = RunBudget::unbounded().with_token(token);
+            let report = execute_traced_budgeted(
+                &g,
+                4,
+                Mapping::Dynamic,
+                |_| std::thread::sleep(Duration::from_micros(20)),
+                &TraceConfig::counters(),
+                &budget,
+            );
+            assert!(report.panic.is_none());
+            assert!(report.stats.tasks_retired <= g.len() as u64);
+            match report.interrupt {
+                Some(Interrupt::Cancelled { tasks_pending }) => {
+                    assert!(tasks_pending >= 1 && tasks_pending <= g.len());
+                }
+                // With a large trip count the run may finish first.
+                None => assert_eq!(report.stats.tasks_retired, g.len() as u64),
+                other => panic!("unexpected interrupt {other:?}"),
+            }
+        }
+    }
+
+    /// A completed run is never stamped with a late cancellation: cancel
+    /// the token from the runner of the last task — by the time any worker
+    /// re-checks the budget, `remaining == 0` and the check is inert.
+    #[test]
+    fn cancel_during_last_task_yields_clean_run() {
+        let one = {
+            let p = SparsityPattern::from_entries(1, 1, vec![(0, 0)]).unwrap();
+            let f = static_symbolic_factorization(&p).unwrap();
+            let bs = BlockStructure::new(&f, Partition::singletons(1));
+            build_eforest_graph(&bs)
+        };
+        for _ in 0..100 {
+            let token = CancelToken::new();
+            let t2 = token.clone();
+            let budget = RunBudget::unbounded().with_token(token);
+            let report = execute_traced_budgeted(
+                &one,
+                4,
+                Mapping::Dynamic,
+                move |_| t2.cancel(),
+                &TraceConfig::counters(),
+                &budget,
+            );
+            assert!(report.interrupt.is_none(), "finished run must stay clean");
+            report.stats.assert_consistent();
+        }
+    }
+
+    /// Watchdog: a task that never returns on its own (it spins until the
+    /// run's token is cancelled) freezes the progress signature; the
+    /// monitor must declare a stall, trip the abort — which cancels the
+    /// token, releasing the spinning task — and the report must carry the
+    /// per-worker snapshots.
+    #[test]
+    fn watchdog_reports_stall_and_releases_cooperative_task() {
+        let n = 6;
+        let entries: Vec<(usize, usize)> = (0..n)
+            .map(|i| (i, i))
+            .chain((1..n).map(|i| (i, i - 1)))
+            .collect();
+        let p = SparsityPattern::from_entries(n, n, entries).unwrap();
+        let f = static_symbolic_factorization(&p).unwrap();
+        let bs = BlockStructure::new(&f, Partition::singletons(n));
+        let g = build_eforest_graph(&bs);
+        for fifo in [false, true] {
+            let token = CancelToken::new();
+            let t2 = token.clone();
+            let budget = RunBudget::unbounded()
+                .with_token(token.clone())
+                .with_watchdog(WatchdogConfig::new(Duration::from_millis(50)));
+            // First task stalls until cancelled; the rest are instant.
+            let first = AtomicUsize::new(0);
+            let runner = move |_t: Task| {
+                if first.fetch_add(1, Ordering::SeqCst) == 0 {
+                    while !t2.is_cancelled() {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            };
+            let report = if fifo {
+                execute_fifo_traced_budgeted(
+                    &g,
+                    2,
+                    Mapping::Dynamic,
+                    runner,
+                    &TraceConfig::off(),
+                    &budget,
+                )
+            } else {
+                execute_traced_budgeted(
+                    &g,
+                    2,
+                    Mapping::Dynamic,
+                    runner,
+                    &TraceConfig::off(),
+                    &budget,
+                )
+            };
+            match report.interrupt {
+                Some(Interrupt::Stalled(r)) => {
+                    assert!(r.stalled_for >= Duration::from_millis(50));
+                    assert!(r.tasks_pending >= 1);
+                    assert_eq!(r.workers.len(), 2);
+                    assert!(!r.queue_depths.is_empty());
+                }
+                other => panic!("fifo={fifo}: expected stall, got {other:?}"),
+            }
+            assert!(token.is_cancelled(), "stall trip must cancel the token");
+        }
+    }
+
+    /// Watchdog overhead sanity: with the monitor armed but the run
+    /// healthy, every task retires and no interrupt is reported.
+    #[test]
+    fn watchdog_stays_quiet_on_a_healthy_run() {
+        let g = random_graph(15, 30, 0);
+        let budget =
+            RunBudget::unbounded().with_watchdog(WatchdogConfig::new(Duration::from_secs(5)));
+        let report = execute_traced_budgeted(
+            &g,
+            4,
+            Mapping::Dynamic,
+            |_| {},
+            &TraceConfig::counters(),
+            &budget,
+        );
+        assert!(report.interrupt.is_none());
+        report.stats.assert_consistent();
     }
 }

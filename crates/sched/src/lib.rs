@@ -32,6 +32,13 @@
 //! ([`SchedStats`] + Chrome-trace export via [`ExecTrace::chrome_json`]),
 //! and [`simulate_dynamic_traced`] emits the comparable predicted schedule
 //! ([`SimEvent`], exported by [`sim_chrome_json`]).
+//!
+//! Runs can be bounded by a [`RunBudget`] (the `*_budgeted` entry points):
+//! a shareable [`CancelToken`], an absolute deadline, and an opt-in
+//! liveness watchdog ([`WatchdogConfig`]) that converts a hung run into a
+//! structured [`StallReport`]. The executors' synchronization primitives
+//! live in the public [`sync`] module, whose `cfg(loom)` shim lets
+//! `tests/loom.rs` model-check the park/notify and shutdown protocols.
 
 // Index-based loops are the natural idiom for the numerical kernels and
 // symbolic algorithms in this crate; iterator rewrites obscure the maths.
@@ -39,16 +46,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod control;
 mod executor;
 pub mod fine;
 mod graph;
 mod simulate;
+pub mod sync;
 mod trace;
 
+pub use control::{
+    CancelToken, Interrupt, RunBudget, StallReport, WatchdogConfig, WorkerSnapshot, WorkerState,
+};
 pub use executor::{
-    execute, execute_dag, execute_dag_fifo, execute_dag_fifo_report, execute_dag_report,
-    execute_dag_with_priorities, execute_dag_with_priorities_report, execute_fifo,
-    execute_fifo_traced, execute_traced, Mapping,
+    execute, execute_dag, execute_dag_fifo, execute_dag_fifo_report,
+    execute_dag_fifo_report_budgeted, execute_dag_report, execute_dag_report_budgeted,
+    execute_dag_with_priorities, execute_dag_with_priorities_report,
+    execute_dag_with_priorities_report_budgeted, execute_fifo, execute_fifo_traced,
+    execute_fifo_traced_budgeted, execute_traced, execute_traced_budgeted, Mapping,
 };
 pub use fine::{build_fine_graph, simulate_fine, FineGraph, FineTask, Grid};
 pub use graph::{block_forest, build_eforest_graph, build_sstar_graph, Task, TaskGraph};

@@ -387,6 +387,10 @@ pub struct ExecReport {
     /// aborted early: `stats` covers only the tasks that actually ran and
     /// [`SchedStats::assert_consistent`] does not apply.
     pub panic: Option<TaskPanic>,
+    /// Why the run was interrupted (cancellation, deadline, watchdog stall),
+    /// if it was. Like `panic`, an interrupted run aborted early and
+    /// [`SchedStats::assert_consistent`] does not apply.
+    pub interrupt: Option<crate::Interrupt>,
     /// Numeric-layer health report (perturbed columns, growth); left at its
     /// default by the raw executor — the numeric drivers fill it.
     pub health: FactorHealth,
@@ -568,6 +572,7 @@ pub(crate) fn assemble_report(
     config: &TraceConfig,
     drained: Vec<(usize, WorkerStats, Vec<TraceEvent>)>,
     panic: Option<TaskPanic>,
+    interrupt: Option<crate::Interrupt>,
 ) -> ExecReport {
     let mut workers = vec![WorkerStats::default(); nthreads];
     let mut all_events: Vec<TraceEvent> = Vec::new();
@@ -605,6 +610,7 @@ pub(crate) fn assemble_report(
         stats,
         trace,
         panic,
+        interrupt,
         health: FactorHealth::default(),
     }
 }

@@ -5,8 +5,8 @@
 //! `parsplu` binary is a thin wrapper.
 
 use splu_core::{
-    analyze, estimate_inverse_1norm, BreakdownPolicy, KernelChoice, LuError, Options,
-    OrderingChoice, PivotRule, SparseLu, TaskGraphKind,
+    analyze, estimate_inverse_1norm, BreakdownPolicy, CancelToken, KernelChoice, LuError, Options,
+    OrderingChoice, PivotRule, SparseLu, TaskGraphKind, WatchdogConfig,
 };
 use splu_matgen::{manufactured_rhs, paper_matrix, Scale};
 use splu_sched::Mapping;
@@ -15,6 +15,7 @@ use splu_sparse::{relative_residual, CscMatrix};
 use std::fmt;
 use std::fmt::Write as _;
 use std::path::Path;
+use std::time::{Duration, Instant};
 
 /// A failed CLI run: the message to print on stderr plus the process exit
 /// code the binary should use (see the `EXIT CODES` section of [`USAGE`]).
@@ -23,7 +24,8 @@ pub struct CliError {
     /// Human-readable error text.
     pub message: String,
     /// `2` usage/input errors, `3` numerical failures, `4` contained
-    /// worker panics.
+    /// worker panics, `5` deadline exceeded, `6` watchdog stall,
+    /// `130` cancelled (Ctrl-C).
     pub exit_code: i32,
 }
 
@@ -58,6 +60,10 @@ impl From<LuError> for CliError {
             | LuError::NonFiniteInput { .. }
             | LuError::NonFinitePivot { .. } => 3,
             LuError::WorkerPanic { .. } => 4,
+            LuError::DeadlineExceeded { .. } => 5,
+            LuError::Stalled { .. } => 6,
+            // 128 + SIGINT, the shell convention for an interrupted run.
+            LuError::Cancelled { .. } => 130,
             _ => 2,
         };
         CliError {
@@ -97,6 +103,11 @@ OPTIONS:
   --kernels portable|simd|auto   dense kernel implementation      [portable]
                         (simd/auto need the `simd` cargo feature; factors
                         are bitwise identical under every choice)
+  --time-limit <secs>   deadline for the numerical phase; an expired run
+                        drains its workers and exits with code 5
+  --watchdog <ms>       liveness watchdog: if the scheduler makes no
+                        progress for this window with tasks pending, the
+                        run aborts with a stall report and exit code 6
   --dot-forest <file>   (analyze) write the block eforest as Graphviz DOT
   --dot-graph <file>    (analyze) write the task graph as Graphviz DOT
   --rhs <file>          (solve) right-hand side, one value per line
@@ -104,11 +115,14 @@ OPTIONS:
   --out <file>          (solve) write the solution, one value per line
 
 EXIT CODES:
-  0  success
-  2  usage or input error (bad flags, unreadable or malformed files)
-  3  numerical failure (structural/numerical singularity, NaN/Inf input
-     or overflow during factorization)
-  4  a worker thread panicked; the panic was contained and reported
+  0    success
+  2    usage or input error (bad flags, unreadable or malformed files)
+  3    numerical failure (structural/numerical singularity, NaN/Inf input
+       or overflow during factorization)
+  4    a worker thread panicked; the panic was contained and reported
+  5    --time-limit deadline exceeded (run drained cleanly)
+  6    the liveness watchdog declared a stall (diagnosis on stderr)
+  130  cancelled by Ctrl-C (128 + SIGINT); the run drained cleanly
 ";
 
 /// Parsed global options.
@@ -122,7 +136,7 @@ struct Cli {
     out: Option<String>,
 }
 
-fn parse_flags(args: &[String]) -> Result<Cli, String> {
+fn parse_flags(args: &[String], token: Option<&CancelToken>) -> Result<Cli, String> {
     let mut cli = Cli {
         opts: Options::default(),
         refine: false,
@@ -132,6 +146,7 @@ fn parse_flags(args: &[String]) -> Result<Cli, String> {
         rhs: None,
         out: None,
     };
+    cli.opts.budget.token = token.cloned();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -211,6 +226,24 @@ fn parse_flags(args: &[String]) -> Result<Cli, String> {
                     _ => return Err(format!("unknown kernel choice `{v}`")),
                 };
             }
+            "--time-limit" => {
+                let v = it.next().ok_or("--time-limit needs a value (seconds)")?;
+                let secs: f64 = v.parse().map_err(|_| format!("bad time limit `{v}`"))?;
+                if !(secs > 0.0 && secs.is_finite()) {
+                    return Err(format!("time limit must be positive, got {v}"));
+                }
+                cli.opts.budget.deadline = Some(Instant::now() + Duration::from_secs_f64(secs));
+            }
+            "--watchdog" => {
+                let v = it.next().ok_or("--watchdog needs a value (milliseconds)")?;
+                let ms: u64 = v
+                    .parse()
+                    .map_err(|_| format!("bad watchdog window `{v}`"))?;
+                if ms == 0 {
+                    return Err("watchdog window must be positive".to_string());
+                }
+                cli.opts.budget.watchdog = Some(WatchdogConfig::new(Duration::from_millis(ms)));
+            }
             "--no-postorder" => cli.opts.postorder = false,
             "--no-amalgamation" => cli.opts.amalgamation = None,
             "--dynamic" => cli.opts.mapping = Mapping::Dynamic,
@@ -227,8 +260,12 @@ fn load(path: &str) -> Result<CscMatrix, String> {
     read_matrix_market(Path::new(path)).map_err(|e| format!("reading {path}: {e}"))
 }
 
-fn cmd_analyze(path: &str, flags: &[String]) -> Result<String, CliError> {
-    let cli = parse_flags(flags)?;
+fn cmd_analyze(
+    path: &str,
+    flags: &[String],
+    token: Option<&CancelToken>,
+) -> Result<String, CliError> {
+    let cli = parse_flags(flags, token)?;
     let a = load(path)?;
     let ms = splu_sparse::stats::matrix_stats(&a);
     let sym = analyze(a.pattern(), &cli.opts)?;
@@ -295,8 +332,12 @@ fn read_vector(path: &str, n: usize) -> Result<Vec<f64>, String> {
     Ok(v)
 }
 
-fn cmd_solve(path: &str, flags: &[String]) -> Result<String, CliError> {
-    let cli = parse_flags(flags)?;
+fn cmd_solve(
+    path: &str,
+    flags: &[String],
+    token: Option<&CancelToken>,
+) -> Result<String, CliError> {
+    let cli = parse_flags(flags, token)?;
     let a = load(path)?;
     let b = match &cli.rhs {
         Some(p) => read_vector(p, a.nrows())?,
@@ -363,8 +404,12 @@ fn cmd_solve(path: &str, flags: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn cmd_condest(path: &str, flags: &[String]) -> Result<String, CliError> {
-    let cli = parse_flags(flags)?;
+fn cmd_condest(
+    path: &str,
+    flags: &[String],
+    token: Option<&CancelToken>,
+) -> Result<String, CliError> {
+    let cli = parse_flags(flags, token)?;
     let a = load(path)?;
     let lu = SparseLu::factor(&a, &cli.opts)?;
     let inv_norm = estimate_inverse_1norm(&lu, a.ncols(), 6);
@@ -403,13 +448,21 @@ fn cmd_gen(name: &str, out_path: &str, flags: &[String]) -> Result<String, CliEr
 /// the output text or a [`CliError`] carrying the message and the process
 /// exit code.
 pub fn run(args: &[String]) -> Result<String, CliError> {
+    run_with_token(args, None)
+}
+
+/// Like [`run`], but wires an external [`CancelToken`] into the numeric
+/// phase's run budget. The binary's Ctrl-C handler cancels this token, so
+/// an interrupted factorization drains its workers and exits with the
+/// structured code `130` instead of being killed mid-write.
+pub fn run_with_token(args: &[String], token: Option<&CancelToken>) -> Result<String, CliError> {
     match args {
         [] => Err(CliError::from(USAGE)),
         [h] if h == "--help" || h == "-h" || h == "help" => Ok(USAGE.to_string()),
         [cmd, rest @ ..] => match (cmd.as_str(), rest) {
-            ("analyze", [path, flags @ ..]) => cmd_analyze(path, flags),
-            ("solve", [path, flags @ ..]) => cmd_solve(path, flags),
-            ("condest", [path, flags @ ..]) => cmd_condest(path, flags),
+            ("analyze", [path, flags @ ..]) => cmd_analyze(path, flags, token),
+            ("solve", [path, flags @ ..]) => cmd_solve(path, flags, token),
+            ("condest", [path, flags @ ..]) => cmd_condest(path, flags, token),
             ("gen", [name, out, flags @ ..]) => cmd_gen(name, out, flags),
             _ => Err(CliError::from(format!(
                 "unknown or incomplete command `{cmd}`\n\n{USAGE}"

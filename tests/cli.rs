@@ -299,3 +299,57 @@ fn pivot_rules_through_the_cli() {
         .contains("threshold must be"));
     let _ = std::fs::remove_file(&path);
 }
+
+#[test]
+fn time_limit_and_watchdog_flags_through_the_cli() {
+    let path = tmp("budget");
+    run(&args(&["gen", "sherman5", &path, "--reduced"])).unwrap();
+    // Generous limits leave a healthy solve alone.
+    let out = run(&args(&[
+        "solve",
+        &path,
+        "--threads",
+        "2",
+        "--time-limit",
+        "600",
+        "--watchdog",
+        "5000",
+    ]))
+    .unwrap();
+    assert!(out.contains("scaled residual"), "{out}");
+    // A microscopic limit trips deterministically with exit code 5.
+    let err = run(&args(&["solve", &path, "--time-limit", "0.000001"])).unwrap_err();
+    assert_eq!(err.exit_code, 5, "{err}");
+    assert!(err.message.contains("deadline exceeded"), "{err}");
+    // Bad values are usage errors (code 2).
+    for bad in [
+        &["solve", &path, "--time-limit", "0"][..],
+        &["solve", &path, "--time-limit", "abc"][..],
+        &["solve", &path, "--watchdog", "0"][..],
+        &["solve", &path, "--time-limit"][..],
+    ] {
+        let err = run(&args(bad)).unwrap_err();
+        assert_eq!(err.exit_code, 2, "{bad:?}: {err}");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn pre_cancelled_token_exits_with_code_130() {
+    use parsplu::core::CancelToken;
+    let path = tmp("cancel");
+    run(&args(&["gen", "sherman3", &path, "--reduced"])).unwrap();
+    let token = CancelToken::new();
+    token.cancel();
+    let err =
+        parsplu::cli::run_with_token(&args(&["solve", &path, "--threads", "2"]), Some(&token))
+            .unwrap_err();
+    assert_eq!(err.exit_code, 130, "{err}");
+    assert!(err.message.contains("cancelled"), "{err}");
+    // The same args without the token solve fine — the token is the only
+    // thing run_with_token adds.
+    let out =
+        parsplu::cli::run_with_token(&args(&["solve", &path, "--threads", "2"]), None).unwrap();
+    assert!(out.contains("scaled residual"), "{out}");
+    let _ = std::fs::remove_file(&path);
+}

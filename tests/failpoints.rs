@@ -14,11 +14,13 @@
 
 use parsplu::core::failpoints::FailScenario;
 use parsplu::core::{
-    analyze, BreakdownPolicy, LuError, Options, OrderingChoice, PivotRule, SparseLu,
+    analyze, BreakdownPolicy, CancelToken, LuError, Options, OrderingChoice, PivotRule, RunBudget,
+    SparseLu, WatchdogConfig,
 };
 use parsplu::matgen::{manufactured_rhs, random_unsymmetric};
 use parsplu::sched::Mapping;
 use proptest::prelude::*;
+use std::time::Duration;
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
 
@@ -206,6 +208,96 @@ fn factorization_recovers_after_injected_panic() {
         let x = lu.solve(&b);
         assert!(parsplu::sparse::relative_residual(&a, &x, &b) < 1e-10);
     }
+}
+
+/// A `Factor` task parked indefinitely by the stall failpoint is diagnosed
+/// by the liveness watchdog as [`LuError::Stalled`] on every thread count
+/// and mapping, with a stall report covering all workers — and the
+/// watchdog's abort releases the parked task, so the test returning at all
+/// proves the run drained instead of leaking a thread.
+#[test]
+fn stalled_factor_task_is_diagnosed_by_the_watchdog() {
+    let a = random_unsymmetric(40, 3, 9);
+    for mapping in [Mapping::Static1D, Mapping::Dynamic] {
+        for &threads in &THREADS {
+            let o = Options {
+                budget: RunBudget::unbounded()
+                    .with_watchdog(WatchdogConfig::new(Duration::from_millis(60))),
+                ..opts(threads, mapping)
+            };
+            let scenario = FailScenario::new();
+            scenario.stall_at_factor(0);
+            match SparseLu::factor(&a, &o).map(|_| ()) {
+                Err(LuError::Stalled {
+                    columns_done,
+                    report,
+                }) => {
+                    assert_eq!(
+                        report.workers.len(),
+                        threads,
+                        "stall report covers every worker (threads={threads}, {mapping:?})"
+                    );
+                    assert!(report.stalled_for >= Duration::from_millis(60));
+                    assert!(report.tasks_pending > 0);
+                    assert!(columns_done < a.ncols());
+                }
+                other => panic!("threads={threads} {mapping:?}: expected Stalled, got {other:?}"),
+            }
+            drop(scenario);
+            // The same process factors cleanly afterwards.
+            SparseLu::factor(&a, &opts(threads, mapping)).expect("clean run after stall");
+        }
+    }
+}
+
+/// A caller-side cancellation also releases a stalled task: the stall
+/// failpoint's release predicate watches the run token, so cancelling from
+/// another thread unblocks the parked worker and the run drains to
+/// [`LuError::Cancelled`].
+#[test]
+fn cancellation_releases_a_stalled_task() {
+    let a = random_unsymmetric(40, 3, 5);
+    let token = CancelToken::new();
+    let canceller = {
+        let t = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(40));
+            t.cancel();
+        })
+    };
+    let o = Options {
+        budget: RunBudget::unbounded().with_token(token),
+        ..opts(2, Mapping::Dynamic)
+    };
+    let scenario = FailScenario::new();
+    scenario.stall_at_factor(0);
+    match SparseLu::factor(&a, &o).map(|_| ()) {
+        Err(LuError::Cancelled { .. }) => {}
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+    canceller.join().unwrap();
+}
+
+/// Poison audit: a thread that panics while *holding* a [`FailScenario`]
+/// must not poison the process-wide scenario lock — the guard's drop
+/// releases the lock and disarms the knobs during the unwind, so the next
+/// scenario (and an unrelated factorization) proceed cleanly. A poisoning
+/// `std::sync::Mutex` here would cascade a spurious failure into every
+/// later fault-injection test in the process.
+#[test]
+fn scenario_lock_survives_a_panicking_holder() {
+    let holder = std::thread::spawn(|| {
+        let scenario = FailScenario::new();
+        scenario.panic_at_factor(3);
+        panic!("deliberate panic while holding the scenario lock");
+    });
+    assert!(holder.join().is_err(), "the holder must have panicked");
+    // Re-acquire immediately: must neither block forever nor report poison,
+    // and the panicking holder's armed knob must be gone.
+    let _scenario = FailScenario::new();
+    let a = random_unsymmetric(24, 2, 1);
+    SparseLu::factor(&a, &opts(2, Mapping::Dynamic))
+        .expect("no leaked failpoint and no poisoned lock after a panicking holder");
 }
 
 /// Arming a failpoint while [`PivotRule::Diagonal`] and natural ordering

@@ -1,0 +1,320 @@
+//! Offline stand-in for the [`loom`](https://docs.rs/loom) concurrency
+//! model checker.
+//!
+//! Real loom virtualizes threads and explores *every* interleaving of the
+//! instrumented synchronization operations with dynamic partial-order
+//! reduction. That engine cannot be vendored here, so this stand-in keeps
+//! loom's API shape and its checking *intent* with a bounded randomized
+//! schedule explorer:
+//!
+//! * [`model`] runs the model body many times (default
+//!   [`DEFAULT_ITERS`], override with the `LOOM_MAX_ITER` environment
+//!   variable) on real OS threads;
+//! * every instrumented operation — atomic access, mutex lock, condvar
+//!   wait/notify, thread spawn — calls a schedule hook that injects a
+//!   pseudo-random `yield_now`/micro-sleep, driven by a per-iteration
+//!   seed, so each iteration exercises a different interleaving;
+//! * a failing iteration panics with its iteration index so the seed can
+//!   be replayed (`LOOM_SEED`).
+//!
+//! The guarantees are therefore probabilistic, not exhaustive: this is a
+//! stress harness wearing loom's API, good at flushing out lost wakeups
+//! and shutdown races, not a proof. Code written against it compiles
+//! unchanged against real loom (`--cfg loom`), so swapping the real
+//! checker in later is a `Cargo.toml` edit.
+
+use std::sync::atomic::{AtomicU64, Ordering as O};
+
+/// Iterations [`model`] runs when `LOOM_MAX_ITER` is unset.
+pub const DEFAULT_ITERS: usize = 200;
+
+/// Global schedule-perturbation state (seeded per model iteration).
+static SCHED_STATE: AtomicU64 = AtomicU64::new(0x9E3779B97F4A7C15);
+
+/// One SplitMix64 step on the shared schedule state. Threads race on the
+/// counter, which only adds entropy to the schedule.
+fn next_rand() -> u64 {
+    let mut z = SCHED_STATE.fetch_add(0x9E3779B97F4A7C15, O::Relaxed);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Schedule hook: called before every instrumented synchronization
+/// operation. Mostly runs through; sometimes yields; rarely sleeps a few
+/// microseconds so sleeping/parked interleavings are reached too.
+pub(crate) fn pause() {
+    let r = next_rand();
+    match r % 16 {
+        0..=10 => {}
+        11..=14 => std::thread::yield_now(),
+        _ => std::thread::sleep(std::time::Duration::from_micros(r >> 59)),
+    }
+}
+
+/// Runs `f` under the bounded randomized-schedule explorer.
+///
+/// Every iteration reseeds the schedule state; a panic inside `f` is
+/// re-raised after printing the iteration index (replay a single schedule
+/// with `LOOM_SEED=<i> LOOM_MAX_ITER=1`).
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let iters: usize = std::env::var("LOOM_MAX_ITER")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_ITERS);
+    let seed0: u64 = std::env::var("LOOM_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    for i in 0..iters {
+        SCHED_STATE.store(
+            (seed0 + i as u64).wrapping_mul(0x2545F4914F6CDD1D) | 1,
+            O::SeqCst,
+        );
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&f));
+        if let Err(payload) = r {
+            eprintln!("loom(stand-in): model failed at schedule iteration {i} (seed base {seed0})");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Thread API mirroring `loom::thread` (real OS threads here).
+pub mod thread {
+    pub use std::thread::{sleep, yield_now, JoinHandle};
+
+    /// Spawns a real thread; entry is a schedule point.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        crate::pause();
+        std::thread::spawn(move || {
+            crate::pause();
+            f()
+        })
+    }
+}
+
+/// Synchronization API mirroring `loom::sync` (std types with schedule
+/// hooks injected before every operation).
+pub mod sync {
+    pub use std::sync::{Arc, LockResult, WaitTimeoutResult};
+
+    /// Guard type of [`Mutex`] (the std guard: the wrapper delegates).
+    pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+    /// Instrumented mutex with the std `LockResult` API loom exposes.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        /// Creates the mutex.
+        pub fn new(v: T) -> Self {
+            Mutex(std::sync::Mutex::new(v))
+        }
+
+        /// Consumes the mutex, returning the protected value.
+        pub fn into_inner(self) -> LockResult<T> {
+            self.0.into_inner()
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        /// Acquires the lock (schedule point).
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            crate::pause();
+            self.0.lock()
+        }
+
+        /// Attempts the lock without blocking (schedule point).
+        pub fn try_lock(&self) -> std::sync::TryLockResult<MutexGuard<'_, T>> {
+            crate::pause();
+            self.0.try_lock()
+        }
+    }
+
+    /// Instrumented condition variable.
+    #[derive(Debug, Default)]
+    pub struct Condvar(std::sync::Condvar);
+
+    impl Condvar {
+        /// Creates the condvar.
+        pub fn new() -> Self {
+            Condvar(std::sync::Condvar::new())
+        }
+
+        /// Blocks until notified (schedule points around the wait).
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+            crate::pause();
+            self.0.wait(guard)
+        }
+
+        /// Blocks until notified or the timeout elapses.
+        pub fn wait_timeout<'a, T>(
+            &self,
+            guard: MutexGuard<'a, T>,
+            dur: std::time::Duration,
+        ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+            crate::pause();
+            self.0.wait_timeout(guard, dur)
+        }
+
+        /// Wakes one waiter (schedule point).
+        pub fn notify_one(&self) {
+            crate::pause();
+            self.0.notify_one();
+        }
+
+        /// Wakes every waiter (schedule point).
+        pub fn notify_all(&self) {
+            crate::pause();
+            self.0.notify_all();
+        }
+    }
+
+    /// Instrumented atomics mirroring `loom::sync::atomic`.
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! atomic_common {
+            ($name:ident, $std:ty, $t:ty) => {
+                /// Instrumented atomic: every access is a schedule point.
+                #[derive(Debug, Default)]
+                pub struct $name($std);
+
+                impl $name {
+                    /// Creates the atomic.
+                    pub fn new(v: $t) -> Self {
+                        Self(<$std>::new(v))
+                    }
+
+                    /// Loads the value (schedule point).
+                    pub fn load(&self, o: Ordering) -> $t {
+                        crate::pause();
+                        self.0.load(o)
+                    }
+
+                    /// Stores a value (schedule point).
+                    pub fn store(&self, v: $t, o: Ordering) {
+                        crate::pause();
+                        self.0.store(v, o)
+                    }
+
+                    /// Swaps the value (schedule point).
+                    pub fn swap(&self, v: $t, o: Ordering) -> $t {
+                        crate::pause();
+                        self.0.swap(v, o)
+                    }
+
+                    /// Compare-exchange (schedule point).
+                    pub fn compare_exchange(
+                        &self,
+                        cur: $t,
+                        new: $t,
+                        ok: Ordering,
+                        err: Ordering,
+                    ) -> Result<$t, $t> {
+                        crate::pause();
+                        self.0.compare_exchange(cur, new, ok, err)
+                    }
+
+                    /// Fetch-update loop (schedule point).
+                    pub fn fetch_update<F>(
+                        &self,
+                        ok: Ordering,
+                        err: Ordering,
+                        f: F,
+                    ) -> Result<$t, $t>
+                    where
+                        F: FnMut($t) -> Option<$t>,
+                    {
+                        crate::pause();
+                        self.0.fetch_update(ok, err, f)
+                    }
+
+                    /// Consumes the atomic, returning the value.
+                    pub fn into_inner(self) -> $t {
+                        self.0.into_inner()
+                    }
+                }
+            };
+        }
+
+        macro_rules! atomic_arith {
+            ($name:ident, $t:ty) => {
+                impl $name {
+                    /// Adds, returning the previous value (schedule point).
+                    pub fn fetch_add(&self, v: $t, o: Ordering) -> $t {
+                        crate::pause();
+                        self.0.fetch_add(v, o)
+                    }
+
+                    /// Subtracts, returning the previous value (schedule
+                    /// point).
+                    pub fn fetch_sub(&self, v: $t, o: Ordering) -> $t {
+                        crate::pause();
+                        self.0.fetch_sub(v, o)
+                    }
+                }
+            };
+        }
+
+        atomic_common!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+        atomic_common!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+        atomic_common!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+        atomic_common!(AtomicU8, std::sync::atomic::AtomicU8, u8);
+        atomic_arith!(AtomicUsize, usize);
+        atomic_arith!(AtomicU64, u64);
+        atomic_arith!(AtomicU8, u8);
+
+        impl AtomicBool {
+            /// Logical-or, returning the previous value (schedule point).
+            pub fn fetch_or(&self, v: bool, o: Ordering) -> bool {
+                crate::pause();
+                self.0.fetch_or(v, o)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::{Arc, Condvar, Mutex};
+
+    #[test]
+    fn model_runs_and_reseeds() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        std::env::set_var("LOOM_MAX_ITER", "8");
+        super::model(move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        std::env::remove_var("LOOM_MAX_ITER");
+        assert_eq!(hits.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn mutex_and_condvar_roundtrip() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = super::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut g = m.lock().unwrap();
+            while !*g {
+                g = cv.wait(g).unwrap();
+            }
+        });
+        {
+            let (m, cv) = &*pair;
+            *m.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        t.join().unwrap();
+    }
+}

@@ -62,6 +62,17 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     }
 }
 
+/// Whether a [`Condvar::wait_for`] returned because of a timeout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// `true` when the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
 /// A condition variable compatible with [`Mutex`].
 #[derive(Debug, Default)]
 pub struct Condvar(sync::Condvar);
@@ -77,6 +88,22 @@ impl Condvar {
         let inner = guard.0.take().expect("guard present before wait");
         let inner = self.0.wait(inner).unwrap_or_else(|e| e.into_inner());
         guard.0 = Some(inner);
+    }
+
+    /// Blocks until notified or `timeout` elapses, releasing `guard`'s
+    /// mutex while parked. Returns whether the wait timed out.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.0.take().expect("guard present before wait");
+        let (inner, result) = self
+            .0
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        guard.0 = Some(inner);
+        WaitTimeoutResult(result.timed_out())
     }
 
     /// Wakes one parked waiter.
@@ -173,6 +200,17 @@ mod tests {
         drop((r1, r2));
         l.write().push(4);
         assert_eq!(l.read().len(), 4);
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_for(&mut g, std::time::Duration::from_millis(5));
+        assert!(r.timed_out());
+        drop(g);
+        assert!(!std::thread::panicking());
     }
 
     #[test]
