@@ -1,68 +1,292 @@
-//! Per-phase timing breakdown of the analysis pipeline, for every benchmark
-//! matrix — the "symbolic steps take 10–50% of total factorization time"
-//! discussion of the paper's introduction, measured.
+//! Per-phase wall-time breakdown of the full pipeline — parse through the
+//! triangular solves — before and after the parallel front half, written to
+//! `BENCH_phases.json` (schema: [`splu_bench::json::validate_bench_phases`]).
 //!
 //! ```text
-//! cargo run --release -p splu-bench --bin phases
+//! cargo run --release -p splu-bench --bin phases [-- <matrix-name> ...]
 //! ```
+//!
+//! With no arguments every suite matrix is measured; naming matrices
+//! restricts the run (the CI smoke job passes `goodwin`). Set
+//! `PARSPLU_REDUCED=1` for CI-sized inputs.
+//!
+//! Three records per matrix:
+//!
+//! * `front_threads = 1, kind = "measured"` — the sequential pipeline
+//!   ("before": the phase profile that motivates parallelizing the front
+//!   half);
+//! * `front_threads = 8, kind = "measured"` — the chunked parallel front
+//!   half ([`splu_core::static_fill_parallel_with_parents`] and
+//!   [`splu_core::postorder_parallel`]) and the 8-thread numeric phase,
+//!   measured on *this* host, however many cores it has;
+//! * `front_threads = 8, kind = "simulated"` — the projection onto 8 real
+//!   cores: `symbolic_fill = skeleton + (fill + assembly) / 8` from the
+//!   individually measured sub-phase times (the skeleton pass is the only
+//!   sequential part of the chunked formulation; fill chunks and the
+//!   assembly scatters both run thread-parallel), and `numeric` from the
+//!   calibrated Origin-2000 simulator at 8 virtual processors. Phases
+//!   that stay sequential carry their measured wall time unchanged.
+//!
+//! The `kind` field keeps downstream tooling from averaging projections
+//! into wall-clock rows, exactly as in `BENCH_factor.json`.
 
-use splu_bench::suite;
+use splu_bench::{calibrated_model, json, min_time, simulated_seconds, suite, Prepared};
+use splu_core::{
+    analyze, factor_numeric_with, postorder_parallel, static_fill_parallel_with_parents,
+    BlockMatrix, KernelChoice, NumericRequest, Options, SparseLu, SymbolicRequest, TaskGraphKind,
+};
+use splu_matgen::manufactured_rhs;
 use splu_ordering::{column_min_degree, maximum_transversal, StructuralRank};
+use splu_sched::Mapping;
+use splu_sparse::io::{read_matrix_market, write_matrix_market};
+use splu_sparse::scaling::equilibrate;
 use splu_sparse::Permutation;
 use splu_symbolic::supernode::BlockStructure;
 use splu_symbolic::{
-    amalgamate, postorder_permutation, static_symbolic_factorization, supernode_partition,
-    FilledLu, SupernodeOptions,
+    amalgamate, assemble_filled, fill_columns, fill_skeleton, postorder_permutation,
+    static_symbolic_factorization, supernode_partition, EliminationForest, FillScratch, FilledLu,
+    SupernodeOptions,
 };
-use std::time::Instant;
+use std::fmt::Write as _;
 
-fn ms(d: std::time::Duration) -> f64 {
-    d.as_secs_f64() * 1e3
+/// The thread count of the "after" rows, matching the paper's 8-processor
+/// target machine.
+const FRONT_THREADS: usize = 8;
+
+/// One record: per-phase wall times in seconds, keyed and ordered as in
+/// [`json::PHASE_NAMES`].
+struct Record {
+    matrix: String,
+    front_threads: usize,
+    kind: &'static str,
+    phases: [f64; json::PHASE_NAMES.len()],
+}
+
+fn secs<F: FnMut()>(f: F) -> f64 {
+    min_time(f).as_secs_f64()
 }
 
 fn main() {
-    println!("Analysis phase breakdown (milliseconds)");
+    let filter: Vec<String> = std::env::args().skip(1).collect();
+    let matrices: Vec<_> = suite()
+        .into_iter()
+        .filter(|m| filter.is_empty() || filter.iter().any(|f| f == m.name))
+        .collect();
+    if matrices.is_empty() {
+        eprintln!("no suite matrix matches {filter:?}");
+        std::process::exit(2);
+    }
+
+    let mut records: Vec<Record> = Vec::new();
     println!(
-        "{:<10} {:>8} {:>8} {:>10} {:>9} {:>10} {:>9}",
-        "Matrix", "transv", "mindeg", "staticfact", "postord", "supernode", "blocks"
+        "{:<10} {:>6} {:>9}  phase walls (ms, pipeline order)",
+        "matrix", "front", "kind"
     );
-    for m in suite() {
+    for m in &matrices {
+        // -- parse: round-trip through a real Matrix Market file.
+        let mtx = std::env::temp_dir().join(format!(
+            "parsplu_phases_{}_{}.mtx",
+            m.name,
+            std::process::id()
+        ));
+        write_matrix_market(&m.a, &mtx).expect("write temp matrix");
+        let t_parse = secs(|| {
+            read_matrix_market(&mtx).expect("re-read temp matrix");
+        });
+        let _ = std::fs::remove_file(&mtx);
+
+        // -- scale/transversal: equilibration scaling plus the zero-free
+        //    diagonal row permutation.
         let p = m.a.pattern();
-        let t = Instant::now();
         let rp = match maximum_transversal(p) {
             StructuralRank::Full(x) => x,
-            StructuralRank::Deficient { rank } => panic!("{}: rank {rank}", m.name),
+            StructuralRank::Deficient { rank } => panic!("{}: structural rank {rank}", m.name),
         };
-        let t_tr = t.elapsed();
+        let t_scale = secs(|| {
+            let _ = equilibrate(&m.a);
+            let _ = maximum_transversal(p);
+        });
         let p1 = p.permuted(&rp, &Permutation::identity(p.ncols()));
-        let t = Instant::now();
+
+        // -- ordering: minimum degree on AᵀA (the default path; the
+        //    multiple-elimination variant changes the permutation, so the
+        //    breakdown sticks to the ordering every other row uses).
         let q = column_min_degree(&p1);
-        let t_md = t.elapsed();
+        let t_ord = secs(|| {
+            let _ = column_min_degree(&p1);
+        });
         let p2 = p1.permuted(&q, &q);
-        let t = Instant::now();
+
+        // -- symbolic fill: the tentpole phase, three ways.
         let f = static_symbolic_factorization(&p2).expect("zero-free diagonal");
-        let t_sf = t.elapsed();
-        let t = Instant::now();
+        let t_fill_seq = secs(|| {
+            let _ = static_symbolic_factorization(&p2).expect("zero-free diagonal");
+        });
+        let req = SymbolicRequest::new().front_threads(FRONT_THREADS);
+        let (_, parents) =
+            static_fill_parallel_with_parents(&p2, &req).expect("parallel fill succeeds");
+        let t_fill_par = secs(|| {
+            let _ = static_fill_parallel_with_parents(&p2, &req).expect("parallel fill succeeds");
+        });
+        // Sub-phases of the chunked formulation, for the 8-core projection:
+        // the skeleton pass is sequential; fill chunks and the assembly
+        // scatters are thread-parallel with no cross-chunk dependencies.
+        let skel = fill_skeleton(&p2).expect("zero-free diagonal");
+        let t_skel = secs(|| {
+            let _ = fill_skeleton(&p2).expect("zero-free diagonal");
+        });
+        let ranges = skel.partition(&p2, FRONT_THREADS * 4);
+        let chunks: Vec<_> = {
+            let mut scratch = FillScratch::new(skel.n());
+            ranges
+                .iter()
+                .map(|r| fill_columns(&p2, &skel, r.clone(), &mut scratch))
+                .collect()
+        };
+        let t_chunks = secs(|| {
+            let mut scratch = FillScratch::new(skel.n());
+            for r in &ranges {
+                let _ = fill_columns(&p2, &skel, r.clone(), &mut scratch);
+            }
+        });
+        let t_asm = secs(|| {
+            let _ = assemble_filled(&skel, &chunks).expect("assembly succeeds");
+        });
+        let t_fill_sim = t_skel + (t_chunks + t_asm) / FRONT_THREADS as f64;
+
+        // -- eforest + postorder: forest construction, the postorder
+        //    permutation, and the symmetric permute of the filled pattern.
         let po = postorder_permutation(&f);
         let f2 = FilledLu::from_parts(f.l.permuted(&po, &po), f.u.permuted(&po, &po));
-        let t_po = t.elapsed();
-        let t = Instant::now();
-        let part = supernode_partition(&f2);
-        let am = amalgamate(&f2, &part, &SupernodeOptions::default());
-        let t_sn = t.elapsed();
-        let t = Instant::now();
-        let bs = BlockStructure::new(&f2, am);
-        let t_bs = t.elapsed();
-        println!(
-            "{:<10} {:>8.2} {:>8.2} {:>10.2} {:>9.2} {:>10.2} {:>9.2}   (N = {})",
-            m.name,
-            ms(t_tr),
-            ms(t_md),
-            ms(t_sf),
-            ms(t_po),
-            ms(t_sn),
-            ms(t_bs),
-            bs.num_blocks()
+        let t_po_seq = secs(|| {
+            let po = postorder_permutation(&f);
+            let _ = FilledLu::from_parts(f.l.permuted(&po, &po), f.u.permuted(&po, &po));
+        });
+        let t_po_par = secs(|| {
+            let forest = EliminationForest::from_parent_vec(parents.clone());
+            let po = postorder_parallel(&forest, FRONT_THREADS);
+            let _ = FilledLu::from_parts(f.l.permuted(&po, &po), f.u.permuted(&po, &po));
+        });
+
+        // -- supernode partition (incl. amalgamation and block structure).
+        let t_sn = secs(|| {
+            let part = supernode_partition(&f2);
+            let am = amalgamate(&f2, &part, &SupernodeOptions::default());
+            let _ = BlockStructure::new(&f2, am);
+        });
+
+        // -- graph build, numeric, solve: via the driver's analysis so the
+        //    numeric phase runs on exactly the structure `solve` uses.
+        let sym = analyze(m.a.pattern(), &Options::default()).expect("analysis succeeds");
+        let t_graph = secs(|| {
+            let _ = sym.build_graph(TaskGraphKind::EForest);
+        });
+        let graph = sym.build_graph(TaskGraphKind::EForest);
+        let permuted = sym.permute_matrix(&m.a);
+        let mut bm = BlockMatrix::assemble(&permuted, &sym.block_structure);
+        let mut numeric_at = |threads: usize| {
+            let req = NumericRequest::coarse(&graph, Mapping::Static1D)
+                .threads(threads)
+                .kernels(KernelChoice::Auto);
+            secs(|| {
+                bm.reset_from(&permuted, &sym.block_structure);
+                factor_numeric_with(&bm, &req).expect("factorization succeeds");
+            })
+        };
+        let t_num_1 = numeric_at(1);
+        let t_num_8 = numeric_at(FRONT_THREADS);
+        let prep = Prepared {
+            name: m.name,
+            a: m.a.clone(),
+            sym,
+            permuted,
+            eforest: graph.clone(),
+            sstar: graph.clone(),
+        };
+        let model = calibrated_model(
+            &prep,
+            &prep.eforest,
+            std::time::Duration::from_secs_f64(t_num_1),
         );
+        let t_num_sim = simulated_seconds(
+            &prep,
+            &prep.eforest,
+            FRONT_THREADS,
+            Mapping::Dynamic,
+            &model,
+        );
+
+        let lu = SparseLu::factor(&m.a, &Options::default()).expect("factorization succeeds");
+        let b = manufactured_rhs(&m.a, 1).1;
+        let t_solve = secs(|| {
+            let _ = lu.solve(&b);
+        });
+
+        // Pipeline order must match json::PHASE_NAMES.
+        let rows: [(usize, &'static str, f64, f64, f64); 3] = [
+            (1, "measured", t_fill_seq, t_po_seq, t_num_1),
+            (FRONT_THREADS, "measured", t_fill_par, t_po_par, t_num_8),
+            (FRONT_THREADS, "simulated", t_fill_sim, t_po_par, t_num_sim),
+        ];
+        for (front_threads, kind, t_fill, t_po, t_num) in rows {
+            let phases = [
+                t_parse, t_scale, t_ord, t_fill, t_po, t_sn, t_graph, t_num, t_solve,
+            ];
+            let mut line = String::new();
+            for t in phases {
+                let _ = write!(line, " {:>8.2}", t * 1e3);
+            }
+            println!("{:<10} {:>6} {:>9} {}", m.name, front_threads, kind, line);
+            records.push(Record {
+                matrix: m.name.to_string(),
+                front_threads,
+                kind,
+                phases,
+            });
+        }
+    }
+
+    let mut doc = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 == records.len() { "" } else { "," };
+        let mut phases = String::new();
+        for (name, t) in json::PHASE_NAMES.iter().zip(r.phases) {
+            if !phases.is_empty() {
+                phases.push_str(", ");
+            }
+            let _ = write!(phases, "\"{name}\": {t:.9}");
+        }
+        writeln!(
+            doc,
+            "  {{\"matrix\": \"{}\", \"front_threads\": {}, \"kind\": \"{}\", \"phases\": {{{}}}}}{}",
+            r.matrix, r.front_threads, r.kind, phases, sep
+        )
+        .expect("string write");
+    }
+    doc.push_str("]\n");
+    let parsed = json::parse(&doc).expect("BENCH_phases.json is valid JSON");
+    json::validate_bench_phases(&parsed).expect("BENCH_phases.json matches schema");
+    std::fs::write("BENCH_phases.json", &doc).expect("write BENCH_phases.json");
+    println!("\nwrote BENCH_phases.json ({} records)", records.len());
+
+    // Headline: the tentpole's before/after on the largest matrix run.
+    if let Some(largest) = matrices.iter().max_by_key(|m| m.a.ncols()) {
+        let fill = |kind: &str, threads: usize| {
+            records
+                .iter()
+                .find(|r| r.matrix == largest.name && r.kind == kind && r.front_threads == threads)
+                .map(|r| r.phases[3])
+        };
+        if let (Some(before), Some(after)) = (fill("measured", 1), fill("simulated", FRONT_THREADS))
+        {
+            println!(
+                "{}: symbolic fill {:.2} ms sequential -> {:.2} ms projected @ {} threads ({:.2}x)",
+                largest.name,
+                before * 1e3,
+                after * 1e3,
+                FRONT_THREADS,
+                before / after
+            );
+        }
     }
 }

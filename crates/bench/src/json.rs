@@ -349,6 +349,55 @@ pub fn validate_bench_factor(doc: &Json) -> Result<usize, String> {
     Ok(records.len())
 }
 
+/// The pipeline phases a `BENCH_phases.json` record must report, in
+/// pipeline order: everything from reading the matrix file through the
+/// triangular solves. `symbolic_fill` is the phase the parallel front half
+/// targets; records at `front_threads > 1` exist in `measured` form (wall
+/// clock on this host, however many cores it has) and `simulated` form
+/// (the measured sequential-skeleton + parallelizable-portion split
+/// projected onto the requested thread count — see EXPERIMENTS.md).
+pub const PHASE_NAMES: [&str; 9] = [
+    "parse",
+    "scale_transversal",
+    "ordering",
+    "symbolic_fill",
+    "eforest_postorder",
+    "supernode_partition",
+    "graph_build",
+    "numeric",
+    "solve",
+];
+
+/// Validates `BENCH_phases.json`: an array of records each with `matrix`,
+/// `front_threads` (≥ 1), a `kind` of `measured`/`simulated`, and a
+/// `phases` object mapping every name in [`PHASE_NAMES`] to a finite
+/// non-negative wall time in seconds.
+pub fn validate_bench_phases(doc: &Json) -> Result<usize, String> {
+    let records = doc.as_arr().ok_or("BENCH_phases.json: not an array")?;
+    for (i, r) in records.iter().enumerate() {
+        let ctx = format!("record[{i}]");
+        require_str(r, "matrix", &ctx)?;
+        let ft = require_num(r, "front_threads", &ctx)?;
+        if ft < 1.0 || ft.fract() != 0.0 {
+            return Err(format!("{ctx}: bad front_threads {ft}"));
+        }
+        let kind = require_str(r, "kind", &ctx)?;
+        if kind != "measured" && kind != "simulated" {
+            return Err(format!("{ctx}: bad kind {kind:?}"));
+        }
+        let phases = r
+            .get("phases")
+            .ok_or_else(|| format!("{ctx}: missing phases object"))?;
+        for key in PHASE_NAMES {
+            let v = require_num(phases, key, &format!("{ctx}.phases"))?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{ctx}.phases.{key}: bad wall time {v}"));
+            }
+        }
+    }
+    Ok(records.len())
+}
+
 /// Validates `BENCH_kernels.json`: an array of records, one per
 /// kernel × op × panel shape, each carrying the op name (one of the three
 /// dispatched kernels), the shape label, the kernel implementation name
@@ -410,6 +459,7 @@ mod tests {
             ("BENCH_sched.json", validate_bench_sched as Validator),
             ("BENCH_factor.json", validate_bench_factor as Validator),
             ("BENCH_kernels.json", validate_bench_kernels as Validator),
+            ("BENCH_phases.json", validate_bench_phases as Validator),
         ] {
             let Ok(text) = std::fs::read_to_string(format!("{root}/{file}")) else {
                 continue;
@@ -417,6 +467,67 @@ mod tests {
             let doc = parse(&text).unwrap_or_else(|e| panic!("{file}: invalid JSON: {e}"));
             let n = validate(&doc).unwrap_or_else(|e| panic!("{file}: schema violation: {e}"));
             assert!(n > 0, "{file}: empty artifact");
+        }
+    }
+
+    #[test]
+    fn phases_validator_requires_every_phase() {
+        let phases: Vec<String> = PHASE_NAMES
+            .iter()
+            .map(|p| format!("\"{p}\": 0.001"))
+            .collect();
+        let good = format!(
+            "[{{\"matrix\": \"goodwin\", \"front_threads\": 8, \"kind\": \"simulated\", \
+              \"phases\": {{{}}}}}]",
+            phases.join(", ")
+        );
+        assert_eq!(validate_bench_phases(&parse(&good).unwrap()), Ok(1));
+        // Dropping any single phase key must fail.
+        for (drop, dropped) in PHASE_NAMES.iter().enumerate() {
+            let partial: Vec<&String> = phases
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != drop)
+                .map(|(_, p)| p)
+                .collect();
+            let bad = format!(
+                "[{{\"matrix\": \"m\", \"front_threads\": 1, \"kind\": \"measured\", \
+                  \"phases\": {{{}}}}}]",
+                partial
+                    .iter()
+                    .map(|s| s.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            assert!(
+                validate_bench_phases(&parse(&bad).unwrap()).is_err(),
+                "accepted record missing {dropped:?}"
+            );
+        }
+        for bad in [
+            // front_threads must be a positive integer.
+            format!(
+                "[{{\"matrix\": \"m\", \"front_threads\": 0, \"kind\": \"measured\", \
+                  \"phases\": {{{}}}}}]",
+                phases.join(", ")
+            ),
+            // kind is constrained.
+            format!(
+                "[{{\"matrix\": \"m\", \"front_threads\": 1, \"kind\": \"guessed\", \
+                  \"phases\": {{{}}}}}]",
+                phases.join(", ")
+            ),
+            // Wall times must be non-negative.
+            format!(
+                "[{{\"matrix\": \"m\", \"front_threads\": 1, \"kind\": \"measured\", \
+                  \"phases\": {{{}, \"parse\": -1.0}}}}]",
+                phases.join(", ")
+            ),
+        ] {
+            assert!(
+                validate_bench_phases(&parse(&bad).unwrap()).is_err(),
+                "accepted {bad}"
+            );
         }
     }
 

@@ -6,7 +6,7 @@
 //! them), sets the injection knobs, runs a factorization, and the guard
 //! resets every knob on drop — panicking test bodies included.
 //!
-//! Three injection points exist, all keyed deterministically so a fault
+//! Four injection points exist, all keyed deterministically so a fault
 //! fires at the same place on every thread count and mapping:
 //!
 //! * [`FailScenario::panic_at_factor`] — the `Factor(k)` task body panics
@@ -21,7 +21,11 @@
 //!   worker for the liveness watchdog ([`crate::LuError::Stalled`]). The
 //!   stall is cooperative: the watchdog's abort cancels the run token,
 //!   which releases the parked task so the run drains instead of leaking
-//!   a thread.
+//!   a thread;
+//! * [`FailScenario::cancel_at_symbolic_chunk`] — the symbolic-fill chunk
+//!   task cancels the run token at its own entry, exercising
+//!   cancel-during-symbolic in the parallel front half
+//!   ([`crate::analyze_with`]).
 //!
 //! The scenario lock is a `parking_lot`-style mutex that **never
 //! poisons**: a test that panics while holding a scenario (the panic
@@ -41,11 +45,13 @@ static SCENARIO_LOCK: Mutex<()> = Mutex::new(());
 static PANIC_AT_FACTOR: AtomicUsize = AtomicUsize::new(OFF);
 static FORCE_BREAKDOWN_AT: AtomicUsize = AtomicUsize::new(OFF);
 static STALL_AT_FACTOR: AtomicUsize = AtomicUsize::new(OFF);
+static CANCEL_AT_SYMBOLIC_CHUNK: AtomicUsize = AtomicUsize::new(OFF);
 
 fn reset() {
     PANIC_AT_FACTOR.store(OFF, Ordering::SeqCst);
     FORCE_BREAKDOWN_AT.store(OFF, Ordering::SeqCst);
     STALL_AT_FACTOR.store(OFF, Ordering::SeqCst);
+    CANCEL_AT_SYMBOLIC_CHUNK.store(OFF, Ordering::SeqCst);
 }
 
 /// RAII guard over one fault-injection scenario: creation takes the
@@ -83,6 +89,15 @@ impl FailScenario {
     pub fn stall_at_factor(&self, k: usize) {
         STALL_AT_FACTOR.store(k, Ordering::SeqCst);
     }
+
+    /// Arms a cancellation of the run token at the entry of symbolic-fill
+    /// chunk task `chunk`, exercising cancel-during-symbolic: the chunk
+    /// trips the budget exactly when a front-half task is in flight, so
+    /// the drain path of the parallel symbolic driver is covered
+    /// deterministically.
+    pub fn cancel_at_symbolic_chunk(&self, chunk: usize) {
+        CANCEL_AT_SYMBOLIC_CHUNK.store(chunk, Ordering::SeqCst);
+    }
 }
 
 impl Default for FailScenario {
@@ -109,6 +124,20 @@ pub(crate) fn maybe_panic_factor(k: usize) {
 pub(crate) fn forced_breakdown_column() -> Option<usize> {
     let v = FORCE_BREAKDOWN_AT.load(Ordering::SeqCst);
     (v != OFF).then_some(v)
+}
+
+/// Checked at the entry of symbolic-fill chunk task `chunk`: cancels the
+/// run token when this chunk is the armed injection target. The knob is
+/// cleared on firing so retries (or the next scenario) see it disarmed.
+pub(crate) fn maybe_cancel_symbolic(chunk: usize, token: Option<&crate::CancelToken>) {
+    if CANCEL_AT_SYMBOLIC_CHUNK
+        .compare_exchange(chunk, OFF, Ordering::SeqCst, Ordering::SeqCst)
+        .is_ok()
+    {
+        if let Some(t) = token {
+            t.cancel();
+        }
+    }
 }
 
 /// Checked by the `Factor(k)` task body: if this block column is the armed

@@ -1,0 +1,251 @@
+//! Parallel front half: threaded static symbolic fill and postorder
+//! construction, driven by the same work-stealing executor as the numeric
+//! phase.
+//!
+//! The chunked formulation (see [`splu_symbolic::static_fact`]) splits
+//! static symbolic factorization into a cheap sequential **skeleton** pass
+//! (the union–find merge loop, which also yields the elimination-forest
+//! parents and every factor-column length) and an embarrassingly parallel
+//! **fill** pass: each column's `Ū` structure is an independent bounded
+//! reachability climb through the skeleton forest (the GSoFa-style
+//! per-column formulation). Chunks of columns are scheduled as independent
+//! tasks on `splu_sched`, each worker reusing a pooled
+//! [`FillScratch`]; the per-chunk outputs are merged **deterministically**
+//! (chunks tile the column range in ascending order and every entry's
+//! final position is fixed before assembly starts), so the L/U patterns
+//! are bitwise identical to the sequential path for every thread count,
+//! chunking, and schedule.
+//!
+//! Cancellation: a [`RunBudget`] bounds the fill phase at chunk
+//! boundaries exactly as it bounds the numeric phase at task boundaries —
+//! `--time-limit` therefore covers symbolic runs too.
+
+use crate::{LuError, Options};
+use parking_lot::Mutex;
+use splu_sched::{
+    execute_dag_report, execute_dag_report_budgeted, CancelToken, Interrupt, RunBudget, TraceConfig,
+};
+use splu_sparse::{Permutation, SparsityPattern};
+use splu_symbolic::{
+    assemble_filled_threads, fill_columns, fill_skeleton, EliminationForest, FillChunk,
+    FillScratch, FilledLu,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Parameters of one symbolic front half (the analysis phases before the
+/// numeric factorization). Build with [`SymbolicRequest::new`] or
+/// [`SymbolicRequest::from_options`], adjust with the chainable setters,
+/// run with [`crate::analyze_with`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymbolicRequest {
+    /// Worker threads for the front half: symbolic-fill chunks, the
+    /// assembly scatters, and postorder segments. `1` (the default) is the
+    /// sequential path.
+    pub front_threads: usize,
+    /// Fill chunks created per front thread (more chunks → better load
+    /// balance, slightly more scheduling overhead).
+    pub chunks_per_thread: usize,
+    /// Bounds on the front half: cancellation token, wall-clock deadline,
+    /// liveness watchdog. Checked at chunk/phase boundaries; an
+    /// interrupted run returns [`LuError::Cancelled`] /
+    /// [`LuError::DeadlineExceeded`] / [`LuError::Stalled`].
+    pub budget: RunBudget,
+}
+
+impl Default for SymbolicRequest {
+    fn default() -> Self {
+        SymbolicRequest {
+            front_threads: 1,
+            chunks_per_thread: 4,
+            budget: RunBudget::default(),
+        }
+    }
+}
+
+impl SymbolicRequest {
+    /// The default request: sequential, unbounded.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The front-half request implied by driver options: thread count and
+    /// budget are lifted from [`Options::front_threads`] and
+    /// [`Options::budget`].
+    pub fn from_options(opts: &Options) -> Self {
+        SymbolicRequest::new()
+            .front_threads(opts.front_threads)
+            .budget(opts.budget.clone())
+    }
+
+    /// Sets the front-half worker-thread count.
+    pub fn front_threads(mut self, threads: usize) -> Self {
+        self.front_threads = threads;
+        self
+    }
+
+    /// Sets the number of fill chunks per front thread.
+    pub fn chunks_per_thread(mut self, chunks: usize) -> Self {
+        self.chunks_per_thread = chunks;
+        self
+    }
+
+    /// Sets the run budget (cancellation / deadline / watchdog).
+    pub fn budget(mut self, budget: RunBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Whether the budget asks the front half to stop (token cancelled or
+    /// deadline passed).
+    pub(crate) fn tripped(&self) -> bool {
+        self.budget.token.as_ref().is_some_and(|t| t.is_cancelled())
+            || self.budget.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// The error a tripped budget maps to, mirroring the numeric phase's
+    /// interrupt mapping. `columns_done` counts factor columns whose
+    /// structure was completed before the trip.
+    pub(crate) fn trip_error(&self, columns_done: usize, tasks_pending: usize) -> LuError {
+        if self.budget.deadline.is_some_and(|d| Instant::now() >= d) {
+            LuError::DeadlineExceeded {
+                columns_done,
+                tasks_pending,
+            }
+        } else {
+            LuError::Cancelled {
+                columns_done,
+                tasks_pending,
+            }
+        }
+    }
+}
+
+fn map_interrupt(interrupt: Interrupt, columns_done: usize) -> LuError {
+    match interrupt {
+        Interrupt::Cancelled { tasks_pending } => LuError::Cancelled {
+            columns_done,
+            tasks_pending,
+        },
+        Interrupt::DeadlineExceeded { tasks_pending } => LuError::DeadlineExceeded {
+            columns_done,
+            tasks_pending,
+        },
+        Interrupt::Stalled(report) => LuError::Stalled {
+            columns_done,
+            report,
+        },
+    }
+}
+
+/// Parallel static symbolic factorization: sequential skeleton pass, fill
+/// chunks scheduled as independent tasks on the work-stealing executor,
+/// threaded deterministic assembly. Returns the filled structure together
+/// with the skeleton's elimination-forest parent vector (`usize::MAX`
+/// marks roots), which equals `EliminationForest::from_filled(&filled)`'s
+/// parents — callers get the forest without a second pass over `Ū`.
+///
+/// The result is **bitwise identical** to
+/// [`splu_symbolic::static_symbolic_factorization`] for every
+/// `front_threads` value; the executor only decides *when* each chunk
+/// runs, never *what* it produces (each column's climb output is a pure
+/// function of the skeleton) nor *where* it lands (all positions are fixed
+/// by the skeleton's length arrays before assembly).
+pub fn static_fill_parallel_with_parents(
+    pattern: &SparsityPattern,
+    req: &SymbolicRequest,
+) -> Result<(FilledLu, Vec<usize>), LuError> {
+    let threads = req.front_threads.max(1);
+    let skel = fill_skeleton(pattern)?;
+    let n = skel.n();
+
+    // Effective budget: a deadline or watchdog without a caller token gets
+    // an internal one so interrupts can release cooperative waiters.
+    let mut budget = req.budget.clone();
+    if budget.token.is_none() && (budget.deadline.is_some() || budget.watchdog.is_some()) {
+        budget.token = Some(CancelToken::new());
+    }
+
+    let ranges = skel.partition(pattern, threads * req.chunks_per_thread.max(1));
+    let n_chunks = ranges.len();
+    let slots: Vec<Mutex<Option<FillChunk>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
+    let scratch_pool: Mutex<Vec<FillScratch>> = Mutex::new(Vec::new());
+    let columns_done = AtomicUsize::new(0);
+    let pred_counts = vec![0usize; n_chunks];
+    let mut report = execute_dag_report_budgeted(
+        n_chunks,
+        &pred_counts,
+        |_| &[][..],
+        threads,
+        1,
+        |_| 0,
+        |t| {
+            #[cfg(feature = "failpoints")]
+            crate::failpoints::maybe_cancel_symbolic(t, budget.token.as_ref());
+            let mut scratch = scratch_pool
+                .lock()
+                .pop()
+                .unwrap_or_else(|| FillScratch::new(n));
+            let cols = ranges[t].clone();
+            let filled_here = cols.len();
+            let chunk = fill_columns(pattern, &skel, cols, &mut scratch);
+            *slots[t].lock() = Some(chunk);
+            scratch_pool.lock().push(scratch);
+            columns_done.fetch_add(filled_here, Ordering::Relaxed);
+        },
+        &TraceConfig::off(),
+        &budget,
+    );
+    if let Some(p) = report.panic.take() {
+        return Err(LuError::WorkerPanic {
+            worker: p.worker,
+            task: format!("SymbolicFill({:?})", ranges[p.task]),
+        });
+    }
+    if let Some(interrupt) = report.interrupt.take() {
+        return Err(map_interrupt(
+            interrupt,
+            columns_done.load(Ordering::Relaxed),
+        ));
+    }
+    let chunks: Vec<FillChunk> = slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("uninterrupted run completed every chunk")
+        })
+        .collect();
+    let filled = assemble_filled_threads(&skel, &chunks, threads)?;
+    Ok((filled, skel.parents().to_vec()))
+}
+
+/// Parallel postorder: the forest's trees are disjoint, so each root's
+/// postorder segment is computed as an independent task and the segments
+/// are stitched in ascending root order — exactly the order
+/// [`EliminationForest::postorder`] visits them, so the permutation is
+/// identical to the sequential one for every thread count.
+pub fn postorder_parallel(forest: &EliminationForest, nthreads: usize) -> Permutation {
+    let roots = forest.roots();
+    if nthreads <= 1 || roots.len() <= 1 {
+        return forest.postorder();
+    }
+    let slots: Vec<Mutex<Vec<usize>>> = roots.iter().map(|_| Mutex::new(Vec::new())).collect();
+    let pred_counts = vec![0usize; roots.len()];
+    execute_dag_report(
+        roots.len(),
+        &pred_counts,
+        |_| &[][..],
+        nthreads,
+        1,
+        |_| 0,
+        |t| {
+            *slots[t].lock() = forest.postorder_segment(roots[t]);
+        },
+        &TraceConfig::off(),
+    );
+    let mut order = Vec::with_capacity(forest.n());
+    for s in slots {
+        order.extend(s.into_inner());
+    }
+    Permutation::from_vec(order).expect("stitched segments visit every node once")
+}

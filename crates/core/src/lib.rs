@@ -31,6 +31,7 @@ mod costs;
 mod error;
 #[cfg(feature = "failpoints")]
 pub mod failpoints;
+mod front;
 pub mod gp;
 mod numeric;
 mod numeric_fine;
@@ -41,6 +42,7 @@ mod solve;
 pub use blocks::{BlockMatrix, ColumnData, StackMap};
 pub use costs::{estimate_task_costs, total_flops};
 pub use error::LuError;
+pub use front::{postorder_parallel, static_fill_parallel_with_parents, SymbolicRequest};
 #[allow(deprecated)]
 pub use numeric::{
     factor_left_looking, factor_task, factor_task_with_policy, factor_task_with_rule,
@@ -68,7 +70,8 @@ mod condest;
 pub use condest::estimate_inverse_1norm;
 
 use splu_ordering::{
-    column_min_degree, maximum_transversal, reverse_cuthill_mckee, StructuralRank,
+    column_min_degree_multi_with, column_min_degree_with, maximum_transversal,
+    reverse_cuthill_mckee, StructuralRank,
 };
 use splu_sched::{block_forest, build_eforest_graph, build_sstar_graph, Mapping, TaskGraph};
 use splu_sparse::{CscMatrix, Permutation, SparsityPattern};
@@ -83,6 +86,11 @@ use splu_symbolic::{
 pub enum OrderingChoice {
     /// Minimum degree on the pattern of `AᵀA` — the paper's choice.
     MinDegreeAtA,
+    /// Multiple-elimination minimum degree on `AᵀA`: each round eliminates
+    /// an independent set of minimum-degree vertices with deferred degree
+    /// updates (the parallel-friendly variant). Produces a different but
+    /// comparable-quality permutation; off by default.
+    MinDegreeMulti,
     /// Keep the given order (after the transversal).
     Natural,
     /// Reverse Cuthill–McKee on the symmetrized pattern (ablation).
@@ -112,6 +120,10 @@ pub struct Options {
     pub task_graph: TaskGraphKind,
     /// Worker threads for the numerical phase.
     pub threads: usize,
+    /// Worker threads for the symbolic front half (static fill chunks,
+    /// assembly scatters, postorder segments). `1` (the default) is the
+    /// sequential path; any value produces bitwise-identical structures.
+    pub front_threads: usize,
     /// Task-to-worker mapping (paper: static 1D column mapping).
     pub mapping: Mapping,
     /// Absolute pivot rejection threshold (`0.0`: any nonzero pivot).
@@ -147,6 +159,7 @@ impl Default for Options {
             amalgamation: Some(SupernodeOptions::default()),
             task_graph: TaskGraphKind::EForest,
             threads: 1,
+            front_threads: 1,
             mapping: Mapping::Static1D,
             pivot_threshold: 0.0,
             pivot_rule: PivotRule::Partial,
@@ -289,7 +302,33 @@ impl NumericLu<'_> {
 }
 
 /// Runs the full analysis pipeline on a sparsity pattern.
+///
+/// Equivalent to [`analyze_with`] under the front-half request implied by
+/// `opts` ([`SymbolicRequest::from_options`]): `opts.front_threads` workers
+/// and `opts.budget` as the bound.
 pub fn analyze(pattern: &SparsityPattern, opts: &Options) -> Result<SymbolicLu, LuError> {
+    analyze_with(pattern, opts, &SymbolicRequest::from_options(opts))
+}
+
+/// Runs the full analysis pipeline with an explicit front-half request.
+///
+/// `req.front_threads == 1` is the historical sequential path;
+/// `req.front_threads > 1` runs the chunked parallel static fill
+/// ([`static_fill_parallel_with_parents`]) and the stitched parallel
+/// postorder ([`postorder_parallel`]) — both bitwise identical to the
+/// sequential path, so the returned [`SymbolicLu`] does not depend on the
+/// thread count.
+///
+/// `req.budget` bounds the front half: the ordering polls it once per
+/// elimination round, the parallel fill at every chunk boundary, and the
+/// driver between phases, returning [`LuError::Cancelled`] /
+/// [`LuError::DeadlineExceeded`] with the number of completed factor
+/// columns attached (0 while still ordering).
+pub fn analyze_with(
+    pattern: &SparsityPattern,
+    opts: &Options,
+    req: &SymbolicRequest,
+) -> Result<SymbolicLu, LuError> {
     if !pattern.is_square() {
         return Err(LuError::NotSquare {
             nrows: pattern.nrows(),
@@ -297,6 +336,14 @@ pub fn analyze(pattern: &SparsityPattern, opts: &Options) -> Result<SymbolicLu, 
         });
     }
     let n = pattern.ncols();
+    let check = |columns_done: usize| -> Result<(), LuError> {
+        if req.tripped() {
+            Err(req.trip_error(columns_done, n))
+        } else {
+            Ok(())
+        }
+    };
+    check(0)?;
     // 0. Maximum transversal → zero-free diagonal.
     let rp0 = match maximum_transversal(pattern) {
         StructuralRank::Full(p) => p,
@@ -305,28 +352,48 @@ pub fn analyze(pattern: &SparsityPattern, opts: &Options) -> Result<SymbolicLu, 
     let id = Permutation::identity(n);
     let p1 = pattern.permuted(&rp0, &id);
 
-    // 1. Fill-reducing ordering, applied symmetrically to keep the diagonal.
+    // 1. Fill-reducing ordering, applied symmetrically to keep the
+    // diagonal. The minimum-degree variants poll the budget between
+    // elimination rounds.
+    let mut keep_going = || !req.tripped();
     let q = match opts.ordering {
-        OrderingChoice::MinDegreeAtA => column_min_degree(&p1),
-        OrderingChoice::Natural => Permutation::identity(n),
-        OrderingChoice::Rcm => reverse_cuthill_mckee(&p1),
-    };
+        OrderingChoice::MinDegreeAtA => column_min_degree_with(&p1, &mut keep_going),
+        OrderingChoice::MinDegreeMulti => column_min_degree_multi_with(&p1, &mut keep_going),
+        OrderingChoice::Natural => Some(Permutation::identity(n)),
+        OrderingChoice::Rcm => keep_going().then(|| reverse_cuthill_mckee(&p1)),
+    }
+    .ok_or_else(|| req.trip_error(0, n))?;
     let p2 = p1.permuted(&q, &q);
     let mut row_perm = q.compose(&rp0);
     let mut col_perm = q.clone();
 
-    // 2. Static symbolic factorization.
-    let f2 = static_symbolic_factorization(&p2)?;
+    // 2. Static symbolic factorization; the parallel path also yields the
+    // eforest parents, saving the `from_filled` pass below.
+    check(0)?;
+    let (f2, parents) = if req.front_threads <= 1 {
+        (static_symbolic_factorization(&p2)?, None)
+    } else {
+        let (f, par) = static_fill_parallel_with_parents(&p2, req)?;
+        (f, Some(par))
+    };
 
     // 3. Eforest postordering (Theorem 3: permute the structures directly).
+    check(n)?;
     let filled = if opts.postorder {
-        let po = postorder_permutation(&f2);
+        let po = match parents {
+            Some(par) => {
+                let forest = EliminationForest::from_parent_vec(par);
+                postorder_parallel(&forest, req.front_threads)
+            }
+            None => postorder_permutation(&f2),
+        };
         row_perm = po.compose(&row_perm);
         col_perm = po.compose(&col_perm);
         FilledLu::from_parts(f2.l.permuted(&po, &po), f2.u.permuted(&po, &po))
     } else {
         f2
     };
+    check(n)?;
 
     // 4. Supernodes (+ amalgamation) and the block structure.
     let exact = supernode_partition(&filled);
@@ -669,20 +736,7 @@ mod tests {
     use splu_symbolic::fixtures::fig1_matrix;
 
     fn random_matrix(n: usize, extra: usize, seed: u64) -> CscMatrix {
-        use rand::rngs::SmallRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let mut trips: Vec<(usize, usize, f64)> = (0..n)
-            .map(|i| (i, i, 4.0 + rng.gen_range(0.0..1.0)))
-            .collect();
-        for _ in 0..extra {
-            trips.push((
-                rng.gen_range(0..n),
-                rng.gen_range(0..n),
-                rng.gen_range(-1.0..1.0),
-            ));
-        }
-        CscMatrix::from_triplets(n, n, &trips).unwrap()
+        splu_matgen::random_diag_dominant(n, extra, seed, 4.0)
     }
 
     #[test]
@@ -708,6 +762,7 @@ mod tests {
         };
         for ordering in [
             OrderingChoice::MinDegreeAtA,
+            OrderingChoice::MinDegreeMulti,
             OrderingChoice::Natural,
             OrderingChoice::Rcm,
         ] {

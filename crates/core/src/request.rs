@@ -344,20 +344,7 @@ mod tests {
     use splu_symbolic::supernode::{supernode_partition, BlockStructure};
 
     fn random_matrix(n: usize, extra: usize, seed: u64) -> CscMatrix {
-        use rand::rngs::SmallRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let mut trips: Vec<(usize, usize, f64)> = (0..n)
-            .map(|i| (i, i, 3.0 + rng.gen_range(0.0..1.0)))
-            .collect();
-        for _ in 0..extra {
-            trips.push((
-                rng.gen_range(0..n),
-                rng.gen_range(0..n),
-                rng.gen_range(-1.0..1.0),
-            ));
-        }
-        CscMatrix::from_triplets(n, n, &trips).unwrap()
+        splu_matgen::random_diag_dominant(n, extra, seed, 3.0)
     }
 
     /// One request drives both graph forms, and every kernel choice yields

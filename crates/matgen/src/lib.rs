@@ -24,7 +24,7 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use splu_sparse::{CooMatrix, CscMatrix};
+use splu_sparse::{CooMatrix, CscMatrix, SparsityPattern};
 
 /// Knobs for the 3D grid generator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -386,6 +386,85 @@ pub fn manufactured_rhs(a: &CscMatrix, seed: u64) -> (Vec<f64>, Vec<f64>) {
     (x, b)
 }
 
+/// The 7×7 unsymmetric example of the paper's Figure 1(a) — the shared
+/// walkthrough fixture for the symbolic machinery (re-exported as
+/// `splu_symbolic::fixtures::fig1_pattern`).
+///
+/// The figure in the retrieved paper text is partially garbled, so this
+/// fixture is a faithful *small unsymmetric matrix with a zero-free
+/// diagonal* exercising the same phenomena (a genuine forest with several
+/// trees, fill-in, nontrivial postorder) rather than a digit-perfect copy.
+pub fn fig1_pattern() -> SparsityPattern {
+    let entries = vec![
+        (0, 0),
+        (0, 2),
+        (1, 1),
+        (1, 3),
+        (2, 0),
+        (2, 2),
+        (2, 4),
+        (3, 1),
+        (3, 3),
+        (3, 6),
+        (4, 4),
+        (4, 5),
+        (5, 2),
+        (5, 5),
+        (5, 6),
+        (6, 4),
+        (6, 6),
+    ];
+    SparsityPattern::from_entries(7, 7, entries).unwrap()
+}
+
+/// The Figure 1 matrix with deterministic nonzero values (diagonally
+/// dominant so that no pivoting is strictly required, yet unsymmetric).
+pub fn fig1_matrix() -> CscMatrix {
+    let p = fig1_pattern();
+    let vals: Vec<f64> = p
+        .entries()
+        .map(|(i, j)| {
+            if i == j {
+                10.0 + i as f64
+            } else {
+                1.0 + ((3 * i + 5 * j) % 7) as f64 * 0.25
+            }
+        })
+        .collect();
+    CscMatrix::from_pattern_values(p, vals).expect("pattern and values align")
+}
+
+/// A small random square pattern with a planted zero-free diagonal plus
+/// `extra` uniformly random entries — the structural fuzzing workload of
+/// the symbolic test-suites.
+pub fn random_pattern(n: usize, extra: usize, seed: u64) -> SparsityPattern {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut entries: Vec<(usize, usize)> = (0..n).map(|i| (i, i)).collect();
+    for _ in 0..extra {
+        entries.push((rng.gen_range(0..n), rng.gen_range(0..n)));
+    }
+    SparsityPattern::from_entries(n, n, entries).unwrap()
+}
+
+/// A small random square matrix over a [`random_pattern`]-style structure:
+/// diagonal `base + U[0, 1)`, then `extra` unit-interval off-diagonal
+/// triplets (duplicates sum) — the numerical fuzzing workload of the
+/// driver test-suites.
+pub fn random_diag_dominant(n: usize, extra: usize, seed: u64, base: f64) -> CscMatrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut trips: Vec<(usize, usize, f64)> = (0..n)
+        .map(|i| (i, i, base + rng.gen_range(0.0..1.0)))
+        .collect();
+    for _ in 0..extra {
+        trips.push((
+            rng.gen_range(0..n),
+            rng.gen_range(0..n),
+            rng.gen_range(-1.0..1.0),
+        ));
+    }
+    CscMatrix::from_triplets(n, n, &trips).unwrap()
+}
+
 /// A random unsymmetric matrix with a guaranteed nonzero, diagonally
 /// dominant diagonal — the generic fuzzing workload used across the
 /// test-suites and stress examples.
@@ -495,6 +574,31 @@ pub fn tiny_pivot_matrix(n: usize, tiny_cols: &[usize], tiny: f64, seed: u64) ->
 mod tests {
     use super::*;
     use splu_ordering::{maximum_transversal, StructuralRank};
+
+    #[test]
+    fn fig1_fixture_is_unsymmetric_with_zero_free_diagonal() {
+        let p = fig1_pattern();
+        assert!(p.has_zero_free_diagonal());
+        assert_ne!(p, p.transpose());
+        let m = fig1_matrix();
+        assert_eq!(m.nnz(), p.nnz());
+        assert!(m.get(0, 0) >= 10.0);
+    }
+
+    #[test]
+    fn small_random_generators_are_deterministic_with_planted_diagonals() {
+        let p = random_pattern(20, 40, 3);
+        assert_eq!(p, random_pattern(20, 40, 3));
+        assert!(p.has_zero_free_diagonal());
+        let a = random_diag_dominant(20, 60, 5, 3.0);
+        assert_eq!(a, random_diag_dominant(20, 60, 5, 3.0));
+        // Random duplicates sum onto the planted diagonal, so its exact
+        // value floats — but it stays present and far from zero.
+        assert!(a.pattern().has_zero_free_diagonal());
+        for i in 0..20 {
+            assert!(a.get(i, i) >= 2.0, "column {i}: {}", a.get(i, i));
+        }
+    }
 
     #[test]
     fn generators_are_deterministic() {

@@ -23,6 +23,9 @@ mod mindeg;
 mod rcm;
 mod transversal;
 
-pub use mindeg::{column_min_degree, min_degree};
+pub use mindeg::{
+    column_min_degree, column_min_degree_multi, column_min_degree_multi_with,
+    column_min_degree_with, min_degree, min_degree_multi, min_degree_multi_with, min_degree_with,
+};
 pub use rcm::reverse_cuthill_mckee;
 pub use transversal::{maximum_transversal, StructuralRank};

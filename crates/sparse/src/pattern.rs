@@ -71,6 +71,37 @@ impl SparsityPattern {
         })
     }
 
+    /// Builds a pattern from compressed-column arrays **known** to satisfy
+    /// the invariants (monotone pointers bracketing `row_idx`, strictly
+    /// increasing in-range rows per column).
+    ///
+    /// The hot symbolic assembly paths construct multi-million-entry
+    /// patterns whose sortedness holds by construction (counting scatters,
+    /// branch walks); this constructor skips the release-mode re-validation
+    /// scan that [`Self::new`] performs. Debug builds still validate fully,
+    /// so the test-suite keeps the invariants honest.
+    ///
+    /// # Panics
+    /// Debug builds panic when the invariants do not hold. Release builds
+    /// accept the arrays as-is — callers must guarantee them.
+    pub fn from_sorted_parts(
+        nrows: usize,
+        ncols: usize,
+        col_ptr: Vec<usize>,
+        row_idx: Vec<usize>,
+    ) -> Self {
+        if cfg!(debug_assertions) {
+            return SparsityPattern::new(nrows, ncols, col_ptr, row_idx)
+                .expect("from_sorted_parts invariants violated");
+        }
+        SparsityPattern {
+            nrows,
+            ncols,
+            col_ptr,
+            row_idx,
+        }
+    }
+
     /// Pattern with no entries.
     pub fn empty(nrows: usize, ncols: usize) -> Self {
         SparsityPattern {

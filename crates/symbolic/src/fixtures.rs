@@ -1,67 +1,9 @@
 //! Shared fixtures: the paper's Figure 1 example matrix.
 //!
-//! Used by unit tests across the workspace and by the `paper_figures`
-//! example that prints the eforest/BTF/task-DAG walkthrough of Figures 1–4.
+//! The constructions live in [`splu_matgen`] with the rest of the
+//! deterministic matrix generators; this module re-exports them under
+//! their historical path, used by unit tests across the workspace and by
+//! the `paper_figures` example that prints the eforest/BTF/task-DAG
+//! walkthrough of Figures 1–4.
 
-use splu_sparse::{CscMatrix, SparsityPattern};
-
-/// The 7×7 unsymmetric example of the paper's Figure 1(a).
-///
-/// The figure in the retrieved paper text is partially garbled, so this
-/// fixture is a faithful *small unsymmetric matrix with a zero-free
-/// diagonal* exercising the same phenomena (a genuine forest with several
-/// trees, fill-in, nontrivial postorder) rather than a digit-perfect copy.
-pub fn fig1_pattern() -> SparsityPattern {
-    let entries = vec![
-        (0, 0),
-        (0, 2),
-        (1, 1),
-        (1, 3),
-        (2, 0),
-        (2, 2),
-        (2, 4),
-        (3, 1),
-        (3, 3),
-        (3, 6),
-        (4, 4),
-        (4, 5),
-        (5, 2),
-        (5, 5),
-        (5, 6),
-        (6, 4),
-        (6, 6),
-    ];
-    SparsityPattern::from_entries(7, 7, entries).unwrap()
-}
-
-/// The Figure 1 matrix with deterministic nonzero values (diagonally
-/// dominant so that no pivoting is strictly required, yet unsymmetric).
-pub fn fig1_matrix() -> CscMatrix {
-    let p = fig1_pattern();
-    let vals: Vec<f64> = p
-        .entries()
-        .map(|(i, j)| {
-            if i == j {
-                10.0 + i as f64
-            } else {
-                1.0 + ((3 * i + 5 * j) % 7) as f64 * 0.25
-            }
-        })
-        .collect();
-    CscMatrix::from_pattern_values(p, vals).expect("pattern and values align")
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn fixture_is_unsymmetric_with_zero_free_diagonal() {
-        let p = fig1_pattern();
-        assert!(p.has_zero_free_diagonal());
-        assert_ne!(p, p.transpose());
-        let m = fig1_matrix();
-        assert_eq!(m.nnz(), p.nnz());
-        assert!(m.get(0, 0) >= 10.0);
-    }
-}
+pub use splu_matgen::{fig1_matrix, fig1_pattern};

@@ -32,6 +32,8 @@ pub use coletree::{ata_cholesky_bound, column_etree, etree_symmetric};
 pub use eforest::{EliminationForest, ExtendedEforest};
 pub use postorder::{block_triangular_form, postorder_permutation, BtfBlock};
 pub use static_fact::{
-    static_symbolic_factorization, static_symbolic_reference, FilledLu, SymbolicError,
+    assemble_filled, assemble_filled_threads, fill_columns, fill_skeleton, static_symbolic_chunked,
+    static_symbolic_factorization, static_symbolic_reference, FillChunk, FillScratch, FillSkeleton,
+    FilledLu, SymbolicError,
 };
 pub use supernode::{amalgamate, supernode_partition, BlockStructure, Partition, SupernodeOptions};

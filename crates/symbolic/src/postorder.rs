@@ -87,18 +87,7 @@ mod tests {
     use super::*;
     use crate::fixtures::fig1_pattern;
     use crate::static_fact::static_symbolic_factorization;
-    use splu_sparse::SparsityPattern;
-
-    fn random_pattern(n: usize, extra: usize, seed: u64) -> SparsityPattern {
-        use rand::rngs::SmallRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let mut entries: Vec<(usize, usize)> = (0..n).map(|i| (i, i)).collect();
-        for _ in 0..extra {
-            entries.push((rng.gen_range(0..n), rng.gen_range(0..n)));
-        }
-        SparsityPattern::from_entries(n, n, entries).unwrap()
-    }
+    use splu_matgen::random_pattern;
 
     /// Theorem 3: permuting `A` by the postorder and re-running the static
     /// symbolic factorization gives exactly the permuted `Ā`.

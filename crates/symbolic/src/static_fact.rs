@@ -15,6 +15,7 @@
 //! which is how S+ achieves near-linear behaviour.
 
 use splu_sparse::{SparseError, SparsityPattern};
+use std::ops::Range;
 
 /// Structures of the filled factors `L̄` (lower, including the unit
 /// diagonal) and `Ū` (upper, including the diagonal).
@@ -256,6 +257,497 @@ pub fn static_symbolic_factorization(pattern: &SparsityPattern) -> Result<Filled
     Ok(FilledLu::from_parts(l, u))
 }
 
+/// Output of the sequential skeleton pass of the chunked (parallel-friendly)
+/// static symbolic factorization — see [`fill_skeleton`].
+///
+/// The skeleton is everything the per-column reachability pass needs:
+///
+/// * `parent[k]` — the next candidate step of the row class eliminated at
+///   step `k` (`usize::MAX` when the class dies at `k`). This is exactly the
+///   LU eforest parent array of Definition 1: the class's trimmed structure
+///   minimum *is* `min{ r > k : ū_kr ≠ 0 }`, and the class survives step `k`
+///   precisely when `|L̄_{*k}| > 1`.
+/// * `first[r]` — the first candidate step of original row `r` (its minimum
+///   column index), where row `r`'s climb through `parent` begins;
+/// * `l_len[j]` / `u_len[i]` — the exact entry counts of `L̄` column `j`
+///   and `Ū` row `i` (diagonal included), so the assembly can lay out every
+///   CSC array without counting passes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FillSkeleton {
+    n: usize,
+    parent: Vec<usize>,
+    first: Vec<usize>,
+    l_len: Vec<usize>,
+    u_len: Vec<usize>,
+}
+
+impl FillSkeleton {
+    /// Matrix order.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The eforest parent array (`usize::MAX` = root), valid input for
+    /// [`crate::eforest::EliminationForest::from_parent_vec`].
+    pub fn parents(&self) -> &[usize] {
+        &self.parent
+    }
+
+    /// First candidate step (minimum column index) of each original row.
+    pub fn first(&self) -> &[usize] {
+        &self.first
+    }
+
+    /// Entry count of each `L̄` column (diagonal included).
+    pub fn l_len(&self) -> &[usize] {
+        &self.l_len
+    }
+
+    /// Entry count of each `Ū` row (diagonal included).
+    pub fn u_len(&self) -> &[usize] {
+        &self.u_len
+    }
+
+    /// Total filled entries of `Ā = L̄ + Ū − I` (diagonal counted once).
+    pub fn nnz_filled(&self) -> usize {
+        self.l_len.iter().sum::<usize>() + self.u_len.iter().sum::<usize>() - self.n
+    }
+
+    /// Cuts `0..n` into at most roughly `n_chunks` contiguous column ranges
+    /// of approximately equal estimated fill work (per-column weight:
+    /// one unit plus the original column count plus the `L̄` column count).
+    /// Deterministic for a fixed `(pattern, n_chunks)`; the chunked result
+    /// is independent of the chunking anyway because every column is
+    /// computed independently.
+    pub fn partition(&self, pattern: &SparsityPattern, n_chunks: usize) -> Vec<Range<usize>> {
+        let n = self.n;
+        if n == 0 {
+            return Vec::new();
+        }
+        let n_chunks = n_chunks.clamp(1, n);
+        let weights: Vec<usize> = (0..n)
+            .map(|j| 1 + pattern.col(j).len() + self.l_len[j])
+            .collect();
+        let total: usize = weights.iter().sum();
+        let target = total.div_ceil(n_chunks);
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        let mut acc = 0usize;
+        for (j, w) in weights.iter().enumerate() {
+            acc += w;
+            if acc >= target {
+                out.push(start..j + 1);
+                start = j + 1;
+                acc = 0;
+            }
+        }
+        if start < n {
+            out.push(start..n);
+        }
+        out
+    }
+}
+
+/// Runs the sequential skeleton pass: the union–find merge loop of
+/// [`static_symbolic_factorization`] stripped of all sorting and of `Ū`
+/// materialization. Costs `O(|Ū| + nnz)` integer operations and produces a
+/// [`FillSkeleton`] from which every filled column can then be computed
+/// *independently* (see [`fill_columns`]) — the GSoFa-style reachability
+/// formulation: `ū_ij ≠ 0` iff some row `r` with `a_rj ≠ 0` has `i` on its
+/// candidate-step chain `first(r), parent(first(r)), …` with `i ≤ j`.
+pub fn fill_skeleton(pattern: &SparsityPattern) -> Result<FillSkeleton, SymbolicError> {
+    if !pattern.is_square() {
+        return Err(SymbolicError::NotSquare);
+    }
+    let n = pattern.ncols();
+    for j in 0..n {
+        if !pattern.contains(j, j) {
+            return Err(SymbolicError::ZeroOnDiagonal(j));
+        }
+    }
+    let by_rows = pattern.transpose();
+
+    // Union–find over rows, as in the sequential algorithm; classes keep
+    // their structures *unsorted* and track the minimum separately.
+    let mut uf: Vec<usize> = (0..n).collect();
+    fn find(uf: &mut [usize], mut x: usize) -> usize {
+        while uf[x] != x {
+            uf[x] = uf[uf[x]];
+            x = uf[x];
+        }
+        x
+    }
+
+    let mut class_struct: Vec<Vec<usize>> = (0..n).map(|i| by_rows.col(i).to_vec()).collect();
+    // `by_rows` columns are sorted, so element 0 is the row minimum.
+    let first: Vec<usize> = (0..n).map(|i| class_struct[i][0]).collect();
+    let mut class_min: Vec<usize> = first.clone();
+    let mut class_rows: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    let mut bucket: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        bucket[first[i]].push(i);
+    }
+
+    let mut parent = vec![usize::MAX; n];
+    let mut l_len = vec![0usize; n];
+    let mut u_len = vec![0usize; n];
+    let mut in_union = vec![false; n];
+    let mut merged: Vec<usize> = Vec::new();
+
+    for k in 0..n {
+        let mut reps: Vec<usize> = Vec::new();
+        for cand in std::mem::take(&mut bucket[k]) {
+            let r = find(&mut uf, cand);
+            if !class_rows[r].is_empty()
+                && !class_struct[r].is_empty()
+                && class_min[r] == k
+                && !reps.contains(&r)
+            {
+                reps.push(r);
+            }
+        }
+        debug_assert!(
+            !reps.is_empty(),
+            "zero-free diagonal guarantees a candidate class at step {k}"
+        );
+
+        // Trimmed union (columns > k) of the candidate structures, tracking
+        // its minimum — no sort needed.
+        merged.clear();
+        let mut min = usize::MAX;
+        for &r in &reps {
+            for &c in &class_struct[r] {
+                if c > k && !in_union[c] {
+                    in_union[c] = true;
+                    merged.push(c);
+                    min = min.min(c);
+                }
+            }
+        }
+        for &c in &merged {
+            in_union[c] = false;
+        }
+
+        // L̄ column k = all rows in the candidate classes; Ū row k = {k} ∪
+        // the trimmed union. Only the counts are recorded — the entries are
+        // reconstructed later from `(first, parent)`.
+        l_len[k] = reps.iter().map(|&r| class_rows[r].len()).sum();
+        u_len[k] = merged.len() + 1;
+
+        // Merge the classes into one; drop row k; re-bucket at the new
+        // minimum (recycling the old root structure as the next scratch).
+        let root = reps[0];
+        for &r in &reps[1..] {
+            uf[r] = root;
+            let rows = std::mem::take(&mut class_rows[r]);
+            class_rows[root].extend(rows);
+            class_struct[r] = Vec::new();
+        }
+        class_rows[root].retain(|&i| i != k);
+        if class_rows[root].is_empty() {
+            class_struct[root] = Vec::new();
+        } else {
+            debug_assert!(
+                min != usize::MAX,
+                "surviving rows must have a diagonal entry ahead"
+            );
+            parent[k] = min;
+            class_min[root] = min;
+            std::mem::swap(&mut class_struct[root], &mut merged);
+            bucket[min].push(root);
+        }
+    }
+
+    Ok(FillSkeleton {
+        n,
+        parent,
+        first,
+        l_len,
+        u_len,
+    })
+}
+
+/// Reusable per-worker scratch for [`fill_columns`]: a column-stamped mark
+/// array, so no clearing between columns (or chunks) is needed.
+#[derive(Debug)]
+pub struct FillScratch {
+    mark: Vec<usize>,
+    stamp: usize,
+}
+
+impl FillScratch {
+    /// Fresh scratch for an order-`n` problem.
+    pub fn new(n: usize) -> Self {
+        FillScratch {
+            mark: vec![usize::MAX; n],
+            stamp: 0,
+        }
+    }
+}
+
+/// `Ū` columns of one contiguous column range, flat and **unsorted within
+/// each column** (climb discovery order) — the output of [`fill_columns`],
+/// consumed by [`assemble_filled`].
+///
+/// The discovery order depends only on `(pattern, skeleton, column)`, never
+/// on the worker or chunk that computed it, so even the raw bytes here are
+/// schedule-independent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FillChunk {
+    /// The column range this chunk covers.
+    pub cols: Range<usize>,
+    /// Chunk-local column pointers into `u_idx` (length `cols.len() + 1`).
+    pub u_ptr: Vec<usize>,
+    /// Concatenated `Ū` column row indices, unsorted within each column.
+    pub u_idx: Vec<usize>,
+}
+
+/// Computes the `Ū` columns `cols` from the skeleton — the embarrassingly
+/// parallel half of the chunked factorization.
+///
+/// Per column `j`, the `Ū` column is the union of parent-chain climbs
+/// `first[r], parent[first[r]], …` truncated at `j`, one climb per
+/// structural entry `a_rj`. Climbs stop at the first already-marked node,
+/// so the column costs `O(|A_{*j}| + |Ū_{*j}|)`. Nothing is sorted here:
+/// [`assemble_filled`] orders both factors with linear counting passes.
+pub fn fill_columns(
+    pattern: &SparsityPattern,
+    skel: &FillSkeleton,
+    cols: Range<usize>,
+    scratch: &mut FillScratch,
+) -> FillChunk {
+    assert!(cols.end <= skel.n, "column range out of bounds");
+    let mut u_ptr = Vec::with_capacity(cols.len() + 1);
+    u_ptr.push(0);
+    let mut u_idx: Vec<usize> = Vec::with_capacity(4 * cols.len());
+    for j in cols.clone() {
+        scratch.stamp += 1;
+        let stamp = scratch.stamp;
+        for &r in pattern.col(j) {
+            let mut x = skel.first[r];
+            // `parent` entries are either > x or usize::MAX, so the `x <= j`
+            // bound also terminates dead-class chains.
+            while x <= j && scratch.mark[x] != stamp {
+                scratch.mark[x] = stamp;
+                u_idx.push(x);
+                x = skel.parent[x];
+            }
+        }
+        u_ptr.push(u_idx.len());
+    }
+    FillChunk { cols, u_ptr, u_idx }
+}
+
+/// Exclusive prefix sum of `lens` as a CSC pointer array.
+fn prefix_ptr(lens: &[usize]) -> Vec<usize> {
+    let mut ptr = Vec::with_capacity(lens.len() + 1);
+    let mut acc = 0usize;
+    ptr.push(0);
+    for &l in lens {
+        acc += l;
+        ptr.push(acc);
+    }
+    ptr
+}
+
+/// Splits the destination index range `0..n` of a scatter into at most `t`
+/// sub-ranges carrying roughly equal numbers of entries per `ptr`.
+/// The ranges tile `0..n` in ascending order (some may be empty).
+fn balance_ranges(ptr: &[usize], t: usize) -> Vec<Range<usize>> {
+    let n = ptr.len() - 1;
+    let nnz = ptr[n];
+    let t = t.clamp(1, n.max(1));
+    let mut ranges = Vec::with_capacity(t);
+    let mut start = 0usize;
+    for k in 1..=t {
+        let end = if k == t {
+            n
+        } else {
+            // First destination whose cumulative count reaches k/t of nnz.
+            ptr.partition_point(|&p| p < nnz * k / t).clamp(start, n)
+        };
+        ranges.push(start..end);
+        start = end;
+    }
+    ranges
+}
+
+/// Runs a counting scatter with destination-range ownership: the output is
+/// split at `ptr` boundaries into one contiguous sub-slice per balanced
+/// destination range, and `run(range, out_range)` fills each — on the
+/// calling thread when `nthreads <= 1`, on scoped threads otherwise.
+///
+/// Because every entry's final position is fixed by `ptr` before any thread
+/// starts, the assembled output is **position-exact**: bitwise identical
+/// for every `nthreads`.
+fn scatter_by_dest<F>(ptr: &[usize], out: &mut [usize], nthreads: usize, run: F)
+where
+    F: Fn(Range<usize>, &mut [usize]) + Sync,
+{
+    let n = ptr.len() - 1;
+    if nthreads <= 1 {
+        run(0..n, out);
+        return;
+    }
+    let ranges = balance_ranges(ptr, nthreads);
+    std::thread::scope(|s| {
+        let mut rest = out;
+        for r in ranges {
+            let (head, tail) = rest.split_at_mut(ptr[r.end] - ptr[r.start]);
+            rest = tail;
+            let run = &run;
+            s.spawn(move || run(r, head));
+        }
+    });
+}
+
+/// Assembles chunk outputs (which must tile `0..n` in ascending order) into
+/// a [`FilledLu`] bitwise identical to the sequential
+/// [`static_symbolic_factorization`] result, using up to `nthreads` threads
+/// for the scatter passes.
+///
+/// No comparison sorts anywhere: every CSC pointer array is known exactly
+/// from the skeleton's `l_len`/`u_len` and the chunk pointers, and
+///
+/// * `L̄` rows are **branches** (row `i` = the ascending parent path
+///   `first[i] → … → i`), so scanning rows in ascending order while walking
+///   each branch scatters `L̄` columns directly in sorted order;
+/// * the unsorted `Ū` columns scatter (ascending column scan) into the
+///   row-major `Ū`, which therefore comes out sorted, and a second scatter
+///   (ascending row scan) back yields the column-compressed `Ū` sorted.
+///
+/// Each scatter parallelizes by destination-range ownership (see
+/// [`scatter_by_dest`]); the output is position-exact, so the result is
+/// bitwise independent of `nthreads`, chunking and scheduling — a sorted
+/// CSC representation of a set family is unique.
+pub fn assemble_filled_threads(
+    skel: &FillSkeleton,
+    chunks: &[FillChunk],
+    nthreads: usize,
+) -> Result<FilledLu, SymbolicError> {
+    let n = skel.n;
+    let mut next = 0usize;
+    for ch in chunks {
+        assert_eq!(
+            ch.cols.start, next,
+            "chunks must tile the column range in order"
+        );
+        assert_eq!(ch.u_ptr.len(), ch.cols.len() + 1, "malformed chunk");
+        next = ch.cols.end;
+    }
+    assert_eq!(next, n, "chunks must cover every column");
+
+    // L̄ columns: scan rows ascending, walk each row's branch, scatter the
+    // row index into every branch node's column. Branches ascend (parents
+    // exceed children), so a thread owning destinations `[a, b)` can skip
+    // rows whose branch starts at or beyond `b` and stop each walk at `b`.
+    let l_ptr = prefix_ptr(&skel.l_len);
+    let mut l_idx = vec![0usize; l_ptr[n]];
+    scatter_by_dest(&l_ptr, &mut l_idx, nthreads, |r, out| {
+        let base = l_ptr[r.start];
+        let mut cursor: Vec<usize> = l_ptr[r.start..r.end].iter().map(|&p| p - base).collect();
+        for i in r.start..n {
+            let mut x = skel.first[i];
+            if x >= r.end {
+                continue;
+            }
+            loop {
+                if x >= r.start {
+                    out[cursor[x - r.start]] = i;
+                    cursor[x - r.start] += 1;
+                }
+                if x == i {
+                    break;
+                }
+                x = skel.parent[x];
+                debug_assert!(x <= i, "row branch overshot its row");
+                if x >= r.end {
+                    break;
+                }
+            }
+        }
+        debug_assert!((r.start..r.end).all(|j| cursor[j - r.start] == l_ptr[j + 1] - base));
+    });
+
+    // Row-major Ū by one scatter of the unsorted chunk columns (ascending
+    // column scan → sorted rows).
+    let ur_ptr = prefix_ptr(&skel.u_len);
+    let mut ur_idx = vec![0usize; ur_ptr[n]];
+    scatter_by_dest(&ur_ptr, &mut ur_idx, nthreads, |r, out| {
+        let base = ur_ptr[r.start];
+        let mut cursor: Vec<usize> = ur_ptr[r.start..r.end].iter().map(|&p| p - base).collect();
+        for ch in chunks {
+            for (k, j) in ch.cols.clone().enumerate() {
+                for &i in &ch.u_idx[ch.u_ptr[k]..ch.u_ptr[k + 1]] {
+                    if i >= r.start && i < r.end {
+                        out[cursor[i - r.start]] = j;
+                        cursor[i - r.start] += 1;
+                    }
+                }
+            }
+        }
+        debug_assert!((r.start..r.end).all(|i| cursor[i - r.start] == ur_ptr[i + 1] - base));
+    });
+
+    // Column-compressed Ū by scattering back (ascending row scan → sorted
+    // columns). Rows of the row-major Ū are sorted, so each thread narrows
+    // to its destination window by binary search instead of filtering.
+    let mut u_col_lens = vec![0usize; n];
+    for ch in chunks {
+        for (k, j) in ch.cols.clone().enumerate() {
+            u_col_lens[j] = ch.u_ptr[k + 1] - ch.u_ptr[k];
+        }
+    }
+    let u_ptr = prefix_ptr(&u_col_lens);
+    let mut u_idx = vec![0usize; u_ptr[n]];
+    scatter_by_dest(&u_ptr, &mut u_idx, nthreads, |r, out| {
+        let base = u_ptr[r.start];
+        let mut cursor: Vec<usize> = u_ptr[r.start..r.end].iter().map(|&p| p - base).collect();
+        for i in 0..n {
+            let row = &ur_idx[ur_ptr[i]..ur_ptr[i + 1]];
+            let lo = row.partition_point(|&j| j < r.start);
+            let hi = lo + row[lo..].partition_point(|&j| j < r.end);
+            for &j in &row[lo..hi] {
+                out[cursor[j - r.start]] = i;
+                cursor[j - r.start] += 1;
+            }
+        }
+        debug_assert!((r.start..r.end).all(|j| cursor[j - r.start] == u_ptr[j + 1] - base));
+    });
+
+    let l = SparsityPattern::from_sorted_parts(n, n, l_ptr, l_idx);
+    let u = SparsityPattern::from_sorted_parts(n, n, u_ptr, u_idx);
+    let u_rows = SparsityPattern::from_sorted_parts(n, n, ur_ptr, ur_idx);
+    Ok(FilledLu { l, u, u_rows })
+}
+
+/// Single-threaded [`assemble_filled_threads`].
+pub fn assemble_filled(
+    skel: &FillSkeleton,
+    chunks: &[FillChunk],
+) -> Result<FilledLu, SymbolicError> {
+    assemble_filled_threads(skel, chunks, 1)
+}
+
+/// Sequential driver over the chunked formulation: skeleton pass, then
+/// chunks of `chunk_cols` columns in order. Produces output bitwise
+/// identical to [`static_symbolic_factorization`]; the parallel driver in
+/// `splu-core` schedules the same chunks on the work-stealing executor.
+pub fn static_symbolic_chunked(
+    pattern: &SparsityPattern,
+    chunk_cols: usize,
+) -> Result<FilledLu, SymbolicError> {
+    let skel = fill_skeleton(pattern)?;
+    let n = skel.n();
+    let chunk_cols = chunk_cols.max(1);
+    let mut scratch = FillScratch::new(n);
+    let chunks: Vec<FillChunk> = (0..n)
+        .step_by(chunk_cols)
+        .map(|s| fill_columns(pattern, &skel, s..(s + chunk_cols).min(n), &mut scratch))
+        .collect();
+    assemble_filled(&skel, &chunks)
+}
+
 /// Brute-force reference implementation on dense boolean matrices, O(n³).
 ///
 /// Used by the test-suite (and available to downstream property tests) to
@@ -311,6 +803,7 @@ mod tests {
     use splu_sparse::SparsityPattern;
 
     use crate::fixtures::fig1_pattern;
+    use splu_matgen::random_pattern;
 
     #[test]
     fn rejects_bad_inputs() {
@@ -455,6 +948,134 @@ mod tests {
         let f = static_symbolic_factorization(&p).unwrap();
         assert_eq!(f.n(), 0);
         assert_eq!(f.nnz_filled(), 0);
+    }
+
+    #[test]
+    fn chunked_is_bitwise_identical_to_sequential() {
+        for (n, extra, seed) in [
+            (1usize, 0usize, 1u64),
+            (2, 2, 2),
+            (7, 10, 3),
+            (15, 25, 4),
+            (25, 60, 5),
+            (40, 90, 6),
+            (60, 200, 7),
+        ] {
+            let p = random_pattern(n, extra, seed);
+            let seq = static_symbolic_factorization(&p).unwrap();
+            for chunk in [1usize, 3, 8, 64] {
+                let par = static_symbolic_chunked(&p, chunk).unwrap();
+                assert_eq!(
+                    par, seq,
+                    "chunked mismatch (n={n}, seed={seed}, chunk={chunk})"
+                );
+            }
+        }
+        let p = fig1_pattern();
+        assert_eq!(
+            static_symbolic_chunked(&p, 2).unwrap(),
+            static_symbolic_factorization(&p).unwrap()
+        );
+    }
+
+    #[test]
+    fn chunked_matches_dense_reference() {
+        for seed in 0..6 {
+            let p = random_pattern(18, 40, seed);
+            let fast = static_symbolic_chunked(&p, 5).unwrap();
+            let slow = static_symbolic_reference(&p).unwrap();
+            assert_eq!(fast.l, slow.l, "L mismatch, seed={seed}");
+            assert_eq!(fast.u, slow.u, "U mismatch, seed={seed}");
+        }
+    }
+
+    #[test]
+    fn skeleton_parents_equal_eforest_parents() {
+        use crate::eforest::EliminationForest;
+        for seed in 0..8 {
+            let p = random_pattern(22, 50, seed);
+            let skel = fill_skeleton(&p).unwrap();
+            let f = static_symbolic_factorization(&p).unwrap();
+            let forest = EliminationForest::from_filled(&f);
+            for j in 0..p.ncols() {
+                let skel_parent = match skel.parents()[j] {
+                    usize::MAX => None,
+                    v => Some(v),
+                };
+                assert_eq!(skel_parent, forest.parent(j), "node {j}, seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn skeleton_rejects_bad_inputs_like_sequential() {
+        let rect = SparsityPattern::empty(2, 3);
+        assert_eq!(fill_skeleton(&rect).unwrap_err(), SymbolicError::NotSquare);
+        let holed = SparsityPattern::from_entries(2, 2, vec![(0, 0), (0, 1)]).unwrap();
+        assert_eq!(
+            fill_skeleton(&holed).unwrap_err(),
+            SymbolicError::ZeroOnDiagonal(1)
+        );
+        let empty = SparsityPattern::empty(0, 0);
+        let f = static_symbolic_chunked(&empty, 4).unwrap();
+        assert_eq!(f.n(), 0);
+    }
+
+    #[test]
+    fn partition_tiles_the_column_range() {
+        let p = random_pattern(37, 80, 9);
+        let skel = fill_skeleton(&p).unwrap();
+        for n_chunks in [1usize, 2, 5, 16, 100] {
+            let parts = skel.partition(&p, n_chunks);
+            let mut next = 0;
+            for r in &parts {
+                assert_eq!(r.start, next);
+                assert!(r.end > r.start);
+                next = r.end;
+            }
+            assert_eq!(next, 37);
+            // Identical partitions on repeated calls (determinism).
+            assert_eq!(parts, skel.partition(&p, n_chunks));
+        }
+    }
+
+    #[test]
+    fn chunks_are_schedule_independent() {
+        // Computing the same column in different chunks / scratches yields
+        // the same result — the per-column independence the parallel
+        // driver's determinism rests on.
+        let p = random_pattern(30, 70, 12);
+        let skel = fill_skeleton(&p).unwrap();
+        let mut s1 = FillScratch::new(30);
+        let mut s2 = FillScratch::new(30);
+        let whole = fill_columns(&p, &skel, 0..30, &mut s1);
+        for j in 0..30 {
+            let single = fill_columns(&p, &skel, j..j + 1, &mut s2);
+            // Even the raw (unsorted) climb output bytes match per column.
+            assert_eq!(
+                single.u_idx,
+                whole.u_idx[whole.u_ptr[j]..whole.u_ptr[j + 1]],
+                "column {j} differs across chunkings"
+            );
+        }
+    }
+
+    #[test]
+    fn assembly_is_bitwise_identical_across_thread_counts() {
+        for (n, extra, seed) in [(1usize, 0usize, 1u64), (17, 40, 5), (60, 200, 9)] {
+            let p = random_pattern(n, extra, seed);
+            let skel = fill_skeleton(&p).unwrap();
+            let mut scratch = FillScratch::new(n);
+            let chunks: Vec<FillChunk> = (0..n)
+                .step_by(7)
+                .map(|s| fill_columns(&p, &skel, s..(s + 7).min(n), &mut scratch))
+                .collect();
+            let seq = assemble_filled(&skel, &chunks).unwrap();
+            for t in [2usize, 3, 8, 64] {
+                let par = assemble_filled_threads(&skel, &chunks, t).unwrap();
+                assert_eq!(seq, par, "n={n} seed={seed} nthreads={t}");
+            }
+        }
     }
 
     #[test]

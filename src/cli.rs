@@ -86,8 +86,15 @@ USAGE:
 
 OPTIONS:
   --threads <N>         worker threads for the numerical phase   [1]
+  --front-threads <N>   worker threads for the symbolic front half
+                        (static fill, assembly, postorder); the factor
+                        structure is bitwise identical for every N  [1]
   --graph eforest|sstar task dependence graph                    [eforest]
-  --ordering md|natural|rcm                                      [md]
+  --ordering mindeg|mindeg-multi|natural|rcm                     [mindeg]
+                        `mindeg-multi` eliminates an independent set of
+                        minimum-degree vertices per pass (a different but
+                        valid permutation); `md` is accepted as an alias
+                        for `mindeg`
   --no-postorder        skip the eforest postordering
   --no-amalgamation     keep exact supernodes
   --dynamic             dynamic scheduling instead of static 1D
@@ -103,8 +110,9 @@ OPTIONS:
   --kernels portable|simd|auto   dense kernel implementation      [portable]
                         (simd/auto need the `simd` cargo feature; factors
                         are bitwise identical under every choice)
-  --time-limit <secs>   deadline for the numerical phase; an expired run
-                        drains its workers and exits with code 5
+  --time-limit <secs>   deadline for the whole run (symbolic front half
+                        and numerical phase); an expired run drains its
+                        workers and exits with code 5
   --watchdog <ms>       liveness watchdog: if the scheduler makes no
                         progress for this window with tasks pending, the
                         run aborts with a stall report and exit code 6
@@ -165,11 +173,22 @@ fn parse_flags(args: &[String], token: Option<&CancelToken>) -> Result<Cli, Stri
             "--ordering" => {
                 let v = it.next().ok_or("--ordering needs a value")?;
                 cli.opts.ordering = match v.as_str() {
-                    "md" => OrderingChoice::MinDegreeAtA,
+                    "mindeg" | "md" => OrderingChoice::MinDegreeAtA,
+                    "mindeg-multi" => OrderingChoice::MinDegreeMulti,
                     "natural" => OrderingChoice::Natural,
                     "rcm" => OrderingChoice::Rcm,
                     _ => return Err(format!("unknown ordering `{v}`")),
                 };
+            }
+            "--front-threads" => {
+                let v = it.next().ok_or("--front-threads needs a value")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("bad front-thread count `{v}`"))?;
+                if n == 0 {
+                    return Err("front-thread count must be positive".to_string());
+                }
+                cli.opts.front_threads = n;
             }
             "--rhs" => {
                 cli.rhs = Some(it.next().ok_or("--rhs needs a path")?.clone());

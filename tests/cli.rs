@@ -63,6 +63,27 @@ fn gen_analyze_solve_condest_roundtrip() {
 }
 
 #[test]
+fn front_threads_leave_the_analysis_invariant() {
+    // `analyze` output is pure statistics (no timings), so the threaded
+    // front half must reproduce it byte for byte: the parallel symbolic
+    // fill and postorder are bitwise identical to the sequential path.
+    let path = tmp("frontthreads");
+    run(&args(&["gen", "saylr4", &path, "--reduced"])).unwrap();
+    let base = run(&args(&["analyze", &path])).unwrap();
+    for threads in ["2", "4", "8"] {
+        let out = run(&args(&["analyze", &path, "--front-threads", threads])).unwrap();
+        assert_eq!(base, out, "--front-threads {threads}");
+    }
+    let out = run(&args(&["solve", &path, "--front-threads", "4"])).unwrap();
+    assert!(out.contains("scaled residual"), "{out}");
+    for bad in ["0", "-1", "x"] {
+        let err = run(&args(&["analyze", &path, "--front-threads", bad])).unwrap_err();
+        assert_eq!(err.exit_code, 2, "{bad}: {err}");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn kernel_choice_is_accepted_and_solution_invariant() {
     let path = tmp("kernels");
     run(&args(&["gen", "saylr4", &path, "--reduced"])).unwrap();
@@ -273,10 +294,13 @@ fn missing_file_is_an_error() {
 fn all_orderings_work_through_the_cli() {
     let path = tmp("ord");
     run(&args(&["gen", "saylr4", &path, "--reduced"])).unwrap();
-    for ord in ["md", "natural", "rcm"] {
+    for ord in ["md", "mindeg", "mindeg-multi", "natural", "rcm"] {
         let out = run(&args(&["solve", &path, "--ordering", ord])).unwrap();
         assert!(out.contains("scaled residual"), "{ord}: {out}");
     }
+    // Unknown orderings stay usage errors.
+    let err = run(&args(&["solve", &path, "--ordering", "bogus"])).unwrap_err();
+    assert_eq!(err.exit_code, 2, "{err}");
     let _ = std::fs::remove_file(&path);
 }
 

@@ -1,0 +1,181 @@
+//! Invariance gate for the parallel front half.
+//!
+//! The tentpole guarantee: with the default single-elimination ordering,
+//! the threaded front half (chunked static symbolic fill, threaded
+//! assembly, per-subtree postorder) is **bitwise identical** to the
+//! sequential pipeline for every thread count — the executor only decides
+//! *when* chunks run, never *what* they produce nor *where* it lands.
+//! These tests pin that across the reduced paper suite and random
+//! patterns (proptest), and check the opt-in multiple-elimination
+//! ordering is a valid permutation with bounded extra fill.
+
+use parsplu::core::{
+    analyze, analyze_with, postorder_parallel, static_fill_parallel_with_parents, Options,
+    OrderingChoice, SymbolicRequest,
+};
+use parsplu::matgen::{paper_suite, random_pattern, random_unsymmetric, Scale};
+use parsplu::ordering::{
+    column_min_degree, column_min_degree_multi, maximum_transversal, StructuralRank,
+};
+use parsplu::sparse::{Permutation, SparsityPattern};
+use parsplu::symbolic::{postorder_permutation, static_symbolic_factorization, EliminationForest};
+use proptest::prelude::*;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Permute a pattern onto a zero-free diagonal so the symbolic phase is
+/// defined (suite patterns already have one; random ones need the
+/// transversal).
+fn diagonalized(p: &SparsityPattern) -> SparsityPattern {
+    match maximum_transversal(p) {
+        StructuralRank::Full(rp) => p.permuted(&rp, &Permutation::identity(p.ncols())),
+        StructuralRank::Deficient { .. } => p.clone(),
+    }
+}
+
+fn assert_parallel_fill_matches(p: &SparsityPattern, what: &str) {
+    let f_seq = static_symbolic_factorization(p).expect("sequential fill succeeds");
+    let forest_seq = EliminationForest::from_filled(&f_seq);
+    let po_seq = postorder_permutation(&f_seq);
+    for threads in THREADS {
+        let req = SymbolicRequest::new().front_threads(threads);
+        let (f_par, parents) =
+            static_fill_parallel_with_parents(p, &req).expect("parallel fill succeeds");
+        // L and U patterns: bitwise identical (same pointer and index
+        // arrays), not merely isomorphic.
+        assert_eq!(f_par.l, f_seq.l, "{what}: L differs at {threads} threads");
+        assert_eq!(f_par.u, f_seq.u, "{what}: U differs at {threads} threads");
+        // Eforest parents come straight from the skeleton pass.
+        let forest_par = EliminationForest::from_parent_vec(parents);
+        assert_eq!(
+            forest_par, forest_seq,
+            "{what}: eforest differs at {threads} threads"
+        );
+        // Postorder: segments stitched in root order equal the DFS.
+        assert_eq!(
+            postorder_parallel(&forest_par, threads),
+            po_seq,
+            "{what}: postorder differs at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn parallel_fill_is_bitwise_identical_on_the_suite() {
+    for m in paper_suite(Scale::Reduced) {
+        // The suite patterns reach the symbolic phase transversal-permuted
+        // and mindeg-ordered; test exactly that input.
+        let p = diagonalized(m.a.pattern());
+        let q = column_min_degree(&p);
+        assert_parallel_fill_matches(&p.permuted(&q, &q), m.name);
+    }
+}
+
+#[test]
+fn analyze_with_front_threads_is_bitwise_identical_end_to_end() {
+    for m in paper_suite(Scale::Reduced) {
+        let base = analyze(m.a.pattern(), &Options::default()).expect("analysis succeeds");
+        for threads in THREADS {
+            let opts = Options {
+                front_threads: threads,
+                ..Options::default()
+            };
+            let req = SymbolicRequest::from_options(&opts);
+            let sym = analyze_with(m.a.pattern(), &opts, &req).expect("analysis succeeds");
+            assert_eq!(sym.row_perm, base.row_perm, "{}@{threads}", m.name);
+            assert_eq!(sym.col_perm, base.col_perm, "{}@{threads}", m.name);
+            assert_eq!(sym.filled.l, base.filled.l, "{}@{threads}", m.name);
+            assert_eq!(sym.filled.u, base.filled.u, "{}@{threads}", m.name);
+            assert_eq!(
+                sym.block_structure, base.block_structure,
+                "{}@{threads}",
+                m.name
+            );
+            assert_eq!(sym.stats.nnz_filled, base.stats.nnz_filled);
+            assert_eq!(sym.stats.supernodes, base.stats.supernodes);
+        }
+    }
+}
+
+#[test]
+fn mindeg_multi_is_a_valid_permutation_with_bounded_fill() {
+    for m in paper_suite(Scale::Reduced) {
+        let p = diagonalized(m.a.pattern());
+        let q_single = column_min_degree(&p);
+        let q_multi = column_min_degree_multi(&p);
+        // A bijection over all columns (Permutation::from_vec validates on
+        // construction; re-check through the round trip anyway).
+        let mut seen = vec![false; p.ncols()];
+        for j in 0..p.ncols() {
+            let t = q_multi.new_of(j);
+            assert!(!seen[t], "{}: column {j} maps to duplicate {t}", m.name);
+            seen[t] = true;
+        }
+        // Fill within 1.25x of single-elimination on the suite.
+        let fill = |q: &Permutation| {
+            let pq = p.permuted(q, q);
+            static_symbolic_factorization(&pq)
+                .expect("zero-free diagonal survives symmetric permutation")
+                .nnz_filled()
+        };
+        let (f_single, f_multi) = (fill(&q_single), fill(&q_multi));
+        assert!(
+            4 * f_multi <= 5 * f_single,
+            "{}: multi fill {f_multi} vs single {f_single} exceeds 1.25x",
+            m.name
+        );
+        // And the end-to-end driver accepts the option.
+        let opts = Options {
+            ordering: OrderingChoice::MinDegreeMulti,
+            ..Options::default()
+        };
+        let sym = analyze(m.a.pattern(), &opts).expect("analysis succeeds");
+        assert_eq!(sym.col_perm.len(), m.a.ncols());
+    }
+}
+
+proptest! {
+    // Each case runs 4 thread counts over a fresh random pattern; keep the
+    // case count moderate.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Parallel symbolic fill, eforest parents and postorder are bitwise
+    /// identical to the sequential path on random patterns of every
+    /// shape the transversal can make factorable.
+    #[test]
+    fn parallel_fill_matches_sequential_on_random_patterns(
+        n in 1usize..48,
+        density in 0usize..6,
+        seed in 0u64..1024,
+    ) {
+        let p = diagonalized(&random_pattern(n, n * density, seed));
+        // Structurally singular draws (no transversal) have no symbolic
+        // factorization to compare; skip them.
+        if p.has_zero_free_diagonal() {
+            assert_parallel_fill_matches(&p, "random pattern");
+        }
+    }
+
+    /// The full driver (transversal, ordering, fill, postorder, blocks)
+    /// is invariant in `front_threads` on random matrices.
+    #[test]
+    fn analyze_is_front_thread_invariant_on_random_matrices(
+        n in 2usize..40,
+        extra in 1usize..5,
+        seed in 0u64..512,
+    ) {
+        let a = random_unsymmetric(n, extra, seed);
+        let base = analyze(a.pattern(), &Options::default()).expect("analysis succeeds");
+        for threads in [2usize, 8] {
+            let opts = Options {
+                front_threads: threads,
+                ..Options::default()
+            };
+            let sym = analyze(a.pattern(), &opts).expect("analysis succeeds");
+            prop_assert_eq!(&sym.filled.l, &base.filled.l);
+            prop_assert_eq!(&sym.filled.u, &base.filled.u);
+            prop_assert_eq!(&sym.col_perm, &base.col_perm);
+            prop_assert_eq!(&sym.block_structure, &base.block_structure);
+        }
+    }
+}
