@@ -1,0 +1,153 @@
+//! The bench regression gate: compares two `BENCH_*.json` artifacts and
+//! exits nonzero when a metric regressed past its threshold.
+//!
+//! ```text
+//! bench_diff <baseline.json> <current.json> [--kind factor|sched|kernels|phases]
+//!            [--threshold PCT] [--threshold METRIC=PCT]...
+//! ```
+//!
+//! The artifact kind is inferred from the file names when not given.
+//! `--threshold PCT` sets the default relative threshold (default 10);
+//! `--threshold METRIC=PCT` overrides one metric (repeatable), e.g.
+//! `--threshold median_seconds=25 --threshold overhead_pct=5`. For
+//! absolute-only metrics like `overhead_pct` the override is an absolute
+//! budget in the metric's own units (points), not a percentage.
+//!
+//! Exit codes: 0 clean, 1 regression detected, 2 usage or schema error.
+
+use splu_bench::diff::{diff_artifacts, ArtifactKind, DiffOptions};
+use splu_bench::json::parse;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bench_diff <baseline.json> <current.json> \
+         [--kind factor|sched|kernels|phases] [--threshold PCT] [--threshold METRIC=PCT]..."
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<String> = Vec::new();
+    let mut kind_arg: Option<String> = None;
+    let mut opts = DiffOptions::default();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--kind" => match it.next() {
+                Some(k) => kind_arg = Some(k),
+                None => return usage(),
+            },
+            "--threshold" => {
+                let Some(spec) = it.next() else {
+                    return usage();
+                };
+                match spec.split_once('=') {
+                    Some((metric, pct)) => match pct.parse::<f64>() {
+                        Ok(p) if p >= 0.0 => opts.overrides.push((metric.to_string(), p)),
+                        _ => return usage(),
+                    },
+                    None => match spec.parse::<f64>() {
+                        Ok(p) if p >= 0.0 => opts.rel_pct = p,
+                        _ => return usage(),
+                    },
+                }
+            }
+            "--help" | "-h" => return usage(),
+            _ => paths.push(arg),
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        return usage();
+    };
+
+    let kind = match &kind_arg {
+        Some(k) => match ArtifactKind::from_arg(k) {
+            Some(kind) => kind,
+            None => {
+                eprintln!("bench_diff: unknown kind {k:?}");
+                return ExitCode::from(2);
+            }
+        },
+        None => {
+            let a = ArtifactKind::from_name(baseline_path);
+            let b = ArtifactKind::from_name(current_path);
+            match (a, b) {
+                (Some(x), Some(y)) if x == y => x,
+                (Some(x), None) | (None, Some(x)) => x,
+                _ => {
+                    eprintln!(
+                        "bench_diff: cannot infer a common artifact kind from \
+                         {baseline_path:?} and {current_path:?}; pass --kind"
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let mut docs = Vec::new();
+    for path in [baseline_path, current_path] {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench_diff: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let doc = match parse(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("bench_diff: {path}: invalid JSON: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(e) = kind.validate(&doc) {
+            eprintln!("bench_diff: {path}: schema violation: {e}");
+            return ExitCode::from(2);
+        }
+        docs.push(doc);
+    }
+
+    let report = match diff_artifacts(kind, &docs[0], &docs[1], &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    println!(
+        "bench_diff: {kind:?}: {} matched record(s), {} missing from current, {} new",
+        report.matched,
+        report.missing.len(),
+        report.added.len()
+    );
+    for key in &report.missing {
+        println!("  [only-baseline] {key}");
+    }
+    for key in &report.added {
+        println!("  [only-current]  {key}");
+    }
+    for d in &report.deltas {
+        let marker = if d.regressed { "REGRESSION" } else { "ok" };
+        println!(
+            "  [{marker:>10}] {key} :: {metric}: {baseline:.6} -> {current:.6} ({change:+.1}%)",
+            key = d.key,
+            metric = d.metric,
+            baseline = d.baseline,
+            current = d.current,
+            change = d.change_pct,
+        );
+    }
+    if report.has_regressions() {
+        eprintln!(
+            "bench_diff: {} regression(s) past threshold",
+            report.regressions().len()
+        );
+        return ExitCode::from(1);
+    }
+    println!("bench_diff: no regressions");
+    ExitCode::SUCCESS
+}

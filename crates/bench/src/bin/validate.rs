@@ -1,0 +1,113 @@
+//! Schema-validates observability artifacts on disk.
+//!
+//! ```text
+//! validate <file.json>... [--kind run-report|chrome-trace|factor|sched|kernels|phases]
+//! ```
+//!
+//! Without `--kind`, each file's kind is sniffed from its content: an
+//! object carrying the `parsplu-run-report/1` schema tag is a run report,
+//! an object with `traceEvents` is a Chrome trace, and arrays fall back
+//! to the `BENCH_*` kind inferred from the file name. Exit codes: 0 all
+//! valid, 2 on any schema violation, unreadable file, or usage error.
+
+use splu_bench::diff::ArtifactKind;
+use splu_bench::json::{parse, validate_chrome_trace, validate_run_report, Json};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: validate <file.json>... \
+         [--kind run-report|chrome-trace|factor|sched|kernels|phases]"
+    );
+    ExitCode::from(2)
+}
+
+/// Validates one parsed document as `kind`, returning a human label and
+/// the validator's count on success.
+fn validate_as(kind: &str, doc: &Json) -> Result<(String, usize), String> {
+    match kind {
+        "run-report" => validate_run_report(doc).map(|n| (format!("run report ({n} counters)"), n)),
+        "chrome-trace" => {
+            validate_chrome_trace(doc).map(|n| (format!("chrome trace ({n} events)"), n))
+        }
+        other => {
+            let k =
+                ArtifactKind::from_arg(other).ok_or_else(|| format!("unknown kind {other:?}"))?;
+            k.validate(doc)?;
+            let n = doc.as_arr().map_or(0, <[Json]>::len);
+            Ok((format!("{k:?} artifact ({n} records)"), n))
+        }
+    }
+}
+
+/// Sniffs the artifact kind from the document shape, falling back to the
+/// file name for `BENCH_*` arrays.
+fn sniff_kind(path: &str, doc: &Json) -> Option<String> {
+    if doc.get("schema").and_then(Json::as_str) == Some("parsplu-run-report/1") {
+        return Some("run-report".to_string());
+    }
+    if doc.get("traceEvents").is_some() {
+        return Some("chrome-trace".to_string());
+    }
+    ArtifactKind::from_name(path).map(|k| format!("{k:?}").to_lowercase())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<String> = Vec::new();
+    let mut kind_arg: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--kind" => match it.next() {
+                Some(k) => kind_arg = Some(k),
+                None => return usage(),
+            },
+            "--help" | "-h" => return usage(),
+            _ => paths.push(arg),
+        }
+    }
+    if paths.is_empty() {
+        return usage();
+    }
+
+    let mut failed = false;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("validate: {path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let doc = match parse(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("validate: {path}: invalid JSON: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let kind = match kind_arg.clone().or_else(|| sniff_kind(path, &doc)) {
+            Some(k) => k,
+            None => {
+                eprintln!("validate: {path}: cannot sniff artifact kind; pass --kind");
+                failed = true;
+                continue;
+            }
+        };
+        match validate_as(&kind, &doc) {
+            Ok((label, _)) => println!("validate: {path}: valid {label}"),
+            Err(e) => {
+                eprintln!("validate: {path}: schema violation: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -260,7 +260,10 @@ pub fn validate_chrome_trace(doc: &Json) -> Result<usize, String> {
         .get("traceEvents")
         .and_then(Json::as_arr)
         .ok_or("chrome trace: missing traceEvents array")?;
-    let mut last_ts: BTreeMap<i64, f64> = BTreeMap::new();
+    // Timestamps must be monotone per *track*, i.e. per (pid, tid) pair —
+    // combined pipeline traces carry several processes whose tid spaces
+    // overlap (pid 0 = pipeline, pid 1 = numeric executor).
+    let mut last_ts: BTreeMap<(i64, i64), f64> = BTreeMap::new();
     let mut complete = 0usize;
     for (i, e) in events.iter().enumerate() {
         let ctx = format!("traceEvents[{i}]");
@@ -270,20 +273,21 @@ pub fn validate_chrome_trace(doc: &Json) -> Result<usize, String> {
         }
         complete += 1;
         require_str(e, "name", &ctx)?;
+        let pid = e.get("pid").and_then(Json::as_num).unwrap_or(0.0) as i64;
         let tid = require_num(e, "tid", &ctx)? as i64;
         let ts = require_num(e, "ts", &ctx)?;
         let dur = require_num(e, "dur", &ctx)?;
         if dur < 0.0 {
             return Err(format!("{ctx}: negative duration {dur}"));
         }
-        if let Some(&prev) = last_ts.get(&tid) {
+        if let Some(&prev) = last_ts.get(&(pid, tid)) {
             if ts < prev {
                 return Err(format!(
-                    "{ctx}: timestamps regress on tid {tid} ({ts} < {prev})"
+                    "{ctx}: timestamps regress on pid {pid} tid {tid} ({ts} < {prev})"
                 ));
             }
         }
-        last_ts.insert(tid, ts);
+        last_ts.insert((pid, tid), ts);
     }
     Ok(complete)
 }
@@ -396,6 +400,103 @@ pub fn validate_bench_phases(doc: &Json) -> Result<usize, String> {
         }
     }
     Ok(records.len())
+}
+
+/// Validates a `parsplu-run-report/1` document (the `--report` output of
+/// the CLI and `splu_core::observe::RunReport::to_json`): the schema tag,
+/// matrix/options identification, finite non-negative per-phase walls keyed
+/// by [`PHASE_NAMES`] members only, non-negative integer counters, and a
+/// status object whose `kind` is one of the known outcome classes. Returns
+/// the number of counters.
+pub fn validate_run_report(doc: &Json) -> Result<usize, String> {
+    let ctx = "run report";
+    let schema = require_str(doc, "schema", ctx)?;
+    if schema != "parsplu-run-report/1" {
+        return Err(format!("{ctx}: unknown schema {schema:?}"));
+    }
+    require_str(doc, "package_version", ctx)?;
+    let matrix = doc.get("matrix").ok_or("run report: missing matrix")?;
+    require_str(matrix, "name", "run report.matrix")?;
+    for key in ["n", "nnz"] {
+        let v = require_num(matrix, key, "run report.matrix")?;
+        if v < 0.0 || v.fract() != 0.0 {
+            return Err(format!("run report.matrix.{key}: bad count {v}"));
+        }
+    }
+    let options = doc.get("options").ok_or("run report: missing options")?;
+    for key in ["ordering", "task_graph", "mapping", "pivot_rule", "kernels"] {
+        require_str(options, key, "run report.options")?;
+    }
+    for key in ["threads", "front_threads"] {
+        let v = require_num(options, key, "run report.options")?;
+        if v < 0.0 || v.fract() != 0.0 {
+            return Err(format!("run report.options.{key}: bad count {v}"));
+        }
+    }
+    let phases = match doc.get("phases_s") {
+        Some(Json::Obj(m)) => m,
+        _ => return Err("run report: missing phases_s object".to_string()),
+    };
+    for (name, v) in phases {
+        if !PHASE_NAMES.contains(&name.as_str()) {
+            return Err(format!("run report.phases_s: unknown phase {name:?}"));
+        }
+        let v = v
+            .as_num()
+            .ok_or_else(|| format!("run report.phases_s.{name}: not a number"))?;
+        if !v.is_finite() || v < 0.0 {
+            return Err(format!("run report.phases_s.{name}: bad wall time {v}"));
+        }
+    }
+    let counters = match doc.get("counters") {
+        Some(Json::Obj(m)) => m,
+        _ => return Err("run report: missing counters object".to_string()),
+    };
+    for (name, v) in counters {
+        let v = v
+            .as_num()
+            .ok_or_else(|| format!("run report.counters.{name}: not a number"))?;
+        if v < 0.0 || v.fract() != 0.0 {
+            return Err(format!("run report.counters.{name}: bad count {v}"));
+        }
+    }
+    // Phase-dependent sections are null until their phase runs, but must
+    // be present as keys.
+    for key in ["kernel", "sched", "health", "heap"] {
+        if doc.get(key).is_none() {
+            return Err(format!("run report: missing field {key:?}"));
+        }
+    }
+    if let Some(sched @ Json::Obj(_)) = doc.get("sched") {
+        for key in ["nthreads", "n_tasks", "wall_s", "busy_s"] {
+            require_num(sched, key, "run report.sched")?;
+        }
+    }
+    if let Some(health @ Json::Obj(_)) = doc.get("health") {
+        health
+            .get("perturbed_columns")
+            .and_then(Json::as_arr)
+            .ok_or("run report.health: missing perturbed_columns array")?;
+        require_num(health, "max_perturbation", "run report.health")?;
+    }
+    let status = doc.get("status").ok_or("run report: missing status")?;
+    let ok = match status.get("ok") {
+        Some(Json::Bool(b)) => *b,
+        _ => return Err("run report.status: missing bool ok".to_string()),
+    };
+    let kind = require_str(status, "kind", "run report.status")?;
+    if !matches!(
+        kind,
+        "ok" | "cancelled" | "deadline" | "stalled" | "singular" | "panic" | "error"
+    ) {
+        return Err(format!("run report.status: unknown kind {kind:?}"));
+    }
+    if ok != (kind == "ok") {
+        return Err(format!(
+            "run report.status: ok={ok} inconsistent with kind {kind:?}"
+        ));
+    }
+    Ok(counters.len())
 }
 
 /// Validates `BENCH_kernels.json`: an array of records, one per

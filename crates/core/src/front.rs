@@ -20,10 +20,13 @@
 //! boundaries exactly as it bounds the numeric phase at task boundaries —
 //! `--time-limit` therefore covers symbolic runs too.
 
+use crate::observe::ObsSession;
 use crate::{LuError, Options};
 use parking_lot::Mutex;
+use splu_obs::{Counter, Track};
 use splu_sched::{
-    execute_dag_report, execute_dag_report_budgeted, CancelToken, Interrupt, RunBudget, TraceConfig,
+    execute_dag_report, execute_dag_report_budgeted, CancelToken, EventKind, Interrupt, RunBudget,
+    TraceConfig,
 };
 use splu_sparse::{Permutation, SparsityPattern};
 use splu_symbolic::{
@@ -51,6 +54,12 @@ pub struct SymbolicRequest {
     /// interrupted run returns [`LuError::Cancelled`] /
     /// [`LuError::DeadlineExceeded`] / [`LuError::Stalled`].
     pub budget: RunBudget,
+    /// Observability session: when set, the front half records phase and
+    /// per-chunk spans into its [`crate::observe::ObsSession::trace`] and
+    /// counts fill entries / budget checkpoints into its metrics registry.
+    /// `None` (the default) records and counts nothing — the unobserved
+    /// path never reads the clock.
+    pub obs: Option<ObsSession>,
 }
 
 impl Default for SymbolicRequest {
@@ -59,6 +68,7 @@ impl Default for SymbolicRequest {
             front_threads: 1,
             chunks_per_thread: 4,
             budget: RunBudget::default(),
+            obs: None,
         }
     }
 }
@@ -93,6 +103,12 @@ impl SymbolicRequest {
     /// Sets the run budget (cancellation / deadline / watchdog).
     pub fn budget(mut self, budget: RunBudget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Attaches an observability session (spans + counters).
+    pub fn observe(mut self, session: ObsSession) -> Self {
+        self.obs = Some(session);
         self
     }
 
@@ -156,7 +172,12 @@ pub fn static_fill_parallel_with_parents(
     req: &SymbolicRequest,
 ) -> Result<(FilledLu, Vec<usize>), LuError> {
     let threads = req.front_threads.max(1);
-    let skel = fill_skeleton(pattern)?;
+    let obs = req.obs.as_ref();
+    let metrics = obs.map(|o| o.metrics().as_ref());
+    let skel = {
+        let _s = obs.map(|o| o.trace().span(Track::Driver, "fill_skeleton"));
+        fill_skeleton(pattern)?
+    };
     let n = skel.n();
 
     // Effective budget: a deadline or watchdog without a caller token gets
@@ -172,6 +193,14 @@ pub fn static_fill_parallel_with_parents(
     let scratch_pool: Mutex<Vec<FillScratch>> = Mutex::new(Vec::new());
     let columns_done = AtomicUsize::new(0);
     let pred_counts = vec![0usize; n_chunks];
+    // An observed run records each chunk as a span on its front-thread
+    // track (shared-epoch executor trace, replayed below) and counts the
+    // Ū entries it produced; the unobserved configuration is `off` and the
+    // task body touches no counters, so the historical path is unchanged.
+    let exec_config = match obs {
+        Some(o) => o.executor_trace_config(n_chunks, threads),
+        None => TraceConfig::off(),
+    };
     let mut report = execute_dag_report_budgeted(
         n_chunks,
         &pred_counts,
@@ -189,13 +218,31 @@ pub fn static_fill_parallel_with_parents(
             let cols = ranges[t].clone();
             let filled_here = cols.len();
             let chunk = fill_columns(pattern, &skel, cols, &mut scratch);
+            if let Some(reg) = metrics {
+                // Every chunk boundary is a budget poll; u_idx counts the
+                // Ū entries (diagonal included) this chunk contributed.
+                reg.incr(Counter::BudgetCheckpoints);
+                reg.add(Counter::FillU, chunk.u_idx.len() as u64);
+            }
             *slots[t].lock() = Some(chunk);
             scratch_pool.lock().push(scratch);
             columns_done.fetch_add(filled_here, Ordering::Relaxed);
         },
-        &TraceConfig::off(),
+        &exec_config,
         &budget,
     );
+    if let (Some(o), Some(trace)) = (obs, report.trace.take()) {
+        for e in &trace.events {
+            if let EventKind::Task { tid } = e.kind {
+                o.trace().record_rel(
+                    Track::Front(e.worker),
+                    format!("fill {:?}", ranges[tid]),
+                    e.start_ns / 1_000,
+                    (e.end_ns - e.start_ns) / 1_000,
+                );
+            }
+        }
+    }
     if let Some(p) = report.panic.take() {
         return Err(LuError::WorkerPanic {
             worker: p.worker,
@@ -215,7 +262,13 @@ pub fn static_fill_parallel_with_parents(
                 .expect("uninterrupted run completed every chunk")
         })
         .collect();
-    let filled = assemble_filled_threads(&skel, &chunks, threads)?;
+    let filled = {
+        let _s = obs.map(|o| o.trace().span(Track::Driver, "fill_assembly"));
+        assemble_filled_threads(&skel, &chunks, threads)?
+    };
+    if let Some(reg) = metrics {
+        reg.add(Counter::FillL, filled.l.nnz() as u64);
+    }
     Ok((filled, skel.parents().to_vec()))
 }
 
@@ -225,13 +278,28 @@ pub fn static_fill_parallel_with_parents(
 /// [`EliminationForest::postorder`] visits them, so the permutation is
 /// identical to the sequential one for every thread count.
 pub fn postorder_parallel(forest: &EliminationForest, nthreads: usize) -> Permutation {
+    postorder_parallel_obs(forest, nthreads, None)
+}
+
+/// [`postorder_parallel`] under an observability session: each root's
+/// segment task is recorded as a `postorder root r` span on its
+/// front-thread track. `None` is exactly the unobserved path.
+pub fn postorder_parallel_obs(
+    forest: &EliminationForest,
+    nthreads: usize,
+    obs: Option<&ObsSession>,
+) -> Permutation {
     let roots = forest.roots();
     if nthreads <= 1 || roots.len() <= 1 {
         return forest.postorder();
     }
     let slots: Vec<Mutex<Vec<usize>>> = roots.iter().map(|_| Mutex::new(Vec::new())).collect();
     let pred_counts = vec![0usize; roots.len()];
-    execute_dag_report(
+    let exec_config = match obs {
+        Some(o) => o.executor_trace_config(roots.len(), nthreads),
+        None => TraceConfig::off(),
+    };
+    let mut report = execute_dag_report(
         roots.len(),
         &pred_counts,
         |_| &[][..],
@@ -241,8 +309,20 @@ pub fn postorder_parallel(forest: &EliminationForest, nthreads: usize) -> Permut
         |t| {
             *slots[t].lock() = forest.postorder_segment(roots[t]);
         },
-        &TraceConfig::off(),
+        &exec_config,
     );
+    if let (Some(o), Some(trace)) = (obs, report.trace.take()) {
+        for e in &trace.events {
+            if let EventKind::Task { tid } = e.kind {
+                o.trace().record_rel(
+                    Track::Front(e.worker),
+                    format!("postorder root {}", roots[tid]),
+                    e.start_ns / 1_000,
+                    (e.end_ns - e.start_ns) / 1_000,
+                );
+            }
+        }
+    }
     let mut order = Vec::with_capacity(forest.n());
     for s in slots {
         order.extend(s.into_inner());

@@ -35,6 +35,7 @@ mod front;
 pub mod gp;
 mod numeric;
 mod numeric_fine;
+pub mod observe;
 mod psolve;
 mod request;
 mod solve;
@@ -42,7 +43,9 @@ mod solve;
 pub use blocks::{BlockMatrix, ColumnData, StackMap};
 pub use costs::{estimate_task_costs, total_flops};
 pub use error::LuError;
-pub use front::{postorder_parallel, static_fill_parallel_with_parents, SymbolicRequest};
+pub use front::{
+    postorder_parallel, postorder_parallel_obs, static_fill_parallel_with_parents, SymbolicRequest,
+};
 #[allow(deprecated)]
 pub use numeric::{
     factor_left_looking, factor_task, factor_task_with_policy, factor_task_with_rule,
@@ -53,6 +56,9 @@ pub use numeric::{
 pub use numeric_fine::{
     apply_task, factor_with_fine_graph, factor_with_fine_graph_traced, gemm_task, gemm_task_with,
     trsm_task, trsm_task_with,
+};
+pub use observe::{
+    factor_reported, MatrixMeta, ObsSession, RunReport, RunStatus, PHASE_NAMES, REPORT_SCHEMA,
 };
 pub use psolve::solve_permuted_parallel;
 pub use request::{factor_numeric_with, BreakdownPolicy, GraphRef, NumericRequest};
@@ -69,6 +75,7 @@ pub use splu_sched::{
 mod condest;
 pub use condest::estimate_inverse_1norm;
 
+use splu_obs::{Counter, Track};
 use splu_ordering::{
     column_min_degree_multi_with, column_min_degree_with, maximum_transversal,
     reverse_cuthill_mckee, StructuralRank,
@@ -336,7 +343,11 @@ pub fn analyze_with(
         });
     }
     let n = pattern.ncols();
+    let obs = req.obs.as_ref();
     let check = |columns_done: usize| -> Result<(), LuError> {
+        if let Some(o) = obs {
+            o.metrics().incr(Counter::BudgetCheckpoints);
+        }
         if req.tripped() {
             Err(req.trip_error(columns_done, n))
         } else {
@@ -345,17 +356,42 @@ pub fn analyze_with(
     };
     check(0)?;
     // 0. Maximum transversal → zero-free diagonal.
-    let rp0 = match maximum_transversal(pattern) {
-        StructuralRank::Full(p) => p,
-        StructuralRank::Deficient { rank } => return Err(LuError::StructurallySingular { rank }),
+    let (rp0, p1) = {
+        let _p = obs.map(|o| o.phase("scale_transversal"));
+        let rp0 = match maximum_transversal(pattern) {
+            StructuralRank::Full(p) => p,
+            StructuralRank::Deficient { rank } => {
+                return Err(LuError::StructurallySingular { rank })
+            }
+        };
+        let id = Permutation::identity(n);
+        let p1 = pattern.permuted(&rp0, &id);
+        (rp0, p1)
     };
-    let id = Permutation::identity(n);
-    let p1 = pattern.permuted(&rp0, &id);
 
     // 1. Fill-reducing ordering, applied symmetrically to keep the
     // diagonal. The minimum-degree variants poll the budget between
-    // elimination rounds.
-    let mut keep_going = || !req.tripped();
+    // elimination rounds; an observed run records each round as a span
+    // between consecutive polls and counts the polls as checkpoints.
+    let ordering_phase = obs.map(|o| o.phase("ordering"));
+    let round = std::cell::Cell::new(0usize);
+    let round_started = std::cell::Cell::new(None::<std::time::Instant>);
+    let mut keep_going = || {
+        if let Some(o) = obs {
+            o.metrics().incr(Counter::BudgetCheckpoints);
+            if o.trace().is_enabled() {
+                let now = std::time::Instant::now();
+                if let Some(prev) = round_started.get() {
+                    let r = round.get();
+                    o.trace()
+                        .record_between(Track::Driver, format!("mindeg round {r}"), prev, now);
+                    round.set(r + 1);
+                }
+                round_started.set(Some(now));
+            }
+        }
+        !req.tripped()
+    };
     let q = match opts.ordering {
         OrderingChoice::MinDegreeAtA => column_min_degree_with(&p1, &mut keep_going),
         OrderingChoice::MinDegreeMulti => column_min_degree_multi_with(&p1, &mut keep_going),
@@ -363,49 +399,68 @@ pub fn analyze_with(
         OrderingChoice::Rcm => keep_going().then(|| reverse_cuthill_mckee(&p1)),
     }
     .ok_or_else(|| req.trip_error(0, n))?;
+    drop(ordering_phase);
     let p2 = p1.permuted(&q, &q);
     let mut row_perm = q.compose(&rp0);
     let mut col_perm = q.clone();
 
     // 2. Static symbolic factorization; the parallel path also yields the
-    // eforest parents, saving the `from_filled` pass below.
+    // eforest parents, saving the `from_filled` pass below. Both paths
+    // count the same fill totals (the parallel path per chunk, the
+    // sequential one from the result) — the structures are bitwise equal.
     check(0)?;
-    let (f2, parents) = if req.front_threads <= 1 {
-        (static_symbolic_factorization(&p2)?, None)
-    } else {
-        let (f, par) = static_fill_parallel_with_parents(&p2, req)?;
-        (f, Some(par))
+    let (f2, parents) = {
+        let _p = obs.map(|o| o.phase("symbolic_fill"));
+        if req.front_threads <= 1 {
+            let f = static_symbolic_factorization(&p2)?;
+            if let Some(o) = obs {
+                o.metrics().add(Counter::FillL, f.l.nnz() as u64);
+                o.metrics().add(Counter::FillU, f.u.nnz() as u64);
+            }
+            (f, None)
+        } else {
+            let (f, par) = static_fill_parallel_with_parents(&p2, req)?;
+            (f, Some(par))
+        }
     };
 
     // 3. Eforest postordering (Theorem 3: permute the structures directly).
     check(n)?;
-    let filled = if opts.postorder {
-        let po = match parents {
-            Some(par) => {
-                let forest = EliminationForest::from_parent_vec(par);
-                postorder_parallel(&forest, req.front_threads)
-            }
-            None => postorder_permutation(&f2),
-        };
-        row_perm = po.compose(&row_perm);
-        col_perm = po.compose(&col_perm);
-        FilledLu::from_parts(f2.l.permuted(&po, &po), f2.u.permuted(&po, &po))
-    } else {
-        f2
+    let filled = {
+        let _p = obs.map(|o| o.phase("eforest_postorder"));
+        if opts.postorder {
+            let po = match parents {
+                Some(par) => {
+                    let forest = EliminationForest::from_parent_vec(par);
+                    postorder_parallel_obs(&forest, req.front_threads, obs)
+                }
+                None => postorder_permutation(&f2),
+            };
+            row_perm = po.compose(&row_perm);
+            col_perm = po.compose(&col_perm);
+            FilledLu::from_parts(f2.l.permuted(&po, &po), f2.u.permuted(&po, &po))
+        } else {
+            f2
+        }
     };
     check(n)?;
 
     // 4. Supernodes (+ amalgamation) and the block structure.
-    let exact = supernode_partition(&filled);
-    let supernodes_exact = exact.num_blocks();
-    let partition = match &opts.amalgamation {
-        Some(sn_opts) => amalgamate(&filled, &exact, sn_opts),
-        None => exact,
+    let (supernodes_exact, block_structure, bf) = {
+        let _p = obs.map(|o| o.phase("supernode_partition"));
+        let exact = supernode_partition(&filled);
+        let supernodes_exact = exact.num_blocks();
+        let partition = match &opts.amalgamation {
+            Some(sn_opts) => amalgamate(&filled, &exact, sn_opts),
+            None => exact,
+        };
+        let block_structure = BlockStructure::new(&filled, partition);
+        let bf = block_forest(&block_structure);
+        (supernodes_exact, block_structure, bf)
     };
-    let block_structure = BlockStructure::new(&filled, partition);
-    let bf = block_forest(&block_structure);
 
     // 5. Statistics, including the chosen task graph's shape.
+    let _graph_phase = obs.map(|o| o.phase("graph_build"));
     let scalar_forest = EliminationForest::from_filled(&filled);
     let btf_blocks = scalar_forest.roots().len();
     let graph = match opts.task_graph {
@@ -462,29 +517,82 @@ impl SparseLu {
     /// as [`LuError::NonFiniteInput`] before the (parallel) numeric phase
     /// can propagate it silently.
     pub fn factor(a: &CscMatrix, opts: &Options) -> Result<SparseLu, LuError> {
+        Self::factor_inner(a, opts, None)
+    }
+
+    /// [`Self::factor`] under an observability session: every pipeline
+    /// phase records a span on the session's shared-epoch trace, the fill
+    /// and kernel counters accumulate into its metrics registry, and the
+    /// numeric executor's report is captured for
+    /// [`ObsSession::report`] / [`ObsSession::chrome_json`]. The factors
+    /// are bit-identical to the unobserved [`Self::factor`].
+    pub fn factor_observed(
+        a: &CscMatrix,
+        opts: &Options,
+        session: &ObsSession,
+    ) -> Result<SparseLu, LuError> {
+        Self::factor_inner(a, opts, Some(session))
+    }
+
+    fn factor_inner(
+        a: &CscMatrix,
+        opts: &Options,
+        obs: Option<&ObsSession>,
+    ) -> Result<SparseLu, LuError> {
         for (_, j, v) in a.triplets() {
             if !v.is_finite() {
                 return Err(LuError::NonFiniteInput { column: j });
             }
         }
-        let equil = opts
-            .equilibrate
-            .then(|| splu_sparse::scaling::equilibrate(a));
+        // Equilibration shares the canonical "scale_transversal" phase with
+        // the transversal inside `analyze_with` (spans of one name sum).
+        let equil = {
+            let _p = obs.map(|o| o.phase("scale_transversal"));
+            opts.equilibrate
+                .then(|| splu_sparse::scaling::equilibrate(a))
+        };
         let work = equil.as_ref().map(|e| &e.scaled).unwrap_or(a);
-        let sym = analyze(work.pattern(), opts)?;
+        let mut sreq = SymbolicRequest::from_options(opts);
+        if let Some(o) = obs {
+            sreq = sreq.observe(o.clone());
+        }
+        let sym = analyze_with(work.pattern(), opts, &sreq)?;
         let permuted = sym.permute_matrix(work);
-        let graph = sym.build_graph(opts.task_graph);
-        let bm = BlockMatrix::assemble(&permuted, &sym.block_structure);
-        let report = factor_numeric_with(
-            &bm,
-            &NumericRequest::coarse(&graph, opts.mapping)
-                .threads(opts.threads)
-                .pivot_rule(opts.pivot_rule)
-                .pivot_threshold(opts.pivot_threshold)
-                .kernels(opts.kernels)
-                .breakdown(opts.breakdown)
-                .budget(opts.budget.clone()),
-        )?;
+        let (graph, bm) = {
+            let _p = obs.map(|o| o.phase("graph_build"));
+            let graph = sym.build_graph(opts.task_graph);
+            let bm = BlockMatrix::assemble(&permuted, &sym.block_structure);
+            (graph, bm)
+        };
+        let numeric_phase = obs.map(|o| o.phase("numeric"));
+        let mut nreq = NumericRequest::coarse(&graph, opts.mapping)
+            .threads(opts.threads)
+            .pivot_rule(opts.pivot_rule)
+            .pivot_threshold(opts.pivot_threshold)
+            .kernels(opts.kernels)
+            .breakdown(opts.breakdown)
+            .budget(opts.budget.clone());
+        if let Some(o) = obs {
+            nreq = nreq
+                .trace(o.executor_trace_config(graph.len(), opts.threads.max(1)))
+                .metrics(std::sync::Arc::clone(o.metrics()));
+        }
+        let report = factor_numeric_with(&bm, &nreq)?;
+        drop(numeric_phase);
+        if let Some(o) = obs {
+            let labels: Vec<String> = (0..graph.len())
+                .map(|t| match graph.task(t) {
+                    splu_sched::Task::Factor(k) => format!("F({k})"),
+                    splu_sched::Task::Update { src, dst } => format!("U({src},{dst})"),
+                })
+                .collect();
+            o.capture_numeric(
+                report.stats.clone(),
+                report.health.clone(),
+                report.trace.clone(),
+                labels,
+            );
+        }
         let mut lu = SparseLu {
             sym,
             bm,

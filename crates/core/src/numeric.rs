@@ -23,7 +23,22 @@ use crate::blocks::BlockMatrix;
 use crate::request::{factor_numeric_with, NumericRequest};
 use crate::LuError;
 use splu_dense::{lu_panel_with_policy, Dispatch, PanelBreakdown, PanelError, PivotRule};
+use splu_obs::{Counter, MetricsRegistry};
 use splu_sched::{ExecReport, Mapping, TaskGraph, TraceConfig};
+
+/// Flops of a panel LU over an `m × w` stacked panel, exactly the cost
+/// model of `crate::costs::estimate_task_costs`:
+/// `Σ_c (m − c − 1) · (1 + 2 (w − c − 1))`. The formula is integral, so
+/// the counted value equals the model's `f64` estimate bit-for-bit on any
+/// panel that fits in 53 bits of flops.
+pub(crate) fn factor_flops(m: usize, w: usize) -> u64 {
+    let mut flops = 0u64;
+    for c in 0..w.min(m) {
+        let below = (m - c - 1) as u64;
+        flops += below * (1 + 2 * (w - c - 1) as u64);
+    }
+    flops
+}
 
 /// Factorizes block column `k`: runs panel LU with partial pivoting **in
 /// place** on the stored stacked panel and records the pivot sequence.
@@ -104,6 +119,20 @@ pub fn update_task(bm: &BlockMatrix, k: usize, j: usize) {
 /// factorization. Every table produces bit-identical results (the contract
 /// on [`splu_dense::gemm_sub_view`]).
 pub fn update_task_with(bm: &BlockMatrix, k: usize, j: usize, kernels: &Dispatch) {
+    update_task_metered(bm, k, j, kernels, None)
+}
+
+/// [`update_task_with`] with optional kernel-call metering: each executed
+/// `trsm`/`gemm` adds its call and its model flop count
+/// ([`crate::costs::estimate_task_costs`]'s formulas) to the registry.
+/// Counting never changes what runs — `None` is the production fast path.
+pub(crate) fn update_task_metered(
+    bm: &BlockMatrix,
+    k: usize,
+    j: usize,
+    kernels: &Dispatch,
+    metrics: Option<&MetricsRegistry>,
+) {
     debug_assert!(k < j);
     let stack = bm.stack(k);
     let col_k = bm.column(k).read();
@@ -125,10 +154,18 @@ pub fn update_task_with(bm: &BlockMatrix, k: usize, j: usize, kernels: &Dispatch
     //    diagonal block is the top square of column k's panel; B̄(k, j) is
     //    in column j's U-region because k < j.
     let w_k = col_k.width();
+    let w_j = col_j.width();
     let diag = col_k.panel.row_range(0..w_k);
     let qk = col_j.find(k).expect("Update(k, j) requires block B̄(k, j)");
     debug_assert!(qk < col_j.u_count());
     kernels.trsm_lower_unit(diag, col_j.ublocks[qk].as_view_mut());
+    if let Some(reg) = metrics {
+        reg.incr(Counter::TrsmCalls);
+        reg.add(
+            Counter::TrsmFlops,
+            (w_k * w_k.saturating_sub(1) * w_j) as u64,
+        );
+    }
 
     // 3. Schur updates down the L blocks of column k. A missing destination
     //    block means the contribution is structurally — hence exactly —
@@ -140,6 +177,11 @@ pub fn update_task_with(bm: &BlockMatrix, k: usize, j: usize, kernels: &Dispatch
                 .row_range(stack.offsets[t]..stack.offsets[t + 1]);
             let (dst, u_kj) = col_j.dst_and_u(q, qk);
             kernels.gemm_sub(dst, l_ik, u_kj);
+            if let Some(reg) = metrics {
+                let rows = stack.offsets[t + 1] - stack.offsets[t];
+                reg.incr(Counter::GemmCalls);
+                reg.add(Counter::GemmFlops, (2 * rows * w_k * w_j) as u64);
+            }
         }
     }
 }

@@ -20,6 +20,7 @@ use crate::blocks::BlockMatrix;
 use crate::request::{factor_numeric_with, NumericRequest};
 use crate::LuError;
 use splu_dense::Dispatch;
+use splu_obs::{Counter, MetricsRegistry};
 use splu_sched::{ExecReport, FineGraph, TraceConfig};
 
 /// Applies `Factor(src)`'s pivot interchanges to block column `dst`.
@@ -51,6 +52,18 @@ pub fn trsm_task(bm: &BlockMatrix, src: usize, dst: usize) {
 /// [`trsm_task`] through an explicit kernel [`Dispatch`] table (resolved
 /// once per factorization by the unified driver).
 pub fn trsm_task_with(bm: &BlockMatrix, src: usize, dst: usize, kernels: &Dispatch) {
+    trsm_task_metered(bm, src, dst, kernels, None)
+}
+
+/// [`trsm_task_with`] with optional kernel-call metering (same counting
+/// contract as `crate::numeric::update_task_metered`).
+pub(crate) fn trsm_task_metered(
+    bm: &BlockMatrix,
+    src: usize,
+    dst: usize,
+    kernels: &Dispatch,
+    metrics: Option<&MetricsRegistry>,
+) {
     let col_src = bm.column(src).read();
     let mut col_dst = bm.column(dst).write();
     let w = col_src.width();
@@ -60,6 +73,13 @@ pub fn trsm_task_with(bm: &BlockMatrix, src: usize, dst: usize, kernels: &Dispat
         .expect("Trsm(src, dst) requires block B̄(src, dst)");
     debug_assert!(q < col_dst.u_count());
     kernels.trsm_lower_unit(diag, col_dst.ublocks[q].as_view_mut());
+    if let Some(reg) = metrics {
+        reg.incr(Counter::TrsmCalls);
+        reg.add(
+            Counter::TrsmFlops,
+            (w * w.saturating_sub(1) * col_dst.width()) as u64,
+        );
+    }
 }
 
 /// One Schur update: `B̄(row, dst) −= L(row, src) · Ū(src, dst)`, with
@@ -71,6 +91,19 @@ pub fn gemm_task(bm: &BlockMatrix, src: usize, dst: usize, row: usize) {
 /// [`gemm_task`] through an explicit kernel [`Dispatch`] table (resolved
 /// once per factorization by the unified driver).
 pub fn gemm_task_with(bm: &BlockMatrix, src: usize, dst: usize, row: usize, kernels: &Dispatch) {
+    gemm_task_metered(bm, src, dst, row, kernels, None)
+}
+
+/// [`gemm_task_with`] with optional kernel-call metering (same counting
+/// contract as `crate::numeric::update_task_metered`).
+pub(crate) fn gemm_task_metered(
+    bm: &BlockMatrix,
+    src: usize,
+    dst: usize,
+    row: usize,
+    kernels: &Dispatch,
+    metrics: Option<&MetricsRegistry>,
+) {
     let stack = bm.stack(src);
     let col_src = bm.column(src).read();
     let mut col_dst = bm.column(dst).write();
@@ -87,6 +120,14 @@ pub fn gemm_task_with(bm: &BlockMatrix, src: usize, dst: usize, row: usize, kern
     debug_assert!(q_u < col_dst.u_count());
     let (dst_blk, u_blk) = col_dst.dst_and_u(q_dst, q_u);
     kernels.gemm_sub(dst_blk, l, u_blk);
+    if let Some(reg) = metrics {
+        let rows = stack.offsets[t + 1] - stack.offsets[t];
+        reg.incr(Counter::GemmCalls);
+        reg.add(
+            Counter::GemmFlops,
+            (2 * rows * col_src.width() * col_dst.width()) as u64,
+        );
+    }
 }
 
 /// Runs the numerical factorization over a fine-grained task graph with

@@ -20,17 +20,19 @@
 //! selected kernels.
 
 use crate::blocks::BlockMatrix;
-use crate::numeric::{factor_task_with_policy, update_task_with};
-use crate::numeric_fine::{apply_task, gemm_task_with, trsm_task_with};
+use crate::numeric::{factor_flops, factor_task_with_policy, update_task_metered};
+use crate::numeric_fine::{apply_task, gemm_task_metered, trsm_task_metered};
 use crate::solve::growth_factor;
 use crate::LuError;
 use parking_lot::Mutex;
 use splu_dense::{Dispatch, KernelChoice, PanelBreakdown, PivotRule};
+use splu_obs::{Counter, MetricsRegistry};
 use splu_sched::{
     execute_dag_report_budgeted, execute_traced_budgeted, CancelToken, ExecReport, FineGraph,
     FineTask, Interrupt, Mapping, RunBudget, Task, TaskGraph, TraceConfig,
 };
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// What the factorization does at a column whose static structure offers no
 /// pivot above the threshold.
@@ -103,6 +105,11 @@ pub struct NumericRequest<'g> {
     /// [`LuError::Cancelled`] / [`LuError::DeadlineExceeded`] /
     /// [`LuError::Stalled`] with progress attached.
     pub budget: RunBudget,
+    /// Optional counters registry: every kernel invocation adds its call
+    /// and model-flop counts ([`splu_obs::Counter`]), and the perturbed
+    /// column total lands in [`splu_obs::Counter::PerturbedColumns`].
+    /// `None` (the default) skips all counting.
+    pub metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl<'g> NumericRequest<'g> {
@@ -128,6 +135,7 @@ impl<'g> NumericRequest<'g> {
             kernels: KernelChoice::Portable,
             breakdown: BreakdownPolicy::Error,
             budget: RunBudget::default(),
+            metrics: None,
         }
     }
 
@@ -170,6 +178,12 @@ impl<'g> NumericRequest<'g> {
     /// Sets the run budget (cancellation / deadline / watchdog).
     pub fn budget(mut self, budget: RunBudget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Attaches a counters registry (kernel calls/flops, perturbations).
+    pub fn metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(registry);
         self
     }
 }
@@ -218,6 +232,7 @@ pub fn factor_numeric_with(
             (PanelBreakdown::Perturb { value }, bm.max_abs())
         }
     };
+    let metrics = req.metrics.as_deref();
     let factor = |k: usize| {
         #[cfg(feature = "failpoints")]
         crate::failpoints::maybe_panic_factor(k);
@@ -240,6 +255,14 @@ pub fn factor_numeric_with(
         ) {
             Ok(p) => {
                 columns_done.fetch_add(1, Ordering::Relaxed);
+                if let Some(reg) = metrics {
+                    let col = bm.column(k).read();
+                    reg.incr(Counter::FactorCalls);
+                    reg.add(
+                        Counter::FactorFlops,
+                        factor_flops(col.panel.nrows(), col.width()),
+                    );
+                }
                 if !p.is_empty() {
                     perturbed.lock().extend(p);
                 }
@@ -261,7 +284,9 @@ pub fn factor_numeric_with(
                 }
                 match task {
                     Task::Factor(k) => factor(k),
-                    Task::Update { src, dst } => update_task_with(bm, src, dst, &dispatch),
+                    Task::Update { src, dst } => {
+                        update_task_metered(bm, src, dst, &dispatch, metrics)
+                    }
                 }
             },
             &req.trace,
@@ -281,9 +306,11 @@ pub fn factor_numeric_with(
                 match fg.tasks()[tid] {
                     FineTask::Factor(k) => factor(k),
                     FineTask::Apply { src, dst } => apply_task(bm, src, dst),
-                    FineTask::Trsm { src, dst } => trsm_task_with(bm, src, dst, &dispatch),
+                    FineTask::Trsm { src, dst } => {
+                        trsm_task_metered(bm, src, dst, &dispatch, metrics)
+                    }
                     FineTask::Gemm { src, dst, row } => {
-                        gemm_task_with(bm, src, dst, row, &dispatch)
+                        gemm_task_metered(bm, src, dst, row, &dispatch, metrics)
                     }
                 }
             },
@@ -324,6 +351,9 @@ pub fn factor_numeric_with(
         });
     }
     let mut perturbed = perturbed.into_inner();
+    if let Some(reg) = metrics {
+        reg.add(Counter::PerturbedColumns, perturbed.len() as u64);
+    }
     if !perturbed.is_empty() {
         // The perturbed *set* is deterministic (each column's panel decides
         // independently); only the collection order is scheduling-dependent.

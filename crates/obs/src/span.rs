@@ -1,0 +1,276 @@
+//! Epoch-aligned phase spans for the whole pipeline.
+//!
+//! [`PipelineTrace`] records named intervals (ordering passes, symbolic
+//! skeleton, fill chunks, postorder segments, partition, numeric, solve)
+//! against one epoch fixed when the trace is created, so every phase of a
+//! run lands on the same timeline and a single Chrome trace shows the
+//! pipeline end to end. The numeric executor keeps its own lock-free
+//! per-worker recorder (`splu_sched::trace`); its events are merged onto
+//! this epoch at export time by sharing the epoch through `TraceConfig`.
+//!
+//! The disabled trace is `None` inside and **never reads the clock** — the
+//! same discipline as `TraceMode::Off` — so tracing cannot perturb the
+//! bitwise-invariance guarantees of the front half. Recording takes a
+//! plain mutex: phase spans are coarse (dozens to a few thousand per run,
+//! not per-kernel-call), so contention is nil; the per-event hot paths
+//! (fill chunks) time themselves locally and push one event at completion.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Which timeline row a span belongs to in the exported trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Track {
+    /// The driver thread: sequential phases (parse, transversal, ordering,
+    /// skeleton, partition, graph build, solve) and whole-phase envelopes.
+    Driver,
+    /// One front-half worker (symbolic fill chunks, postorder segments);
+    /// the index is the executor's worker id.
+    Front(usize),
+}
+
+impl Track {
+    /// The stable Chrome-trace `tid` for this track. Driver is 0; front
+    /// workers are 1-based so they never collide with it.
+    pub fn tid(self) -> usize {
+        match self {
+            Track::Driver => 0,
+            Track::Front(w) => 1 + w,
+        }
+    }
+
+    /// Human-readable track name for trace metadata.
+    pub fn label(self) -> String {
+        match self {
+            Track::Driver => "driver".to_string(),
+            Track::Front(w) => format!("front-{w}"),
+        }
+    }
+}
+
+/// One recorded interval, epoch-relative.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Timeline row.
+    pub track: Track,
+    /// Span name as shown in the trace viewer (e.g. `"ordering"`,
+    /// `"fill_chunk 128..160"`).
+    pub name: String,
+    /// Start, microseconds since the trace epoch.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    epoch: Instant,
+    events: Mutex<Vec<SpanEvent>>,
+}
+
+/// The pipeline span recorder. Cheap to clone (an `Arc` handle); the
+/// disabled recorder is `None` inside and every operation on it is a
+/// no-op that never reads the clock.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineTrace {
+    inner: Option<Arc<Inner>>,
+}
+
+impl PartialEq for PipelineTrace {
+    /// Handle identity: two traces are equal when they are the same
+    /// recorder (or both disabled). Lets containing request structs keep
+    /// their `PartialEq` derives.
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.inner, &other.inner) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl PipelineTrace {
+    /// The disabled recorder: no allocation, no clock reads, no-ops.
+    pub fn off() -> Self {
+        PipelineTrace { inner: None }
+    }
+
+    /// An enabled recorder whose epoch is "now".
+    pub fn enabled() -> Self {
+        PipelineTrace {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                events: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// Whether spans are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The shared epoch, for aligning external recorders (the numeric
+    /// executor) onto this timeline. `None` when disabled.
+    pub fn epoch(&self) -> Option<Instant> {
+        self.inner.as_ref().map(|i| i.epoch)
+    }
+
+    /// Opens a span that records itself when dropped. On the disabled
+    /// trace this returns an inert guard without touching the clock.
+    pub fn span(&self, track: Track, name: impl Into<String>) -> SpanGuard {
+        match &self.inner {
+            None => SpanGuard { state: None },
+            Some(inner) => SpanGuard {
+                state: Some(SpanState {
+                    inner: Arc::clone(inner),
+                    track,
+                    name: name.into(),
+                    start: Instant::now(),
+                }),
+            },
+        }
+    }
+
+    /// Records a span from externally captured instants (events replayed
+    /// from another recorder that shared this epoch). Starts before the
+    /// epoch clamp to it.
+    pub fn record_between(
+        &self,
+        track: Track,
+        name: impl Into<String>,
+        start: Instant,
+        end: Instant,
+    ) {
+        if let Some(inner) = &self.inner {
+            let start_us = start
+                .checked_duration_since(inner.epoch)
+                .map_or(0, |d| d.as_micros() as u64);
+            let end_us = end
+                .checked_duration_since(inner.epoch)
+                .map_or(0, |d| d.as_micros() as u64);
+            inner.events.lock().unwrap().push(SpanEvent {
+                track,
+                name: name.into(),
+                start_us,
+                dur_us: end_us.saturating_sub(start_us),
+            });
+        }
+    }
+
+    /// Records a span from epoch-relative microsecond timestamps (events
+    /// imported from a recorder that already measured against this
+    /// trace's epoch).
+    pub fn record_rel(&self, track: Track, name: impl Into<String>, start_us: u64, dur_us: u64) {
+        if let Some(inner) = &self.inner {
+            inner.events.lock().unwrap().push(SpanEvent {
+                track,
+                name: name.into(),
+                start_us,
+                dur_us,
+            });
+        }
+    }
+
+    /// A snapshot of every recorded span, sorted by `(track, start)` so
+    /// export order is deterministic regardless of recording interleaving.
+    pub fn events(&self) -> Vec<SpanEvent> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => {
+                let mut ev = inner.events.lock().unwrap().clone();
+                ev.sort_by_key(|e| (e.track.tid(), e.start_us, e.name.clone()));
+                ev
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct SpanState {
+    inner: Arc<Inner>,
+    track: Track,
+    name: String,
+    start: Instant,
+}
+
+/// RAII guard from [`PipelineTrace::span`]; records the interval on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    state: Option<SpanState>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(s) = self.state.take() {
+            let start_us = s
+                .start
+                .checked_duration_since(s.inner.epoch)
+                .map_or(0, |d| d.as_micros() as u64);
+            let dur_us = s.start.elapsed().as_micros() as u64;
+            s.inner.events.lock().unwrap().push(SpanEvent {
+                track: s.track,
+                name: s.name,
+                start_us,
+                dur_us,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_records_nothing() {
+        let t = PipelineTrace::off();
+        assert!(!t.is_enabled());
+        assert!(t.epoch().is_none());
+        {
+            let _g = t.span(Track::Driver, "ordering");
+        }
+        t.record_rel(Track::Front(0), "chunk", 0, 10);
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn spans_record_on_drop_in_track_order() {
+        let t = PipelineTrace::enabled();
+        {
+            let _g = t.span(Track::Front(1), "fill_chunk 0..8");
+        }
+        {
+            let _g = t.span(Track::Driver, "ordering");
+        }
+        t.record_rel(Track::Driver, "imported", 5, 7);
+        let ev = t.events();
+        assert_eq!(ev.len(), 3);
+        // Driver (tid 0) sorts before Front(1) (tid 2).
+        assert_eq!(ev[0].track, Track::Driver);
+        assert_eq!(ev[2].track, Track::Front(1));
+        assert_eq!(ev[2].name, "fill_chunk 0..8");
+        let imported = ev.iter().find(|e| e.name == "imported").unwrap();
+        assert_eq!((imported.start_us, imported.dur_us), (5, 7));
+    }
+
+    #[test]
+    fn clones_share_the_recorder_and_compare_by_identity() {
+        let a = PipelineTrace::enabled();
+        let b = a.clone();
+        {
+            let _g = b.span(Track::Driver, "solve");
+        }
+        assert_eq!(a.events().len(), 1);
+        assert_eq!(a, b);
+        assert_ne!(a, PipelineTrace::enabled());
+        assert_eq!(PipelineTrace::off(), PipelineTrace::off());
+    }
+
+    #[test]
+    fn tids_are_disjoint() {
+        assert_eq!(Track::Driver.tid(), 0);
+        assert_eq!(Track::Front(0).tid(), 1);
+        assert_eq!(Track::Front(3).tid(), 4);
+    }
+}

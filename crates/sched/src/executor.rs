@@ -248,7 +248,10 @@ where
     F: Fn(usize) + Sync,
 {
     let nthreads = nthreads.max(1);
-    let epoch = Instant::now();
+    // Event timestamps measure from the shared epoch when the caller set
+    // one (pipeline-aligned traces); wall-clock always from executor start.
+    let start = Instant::now();
+    let epoch = config.epoch.unwrap_or(start);
     if n_tasks == 0 {
         return assemble_report(0, nthreads, 0.0, config, Vec::new(), None, None);
     }
@@ -438,7 +441,7 @@ where
     assemble_report(
         n_tasks,
         nthreads,
-        epoch.elapsed().as_secs_f64(),
+        start.elapsed().as_secs_f64(),
         config,
         drained.into_inner(),
         panicked,
@@ -718,7 +721,10 @@ where
     F: Fn(usize) + Sync,
 {
     let nthreads = nthreads.max(1);
-    let epoch = Instant::now();
+    // Event timestamps measure from the shared epoch when the caller set
+    // one (pipeline-aligned traces); wall-clock always from executor start.
+    let start = Instant::now();
+    let epoch = config.epoch.unwrap_or(start);
     if n_tasks == 0 {
         return assemble_report(0, nthreads, 0.0, config, Vec::new(), None, None);
     }
@@ -831,7 +837,7 @@ where
     assemble_report(
         n_tasks,
         nthreads,
-        epoch.elapsed().as_secs_f64(),
+        start.elapsed().as_secs_f64(),
         config,
         drained.into_inner(),
         panicked,

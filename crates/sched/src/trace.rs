@@ -53,6 +53,15 @@ pub struct TraceConfig {
     /// `2 × n_tasks / nthreads` keeps the hot path push amortized O(1) with
     /// no reallocation in the common case.
     pub events_capacity: usize,
+    /// Timestamp origin for recorded events. `None` (the default) uses the
+    /// moment the executor starts — timestamps are then run-relative, as
+    /// before. Setting a shared epoch aligns this run's events with spans
+    /// recorded elsewhere in the pipeline (the `splu-obs` phase trace), so
+    /// the numeric executor, the symbolic fill executor, and the driver
+    /// phases all land on one Chrome-trace timeline. Wall-clock accounting
+    /// ([`SchedStats::wall_s`]) always measures from executor start,
+    /// independent of the epoch.
+    pub epoch: Option<Instant>,
 }
 
 impl TraceConfig {
@@ -65,7 +74,7 @@ impl TraceConfig {
     pub fn counters() -> Self {
         TraceConfig {
             mode: TraceMode::Counters,
-            events_capacity: 0,
+            ..TraceConfig::default()
         }
     }
 
@@ -75,7 +84,14 @@ impl TraceConfig {
         TraceConfig {
             mode: TraceMode::Full,
             events_capacity: 2 * n_tasks / nthreads.max(1) + 16,
+            ..TraceConfig::default()
         }
+    }
+
+    /// Pins the timestamp origin to `epoch` (see [`TraceConfig::epoch`]).
+    pub fn with_epoch(mut self, epoch: Instant) -> Self {
+        self.epoch = Some(epoch);
+        self
     }
 
     /// `true` unless the mode is [`TraceMode::Off`].
@@ -218,6 +234,23 @@ impl SchedStats {
         } else {
             self.busy_total() / denom
         }
+    }
+
+    /// Every scheduler counter as uniform `(name, value)` pairs — the
+    /// single enumeration the run report serializes, replacing ad-hoc
+    /// field-by-field plumbing. Names are stable snake_case JSON keys.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("tasks_started", self.tasks_started),
+            ("tasks_retired", self.tasks_retired),
+            ("steals", self.steals_total()),
+            (
+                "steal_attempts",
+                self.workers.iter().map(|w| w.steal_attempts).sum(),
+            ),
+            ("parks", self.workers.iter().map(|w| w.parks).sum()),
+            ("panel_copies", self.panel_copies as u64),
+        ]
     }
 
     /// Panics unless `tasks_started == tasks_retired == n_tasks` — the
@@ -394,6 +427,21 @@ pub struct ExecReport {
     /// Numeric-layer health report (perturbed columns, growth); left at its
     /// default by the raw executor — the numeric drivers fill it.
     pub health: FactorHealth,
+}
+
+impl ExecReport {
+    /// Every counter this run produced, uniformly: the scheduler counters
+    /// ([`SchedStats::counters`]) plus the numeric-health counts. One flat
+    /// `(name, value)` list so reports and tools never reach into
+    /// individual fields.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        let mut out = self.stats.counters();
+        out.push((
+            "perturbed_columns",
+            self.health.perturbed_columns.len() as u64,
+        ));
+        out
+    }
 }
 
 /// Renders a simulator schedule ([`crate::SimEvent`] stream, model seconds)

@@ -17,6 +17,13 @@ use parsplu::core::CancelToken;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
+/// With `--features alloc-track`, every allocation in the process is
+/// counted so `--report` carries heap current/peak bytes per phase
+/// (`parsplu::obs::heap_stats` returns `Some` once this is installed).
+#[cfg(feature = "alloc-track")]
+#[global_allocator]
+static ALLOC: parsplu::obs::CountingAlloc = parsplu::obs::CountingAlloc;
+
 const SIGINT: i32 = 2;
 /// `SIG_DFL`: restore the default disposition (terminate on SIGINT).
 const SIG_DFL: usize = 0;

@@ -5,8 +5,9 @@
 //! `parsplu` binary is a thin wrapper.
 
 use splu_core::{
-    analyze, estimate_inverse_1norm, BreakdownPolicy, CancelToken, KernelChoice, LuError, Options,
-    OrderingChoice, PivotRule, SparseLu, TaskGraphKind, WatchdogConfig,
+    analyze, analyze_with, estimate_inverse_1norm, BreakdownPolicy, CancelToken, KernelChoice,
+    LuError, MatrixMeta, ObsSession, Options, OrderingChoice, PivotRule, RunStatus, SparseLu,
+    SymbolicRequest, TaskGraphKind, WatchdogConfig,
 };
 use splu_matgen::{manufactured_rhs, paper_matrix, Scale};
 use splu_sched::Mapping;
@@ -116,6 +117,18 @@ OPTIONS:
   --watchdog <ms>       liveness watchdog: if the scheduler makes no
                         progress for this window with tasks pending, the
                         run aborts with a stall report and exit code 6
+  --report <file>       write a machine-readable run report (JSON, schema
+                        `parsplu-run-report/1`): versions, resolved
+                        options and kernel, per-phase wall times, fill and
+                        kernel-flop counters, scheduler stats, factor
+                        health and the exit status. Written on structured
+                        failures too (status records the error). Build
+                        with `--features alloc-track` to include heap
+                        current/peak bytes
+  --trace <file>        write a Chrome trace (chrome://tracing, Perfetto)
+                        of the whole pipeline on one shared timeline:
+                        driver phases, per-front-thread fill chunks and
+                        postorder segments, and numeric executor workers
   --dot-forest <file>   (analyze) write the block eforest as Graphviz DOT
   --dot-graph <file>    (analyze) write the task graph as Graphviz DOT
   --rhs <file>          (solve) right-hand side, one value per line
@@ -142,6 +155,23 @@ struct Cli {
     dot_graph: Option<String>,
     rhs: Option<String>,
     out: Option<String>,
+    report: Option<String>,
+    trace: Option<String>,
+}
+
+impl Cli {
+    /// The observability session the flags imply: full (with executor
+    /// event streams) when a Chrome trace was requested, report-grade for
+    /// `--report` alone, none otherwise.
+    fn session(&self) -> Option<ObsSession> {
+        if self.trace.is_some() {
+            Some(ObsSession::with_events())
+        } else if self.report.is_some() {
+            Some(ObsSession::new())
+        } else {
+            None
+        }
+    }
 }
 
 fn parse_flags(args: &[String], token: Option<&CancelToken>) -> Result<Cli, String> {
@@ -153,6 +183,8 @@ fn parse_flags(args: &[String], token: Option<&CancelToken>) -> Result<Cli, Stri
         dot_graph: None,
         rhs: None,
         out: None,
+        report: None,
+        trace: None,
     };
     cli.opts.budget.token = token.cloned();
     let mut it = args.iter();
@@ -195,6 +227,12 @@ fn parse_flags(args: &[String], token: Option<&CancelToken>) -> Result<Cli, Stri
             }
             "--out" => {
                 cli.out = Some(it.next().ok_or("--out needs a path")?.clone());
+            }
+            "--report" => {
+                cli.report = Some(it.next().ok_or("--report needs a path")?.clone());
+            }
+            "--trace" => {
+                cli.trace = Some(it.next().ok_or("--trace needs a path")?.clone());
             }
             "--dot-forest" => {
                 cli.dot_forest = Some(it.next().ok_or("--dot-forest needs a path")?.clone());
@@ -279,15 +317,65 @@ fn load(path: &str) -> Result<CscMatrix, String> {
     read_matrix_market(Path::new(path)).map_err(|e| format!("reading {path}: {e}"))
 }
 
+fn matrix_name(path: &str) -> String {
+    Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_string())
+}
+
+/// Writes the artifacts `--report` / `--trace` requested, returning the
+/// notes to append to the command output. Called on failure paths too, so
+/// a structured error still leaves a report whose `status` records it.
+fn write_observability(
+    session: &ObsSession,
+    cli: &Cli,
+    matrix: MatrixMeta,
+    status: RunStatus,
+) -> Result<Vec<String>, String> {
+    let mut notes = Vec::new();
+    if let Some(p) = &cli.report {
+        let report = session.report(matrix, &cli.opts, status);
+        std::fs::write(p, report.to_json()).map_err(|e| format!("writing {p}: {e}"))?;
+        notes.push(format!("wrote run report to {p}"));
+    }
+    if let Some(p) = &cli.trace {
+        std::fs::write(p, session.chrome_json()).map_err(|e| format!("writing {p}: {e}"))?;
+        notes.push(format!("wrote pipeline trace to {p}"));
+    }
+    Ok(notes)
+}
+
 fn cmd_analyze(
     path: &str,
     flags: &[String],
     token: Option<&CancelToken>,
 ) -> Result<String, CliError> {
     let cli = parse_flags(flags, token)?;
-    let a = load(path)?;
+    let session = cli.session();
+    let a = {
+        let _p = session.as_ref().map(|o| o.phase("parse"));
+        load(path)?
+    };
     let ms = splu_sparse::stats::matrix_stats(&a);
-    let sym = analyze(a.pattern(), &cli.opts)?;
+    let sym = match &session {
+        Some(o) => {
+            let sreq = SymbolicRequest::from_options(&cli.opts).observe(o.clone());
+            match analyze_with(a.pattern(), &cli.opts, &sreq) {
+                Ok(sym) => sym,
+                Err(e) => {
+                    let meta = MatrixMeta {
+                        name: matrix_name(path),
+                        n: a.ncols(),
+                        nnz: a.nnz(),
+                    };
+                    write_observability(o, &cli, meta, RunStatus::from_error(&e))?;
+                    return Err(e.into());
+                }
+            }
+        }
+        None => analyze(a.pattern(), &cli.opts)?,
+    };
     let s = &sym.stats;
     let mut out = String::new();
     let _ = writeln!(out, "matrix            : {path}");
@@ -331,6 +419,12 @@ fn cmd_analyze(
         std::fs::write(p, g.to_dot("tasks")).map_err(|e| e.to_string())?;
         let _ = writeln!(out, "wrote task graph DOT to {p}");
     }
+    if let Some(o) = &session {
+        let meta = MatrixMeta::from_stats(&matrix_name(path), &sym.stats);
+        for note in write_observability(o, &cli, meta, RunStatus::success())? {
+            let _ = writeln!(out, "{note}");
+        }
+    }
     Ok(out)
 }
 
@@ -357,21 +451,42 @@ fn cmd_solve(
     token: Option<&CancelToken>,
 ) -> Result<String, CliError> {
     let cli = parse_flags(flags, token)?;
-    let a = load(path)?;
+    let session = cli.session();
+    let a = {
+        let _p = session.as_ref().map(|o| o.phase("parse"));
+        load(path)?
+    };
     let b = match &cli.rhs {
         Some(p) => read_vector(p, a.nrows())?,
         None => manufactured_rhs(&a, 1).1,
     };
     let t0 = std::time::Instant::now();
-    let lu = SparseLu::factor(&a, &cli.opts)?;
+    let lu = match &session {
+        Some(o) => match SparseLu::factor_observed(&a, &cli.opts, o) {
+            Ok(lu) => lu,
+            Err(e) => {
+                let meta = MatrixMeta {
+                    name: matrix_name(path),
+                    n: a.ncols(),
+                    nnz: a.nnz(),
+                };
+                write_observability(o, &cli, meta, RunStatus::from_error(&e))?;
+                return Err(e.into());
+            }
+        },
+        None => SparseLu::factor(&a, &cli.opts)?,
+    };
     let t_factor = t0.elapsed();
     let t1 = std::time::Instant::now();
-    let x = if cli.transpose {
-        lu.solve_transposed(&b)
-    } else if cli.refine {
-        lu.solve_refined(&a, &b, 1e-14, 2).0
-    } else {
-        lu.solve(&b)
+    let x = {
+        let _p = session.as_ref().map(|o| o.phase("solve"));
+        if cli.transpose {
+            lu.solve_transposed(&b)
+        } else if cli.refine {
+            lu.solve_refined(&a, &b, 1e-14, 2).0
+        } else {
+            lu.solve(&b)
+        }
     };
     let t_solve = t1.elapsed();
     let resid = if cli.transpose {
@@ -417,6 +532,12 @@ fn cmd_solve(
         st.words,
         100.0 * st.padding_fraction
     );
+    if let Some(o) = &session {
+        let meta = MatrixMeta::from_stats(&matrix_name(path), lu.stats());
+        for note in write_observability(o, &cli, meta, RunStatus::success())? {
+            let _ = writeln!(out, "{note}");
+        }
+    }
     if resid > 1e-8 {
         let _ = writeln!(out, "WARNING: large residual — check conditioning");
     }

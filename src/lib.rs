@@ -17,6 +17,9 @@
 //!   executor and the virtual-machine list-scheduling simulator.
 //! * [`core`] — the supernodal numerical factorization with partial pivoting
 //!   and the [`core::SparseLu`] end-to-end driver.
+//! * [`obs`] — observability primitives: the lock-free metrics registry,
+//!   epoch-aligned pipeline spans, and the opt-in counting allocator
+//!   (installed by the `alloc-track` cargo feature).
 //! * [`matgen`] — deterministic synthetic analogues of the paper's seven
 //!   benchmark matrices.
 //!
@@ -43,6 +46,7 @@ pub mod cli;
 pub use splu_core as core;
 pub use splu_dense as dense;
 pub use splu_matgen as matgen;
+pub use splu_obs as obs;
 pub use splu_ordering as ordering;
 pub use splu_sched as sched;
 pub use splu_sparse as sparse;

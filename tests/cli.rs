@@ -377,3 +377,92 @@ fn pre_cancelled_token_exits_with_code_130() {
     assert!(out.contains("scaled residual"), "{out}");
     let _ = std::fs::remove_file(&path);
 }
+
+#[test]
+fn report_and_trace_flags_write_validating_artifacts() {
+    use splu_bench::json::{parse, validate_chrome_trace, validate_run_report};
+    let path = tmp("report");
+    run(&args(&["gen", "sherman5", &path, "--reduced"])).unwrap();
+    let report_path = format!("{path}.report.json");
+    let trace_path = format!("{path}.trace.json");
+
+    let out = run(&args(&[
+        "solve",
+        &path,
+        "--threads",
+        "2",
+        "--front-threads",
+        "2",
+        "--report",
+        &report_path,
+        "--trace",
+        &trace_path,
+    ]))
+    .unwrap();
+    assert!(out.contains("wrote run report"), "{out}");
+    assert!(out.contains("wrote pipeline trace"), "{out}");
+
+    let report = parse(&std::fs::read_to_string(&report_path).unwrap()).unwrap();
+    validate_run_report(&report).expect("solve report schema-validates");
+    // The matrix name is the file stem; the solve phase is present only
+    // when the solve actually ran.
+    assert!(report
+        .get("matrix")
+        .and_then(|m| m.get("name"))
+        .and_then(|n| n.as_str())
+        .is_some());
+    assert!(report
+        .get("phases_s")
+        .and_then(|p| p.get("solve"))
+        .is_some());
+    assert_eq!(
+        report
+            .get("status")
+            .and_then(|s| s.get("kind"))
+            .and_then(|k| k.as_str()),
+        Some("ok")
+    );
+
+    let trace = parse(&std::fs::read_to_string(&trace_path).unwrap()).unwrap();
+    validate_chrome_trace(&trace).expect("pipeline trace schema-validates");
+
+    // `analyze --report` works too and records no numeric phase.
+    let out = run(&args(&["analyze", &path, "--report", &report_path])).unwrap();
+    assert!(out.contains("wrote run report"), "{out}");
+    let report = parse(&std::fs::read_to_string(&report_path).unwrap()).unwrap();
+    validate_run_report(&report).expect("analyze report schema-validates");
+    assert!(report
+        .get("phases_s")
+        .and_then(|p| p.get("numeric"))
+        .is_none());
+
+    for f in [&path, &report_path, &trace_path] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
+fn failed_solves_still_write_a_report() {
+    use splu_bench::json::{parse, validate_run_report};
+    let path = tmp("report_singular");
+    std::fs::write(
+        &path,
+        "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n2 1 1.0\n",
+    )
+    .unwrap();
+    let report_path = format!("{path}.report.json");
+    let err = run(&args(&["solve", &path, "--report", &report_path])).unwrap_err();
+    assert_eq!(err.exit_code, 3, "{err}");
+    let report = parse(&std::fs::read_to_string(&report_path).unwrap()).unwrap();
+    validate_run_report(&report).expect("failure report schema-validates");
+    assert_eq!(
+        report
+            .get("status")
+            .and_then(|s| s.get("kind"))
+            .and_then(|k| k.as_str()),
+        Some("singular")
+    );
+    for f in [&path, &report_path] {
+        let _ = std::fs::remove_file(f);
+    }
+}

@@ -10,8 +10,8 @@
 //! ordering is a valid permutation with bounded extra fill.
 
 use parsplu::core::{
-    analyze, analyze_with, postorder_parallel, static_fill_parallel_with_parents, Options,
-    OrderingChoice, SymbolicRequest,
+    analyze, analyze_with, postorder_parallel, postorder_parallel_obs,
+    static_fill_parallel_with_parents, ObsSession, Options, OrderingChoice, SymbolicRequest,
 };
 use parsplu::matgen::{paper_suite, random_pattern, random_unsymmetric, Scale};
 use parsplu::ordering::{
@@ -93,6 +93,106 @@ fn analyze_with_front_threads_is_bitwise_identical_end_to_end() {
             );
             assert_eq!(sym.stats.nnz_filled, base.stats.nnz_filled);
             assert_eq!(sym.stats.supernodes, base.stats.supernodes);
+        }
+    }
+}
+
+#[test]
+fn traced_front_half_is_bitwise_identical_to_untraced() {
+    // Observability must be a pure observer: a session recording full
+    // event streams changes *nothing* about the front half's output at
+    // any thread count.
+    for m in paper_suite(Scale::Reduced).into_iter().take(3) {
+        let p = diagonalized(m.a.pattern());
+        let q = column_min_degree(&p);
+        let pq = p.permuted(&q, &q);
+        for threads in THREADS {
+            let plain_req = SymbolicRequest::new().front_threads(threads);
+            let (f_plain, par_plain) =
+                static_fill_parallel_with_parents(&pq, &plain_req).expect("untraced fill");
+            let session = ObsSession::with_events();
+            let traced_req = SymbolicRequest::new()
+                .front_threads(threads)
+                .observe(session.clone());
+            let (f_traced, par_traced) =
+                static_fill_parallel_with_parents(&pq, &traced_req).expect("traced fill");
+            assert_eq!(f_traced.l, f_plain.l, "{}@{threads}: L differs", m.name);
+            assert_eq!(f_traced.u, f_plain.u, "{}@{threads}: U differs", m.name);
+            assert_eq!(
+                par_traced, par_plain,
+                "{}@{threads}: parents differ",
+                m.name
+            );
+            let forest = EliminationForest::from_parent_vec(par_plain);
+            assert_eq!(
+                postorder_parallel_obs(&forest, threads, Some(&session)),
+                postorder_parallel(&forest, threads),
+                "{}@{threads}: postorder differs under tracing",
+                m.name
+            );
+        }
+    }
+}
+
+#[test]
+fn traced_end_to_end_factorization_is_bitwise_identical() {
+    use parsplu::core::SparseLu;
+    let m = &paper_suite(Scale::Reduced)[1];
+    let b: Vec<f64> = (0..m.a.ncols()).map(|i| (i % 11) as f64 - 5.0).collect();
+    let opts = Options {
+        threads: 2,
+        front_threads: 2,
+        ..Options::default()
+    };
+    let plain = SparseLu::factor(&m.a, &opts).expect("untraced factorization");
+    let session = ObsSession::with_events();
+    let traced = SparseLu::factor_observed(&m.a, &opts, &session).expect("traced factorization");
+    // Same factors bit-for-bit: the solves agree exactly.
+    let (x_plain, x_traced) = (plain.solve(&b), traced.solve(&b));
+    assert_eq!(
+        x_plain, x_traced,
+        "{}: traced solve differs bitwise",
+        m.name
+    );
+}
+
+#[test]
+fn front_spans_land_on_the_session_trace_as_chrome_tracks() {
+    use splu_bench::json::{parse, validate_chrome_trace};
+    let m = &paper_suite(Scale::Reduced)[0];
+    let p = diagonalized(m.a.pattern());
+    let q = column_min_degree(&p);
+    let pq = p.permuted(&q, &q);
+    let session = ObsSession::with_events();
+    let req = SymbolicRequest::new()
+        .front_threads(4)
+        .observe(session.clone());
+    let (f, parents) = static_fill_parallel_with_parents(&pq, &req).expect("fill succeeds");
+    let forest = EliminationForest::from_parent_vec(parents);
+    postorder_parallel_obs(&forest, 4, Some(&session));
+    drop(f);
+    // The session's own export must already be a valid Chrome trace with
+    // the front half's spans on driver + front tracks.
+    let doc = parse(&session.chrome_json()).expect("valid JSON");
+    validate_chrome_trace(&doc).expect("valid Chrome trace");
+    let events = session.span_events();
+    assert!(
+        events.iter().any(|e| e.name == "fill_skeleton"),
+        "no skeleton span"
+    );
+    assert!(
+        events.iter().any(|e| e.name.starts_with("fill ")),
+        "no per-chunk fill spans"
+    );
+    assert!(
+        events.iter().any(|e| e.name.starts_with("postorder root ")),
+        "no postorder segment spans"
+    );
+    // Chunk and postorder spans sit on front tracks (tid >= 1), the
+    // skeleton on the driver track.
+    for e in &events {
+        if e.name.starts_with("fill ") || e.name.starts_with("postorder root ") {
+            assert!(e.track.tid() >= 1, "span {} not on a front track", e.name);
         }
     }
 }
