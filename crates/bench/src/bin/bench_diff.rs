@@ -2,7 +2,7 @@
 //! exits nonzero when a metric regressed past its threshold.
 //!
 //! ```text
-//! bench_diff <baseline.json> <current.json> [--kind factor|sched|kernels|phases]
+//! bench_diff <baseline.json> <current.json> [--kind factor|sched|kernels|phases|service]
 //!            [--threshold PCT] [--threshold METRIC=PCT]...
 //! ```
 //!
@@ -22,7 +22,7 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: bench_diff <baseline.json> <current.json> \
-         [--kind factor|sched|kernels|phases] [--threshold PCT] [--threshold METRIC=PCT]..."
+         [--kind factor|sched|kernels|phases|service] [--threshold PCT] [--threshold METRIC=PCT]..."
     );
     ExitCode::from(2)
 }

@@ -1,0 +1,203 @@
+//! Benchmark of the persistent-session API: what does a client save by
+//! analyzing once and refactorizing, instead of paying the full pipeline
+//! per factorization?
+//!
+//! For every suite matrix and every thread count in {1, 2, 4, 8}, two
+//! minimum-of-[`splu_bench::REPS`] timings are recorded to
+//! `BENCH_service.json` in the working directory:
+//!
+//! * `factor_s` — a one-shot [`SparseLu::factor`]: ordering, symbolic
+//!   factorization, postorder, partition, graph build and the numeric
+//!   phase, i.e. the cost of a sessionless client;
+//! * `refactor_s` — [`SluSession::refactor`] on an already-analyzed
+//!   session with fresh values: storage reset, value scatter and the
+//!   numeric phase only.
+//!
+//! ```json
+//! [{"matrix": "...", "threads": 2, "kind": "speedup",
+//!   "factor_s": 0.04, "refactor_s": 0.02, "speedup": 2.0}, ...]
+//! ```
+//!
+//! A final `kind = "serve"` record measures sustained throughput of the
+//! serve-mode job shape — worker threads each owning a session, every job
+//! a refactorization plus a solve — as `jobs_per_sec` over the whole
+//! suite. Set `PARSPLU_REDUCED=1` for a fast CI-sized run.
+
+use splu_bench::{min_time, suite};
+use splu_core::{Options, SluSession, SparseLu};
+use splu_matgen::manufactured_rhs;
+use splu_sparse::CscMatrix;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Same pattern, deterministically reshuffled values: the serve-mode
+/// workload is "new numbers, old structure".
+fn revalue(a: &CscMatrix, salt: u64) -> CscMatrix {
+    let mut b = a.clone();
+    for (t, v) in b.values_mut().iter_mut().enumerate() {
+        let wig = (((t as u64).wrapping_mul(salt * 2 + 1) % 97) as f64) / 97.0;
+        *v += 0.2 * (wig - 0.5) * (1.0 + v.abs());
+    }
+    b
+}
+
+enum Record {
+    Speedup {
+        matrix: &'static str,
+        threads: usize,
+        factor_s: f64,
+        refactor_s: f64,
+    },
+    Serve {
+        workers: usize,
+        jobs: usize,
+        jobs_per_sec: f64,
+    },
+}
+
+/// Sustained serve-shaped throughput: `workers` threads, each owning one
+/// session per assigned matrix, each job a refactor + solve. Returns
+/// (jobs, jobs/sec).
+fn serve_throughput(matrices: &[(&'static str, CscMatrix)], workers: usize) -> (usize, f64) {
+    const ROUNDS: usize = 8;
+    let t = Instant::now();
+    let jobs: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut done = 0usize;
+                    for (i, (_, a)) in matrices.iter().enumerate() {
+                        if i % workers != w {
+                            continue;
+                        }
+                        let opts = Options::default();
+                        let mut s =
+                            SluSession::analyze(a.pattern(), &opts).expect("analysis succeeds");
+                        for round in 0..ROUNDS {
+                            let vals = revalue(a, (round + 1) as u64);
+                            s.refactor(&vals).expect("refactorization succeeds");
+                            let (_, b) = manufactured_rhs(&vals, round as u64);
+                            let x = s.try_solve(&b).expect("solve succeeds");
+                            assert!(x.iter().all(|v| v.is_finite()));
+                            done += 1;
+                        }
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker")).sum()
+    });
+    let secs = t.elapsed().as_secs_f64();
+    (jobs, jobs as f64 / secs)
+}
+
+fn main() {
+    let matrices: Vec<(&'static str, CscMatrix)> =
+        suite().into_iter().map(|m| (m.name, m.a)).collect();
+    let threads_axis = [1usize, 2, 4, 8];
+    let mut records: Vec<Record> = Vec::new();
+
+    println!(
+        "{:<14} {:>7} {:>13} {:>13} {:>9}",
+        "matrix", "threads", "factor", "refactor", "speedup"
+    );
+    for (name, a) in &matrices {
+        let a2 = revalue(a, 3);
+        for &threads in &threads_axis {
+            let opts = Options::builder().threads(threads).build().expect("valid");
+            let factor_s = min_time(|| {
+                let lu = SparseLu::factor(&a2, &opts).expect("factorization succeeds");
+                std::hint::black_box(lu.stats());
+            })
+            .as_secs_f64();
+            let mut s = SluSession::analyze(a.pattern(), &opts).expect("analysis succeeds");
+            s.factor(a).expect("factorization succeeds");
+            let refactor_s = min_time(|| {
+                s.refactor(&a2).expect("refactorization succeeds");
+            })
+            .as_secs_f64();
+            println!(
+                "{:<14} {:>7} {:>12.6}s {:>12.6}s {:>8.2}x",
+                name,
+                threads,
+                factor_s,
+                refactor_s,
+                factor_s / refactor_s
+            );
+            records.push(Record::Speedup {
+                matrix: name,
+                threads,
+                factor_s,
+                refactor_s,
+            });
+        }
+    }
+
+    let workers = 4;
+    let (jobs, jobs_per_sec) = serve_throughput(&matrices, workers);
+    println!(
+        "\nserve-shaped throughput: {jobs} jobs on {workers} workers, {jobs_per_sec:.1} jobs/s"
+    );
+    records.push(Record::Serve {
+        workers,
+        jobs,
+        jobs_per_sec,
+    });
+
+    // Headline: the 1-thread speedup on the largest matrix — the cleanest
+    // statement of how much symbolic work a session amortizes away.
+    if let Some((largest, _)) = matrices.iter().max_by_key(|(_, a)| a.ncols()) {
+        for r in &records {
+            if let Record::Speedup {
+                matrix,
+                threads: 1,
+                factor_s,
+                refactor_s,
+            } = r
+            {
+                if matrix == largest {
+                    println!(
+                        "{largest}@1 thread: one-shot {factor_s:.6}s vs refactor {refactor_s:.6}s \
+                         ({:.2}x)",
+                        factor_s / refactor_s
+                    );
+                }
+            }
+        }
+    }
+
+    let mut json = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 == records.len() { "" } else { "," };
+        match r {
+            Record::Speedup {
+                matrix,
+                threads,
+                factor_s,
+                refactor_s,
+            } => writeln!(
+                json,
+                "  {{\"matrix\": \"{matrix}\", \"threads\": {threads}, \"kind\": \"speedup\", \
+                 \"factor_s\": {factor_s:.9}, \"refactor_s\": {refactor_s:.9}, \
+                 \"speedup\": {:.6}}}{sep}",
+                factor_s / refactor_s
+            ),
+            Record::Serve {
+                workers,
+                jobs,
+                jobs_per_sec,
+            } => writeln!(
+                json,
+                "  {{\"matrix\": \"suite\", \"threads\": {workers}, \"kind\": \"serve\", \
+                 \"jobs\": {jobs}, \"jobs_per_sec\": {jobs_per_sec:.6}}}{sep}"
+            ),
+        }
+        .expect("string write");
+    }
+    json.push_str("]\n");
+    let parsed = splu_bench::json::parse(&json).expect("BENCH_service.json is valid JSON");
+    splu_bench::json::validate_bench_service(&parsed).expect("BENCH_service.json matches schema");
+    std::fs::write("BENCH_service.json", json).expect("write BENCH_service.json");
+    println!("\nwrote BENCH_service.json ({} records)", records.len());
+}

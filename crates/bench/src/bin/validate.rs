@@ -1,7 +1,7 @@
 //! Schema-validates observability artifacts on disk.
 //!
 //! ```text
-//! validate <file.json>... [--kind run-report|chrome-trace|factor|sched|kernels|phases]
+//! validate <file.json>... [--kind run-report|chrome-trace|factor|sched|kernels|phases|service]
 //! ```
 //!
 //! Without `--kind`, each file's kind is sniffed from its content: an
@@ -17,7 +17,7 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: validate <file.json>... \
-         [--kind run-report|chrome-trace|factor|sched|kernels|phases]"
+         [--kind run-report|chrome-trace|factor|sched|kernels|phases|service]"
     );
     ExitCode::from(2)
 }

@@ -14,7 +14,7 @@
 
 use crate::json::{
     validate_bench_factor, validate_bench_kernels, validate_bench_phases, validate_bench_sched,
-    Json, PHASE_NAMES,
+    validate_bench_service, Json, PHASE_NAMES,
 };
 
 /// Which benchmark artifact a document is.
@@ -28,6 +28,9 @@ pub enum ArtifactKind {
     Kernels,
     /// `BENCH_phases.json` — per-phase pipeline walls.
     Phases,
+    /// `BENCH_service.json` — session refactor speedups and serve-mode
+    /// throughput.
+    Service,
 }
 
 impl ArtifactKind {
@@ -39,6 +42,7 @@ impl ArtifactKind {
             ("sched", ArtifactKind::Sched),
             ("kernels", ArtifactKind::Kernels),
             ("phases", ArtifactKind::Phases),
+            ("service", ArtifactKind::Service),
         ] {
             if lower.contains(tag) {
                 return Some(kind);
@@ -54,6 +58,7 @@ impl ArtifactKind {
             "sched" => Some(ArtifactKind::Sched),
             "kernels" => Some(ArtifactKind::Kernels),
             "phases" => Some(ArtifactKind::Phases),
+            "service" => Some(ArtifactKind::Service),
             _ => None,
         }
     }
@@ -65,6 +70,7 @@ impl ArtifactKind {
             ArtifactKind::Sched => validate_bench_sched(doc),
             ArtifactKind::Kernels => validate_bench_kernels(doc),
             ArtifactKind::Phases => validate_bench_phases(doc),
+            ArtifactKind::Service => validate_bench_service(doc),
         }
     }
 
@@ -75,6 +81,7 @@ impl ArtifactKind {
             ArtifactKind::Sched => &["matrix", "mode", "threads", "kind"],
             ArtifactKind::Kernels => &["op", "shape", "kernel"],
             ArtifactKind::Phases => &["matrix", "front_threads", "kind"],
+            ArtifactKind::Service => &["matrix", "threads", "kind"],
         }
     }
 
@@ -110,6 +117,24 @@ impl ArtifactKind {
                 .iter()
                 .map(|p| MetricSpec::nested_time(p))
                 .collect(),
+            // `speedup` records carry the timing metrics, `serve` records
+            // the throughput; the missing ones are skipped per record.
+            ArtifactKind::Service => vec![
+                MetricSpec::time("factor_s"),
+                MetricSpec::time("refactor_s"),
+                MetricSpec {
+                    name: "speedup",
+                    lower_is_better: false,
+                    abs_floor: 0.05,
+                    absolute_only: false,
+                },
+                MetricSpec {
+                    name: "jobs_per_sec",
+                    lower_is_better: false,
+                    abs_floor: 0.05,
+                    absolute_only: false,
+                },
+            ],
         }
     }
 }

@@ -525,6 +525,59 @@ pub fn validate_bench_kernels(doc: &Json) -> Result<usize, String> {
     Ok(records.len())
 }
 
+/// Validates `BENCH_service.json`: an array of records for the persistent
+/// session service. `kind = "speedup"` rows compare a one-shot
+/// factorization against `SluSession::refactor` on the same matrix
+/// (`factor_s`, `refactor_s`, `speedup`, all strictly positive, with
+/// `speedup` consistent with the two times); `kind = "serve"` rows report
+/// the sustained serve-mode throughput (`jobs`, `jobs_per_sec`).
+pub fn validate_bench_service(doc: &Json) -> Result<usize, String> {
+    let records = doc.as_arr().ok_or("BENCH_service.json: not an array")?;
+    for (i, r) in records.iter().enumerate() {
+        let ctx = format!("record[{i}]");
+        require_str(r, "matrix", &ctx)?;
+        let threads = require_num(r, "threads", &ctx)?;
+        if threads < 1.0 || threads.fract() != 0.0 {
+            return Err(format!("{ctx}: bad threads {threads}"));
+        }
+        let kind = require_str(r, "kind", &ctx)?;
+        match kind {
+            "speedup" => {
+                let factor_s = require_num(r, "factor_s", &ctx)?;
+                let refactor_s = require_num(r, "refactor_s", &ctx)?;
+                let speedup = require_num(r, "speedup", &ctx)?;
+                if factor_s <= 0.0 || refactor_s <= 0.0 || factor_s.is_nan() || refactor_s.is_nan()
+                {
+                    return Err(format!(
+                        "{ctx}: non-positive timing (factor_s {factor_s}, refactor_s {refactor_s})"
+                    ));
+                }
+                let expected = factor_s / refactor_s;
+                if speedup.is_nan()
+                    || speedup <= 0.0
+                    || (speedup - expected).abs() > 1e-3 * expected
+                {
+                    return Err(format!(
+                        "{ctx}: speedup {speedup} inconsistent with factor_s/refactor_s {expected}"
+                    ));
+                }
+            }
+            "serve" => {
+                let jobs = require_num(r, "jobs", &ctx)?;
+                if jobs < 1.0 || jobs.fract() != 0.0 {
+                    return Err(format!("{ctx}: bad job count {jobs}"));
+                }
+                let rate = require_num(r, "jobs_per_sec", &ctx)?;
+                if rate.is_nan() || rate <= 0.0 {
+                    return Err(format!("{ctx}: non-positive jobs_per_sec {rate}"));
+                }
+            }
+            other => return Err(format!("{ctx}: bad kind {other:?}")),
+        }
+    }
+    Ok(records.len())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -561,6 +614,7 @@ mod tests {
             ("BENCH_factor.json", validate_bench_factor as Validator),
             ("BENCH_kernels.json", validate_bench_kernels as Validator),
             ("BENCH_phases.json", validate_bench_phases as Validator),
+            ("BENCH_service.json", validate_bench_service as Validator),
         ] {
             let Ok(text) = std::fs::read_to_string(format!("{root}/{file}")) else {
                 continue;
@@ -646,6 +700,38 @@ mod tests {
         ] {
             assert!(
                 validate_bench_kernels(&parse(bad).unwrap()).is_err(),
+                "accepted {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn service_validator_checks_both_record_kinds() {
+        let good = r#"[
+            {"matrix": "m", "threads": 2, "kind": "speedup",
+             "factor_s": 0.04, "refactor_s": 0.02, "speedup": 2.0},
+            {"matrix": "m", "threads": 4, "kind": "serve",
+             "jobs": 120, "jobs_per_sec": 37.5}
+        ]"#;
+        assert_eq!(validate_bench_service(&parse(good).unwrap()), Ok(2));
+        for bad in [
+            // Unknown kind.
+            r#"[{"matrix": "m", "threads": 1, "kind": "warmup",
+                 "factor_s": 1.0, "refactor_s": 0.5, "speedup": 2.0}]"#,
+            // Speedup inconsistent with the two timings.
+            r#"[{"matrix": "m", "threads": 1, "kind": "speedup",
+                 "factor_s": 1.0, "refactor_s": 0.5, "speedup": 3.0}]"#,
+            // Non-positive timing.
+            r#"[{"matrix": "m", "threads": 1, "kind": "speedup",
+                 "factor_s": 0.0, "refactor_s": 0.5, "speedup": 0.0}]"#,
+            // Serve rows need a throughput.
+            r#"[{"matrix": "m", "threads": 1, "kind": "serve", "jobs": 10}]"#,
+            // Fractional thread counts are nonsense.
+            r#"[{"matrix": "m", "threads": 1.5, "kind": "serve",
+                 "jobs": 10, "jobs_per_sec": 5.0}]"#,
+        ] {
+            assert!(
+                validate_bench_service(&parse(bad).unwrap()).is_err(),
                 "accepted {bad}"
             );
         }

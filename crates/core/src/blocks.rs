@@ -316,6 +316,26 @@ impl BlockMatrix {
         bm
     }
 
+    /// Zeroes every stored value and empties the pivot sequences **in
+    /// place** — every allocation (U blocks, panels, pivot swap vectors) is
+    /// retained, so a rescatter + refactorization on top allocates nothing.
+    /// After the reset, factored columns hold `Some` *empty* pivots rather
+    /// than `None`; the factor task treats both as "not factored" and
+    /// recycles the swap storage.
+    pub fn reset_values(&mut self) {
+        for col in &mut self.columns {
+            let col = col.get_mut();
+            if let Some(p) = col.pivots.as_mut() {
+                p.clear();
+            }
+            for blk in &mut col.ublocks {
+                blk.data_mut().fill(0.0);
+            }
+            col.panel.data_mut().fill(0.0);
+        }
+        self.panel_copies.store(0, Ordering::Relaxed);
+    }
+
     /// Resets the storage to hold the values of `a` again (zero everything,
     /// rescatter, forget pivots) — for repeated factorizations with the same
     /// structure without reallocating.
@@ -323,14 +343,7 @@ impl BlockMatrix {
         assert_eq!(a.ncols(), self.n, "matrix and structure disagree");
         let part = &bs.partition;
         let block_of = part.block_of_cols();
-        for col in &mut self.columns {
-            let col = col.get_mut();
-            col.pivots = None;
-            for blk in &mut col.ublocks {
-                blk.data_mut().fill(0.0);
-            }
-            col.panel.data_mut().fill(0.0);
-        }
+        self.reset_values();
         for (i, j, v) in a.triplets() {
             let (ib, jb) = (block_of[i], block_of[j]);
             let li = i - part.range(ib).start;

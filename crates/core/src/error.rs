@@ -72,6 +72,33 @@ pub enum LuError {
         /// heartbeat epochs, and ready-queue depths.
         report: splu_sched::StallReport,
     },
+    /// A right-hand side (or solution block) whose length does not match
+    /// the factored matrix order. The fallible `try_solve*` entry points
+    /// return this where the panicking `solve*` forms assert.
+    DimensionMismatch {
+        /// Length the operation required.
+        expected: usize,
+        /// Length the caller supplied.
+        got: usize,
+    },
+    /// Values handed to a session `factor`/`refactor` whose sparsity
+    /// pattern differs from the one the session was analyzed for (the
+    /// pattern hashes disagree). Re-analyze to factor the new pattern.
+    PatternMismatch {
+        /// Pattern hash the session was built from.
+        expected: u64,
+        /// Hash of the pattern the values came with.
+        got: u64,
+    },
+    /// A solve (or refactorization) was requested on a session that holds
+    /// no factors yet: call `factor` first.
+    NotFactored,
+    /// An [`Options`](crate::Options) builder rejected an invalid
+    /// combination at `build()` time.
+    InvalidOptions {
+        /// What was wrong.
+        message: String,
+    },
     /// Propagated symbolic-phase error.
     Symbolic(SymbolicError),
     /// Propagated substrate error.
@@ -133,6 +160,25 @@ impl std::fmt::Display for LuError {
                     f,
                     "factorization stalled after {columns_done} column(s): {report}"
                 )
+            }
+            LuError::DimensionMismatch { expected, got } => {
+                write!(
+                    f,
+                    "dimension mismatch: expected a vector of length {expected}, got {got}"
+                )
+            }
+            LuError::PatternMismatch { expected, got } => {
+                write!(
+                    f,
+                    "sparsity pattern mismatch: session analyzed hash {expected:#018x}, \
+                     values carry hash {got:#018x} (re-analyze for a new pattern)"
+                )
+            }
+            LuError::NotFactored => {
+                write!(f, "session holds no factors yet: call factor() first")
+            }
+            LuError::InvalidOptions { message } => {
+                write!(f, "invalid options: {message}")
             }
             LuError::Symbolic(e) => write!(f, "symbolic phase: {e}"),
             LuError::Sparse(e) => write!(f, "sparse substrate: {e}"),
@@ -211,5 +257,26 @@ mod tests {
         // Structured comparison works (the variants are Eq).
         assert_eq!(c.clone(), c);
         assert_ne!(c, d);
+    }
+
+    #[test]
+    fn session_errors_render_their_context() {
+        let d = LuError::DimensionMismatch {
+            expected: 100,
+            got: 99,
+        };
+        assert!(d.to_string().contains("100"));
+        assert!(d.to_string().contains("99"));
+        let p = LuError::PatternMismatch {
+            expected: 0xabcd,
+            got: 0x1234,
+        };
+        assert!(p.to_string().contains("0x000000000000abcd"));
+        assert!(p.to_string().contains("0x0000000000001234"));
+        assert!(LuError::NotFactored.to_string().contains("factor()"));
+        let i = LuError::InvalidOptions {
+            message: "threads must be positive".into(),
+        };
+        assert!(i.to_string().contains("threads must be positive"));
     }
 }

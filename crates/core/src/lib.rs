@@ -38,6 +38,7 @@ mod numeric_fine;
 pub mod observe;
 mod psolve;
 mod request;
+mod session;
 mod solve;
 
 pub use blocks::{BlockMatrix, ColumnData, StackMap};
@@ -46,30 +47,25 @@ pub use error::LuError;
 pub use front::{
     postorder_parallel, postorder_parallel_obs, static_fill_parallel_with_parents, SymbolicRequest,
 };
-#[allow(deprecated)]
 pub use numeric::{
-    factor_left_looking, factor_task, factor_task_with_policy, factor_task_with_rule,
-    factor_with_graph, factor_with_graph_rule, factor_with_graph_rule_traced,
-    factor_with_graph_traced, update_task, update_task_with,
+    factor_left_looking, factor_task, factor_task_with_policy, factor_task_with_rule, update_task,
+    update_task_with,
 };
-#[allow(deprecated)]
-pub use numeric_fine::{
-    apply_task, factor_with_fine_graph, factor_with_fine_graph_traced, gemm_task, gemm_task_with,
-    trsm_task, trsm_task_with,
-};
+pub use numeric_fine::{apply_task, gemm_task, gemm_task_with, trsm_task, trsm_task_with};
 pub use observe::{
     factor_reported, MatrixMeta, ObsSession, RunReport, RunStatus, PHASE_NAMES, REPORT_SCHEMA,
 };
 pub use psolve::solve_permuted_parallel;
 pub use request::{factor_numeric_with, BreakdownPolicy, GraphRef, NumericRequest};
+pub use session::{pattern_hash, SluSession};
 pub use solve::{
     det_permuted, growth_factor, solve_many_permuted, solve_permuted, solve_transposed_permuted,
 };
 pub use splu_dense::{Dispatch, KernelChoice, PanelBreakdown, PivotRule};
 pub use splu_sched::{
-    CancelToken, ExecReport, ExecTrace, FactorHealth, Interrupt, RunBudget, SchedStats,
-    StallReport, TaskPanic, TraceConfig, TraceMode, WatchdogConfig, WorkerSnapshot, WorkerState,
-    WorkerStats,
+    CancelToken, ExecReport, ExecSchedule, ExecTrace, FactorHealth, Interrupt, RunBudget,
+    SchedStats, StallReport, TaskPanic, TraceConfig, TraceMode, WatchdogConfig, WorkerSnapshot,
+    WorkerState, WorkerStats,
 };
 
 mod condest;
@@ -175,6 +171,144 @@ impl Default for Options {
             breakdown: BreakdownPolicy::Error,
             budget: RunBudget::default(),
         }
+    }
+}
+
+impl Options {
+    /// A fluent, validating builder over the defaults — the recommended way
+    /// to assemble options programmatically. Struct-update syntax stays
+    /// available for tests and quick experiments, but the builder is the
+    /// only path that rejects incoherent settings (zero threads, a pivot
+    /// threshold that is negative or non-finite, a threshold-pivoting τ
+    /// outside `(0, 1]`, a non-positive perturbation ε) with a structured
+    /// [`LuError::InvalidOptions`] instead of a panic deep in the pipeline.
+    pub fn builder() -> OptionsBuilder {
+        OptionsBuilder::default()
+    }
+}
+
+/// Fluent builder for [`Options`]; see [`Options::builder`].
+///
+/// ```
+/// use splu_core::Options;
+/// let opts = Options::builder().threads(4).equilibrate(true).build().unwrap();
+/// assert_eq!(opts.threads, 4);
+/// assert!(Options::builder().threads(0).build().is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct OptionsBuilder {
+    opts: Options,
+}
+
+impl OptionsBuilder {
+    /// Fill-reducing ordering.
+    pub fn ordering(mut self, ordering: OrderingChoice) -> Self {
+        self.opts.ordering = ordering;
+        self
+    }
+
+    /// Eforest postordering on/off.
+    pub fn postorder(mut self, postorder: bool) -> Self {
+        self.opts.postorder = postorder;
+        self
+    }
+
+    /// Supernode amalgamation; `None` keeps exact supernodes.
+    pub fn amalgamation(mut self, amalgamation: Option<SupernodeOptions>) -> Self {
+        self.opts.amalgamation = amalgamation;
+        self
+    }
+
+    /// Task dependence graph kind.
+    pub fn task_graph(mut self, task_graph: TaskGraphKind) -> Self {
+        self.opts.task_graph = task_graph;
+        self
+    }
+
+    /// Worker threads for the numerical phase (must be ≥ 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.opts.threads = threads;
+        self
+    }
+
+    /// Worker threads for the symbolic front half (must be ≥ 1).
+    pub fn front_threads(mut self, front_threads: usize) -> Self {
+        self.opts.front_threads = front_threads;
+        self
+    }
+
+    /// Task-to-worker mapping.
+    pub fn mapping(mut self, mapping: Mapping) -> Self {
+        self.opts.mapping = mapping;
+        self
+    }
+
+    /// Absolute pivot rejection threshold (finite, ≥ 0).
+    pub fn pivot_threshold(mut self, pivot_threshold: f64) -> Self {
+        self.opts.pivot_threshold = pivot_threshold;
+        self
+    }
+
+    /// Pivot-selection rule; `Threshold(τ)` requires `0 < τ ≤ 1`.
+    pub fn pivot_rule(mut self, pivot_rule: PivotRule) -> Self {
+        self.opts.pivot_rule = pivot_rule;
+        self
+    }
+
+    /// Row/column equilibration before factorization.
+    pub fn equilibrate(mut self, equilibrate: bool) -> Self {
+        self.opts.equilibrate = equilibrate;
+        self
+    }
+
+    /// Dense kernel selection.
+    pub fn kernels(mut self, kernels: KernelChoice) -> Self {
+        self.opts.kernels = kernels;
+        self
+    }
+
+    /// Pivot-breakdown policy; `Perturb { eps }` requires a finite ε > 0.
+    pub fn breakdown(mut self, breakdown: BreakdownPolicy) -> Self {
+        self.opts.breakdown = breakdown;
+        self
+    }
+
+    /// Run budget (deadline, cancel token, watchdog).
+    pub fn budget(mut self, budget: RunBudget) -> Self {
+        self.opts.budget = budget;
+        self
+    }
+
+    /// Validates the accumulated settings, returning the [`Options`] or
+    /// [`LuError::InvalidOptions`] naming the first incoherent field.
+    pub fn build(self) -> Result<Options, LuError> {
+        let invalid = |message: String| Err(LuError::InvalidOptions { message });
+        let o = self.opts;
+        if o.threads == 0 {
+            return invalid("threads must be at least 1".into());
+        }
+        if o.front_threads == 0 {
+            return invalid("front_threads must be at least 1".into());
+        }
+        if !o.pivot_threshold.is_finite() || o.pivot_threshold < 0.0 {
+            return invalid(format!(
+                "pivot_threshold must be finite and non-negative, got {}",
+                o.pivot_threshold
+            ));
+        }
+        if let PivotRule::Threshold(tau) = o.pivot_rule {
+            if !tau.is_finite() || tau <= 0.0 || tau > 1.0 {
+                return invalid(format!("threshold pivoting needs 0 < tau <= 1, got {tau}"));
+            }
+        }
+        if let BreakdownPolicy::Perturb { eps } = o.breakdown {
+            if !eps.is_finite() || eps <= 0.0 {
+                return invalid(format!(
+                    "perturbation policy needs a finite eps > 0, got {eps}"
+                ));
+            }
+        }
+        Ok(o)
     }
 }
 
@@ -497,13 +631,17 @@ pub fn analyze_with(
     })
 }
 
-/// The one-stop factorization object.
+/// The one-stop factorization object — a thin wrapper over [`SluSession`]
+/// that adds equilibration, automatic refinement after pivot perturbation,
+/// and the one-shot `factor → solve` ergonomics. Callers that refactorize
+/// the same pattern repeatedly should hold an [`SluSession`] instead.
 pub struct SparseLu {
-    sym: SymbolicLu,
-    bm: BlockMatrix,
+    session: SluSession,
     equil: Option<splu_sparse::scaling::Equilibration>,
     /// Robustness report of the numeric phase (perturbed columns, growth,
     /// condition estimate); trivial unless the breakdown policy perturbed.
+    /// Own copy (not the session's) so the condition estimate below can be
+    /// attached after construction.
     health: FactorHealth,
     /// The original input, retained when the factorization perturbed
     /// pivots — [`Self::solve`] then refines against it automatically.
@@ -552,52 +690,18 @@ impl SparseLu {
                 .then(|| splu_sparse::scaling::equilibrate(a))
         };
         let work = equil.as_ref().map(|e| &e.scaled).unwrap_or(a);
-        let mut sreq = SymbolicRequest::from_options(opts);
-        if let Some(o) = obs {
-            sreq = sreq.observe(o.clone());
-        }
-        let sym = analyze_with(work.pattern(), opts, &sreq)?;
-        let permuted = sym.permute_matrix(work);
-        let (graph, bm) = {
-            let _p = obs.map(|o| o.phase("graph_build"));
-            let graph = sym.build_graph(opts.task_graph);
-            let bm = BlockMatrix::assemble(&permuted, &sym.block_structure);
-            (graph, bm)
+        let mut session = match obs {
+            Some(o) => SluSession::analyze_observed(work.pattern(), opts, o)?,
+            None => SluSession::analyze(work.pattern(), opts)?,
         };
-        let numeric_phase = obs.map(|o| o.phase("numeric"));
-        let mut nreq = NumericRequest::coarse(&graph, opts.mapping)
-            .threads(opts.threads)
-            .pivot_rule(opts.pivot_rule)
-            .pivot_threshold(opts.pivot_threshold)
-            .kernels(opts.kernels)
-            .breakdown(opts.breakdown)
-            .budget(opts.budget.clone());
-        if let Some(o) = obs {
-            nreq = nreq
-                .trace(o.executor_trace_config(graph.len(), opts.threads.max(1)))
-                .metrics(std::sync::Arc::clone(o.metrics()));
-        }
-        let report = factor_numeric_with(&bm, &nreq)?;
-        drop(numeric_phase);
-        if let Some(o) = obs {
-            let labels: Vec<String> = (0..graph.len())
-                .map(|t| match graph.task(t) {
-                    splu_sched::Task::Factor(k) => format!("F({k})"),
-                    splu_sched::Task::Update { src, dst } => format!("U({src},{dst})"),
-                })
-                .collect();
-            o.capture_numeric(
-                report.stats.clone(),
-                report.health.clone(),
-                report.trace.clone(),
-                labels,
-            );
+        match obs {
+            Some(o) => session.factor_observed(work, o)?,
+            None => session.factor(work)?,
         }
         let mut lu = SparseLu {
-            sym,
-            bm,
+            health: session.health().clone(),
+            session,
             equil,
-            health: report.health,
             refine_with: None,
         };
         if lu.health.is_perturbed() {
@@ -608,6 +712,66 @@ impl SparseLu {
             lu.refine_with = Some(a.clone());
         }
         Ok(lu)
+    }
+
+    /// The underlying persistent session. Note the session holds the
+    /// *equilibrated* matrix's factors when `opts.equilibrate` was set —
+    /// its raw solves then answer for `R·A·C`, not `A`; the wrapper's
+    /// solve methods apply the scales.
+    pub fn session(&self) -> &SluSession {
+        &self.session
+    }
+
+    fn sym(&self) -> &SymbolicLu {
+        self.session.symbolic()
+    }
+
+    fn bm(&self) -> &BlockMatrix {
+        self.session
+            .block_matrix()
+            .expect("a constructed SparseLu always holds factors")
+    }
+
+    fn check_len(&self, b: &[f64], nrhs: usize) -> Result<(), LuError> {
+        let expected = self.sym().stats.n * nrhs;
+        if b.len() != expected {
+            return Err(LuError::DimensionMismatch {
+                expected,
+                got: b.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Fallible [`Self::solve`]: rejects a wrong-length right-hand side
+    /// with [`LuError::DimensionMismatch`] instead of panicking.
+    pub fn try_solve(&self, b: &[f64]) -> Result<Vec<f64>, LuError> {
+        self.check_len(b, 1)?;
+        Ok(self.solve(b))
+    }
+
+    /// Fallible [`Self::solve_transposed`].
+    pub fn try_solve_transposed(&self, b: &[f64]) -> Result<Vec<f64>, LuError> {
+        self.check_len(b, 1)?;
+        Ok(self.solve_transposed(b))
+    }
+
+    /// Fallible [`Self::solve_many`].
+    pub fn try_solve_many(&self, b: &[f64], nrhs: usize) -> Result<Vec<f64>, LuError> {
+        self.check_len(b, nrhs)?;
+        Ok(self.solve_many(b, nrhs))
+    }
+
+    /// Fallible [`Self::solve_refined`].
+    pub fn try_solve_refined(
+        &self,
+        a: &CscMatrix,
+        b: &[f64],
+        tol: f64,
+        max_iters: usize,
+    ) -> Result<(Vec<f64>, usize), LuError> {
+        self.check_len(b, 1)?;
+        Ok(self.refine(a, b, tol, max_iters))
     }
 
     /// Solves `A x = b`. If the factorization perturbed pivots
@@ -634,9 +798,9 @@ impl SparseLu {
             }
             None => b,
         };
-        let mut y = self.sym.row_perm.apply_vec(rhs);
-        solve_permuted(&self.bm, &self.sym.block_structure, &mut y);
-        let x = self.sym.col_perm.apply_inverse_vec(&y);
+        let mut y = self.sym().row_perm.apply_vec(rhs);
+        solve_permuted(self.bm(), &self.sym().block_structure, &mut y);
+        let x = self.sym().col_perm.apply_inverse_vec(&y);
         match &self.equil {
             Some(eq) => eq.unscale_solution(&x),
             None => x,
@@ -654,9 +818,9 @@ impl SparseLu {
             }
             None => b,
         };
-        let mut y = self.sym.row_perm.apply_vec(rhs);
-        solve_permuted_parallel(&self.bm, &self.sym.block_structure, &mut y, nthreads);
-        let x = self.sym.col_perm.apply_inverse_vec(&y);
+        let mut y = self.sym().row_perm.apply_vec(rhs);
+        solve_permuted_parallel(self.bm(), &self.sym().block_structure, &mut y, nthreads);
+        let x = self.sym().col_perm.apply_inverse_vec(&y);
         match &self.equil {
             Some(eq) => eq.unscale_solution(&x),
             None => x,
@@ -679,9 +843,9 @@ impl SparseLu {
             }
             None => b,
         };
-        let mut y = self.sym.col_perm.apply_vec(rhs);
-        solve_transposed_permuted(&self.bm, &self.sym.block_structure, &mut y);
-        let x = self.sym.row_perm.apply_inverse_vec(&y);
+        let mut y = self.sym().col_perm.apply_vec(rhs);
+        solve_transposed_permuted(self.bm(), &self.sym().block_structure, &mut y);
+        let x = self.sym().row_perm.apply_inverse_vec(&y);
         match &self.equil {
             Some(eq) => x.iter().zip(&eq.row_scale).map(|(&v, &s)| v * s).collect(),
             None => x,
@@ -730,17 +894,17 @@ impl SparseLu {
 
     /// Analysis statistics.
     pub fn stats(&self) -> &Stats {
-        &self.sym.stats
+        &self.sym().stats
     }
 
     /// The symbolic analysis.
     pub fn symbolic(&self) -> &SymbolicLu {
-        &self.sym
+        self.sym()
     }
 
     /// Options used to build this factorization.
     pub fn options(&self) -> &Options {
-        &self.sym.opts
+        &self.sym().opts
     }
 
     /// Solves `A X = B` for `nrhs` right-hand sides stored column-major in
@@ -749,7 +913,7 @@ impl SparseLu {
     /// Walks the factors once, applying every elimination step to all
     /// right-hand sides with the BLAS-3 kernels.
     pub fn solve_many(&self, b: &[f64], nrhs: usize) -> Vec<f64> {
-        let n = self.sym.stats.n;
+        let n = self.sym().stats.n;
         assert_eq!(b.len(), n * nrhs, "rhs block size mismatch");
         // Permute (and scale) each column into factorization order.
         let mut work = Vec::with_capacity(b.len());
@@ -763,13 +927,13 @@ impl SparseLu {
                 }
                 None => col,
             };
-            work.extend(self.sym.row_perm.apply_vec(rhs));
+            work.extend(self.sym().row_perm.apply_vec(rhs));
         }
-        solve_many_permuted(&self.bm, &self.sym.block_structure, &mut work, nrhs);
+        solve_many_permuted(self.bm(), &self.sym().block_structure, &mut work, nrhs);
         let mut out = Vec::with_capacity(b.len());
         for r in 0..nrhs {
             let x = self
-                .sym
+                .sym()
                 .col_perm
                 .apply_inverse_vec(&work[r * n..(r + 1) * n]);
             match &self.equil {
@@ -786,11 +950,11 @@ impl SparseLu {
     /// parities of the analysis permutations; equilibration scales are
     /// divided back out.
     pub fn determinant(&self) -> (f64, f64) {
-        let (mut sign, mut ln_abs) = det_permuted(&self.bm, &self.sym.block_structure);
-        if !self.sym.row_perm.is_even() {
+        let (mut sign, mut ln_abs) = det_permuted(self.bm(), &self.sym().block_structure);
+        if !self.sym().row_perm.is_even() {
             sign = -sign;
         }
-        if !self.sym.col_perm.is_even() {
+        if !self.sym().col_perm.is_even() {
             sign = -sign;
         }
         if let Some(eq) = &self.equil {
@@ -805,13 +969,13 @@ impl SparseLu {
     /// backward-stability diagnostic for partial pivoting.
     pub fn growth(&self, a: &CscMatrix) -> f64 {
         let max_a = a.values().iter().fold(0.0_f64, |m, v| m.max(v.abs()));
-        growth_factor(&self.bm, max_a)
+        growth_factor(self.bm(), max_a)
     }
 
     /// Storage accounting of the factored block matrix.
     pub fn storage(&self) -> FactorStorage {
-        let words = self.bm.storage_words();
-        let structural = self.sym.stats.nnz_filled;
+        let words = self.bm().storage_words();
+        let structural = self.sym().stats.nnz_filled;
         FactorStorage {
             words,
             structural,

@@ -20,11 +20,11 @@
 //! at zero across the whole factorization (asserted by the test-suite).
 
 use crate::blocks::BlockMatrix;
-use crate::request::{factor_numeric_with, NumericRequest};
 use crate::LuError;
-use splu_dense::{lu_panel_with_policy, Dispatch, PanelBreakdown, PanelError, PivotRule};
+use splu_dense::{
+    lu_panel_with_policy_into, Dispatch, PanelBreakdown, PanelError, PanelOutcome, PivotRule,
+};
 use splu_obs::{Counter, MetricsRegistry};
-use splu_sched::{ExecReport, Mapping, TaskGraph, TraceConfig};
 
 /// Flops of a panel LU over an `m × w` stacked panel, exactly the cost
 /// model of `crate::costs::estimate_task_costs`:
@@ -81,12 +81,20 @@ pub fn factor_task_with_policy(
     let force_local = force_breakdown_at
         .filter(|&g| g >= start && g < start + width)
         .map(|g| g - start);
-    let out = lu_panel_with_policy(
+    // Recycle the column's previous pivot storage (if any): on a session
+    // refactorization the swap vector's capacity survives the reset, so the
+    // panel LU below performs no heap allocation.
+    let mut out = PanelOutcome {
+        pivots: col.pivots.take().unwrap_or_default(),
+        perturbed: Vec::new(),
+    };
+    lu_panel_with_policy_into(
         &mut col.panel,
         rule,
         pivot_threshold,
         breakdown,
         force_local,
+        &mut out,
     )
     .map_err(|e| match e {
         // Report the global column (in factorization order).
@@ -186,87 +194,6 @@ pub(crate) fn update_task_metered(
     }
 }
 
-/// Runs the whole factorization over a task graph with `nthreads` workers
-/// under the given mapping. On numerical breakdown the remaining tasks
-/// drain as no-ops and the first error is returned.
-#[deprecated(note = "build a NumericRequest and call factor_numeric_with")]
-pub fn factor_with_graph(
-    bm: &BlockMatrix,
-    graph: &TaskGraph,
-    nthreads: usize,
-    mapping: Mapping,
-    pivot_threshold: f64,
-) -> Result<(), LuError> {
-    factor_numeric_with(
-        bm,
-        &NumericRequest::coarse(graph, mapping)
-            .threads(nthreads)
-            .pivot_threshold(pivot_threshold),
-    )
-    .map(|_| ())
-}
-
-/// [`factor_with_graph`] with an explicit pivot-selection rule.
-#[deprecated(note = "build a NumericRequest and call factor_numeric_with")]
-pub fn factor_with_graph_rule(
-    bm: &BlockMatrix,
-    graph: &TaskGraph,
-    nthreads: usize,
-    mapping: Mapping,
-    rule: PivotRule,
-    pivot_threshold: f64,
-) -> Result<(), LuError> {
-    factor_numeric_with(
-        bm,
-        &NumericRequest::coarse(graph, mapping)
-            .threads(nthreads)
-            .pivot_rule(rule)
-            .pivot_threshold(pivot_threshold),
-    )
-    .map(|_| ())
-}
-
-/// [`factor_with_graph`] with scheduler telemetry: returns the executor's
-/// [`ExecReport`] alongside the factorization.
-#[deprecated(note = "build a NumericRequest and call factor_numeric_with")]
-pub fn factor_with_graph_traced(
-    bm: &BlockMatrix,
-    graph: &TaskGraph,
-    nthreads: usize,
-    mapping: Mapping,
-    pivot_threshold: f64,
-    config: &TraceConfig,
-) -> Result<ExecReport, LuError> {
-    factor_numeric_with(
-        bm,
-        &NumericRequest::coarse(graph, mapping)
-            .threads(nthreads)
-            .pivot_threshold(pivot_threshold)
-            .trace(*config),
-    )
-}
-
-/// [`factor_with_graph_traced`] with an explicit pivot-selection rule.
-#[deprecated(note = "build a NumericRequest and call factor_numeric_with")]
-pub fn factor_with_graph_rule_traced(
-    bm: &BlockMatrix,
-    graph: &TaskGraph,
-    nthreads: usize,
-    mapping: Mapping,
-    rule: PivotRule,
-    pivot_threshold: f64,
-    config: &TraceConfig,
-) -> Result<ExecReport, LuError> {
-    factor_numeric_with(
-        bm,
-        &NumericRequest::coarse(graph, mapping)
-            .threads(nthreads)
-            .pivot_rule(rule)
-            .pivot_threshold(pivot_threshold)
-            .trace(*config),
-    )
-}
-
 /// Sequential **left-looking** (fan-in) factorization: for each block
 /// column `j` in order, first apply every update `U(k, j)` with `k < j`
 /// (ascending — a topological order of both task graphs), then `Factor(j)`.
@@ -301,8 +228,9 @@ pub fn factor_left_looking(bm: &BlockMatrix, pivot_threshold: f64) -> Result<(),
 mod tests {
     use super::*;
     use crate::blocks::BlockMatrix;
+    use crate::request::{factor_numeric_with, NumericRequest};
     use splu_dense::{lu_full, lu_solve, DenseMat};
-    use splu_sched::build_eforest_graph;
+    use splu_sched::{build_eforest_graph, Mapping};
     use splu_sparse::CscMatrix;
     use splu_symbolic::fixtures::fig1_matrix;
     use splu_symbolic::static_fact::static_symbolic_factorization;

@@ -17,11 +17,8 @@
 //! production 2D build would shard the locks per block.
 
 use crate::blocks::BlockMatrix;
-use crate::request::{factor_numeric_with, NumericRequest};
-use crate::LuError;
 use splu_dense::Dispatch;
 use splu_obs::{Counter, MetricsRegistry};
-use splu_sched::{ExecReport, FineGraph, TraceConfig};
 
 /// Applies `Factor(src)`'s pivot interchanges to block column `dst`.
 pub fn apply_task(bm: &BlockMatrix, src: usize, dst: usize) {
@@ -130,48 +127,12 @@ pub(crate) fn gemm_task_metered(
     }
 }
 
-/// Runs the numerical factorization over a fine-grained task graph with
-/// `nthreads` workers (single shared priority pool). On breakdown the
-/// remaining tasks drain as no-ops and the first error is returned.
-#[deprecated(note = "build a NumericRequest::fine and call factor_numeric_with")]
-pub fn factor_with_fine_graph(
-    bm: &BlockMatrix,
-    fg: &FineGraph,
-    nthreads: usize,
-    pivot_threshold: f64,
-) -> Result<(), LuError> {
-    factor_numeric_with(
-        bm,
-        &NumericRequest::fine(fg)
-            .threads(nthreads)
-            .pivot_threshold(pivot_threshold),
-    )
-    .map(|_| ())
-}
-
-/// [`factor_with_fine_graph`] with scheduler telemetry, returning the
-/// executor's [`ExecReport`] with the zero-copy counter filled in.
-#[deprecated(note = "build a NumericRequest::fine and call factor_numeric_with")]
-pub fn factor_with_fine_graph_traced(
-    bm: &BlockMatrix,
-    fg: &FineGraph,
-    nthreads: usize,
-    pivot_threshold: f64,
-    config: &TraceConfig,
-) -> Result<ExecReport, LuError> {
-    factor_numeric_with(
-        bm,
-        &NumericRequest::fine(fg)
-            .threads(nthreads)
-            .pivot_threshold(pivot_threshold)
-            .trace(*config),
-    )
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::request::{factor_numeric_with, NumericRequest};
     use crate::solve::solve_permuted;
+    use crate::LuError;
     use splu_sched::{block_forest, build_eforest_graph, build_fine_graph, Mapping};
     use splu_sparse::{relative_residual, CscMatrix};
     use splu_symbolic::static_fact::static_symbolic_factorization;

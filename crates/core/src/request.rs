@@ -7,10 +7,10 @@
 //! (`factor_with_graph`, `factor_with_graph_rule`, `…_traced`,
 //! `factor_with_fine_graph`, …): six functions whose signatures drifted
 //! apart — the fine-grained path, for instance, could not select a pivot
-//! rule. The request struct collapses them: new parameters (like
-//! [`KernelChoice`] for the SIMD kernel layer) become fields with defaults
-//! instead of new functions, and the old names survive as thin deprecated
-//! shims.
+//! rule. The request struct collapsed them, their deprecated shims have
+//! since been retired, and new parameters (like [`KernelChoice`] for the
+//! SIMD kernel layer, or the cached [`ExecSchedule`] a solver session
+//! replays) become fields with defaults instead of new functions.
 //!
 //! The kernel choice resolves to one [`Dispatch`] table **once per
 //! factorization** (CPU feature probing included), and that table threads
@@ -28,7 +28,8 @@ use parking_lot::Mutex;
 use splu_dense::{Dispatch, KernelChoice, PanelBreakdown, PivotRule};
 use splu_obs::{Counter, MetricsRegistry};
 use splu_sched::{
-    execute_dag_report_budgeted, execute_traced_budgeted, CancelToken, ExecReport, FineGraph,
+    execute_dag_report_budgeted, execute_seq_budgeted, execute_traced_budgeted,
+    execute_traced_budgeted_with_priorities, CancelToken, ExecReport, ExecSchedule, FineGraph,
     FineTask, Interrupt, Mapping, RunBudget, Task, TaskGraph, TraceConfig,
 };
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -110,6 +111,14 @@ pub struct NumericRequest<'g> {
     /// column total lands in [`splu_obs::Counter::PerturbedColumns`].
     /// `None` (the default) skips all counting.
     pub metrics: Option<Arc<MetricsRegistry>>,
+    /// Cached executor schedule for the **coarse** graph (a session computes
+    /// it once per analysis with [`ExecSchedule::for_graph`]). With a
+    /// schedule attached, parallel runs skip the per-run bottom-level
+    /// recomputation, and an untraced single-threaded run without a watchdog
+    /// replays the precomputed order **inline with zero heap allocation**
+    /// ([`execute_seq_budgeted`]) — the session `refactor` hot path. The
+    /// factors are bitwise identical either way. Ignored by the fine graph.
+    pub schedule: Option<Arc<ExecSchedule>>,
 }
 
 impl<'g> NumericRequest<'g> {
@@ -136,6 +145,7 @@ impl<'g> NumericRequest<'g> {
             breakdown: BreakdownPolicy::Error,
             budget: RunBudget::default(),
             metrics: None,
+            schedule: None,
         }
     }
 
@@ -186,6 +196,12 @@ impl<'g> NumericRequest<'g> {
         self.metrics = Some(registry);
         self
     }
+
+    /// Attaches a cached executor schedule (see the field docs).
+    pub fn schedule(mut self, schedule: Arc<ExecSchedule>) -> Self {
+        self.schedule = Some(schedule);
+        self
+    }
 }
 
 /// Runs one numeric factorization described by `req` over the assembled
@@ -210,11 +226,23 @@ pub fn factor_numeric_with(
     req: &NumericRequest<'_>,
 ) -> Result<ExecReport, LuError> {
     let dispatch = Dispatch::resolve(req.kernels);
+    // The inline sequential replay: a cached schedule, one worker, no
+    // tracing, no watchdog. Allocation-free, so the internal-token fixup
+    // below (which allocates) is skipped for it — the inline executor
+    // handles the deadline itself.
+    let inline_seq = req.schedule.is_some()
+        && req.threads <= 1
+        && !req.trace.is_on()
+        && req.budget.watchdog.is_none()
+        && matches!(req.graph, GraphRef::Coarse { .. });
     // Effective budget: a deadline or watchdog without a caller token gets
     // an internal one, so a budget trip can release cooperative waiters
     // (e.g. the stall failpoint) that poll the token.
     let mut budget = req.budget.clone();
-    if budget.token.is_none() && (budget.deadline.is_some() || budget.watchdog.is_some()) {
+    if !inline_seq
+        && budget.token.is_none()
+        && (budget.deadline.is_some() || budget.watchdog.is_some())
+    {
         budget.token = Some(CancelToken::new());
     }
     let failed = AtomicBool::new(false);
@@ -274,11 +302,8 @@ pub fn factor_numeric_with(
         }
     };
     let mut report = match req.graph {
-        GraphRef::Coarse { graph, mapping } => execute_traced_budgeted(
-            graph,
-            req.threads,
-            mapping,
-            |task| {
+        GraphRef::Coarse { graph, mapping } => {
+            let runner = |task: Task| {
                 if failed.load(Ordering::Acquire) {
                     return;
                 }
@@ -288,10 +313,30 @@ pub fn factor_numeric_with(
                         update_task_metered(bm, src, dst, &dispatch, metrics)
                     }
                 }
-            },
-            &req.trace,
-            &budget,
-        ),
+            };
+            match &req.schedule {
+                Some(schedule) if inline_seq => {
+                    execute_seq_budgeted(graph, schedule, runner, &budget)
+                }
+                Some(schedule) => execute_traced_budgeted_with_priorities(
+                    graph,
+                    schedule,
+                    req.threads,
+                    mapping,
+                    runner,
+                    &req.trace,
+                    &budget,
+                ),
+                None => execute_traced_budgeted(
+                    graph,
+                    req.threads,
+                    mapping,
+                    runner,
+                    &req.trace,
+                    &budget,
+                ),
+            }
+        }
         GraphRef::Fine(fg) => execute_dag_report_budgeted(
             fg.len(),
             fg.pred_counts(),

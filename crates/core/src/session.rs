@@ -1,0 +1,650 @@
+//! Persistent solver sessions: analyze once, factor and refactor many
+//! times (the HYLU-style analyze / factor / re-factor split).
+//!
+//! The paper's premise is that the symbolic work — ordering, static
+//! George–Ng fill, eforest postordering, supernode partition, task graph —
+//! depends only on the sparsity pattern, while device- and
+//! circuit-simulation workloads change the numeric *values* every step. A
+//! [`SluSession`] caches all of the symbolic state (keyed by a pattern
+//! hash, [`pattern_hash`]) plus the executor schedule, and exposes:
+//!
+//! * [`SluSession::analyze`] — the symbolic half, run once per pattern;
+//! * [`SluSession::factor`] — numeric-only: assembles block storage for the
+//!   given values and factors over the cached graph (no symbolic phases);
+//! * [`SluSession::refactor`] — the hot path: additionally reuses the
+//!   already-allocated panel-major storage and the cached scatter map, so
+//!   with one thread, tracing off, and no watchdog it performs **zero heap
+//!   allocation** (asserted under the `alloc-track` counting allocator);
+//! * [`SluSession::solve`] / [`SluSession::try_solve`] /
+//!   [`SluSession::solve_refined`] — operate on the latest factors.
+//!
+//! Values whose pattern hash disagrees with the analyzed one are rejected
+//! with [`LuError::PatternMismatch`]; a solve before the first successful
+//! factorization returns [`LuError::NotFactored`]. The refactorization is
+//! **bitwise identical** to a fresh factorization of the same values —
+//! same task bodies, same acquisition order (the cached
+//! [`ExecSchedule`] replays the one-worker priority executor exactly, and
+//! the parallel path reuses only the per-task priorities) — which the
+//! session invariance suite asserts across thread counts and mappings.
+//!
+//! Equilibration is a *values* transformation, so the session itself
+//! ignores [`Options::equilibrate`]; [`crate::SparseLu`] (a thin wrapper
+//! over this API) scales the values before handing them to the session.
+
+use crate::blocks::BlockMatrix;
+use crate::observe::ObsSession;
+use crate::request::{factor_numeric_with, NumericRequest};
+use crate::solve::{solve_many_permuted, solve_permuted, solve_transposed_permuted};
+use crate::{analyze_with, LuError, Options, Stats, SymbolicLu, SymbolicRequest};
+use splu_sched::{ExecSchedule, FactorHealth, RunBudget, TaskGraph};
+use splu_sparse::{CscMatrix, SparsityPattern};
+use std::sync::Arc;
+
+/// FNV-1a hash of a sparsity pattern (dimensions, column pointers, row
+/// indices) — the session cache key. Two matrices share a hash exactly when
+/// they share the structure the symbolic phases consume, so cached
+/// orderings, fill, supernodes, and task graphs apply to either.
+pub fn pattern_hash(pattern: &SparsityPattern) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    #[inline]
+    fn eat(h: &mut u64, x: u64) {
+        for b in x.to_le_bytes() {
+            *h = (*h ^ b as u64).wrapping_mul(PRIME);
+        }
+    }
+    let mut h = OFFSET;
+    eat(&mut h, pattern.nrows() as u64);
+    eat(&mut h, pattern.ncols() as u64);
+    for &p in pattern.col_ptr() {
+        eat(&mut h, p as u64);
+    }
+    for &i in pattern.row_indices() {
+        eat(&mut h, i as u64);
+    }
+    h
+}
+
+/// Where the `t`-th nonzero of the (original-order) input lands inside the
+/// block storage — precomputed once so a refactorization scatters values
+/// with plain indexed stores, no permutation lookups and no allocation.
+#[derive(Debug, Clone, Copy)]
+struct ScatterEntry {
+    /// Destination block column.
+    jb: u32,
+    /// Index into the column's `ublocks`, or `u32::MAX` for the panel.
+    ublock: u32,
+    /// Column-major flat index inside that dense storage.
+    flat: u32,
+}
+
+const SCATTER_PANEL: u32 = u32::MAX;
+
+/// A persistent solver session: cached symbolic analysis + task graph +
+/// executor schedule for one sparsity pattern, with reusable numeric
+/// storage. See the [module docs](self) for the lifecycle.
+pub struct SluSession {
+    sym: SymbolicLu,
+    graph: TaskGraph,
+    schedule: Arc<ExecSchedule>,
+    pattern_hash: u64,
+    bm: Option<BlockMatrix>,
+    scatter: Vec<ScatterEntry>,
+    health: FactorHealth,
+    factored: bool,
+    budget: RunBudget,
+}
+
+impl SluSession {
+    /// Runs the full symbolic analysis for `pattern` and caches everything
+    /// the numeric phase needs: permutations, filled structure, supernode
+    /// partition, the task graph of `opts.task_graph`, and its executor
+    /// schedule. No numeric storage is allocated yet.
+    pub fn analyze(pattern: &SparsityPattern, opts: &Options) -> Result<SluSession, LuError> {
+        Self::analyze_inner(pattern, opts, None)
+    }
+
+    /// [`Self::analyze`] under an observability session: the symbolic
+    /// phases record spans and counters exactly as
+    /// [`crate::SparseLu::factor_observed`] does.
+    pub fn analyze_observed(
+        pattern: &SparsityPattern,
+        opts: &Options,
+        session: &ObsSession,
+    ) -> Result<SluSession, LuError> {
+        Self::analyze_inner(pattern, opts, Some(session))
+    }
+
+    fn analyze_inner(
+        pattern: &SparsityPattern,
+        opts: &Options,
+        obs: Option<&ObsSession>,
+    ) -> Result<SluSession, LuError> {
+        let mut sreq = SymbolicRequest::from_options(opts);
+        if let Some(o) = obs {
+            sreq = sreq.observe(o.clone());
+        }
+        let sym = analyze_with(pattern, opts, &sreq)?;
+        let (graph, schedule) = {
+            let _p = obs.map(|o| o.phase("graph_build"));
+            let graph = sym.build_graph(opts.task_graph);
+            let schedule = Arc::new(ExecSchedule::for_graph(&graph));
+            (graph, schedule)
+        };
+        Ok(SluSession {
+            budget: opts.budget.clone(),
+            sym,
+            graph,
+            schedule,
+            pattern_hash: pattern_hash(pattern),
+            bm: None,
+            scatter: Vec::new(),
+            health: FactorHealth::default(),
+            factored: false,
+        })
+    }
+
+    /// The cache key: the FNV-1a hash of the analyzed pattern.
+    pub fn pattern_hash(&self) -> u64 {
+        self.pattern_hash
+    }
+
+    /// Numeric-only factorization of `a` (original order, same pattern as
+    /// analyzed): assembles fresh block storage and factors over the cached
+    /// graph. No symbolic phase runs. Use [`Self::refactor`] to also reuse
+    /// the storage of a previous factorization.
+    pub fn factor(&mut self, a: &CscMatrix) -> Result<(), LuError> {
+        self.factor_inner(a, None)
+    }
+
+    /// [`Self::factor`] under an observability session (numeric span,
+    /// kernel counters, executor report).
+    pub fn factor_observed(&mut self, a: &CscMatrix, obs: &ObsSession) -> Result<(), LuError> {
+        self.factor_inner(a, Some(obs))
+    }
+
+    /// Refactorizes with new values: resets the existing panel-major
+    /// storage in place, scatters `a`'s values through the cached scatter
+    /// map, and re-runs the numeric phase over the cached graph and
+    /// schedule. With `threads <= 1`, tracing off, and no watchdog the
+    /// whole path performs **zero heap allocation**; the result is bitwise
+    /// identical to [`Self::factor`] of the same values. Before the first
+    /// [`Self::factor`] this simply *is* a factor call (storage must be
+    /// allocated once).
+    pub fn refactor(&mut self, a: &CscMatrix) -> Result<(), LuError> {
+        self.refactor_inner(a, None)
+    }
+
+    /// [`Self::refactor`] under an observability session. Tracing takes
+    /// the observed (allocating) executor path; phase walls still show
+    /// symbolic time exactly zero.
+    pub fn refactor_observed(&mut self, a: &CscMatrix, obs: &ObsSession) -> Result<(), LuError> {
+        self.refactor_inner(a, Some(obs))
+    }
+
+    fn factor_inner(&mut self, a: &CscMatrix, obs: Option<&ObsSession>) -> Result<(), LuError> {
+        self.check_values(a)?;
+        let (bm, scatter) = {
+            let _p = obs.map(|o| o.phase("graph_build"));
+            let permuted = self.sym.permute_matrix(a);
+            let bm = BlockMatrix::assemble(&permuted, &self.sym.block_structure);
+            let scatter = Self::build_scatter(&self.sym, a, &bm);
+            (bm, scatter)
+        };
+        self.bm = Some(bm);
+        self.scatter = scatter;
+        self.run_numeric(obs)
+    }
+
+    fn refactor_inner(&mut self, a: &CscMatrix, obs: Option<&ObsSession>) -> Result<(), LuError> {
+        if self.bm.is_none() {
+            return self.factor_inner(a, obs);
+        }
+        self.check_values(a)?;
+        {
+            let bm = self.bm.as_mut().expect("storage checked above");
+            bm.reset_values();
+            let values = a.values();
+            debug_assert_eq!(values.len(), self.scatter.len());
+            for (e, &v) in self.scatter.iter().zip(values) {
+                let col = bm.column_mut(e.jb as usize);
+                let dst = if e.ublock == SCATTER_PANEL {
+                    col.panel.data_mut()
+                } else {
+                    col.ublocks[e.ublock as usize].data_mut()
+                };
+                dst[e.flat as usize] = v;
+            }
+        }
+        self.run_numeric(obs)
+    }
+
+    /// Rejects values the session cannot factor: a pattern whose hash
+    /// disagrees with the analyzed one, or non-finite entries (checked
+    /// before the parallel phase can propagate them silently). Allocates
+    /// nothing on the accepting path.
+    fn check_values(&self, a: &CscMatrix) -> Result<(), LuError> {
+        let got = pattern_hash(a.pattern());
+        if got != self.pattern_hash {
+            return Err(LuError::PatternMismatch {
+                expected: self.pattern_hash,
+                got,
+            });
+        }
+        if a.values().iter().any(|v| !v.is_finite()) {
+            // Cold path: walk the triplets to name the offending column.
+            for (_, j, v) in a.triplets() {
+                if !v.is_finite() {
+                    return Err(LuError::NonFiniteInput { column: j });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Precomputes, for each nonzero of the original-order input (in
+    /// `values()` order), its destination inside the block storage.
+    fn build_scatter(sym: &SymbolicLu, a: &CscMatrix, bm: &BlockMatrix) -> Vec<ScatterEntry> {
+        let part = &sym.block_structure.partition;
+        let block_of = part.block_of_cols();
+        let mut scatter = Vec::with_capacity(a.nnz());
+        for (i, j, _) in a.triplets() {
+            let ni = sym.row_perm.new_of(i);
+            let nj = sym.col_perm.new_of(j);
+            let (ib, jb) = (block_of[ni], block_of[nj]);
+            let li = ni - part.range(ib).start;
+            let lj = nj - part.range(jb).start;
+            let col = bm.column(jb).read();
+            let pos = col
+                .find(ib)
+                .expect("original entry outside the filled block structure");
+            let (ublock, flat) = if pos < col.u_count() {
+                let nrows = col.ublocks[pos].nrows();
+                (pos as u32, (lj * nrows + li) as u32)
+            } else {
+                let t = pos - col.u_count();
+                let nrows = col.panel.nrows();
+                (SCATTER_PANEL, (lj * nrows + col.l_offsets[t] + li) as u32)
+            };
+            scatter.push(ScatterEntry {
+                jb: jb as u32,
+                ublock,
+                flat,
+            });
+        }
+        scatter
+    }
+
+    fn run_numeric(&mut self, obs: Option<&ObsSession>) -> Result<(), LuError> {
+        self.factored = false;
+        let bm = self.bm.as_ref().expect("storage assembled by the caller");
+        let opts = &self.sym.opts;
+        let numeric_phase = obs.map(|o| o.phase("numeric"));
+        let mut nreq = NumericRequest::coarse(&self.graph, opts.mapping)
+            .threads(opts.threads)
+            .pivot_rule(opts.pivot_rule)
+            .pivot_threshold(opts.pivot_threshold)
+            .kernels(opts.kernels)
+            .breakdown(opts.breakdown)
+            .budget(self.budget.clone())
+            .schedule(Arc::clone(&self.schedule));
+        if let Some(o) = obs {
+            nreq = nreq
+                .trace(o.executor_trace_config(self.graph.len(), opts.threads.max(1)))
+                .metrics(Arc::clone(o.metrics()));
+        }
+        let report = factor_numeric_with(bm, &nreq)?;
+        drop(numeric_phase);
+        if let Some(o) = obs {
+            let labels: Vec<String> = (0..self.graph.len())
+                .map(|t| match self.graph.task(t) {
+                    splu_sched::Task::Factor(k) => format!("F({k})"),
+                    splu_sched::Task::Update { src, dst } => format!("U({src},{dst})"),
+                })
+                .collect();
+            o.capture_numeric(
+                report.stats.clone(),
+                report.health.clone(),
+                report.trace.clone(),
+                labels,
+            );
+        }
+        self.health = report.health;
+        self.factored = true;
+        Ok(())
+    }
+
+    /// The factored storage, or [`LuError::NotFactored`] before the first
+    /// successful factorization (or after an interrupted one).
+    fn factors(&self) -> Result<&BlockMatrix, LuError> {
+        if !self.factored {
+            return Err(LuError::NotFactored);
+        }
+        self.bm.as_ref().ok_or(LuError::NotFactored)
+    }
+
+    /// Solves `A x = b` through the latest factors, or an error when the
+    /// session holds no factors ([`LuError::NotFactored`]) or `b` has the
+    /// wrong length ([`LuError::DimensionMismatch`]).
+    pub fn try_solve(&self, b: &[f64]) -> Result<Vec<f64>, LuError> {
+        let bm = self.factors()?;
+        self.check_len(b, 1)?;
+        let mut y = self.sym.row_perm.apply_vec(b);
+        solve_permuted(bm, &self.sym.block_structure, &mut y);
+        Ok(self.sym.col_perm.apply_inverse_vec(&y))
+    }
+
+    /// Solves `Aᵀ x = b` (fallible form).
+    pub fn try_solve_transposed(&self, b: &[f64]) -> Result<Vec<f64>, LuError> {
+        let bm = self.factors()?;
+        self.check_len(b, 1)?;
+        let mut y = self.sym.col_perm.apply_vec(b);
+        solve_transposed_permuted(bm, &self.sym.block_structure, &mut y);
+        Ok(self.sym.row_perm.apply_inverse_vec(&y))
+    }
+
+    /// Solves `A X = B` for `nrhs` column-major right-hand sides (fallible
+    /// form; see [`crate::SparseLu::solve_many`] for the layout).
+    pub fn try_solve_many(&self, b: &[f64], nrhs: usize) -> Result<Vec<f64>, LuError> {
+        let bm = self.factors()?;
+        self.check_len(b, nrhs)?;
+        let n = self.sym.stats.n;
+        let mut work = Vec::with_capacity(b.len());
+        for r in 0..nrhs {
+            work.extend(self.sym.row_perm.apply_vec(&b[r * n..(r + 1) * n]));
+        }
+        solve_many_permuted(bm, &self.sym.block_structure, &mut work, nrhs);
+        let mut out = Vec::with_capacity(b.len());
+        for r in 0..nrhs {
+            out.extend(
+                self.sym
+                    .col_perm
+                    .apply_inverse_vec(&work[r * n..(r + 1) * n]),
+            );
+        }
+        Ok(out)
+    }
+
+    /// Solves `A x = b`, panicking on a dimension mismatch or a session
+    /// with no factors — the infallible convenience form of
+    /// [`Self::try_solve`].
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        self.try_solve(b).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Solves `A x = b` with iterative refinement against `a` (normally
+    /// the matrix the latest factorization consumed): repeat
+    /// `x ← x + A⁻¹(b − A x)` until the scaled residual drops below `tol`
+    /// or `max_iters` steps have run. Returns the solution and the number
+    /// of refinement steps.
+    pub fn solve_refined(
+        &self,
+        a: &CscMatrix,
+        b: &[f64],
+        tol: f64,
+        max_iters: usize,
+    ) -> Result<(Vec<f64>, usize), LuError> {
+        let mut x = self.try_solve(b)?;
+        for it in 0..max_iters {
+            if splu_sparse::relative_residual(a, &x, b) <= tol {
+                return Ok((x, it));
+            }
+            let mut r = b.to_vec();
+            a.mat_vec_sub(&x, &mut r);
+            let dx = self.try_solve(&r)?;
+            for (xi, di) in x.iter_mut().zip(&dx) {
+                *xi += di;
+            }
+        }
+        Ok((x, max_iters))
+    }
+
+    fn check_len(&self, b: &[f64], nrhs: usize) -> Result<(), LuError> {
+        let expected = self.sym.stats.n * nrhs;
+        if b.len() != expected {
+            return Err(LuError::DimensionMismatch {
+                expected,
+                got: b.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Replaces the per-factorization run budget (deadline, cancel token,
+    /// watchdog). The session starts with `opts.budget` from analysis.
+    pub fn set_budget(&mut self, budget: RunBudget) {
+        self.budget = budget;
+    }
+
+    /// `true` once a factorization has completed (and not been
+    /// interrupted since).
+    pub fn is_factored(&self) -> bool {
+        self.factored
+    }
+
+    /// The cached symbolic analysis.
+    pub fn symbolic(&self) -> &SymbolicLu {
+        &self.sym
+    }
+
+    /// Analysis statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.sym.stats
+    }
+
+    /// Options the session was analyzed with.
+    pub fn options(&self) -> &Options {
+        &self.sym.opts
+    }
+
+    /// The cached task graph.
+    pub fn graph(&self) -> &TaskGraph {
+        &self.graph
+    }
+
+    /// The cached executor schedule (shared with every factorization).
+    pub fn schedule(&self) -> &Arc<ExecSchedule> {
+        &self.schedule
+    }
+
+    /// The numeric phase's robustness report for the latest factorization.
+    pub fn health(&self) -> &FactorHealth {
+        &self.health
+    }
+
+    /// The block storage of the latest factorization (`None` before the
+    /// first factor call).
+    pub fn block_matrix(&self) -> Option<&BlockMatrix> {
+        self.bm.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splu_sparse::relative_residual;
+
+    fn random_matrix(n: usize, extra: usize, seed: u64) -> CscMatrix {
+        splu_matgen::random_diag_dominant(n, extra, seed, 4.0)
+    }
+
+    /// New values with the same pattern as `a`, deterministically reshuffled.
+    fn revalue(a: &CscMatrix, salt: u64) -> CscMatrix {
+        let mut b = a.clone();
+        for (t, v) in b.values_mut().iter_mut().enumerate() {
+            let wig = (((t as u64).wrapping_mul(salt * 2 + 1) % 97) as f64) / 97.0;
+            *v += 0.25 * (wig - 0.5) * (1.0 + v.abs());
+        }
+        b
+    }
+
+    fn assert_same_factors(x: &BlockMatrix, y: &BlockMatrix, what: &str) {
+        assert_eq!(x.num_block_cols(), y.num_block_cols());
+        for k in 0..x.num_block_cols() {
+            let cx = x.column(k).read();
+            let cy = y.column(k).read();
+            assert_eq!(cx.pivots, cy.pivots, "{what}: pivots differ at {k}");
+            assert_eq!(
+                cx.panel.data(),
+                cy.panel.data(),
+                "{what}: panel differs at {k}"
+            );
+            for (bx, by) in cx.ublocks.iter().zip(&cy.ublocks) {
+                assert_eq!(bx.data(), by.data(), "{what}: U differs at {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_hash_is_structure_sensitive_and_value_blind() {
+        let a = random_matrix(25, 70, 3);
+        let b = revalue(&a, 5);
+        assert_eq!(pattern_hash(a.pattern()), pattern_hash(b.pattern()));
+        let c = random_matrix(25, 71, 4);
+        assert_ne!(pattern_hash(a.pattern()), pattern_hash(c.pattern()));
+        let d = random_matrix(26, 70, 3);
+        assert_ne!(pattern_hash(a.pattern()), pattern_hash(d.pattern()));
+    }
+
+    #[test]
+    fn analyze_factor_solve_roundtrip() {
+        let a = random_matrix(40, 120, 11);
+        let mut s = SluSession::analyze(a.pattern(), &Options::default()).unwrap();
+        assert!(!s.is_factored());
+        assert!(s.block_matrix().is_none());
+        s.factor(&a).unwrap();
+        assert!(s.is_factored());
+        let b: Vec<f64> = (0..40).map(|i| (i as f64 * 0.37).sin()).collect();
+        let x = s.try_solve(&b).unwrap();
+        assert!(relative_residual(&a, &x, &b) < 1e-10);
+    }
+
+    #[test]
+    fn refactor_is_bitwise_identical_to_fresh_factor() {
+        let a = random_matrix(45, 140, 21);
+        let a2 = revalue(&a, 9);
+        let mut s = SluSession::analyze(a.pattern(), &Options::default()).unwrap();
+        s.factor(&a).unwrap();
+        s.refactor(&a2).unwrap();
+        let mut fresh = SluSession::analyze(a.pattern(), &Options::default()).unwrap();
+        fresh.factor(&a2).unwrap();
+        assert_same_factors(
+            s.block_matrix().unwrap(),
+            fresh.block_matrix().unwrap(),
+            "refactor vs fresh",
+        );
+    }
+
+    #[test]
+    fn refactor_before_factor_allocates_and_works() {
+        let a = random_matrix(30, 90, 7);
+        let mut s = SluSession::analyze(a.pattern(), &Options::default()).unwrap();
+        s.refactor(&a).unwrap();
+        let b: Vec<f64> = (0..30).map(|i| i as f64 - 14.0).collect();
+        let x = s.try_solve(&b).unwrap();
+        assert!(relative_residual(&a, &x, &b) < 1e-10);
+    }
+
+    #[test]
+    fn pattern_mismatch_is_rejected_structurally() {
+        let a = random_matrix(30, 90, 2);
+        let other = random_matrix(30, 91, 3);
+        let mut s = SluSession::analyze(a.pattern(), &Options::default()).unwrap();
+        match s.factor(&other) {
+            Err(LuError::PatternMismatch { expected, got }) => {
+                assert_eq!(expected, s.pattern_hash());
+                assert_eq!(got, pattern_hash(other.pattern()));
+            }
+            other => panic!("expected PatternMismatch, got {other:?}"),
+        }
+        // The session is still usable with the right pattern.
+        s.factor(&a).unwrap();
+        assert!(s.is_factored());
+    }
+
+    #[test]
+    fn solve_before_factor_is_structured() {
+        let a = random_matrix(20, 50, 5);
+        let s = SluSession::analyze(a.pattern(), &Options::default()).unwrap();
+        let b = vec![1.0; 20];
+        assert!(matches!(s.try_solve(&b), Err(LuError::NotFactored)));
+        assert!(matches!(
+            s.try_solve_transposed(&b),
+            Err(LuError::NotFactored)
+        ));
+        assert!(matches!(s.try_solve_many(&b, 1), Err(LuError::NotFactored)));
+    }
+
+    #[test]
+    fn wrong_length_rhs_is_structured() {
+        let a = random_matrix(20, 50, 6);
+        let mut s = SluSession::analyze(a.pattern(), &Options::default()).unwrap();
+        s.factor(&a).unwrap();
+        let short = vec![1.0; 19];
+        match s.try_solve(&short) {
+            Err(LuError::DimensionMismatch { expected, got }) => {
+                assert_eq!(expected, 20);
+                assert_eq!(got, 19);
+            }
+            other => panic!("expected DimensionMismatch, got {other:?}"),
+        }
+        assert!(matches!(
+            s.try_solve_many(&vec![0.0; 41], 2),
+            Err(LuError::DimensionMismatch {
+                expected: 40,
+                got: 41
+            })
+        ));
+    }
+
+    #[test]
+    fn non_finite_values_rejected_with_column() {
+        let a = random_matrix(15, 40, 8);
+        let mut bad = a.clone();
+        let last = bad.values().len() - 1;
+        bad.values_mut()[last] = f64::NAN;
+        let mut s = SluSession::analyze(a.pattern(), &Options::default()).unwrap();
+        assert!(matches!(
+            s.factor(&bad),
+            Err(LuError::NonFiniteInput { .. })
+        ));
+    }
+
+    #[test]
+    fn solve_refined_tightens_and_counts() {
+        let a = random_matrix(40, 120, 13);
+        let mut s = SluSession::analyze(a.pattern(), &Options::default()).unwrap();
+        s.factor(&a).unwrap();
+        let b: Vec<f64> = (0..40).map(|i| ((i * 7) % 11) as f64 - 5.0).collect();
+        let (x, iters) = s.solve_refined(&a, &b, 1e-15, 4).unwrap();
+        assert!(iters <= 4);
+        assert!(relative_residual(&a, &x, &b) < 1e-13);
+    }
+
+    #[test]
+    fn refactor_matches_across_threads_and_mappings() {
+        use splu_sched::Mapping;
+        let a = random_matrix(50, 170, 33);
+        let a2 = revalue(&a, 17);
+        // Reference: fresh one-thread factor of a2.
+        let mut reference = SluSession::analyze(a.pattern(), &Options::default()).unwrap();
+        reference.factor(&a2).unwrap();
+        for threads in [1usize, 2, 4] {
+            for mapping in [Mapping::Static1D, Mapping::Dynamic] {
+                let opts = Options {
+                    threads,
+                    mapping,
+                    ..Options::default()
+                };
+                let mut s = SluSession::analyze(a.pattern(), &opts).unwrap();
+                s.factor(&a).unwrap();
+                s.refactor(&a2).unwrap();
+                assert_same_factors(
+                    s.block_matrix().unwrap(),
+                    reference.block_matrix().unwrap(),
+                    &format!("threads={threads} {mapping:?}"),
+                );
+            }
+        }
+    }
+}

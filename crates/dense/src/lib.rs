@@ -41,8 +41,8 @@ pub use kernels::{
     Dispatch, KernelChoice,
 };
 pub use lu::{
-    apply_row_swaps, lu_full, lu_panel, lu_panel_with_policy, lu_panel_with_rule, lu_solve,
-    PanelBreakdown, PanelError, PanelOutcome, PivotRule, Pivots,
+    apply_row_swaps, lu_full, lu_panel, lu_panel_with_policy, lu_panel_with_policy_into,
+    lu_panel_with_rule, lu_solve, PanelBreakdown, PanelError, PanelOutcome, PivotRule, Pivots,
 };
 pub use mat::DenseMat;
 pub use view::{MatMut, MatRef};

@@ -7,7 +7,7 @@ use crate::DenseMat;
 ///
 /// Indices are **local to the panel** that produced them; the sparse driver
 /// translates them to candidate-row positions of the block column.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Pivots {
     swaps: Vec<usize>,
 }
@@ -18,6 +18,12 @@ impl Pivots {
         Pivots {
             swaps: (0..w).collect(),
         }
+    }
+
+    /// Drops the recorded steps but keeps the backing allocation, so a
+    /// refactorization of the same panel records into the same storage.
+    pub fn clear(&mut self) {
+        self.swaps.clear();
     }
 
     /// The raw swap targets (`swaps[c] ≥ c`).
@@ -181,6 +187,35 @@ pub fn lu_panel_with_policy(
     breakdown: PanelBreakdown,
     force_breakdown_at: Option<usize>,
 ) -> Result<PanelOutcome, PanelError> {
+    let mut out = PanelOutcome {
+        pivots: Pivots::default(),
+        perturbed: Vec::new(),
+    };
+    lu_panel_with_policy_into(
+        panel,
+        rule,
+        pivot_threshold,
+        breakdown,
+        force_breakdown_at,
+        &mut out,
+    )?;
+    Ok(out)
+}
+
+/// [`lu_panel_with_policy`] recording into caller-provided storage.
+///
+/// `out` is cleared and refilled; its vectors keep their allocations, so a
+/// refactorization of a panel whose outcome is recycled performs no heap
+/// allocation here (the swap sequence has the same length every time). On
+/// error `out`'s contents are unspecified.
+pub fn lu_panel_with_policy_into(
+    panel: &mut DenseMat,
+    rule: PivotRule,
+    pivot_threshold: f64,
+    breakdown: PanelBreakdown,
+    force_breakdown_at: Option<usize>,
+    out: &mut PanelOutcome,
+) -> Result<(), PanelError> {
     let m = panel.nrows();
     let w = panel.ncols();
     assert!(m >= w, "panel must be at least as tall as wide");
@@ -190,8 +225,11 @@ pub fn lu_panel_with_policy(
             "perturbation magnitude must be finite and positive"
         );
     }
-    let mut swaps = Vec::with_capacity(w);
-    let mut perturbed: Vec<(usize, f64)> = Vec::new();
+    out.pivots.swaps.clear();
+    out.pivots.swaps.reserve(w);
+    out.perturbed.clear();
+    let swaps = &mut out.pivots.swaps;
+    let perturbed = &mut out.perturbed;
     for c in 0..w {
         // Pivot search down column c. A NaN anywhere in the candidate range
         // would silently poison the comparisons below (every `>` on NaN is
@@ -259,10 +297,7 @@ pub fn lu_panel_with_policy(
             }
         }
     }
-    Ok(PanelOutcome {
-        pivots: Pivots { swaps },
-        perturbed,
-    })
+    Ok(())
 }
 
 /// Full dense LU with partial pivoting, in place (`getrf`).

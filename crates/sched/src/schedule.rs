@@ -1,0 +1,439 @@
+//! Cached executor schedules for repeated factorizations.
+//!
+//! A solver session factors the same task graph many times (numeric
+//! refactorization with unchanged structure). The executor's per-run
+//! preparation — bottom-level priorities and, for a single worker, the
+//! whole acquisition order — depends only on the graph, so a session
+//! computes it once as an [`ExecSchedule`] and replays it:
+//!
+//! * [`execute_seq_budgeted`] consumes the precomputed sequential order
+//!   **inline on the calling thread**: no worker spawn, no pools, no
+//!   atomics — and, critically, **zero heap allocation**, which is what
+//!   makes a session's `refactor` hot path allocation-free under the
+//!   `alloc-track` counting allocator. Budget semantics mirror the
+//!   parallel supervisor: the cancellation token and deadline are checked
+//!   before every task acquisition (token first, then deadline, matching
+//!   `Supervisor::check_budget`), and a run that has retired its last task
+//!   can no longer be interrupted.
+//! * [`execute_traced_budgeted_with_priorities`] is the parallel
+//!   counterpart: the cached priorities skip the per-run bottom-level
+//!   recomputation, while worker threads are still spawned per run (a
+//!   scoped-thread executor cannot be allocation-free).
+//!
+//! The sequential order is produced by simulating the one-worker priority
+//! executor exactly (same max-heap, same tie-break on lower task id), so
+//! the inline replay acquires tasks in the order the real executor would —
+//! and the factored values are bitwise identical either way, as the
+//! determinism suite asserts for every schedule.
+
+use crate::control::{Interrupt, RunBudget};
+use crate::executor::{execute_dag_with_priorities_report_budgeted, Mapping};
+use crate::graph::{Task, TaskGraph};
+use crate::trace::{ExecReport, TaskPanic, TraceConfig};
+use std::collections::BinaryHeap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+/// Max-heap entry mirroring the executor's ready-pool ordering: higher
+/// bottom level first, ties to the lower task id.
+#[derive(PartialEq, Eq)]
+struct Ready {
+    prio: u64,
+    tid: usize,
+}
+
+impl Ord for Ready {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.prio
+            .cmp(&other.prio)
+            .then_with(|| other.tid.cmp(&self.tid))
+    }
+}
+
+impl PartialOrd for Ready {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The per-graph executor state a session caches across factorizations:
+/// bottom-level priorities plus the single-worker acquisition order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecSchedule {
+    priority: Vec<u64>,
+    seq_order: Vec<usize>,
+}
+
+impl ExecSchedule {
+    /// Computes the schedule for `graph`: its bottom levels and the task
+    /// order a one-worker priority executor would acquire.
+    pub fn for_graph(graph: &TaskGraph) -> Self {
+        let n = graph.len();
+        let priority = graph.bottom_levels();
+        let mut indeg = graph.pred_counts().to_vec();
+        let mut heap: BinaryHeap<Ready> = (0..n)
+            .filter(|&t| indeg[t] == 0)
+            .map(|tid| Ready {
+                prio: priority[tid],
+                tid,
+            })
+            .collect();
+        let mut seq_order = Vec::with_capacity(n);
+        while let Some(r) = heap.pop() {
+            seq_order.push(r.tid);
+            for &s in graph.successors(r.tid) {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    heap.push(Ready {
+                        prio: priority[s],
+                        tid: s,
+                    });
+                }
+            }
+        }
+        assert_eq!(seq_order.len(), n, "task graph must be acyclic");
+        ExecSchedule {
+            priority,
+            seq_order,
+        }
+    }
+
+    /// Number of tasks the schedule covers.
+    pub fn len(&self) -> usize {
+        self.seq_order.len()
+    }
+
+    /// `true` for the empty graph's schedule.
+    pub fn is_empty(&self) -> bool {
+        self.seq_order.is_empty()
+    }
+
+    /// Bottom-level priority per task id.
+    pub fn priorities(&self) -> &[u64] {
+        &self.priority
+    }
+
+    /// The single-worker acquisition order (every task id exactly once,
+    /// topologically consistent).
+    pub fn seq_order(&self) -> &[usize] {
+        &self.seq_order
+    }
+}
+
+/// Runs `graph` inline on the calling thread in the precomputed order.
+///
+/// Performs **no heap allocation**: no threads, no pools, no recorders.
+/// The budget is honoured at every task-acquisition boundary with the
+/// supervisor's semantics — token checkpoint first, then deadline; a
+/// deadline trip also cancels the run's token (when one is attached) so
+/// cooperative waiters inside tasks release; and once the last task has
+/// retired the run can no longer be interrupted. A panicking task is
+/// contained and reported through [`ExecReport::panic`], exactly like the
+/// threaded executors.
+///
+/// # Panics
+///
+/// Panics when `schedule` was built for a different graph (length
+/// mismatch).
+pub fn execute_seq_budgeted<F>(
+    graph: &TaskGraph,
+    schedule: &ExecSchedule,
+    runner: F,
+    budget: &RunBudget,
+) -> ExecReport
+where
+    F: Fn(Task),
+{
+    assert_eq!(
+        schedule.len(),
+        graph.len(),
+        "schedule/graph task count mismatch"
+    );
+    let mut report = ExecReport::default();
+    if graph.is_empty() {
+        return report;
+    }
+    let n = schedule.seq_order.len();
+    report.stats.nthreads = 1;
+    report.stats.n_tasks = n;
+    let armed = budget.is_armed();
+    for (done, &tid) in schedule.seq_order.iter().enumerate() {
+        if armed {
+            // Same precedence as Supervisor::check_budget: the token is
+            // consulted before the deadline, so a cancelled run with an
+            // expired deadline still reports cancellation.
+            if let Some(token) = &budget.token {
+                if token.checkpoint() {
+                    report.interrupt = Some(Interrupt::Cancelled {
+                        tasks_pending: n - done,
+                    });
+                    return report;
+                }
+            }
+            if let Some(deadline) = budget.deadline {
+                if Instant::now() >= deadline {
+                    if let Some(token) = &budget.token {
+                        token.cancel();
+                    }
+                    report.interrupt = Some(Interrupt::DeadlineExceeded {
+                        tasks_pending: n - done,
+                    });
+                    return report;
+                }
+            }
+        }
+        report.stats.tasks_started += 1;
+        let task = graph.task(tid);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| runner(task))) {
+            report.panic = Some(TaskPanic {
+                worker: 0,
+                task: tid,
+                message: panic_message(payload.as_ref()),
+            });
+            return report;
+        }
+        report.stats.tasks_retired += 1;
+    }
+    report
+}
+
+/// Best-effort extraction of a panic payload's message (duplicated from
+/// the executor module, which keeps it private).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// [`crate::execute_traced_budgeted`] with the bottom levels taken from a
+/// cached [`ExecSchedule`] instead of recomputed per run — the parallel
+/// half of executor reuse across a session's factorizations.
+pub fn execute_traced_budgeted_with_priorities<F>(
+    graph: &TaskGraph,
+    schedule: &ExecSchedule,
+    nthreads: usize,
+    mapping: Mapping,
+    runner: F,
+    config: &TraceConfig,
+    budget: &RunBudget,
+) -> ExecReport
+where
+    F: Fn(Task) + Sync,
+{
+    let nthreads = nthreads.max(1);
+    if graph.is_empty() {
+        return ExecReport::default();
+    }
+    assert_eq!(
+        schedule.len(),
+        graph.len(),
+        "schedule/graph task count mismatch"
+    );
+    let nqueues = match mapping {
+        Mapping::Static1D => nthreads,
+        Mapping::Dynamic => 1,
+    };
+    execute_dag_with_priorities_report_budgeted(
+        graph.len(),
+        graph.pred_counts(),
+        |t| graph.successors(t),
+        schedule.priorities(),
+        nthreads,
+        nqueues,
+        |t| match mapping {
+            Mapping::Static1D => graph.task(t).home_column() % nthreads,
+            Mapping::Dynamic => 0,
+        },
+        |t| runner(graph.task(t)),
+        config,
+        budget,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::control::CancelToken;
+    use crate::graph::{build_eforest_graph, build_sstar_graph};
+    use splu_sparse::SparsityPattern;
+    use splu_symbolic::static_fact::static_symbolic_factorization;
+    use splu_symbolic::supernode::BlockStructure;
+    use splu_symbolic::Partition;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    fn random_graph(n: usize, extra: usize, seed: u64) -> TaskGraph {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut entries: Vec<(usize, usize)> = (0..n).map(|i| (i, i)).collect();
+        for _ in 0..extra {
+            entries.push((rng.gen_range(0..n), rng.gen_range(0..n)));
+        }
+        let p = SparsityPattern::from_entries(n, n, entries).unwrap();
+        let f = static_symbolic_factorization(&p).unwrap();
+        let bs = BlockStructure::new(&f, Partition::singletons(n));
+        if seed.is_multiple_of(2) {
+            build_eforest_graph(&bs)
+        } else {
+            build_sstar_graph(&bs)
+        }
+    }
+
+    #[test]
+    fn seq_order_is_a_topological_cover() {
+        for seed in 0..6u64 {
+            let g = random_graph(16, 40, seed);
+            let s = ExecSchedule::for_graph(&g);
+            assert_eq!(s.len(), g.len());
+            // Every task appears exactly once.
+            let mut seen = vec![false; g.len()];
+            for &t in s.seq_order() {
+                assert!(!seen[t], "task {t} scheduled twice");
+                seen[t] = true;
+            }
+            assert!(seen.iter().all(|&b| b));
+            // Topological: a task appears after all its predecessors.
+            let mut pos = vec![0usize; g.len()];
+            for (i, &t) in s.seq_order().iter().enumerate() {
+                pos[t] = i;
+            }
+            for t in 0..g.len() {
+                for &succ in g.successors(t) {
+                    assert!(pos[t] < pos[succ], "edge {t}→{succ} violated");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inline_replay_runs_every_task_once() {
+        let g = random_graph(12, 30, 2);
+        let s = ExecSchedule::for_graph(&g);
+        let order = Mutex::new(Vec::new());
+        let report = execute_seq_budgeted(
+            &g,
+            &s,
+            |_| order.lock().unwrap().push(()),
+            &RunBudget::default(),
+        );
+        assert_eq!(order.lock().unwrap().len(), g.len());
+        assert!(report.panic.is_none() && report.interrupt.is_none());
+        assert_eq!(report.stats.tasks_started, g.len() as u64);
+        assert_eq!(report.stats.tasks_retired, g.len() as u64);
+    }
+
+    #[test]
+    fn inline_replay_honours_cancellation_before_each_task() {
+        let g = random_graph(12, 30, 3);
+        let s = ExecSchedule::for_graph(&g);
+        let token = CancelToken::new();
+        token.cancel_after_checkpoints(3);
+        let budget = RunBudget::default().with_token(token);
+        let ran = AtomicUsize::new(0);
+        let report = execute_seq_budgeted(
+            &g,
+            &s,
+            |_| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            },
+            &budget,
+        );
+        // Two checkpoints pass, the third trips before the third task.
+        assert_eq!(ran.load(Ordering::Relaxed), 2);
+        assert_eq!(
+            report.interrupt,
+            Some(Interrupt::Cancelled {
+                tasks_pending: g.len() - 2
+            })
+        );
+    }
+
+    #[test]
+    fn inline_replay_never_interrupts_a_finished_run() {
+        let g = random_graph(10, 20, 4);
+        let s = ExecSchedule::for_graph(&g);
+        // Deadline in the past, but checked only before acquisitions: with
+        // an exact trip budget of len+1 checkpoints the run finishes clean.
+        let token = CancelToken::new();
+        token.cancel_after_checkpoints(g.len() + 1);
+        let budget = RunBudget::default().with_token(token);
+        let report = execute_seq_budgeted(&g, &s, |_| {}, &budget);
+        assert!(report.interrupt.is_none());
+        assert_eq!(report.stats.tasks_retired, g.len() as u64);
+    }
+
+    #[test]
+    fn inline_replay_expired_deadline_trips_and_cancels_token() {
+        let g = random_graph(10, 20, 5);
+        let s = ExecSchedule::for_graph(&g);
+        let token = CancelToken::new();
+        let budget = RunBudget::default()
+            .with_token(token.clone())
+            .with_deadline(Instant::now() - Duration::from_millis(1));
+        let report = execute_seq_budgeted(&g, &s, |_| {}, &budget);
+        assert_eq!(
+            report.interrupt,
+            Some(Interrupt::DeadlineExceeded {
+                tasks_pending: g.len()
+            })
+        );
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn inline_replay_contains_panics() {
+        let g = random_graph(10, 20, 6);
+        let s = ExecSchedule::for_graph(&g);
+        let ran = AtomicUsize::new(0);
+        let report = execute_seq_budgeted(
+            &g,
+            &s,
+            |_| {
+                if ran.fetch_add(1, Ordering::Relaxed) == 1 {
+                    panic!("injected");
+                }
+            },
+            &RunBudget::default(),
+        );
+        let p = report.panic.expect("panic reported");
+        assert_eq!(p.worker, 0);
+        assert!(p.message.contains("injected"));
+        assert_eq!(report.stats.tasks_retired, 1);
+    }
+
+    #[test]
+    fn cached_priorities_match_the_graph() {
+        let g = random_graph(14, 35, 7);
+        let s = ExecSchedule::for_graph(&g);
+        assert_eq!(s.priorities(), g.bottom_levels().as_slice());
+    }
+
+    #[test]
+    fn parallel_reuse_runs_every_task_once_under_both_mappings() {
+        for (seed, mapping) in [(2u64, Mapping::Static1D), (3, Mapping::Dynamic)] {
+            let g = random_graph(14, 35, seed);
+            let s = ExecSchedule::for_graph(&g);
+            let ran = AtomicUsize::new(0);
+            let report = execute_traced_budgeted_with_priorities(
+                &g,
+                &s,
+                4,
+                mapping,
+                |_| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                },
+                &TraceConfig::counters(),
+                &RunBudget::default(),
+            );
+            assert_eq!(ran.load(Ordering::Relaxed), g.len());
+            assert!(report.panic.is_none() && report.interrupt.is_none());
+            assert_eq!(report.stats.tasks_retired, g.len() as u64);
+        }
+    }
+}

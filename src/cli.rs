@@ -84,6 +84,24 @@ USAGE:
   parsplu condest <matrix.mtx> [options]        estimate the 1-norm condition number
   parsplu gen     <name> <out.mtx> [--reduced]  write a benchmark matrix
                   (names: sherman3 sherman5 lnsp3937 lns3937 orsreg1 saylr4 goodwin)
+  parsplu serve   [--workers <N>]               long-running job loop on stdin
+
+SERVE MODE:
+  Reads line-delimited jobs from stdin and writes one JSON line per job to
+  stdout, dispatching jobs concurrently over `--workers` threads [4]. Jobs
+  on the same named session run in submission order; different sessions
+  run in parallel. Responses appear in completion order.
+  Job grammar (tokens are whitespace-separated):
+    analyze  <session> <matrix.mtx> [options]   symbolic analysis, cached
+    factor   <session> <values.mtx> [options]   numeric-only factorization
+    refactor <session> <values.mtx> [options]   numeric refactorization
+                                                reusing the factor storage
+    solve    <session> [--rhs <file>] [--transpose] [--refine]
+    quit                                        drain workers and exit
+  `factor`/`refactor` values must match the analyzed pattern (a mismatch is
+  a structured error, the session stays usable). Per-job `--time-limit` /
+  `--watchdog` bound that job alone. Each response embeds a run report
+  (schema `parsplu-run-report/1`) for analyze/factor/refactor jobs.
 
 OPTIONS:
   --threads <N>         worker threads for the numerical phase   [1]
@@ -481,11 +499,11 @@ fn cmd_solve(
     let x = {
         let _p = session.as_ref().map(|o| o.phase("solve"));
         if cli.transpose {
-            lu.solve_transposed(&b)
+            lu.try_solve_transposed(&b)?
         } else if cli.refine {
-            lu.solve_refined(&a, &b, 1e-14, 2).0
+            lu.try_solve_refined(&a, &b, 1e-14, 2)?.0
         } else {
-            lu.solve(&b)
+            lu.try_solve(&b)?
         }
     };
     let t_solve = t1.elapsed();
@@ -584,6 +602,283 @@ fn cmd_gen(name: &str, out_path: &str, flags: &[String]) -> Result<String, CliEr
     ))
 }
 
+/// One named session in serve mode: the persistent analyze/refactor state
+/// plus the most recently factored values (retained for manufactured
+/// right-hand sides, residual checks, and refined solves).
+struct ServeEntry {
+    session: splu_core::SluSession,
+    matrix: Option<CscMatrix>,
+}
+
+type ServeSessions = std::sync::Mutex<std::collections::HashMap<String, Arc<Mutex<ServeEntry>>>>;
+
+use std::io::{BufRead, Write as IoWrite};
+use std::sync::{mpsc, Arc, Mutex};
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Flattens a pretty-printed JSON document onto one line. Safe because the
+/// writer escapes newlines inside string values, so every literal newline
+/// and its indentation is inter-token whitespace.
+fn compact_json(pretty: &str) -> String {
+    pretty.lines().map(str::trim_start).collect()
+}
+
+/// Runs one serve-mode job line, returning the one-line JSON response.
+fn serve_job(
+    id: usize,
+    line: &str,
+    sessions: &ServeSessions,
+    token: Option<&CancelToken>,
+) -> String {
+    let toks: Vec<String> = line.split_whitespace().map(String::from).collect();
+    let op = toks[0].clone();
+    let name = toks.get(1).cloned().unwrap_or_default();
+    let head = format!(
+        r#"{{"id":{id},"op":"{}","session":"{}""#,
+        json_escape(&op),
+        json_escape(&name)
+    );
+    let t0 = Instant::now();
+    match serve_job_inner(&toks, sessions, token) {
+        Ok(fields) => format!(
+            r#"{head},"status":"ok","seconds":{:.6}{fields}}}"#,
+            t0.elapsed().as_secs_f64()
+        ),
+        Err(e) => format!(
+            r#"{head},"status":"error","exit_code":{},"error":"{}"}}"#,
+            e.exit_code,
+            json_escape(&e.message)
+        ),
+    }
+}
+
+/// The fallible body of [`serve_job`]: returns extra JSON fields (each
+/// prefixed with a comma) to splice into the success response.
+fn serve_job_inner(
+    toks: &[String],
+    sessions: &ServeSessions,
+    token: Option<&CancelToken>,
+) -> Result<String, CliError> {
+    let op = toks[0].as_str();
+    let name = toks
+        .get(1)
+        .ok_or_else(|| CliError::from(format!("`{op}` needs a session name")))?;
+    let lookup = || -> Result<Arc<Mutex<ServeEntry>>, CliError> {
+        sessions.lock().unwrap().get(name).cloned().ok_or_else(|| {
+            CliError::from(format!("unknown session `{name}` (run `analyze` first)"))
+        })
+    };
+    match op {
+        "analyze" => {
+            let path = toks
+                .get(2)
+                .ok_or_else(|| CliError::from("`analyze` needs a matrix path"))?;
+            let cli = parse_flags(&toks[3..], token)?;
+            let obs = ObsSession::new();
+            let a = {
+                let _p = obs.phase("parse");
+                load(path)?
+            };
+            let meta = MatrixMeta {
+                name: matrix_name(path),
+                n: a.ncols(),
+                nnz: a.nnz(),
+            };
+            let session = splu_core::SluSession::analyze_observed(a.pattern(), &cli.opts, &obs)
+                .map_err(|e| {
+                    let _ = obs.report(meta.clone(), &cli.opts, RunStatus::from_error(&e));
+                    CliError::from(e)
+                })?;
+            let report = obs.report(
+                MatrixMeta::from_stats(&matrix_name(path), session.stats()),
+                &cli.opts,
+                RunStatus::success(),
+            );
+            let stats = format!(
+                r#","tasks":{},"supernodes":{}"#,
+                session.stats().graph_tasks,
+                session.stats().supernodes
+            );
+            sessions.lock().unwrap().insert(
+                name.clone(),
+                Arc::new(Mutex::new(ServeEntry {
+                    session,
+                    matrix: None,
+                })),
+            );
+            Ok(format!(
+                r#"{stats},"report":{}"#,
+                compact_json(&report.to_json())
+            ))
+        }
+        "factor" | "refactor" => {
+            let path = toks
+                .get(2)
+                .ok_or_else(|| CliError::from(format!("`{op}` needs a values path")))?;
+            let cli = parse_flags(&toks[3..], token)?;
+            let entry = lookup()?;
+            let mut e = entry.lock().unwrap();
+            let obs = ObsSession::new();
+            let a = {
+                let _p = obs.phase("parse");
+                load(path)?
+            };
+            e.session.set_budget(cli.opts.budget.clone());
+            let outcome = if op == "refactor" {
+                e.session.refactor_observed(&a, &obs)
+            } else {
+                e.session.factor_observed(&a, &obs)
+            };
+            let meta = MatrixMeta::from_stats(&matrix_name(path), e.session.stats());
+            let opts = e.session.options().clone();
+            match outcome {
+                Ok(()) => {
+                    e.matrix = Some(a);
+                    let report = obs.report(meta, &opts, RunStatus::success());
+                    Ok(format!(r#","report":{}"#, compact_json(&report.to_json())))
+                }
+                Err(err) => {
+                    // The session survives a failed or interrupted
+                    // factorization; the report records the error.
+                    let _ = obs.report(meta, &opts, RunStatus::from_error(&err));
+                    Err(err.into())
+                }
+            }
+        }
+        "solve" => {
+            let cli = parse_flags(&toks[2..], token)?;
+            let entry = lookup()?;
+            let e = entry.lock().unwrap();
+            let a = e.matrix.as_ref().ok_or_else(|| {
+                CliError::from(format!("session `{name}` holds no factored values"))
+            })?;
+            let b = match &cli.rhs {
+                Some(p) => read_vector(p, a.nrows())?,
+                None => manufactured_rhs(a, 1).1,
+            };
+            let x = if cli.transpose {
+                e.session.try_solve_transposed(&b)?
+            } else if cli.refine {
+                e.session.solve_refined(a, &b, 1e-14, 2)?.0
+            } else {
+                e.session.try_solve(&b)?
+            };
+            let resid = if cli.transpose {
+                relative_residual(&a.transpose(), &x, &b)
+            } else {
+                relative_residual(a, &x, &b)
+            };
+            Ok(format!(r#","residual":{resid:.3e}"#))
+        }
+        other => Err(CliError::from(format!("unknown serve op `{other}`"))),
+    }
+}
+
+/// The serve-mode engine, factored out of [`cmd_serve`] so the integration
+/// tests can drive it in-process: reads line-delimited jobs from `reader`,
+/// dispatches them over `workers` threads, and writes one JSON line per
+/// job to `writer` in completion order. Returns the number of jobs run.
+pub fn serve_loop<R: BufRead, W: IoWrite + Send>(
+    reader: R,
+    writer: &Mutex<W>,
+    workers: usize,
+    token: Option<&CancelToken>,
+) -> Result<usize, CliError> {
+    let sessions: ServeSessions = Mutex::new(std::collections::HashMap::new());
+    let workers = workers.max(1);
+    // One queue per worker, routed by session-name hash: jobs on the same
+    // session keep their submission order (an `analyze g` always lands
+    // before the `factor g` behind it), while different sessions spread
+    // across workers and run concurrently.
+    let mut txs = Vec::with_capacity(workers);
+    let mut rxs = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let (tx, rx) = mpsc::channel::<(usize, String)>();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    let mut dispatched = 0usize;
+    std::thread::scope(|scope| -> Result<(), CliError> {
+        for rx in rxs {
+            let sessions = &sessions;
+            let writer = &writer;
+            scope.spawn(move || {
+                while let Ok((id, line)) = rx.recv() {
+                    let response = serve_job(id, &line, sessions, token);
+                    let mut w = writer.lock().unwrap();
+                    let _ = writeln!(w, "{response}");
+                    let _ = w.flush();
+                }
+            });
+        }
+        for line in reader.lines() {
+            let line = line.map_err(|e| CliError::from(format!("reading jobs: {e}")))?;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            if trimmed == "quit" {
+                break;
+            }
+            if token.is_some_and(|t| t.is_cancelled()) {
+                break;
+            }
+            dispatched += 1;
+            let session_name = trimmed.split_whitespace().nth(1).unwrap_or("");
+            let lane = session_name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+            }) as usize
+                % workers;
+            let _ = txs[lane].send((dispatched, trimmed.to_string()));
+        }
+        drop(txs);
+        Ok(())
+    })?;
+    Ok(dispatched)
+}
+
+fn cmd_serve(flags: &[String], token: Option<&CancelToken>) -> Result<String, CliError> {
+    let mut workers = 4usize;
+    let mut it = flags.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workers" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::from("--workers needs a value"))?;
+                workers = v
+                    .parse()
+                    .map_err(|_| CliError::from(format!("bad worker count `{v}`")))?;
+                if workers == 0 {
+                    return Err(CliError::from("worker count must be positive"));
+                }
+            }
+            other => return Err(CliError::from(format!("unknown serve option `{other}`"))),
+        }
+    }
+    let stdin = std::io::stdin();
+    let stdout = Mutex::new(std::io::stdout());
+    let n = serve_loop(stdin.lock(), &stdout, workers, token)?;
+    Ok(format!("served {n} job(s)\n"))
+}
+
 /// Runs the CLI on the given arguments (without the program name), returning
 /// the output text or a [`CliError`] carrying the message and the process
 /// exit code.
@@ -604,6 +899,7 @@ pub fn run_with_token(args: &[String], token: Option<&CancelToken>) -> Result<St
             ("solve", [path, flags @ ..]) => cmd_solve(path, flags, token),
             ("condest", [path, flags @ ..]) => cmd_condest(path, flags, token),
             ("gen", [name, out, flags @ ..]) => cmd_gen(name, out, flags),
+            ("serve", flags) => cmd_serve(flags, token),
             _ => Err(CliError::from(format!(
                 "unknown or incomplete command `{cmd}`\n\n{USAGE}"
             ))),

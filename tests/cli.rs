@@ -466,3 +466,145 @@ fn failed_solves_still_write_a_report() {
         let _ = std::fs::remove_file(f);
     }
 }
+
+#[test]
+fn serve_mode_runs_a_session_script_in_process() {
+    use parsplu::cli::serve_loop;
+    use std::io::Cursor;
+    use std::sync::Mutex;
+    let path = tmp("serve_script");
+    run(&args(&["gen", "goodwin", &path, "--reduced"])).unwrap();
+    let script = format!(
+        "# a comment and a blank line are skipped\n\n\
+         analyze g {path}\n\
+         factor g {path}\n\
+         refactor g {path}\n\
+         solve g\n\
+         solve g --refine\n\
+         quit\n\
+         factor g {path}\n"
+    );
+    let writer = Mutex::new(Vec::new());
+    let n = serve_loop(Cursor::new(script), &writer, 3, None).unwrap();
+    assert_eq!(n, 5, "jobs after `quit` are not dispatched");
+    let out = String::from_utf8(writer.into_inner().unwrap()).unwrap();
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 5, "one response line per job:\n{out}");
+    for l in &lines {
+        let v = splu_bench::json::parse(l).expect("each response is one-line JSON");
+        assert_eq!(
+            v.get("status").and_then(|s| s.as_str()),
+            Some("ok"),
+            "job failed: {l}"
+        );
+    }
+    // analyze/factor/refactor responses embed a schema-valid run report.
+    let mut reports = 0;
+    for l in &lines {
+        let v = splu_bench::json::parse(l).unwrap();
+        if let Some(r) = v.get("report") {
+            splu_bench::json::validate_run_report(r).expect("embedded report validates");
+            reports += 1;
+        }
+    }
+    assert_eq!(reports, 3, "analyze+factor+refactor embed reports:\n{out}");
+    // solve responses carry a small residual.
+    let solves: Vec<&&str> = lines
+        .iter()
+        .filter(|l| l.contains(r#""op":"solve""#))
+        .collect();
+    assert_eq!(solves.len(), 2);
+    for l in solves {
+        let v = splu_bench::json::parse(l).unwrap();
+        let resid = v
+            .get("residual")
+            .and_then(|r| r.as_num())
+            .expect("solve responses report the residual");
+        assert!(resid < 1e-8, "{l}");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn serve_mode_reports_structured_errors_and_stays_alive() {
+    use parsplu::cli::serve_loop;
+    use std::io::Cursor;
+    use std::sync::Mutex;
+    let good = tmp("serve_good");
+    let other = tmp("serve_other");
+    run(&args(&["gen", "sherman3", &good, "--reduced"])).unwrap();
+    run(&args(&["gen", "orsreg1", &other, "--reduced"])).unwrap();
+    let script = format!(
+        "analyze s {good}\n\
+         refactor s {other}\n\
+         solve nosuch\n\
+         solve s\n\
+         refactor s {good}\n\
+         solve s\n"
+    );
+    let writer = Mutex::new(Vec::new());
+    // EOF without `quit` also ends the loop cleanly.
+    let n = serve_loop(Cursor::new(script), &writer, 2, None).unwrap();
+    assert_eq!(n, 6);
+    let out = String::from_utf8(writer.into_inner().unwrap()).unwrap();
+    // The pattern mismatch is a structured error naming both hashes...
+    let mismatch = out
+        .lines()
+        .find(|l| l.contains("pattern"))
+        .expect("mismatch response present");
+    assert!(mismatch.contains(r#""status":"error""#), "{mismatch}");
+    assert!(mismatch.contains(r#""exit_code":2"#), "{mismatch}");
+    // ...the unknown session is rejected...
+    assert!(out.contains("unknown session"), "{out}");
+    // ...the first solve (before any values) fails, and after the good
+    // refactor the session serves solves again.
+    let oks = out
+        .lines()
+        .filter(|l| l.contains(r#""status":"ok""#))
+        .count();
+    assert_eq!(oks, 3, "analyze + refactor + final solve succeed:\n{out}");
+    for f in [&good, &other] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
+fn serve_mode_parallel_sessions_make_progress() {
+    use parsplu::cli::serve_loop;
+    use std::io::Cursor;
+    use std::sync::Mutex;
+    let p1 = tmp("serve_p1");
+    let p2 = tmp("serve_p2");
+    run(&args(&["gen", "sherman5", &p1, "--reduced"])).unwrap();
+    run(&args(&["gen", "saylr4", &p2, "--reduced"])).unwrap();
+    let mut script = String::new();
+    for (name, path) in [("a", &p1), ("b", &p2)] {
+        script.push_str(&format!("analyze {name} {path} --threads 2\n"));
+    }
+    for _ in 0..3 {
+        for (name, path) in [("a", &p1), ("b", &p2)] {
+            script.push_str(&format!("refactor {name} {path}\n"));
+            script.push_str(&format!("solve {name}\n"));
+        }
+    }
+    let writer = Mutex::new(Vec::new());
+    let n = serve_loop(Cursor::new(script), &writer, 4, None).unwrap();
+    assert_eq!(n, 14);
+    let out = String::from_utf8(writer.into_inner().unwrap()).unwrap();
+    assert_eq!(out.lines().count(), 14, "{out}");
+    for l in out.lines() {
+        assert!(l.contains(r#""status":"ok""#), "unexpected failure: {l}");
+    }
+    for f in [&p1, &p2] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
+fn serve_flag_errors() {
+    let err = run(&args(&["serve", "--workers", "0"])).unwrap_err();
+    assert_eq!(err.exit_code, 2);
+    assert!(err.message.contains("positive"), "{err}");
+    let err = run(&args(&["serve", "--frobnicate"])).unwrap_err();
+    assert!(err.message.contains("unknown serve option"), "{err}");
+}

@@ -340,6 +340,58 @@ fn scenario_lock_survives_a_panicking_holder() {
         .expect("no leaked failpoint and no poisoned lock after a panicking holder");
 }
 
+/// An injected worker panic *during a refactorization* is contained, the
+/// session stays reusable, and the recovery refactor is bitwise identical
+/// to a fresh factorization of the same values — the cached schedule and
+/// recycled storage carry no state over from the aborted run.
+#[test]
+fn session_survives_injected_panic_during_refactor() {
+    use parsplu::core::SluSession;
+    let a = random_unsymmetric(48, 3, 11);
+    let mut vals = a.clone();
+    for v in vals.values_mut() {
+        *v *= 1.25;
+    }
+    for &threads in &THREADS {
+        for mapping in [Mapping::Static1D, Mapping::Dynamic] {
+            let o = opts(threads, mapping);
+            let mut s = SluSession::analyze(a.pattern(), &o).unwrap();
+            s.factor(&a).unwrap();
+            {
+                let scenario = FailScenario::new();
+                scenario.panic_at_factor(0);
+                let err = s.refactor(&vals).map(|_| ()).unwrap_err();
+                assert!(
+                    matches!(err, LuError::WorkerPanic { .. }),
+                    "threads={threads} {mapping:?}: {err:?}"
+                );
+                assert!(!s.is_factored());
+                assert!(matches!(
+                    s.try_solve(&vec![0.0; a.ncols()]),
+                    Err(LuError::NotFactored)
+                ));
+            }
+            // Scenario dropped: the same session refactors cleanly, and the
+            // factors match a from-scratch session bit for bit.
+            s.refactor(&vals)
+                .expect("session reusable after contained panic");
+            let mut fresh = SluSession::analyze(a.pattern(), &o).unwrap();
+            fresh.factor(&vals).unwrap();
+            let (x, y) = (s.block_matrix().unwrap(), fresh.block_matrix().unwrap());
+            for k in 0..x.num_block_cols() {
+                let cx = x.column(k).read();
+                let cy = y.column(k).read();
+                assert_eq!(cx.pivots, cy.pivots, "threads={threads}: pivots at {k}");
+                assert_eq!(
+                    cx.panel.data(),
+                    cy.panel.data(),
+                    "threads={threads}: panel at {k}"
+                );
+            }
+        }
+    }
+}
+
 /// Arming a failpoint while [`PivotRule::Diagonal`] and natural ordering
 /// are active exercises the restricted-pivoting panel path too.
 #[test]

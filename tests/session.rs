@@ -1,0 +1,243 @@
+//! Session invariance suite: refactorization must be *bitwise* identical
+//! to a fresh factorization of the same values, across thread counts and
+//! mappings; pattern mismatches and premature solves are structured
+//! errors; an interrupted refactorization leaves the session reusable;
+//! and a refactorization runs no symbolic phase at all (phase walls).
+
+use parsplu::core::{
+    pattern_hash, BlockMatrix, LuError, ObsSession, Options, OptionsBuilder, RunBudget, SluSession,
+};
+use parsplu::matgen::{manufactured_rhs, paper_suite, Scale};
+use parsplu::sched::Mapping;
+use parsplu::sparse::{relative_residual, CscMatrix};
+use std::time::{Duration, Instant};
+
+/// Same pattern, deterministically reshuffled values.
+fn revalue(a: &CscMatrix, salt: u64) -> CscMatrix {
+    let mut b = a.clone();
+    for (t, v) in b.values_mut().iter_mut().enumerate() {
+        let wig = (((t as u64).wrapping_mul(salt * 2 + 1) % 101) as f64) / 101.0;
+        *v += 0.2 * (wig - 0.5) * (1.0 + v.abs());
+    }
+    b
+}
+
+fn assert_bitwise_equal(x: &BlockMatrix, y: &BlockMatrix, what: &str) {
+    assert_eq!(x.num_block_cols(), y.num_block_cols(), "{what}");
+    for k in 0..x.num_block_cols() {
+        let cx = x.column(k).read();
+        let cy = y.column(k).read();
+        assert_eq!(cx.pivots, cy.pivots, "{what}: pivots differ at block {k}");
+        assert_eq!(
+            cx.panel.data(),
+            cy.panel.data(),
+            "{what}: L panel differs at block {k}"
+        );
+        assert_eq!(cx.ublocks.len(), cy.ublocks.len(), "{what}: block {k}");
+        for (bx, by) in cx.ublocks.iter().zip(cy.ublocks.iter()) {
+            assert_eq!(bx.data(), by.data(), "{what}: U block differs at {k}");
+        }
+    }
+}
+
+#[test]
+fn refactor_is_bitwise_identical_across_threads_and_mappings() {
+    for m in paper_suite(Scale::Reduced).into_iter().take(3) {
+        let a2 = revalue(&m.a, 7);
+        // Reference: a fresh one-shot factorization of the new values.
+        let mut reference = SluSession::analyze(m.a.pattern(), &Options::default()).unwrap();
+        reference.factor(&a2).unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            for mapping in [Mapping::Static1D, Mapping::Dynamic] {
+                let opts = Options {
+                    threads,
+                    mapping,
+                    ..Options::default()
+                };
+                let mut s = SluSession::analyze(m.a.pattern(), &opts).unwrap();
+                s.factor(&m.a).unwrap();
+                s.refactor(&a2).unwrap();
+                assert_bitwise_equal(
+                    s.block_matrix().unwrap(),
+                    reference.block_matrix().unwrap(),
+                    &format!("{} threads={threads} {mapping:?}", m.name),
+                );
+                let (_, b) = manufactured_rhs(&a2, 3);
+                let x = s.try_solve(&b).unwrap();
+                assert!(relative_residual(&a2, &x, &b) < 1e-9, "{}", m.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn refactor_runs_no_symbolic_phase() {
+    let m = &paper_suite(Scale::Reduced)[0];
+    let mut s = SluSession::analyze(m.a.pattern(), &Options::default()).unwrap();
+    s.factor(&m.a).unwrap();
+    let obs = ObsSession::new();
+    s.refactor_observed(&revalue(&m.a, 3), &obs).unwrap();
+    let walls = obs.phase_walls();
+    assert!(
+        walls
+            .iter()
+            .any(|(name, secs)| *name == "numeric" && *secs > 0.0),
+        "refactor must record numeric time, got {walls:?}"
+    );
+    for (name, secs) in &walls {
+        assert!(
+            *name == "numeric",
+            "refactor ran symbolic phase `{name}` for {secs}s"
+        );
+    }
+}
+
+#[test]
+fn pattern_mismatch_is_a_structured_error_and_nonfatal() {
+    let suite = paper_suite(Scale::Reduced);
+    let (a, other) = (&suite[0].a, &suite[1].a);
+    let mut s = SluSession::analyze(a.pattern(), &Options::default()).unwrap();
+    s.factor(a).unwrap();
+    match s.refactor(other) {
+        Err(LuError::PatternMismatch { expected, got }) => {
+            assert_eq!(expected, pattern_hash(a.pattern()));
+            assert_eq!(got, pattern_hash(other.pattern()));
+        }
+        r => panic!("expected PatternMismatch, got {r:?}"),
+    }
+    // Untouched: the session still factors and solves the right pattern.
+    assert!(s.is_factored());
+    let a2 = revalue(a, 11);
+    s.refactor(&a2).unwrap();
+    let (_, b) = manufactured_rhs(&a2, 5);
+    let x = s.try_solve(&b).unwrap();
+    assert!(relative_residual(&a2, &x, &b) < 1e-9);
+}
+
+#[test]
+fn deadline_during_refactor_leaves_session_reusable() {
+    let m = &paper_suite(Scale::Reduced)[0];
+    let a2 = revalue(&m.a, 9);
+    let mut s = SluSession::analyze(m.a.pattern(), &Options::default()).unwrap();
+    s.factor(&m.a).unwrap();
+    // An already-expired deadline trips before the first task.
+    s.set_budget(RunBudget {
+        deadline: Some(Instant::now() - Duration::from_millis(10)),
+        ..RunBudget::default()
+    });
+    match s.refactor(&a2) {
+        Err(LuError::DeadlineExceeded { .. }) => {}
+        r => panic!("expected DeadlineExceeded, got {r:?}"),
+    }
+    assert!(!s.is_factored());
+    assert!(matches!(
+        s.try_solve(&vec![0.0; m.a.ncols()]),
+        Err(LuError::NotFactored)
+    ));
+    // Lift the budget: the session recovers, bitwise identical to fresh.
+    s.set_budget(RunBudget::unbounded());
+    s.refactor(&a2).unwrap();
+    let mut fresh = SluSession::analyze(m.a.pattern(), &Options::default()).unwrap();
+    fresh.factor(&a2).unwrap();
+    assert_bitwise_equal(
+        s.block_matrix().unwrap(),
+        fresh.block_matrix().unwrap(),
+        "after deadline recovery",
+    );
+}
+
+#[test]
+fn cancel_during_refactor_leaves_session_reusable() {
+    use parsplu::core::CancelToken;
+    let m = &paper_suite(Scale::Reduced)[0];
+    let a2 = revalue(&m.a, 13);
+    let mut s = SluSession::analyze(m.a.pattern(), &Options::default()).unwrap();
+    s.factor(&m.a).unwrap();
+    let token = CancelToken::new();
+    token.cancel_after_checkpoints(2);
+    s.set_budget(RunBudget {
+        token: Some(token),
+        ..RunBudget::default()
+    });
+    match s.refactor(&a2) {
+        Err(LuError::Cancelled { .. }) => {}
+        r => panic!("expected Cancelled, got {r:?}"),
+    }
+    assert!(!s.is_factored());
+    s.set_budget(RunBudget::unbounded());
+    s.refactor(&a2).unwrap();
+    let (_, b) = manufactured_rhs(&a2, 7);
+    let x = s.try_solve(&b).unwrap();
+    assert!(relative_residual(&a2, &x, &b) < 1e-9);
+}
+
+#[test]
+fn sparse_lu_is_a_session_wrapper_with_fallible_solves() {
+    let m = &paper_suite(Scale::Reduced)[0];
+    let lu = parsplu::core::SparseLu::factor(&m.a, &Options::default()).unwrap();
+    assert!(lu.session().is_factored());
+    let n = m.a.ncols();
+    let (_, b) = manufactured_rhs(&m.a, 29);
+    let x = lu.try_solve(&b).unwrap();
+    assert!(relative_residual(&m.a, &x, &b) < 1e-10);
+    assert!(matches!(
+        lu.try_solve(&b[..n - 1]),
+        Err(LuError::DimensionMismatch {
+            got,
+            expected
+        }) if got == n - 1 && expected == n
+    ));
+    assert!(lu.try_solve_transposed(&vec![0.0; n + 1]).is_err());
+    assert!(lu.try_solve_many(&vec![0.0; 2 * n + 1], 2).is_err());
+    assert!(lu.try_solve_many(&vec![0.0; 2 * n], 2).is_ok());
+}
+
+#[test]
+fn options_builder_validates() {
+    let opts = Options::builder()
+        .threads(3)
+        .front_threads(2)
+        .equilibrate(true)
+        .build()
+        .unwrap();
+    assert_eq!(opts.threads, 3);
+    assert_eq!(opts.front_threads, 2);
+    assert!(opts.equilibrate);
+    let default_built = OptionsBuilder::default().build().unwrap();
+    assert_eq!(default_built, Options::default());
+    for bad in [
+        Options::builder().threads(0).build(),
+        Options::builder().front_threads(0).build(),
+        Options::builder().pivot_threshold(-1.0).build(),
+        Options::builder().pivot_threshold(f64::NAN).build(),
+        Options::builder()
+            .pivot_rule(parsplu::core::PivotRule::Threshold(1.5))
+            .build(),
+        Options::builder()
+            .breakdown(parsplu::core::BreakdownPolicy::Perturb { eps: -1e-8 })
+            .build(),
+    ] {
+        assert!(
+            matches!(bad, Err(LuError::InvalidOptions { .. })),
+            "{bad:?}"
+        );
+    }
+}
+
+#[test]
+fn factor_then_many_refactors_stay_consistent() {
+    let m = &paper_suite(Scale::Reduced)[1];
+    let opts = Options::builder().threads(2).build().unwrap();
+    let mut s = SluSession::analyze(m.a.pattern(), &opts).unwrap();
+    for step in 0..5u64 {
+        let vals = revalue(&m.a, step);
+        s.refactor(&vals).unwrap();
+        let (_, b) = manufactured_rhs(&vals, step + 31);
+        let (x, iters) = s.solve_refined(&vals, &b, 1e-12, 3).unwrap();
+        assert!(iters <= 3);
+        assert!(
+            relative_residual(&vals, &x, &b) < 1e-10,
+            "step {step}: residual too large"
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! The zero-allocation guarantee of the refactor hot path, asserted with
+//! the counting global allocator: after the first factorization, a
+//! one-thread untraced `SluSession::refactor` must not grow the heap
+//! high-water mark by a single byte — storage reset, value scatter,
+//! schedule replay, and pivot recycling all run in place.
+//!
+//! This file installs the counting allocator for its whole test binary,
+//! so it holds exactly one test: a concurrent test in the same process
+//! would race the global peak counter.
+
+use parsplu::core::{Options, SluSession};
+use parsplu::matgen::{manufactured_rhs, paper_suite, Scale};
+use parsplu::obs::{heap_stats, reset_heap_peak, CountingAlloc};
+use parsplu::sparse::{relative_residual, CscMatrix};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn revalue(a: &CscMatrix, salt: u64) -> CscMatrix {
+    let mut b = a.clone();
+    for (t, v) in b.values_mut().iter_mut().enumerate() {
+        let wig = (((t as u64).wrapping_mul(salt * 2 + 1) % 89) as f64) / 89.0;
+        *v += 0.2 * (wig - 0.5) * (1.0 + v.abs());
+    }
+    b
+}
+
+#[test]
+fn refactor_hot_path_allocates_nothing() {
+    let m = &paper_suite(Scale::Reduced)[0];
+    let mut s = SluSession::analyze(m.a.pattern(), &Options::default()).unwrap();
+    s.factor(&m.a).unwrap();
+    let new_values: Vec<CscMatrix> = (0..3).map(|k| revalue(&m.a, k)).collect();
+    // Warm-up refactor: lets any lazily-grown scratch (none expected, but
+    // e.g. pivot vectors reach their high-water capacity here) stabilize.
+    s.refactor(&new_values[0]).unwrap();
+    for (round, vals) in new_values.iter().enumerate() {
+        reset_heap_peak();
+        let base = heap_stats().expect("allocator installed").peak_bytes;
+        s.refactor(vals).unwrap();
+        let after = heap_stats().unwrap().peak_bytes;
+        assert_eq!(
+            after,
+            base,
+            "refactor round {round} allocated {} heap bytes on the hot path",
+            after - base
+        );
+    }
+    // The factors produced under the no-alloc regime are still right.
+    let last = new_values.last().unwrap();
+    let (_, b) = manufactured_rhs(last, 41);
+    let x = s.try_solve(&b).unwrap();
+    assert!(relative_residual(last, &x, &b) < 1e-9);
+}
