@@ -22,12 +22,24 @@
 //! serve-mode job shape — worker threads each owning a session, every job
 //! a refactorization plus a solve — as `jobs_per_sec` over the whole
 //! suite. Set `PARSPLU_REDUCED=1` for a fast CI-sized run.
+//!
+//! `kind = "concurrent"` records then measure the *daemon* end to end: a
+//! real `serve_daemon` on a loopback TCP socket, driven by 1, 4 and 16
+//! clients each owning one session and issuing synchronous `solve`
+//! round-trips. These rows capture transport + framing + lane-routing
+//! overhead and how throughput holds up under concurrent load; on a
+//! single-core host expect roughly flat jobs/sec across client counts
+//! (the daemon multiplexes, it cannot parallelize).
 
+use parsplu::serve::{serve_daemon, Listener, ServeConfig};
 use splu_bench::{min_time, suite};
 use splu_core::{Options, SluSession, SparseLu};
 use splu_matgen::manufactured_rhs;
 use splu_sparse::CscMatrix;
 use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write as IoWrite};
+use std::net::TcpStream;
+use std::sync::Barrier;
 use std::time::Instant;
 
 /// Same pattern, deterministically reshuffled values: the serve-mode
@@ -53,6 +65,84 @@ enum Record {
         jobs: usize,
         jobs_per_sec: f64,
     },
+    Concurrent {
+        clients: usize,
+        jobs: usize,
+        jobs_per_sec: f64,
+    },
+}
+
+/// One synchronous request/response round-trip on a daemon connection;
+/// panics on protocol violations (a bench must not mask them).
+fn round_trip(w: &mut TcpStream, r: &mut BufReader<TcpStream>, line: &str) -> String {
+    writeln!(w, "{line}").expect("daemon write");
+    w.flush().expect("daemon flush");
+    let mut resp = String::new();
+    r.read_line(&mut resp).expect("daemon read");
+    assert!(!resp.is_empty(), "daemon closed the connection");
+    resp
+}
+
+fn expect_ok(resp: &str, what: &str) {
+    assert!(resp.contains("\"status\":\"ok\""), "{what} failed: {resp}");
+}
+
+/// End-to-end daemon throughput: `clients` loopback TCP connections, each
+/// owning one prepared session, each issuing `jobs_per_client` synchronous
+/// `solve` round-trips. Returns (jobs, jobs/sec) for the timed phase only
+/// (session setup excluded).
+fn concurrent_throughput(paths: &[String], clients: usize, jobs_per_client: usize) -> (usize, f64) {
+    let listener = Listener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr_string();
+    let cfg = ServeConfig {
+        workers: 4,
+        ..ServeConfig::default()
+    };
+    let daemon = std::thread::spawn(move || serve_daemon(cfg, listener, None).expect("daemon"));
+
+    let ready = Barrier::new(clients + 1);
+    let go = Barrier::new(clients + 1);
+    let elapsed = std::thread::scope(|scope| {
+        for c in 0..clients {
+            let (addr, ready, go) = (&addr, &ready, &go);
+            let path = &paths[c % paths.len()];
+            scope.spawn(move || {
+                let mut w = TcpStream::connect(addr.as_str()).expect("connect");
+                w.set_nodelay(true).expect("nodelay");
+                let mut r = BufReader::new(w.try_clone().expect("clone"));
+                expect_ok(
+                    &round_trip(&mut w, &mut r, &format!("analyze c{c} {path}")),
+                    "analyze",
+                );
+                expect_ok(
+                    &round_trip(&mut w, &mut r, &format!("factor c{c} {path}")),
+                    "factor",
+                );
+                ready.wait();
+                go.wait();
+                for _ in 0..jobs_per_client {
+                    expect_ok(&round_trip(&mut w, &mut r, &format!("solve c{c}")), "solve");
+                }
+            });
+        }
+        ready.wait();
+        let t = Instant::now();
+        go.wait();
+        // The scope joins every client before `elapsed` is read.
+        t
+    })
+    .elapsed()
+    .as_secs_f64();
+
+    // Drain the daemon so its counters and threads wind down cleanly.
+    let mut w = TcpStream::connect(addr.as_str()).expect("connect");
+    let mut r = BufReader::new(w.try_clone().expect("clone"));
+    let ack = round_trip(&mut w, &mut r, "shutdown");
+    assert!(ack.contains("\"drained\":true"), "bad shutdown ack: {ack}");
+    daemon.join().expect("daemon thread");
+
+    let jobs = clients * jobs_per_client;
+    (jobs, jobs as f64 / elapsed)
 }
 
 /// Sustained serve-shaped throughput: `workers` threads, each owning one
@@ -145,6 +235,38 @@ fn main() {
         jobs_per_sec,
     });
 
+    // Daemon throughput over a real loopback socket. The two smallest
+    // suite matrices keep 16 resident sessions cheap; every client still
+    // pays the full protocol path (framing, lane routing, solve, JSON).
+    let reduced = std::env::var_os("PARSPLU_REDUCED").is_some();
+    let mut by_size: Vec<&(&'static str, CscMatrix)> = matrices.iter().collect();
+    by_size.sort_by_key(|(_, a)| a.ncols());
+    let paths: Vec<String> = by_size
+        .iter()
+        .take(2)
+        .map(|(name, a)| {
+            let p = std::env::temp_dir()
+                .join(format!("parsplu_service_{name}_{}.mtx", std::process::id()));
+            splu_sparse::io::write_matrix_market(a, &p).expect("write matrix file");
+            p.to_string_lossy().into_owned()
+        })
+        .collect();
+    let jobs_per_client = if reduced { 64 } else { 256 };
+    for clients in [1usize, 4, 16] {
+        let (jobs, jobs_per_sec) = concurrent_throughput(&paths, clients, jobs_per_client);
+        println!(
+            "daemon throughput: {clients:>2} client(s), {jobs} jobs, {jobs_per_sec:.1} jobs/s"
+        );
+        records.push(Record::Concurrent {
+            clients,
+            jobs,
+            jobs_per_sec,
+        });
+    }
+    for p in &paths {
+        let _ = std::fs::remove_file(p);
+    }
+
     // Headline: the 1-thread speedup on the largest matrix — the cleanest
     // statement of how much symbolic work a session amortizes away.
     if let Some((largest, _)) = matrices.iter().max_by_key(|(_, a)| a.ncols()) {
@@ -191,6 +313,15 @@ fn main() {
                 json,
                 "  {{\"matrix\": \"suite\", \"threads\": {workers}, \"kind\": \"serve\", \
                  \"jobs\": {jobs}, \"jobs_per_sec\": {jobs_per_sec:.6}}}{sep}"
+            ),
+            Record::Concurrent {
+                clients,
+                jobs,
+                jobs_per_sec,
+            } => writeln!(
+                json,
+                "  {{\"matrix\": \"suite\", \"threads\": {clients}, \"kind\": \"concurrent\", \
+                 \"clients\": {clients}, \"jobs\": {jobs}, \"jobs_per_sec\": {jobs_per_sec:.6}}}{sep}"
             ),
         }
         .expect("string write");

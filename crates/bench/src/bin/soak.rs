@@ -1,0 +1,538 @@
+//! Chaos soak harness for the serve daemon.
+//!
+//! Boots a real [`serve_daemon`] on a loopback TCP socket with a small
+//! session budget and a bounded queue, then hammers it with many
+//! concurrent clients running a seed-replayable job mix while injecting
+//! faults:
+//!
+//! * **mid-job disconnect** — a client fires a mutating `refactor`, drops
+//!   the socket without reading the response, reconnects and recovers;
+//! * **oversize frames** — lines beyond `--max-line-bytes` must cost
+//!   exactly one structured `oversize_frame` error;
+//! * **binary frames** — NUL bytes must cost one `invalid_frame` error;
+//! * **forced eviction** — the budget holds ~half the client sessions, so
+//!   the pool constantly evicts; clients recover through the structured
+//!   `session_evicted` path (re-analyze, re-factor, retry);
+//! * **worker panic** — with `--features failpoints`, a serial phase arms
+//!   a panic inside a `Factor(k)` task and asserts containment (the job
+//!   fails with `worker_panic`, the daemon and session survive).
+//!
+//! Invariants checked across the whole run:
+//!
+//! * every awaited request gets **exactly one** JSON response (a read
+//!   timeout or early close is a harness failure);
+//! * every successful solve is **bitwise identical** (`x_hash`) to a
+//!   fresh single-shot solver run on the same matrix — across evictions,
+//!   reconnects and refactorizations;
+//! * the pool's resident-byte **peak never exceeds the budget**;
+//! * `shutdown` drains cleanly and acknowledges last.
+//!
+//! ```text
+//! cargo run --release -p splu-bench --features failpoints --bin soak -- \
+//!     [--seed N] [--clients N] [--jobs N] [--log PATH]
+//! ```
+//!
+//! Defaults: seed 42, 16 clients, 64 jobs per client (1024 total);
+//! `PARSPLU_REDUCED=1` shrinks to 4 clients x 16 jobs for CI. The run is
+//! deterministic per seed on the client side (the interleaving under the
+//! daemon is not, and must not need to be). A line-oriented log is
+//! written to `--log` (default `soak.log`); the process exits non-zero on
+//! any invariant violation.
+
+use parsplu::serve::{serve_daemon, solution_hash, Listener, ServeConfig};
+use splu_bench::json::{parse, Json};
+use splu_core::{Options, SluSession};
+use splu_matgen::manufactured_rhs;
+use std::io::{BufRead, BufReader, Write as IoWrite};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// SplitMix64: tiny, deterministic, seed-replayable.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+#[derive(Default)]
+struct Totals {
+    jobs_ok: AtomicU64,
+    solve_hashes_checked: AtomicU64,
+    evictions_recovered: AtomicU64,
+    overload_retries: AtomicU64,
+    disconnects_injected: AtomicU64,
+    oversize_injected: AtomicU64,
+    nul_injected: AtomicU64,
+    failures: AtomicU64,
+}
+
+struct Log(Mutex<Vec<String>>);
+
+impl Log {
+    fn push(&self, line: String) {
+        self.0.lock().unwrap().push(line);
+    }
+}
+
+struct Client {
+    w: TcpStream,
+    r: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> std::io::Result<Client> {
+        let w = TcpStream::connect(addr)?;
+        w.set_nodelay(true)?;
+        w.set_read_timeout(Some(Duration::from_secs(60)))?;
+        let r = BufReader::new(w.try_clone()?);
+        Ok(Client { w, r })
+    }
+
+    /// One request/response round-trip. `Err` means a lost response —
+    /// an invariant violation everywhere except right after an injected
+    /// disconnect.
+    fn call(&mut self, line: &str) -> Result<Json, String> {
+        writeln!(self.w, "{line}").map_err(|e| format!("write failed: {e}"))?;
+        self.w.flush().map_err(|e| format!("flush failed: {e}"))?;
+        let mut resp = String::new();
+        self.r
+            .read_line(&mut resp)
+            .map_err(|e| format!("read failed: {e}"))?;
+        if resp.is_empty() {
+            return Err("connection closed before the response".to_string());
+        }
+        parse(resp.trim_end()).map_err(|e| format!("unparseable response {resp:?}: {e}"))
+    }
+}
+
+fn status(v: &Json) -> &str {
+    v.get("status").and_then(|s| s.as_str()).unwrap_or("?")
+}
+
+fn kind(v: &Json) -> &str {
+    v.get("kind").and_then(|k| k.as_str()).unwrap_or("")
+}
+
+/// The per-client soak loop. Returns an error string on the first
+/// invariant violation.
+#[allow(clippy::too_many_arguments)]
+fn client_loop(
+    c: usize,
+    addr: &str,
+    path: &str,
+    expected_hash: &str,
+    jobs: usize,
+    seed: u64,
+    max_line_bytes: usize,
+    totals: &Totals,
+    log: &Log,
+) -> Result<(), String> {
+    let mut rng = Rng(seed ^ (c as u64).wrapping_mul(0x5851_f42d_4c95_7f2d));
+    let sess = format!("s{c}");
+    let mut cl = Client::connect(addr).map_err(|e| format!("client {c}: connect: {e}"))?;
+
+    // A call that rides out backpressure and eviction: overloaded →
+    // sleep + retry; session_evicted / lost numeric state → re-analyze,
+    // re-factor, retry. Anything else unexpected is a failure.
+    fn robust_call(
+        cl: &mut Client,
+        sess: &str,
+        path: &str,
+        line: &str,
+        totals: &Totals,
+    ) -> Result<Json, String> {
+        for _attempt in 0..50 {
+            let v = cl.call(line).map_err(|e| format!("{line}: {e}"))?;
+            if status(&v) == "ok" {
+                return Ok(v);
+            }
+            match kind(&v) {
+                "overloaded" | "shutting_down" => {
+                    totals.overload_retries.fetch_add(1, Ordering::Relaxed);
+                    let hint = v
+                        .get("retry_after_hint")
+                        .and_then(|h| h.as_num())
+                        .unwrap_or(0.05);
+                    std::thread::sleep(Duration::from_secs_f64(hint.clamp(0.001, 0.25)));
+                }
+                "session_evicted" => {
+                    totals.evictions_recovered.fetch_add(1, Ordering::Relaxed);
+                    // Recovery path: the tombstone demands a re-analyze.
+                    let a = cl
+                        .call(&format!("analyze {sess} {path}"))
+                        .map_err(|e| format!("recovery analyze: {e}"))?;
+                    if status(&a) != "ok" && kind(&a) != "overloaded" {
+                        return Err(format!("recovery analyze failed: {a:?}"));
+                    }
+                    let f = cl.call(&format!("factor {sess} {path}"))?;
+                    if status(&f) != "ok" && !matches!(kind(&f), "overloaded" | "session_evicted") {
+                        return Err(format!("recovery factor failed: {f:?}"));
+                    }
+                }
+                // A cancelled/aborted earlier mutation can leave the
+                // session without numeric values; factor restores it.
+                "bad_request" | "numeric" | "cancelled" => {
+                    let f = cl.call(&format!("factor {sess} {path}"))?;
+                    if status(&f) != "ok" && !matches!(kind(&f), "overloaded" | "session_evicted") {
+                        return Err(format!("restore factor failed: {f:?}"));
+                    }
+                }
+                other => return Err(format!("unexpected response kind {other}: for {line}")),
+            }
+        }
+        Err(format!("no success after 50 attempts: {line}"))
+    }
+
+    robust_call(
+        &mut cl,
+        &sess,
+        path,
+        &format!("analyze {sess} {path}"),
+        totals,
+    )?;
+    robust_call(
+        &mut cl,
+        &sess,
+        path,
+        &format!("factor {sess} {path}"),
+        totals,
+    )?;
+
+    for j in 0..jobs {
+        let dice = rng.below(100);
+        if dice < 70 {
+            // Solve and verify the bits against the fresh-solver oracle.
+            let v = robust_call(&mut cl, &sess, path, &format!("solve {sess}"), totals)?;
+            let h = v
+                .get("x_hash")
+                .and_then(|h| h.as_str())
+                .ok_or_else(|| format!("solve response without x_hash: {v:?}"))?;
+            if h != expected_hash {
+                return Err(format!(
+                    "client {c} job {j}: x_hash {h} != fresh-solver {expected_hash}"
+                ));
+            }
+            totals.solve_hashes_checked.fetch_add(1, Ordering::Relaxed);
+        } else if dice < 85 {
+            robust_call(
+                &mut cl,
+                &sess,
+                path,
+                &format!("refactor {sess} {path}"),
+                totals,
+            )?;
+        } else if dice < 90 {
+            let v = cl.call("stats")?;
+            let budget = v.get("session_budget").and_then(|b| b.as_num());
+            let peak = v
+                .get("resident_bytes_peak")
+                .and_then(|b| b.as_num())
+                .unwrap_or(f64::MAX);
+            if let Some(b) = budget {
+                if peak > b {
+                    return Err(format!(
+                        "client {c} job {j}: resident peak {peak} exceeds budget {b}"
+                    ));
+                }
+            }
+        } else if dice < 93 {
+            // Garbage op: exactly one structured bad_request.
+            let v = cl.call(&format!("frobnicate {sess}"))?;
+            if kind(&v) != "bad_request" {
+                return Err(format!("garbage op got {v:?}"));
+            }
+        } else if dice < 96 {
+            // Oversize frame: one error line, stream stays usable.
+            totals.oversize_injected.fetch_add(1, Ordering::Relaxed);
+            let v = cl.call(&"z".repeat(max_line_bytes + 17))?;
+            if kind(&v) != "oversize_frame" {
+                return Err(format!("oversize frame got {v:?}"));
+            }
+        } else if dice < 98 {
+            // Binary frame: NUL bytes are rejected in one line.
+            totals.nul_injected.fetch_add(1, Ordering::Relaxed);
+            let v = cl.call(&format!("solve\0{sess}"))?;
+            if kind(&v) != "invalid_frame" {
+                return Err(format!("NUL frame got {v:?}"));
+            }
+        } else {
+            // Mid-job disconnect: fire a mutating job, vanish without
+            // reading, reconnect, recover, and prove the bits survived.
+            totals.disconnects_injected.fetch_add(1, Ordering::Relaxed);
+            log.push(format!("client {c} job {j}: injected mid-job disconnect"));
+            let _ = writeln!(cl.w, "refactor {sess} {path}");
+            let _ = cl.w.flush();
+            drop(cl);
+            cl = Client::connect(addr).map_err(|e| format!("client {c}: reconnect: {e}"))?;
+            robust_call(
+                &mut cl,
+                &sess,
+                path,
+                &format!("factor {sess} {path}"),
+                totals,
+            )?;
+            let v = robust_call(&mut cl, &sess, path, &format!("solve {sess}"), totals)?;
+            let h = v.get("x_hash").and_then(|h| h.as_str()).unwrap_or("?");
+            if h != expected_hash {
+                return Err(format!(
+                    "client {c} job {j}: post-disconnect x_hash {h} != {expected_hash}"
+                ));
+            }
+            totals.solve_hashes_checked.fetch_add(1, Ordering::Relaxed);
+        }
+        totals.jobs_ok.fetch_add(1, Ordering::Relaxed);
+    }
+    Ok(())
+}
+
+/// With failpoints compiled in: arm a panic inside `Factor(0)`, prove the
+/// daemon contains it as a structured `worker_panic` job failure, then
+/// prove the session recovers to bit-identical solves.
+#[cfg(feature = "failpoints")]
+fn worker_panic_phase(
+    addr: &str,
+    path: &str,
+    expected_hash: &str,
+    log: &Log,
+) -> Result<(), String> {
+    use splu_core::failpoints::FailScenario;
+    let mut cl = Client::connect(addr).map_err(|e| format!("panic phase connect: {e}"))?;
+    let sess = "panic_probe";
+    let a = cl.call(&format!("analyze {sess} {path}"))?;
+    if status(&a) != "ok" {
+        return Err(format!("panic phase analyze failed: {a:?}"));
+    }
+    {
+        let scenario = FailScenario::new();
+        scenario.panic_at_factor(0);
+        let v = cl.call(&format!("factor {sess} {path}"))?;
+        if kind(&v) != "worker_panic" {
+            return Err(format!("armed factor got {v:?}, wanted worker_panic"));
+        }
+        let code = v.get("exit_code").and_then(|c| c.as_num());
+        if code != Some(4.0) {
+            return Err(format!("worker_panic with exit_code {code:?}, wanted 4"));
+        }
+        log.push("worker panic injected and contained (kind=worker_panic, exit 4)".to_string());
+        // The scenario guard disarms the failpoint on drop.
+    }
+    let v = cl.call(&format!("factor {sess} {path}"))?;
+    if status(&v) != "ok" {
+        return Err(format!("factor after contained panic failed: {v:?}"));
+    }
+    let v = cl.call(&format!("solve {sess}"))?;
+    let h = v.get("x_hash").and_then(|h| h.as_str()).unwrap_or("?");
+    if h != expected_hash {
+        return Err(format!("post-panic x_hash {h} != {expected_hash}"));
+    }
+    log.push("session recovered after worker panic; bits identical".to_string());
+    Ok(())
+}
+
+fn main() {
+    let mut seed = 42u64;
+    let reduced = std::env::var_os("PARSPLU_REDUCED").is_some();
+    let mut clients: usize = if reduced { 4 } else { 16 };
+    let mut jobs: usize = if reduced { 16 } else { 64 };
+    let mut log_path = "soak.log".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut take = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{what} needs a value"))
+        };
+        match a.as_str() {
+            "--seed" => seed = take("--seed").parse().expect("integer seed"),
+            "--clients" => clients = take("--clients").parse().expect("client count"),
+            "--jobs" => jobs = take("--jobs").parse().expect("jobs per client"),
+            "--log" => log_path = take("--log"),
+            other => panic!("unknown argument {other}; see the module docs"),
+        }
+    }
+
+    // Fixture: one reduced paper matrix on disk, plus the fresh-solver
+    // oracle hash every wire solve must reproduce (the serve path solves
+    // the manufactured RHS with salt 1 when no rhs file is given).
+    let path = std::env::temp_dir()
+        .join(format!("parsplu_soak_{}.mtx", std::process::id()))
+        .to_string_lossy()
+        .into_owned();
+    let a = splu_matgen::paper_matrix("goodwin", splu_matgen::Scale::Reduced)
+        .expect("goodwin analogue");
+    splu_sparse::io::write_matrix_market(&a, std::path::Path::new(&path))
+        .expect("write fixture matrix");
+    let opts = Options::default();
+    let mut oracle = SluSession::analyze(a.pattern(), &opts).expect("oracle analyze");
+    oracle.factor(&a).expect("oracle factor");
+    let b = manufactured_rhs(&a, 1).1;
+    let x = oracle.try_solve(&b).expect("oracle solve");
+    let expected_hash = format!("{:#018x}", solution_hash(&x));
+
+    // Budget ~ half the client sessions so eviction is constant traffic.
+    // A factored serve entry is the session plus the retained matrix.
+    let matrix_bytes = (a.nnz() * 16 + (a.ncols() + 1) * 8) as u64;
+    let entry_bytes = oracle.resident_bytes() + matrix_bytes;
+    let budget = entry_bytes * (clients as u64 / 2).max(2) + entry_bytes / 2;
+    let max_line_bytes = 4096;
+
+    let cfg = ServeConfig {
+        workers: 4,
+        queue_cap: 8,
+        max_line_bytes,
+        session_budget: Some(budget),
+        idle_timeout: None,
+    };
+    let listener = Listener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr_string();
+    let daemon = std::thread::spawn(move || serve_daemon(cfg, listener, None).expect("daemon"));
+
+    println!(
+        "soak: {clients} clients x {jobs} jobs, seed {seed}, budget {budget} bytes \
+         (~{} sessions), daemon at {addr}",
+        budget / entry_bytes
+    );
+    let totals = Totals::default();
+    let log = Log(Mutex::new(Vec::new()));
+    log.push(format!(
+        "soak seed={seed} clients={clients} jobs={jobs} budget={budget} addr={addr}"
+    ));
+
+    let t0 = Instant::now();
+    let errors: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let (addr, path, expected_hash, totals, log) =
+                    (&addr, &path, &expected_hash, &totals, &log);
+                scope.spawn(move || {
+                    client_loop(
+                        c,
+                        addr,
+                        path,
+                        expected_hash,
+                        jobs,
+                        seed,
+                        max_line_bytes,
+                        totals,
+                        log,
+                    )
+                    .map_err(|e| format!("client {c}: {e}"))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .filter_map(|h| match h.join() {
+                Ok(Ok(())) => None,
+                Ok(Err(e)) => Some(e),
+                Err(_) => Some("client thread panicked".to_string()),
+            })
+            .collect()
+    });
+    let concurrent_secs = t0.elapsed().as_secs_f64();
+    for e in &errors {
+        totals.failures.fetch_add(1, Ordering::Relaxed);
+        log.push(format!("FAILURE: {e}"));
+        eprintln!("soak FAILURE: {e}");
+    }
+
+    // Serial chaos phase: the factor failpoint is process-global, so it
+    // must not overlap the concurrent traffic.
+    #[cfg(feature = "failpoints")]
+    if let Err(e) = worker_panic_phase(&addr, &path, &expected_hash, &log) {
+        totals.failures.fetch_add(1, Ordering::Relaxed);
+        log.push(format!("FAILURE: {e}"));
+        eprintln!("soak FAILURE: {e}");
+    }
+    #[cfg(not(feature = "failpoints"))]
+    log.push("worker-panic phase skipped (build without --features failpoints)".to_string());
+
+    // Final stats + graceful shutdown: peak under budget, drained ack.
+    let mut cl = Client::connect(&addr).expect("final connect");
+    match cl.call("stats") {
+        Ok(v) => {
+            let peak = v
+                .get("resident_bytes_peak")
+                .and_then(|b| b.as_num())
+                .unwrap_or(f64::MAX);
+            log.push(format!(
+                "final stats: resident_peak={} budget={} evicted={} overload_rejects={} \
+                 conns_dropped={}",
+                peak,
+                budget,
+                v.get("sessions_evicted")
+                    .and_then(|n| n.as_num())
+                    .unwrap_or(-1.0),
+                v.get("jobs_rejected_overload")
+                    .and_then(|n| n.as_num())
+                    .unwrap_or(-1.0),
+                v.get("connections_dropped")
+                    .and_then(|n| n.as_num())
+                    .unwrap_or(-1.0),
+            ));
+            if peak > budget as f64 {
+                totals.failures.fetch_add(1, Ordering::Relaxed);
+                let e = format!("resident peak {peak} exceeds budget {budget}");
+                log.push(format!("FAILURE: {e}"));
+                eprintln!("soak FAILURE: {e}");
+            }
+        }
+        Err(e) => {
+            totals.failures.fetch_add(1, Ordering::Relaxed);
+            log.push(format!("FAILURE: final stats: {e}"));
+        }
+    }
+    match cl.call("shutdown") {
+        Ok(ack) => {
+            if ack.get("drained") != Some(&Json::Bool(true)) {
+                totals.failures.fetch_add(1, Ordering::Relaxed);
+                log.push(format!(
+                    "FAILURE: shutdown ack without drained:true: {ack:?}"
+                ));
+            }
+        }
+        Err(e) => {
+            totals.failures.fetch_add(1, Ordering::Relaxed);
+            log.push(format!("FAILURE: shutdown: {e}"));
+        }
+    }
+    let summary = daemon.join().expect("daemon thread");
+    let _ = std::fs::remove_file(&path);
+
+    let failures = totals.failures.load(Ordering::Relaxed);
+    let done = totals.jobs_ok.load(Ordering::Relaxed);
+    let line = format!(
+        "soak done: {done} jobs ok in {concurrent_secs:.1}s ({:.0} jobs/s), \
+         {} solves hash-checked, {} evictions recovered, {} overload retries, \
+         {} disconnects, {} oversize, {} nul frames injected; daemon saw {} jobs / {} conns; \
+         {failures} failure(s)",
+        done as f64 / concurrent_secs,
+        totals.solve_hashes_checked.load(Ordering::Relaxed),
+        totals.evictions_recovered.load(Ordering::Relaxed),
+        totals.overload_retries.load(Ordering::Relaxed),
+        totals.disconnects_injected.load(Ordering::Relaxed),
+        totals.oversize_injected.load(Ordering::Relaxed),
+        totals.nul_injected.load(Ordering::Relaxed),
+        summary.jobs,
+        summary.connections,
+    );
+    println!("{line}");
+    log.push(line);
+    std::fs::write(&log_path, log.0.lock().unwrap().join("\n") + "\n")
+        .unwrap_or_else(|e| eprintln!("soak: could not write {log_path}: {e}"));
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

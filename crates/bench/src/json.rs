@@ -52,6 +52,14 @@ impl Json {
         }
     }
 
+    /// The boolean if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The string if this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -572,6 +580,28 @@ pub fn validate_bench_service(doc: &Json) -> Result<usize, String> {
                     return Err(format!("{ctx}: non-positive jobs_per_sec {rate}"));
                 }
             }
+            // Daemon throughput over a real socket at a given client
+            // count; `threads` mirrors `clients` so the record key stays
+            // unique under the diff tool's (matrix, threads, kind) key.
+            "concurrent" => {
+                let clients = require_num(r, "clients", &ctx)?;
+                if clients < 1.0 || clients.fract() != 0.0 {
+                    return Err(format!("{ctx}: bad client count {clients}"));
+                }
+                if clients != threads {
+                    return Err(format!(
+                        "{ctx}: clients {clients} must mirror threads {threads}"
+                    ));
+                }
+                let jobs = require_num(r, "jobs", &ctx)?;
+                if jobs < 1.0 || jobs.fract() != 0.0 {
+                    return Err(format!("{ctx}: bad job count {jobs}"));
+                }
+                let rate = require_num(r, "jobs_per_sec", &ctx)?;
+                if rate.is_nan() || rate <= 0.0 {
+                    return Err(format!("{ctx}: non-positive jobs_per_sec {rate}"));
+                }
+            }
             other => return Err(format!("{ctx}: bad kind {other:?}")),
         }
     }
@@ -711,9 +741,11 @@ mod tests {
             {"matrix": "m", "threads": 2, "kind": "speedup",
              "factor_s": 0.04, "refactor_s": 0.02, "speedup": 2.0},
             {"matrix": "m", "threads": 4, "kind": "serve",
-             "jobs": 120, "jobs_per_sec": 37.5}
+             "jobs": 120, "jobs_per_sec": 37.5},
+            {"matrix": "suite", "threads": 16, "kind": "concurrent",
+             "clients": 16, "jobs": 512, "jobs_per_sec": 88.0}
         ]"#;
-        assert_eq!(validate_bench_service(&parse(good).unwrap()), Ok(2));
+        assert_eq!(validate_bench_service(&parse(good).unwrap()), Ok(3));
         for bad in [
             // Unknown kind.
             r#"[{"matrix": "m", "threads": 1, "kind": "warmup",
@@ -729,6 +761,15 @@ mod tests {
             // Fractional thread counts are nonsense.
             r#"[{"matrix": "m", "threads": 1.5, "kind": "serve",
                  "jobs": 10, "jobs_per_sec": 5.0}]"#,
+            // Concurrent rows need the client count...
+            r#"[{"matrix": "suite", "threads": 4, "kind": "concurrent",
+                 "jobs": 10, "jobs_per_sec": 5.0}]"#,
+            // ...which must mirror threads (the diff key)...
+            r#"[{"matrix": "suite", "threads": 4, "kind": "concurrent",
+                 "clients": 8, "jobs": 10, "jobs_per_sec": 5.0}]"#,
+            // ...and a positive throughput.
+            r#"[{"matrix": "suite", "threads": 4, "kind": "concurrent",
+                 "clients": 4, "jobs": 10, "jobs_per_sec": 0.0}]"#,
         ] {
             assert!(
                 validate_bench_service(&parse(bad).unwrap()).is_err(),

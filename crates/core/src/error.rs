@@ -93,6 +93,14 @@ pub enum LuError {
     /// A solve (or refactorization) was requested on a session that holds
     /// no factors yet: call `factor` first.
     NotFactored,
+    /// The named session was evicted from a session pool under its memory
+    /// budget (LRU order, idle sessions only). The symbolic analysis and
+    /// factors are gone; re-run `analyze` to rebuild them. The field
+    /// records how many resident bytes the eviction reclaimed.
+    SessionEvicted {
+        /// Resident bytes the session held when it was evicted.
+        resident_bytes: u64,
+    },
     /// An [`Options`](crate::Options) builder rejected an invalid
     /// combination at `build()` time.
     InvalidOptions {
@@ -176,6 +184,13 @@ impl std::fmt::Display for LuError {
             }
             LuError::NotFactored => {
                 write!(f, "session holds no factors yet: call factor() first")
+            }
+            LuError::SessionEvicted { resident_bytes } => {
+                write!(
+                    f,
+                    "session was evicted under the memory budget \
+                     ({resident_bytes} resident bytes reclaimed); re-analyze to continue"
+                )
             }
             LuError::InvalidOptions { message } => {
                 write!(f, "invalid options: {message}")
@@ -274,6 +289,11 @@ mod tests {
         assert!(p.to_string().contains("0x000000000000abcd"));
         assert!(p.to_string().contains("0x0000000000001234"));
         assert!(LuError::NotFactored.to_string().contains("factor()"));
+        let e = LuError::SessionEvicted {
+            resident_bytes: 4096,
+        };
+        assert!(e.to_string().contains("4096"));
+        assert!(e.to_string().contains("re-analyze"));
         let i = LuError::InvalidOptions {
             message: "threads must be positive".into(),
         };

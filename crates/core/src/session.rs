@@ -447,6 +447,31 @@ impl SluSession {
         &self.schedule
     }
 
+    /// Resident bytes this session holds: the dense panel/U-block storage
+    /// (dominant term, exact via [`BlockMatrix::storage_words`]), the
+    /// cached scatter map, and an estimate of the symbolic structures
+    /// (filled pattern indices, permutations, forest, task graph and
+    /// schedule) from the analysis statistics. This is the quantity a
+    /// session pool budgets and evicts on; it intentionally counts only
+    /// per-session state, not transient factorization workspace.
+    pub fn resident_bytes(&self) -> u64 {
+        let usz = std::mem::size_of::<usize>() as u64;
+        let s = &self.sym.stats;
+        // Filled pattern row indices + column pointers, two permutations
+        // with their inverses, eforest parents and postorder.
+        let symbolic = (s.nnz_filled as u64) * usz + 8 * (s.n as u64) * usz;
+        // Task graph adjacency (successors + predecessor counts) and the
+        // cached schedule (priorities + sequential order).
+        let graph = (self.graph.len() as u64 + s.graph_edges as u64) * 2 * usz
+            + (self.schedule.len() as u64) * 2 * 8;
+        let numeric = self
+            .bm
+            .as_ref()
+            .map_or(0, |bm| 8 * bm.storage_words() as u64);
+        let scatter = (self.scatter.len() * std::mem::size_of::<ScatterEntry>()) as u64;
+        symbolic + graph + numeric + scatter
+    }
+
     /// The numeric phase's robustness report for the latest factorization.
     pub fn health(&self) -> &FactorHealth {
         &self.health

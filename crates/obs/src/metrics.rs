@@ -40,11 +40,28 @@ pub enum Counter {
     /// Budget polls observed by the front half (ordering rounds, fill
     /// chunk boundaries) — how often a cancellation could have landed.
     BudgetCheckpoints,
+    /// Serve-daemon sessions evicted under the session memory budget
+    /// (LRU order; pinned in-flight sessions are never chosen).
+    SessionsEvicted,
+    /// Serve-daemon jobs refused with a structured `overloaded` response
+    /// because their lane's bounded queue was full.
+    JobsRejectedOverload,
+    /// Serve-daemon client connections that ended without a clean `quit`
+    /// or `shutdown` (EOF mid-stream, write failure, idle timeout).
+    ConnectionsDropped,
+    /// High-water mark of any serve-daemon lane's queue depth (recorded
+    /// with [`MetricsRegistry::record_max`], not summed).
+    QueueDepthPeak,
+    /// High-water mark of the serve-daemon session pool's resident bytes
+    /// (symbolic structures + panel storage + retained values), recorded
+    /// after budget enforcement — staying at or below the configured
+    /// budget is the eviction invariant.
+    ResidentSessionBytesPeak,
 }
 
 impl Counter {
     /// All counters, in registry order.
-    pub const ALL: [Counter; 10] = [
+    pub const ALL: [Counter; 15] = [
         Counter::FillL,
         Counter::FillU,
         Counter::FactorCalls,
@@ -55,6 +72,11 @@ impl Counter {
         Counter::GemmFlops,
         Counter::PerturbedColumns,
         Counter::BudgetCheckpoints,
+        Counter::SessionsEvicted,
+        Counter::JobsRejectedOverload,
+        Counter::ConnectionsDropped,
+        Counter::QueueDepthPeak,
+        Counter::ResidentSessionBytesPeak,
     ];
 
     /// Stable snake_case name, used as the JSON key in run reports.
@@ -70,6 +92,11 @@ impl Counter {
             Counter::GemmFlops => "gemm_flops",
             Counter::PerturbedColumns => "perturbed_columns",
             Counter::BudgetCheckpoints => "budget_checkpoints",
+            Counter::SessionsEvicted => "sessions_evicted",
+            Counter::JobsRejectedOverload => "jobs_rejected_overload",
+            Counter::ConnectionsDropped => "connections_dropped",
+            Counter::QueueDepthPeak => "queue_depth_peak",
+            Counter::ResidentSessionBytesPeak => "resident_session_bytes_peak",
         }
     }
 }
@@ -117,6 +144,14 @@ impl MetricsRegistry {
     #[inline]
     pub fn incr(&self, c: Counter) {
         self.add(c, 1);
+    }
+
+    /// Raises a high-water-mark counter to `value` if it is below it.
+    /// For gauges observed at instants (peak queue depth, peak resident
+    /// bytes) where summing increments would be meaningless.
+    #[inline]
+    pub fn record_max(&self, c: Counter, value: u64) {
+        self.counters[c as usize].fetch_max(value, Ordering::Relaxed);
     }
 
     /// The current value of one counter.
@@ -200,5 +235,16 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(reg.get(Counter::TrsmCalls), 8000);
+    }
+
+    #[test]
+    fn record_max_keeps_the_high_water_mark() {
+        let reg = MetricsRegistry::new();
+        reg.record_max(Counter::QueueDepthPeak, 3);
+        reg.record_max(Counter::QueueDepthPeak, 9);
+        reg.record_max(Counter::QueueDepthPeak, 5);
+        assert_eq!(reg.get(Counter::QueueDepthPeak), 9);
+        let snap = reg.snapshot();
+        assert_eq!(snap.get(Counter::QueueDepthPeak), 9);
     }
 }

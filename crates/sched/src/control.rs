@@ -52,6 +52,14 @@ pub struct CancelToken {
 struct TokenInner {
     cancelled: AtomicBool,
     countdown: AtomicUsize,
+    /// Ancestor chain for derived tokens: [`CancelToken::is_cancelled`]
+    /// consults every ancestor, so cancelling a parent cancels the whole
+    /// subtree, while cancelling a child leaves the parent untouched.
+    parent: Option<Arc<TokenInner>>,
+}
+
+fn chain_cancelled(inner: &TokenInner) -> bool {
+    inner.cancelled.load(Ordering::Acquire) || inner.parent.as_deref().is_some_and(chain_cancelled)
 }
 
 impl CancelToken {
@@ -61,6 +69,27 @@ impl CancelToken {
             inner: Arc::new(TokenInner {
                 cancelled: AtomicBool::new(false),
                 countdown: AtomicUsize::new(UNARMED),
+                parent: None,
+            }),
+        }
+    }
+
+    /// A derived token scoped under this one: cancelling the parent (or
+    /// any ancestor) cancels the child, while cancelling the child leaves
+    /// the parent untouched.
+    ///
+    /// This is the right shape for handing a long-lived cancellation
+    /// handle (a serve connection, a SIGINT watcher) to an executor run:
+    /// the executors' abort-drain path cancels the run's own token to
+    /// release parked workers (see [`WatchdogConfig`] and the stall
+    /// containment), and a *contained* failure must not stick that
+    /// cancellation onto the caller's handle.
+    pub fn child(&self) -> Self {
+        CancelToken {
+            inner: Arc::new(TokenInner {
+                cancelled: AtomicBool::new(false),
+                countdown: AtomicUsize::new(UNARMED),
+                parent: Some(Arc::clone(&self.inner)),
             }),
         }
     }
@@ -71,9 +100,10 @@ impl CancelToken {
         self.inner.cancelled.store(true, Ordering::Release);
     }
 
-    /// Whether cancellation has been requested.
+    /// Whether cancellation has been requested, on this token or any
+    /// ancestor it was derived from.
     pub fn is_cancelled(&self) -> bool {
-        self.inner.cancelled.load(Ordering::Acquire)
+        chain_cancelled(&self.inner)
     }
 
     /// Arms the token to self-cancel at the `n`-th subsequent
@@ -613,6 +643,29 @@ mod tests {
         assert!(t.checkpoint());
         assert_eq!(t, t2);
         assert_ne!(t, CancelToken::new());
+    }
+
+    #[test]
+    fn child_cancellation_is_one_directional() {
+        // Parent → child propagates (through a grandchild too)...
+        let parent = CancelToken::new();
+        let child = parent.child();
+        let grandchild = child.child();
+        assert!(!child.is_cancelled());
+        parent.cancel();
+        assert!(child.is_cancelled());
+        assert!(grandchild.is_cancelled());
+        assert!(child.checkpoint());
+
+        // ...but a child cancelled by a contained abort (the executors'
+        // drain path) must not poison its parent.
+        let conn = CancelToken::new();
+        let job = conn.child();
+        job.cancel();
+        assert!(job.is_cancelled());
+        assert!(!conn.is_cancelled());
+        // The next job derived from the same handle starts clean.
+        assert!(!conn.child().is_cancelled());
     }
 
     #[test]

@@ -50,6 +50,7 @@ mod control;
 mod executor;
 pub mod fine;
 mod graph;
+mod lane;
 mod schedule;
 mod simulate;
 pub mod sync;
@@ -67,6 +68,7 @@ pub use executor::{
 };
 pub use fine::{build_fine_graph, simulate_fine, FineGraph, FineTask, Grid};
 pub use graph::{block_forest, build_eforest_graph, build_sstar_graph, Task, TaskGraph};
+pub use lane::{Lane, LaneRejected};
 pub use schedule::{execute_seq_budgeted, execute_traced_budgeted_with_priorities, ExecSchedule};
 pub use simulate::{
     simulate, simulate_dynamic, simulate_dynamic_traced, simulate_static_order,

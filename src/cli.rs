@@ -26,7 +26,8 @@ pub struct CliError {
     pub message: String,
     /// `2` usage/input errors, `3` numerical failures, `4` contained
     /// worker panics, `5` deadline exceeded, `6` watchdog stall,
-    /// `130` cancelled (Ctrl-C).
+    /// `7` session evicted under the serve memory budget, `8` serve
+    /// overload / shutdown refusal, `130` cancelled (Ctrl-C).
     pub exit_code: i32,
 }
 
@@ -63,6 +64,7 @@ impl From<LuError> for CliError {
             LuError::WorkerPanic { .. } => 4,
             LuError::DeadlineExceeded { .. } => 5,
             LuError::Stalled { .. } => 6,
+            LuError::SessionEvicted { .. } => 7,
             // 128 + SIGINT, the shell convention for an interrupted run.
             LuError::Cancelled { .. } => 130,
             _ => 2,
@@ -84,24 +86,53 @@ USAGE:
   parsplu condest <matrix.mtx> [options]        estimate the 1-norm condition number
   parsplu gen     <name> <out.mtx> [--reduced]  write a benchmark matrix
                   (names: sherman3 sherman5 lnsp3937 lns3937 orsreg1 saylr4 goodwin)
-  parsplu serve   [--workers <N>]               long-running job loop on stdin
+  parsplu serve   [serve options]               long-running job service
 
 SERVE MODE:
-  Reads line-delimited jobs from stdin and writes one JSON line per job to
-  stdout, dispatching jobs concurrently over `--workers` threads [4]. Jobs
-  on the same named session run in submission order; different sessions
-  run in parallel. Responses appear in completion order.
+  Reads line-delimited jobs and writes one JSON line per job, dispatching
+  jobs concurrently over `--workers` threads [4]. Jobs on the same named
+  session run in submission order; different sessions run in parallel.
+  Responses appear in completion order. Without `--listen` jobs come from
+  stdin; with it the daemon accepts any number of concurrent socket
+  clients multiplexed onto the same workers and sessions.
+  Serve options:
+    --workers <N>          worker lanes/threads                      [4]
+    --listen <addr>        accept socket clients: `host:port` (TCP, port 0
+                           picks an ephemeral port, announced on stderr)
+                           or `unix:<path>` (Unix domain socket)
+    --queue-cap <N>        bounded per-lane queue depth [64]; a full lane
+                           refuses the job with a structured `overloaded`
+                           error carrying queue_depth and retry_after_hint
+    --max-line-bytes <S>   reject job lines longer than S bytes [16m]
+                           (sizes accept k/m/g suffixes); the frame is
+                           discarded and the stream resyncs at the next
+                           newline
+    --session-budget <S>   cap resident session bytes (symbolic + factor
+                           storage + retained values); idle sessions are
+                           evicted LRU-first, and a job naming an evicted
+                           session gets a `session_evicted` error (exit
+                           code 7) until it re-runs `analyze`
+    --idle-timeout <secs>  drop socket connections idle longer than this
   Job grammar (tokens are whitespace-separated):
     analyze  <session> <matrix.mtx> [options]   symbolic analysis, cached
     factor   <session> <values.mtx> [options]   numeric-only factorization
     refactor <session> <values.mtx> [options]   numeric refactorization
                                                 reusing the factor storage
     solve    <session> [--rhs <file>] [--transpose] [--refine]
-    quit                                        drain workers and exit
+    stats                                       daemon counters and depths
+    shutdown                                    drain all queued jobs,
+                                                refuse new ones, ack last
+    quit                                        end this feeder/connection
   `factor`/`refactor` values must match the analyzed pattern (a mismatch is
   a structured error, the session stays usable). Per-job `--time-limit` /
   `--watchdog` bound that job alone. Each response embeds a run report
-  (schema `parsplu-run-report/1`) for analyze/factor/refactor jobs.
+  (schema `parsplu-run-report/1`) for analyze/factor/refactor jobs; error
+  responses carry a machine-readable `kind` (bad_request, numeric,
+  worker_panic, deadline, stalled, session_evicted, overloaded,
+  shutting_down, cancelled, oversize_frame, invalid_frame, idle_timeout)
+  next to the exit code a local run would have used. `solve` responses
+  include `x_hash`, an FNV-1a hash of the solution's exact bit patterns,
+  for bitwise reproducibility checks.
 
 OPTIONS:
   --threads <N>         worker threads for the numerical phase   [1]
@@ -161,17 +192,20 @@ EXIT CODES:
   4    a worker thread panicked; the panic was contained and reported
   5    --time-limit deadline exceeded (run drained cleanly)
   6    the liveness watchdog declared a stall (diagnosis on stderr)
+  7    serve: the session was evicted under --session-budget (re-analyze)
+  8    serve: overloaded (bounded queue full) or shutting down
   130  cancelled by Ctrl-C (128 + SIGINT); the run drained cleanly
 ";
 
-/// Parsed global options.
-struct Cli {
-    opts: Options,
-    refine: bool,
-    transpose: bool,
+/// Parsed global options (shared with the serve module, which parses the
+/// same flag grammar per job line).
+pub(crate) struct Cli {
+    pub(crate) opts: Options,
+    pub(crate) refine: bool,
+    pub(crate) transpose: bool,
     dot_forest: Option<String>,
     dot_graph: Option<String>,
-    rhs: Option<String>,
+    pub(crate) rhs: Option<String>,
     out: Option<String>,
     report: Option<String>,
     trace: Option<String>,
@@ -192,7 +226,7 @@ impl Cli {
     }
 }
 
-fn parse_flags(args: &[String], token: Option<&CancelToken>) -> Result<Cli, String> {
+pub(crate) fn parse_flags(args: &[String], token: Option<&CancelToken>) -> Result<Cli, String> {
     let mut cli = Cli {
         opts: Options::default(),
         refine: false,
@@ -331,11 +365,11 @@ fn parse_flags(args: &[String], token: Option<&CancelToken>) -> Result<Cli, Stri
     Ok(cli)
 }
 
-fn load(path: &str) -> Result<CscMatrix, String> {
+pub(crate) fn load(path: &str) -> Result<CscMatrix, String> {
     read_matrix_market(Path::new(path)).map_err(|e| format!("reading {path}: {e}"))
 }
 
-fn matrix_name(path: &str) -> String {
+pub(crate) fn matrix_name(path: &str) -> String {
     Path::new(path)
         .file_stem()
         .map(|s| s.to_string_lossy().into_owned())
@@ -446,7 +480,7 @@ fn cmd_analyze(
     Ok(out)
 }
 
-fn read_vector(path: &str, n: usize) -> Result<Vec<f64>, String> {
+pub(crate) fn read_vector(path: &str, n: usize) -> Result<Vec<f64>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let v: Vec<f64> = text
         .lines()
@@ -602,20 +636,9 @@ fn cmd_gen(name: &str, out_path: &str, flags: &[String]) -> Result<String, CliEr
     ))
 }
 
-/// One named session in serve mode: the persistent analyze/refactor state
-/// plus the most recently factored values (retained for manufactured
-/// right-hand sides, residual checks, and refined solves).
-struct ServeEntry {
-    session: splu_core::SluSession,
-    matrix: Option<CscMatrix>,
-}
+use std::sync::Mutex;
 
-type ServeSessions = std::sync::Mutex<std::collections::HashMap<String, Arc<Mutex<ServeEntry>>>>;
-
-use std::io::{BufRead, Write as IoWrite};
-use std::sync::{mpsc, Arc, Mutex};
-
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 8);
     for c in s.chars() {
         match c {
@@ -636,226 +659,19 @@ fn json_escape(s: &str) -> String {
 /// Flattens a pretty-printed JSON document onto one line. Safe because the
 /// writer escapes newlines inside string values, so every literal newline
 /// and its indentation is inter-token whitespace.
-fn compact_json(pretty: &str) -> String {
+pub(crate) fn compact_json(pretty: &str) -> String {
     pretty.lines().map(str::trim_start).collect()
 }
 
-/// Runs one serve-mode job line, returning the one-line JSON response.
-fn serve_job(
-    id: usize,
-    line: &str,
-    sessions: &ServeSessions,
-    token: Option<&CancelToken>,
-) -> String {
-    let toks: Vec<String> = line.split_whitespace().map(String::from).collect();
-    let op = toks[0].clone();
-    let name = toks.get(1).cloned().unwrap_or_default();
-    let head = format!(
-        r#"{{"id":{id},"op":"{}","session":"{}""#,
-        json_escape(&op),
-        json_escape(&name)
-    );
-    let t0 = Instant::now();
-    match serve_job_inner(&toks, sessions, token) {
-        Ok(fields) => format!(
-            r#"{head},"status":"ok","seconds":{:.6}{fields}}}"#,
-            t0.elapsed().as_secs_f64()
-        ),
-        Err(e) => format!(
-            r#"{head},"status":"error","exit_code":{},"error":"{}"}}"#,
-            e.exit_code,
-            json_escape(&e.message)
-        ),
-    }
-}
-
-/// The fallible body of [`serve_job`]: returns extra JSON fields (each
-/// prefixed with a comma) to splice into the success response.
-fn serve_job_inner(
-    toks: &[String],
-    sessions: &ServeSessions,
-    token: Option<&CancelToken>,
-) -> Result<String, CliError> {
-    let op = toks[0].as_str();
-    let name = toks
-        .get(1)
-        .ok_or_else(|| CliError::from(format!("`{op}` needs a session name")))?;
-    let lookup = || -> Result<Arc<Mutex<ServeEntry>>, CliError> {
-        sessions.lock().unwrap().get(name).cloned().ok_or_else(|| {
-            CliError::from(format!("unknown session `{name}` (run `analyze` first)"))
-        })
-    };
-    match op {
-        "analyze" => {
-            let path = toks
-                .get(2)
-                .ok_or_else(|| CliError::from("`analyze` needs a matrix path"))?;
-            let cli = parse_flags(&toks[3..], token)?;
-            let obs = ObsSession::new();
-            let a = {
-                let _p = obs.phase("parse");
-                load(path)?
-            };
-            let meta = MatrixMeta {
-                name: matrix_name(path),
-                n: a.ncols(),
-                nnz: a.nnz(),
-            };
-            let session = splu_core::SluSession::analyze_observed(a.pattern(), &cli.opts, &obs)
-                .map_err(|e| {
-                    let _ = obs.report(meta.clone(), &cli.opts, RunStatus::from_error(&e));
-                    CliError::from(e)
-                })?;
-            let report = obs.report(
-                MatrixMeta::from_stats(&matrix_name(path), session.stats()),
-                &cli.opts,
-                RunStatus::success(),
-            );
-            let stats = format!(
-                r#","tasks":{},"supernodes":{}"#,
-                session.stats().graph_tasks,
-                session.stats().supernodes
-            );
-            sessions.lock().unwrap().insert(
-                name.clone(),
-                Arc::new(Mutex::new(ServeEntry {
-                    session,
-                    matrix: None,
-                })),
-            );
-            Ok(format!(
-                r#"{stats},"report":{}"#,
-                compact_json(&report.to_json())
-            ))
-        }
-        "factor" | "refactor" => {
-            let path = toks
-                .get(2)
-                .ok_or_else(|| CliError::from(format!("`{op}` needs a values path")))?;
-            let cli = parse_flags(&toks[3..], token)?;
-            let entry = lookup()?;
-            let mut e = entry.lock().unwrap();
-            let obs = ObsSession::new();
-            let a = {
-                let _p = obs.phase("parse");
-                load(path)?
-            };
-            e.session.set_budget(cli.opts.budget.clone());
-            let outcome = if op == "refactor" {
-                e.session.refactor_observed(&a, &obs)
-            } else {
-                e.session.factor_observed(&a, &obs)
-            };
-            let meta = MatrixMeta::from_stats(&matrix_name(path), e.session.stats());
-            let opts = e.session.options().clone();
-            match outcome {
-                Ok(()) => {
-                    e.matrix = Some(a);
-                    let report = obs.report(meta, &opts, RunStatus::success());
-                    Ok(format!(r#","report":{}"#, compact_json(&report.to_json())))
-                }
-                Err(err) => {
-                    // The session survives a failed or interrupted
-                    // factorization; the report records the error.
-                    let _ = obs.report(meta, &opts, RunStatus::from_error(&err));
-                    Err(err.into())
-                }
-            }
-        }
-        "solve" => {
-            let cli = parse_flags(&toks[2..], token)?;
-            let entry = lookup()?;
-            let e = entry.lock().unwrap();
-            let a = e.matrix.as_ref().ok_or_else(|| {
-                CliError::from(format!("session `{name}` holds no factored values"))
-            })?;
-            let b = match &cli.rhs {
-                Some(p) => read_vector(p, a.nrows())?,
-                None => manufactured_rhs(a, 1).1,
-            };
-            let x = if cli.transpose {
-                e.session.try_solve_transposed(&b)?
-            } else if cli.refine {
-                e.session.solve_refined(a, &b, 1e-14, 2)?.0
-            } else {
-                e.session.try_solve(&b)?
-            };
-            let resid = if cli.transpose {
-                relative_residual(&a.transpose(), &x, &b)
-            } else {
-                relative_residual(a, &x, &b)
-            };
-            Ok(format!(r#","residual":{resid:.3e}"#))
-        }
-        other => Err(CliError::from(format!("unknown serve op `{other}`"))),
-    }
-}
-
-/// The serve-mode engine, factored out of [`cmd_serve`] so the integration
-/// tests can drive it in-process: reads line-delimited jobs from `reader`,
-/// dispatches them over `workers` threads, and writes one JSON line per
-/// job to `writer` in completion order. Returns the number of jobs run.
-pub fn serve_loop<R: BufRead, W: IoWrite + Send>(
-    reader: R,
-    writer: &Mutex<W>,
-    workers: usize,
-    token: Option<&CancelToken>,
-) -> Result<usize, CliError> {
-    let sessions: ServeSessions = Mutex::new(std::collections::HashMap::new());
-    let workers = workers.max(1);
-    // One queue per worker, routed by session-name hash: jobs on the same
-    // session keep their submission order (an `analyze g` always lands
-    // before the `factor g` behind it), while different sessions spread
-    // across workers and run concurrently.
-    let mut txs = Vec::with_capacity(workers);
-    let mut rxs = Vec::with_capacity(workers);
-    for _ in 0..workers {
-        let (tx, rx) = mpsc::channel::<(usize, String)>();
-        txs.push(tx);
-        rxs.push(rx);
-    }
-    let mut dispatched = 0usize;
-    std::thread::scope(|scope| -> Result<(), CliError> {
-        for rx in rxs {
-            let sessions = &sessions;
-            let writer = &writer;
-            scope.spawn(move || {
-                while let Ok((id, line)) = rx.recv() {
-                    let response = serve_job(id, &line, sessions, token);
-                    let mut w = writer.lock().unwrap();
-                    let _ = writeln!(w, "{response}");
-                    let _ = w.flush();
-                }
-            });
-        }
-        for line in reader.lines() {
-            let line = line.map_err(|e| CliError::from(format!("reading jobs: {e}")))?;
-            let trimmed = line.trim();
-            if trimmed.is_empty() || trimmed.starts_with('#') {
-                continue;
-            }
-            if trimmed == "quit" {
-                break;
-            }
-            if token.is_some_and(|t| t.is_cancelled()) {
-                break;
-            }
-            dispatched += 1;
-            let session_name = trimmed.split_whitespace().nth(1).unwrap_or("");
-            let lane = session_name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-                (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
-            }) as usize
-                % workers;
-            let _ = txs[lane].send((dispatched, trimmed.to_string()));
-        }
-        drop(txs);
-        Ok(())
-    })?;
-    Ok(dispatched)
-}
+// The serve machinery (bounded lanes, session pool with budgeted
+// eviction, socket transport) lives in `crate::serve`; the stdio entry
+// point is re-exported here for the integration tests that predate it.
+pub use crate::serve::serve_loop;
+use crate::serve::{parse_size, serve_daemon, serve_loop_with, Listener, ServeConfig};
 
 fn cmd_serve(flags: &[String], token: Option<&CancelToken>) -> Result<String, CliError> {
-    let mut workers = 4usize;
+    let mut cfg = ServeConfig::default();
+    let mut listen: Option<String> = None;
     let mut it = flags.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -863,20 +679,90 @@ fn cmd_serve(flags: &[String], token: Option<&CancelToken>) -> Result<String, Cl
                 let v = it
                     .next()
                     .ok_or_else(|| CliError::from("--workers needs a value"))?;
-                workers = v
+                cfg.workers = v
                     .parse()
                     .map_err(|_| CliError::from(format!("bad worker count `{v}`")))?;
-                if workers == 0 {
+                if cfg.workers == 0 {
                     return Err(CliError::from("worker count must be positive"));
                 }
+            }
+            "--listen" => {
+                listen = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::from("--listen needs an address"))?
+                        .clone(),
+                );
+            }
+            "--queue-cap" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::from("--queue-cap needs a value"))?;
+                cfg.queue_cap = v
+                    .parse()
+                    .map_err(|_| CliError::from(format!("bad queue cap `{v}`")))?;
+                if cfg.queue_cap == 0 {
+                    return Err(CliError::from("queue cap must be positive"));
+                }
+            }
+            "--max-line-bytes" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::from("--max-line-bytes needs a size"))?;
+                let bytes = parse_size(v)?;
+                if bytes == 0 {
+                    return Err(CliError::from("line-size cap must be positive"));
+                }
+                cfg.max_line_bytes = usize::try_from(bytes)
+                    .map_err(|_| CliError::from(format!("line-size cap `{v}` too large")))?;
+            }
+            "--session-budget" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::from("--session-budget needs a size"))?;
+                let bytes = parse_size(v)?;
+                if bytes == 0 {
+                    return Err(CliError::from("session budget must be positive"));
+                }
+                cfg.session_budget = Some(bytes);
+            }
+            "--idle-timeout" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::from("--idle-timeout needs a value (seconds)"))?;
+                let secs: f64 = v
+                    .parse()
+                    .map_err(|_| CliError::from(format!("bad idle timeout `{v}`")))?;
+                if !(secs > 0.0 && secs.is_finite()) {
+                    return Err(CliError::from("idle timeout must be positive"));
+                }
+                cfg.idle_timeout = Some(Duration::from_secs_f64(secs));
             }
             other => return Err(CliError::from(format!("unknown serve option `{other}`"))),
         }
     }
-    let stdin = std::io::stdin();
-    let stdout = Mutex::new(std::io::stdout());
-    let n = serve_loop(stdin.lock(), &stdout, workers, token)?;
-    Ok(format!("served {n} job(s)\n"))
+    match listen {
+        Some(addr) => {
+            let listener = Listener::bind(&addr)?;
+            // Announce the bound address immediately (stdout is reserved
+            // for the final summary) so clients can find an ephemeral
+            // port.
+            eprintln!(
+                "parsplu serve: listening on {}",
+                listener.local_addr_string()
+            );
+            let summary = serve_daemon(cfg, listener, token)?;
+            Ok(format!(
+                "served {} job(s) over {} connection(s)\n",
+                summary.jobs, summary.connections
+            ))
+        }
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = Mutex::new(std::io::stdout());
+            let n = serve_loop_with(cfg, stdin.lock(), &stdout, token)?;
+            Ok(format!("served {n} job(s)\n"))
+        }
+    }
 }
 
 /// Runs the CLI on the given arguments (without the program name), returning

@@ -42,6 +42,7 @@
 //! ```
 
 pub mod cli;
+pub mod serve;
 
 pub use splu_core as core;
 pub use splu_dense as dense;

@@ -1,0 +1,1568 @@
+//! The serve daemon: a fault-tolerant, long-running job service.
+//!
+//! `parsplu serve` began as a line-delimited job loop on stdin; this
+//! module grows it into a daemon (DESIGN.md §5.4) without changing the
+//! job grammar:
+//!
+//! * **Transport** — [`serve_loop`] still drives stdin/stdout for
+//!   single-feeder pipelines, while [`serve_daemon`] accepts TCP or Unix
+//!   domain socket connections ([`Listener`]) and multiplexes every
+//!   client onto the same hash-routed worker lanes. Each connection gets
+//!   its own [`CancelToken`]: a dead or slow client is cancelled and
+//!   dropped, never wedging a lane.
+//! * **Framing** — [`FrameReader`] enforces a line-size cap
+//!   (`--max-line-bytes`) and rejects NUL-bearing frames with a one-line
+//!   structured error, then resynchronizes at the next newline, so a
+//!   garbage client cannot buffer the daemon out of memory or poison the
+//!   stream for others.
+//! * **Session memory budgeting** — the [`SessionPool`] accounts resident
+//!   bytes per session ([`SluSession::resident_bytes`] plus retained
+//!   values) and evicts idle sessions in LRU order to honor
+//!   `--session-budget`. Evicted sessions leave a tombstone: the next job
+//!   naming them gets a structured `session_evicted` error (exit code 7)
+//!   and can simply re-`analyze`. Sessions pinned by in-flight jobs are
+//!   never evicted.
+//! * **Backpressure** — worker lanes are bounded ([`splu_sched::Lane`]);
+//!   a full lane refuses the job with a structured `overloaded` response
+//!   carrying the queue depth and a retry hint (exit code 8) instead of
+//!   buffering without bound.
+//! * **Graceful shutdown** — the `shutdown` op (or Ctrl-C) stops intake,
+//!   drains every queued job, flushes the final responses, and only then
+//!   acknowledges. Accepted work is never dropped.
+//!
+//! Every response is one JSON line. Errors carry `"kind"` (a stable
+//! machine-readable taxonomy: `bad_request`, `numeric`, `worker_panic`,
+//! `deadline`, `stalled`, `session_evicted`, `overloaded`,
+//! `shutting_down`, `cancelled`, `oversize_frame`, `invalid_frame`) next
+//! to the CLI exit code a local run would have used.
+
+use crate::cli::{
+    compact_json, json_escape, load, matrix_name, parse_flags, read_vector, CliError,
+};
+use splu_core::{CancelToken, LuError, MatrixMeta, ObsSession, RunReport, RunStatus, SluSession};
+use splu_matgen::manufactured_rhs;
+use splu_obs::{Counter, MetricsRegistry};
+use splu_sched::{Lane, LaneRejected};
+use splu_sparse::{relative_residual, CscMatrix};
+use std::collections::HashMap;
+use std::io::{BufRead, ErrorKind, Write as IoWrite};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// FNV-1a offset basis / prime, shared by lane routing and solution
+/// hashing.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Configuration for the serve engine, shared by the stdio loop and the
+/// socket daemon.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker lanes (and threads) jobs are hash-routed onto.
+    pub workers: usize,
+    /// Bounded depth of each worker lane; a full lane refuses jobs with a
+    /// structured `overloaded` response.
+    pub queue_cap: usize,
+    /// Maximum accepted job-line length in bytes; longer frames are
+    /// discarded (with an `oversize_frame` error) and the stream resyncs
+    /// at the next newline.
+    pub max_line_bytes: usize,
+    /// Resident-byte budget for the session pool; `None` disables
+    /// eviction.
+    pub session_budget: Option<u64>,
+    /// Drop socket connections idle longer than this; `None` disables the
+    /// idle timeout. (Ignored by the stdio loop, whose reader blocks.)
+    pub idle_timeout: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_cap: 64,
+            max_line_bytes: 16 * 1024 * 1024,
+            session_budget: None,
+            idle_timeout: None,
+        }
+    }
+}
+
+/// Parses a byte-size argument: a plain integer with an optional
+/// `k`/`m`/`g` suffix (binary multiples, case-insensitive).
+pub fn parse_size(s: &str) -> Result<u64, String> {
+    let t = s.trim();
+    let (digits, mult) = match t.chars().last() {
+        Some('k') | Some('K') => (&t[..t.len() - 1], 1u64 << 10),
+        Some('m') | Some('M') => (&t[..t.len() - 1], 1u64 << 20),
+        Some('g') | Some('G') => (&t[..t.len() - 1], 1u64 << 30),
+        _ => (t, 1),
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| format!("bad size `{s}` (expected e.g. 4096, 64k, 16m, 2g)"))?;
+    n.checked_mul(mult)
+        .ok_or_else(|| format!("size `{s}` overflows"))
+}
+
+/// The stable machine-readable error kind for a CLI exit code (the
+/// `"kind"` field of error responses).
+pub fn kind_of_exit(exit_code: i32) -> &'static str {
+    match exit_code {
+        2 => "bad_request",
+        3 => "numeric",
+        4 => "worker_panic",
+        5 => "deadline",
+        6 => "stalled",
+        7 => "session_evicted",
+        8 => "overloaded",
+        130 => "cancelled",
+        _ => "error",
+    }
+}
+
+/// FNV-1a hash of a session name, used to route jobs onto lanes so that
+/// same-session jobs keep submission order.
+fn lane_of(name: &str, lanes: usize) -> usize {
+    let h = name
+        .bytes()
+        .fold(FNV_OFFSET, |h, b| (h ^ b as u64).wrapping_mul(FNV_PRIME));
+    (h as usize) % lanes
+}
+
+/// FNV-1a hash of a solution vector's exact bit patterns. Serve `solve`
+/// responses carry it as `x_hash` so clients (and the soak harness) can
+/// assert bitwise-identical solves without shipping the vector.
+pub fn solution_hash(x: &[f64]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for v in x {
+        for b in v.to_bits().to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// One unit read from a job stream.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// A complete line (newline stripped, trailing `\r` removed).
+    Line(String),
+    /// A line longer than the cap was discarded; the stream resynced at
+    /// the next newline. `discarded` counts the dropped bytes.
+    Oversize {
+        /// Bytes thrown away (the whole over-long line).
+        discarded: usize,
+    },
+    /// The line contained a NUL byte — a binary frame on a text protocol.
+    Nul {
+        /// Length of the rejected line.
+        len: usize,
+    },
+    /// A read timeout expired with no data (sockets only); the caller
+    /// should check idle/cancel state and poll again.
+    Idle,
+    /// End of stream.
+    Eof,
+}
+
+/// A line framer with a hard size cap. Unlike `BufRead::read_line`, an
+/// over-long line never grows the buffer past the cap: the reader switches
+/// to skip mode, counts the discarded bytes, and resynchronizes at the
+/// next newline. Read timeouts (`WouldBlock`/`TimedOut`) surface as
+/// [`Frame::Idle`] so socket connections can poll for shutdown.
+pub struct FrameReader<R> {
+    inner: R,
+    max: usize,
+    buf: Vec<u8>,
+    /// When `> 0`, we are discarding an over-long line; the value counts
+    /// bytes dropped so far.
+    skipping: usize,
+}
+
+impl<R: BufRead> FrameReader<R> {
+    /// Wraps `inner`, capping accepted lines at `max` bytes.
+    pub fn new(inner: R, max: usize) -> Self {
+        FrameReader {
+            inner,
+            max: max.max(1),
+            buf: Vec::new(),
+            skipping: 0,
+        }
+    }
+
+    fn emit_line(&mut self) -> Frame {
+        let mut bytes = std::mem::take(&mut self.buf);
+        if bytes.last() == Some(&b'\r') {
+            bytes.pop();
+        }
+        if bytes.contains(&0) {
+            return Frame::Nul { len: bytes.len() };
+        }
+        Frame::Line(String::from_utf8_lossy(&bytes).into_owned())
+    }
+
+    /// Reads the next frame. Blocks until a full line, EOF, or (for
+    /// readers with a read timeout) the timeout.
+    pub fn next_frame(&mut self) -> Frame {
+        loop {
+            let n_avail;
+            let newline_at;
+            {
+                let available = match self.inner.fill_buf() {
+                    Ok(b) => b,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                        return Frame::Idle
+                    }
+                    Err(_) => return Frame::Eof,
+                };
+                if available.is_empty() {
+                    if self.skipping > 0 {
+                        let discarded = self.skipping;
+                        self.skipping = 0;
+                        return Frame::Oversize { discarded };
+                    }
+                    if self.buf.is_empty() {
+                        return Frame::Eof;
+                    }
+                    // Final line without a trailing newline.
+                    return self.emit_line();
+                }
+                n_avail = available.len();
+                newline_at = available.iter().position(|&b| b == b'\n');
+                let take = newline_at.unwrap_or(n_avail);
+                if self.skipping > 0 {
+                    self.skipping += take;
+                } else if self.buf.len() + take <= self.max {
+                    self.buf.extend_from_slice(&available[..take]);
+                } else {
+                    self.skipping = self.buf.len() + take;
+                    self.buf.clear();
+                }
+            }
+            match newline_at {
+                Some(pos) => {
+                    self.inner.consume(pos + 1);
+                    if self.skipping > 0 {
+                        let discarded = self.skipping;
+                        self.skipping = 0;
+                        return Frame::Oversize { discarded };
+                    }
+                    return self.emit_line();
+                }
+                None => self.inner.consume(n_avail),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session pool
+// ---------------------------------------------------------------------------
+
+/// One named session: the persistent analyze/refactor state plus the most
+/// recently factored values (retained for manufactured right-hand sides,
+/// residual checks, and refined solves).
+pub(crate) struct ServeEntry {
+    pub(crate) session: SluSession,
+    pub(crate) matrix: Option<CscMatrix>,
+}
+
+/// Resident bytes a retained values matrix costs the pool.
+fn csc_bytes(a: &CscMatrix) -> u64 {
+    let usz = std::mem::size_of::<usize>() as u64;
+    (a.nnz() as u64) * (8 + usz) + (a.ncols() as u64 + 1) * usz
+}
+
+fn entry_bytes(e: &ServeEntry) -> u64 {
+    e.session.resident_bytes() + e.matrix.as_ref().map_or(0, csc_bytes)
+}
+
+enum Slot {
+    Live {
+        cell: Arc<Mutex<ServeEntry>>,
+        bytes: u64,
+        last_used: u64,
+        pins: u32,
+    },
+    /// Tombstone left by an eviction so the next job naming the session
+    /// gets `session_evicted` (re-analyze) rather than `unknown session`.
+    Evicted { bytes: u64 },
+}
+
+struct PoolInner {
+    slots: HashMap<String, Slot>,
+    clock: u64,
+    resident: u64,
+}
+
+/// Aggregate pool state for the `stats` op and assertions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Live (non-tombstone) sessions.
+    pub sessions: usize,
+    /// Eviction tombstones awaiting re-analyze.
+    pub evicted_tombstones: usize,
+    /// Resident bytes across live sessions.
+    pub resident_bytes: u64,
+}
+
+/// The budgeted, pinning session pool. See the [module docs](self).
+pub(crate) struct SessionPool {
+    inner: Mutex<PoolInner>,
+    budget: Option<u64>,
+    metrics: Arc<MetricsRegistry>,
+}
+
+impl SessionPool {
+    fn new(budget: Option<u64>, metrics: Arc<MetricsRegistry>) -> Self {
+        SessionPool {
+            inner: Mutex::new(PoolInner {
+                slots: HashMap::new(),
+                clock: 0,
+                resident: 0,
+            }),
+            budget,
+            metrics,
+        }
+    }
+
+    /// Evicts idle (unpinned) live sessions in LRU order until the pool
+    /// fits the budget, then records the resident high-water mark. Returns
+    /// the evicted cells so their (possibly large) drops happen outside
+    /// the pool lock.
+    fn enforce_budget(&self, inner: &mut PoolInner) -> Vec<Arc<Mutex<ServeEntry>>> {
+        let mut dropped = Vec::new();
+        if let Some(budget) = self.budget {
+            while inner.resident > budget {
+                let victim = inner
+                    .slots
+                    .iter()
+                    .filter_map(|(name, slot)| match slot {
+                        Slot::Live {
+                            last_used, pins: 0, ..
+                        } => Some((*last_used, name.clone())),
+                        _ => None,
+                    })
+                    .min();
+                let Some((_, name)) = victim else {
+                    break; // everything left is pinned by an in-flight job
+                };
+                if let Some(Slot::Live { cell, bytes, .. }) = inner.slots.remove(&name) {
+                    inner.slots.insert(name, Slot::Evicted { bytes });
+                    inner.resident -= bytes;
+                    dropped.push(cell);
+                    self.metrics.incr(Counter::SessionsEvicted);
+                }
+            }
+        }
+        self.metrics
+            .record_max(Counter::ResidentSessionBytesPeak, inner.resident);
+        dropped
+    }
+
+    /// Installs (or replaces) a session. Fails if the session alone
+    /// exceeds the budget; otherwise evicts idle LRU sessions to make it
+    /// fit.
+    fn insert(&self, name: &str, entry: ServeEntry) -> Result<u64, CliError> {
+        let bytes = entry_bytes(&entry);
+        if let Some(budget) = self.budget {
+            if bytes > budget {
+                return Err(CliError::from(format!(
+                    "session `{name}` needs {bytes} resident bytes, more than the \
+                     --session-budget of {budget}; raise the budget or shrink the problem"
+                )));
+            }
+        }
+        let dropped;
+        {
+            let mut inner = self.inner.lock().unwrap();
+            if let Some(Slot::Live { bytes: old, .. }) = inner.slots.get(name) {
+                inner.resident -= *old;
+            }
+            inner.clock += 1;
+            let stamp = inner.clock;
+            inner.slots.insert(
+                name.to_string(),
+                Slot::Live {
+                    cell: Arc::new(Mutex::new(entry)),
+                    bytes,
+                    last_used: stamp,
+                    pins: 0,
+                },
+            );
+            inner.resident += bytes;
+            dropped = self.enforce_budget(&mut inner);
+        }
+        drop(dropped);
+        Ok(bytes)
+    }
+
+    /// Checks out a session for one job: bumps its LRU stamp and pins it
+    /// so concurrent budget enforcement never evicts an in-flight session.
+    fn pin(&self, name: &str) -> Result<Pinned<'_>, CliError> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.clock += 1;
+        let stamp = inner.clock;
+        match inner.slots.get_mut(name) {
+            None => Err(CliError::from(format!(
+                "unknown session `{name}` (run `analyze` first)"
+            ))),
+            Some(Slot::Evicted { bytes }) => Err(CliError::from(LuError::SessionEvicted {
+                resident_bytes: *bytes,
+            })),
+            Some(Slot::Live {
+                cell,
+                last_used,
+                pins,
+                ..
+            }) => {
+                *last_used = stamp;
+                *pins += 1;
+                Ok(Pinned {
+                    pool: self,
+                    name: name.to_string(),
+                    cell: Arc::clone(cell),
+                    new_bytes: None,
+                })
+            }
+        }
+    }
+
+    /// Aggregate state (for the `stats` op).
+    pub(crate) fn stats(&self) -> PoolStats {
+        let inner = self.inner.lock().unwrap();
+        let mut live = 0usize;
+        let mut dead = 0usize;
+        for slot in inner.slots.values() {
+            match slot {
+                Slot::Live { .. } => live += 1,
+                Slot::Evicted { .. } => dead += 1,
+            }
+        }
+        PoolStats {
+            sessions: live,
+            evicted_tombstones: dead,
+            resident_bytes: inner.resident,
+        }
+    }
+}
+
+/// A checked-out session. Dropping unpins it, applies any byte-count
+/// update recorded by [`Pinned::set_bytes`], and re-enforces the budget
+/// (factor jobs grow a session by its panel storage).
+pub(crate) struct Pinned<'p> {
+    pool: &'p SessionPool,
+    name: String,
+    cell: Arc<Mutex<ServeEntry>>,
+    new_bytes: Option<u64>,
+}
+
+impl Pinned<'_> {
+    pub(crate) fn cell(&self) -> &Arc<Mutex<ServeEntry>> {
+        &self.cell
+    }
+
+    /// Records the session's new resident size, applied on drop.
+    pub(crate) fn set_bytes(&mut self, bytes: u64) {
+        self.new_bytes = Some(bytes);
+    }
+}
+
+impl Drop for Pinned<'_> {
+    fn drop(&mut self) {
+        let dropped;
+        {
+            let mut inner = self.pool.inner.lock().unwrap();
+            if let Some(Slot::Live { bytes, pins, .. }) = inner.slots.get_mut(&self.name) {
+                *pins = pins.saturating_sub(1);
+                if let Some(nb) = self.new_bytes {
+                    let old = *bytes;
+                    *bytes = nb;
+                    inner.resident = inner.resident - old + nb;
+                }
+            }
+            dropped = self.pool.enforce_budget(&mut inner);
+        }
+        drop(dropped);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+/// A response sink. Returns `false` when the client is gone (so callers
+/// can stop writing); replies must never block forever.
+pub type Reply<'e> = Arc<dyn Fn(&str) -> bool + Send + Sync + 'e>;
+
+struct Job<'e> {
+    id: u64,
+    line: String,
+    reply: Reply<'e>,
+    token: Option<CancelToken>,
+}
+
+/// What [`Engine::submit`] did with a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Submitted {
+    /// Blank or comment: skipped, no id consumed.
+    Skipped,
+    /// Queued onto a worker lane; the response arrives via the reply.
+    Queued,
+    /// Refused (overload or draining); a structured error was already
+    /// written to the reply.
+    Rejected,
+    /// A control op (`stats`) answered inline.
+    Control,
+    /// The `quit` op: the feeder should stop reading.
+    Quit,
+    /// The `shutdown` op: the daemon should drain and exit; the final
+    /// acknowledgement is written by [`Engine::flush_shutdown_ack`].
+    Shutdown,
+}
+
+/// The serve engine: bounded lanes, the session pool, and the daemon
+/// counters. One engine serves any number of feeders (the stdio loop, or
+/// one feeder per socket connection).
+pub struct Engine<'e> {
+    cfg: ServeConfig,
+    lanes: Vec<Lane<Job<'e>>>,
+    pool: SessionPool,
+    metrics: Arc<MetricsRegistry>,
+    ids: AtomicU64,
+    draining: AtomicBool,
+    /// EWMA of job service time in nanoseconds (weight 1/8), feeding the
+    /// `retry_after_hint` of overload rejections.
+    job_ns: AtomicU64,
+    pending_ack: Mutex<Option<(Reply<'e>, u64)>>,
+}
+
+impl<'e> Engine<'e> {
+    /// A fresh engine with its own metrics registry and session pool.
+    pub fn new(cfg: ServeConfig) -> Self {
+        let cfg = ServeConfig {
+            workers: cfg.workers.max(1),
+            queue_cap: cfg.queue_cap.max(1),
+            ..cfg
+        };
+        let metrics = Arc::new(MetricsRegistry::new());
+        let lanes = (0..cfg.workers).map(|_| Lane::new(cfg.queue_cap)).collect();
+        let pool = SessionPool::new(cfg.session_budget, Arc::clone(&metrics));
+        Engine {
+            cfg,
+            lanes,
+            pool,
+            metrics,
+            ids: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            job_ns: AtomicU64::new(0),
+            pending_ack: Mutex::new(None),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn cfg(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// The engine's daemon-level metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    fn metrics_arc(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Total job ids consumed (job lines answered or queued).
+    pub fn jobs_dispatched(&self) -> u64 {
+        self.ids.load(Ordering::Relaxed)
+    }
+
+    fn next_id(&self) -> u64 {
+        self.ids.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// True once a shutdown (op or external cancel) began: intake is
+    /// refused, queued work drains.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    /// Starts draining without a `shutdown` op (Ctrl-C path).
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::Release);
+    }
+
+    /// Closes every lane: queued jobs still drain, new pushes are refused.
+    pub fn close_lanes(&self) {
+        for lane in &self.lanes {
+            lane.close();
+        }
+    }
+
+    /// Spawns one worker thread per lane on `scope`.
+    pub fn start_workers<'env, 'scope>(
+        &'env self,
+        scope: &'scope std::thread::Scope<'scope, 'env>,
+    ) -> Vec<std::thread::ScopedJoinHandle<'scope, ()>> {
+        (0..self.lanes.len())
+            .map(|w| scope.spawn(move || self.worker_loop(w)))
+            .collect()
+    }
+
+    fn worker_loop(&self, w: usize) {
+        while let Some(job) = self.lanes[w].pop() {
+            let t0 = Instant::now();
+            let response = serve_job(self, job.id, &job.line, job.token.as_ref());
+            let ns = t0.elapsed().as_nanos() as u64;
+            let old = self.job_ns.load(Ordering::Relaxed);
+            let new = if old == 0 { ns } else { old - old / 8 + ns / 8 };
+            self.job_ns.store(new, Ordering::Relaxed);
+            let _ = (job.reply)(&response);
+        }
+    }
+
+    fn retry_after_hint(&self, depth: usize) -> f64 {
+        let ewma_s = self.job_ns.load(Ordering::Relaxed) as f64 / 1e9;
+        ((depth as f64 + 1.0) * ewma_s).max(0.05)
+    }
+
+    /// Routes one line: skips blanks/comments, answers control ops,
+    /// refuses overload/draining with structured errors, queues real jobs
+    /// onto their session's lane.
+    pub fn submit(&self, raw: &str, reply: &Reply<'e>, token: Option<&CancelToken>) -> Submitted {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Submitted::Skipped;
+        }
+        if line == "quit" {
+            return Submitted::Quit;
+        }
+        let id = self.next_id();
+        let mut tk = line.split_whitespace();
+        let op = tk.next().unwrap_or("");
+        let name = tk.next().unwrap_or("");
+        if op == "stats" {
+            let _ = reply(&self.stats_response(id));
+            return Submitted::Control;
+        }
+        if self.is_draining() {
+            let _ = reply(&refusal_response(id, op, name));
+            return Submitted::Rejected;
+        }
+        if op == "shutdown" {
+            *self.pending_ack.lock().unwrap() = Some((Arc::clone(reply), id));
+            self.begin_drain();
+            return Submitted::Shutdown;
+        }
+        let lane = lane_of(name, self.lanes.len());
+        // Each job gets a *child* of the caller's token: cancelling the
+        // connection still aborts its in-flight jobs, but a contained job
+        // failure — the executors' abort-drain path cancels the run token
+        // to release parked workers — must not stick a cancellation onto
+        // the connection and kill every later job on it.
+        let job = Job {
+            id,
+            line: line.to_string(),
+            reply: Arc::clone(reply),
+            token: token.map(CancelToken::child),
+        };
+        match self.lanes[lane].try_push(job) {
+            Ok(depth) => {
+                self.metrics
+                    .record_max(Counter::QueueDepthPeak, depth as u64);
+                Submitted::Queued
+            }
+            Err(LaneRejected::Full { item, depth }) => {
+                self.metrics.incr(Counter::JobsRejectedOverload);
+                let hint = self.retry_after_hint(depth);
+                let _ = (item.reply)(&format!(
+                    r#"{{"id":{},"op":"{}","session":"{}","status":"error","kind":"overloaded","exit_code":8,"queue_depth":{depth},"retry_after_hint":{hint:.3},"error":"lane queue is full ({depth} job(s) ahead); retry after the hint"}}"#,
+                    item.id,
+                    json_escape(op),
+                    json_escape(name),
+                ));
+                Submitted::Rejected
+            }
+            Err(LaneRejected::Closed { item }) => {
+                let _ = (item.reply)(&refusal_response(item.id, op, name));
+                Submitted::Rejected
+            }
+        }
+    }
+
+    /// A one-line error for a framing fault, consuming a job id so the
+    /// client still sees exactly one response per frame.
+    pub fn frame_response(&self, fault: FrameFault) -> String {
+        let id = self.next_id();
+        match fault {
+            FrameFault::Oversize { discarded } => format!(
+                r#"{{"id":{id},"op":"frame","session":"","status":"error","kind":"oversize_frame","exit_code":2,"bytes":{discarded},"error":"line of {discarded} bytes exceeds --max-line-bytes ({}); frame discarded, stream resynced"}}"#,
+                self.cfg.max_line_bytes
+            ),
+            FrameFault::Nul { len } => format!(
+                r#"{{"id":{id},"op":"frame","session":"","status":"error","kind":"invalid_frame","exit_code":2,"bytes":{len},"error":"NUL byte in a {len}-byte job line; binary frames are not accepted"}}"#
+            ),
+        }
+    }
+
+    /// The response to an `idle_timeout` disconnect, written before the
+    /// daemon drops the connection.
+    fn idle_response(&self, limit: Duration) -> String {
+        let id = self.next_id();
+        format!(
+            r#"{{"id":{id},"op":"idle","session":"","status":"error","kind":"idle_timeout","exit_code":2,"error":"connection idle for more than {:.1}s; closing"}}"#,
+            limit.as_secs_f64()
+        )
+    }
+
+    fn stats_response(&self, id: u64) -> String {
+        let pool = self.pool.stats();
+        let depths: Vec<String> = self.lanes.iter().map(|l| l.depth().to_string()).collect();
+        let budget = match self.cfg.session_budget {
+            Some(b) => b.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            r#"{{"id":{id},"op":"stats","session":"","status":"ok","workers":{},"queue_cap":{},"queue_depths":[{}],"queue_depth_peak":{},"sessions":{},"evicted_tombstones":{},"resident_bytes":{},"resident_bytes_peak":{},"session_budget":{budget},"draining":{},"jobs_dispatched":{},"sessions_evicted":{},"jobs_rejected_overload":{},"connections_dropped":{}}}"#,
+            self.cfg.workers,
+            self.cfg.queue_cap,
+            depths.join(","),
+            self.metrics.get(Counter::QueueDepthPeak),
+            pool.sessions,
+            pool.evicted_tombstones,
+            pool.resident_bytes,
+            self.metrics.get(Counter::ResidentSessionBytesPeak),
+            self.is_draining(),
+            self.jobs_dispatched(),
+            self.metrics.get(Counter::SessionsEvicted),
+            self.metrics.get(Counter::JobsRejectedOverload),
+            self.metrics.get(Counter::ConnectionsDropped),
+        )
+    }
+
+    /// Writes the deferred `shutdown` acknowledgement (after the lanes are
+    /// drained and every in-flight response is flushed).
+    pub fn flush_shutdown_ack(&self) {
+        if let Some((reply, id)) = self.pending_ack.lock().unwrap().take() {
+            let _ = reply(&format!(
+                r#"{{"id":{id},"op":"shutdown","session":"","status":"ok","drained":true,"jobs":{}}}"#,
+                self.jobs_dispatched()
+            ));
+        }
+    }
+
+    /// Overwrites the daemon counters in an embedded run report with the
+    /// engine's live values (the per-job report was built from a per-job
+    /// registry where they are always zero).
+    fn fold_daemon_counters(&self, report: &mut RunReport) {
+        const DAEMON: [Counter; 5] = [
+            Counter::SessionsEvicted,
+            Counter::JobsRejectedOverload,
+            Counter::ConnectionsDropped,
+            Counter::QueueDepthPeak,
+            Counter::ResidentSessionBytesPeak,
+        ];
+        for c in DAEMON {
+            let v = self.metrics.get(c);
+            if let Some(slot) = report.counters.iter_mut().find(|(n, _)| n == c.name()) {
+                slot.1 = v;
+            } else {
+                report.counters.push((c.name().to_string(), v));
+            }
+        }
+    }
+}
+
+/// A fault found by the framer, converted to a one-line error by
+/// [`Engine::frame_response`].
+#[derive(Debug, Clone, Copy)]
+pub enum FrameFault {
+    /// The line exceeded `--max-line-bytes`.
+    Oversize {
+        /// Bytes discarded.
+        discarded: usize,
+    },
+    /// The line contained a NUL byte.
+    Nul {
+        /// Length of the rejected line.
+        len: usize,
+    },
+}
+
+fn refusal_response(id: u64, op: &str, name: &str) -> String {
+    format!(
+        r#"{{"id":{id},"op":"{}","session":"{}","status":"error","kind":"shutting_down","exit_code":8,"error":"the daemon is draining and accepts no new jobs"}}"#,
+        json_escape(op),
+        json_escape(name),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Job execution
+// ---------------------------------------------------------------------------
+
+/// Runs one serve-mode job line, returning the one-line JSON response.
+fn serve_job(engine: &Engine<'_>, id: u64, line: &str, token: Option<&CancelToken>) -> String {
+    let toks: Vec<String> = line.split_whitespace().map(String::from).collect();
+    let op = toks[0].clone();
+    let name = toks.get(1).cloned().unwrap_or_default();
+    let head = format!(
+        r#"{{"id":{id},"op":"{}","session":"{}""#,
+        json_escape(&op),
+        json_escape(&name)
+    );
+    let t0 = Instant::now();
+    match serve_job_inner(engine, &toks, token) {
+        Ok(fields) => format!(
+            r#"{head},"status":"ok","seconds":{:.6}{fields}}}"#,
+            t0.elapsed().as_secs_f64()
+        ),
+        Err(e) => format!(
+            r#"{head},"status":"error","kind":"{}","exit_code":{},"error":"{}"}}"#,
+            kind_of_exit(e.exit_code),
+            e.exit_code,
+            json_escape(&e.message)
+        ),
+    }
+}
+
+/// The fallible body of [`serve_job`]: returns extra JSON fields (each
+/// prefixed with a comma) to splice into the success response.
+fn serve_job_inner(
+    engine: &Engine<'_>,
+    toks: &[String],
+    token: Option<&CancelToken>,
+) -> Result<String, CliError> {
+    let op = toks[0].as_str();
+    let name = toks
+        .get(1)
+        .ok_or_else(|| CliError::from(format!("`{op}` needs a session name")))?;
+    match op {
+        "analyze" => {
+            let path = toks
+                .get(2)
+                .ok_or_else(|| CliError::from("`analyze` needs a matrix path"))?;
+            let cli = parse_flags(&toks[3..], token)?;
+            let obs = ObsSession::new();
+            let a = {
+                let _p = obs.phase("parse");
+                load(path)?
+            };
+            let meta = MatrixMeta {
+                name: matrix_name(path),
+                n: a.ncols(),
+                nnz: a.nnz(),
+            };
+            let session =
+                SluSession::analyze_observed(a.pattern(), &cli.opts, &obs).map_err(|e| {
+                    let _ = obs.report(meta.clone(), &cli.opts, RunStatus::from_error(&e));
+                    CliError::from(e)
+                })?;
+            let mut report = obs.report(
+                MatrixMeta::from_stats(&matrix_name(path), session.stats()),
+                &cli.opts,
+                RunStatus::success(),
+            );
+            let stats = format!(
+                r#","tasks":{},"supernodes":{}"#,
+                session.stats().graph_tasks,
+                session.stats().supernodes
+            );
+            let bytes = engine.pool.insert(
+                name,
+                ServeEntry {
+                    session,
+                    matrix: None,
+                },
+            )?;
+            engine.fold_daemon_counters(&mut report);
+            Ok(format!(
+                r#"{stats},"resident_bytes":{bytes},"report":{}"#,
+                compact_json(&report.to_json())
+            ))
+        }
+        "factor" | "refactor" => {
+            let path = toks
+                .get(2)
+                .ok_or_else(|| CliError::from(format!("`{op}` needs a values path")))?;
+            let cli = parse_flags(&toks[3..], token)?;
+            let mut pin = engine.pool.pin(name)?;
+            let cell = Arc::clone(pin.cell());
+            let mut e = cell.lock().unwrap();
+            let obs = ObsSession::new();
+            let a = {
+                let _p = obs.phase("parse");
+                load(path)?
+            };
+            e.session.set_budget(cli.opts.budget.clone());
+            let outcome = if op == "refactor" {
+                e.session.refactor_observed(&a, &obs)
+            } else {
+                e.session.factor_observed(&a, &obs)
+            };
+            let meta = MatrixMeta::from_stats(&matrix_name(path), e.session.stats());
+            let opts = e.session.options().clone();
+            let result = match outcome {
+                Ok(()) => {
+                    e.matrix = Some(a);
+                    let mut report = obs.report(meta, &opts, RunStatus::success());
+                    engine.fold_daemon_counters(&mut report);
+                    Ok((entry_bytes(&e), compact_json(&report.to_json())))
+                }
+                Err(err) => {
+                    // The session survives a failed or interrupted
+                    // factorization; the report records the error.
+                    let _ = obs.report(meta, &opts, RunStatus::from_error(&err));
+                    pin.set_bytes(entry_bytes(&e));
+                    Err(err)
+                }
+            };
+            drop(e);
+            let (bytes, report) = result.map_err(CliError::from)?;
+            pin.set_bytes(bytes);
+            Ok(format!(r#","resident_bytes":{bytes},"report":{report}"#))
+        }
+        "solve" => {
+            let cli = parse_flags(&toks[2..], token)?;
+            let pin = engine.pool.pin(name)?;
+            let cell = Arc::clone(pin.cell());
+            let e = cell.lock().unwrap();
+            let a = e.matrix.as_ref().ok_or_else(|| {
+                CliError::from(format!("session `{name}` holds no factored values"))
+            })?;
+            let b = match &cli.rhs {
+                Some(p) => read_vector(p, a.nrows())?,
+                None => manufactured_rhs(a, 1).1,
+            };
+            let x = if cli.transpose {
+                e.session.try_solve_transposed(&b)?
+            } else if cli.refine {
+                e.session.solve_refined(a, &b, 1e-14, 2)?.0
+            } else {
+                e.session.try_solve(&b)?
+            };
+            let resid = if cli.transpose {
+                relative_residual(&a.transpose(), &x, &b)
+            } else {
+                relative_residual(a, &x, &b)
+            };
+            Ok(format!(
+                r#","residual":{resid:.3e},"x_hash":"{:#018x}""#,
+                solution_hash(&x)
+            ))
+        }
+        other => Err(CliError::from(format!("unknown serve op `{other}`"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stdio loop
+// ---------------------------------------------------------------------------
+
+/// The serve-mode engine on a single reader/writer pair, factored out so
+/// the integration tests can drive it in-process: reads line-delimited
+/// jobs from `reader`, dispatches them over `workers` threads, and writes
+/// one JSON line per job to `writer` in completion order. Returns the
+/// number of jobs run.
+pub fn serve_loop<R: BufRead, W: IoWrite + Send>(
+    reader: R,
+    writer: &Mutex<W>,
+    workers: usize,
+    token: Option<&CancelToken>,
+) -> Result<usize, CliError> {
+    let cfg = ServeConfig {
+        workers,
+        ..ServeConfig::default()
+    };
+    serve_loop_with(cfg, reader, writer, token)
+}
+
+/// [`serve_loop`] with a full [`ServeConfig`] (lane bounds, line cap,
+/// session budget).
+pub fn serve_loop_with<R: BufRead, W: IoWrite + Send>(
+    cfg: ServeConfig,
+    reader: R,
+    writer: &Mutex<W>,
+    token: Option<&CancelToken>,
+) -> Result<usize, CliError> {
+    let engine = Engine::new(cfg);
+    let mut frames = FrameReader::new(reader, engine.cfg().max_line_bytes);
+    std::thread::scope(|scope| {
+        let workers = engine.start_workers(scope);
+        let reply: Reply<'_> = Arc::new(move |s: &str| {
+            let mut w = writer.lock().unwrap();
+            writeln!(w, "{s}").is_ok() && w.flush().is_ok()
+        });
+        loop {
+            if token.is_some_and(|t| t.is_cancelled()) {
+                break;
+            }
+            match frames.next_frame() {
+                Frame::Eof | Frame::Idle => break,
+                Frame::Oversize { discarded } => {
+                    let _ = reply(&engine.frame_response(FrameFault::Oversize { discarded }));
+                }
+                Frame::Nul { len } => {
+                    let _ = reply(&engine.frame_response(FrameFault::Nul { len }));
+                }
+                Frame::Line(line) => match engine.submit(&line, &reply, token) {
+                    Submitted::Quit | Submitted::Shutdown => break,
+                    _ => {}
+                },
+            }
+        }
+        engine.close_lanes();
+        for h in workers {
+            let _ = h.join();
+        }
+        engine.flush_shutdown_ack();
+    });
+    Ok(engine.jobs_dispatched() as usize)
+}
+
+// ---------------------------------------------------------------------------
+// Socket transport
+// ---------------------------------------------------------------------------
+
+/// A bound daemon listener: TCP (`host:port`) or a Unix domain socket
+/// (`unix:/path/to.sock`, Unix targets only).
+pub enum Listener {
+    /// A TCP listener.
+    Tcp(std::net::TcpListener),
+    /// A Unix domain socket listener; the path is unlinked on drop.
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixListener, std::path::PathBuf),
+}
+
+/// One accepted client connection.
+pub(crate) enum Conn {
+    Tcp(std::net::TcpStream),
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixStream),
+}
+
+impl Listener {
+    /// Binds `addr`: `unix:<path>` for a Unix domain socket, anything
+    /// else as a TCP address (`127.0.0.1:0` picks an ephemeral port).
+    pub fn bind(addr: &str) -> Result<Listener, CliError> {
+        if let Some(path) = addr.strip_prefix("unix:") {
+            #[cfg(unix)]
+            {
+                use std::os::unix::fs::FileTypeExt;
+                // Unlink a stale socket from a previous run, but only a
+                // socket — never a regular file at the same path.
+                if let Ok(meta) = std::fs::symlink_metadata(path) {
+                    if meta.file_type().is_socket() {
+                        let _ = std::fs::remove_file(path);
+                    }
+                }
+                let l = std::os::unix::net::UnixListener::bind(path)
+                    .map_err(|e| CliError::from(format!("binding {addr}: {e}")))?;
+                Ok(Listener::Unix(l, std::path::PathBuf::from(path)))
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                Err(CliError::from(
+                    "unix-socket listeners are not supported on this platform",
+                ))
+            }
+        } else {
+            let l = std::net::TcpListener::bind(addr)
+                .map_err(|e| CliError::from(format!("binding {addr}: {e}")))?;
+            Ok(Listener::Tcp(l))
+        }
+    }
+
+    /// The bound address, printable for clients (TCP reports the actual
+    /// ephemeral port).
+    pub fn local_addr_string(&self) -> String {
+        match self {
+            Listener::Tcp(l) => l
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| "<unknown>".to_string()),
+            #[cfg(unix)]
+            Listener::Unix(_, p) => format!("unix:{}", p.display()),
+        }
+    }
+
+    fn set_nonblocking(&self, nb: bool) -> std::io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(nb),
+            #[cfg(unix)]
+            Listener::Unix(l, _) => l.set_nonblocking(nb),
+        }
+    }
+
+    fn accept_conn(&self) -> std::io::Result<Conn> {
+        match self {
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                // One-line responses to interactive clients: Nagle's
+                // algorithm only adds delayed-ACK stalls here.
+                let _ = s.set_nodelay(true);
+                Ok(Conn::Tcp(s))
+            }
+            #[cfg(unix)]
+            Listener::Unix(l, _) => {
+                let (s, _) = l.accept()?;
+                Ok(Conn::Unix(s))
+            }
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Listener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Conn {
+    fn try_clone(&self) -> std::io::Result<Conn> {
+        match self {
+            Conn::Tcp(s) => s.try_clone().map(Conn::Tcp),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.try_clone().map(Conn::Unix),
+        }
+    }
+
+    fn set_read_timeout(&self, d: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(d),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_read_timeout(d),
+        }
+    }
+}
+
+impl std::io::Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl std::io::Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// What a finished daemon served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Job lines answered (accepted or structurally refused).
+    pub jobs: u64,
+    /// Connections accepted over the daemon's lifetime.
+    pub connections: u64,
+}
+
+struct ConnSink {
+    stream: Mutex<Conn>,
+    dead: AtomicBool,
+    /// Responses promised to this client but not yet attempted. The
+    /// feeder increments before each reply-producing event; the reply
+    /// closure decrements on every attempt. EOF with `owed > 0` means
+    /// the client vanished before its answers — a genuine drop. EOF at
+    /// zero is a normal close.
+    owed: AtomicI64,
+}
+
+/// How often blocked socket reads and the accept loop wake to poll
+/// drain/cancel state.
+const POLL_TICK: Duration = Duration::from_millis(100);
+
+/// Runs the daemon on a bound listener until a `shutdown` op arrives or
+/// `token` is cancelled, then drains queued jobs, flushes their
+/// responses, and returns. Every connection is an independent feeder onto
+/// one shared engine: sessions, lanes, and the budget are daemon-global.
+pub fn serve_daemon(
+    cfg: ServeConfig,
+    listener: Listener,
+    token: Option<&CancelToken>,
+) -> Result<ServeSummary, CliError> {
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| CliError::from(format!("listener setup: {e}")))?;
+    let engine = Engine::new(cfg);
+    let connections = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        let workers = engine.start_workers(scope);
+        loop {
+            if engine.is_draining() {
+                break;
+            }
+            if token.is_some_and(|t| t.is_cancelled()) {
+                engine.begin_drain();
+                break;
+            }
+            match listener.accept_conn() {
+                Ok(conn) => {
+                    connections.fetch_add(1, Ordering::Relaxed);
+                    let engine = &engine;
+                    scope.spawn(move || serve_connection(engine, conn));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL_TICK),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    engine.begin_drain();
+                    break;
+                }
+            }
+        }
+        // Stop intake, run the queues dry, flush the deferred shutdown
+        // acknowledgement. Reader threads notice `is_draining` within one
+        // poll tick and exit; the scope joins them.
+        engine.close_lanes();
+        for h in workers {
+            let _ = h.join();
+        }
+        engine.flush_shutdown_ack();
+    });
+    Ok(ServeSummary {
+        jobs: engine.jobs_dispatched(),
+        connections: connections.load(Ordering::Relaxed),
+    })
+}
+
+/// One connection's feeder: frames lines off the socket, submits them to
+/// the shared engine, and owns the connection's cancel token. An unclean
+/// end (EOF mid-stream, write failure, idle timeout) cancels the token so
+/// in-flight jobs for this client abort at their next budget checkpoint
+/// instead of wedging a lane. `connections_dropped` counts only clients
+/// that vanished with responses still owed; a plain EOF after reading
+/// everything is a normal close.
+fn serve_connection(engine: &Engine<'_>, conn: Conn) {
+    let read_half = match conn.try_clone() {
+        Ok(c) => c,
+        Err(_) => {
+            engine.metrics().incr(Counter::ConnectionsDropped);
+            return;
+        }
+    };
+    let _ = read_half.set_read_timeout(Some(POLL_TICK));
+    let sink = Arc::new(ConnSink {
+        stream: Mutex::new(conn),
+        dead: AtomicBool::new(false),
+        owed: AtomicI64::new(0),
+    });
+    let conn_token = CancelToken::new();
+    let reply: Reply<'_> = {
+        let sink = Arc::clone(&sink);
+        let token = conn_token.clone();
+        let metrics = engine.metrics_arc();
+        Arc::new(move |s: &str| {
+            sink.owed.fetch_sub(1, Ordering::AcqRel);
+            if sink.dead.load(Ordering::Acquire) {
+                return false;
+            }
+            let mut w = sink.stream.lock().unwrap();
+            let ok = writeln!(w, "{s}").is_ok() && w.flush().is_ok();
+            if !ok && !sink.dead.swap(true, Ordering::AcqRel) {
+                metrics.incr(Counter::ConnectionsDropped);
+                token.cancel();
+            }
+            ok
+        })
+    };
+    let mut frames = FrameReader::new(
+        std::io::BufReader::new(read_half),
+        engine.cfg().max_line_bytes,
+    );
+    let mut last_activity = Instant::now();
+    let mut clean = false;
+    loop {
+        if engine.is_draining() {
+            clean = true;
+            break;
+        }
+        if conn_token.is_cancelled() {
+            break;
+        }
+        match frames.next_frame() {
+            Frame::Idle => {
+                if let Some(limit) = engine.cfg().idle_timeout {
+                    if last_activity.elapsed() >= limit {
+                        sink.owed.fetch_add(1, Ordering::AcqRel);
+                        let _ = reply(&engine.idle_response(limit));
+                        break;
+                    }
+                }
+            }
+            Frame::Eof => break,
+            Frame::Oversize { discarded } => {
+                last_activity = Instant::now();
+                sink.owed.fetch_add(1, Ordering::AcqRel);
+                let _ = reply(&engine.frame_response(FrameFault::Oversize { discarded }));
+            }
+            Frame::Nul { len } => {
+                last_activity = Instant::now();
+                sink.owed.fetch_add(1, Ordering::AcqRel);
+                let _ = reply(&engine.frame_response(FrameFault::Nul { len }));
+            }
+            Frame::Line(line) => {
+                last_activity = Instant::now();
+                // Promise one response up front: inline answers (stats,
+                // rejections) repay it inside `submit`, queued jobs repay
+                // it when a worker replies, and the deferred shutdown ack
+                // repays it from `flush_shutdown_ack`.
+                sink.owed.fetch_add(1, Ordering::AcqRel);
+                match engine.submit(&line, &reply, Some(&conn_token)) {
+                    Submitted::Skipped => {
+                        sink.owed.fetch_sub(1, Ordering::AcqRel);
+                    }
+                    Submitted::Quit => {
+                        sink.owed.fetch_sub(1, Ordering::AcqRel);
+                        clean = true;
+                        break;
+                    }
+                    Submitted::Shutdown => {
+                        clean = true;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    // The write half lives on inside any queued jobs' reply Arcs, so
+    // responses already accepted still flush before the socket closes.
+    // An unclean end always cancels the token (in-flight jobs abort at
+    // their next checkpoint instead of wedging a lane), but only counts
+    // as a dropped connection when the client still had responses owed;
+    // an EOF with nothing outstanding is just a client closing up.
+    if !clean {
+        conn_token.cancel();
+        if sink.owed.load(Ordering::Acquire) > 0 && !sink.dead.swap(true, Ordering::AcqRel) {
+            engine.metrics().incr(Counter::ConnectionsDropped);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    /// A reader that hands out its data in tiny chunks, exercising frame
+    /// reassembly across `fill_buf` boundaries.
+    struct Chunked {
+        data: Vec<u8>,
+        pos: usize,
+        chunk: usize,
+        staged: Vec<u8>,
+    }
+
+    impl Chunked {
+        fn new(data: &[u8], chunk: usize) -> Self {
+            Chunked {
+                data: data.to_vec(),
+                pos: 0,
+                chunk,
+                staged: Vec::new(),
+            }
+        }
+    }
+
+    impl std::io::Read for Chunked {
+        fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+            unreachable!("FrameReader uses fill_buf/consume")
+        }
+    }
+
+    impl BufRead for Chunked {
+        fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+            if self.staged.is_empty() {
+                let end = (self.pos + self.chunk).min(self.data.len());
+                self.staged = self.data[self.pos..end].to_vec();
+                self.pos = end;
+            }
+            Ok(&self.staged)
+        }
+
+        fn consume(&mut self, amt: usize) {
+            self.staged.drain(..amt);
+        }
+    }
+
+    #[test]
+    fn frames_lines_across_chunk_boundaries() {
+        for chunk in [1, 2, 3, 7, 64] {
+            let mut fr = FrameReader::new(Chunked::new(b"alpha beta\ngamma\r\ndelta", chunk), 64);
+            assert_eq!(fr.next_frame(), Frame::Line("alpha beta".into()));
+            assert_eq!(fr.next_frame(), Frame::Line("gamma".into()));
+            assert_eq!(fr.next_frame(), Frame::Line("delta".into()));
+            assert_eq!(fr.next_frame(), Frame::Eof);
+            assert_eq!(fr.next_frame(), Frame::Eof);
+        }
+    }
+
+    #[test]
+    fn oversize_line_is_discarded_and_stream_resyncs() {
+        let long = "x".repeat(100);
+        let data = format!("ok one\n{long}\nok two\n");
+        for chunk in [3, 16, 1024] {
+            let mut fr = FrameReader::new(Chunked::new(data.as_bytes(), chunk), 32);
+            assert_eq!(fr.next_frame(), Frame::Line("ok one".into()));
+            assert_eq!(fr.next_frame(), Frame::Oversize { discarded: 100 });
+            assert_eq!(fr.next_frame(), Frame::Line("ok two".into()));
+            assert_eq!(fr.next_frame(), Frame::Eof);
+        }
+        // The buffer never grows past the cap even when the line never
+        // ends (oversize reported at EOF).
+        let mut fr = FrameReader::new(Cursor::new("y".repeat(1000)), 32);
+        assert_eq!(fr.next_frame(), Frame::Oversize { discarded: 1000 });
+        assert!(fr.buf.is_empty());
+        assert!(fr.buf.capacity() <= 64);
+    }
+
+    #[test]
+    fn nul_bytes_make_an_invalid_frame() {
+        let mut fr = FrameReader::new(Cursor::new(b"good\nbad\0job\nalso good\n".to_vec()), 64);
+        assert_eq!(fr.next_frame(), Frame::Line("good".into()));
+        assert_eq!(fr.next_frame(), Frame::Nul { len: 7 });
+        assert_eq!(fr.next_frame(), Frame::Line("also good".into()));
+        assert_eq!(fr.next_frame(), Frame::Eof);
+    }
+
+    #[test]
+    fn exactly_max_bytes_is_accepted() {
+        let line = "z".repeat(32);
+        let mut fr = FrameReader::new(Cursor::new(format!("{line}\n")), 32);
+        assert_eq!(fr.next_frame(), Frame::Line(line));
+        let over = "z".repeat(33);
+        let mut fr = FrameReader::new(Cursor::new(format!("{over}\n")), 32);
+        assert_eq!(fr.next_frame(), Frame::Oversize { discarded: 33 });
+    }
+
+    #[test]
+    fn parse_size_suffixes() {
+        assert_eq!(parse_size("4096").unwrap(), 4096);
+        assert_eq!(parse_size("64k").unwrap(), 64 << 10);
+        assert_eq!(parse_size("16M").unwrap(), 16 << 20);
+        assert_eq!(parse_size("2g").unwrap(), 2 << 30);
+        assert!(parse_size("banana").is_err());
+        assert!(parse_size("999999999999g").is_err());
+    }
+
+    #[test]
+    fn exit_code_kinds_are_stable() {
+        assert_eq!(kind_of_exit(2), "bad_request");
+        assert_eq!(kind_of_exit(3), "numeric");
+        assert_eq!(kind_of_exit(4), "worker_panic");
+        assert_eq!(kind_of_exit(5), "deadline");
+        assert_eq!(kind_of_exit(6), "stalled");
+        assert_eq!(kind_of_exit(7), "session_evicted");
+        assert_eq!(kind_of_exit(8), "overloaded");
+        assert_eq!(kind_of_exit(130), "cancelled");
+        assert_eq!(kind_of_exit(1), "error");
+    }
+
+    #[test]
+    fn solution_hash_is_bit_exact() {
+        let a = [1.0, 2.0, -0.0];
+        let b = [1.0, 2.0, 0.0]; // -0.0 and 0.0 differ bitwise
+        assert_ne!(solution_hash(&a), solution_hash(&b));
+        assert_eq!(solution_hash(&a), solution_hash(&[1.0, 2.0, -0.0]));
+    }
+
+    fn tiny_entry() -> ServeEntry {
+        let a = splu_matgen::grid3d_anisotropic(3, 3, 1, splu_matgen::GridOptions::default());
+        let session = SluSession::analyze(a.pattern(), &splu_core::Options::default()).unwrap();
+        ServeEntry {
+            session,
+            matrix: None,
+        }
+    }
+
+    #[test]
+    fn pool_evicts_lru_and_leaves_tombstones() {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let one = entry_bytes(&tiny_entry());
+        // Budget fits two sessions but not three.
+        let pool = SessionPool::new(Some(2 * one + one / 2), Arc::clone(&metrics));
+        pool.insert("a", tiny_entry()).unwrap();
+        pool.insert("b", tiny_entry()).unwrap();
+        // Touch `a` so `b` becomes the LRU victim.
+        drop(pool.pin("a").unwrap());
+        pool.insert("c", tiny_entry()).unwrap();
+        let stats = pool.stats();
+        assert_eq!(stats.sessions, 2);
+        assert_eq!(stats.evicted_tombstones, 1);
+        assert!(stats.resident_bytes <= 2 * one + one / 2);
+        assert_eq!(metrics.get(Counter::SessionsEvicted), 1);
+        assert!(metrics.get(Counter::ResidentSessionBytesPeak) <= 2 * one + one / 2);
+        // The evicted session reports `session_evicted`, the survivors pin.
+        let err = pool.pin("b").err().unwrap();
+        assert_eq!(err.exit_code, 7);
+        assert!(err.message.contains("re-analyze"));
+        drop(pool.pin("a").unwrap());
+        drop(pool.pin("c").unwrap());
+        // Re-analyzing over the tombstone revives the name.
+        pool.insert("b", tiny_entry()).unwrap();
+        drop(pool.pin("b").unwrap());
+    }
+
+    #[test]
+    fn pool_never_evicts_pinned_sessions() {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let one = entry_bytes(&tiny_entry());
+        let pool = SessionPool::new(Some(one + one / 2), Arc::clone(&metrics));
+        pool.insert("held", tiny_entry()).unwrap();
+        let pin = pool.pin("held").unwrap();
+        // Inserting a second session overflows the budget, and the only
+        // other resident is pinned by an in-flight job: the newcomer
+        // itself is evicted (the budget is never exceeded at rest, the
+        // pinned session is untouchable).
+        pool.insert("next", tiny_entry()).unwrap();
+        let stats = pool.stats();
+        assert_eq!(stats.sessions, 1);
+        assert_eq!(stats.evicted_tombstones, 1);
+        assert!(stats.resident_bytes <= one + one / 2);
+        drop(pin);
+        // The pinned session survived; the newcomer reports eviction.
+        drop(pool.pin("held").unwrap());
+        let err = pool.pin("next").err().unwrap();
+        assert_eq!(err.exit_code, 7);
+        assert_eq!(metrics.get(Counter::SessionsEvicted), 1);
+        assert!(metrics.get(Counter::ResidentSessionBytesPeak) <= one + one / 2);
+    }
+
+    #[test]
+    fn pool_rejects_a_session_larger_than_the_budget() {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let pool = SessionPool::new(Some(16), metrics);
+        let err = pool.insert("huge", tiny_entry()).unwrap_err();
+        assert_eq!(err.exit_code, 2);
+        assert!(err.message.contains("--session-budget"));
+        assert_eq!(pool.stats().sessions, 0);
+    }
+}

@@ -1,0 +1,533 @@
+//! Robustness tests for the serve daemon: malformed-input fuzzing, frame
+//! faults, session eviction under a memory budget, overload backpressure,
+//! socket transport, and graceful shutdown.
+
+use parsplu::cli::run;
+use parsplu::serve::{
+    serve_daemon, serve_loop_with, Engine, Listener, Reply, ServeConfig, Submitted,
+};
+use proptest::prelude::*;
+use splu_bench::json::parse;
+use std::io::{BufRead, BufReader, Cursor, Write};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| s.to_string()).collect()
+}
+
+fn tmp(name: &str) -> String {
+    std::env::temp_dir()
+        .join(format!("parsplu_srv_{name}_{}.mtx", std::process::id()))
+        .to_string_lossy()
+        .into_owned()
+}
+
+/// Generates a reduced benchmark matrix file and returns its path.
+fn gen_matrix(name: &str) -> String {
+    let path = tmp(name);
+    run(&args(&["gen", "goodwin", &path, "--reduced"])).unwrap();
+    path
+}
+
+/// Runs `f` on its own thread and fails the test if it does not finish
+/// within `limit` — the suite's hang detector.
+fn with_timeout<T: Send + 'static>(limit: Duration, f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    rx.recv_timeout(limit)
+        .expect("serve loop exceeded the test-side timeout (hang?)")
+}
+
+/// Drives a script through the stdio loop, returning the response lines.
+fn run_script(cfg: ServeConfig, script: String) -> Vec<String> {
+    with_timeout(Duration::from_secs(120), move || {
+        let writer = Mutex::new(Vec::new());
+        serve_loop_with(cfg, Cursor::new(script), &writer, None).unwrap();
+        String::from_utf8(writer.into_inner().unwrap())
+            .unwrap()
+            .lines()
+            .map(String::from)
+            .collect()
+    })
+}
+
+const ERROR_KINDS: &[&str] = &[
+    "bad_request",
+    "numeric",
+    "worker_panic",
+    "deadline",
+    "stalled",
+    "session_evicted",
+    "overloaded",
+    "shutting_down",
+    "cancelled",
+    "oversize_frame",
+    "invalid_frame",
+    "idle_timeout",
+    "error",
+];
+
+/// The number of responses [`serve_loop_with`] owes a script: one per
+/// non-blank, non-comment line up to (not including) `quit`, with
+/// `shutdown` acknowledged and terminal.
+fn expected_responses(script: &str) -> usize {
+    let mut n = 0;
+    for line in script.lines() {
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        if t == "quit" {
+            break;
+        }
+        n += 1;
+        if t.split_whitespace().next() == Some("shutdown") {
+            break;
+        }
+    }
+    n
+}
+
+fn arb_line() -> impl Strategy<Value = String> {
+    (0usize..12, 0usize..3).prop_map(|(kind, s)| {
+        let sess = ["alpha", "beta", "gamma"][s];
+        match kind {
+            0 => format!("analyze {sess} /nonexistent/matrix.mtx"),
+            1 => format!("factor {sess} /nonexistent/values.mtx"),
+            2 => format!("solve {sess}"),
+            3 => format!("solve {sess} --refine --transpose"),
+            4 => "analyze".to_string(),       // missing session name
+            5 => "factor lonely".to_string(), // missing values path
+            6 => format!("frobnicate {sess} what"), // unknown op
+            7 => String::new(),               // blank: skipped
+            8 => "# a comment line".to_string(), // comment: skipped
+            9 => format!("solve {sess} --bogus-flag"),
+            10 => "stats".to_string(),        // control op
+            11 => format!("refactor {sess}"), // truncated
+            _ => unreachable!(),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Malformed, truncated, and interleaved job lines never panic or
+    /// hang the loop, and every job line gets exactly one parseable JSON
+    /// response with a stable error taxonomy.
+    #[test]
+    fn fuzzed_job_lines_get_exactly_one_structured_response(
+        lines in proptest::collection::vec(arb_line(), 1..40),
+        workers in 1usize..4,
+    ) {
+        let script = format!("{}\nquit\n", lines.join("\n"));
+        let cfg = ServeConfig { workers, ..ServeConfig::default() };
+        let responses = run_script(cfg, script.clone());
+        prop_assert_eq!(
+            responses.len(),
+            expected_responses(&script),
+            "one response per job line: {:?}",
+            responses
+        );
+        let mut ids = std::collections::HashSet::new();
+        for l in &responses {
+            let v = parse(l).expect("each response is one-line JSON");
+            let id = v.get("id").and_then(|i| i.as_num()).expect("id") as u64;
+            prop_assert!(ids.insert(id), "duplicate response id in {:?}", responses);
+            let status = v.get("status").and_then(|s| s.as_str()).expect("status");
+            match status {
+                "ok" => {}
+                "error" => {
+                    let kind = v.get("kind").and_then(|k| k.as_str()).expect("kind");
+                    prop_assert!(
+                        ERROR_KINDS.contains(&kind),
+                        "unknown error kind {} in {}", kind, l
+                    );
+                    let code = v.get("exit_code").and_then(|c| c.as_num()).expect("exit_code");
+                    prop_assert!(code >= 2.0, "{}", l);
+                }
+                other => prop_assert!(false, "bad status {} in {}", other, l),
+            }
+        }
+    }
+}
+
+#[test]
+fn oversize_and_nul_frames_are_rejected_and_the_stream_resyncs() {
+    let path = gen_matrix("frames");
+    let long = "x".repeat(4096);
+    let script = format!("{long}\nanalyze g {path}\nbad\0frame g\nsolve missing\nquit\n");
+    let cfg = ServeConfig {
+        workers: 1,
+        max_line_bytes: 512,
+        ..ServeConfig::default()
+    };
+    let responses = run_script(cfg, script);
+    // Frame faults are answered inline by the feeder while job responses
+    // come back from the workers, so assert by content, not by position.
+    assert_eq!(responses.len(), 4, "{responses:?}");
+    let v: Vec<_> = responses.iter().map(|l| parse(l).unwrap()).collect();
+    let kind =
+        |r: &splu_bench::json::Json| r.get("kind").and_then(|k| k.as_str()).map(String::from);
+    let oversize = v
+        .iter()
+        .find(|r| kind(r).as_deref() == Some("oversize_frame"))
+        .unwrap_or_else(|| panic!("no oversize_frame in {responses:?}"));
+    assert_eq!(
+        oversize.get("exit_code").and_then(|c| c.as_num()),
+        Some(2.0)
+    );
+    assert_eq!(oversize.get("bytes").and_then(|b| b.as_num()), Some(4096.0));
+    assert!(
+        v.iter()
+            .any(|r| kind(r).as_deref() == Some("invalid_frame")),
+        "no invalid_frame in {responses:?}"
+    );
+    // The stream resynced around both faults: the analyze between them
+    // ran normally, and the loop stayed alive for the last bad job.
+    let analyze = v
+        .iter()
+        .find(|r| r.get("op").and_then(|o| o.as_str()) == Some("analyze"))
+        .unwrap_or_else(|| panic!("no analyze response in {responses:?}"));
+    assert_eq!(
+        analyze.get("status").and_then(|s| s.as_str()),
+        Some("ok"),
+        "{responses:?}"
+    );
+    assert!(
+        v.iter().any(|r| kind(r).as_deref() == Some("bad_request")),
+        "no bad_request in {responses:?}"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn sessions_evict_under_the_budget_and_revive_on_reanalyze() {
+    let path = gen_matrix("evict");
+    // Pass 1 (no budget): learn the resident footprint of one fully
+    // factored session from the factor response.
+    let script = format!("analyze a {path}\nfactor a {path}\nquit\n");
+    let responses = run_script(
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+        script,
+    );
+    let factored_bytes = parse(&responses[1])
+        .unwrap()
+        .get("resident_bytes")
+        .and_then(|b| b.as_num())
+        .expect("factor responses report resident_bytes") as u64;
+    assert!(factored_bytes > 0);
+
+    // Pass 2: a budget that fits one factored session but not two.
+    // workers=1 keeps cross-session ordering deterministic.
+    let budget = factored_bytes + factored_bytes / 2;
+    let script = format!(
+        "analyze a {path}\nfactor a {path}\nsolve a\n\
+         analyze b {path}\nfactor b {path}\nsolve b\n\
+         solve a\n\
+         analyze a {path}\nfactor a {path}\nsolve a\nquit\n"
+    );
+    let cfg = ServeConfig {
+        workers: 1,
+        session_budget: Some(budget),
+        ..ServeConfig::default()
+    };
+    let responses = run_script(cfg, script);
+    assert_eq!(responses.len(), 10, "{responses:?}");
+    let v: Vec<_> = responses.iter().map(|l| parse(l).unwrap()).collect();
+    // Jobs 1-6 all succeed (factor b evicts the idle session a).
+    for (i, r) in v.iter().take(6).enumerate() {
+        assert_eq!(
+            r.get("status").and_then(|s| s.as_str()),
+            Some("ok"),
+            "job {i}: {}",
+            responses[i]
+        );
+    }
+    // Job 7 (`solve a`) finds its session evicted: structured error,
+    // exit code 7, stable kind, and a pointer to re-analyze.
+    let evicted = &v[6];
+    assert_eq!(
+        evicted.get("status").and_then(|s| s.as_str()),
+        Some("error")
+    );
+    assert_eq!(
+        evicted.get("kind").and_then(|k| k.as_str()),
+        Some("session_evicted"),
+        "{}",
+        responses[6]
+    );
+    assert_eq!(evicted.get("exit_code").and_then(|c| c.as_num()), Some(7.0));
+    assert!(responses[6].contains("re-analyze"), "{}", responses[6]);
+    // Jobs 8-10: re-analyzing revives the name and solves again.
+    for (i, r) in v.iter().enumerate().skip(7) {
+        assert_eq!(
+            r.get("status").and_then(|s| s.as_str()),
+            Some("ok"),
+            "job {i}: {}",
+            responses[i]
+        );
+    }
+    // Bitwise reproducibility across the eviction: both `solve a` hashes
+    // for the same values must agree.
+    let h1 = v[2]
+        .get("x_hash")
+        .and_then(|h| h.as_str())
+        .unwrap()
+        .to_string();
+    let h3 = v[9]
+        .get("x_hash")
+        .and_then(|h| h.as_str())
+        .unwrap()
+        .to_string();
+    assert_eq!(h1, h3, "solve after re-analyze is bitwise identical");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn full_lanes_reject_with_queue_depth_and_retry_hint() {
+    // Drive the engine directly with no workers running: pushes stay
+    // queued, so the overload path is deterministic.
+    let engine = Engine::new(ServeConfig {
+        workers: 1,
+        queue_cap: 2,
+        ..ServeConfig::default()
+    });
+    let out: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let reply: Reply<'_> = {
+        let out = Arc::clone(&out);
+        Arc::new(move |s: &str| {
+            out.lock().unwrap().push(s.to_string());
+            true
+        })
+    };
+    assert_eq!(engine.submit("solve s1", &reply, None), Submitted::Queued);
+    assert_eq!(engine.submit("solve s1", &reply, None), Submitted::Queued);
+    // Lane full: the third job is refused with a structured error.
+    assert_eq!(engine.submit("solve s1", &reply, None), Submitted::Rejected);
+    let lines = out.lock().unwrap().clone();
+    assert_eq!(lines.len(), 1, "{lines:?}");
+    let v = parse(&lines[0]).unwrap();
+    assert_eq!(v.get("status").and_then(|s| s.as_str()), Some("error"));
+    assert_eq!(v.get("kind").and_then(|k| k.as_str()), Some("overloaded"));
+    assert_eq!(v.get("exit_code").and_then(|c| c.as_num()), Some(8.0));
+    assert_eq!(v.get("queue_depth").and_then(|d| d.as_num()), Some(2.0));
+    assert!(
+        v.get("retry_after_hint").and_then(|h| h.as_num()).unwrap() > 0.0,
+        "{lines:?}"
+    );
+    assert_eq!(v.get("id").and_then(|i| i.as_num()), Some(3.0));
+    // Draining refuses with its own kind.
+    engine.begin_drain();
+    assert_eq!(engine.submit("solve s1", &reply, None), Submitted::Rejected);
+    let lines = out.lock().unwrap().clone();
+    let v = parse(&lines[1]).unwrap();
+    assert_eq!(
+        v.get("kind").and_then(|k| k.as_str()),
+        Some("shutting_down")
+    );
+    assert_eq!(v.get("exit_code").and_then(|c| c.as_num()), Some(8.0));
+}
+
+#[test]
+fn shutdown_drains_queued_jobs_then_acks_last() {
+    let path = gen_matrix("drain");
+    let script = format!("analyze g {path}\nfactor g {path}\nsolve g\nshutdown\nsolve g\nquit\n");
+    let responses = run_script(
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+        script,
+    );
+    // analyze+factor+solve+ack; the post-shutdown solve is never read.
+    assert_eq!(responses.len(), 4, "{responses:?}");
+    for l in &responses[..3] {
+        let v = parse(l).unwrap();
+        assert_eq!(v.get("status").and_then(|s| s.as_str()), Some("ok"), "{l}");
+    }
+    // The acknowledgement is the LAST line: it flushes only after every
+    // queued job's response.
+    let ack = parse(&responses[3]).unwrap();
+    assert_eq!(ack.get("op").and_then(|o| o.as_str()), Some("shutdown"));
+    assert_eq!(ack.get("status").and_then(|s| s.as_str()), Some("ok"));
+    assert_eq!(ack.get("drained").and_then(|d| d.as_bool()), Some(true));
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A line-oriented test client against a daemon socket.
+struct Client {
+    stream: std::net::TcpStream,
+    reader: BufReader<std::net::TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = std::net::TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        Client { stream, reader }
+    }
+
+    fn send(&mut self, line: &str) {
+        writeln!(self.stream, "{line}").unwrap();
+        self.stream.flush().unwrap();
+    }
+
+    fn recv(&mut self) -> String {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).unwrap();
+        assert!(!line.is_empty(), "daemon closed the connection early");
+        line.trim_end().to_string()
+    }
+}
+
+#[test]
+fn tcp_daemon_multiplexes_clients_and_survives_disconnects() {
+    let path = gen_matrix("tcp");
+    let listener = Listener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr_string();
+    let cfg = ServeConfig {
+        workers: 2,
+        max_line_bytes: 1024,
+        ..ServeConfig::default()
+    };
+    let daemon = std::thread::spawn(move || serve_daemon(cfg, listener, None).unwrap());
+
+    // Client 1 builds a session and solves over the wire.
+    let mut c1 = Client::connect(&addr);
+    c1.send(&format!("analyze s1 {path}"));
+    let v = parse(&c1.recv()).unwrap();
+    assert_eq!(v.get("status").and_then(|s| s.as_str()), Some("ok"));
+    c1.send(&format!("factor s1 {path}"));
+    let v = parse(&c1.recv()).unwrap();
+    assert_eq!(v.get("status").and_then(|s| s.as_str()), Some("ok"));
+    c1.send("solve s1");
+    let r1 = c1.recv();
+    let v = parse(&r1).unwrap();
+    assert_eq!(v.get("status").and_then(|s| s.as_str()), Some("ok"));
+    let hash_wire = v
+        .get("x_hash")
+        .and_then(|h| h.as_str())
+        .unwrap()
+        .to_string();
+
+    // Client 2 shares the daemon: errors are structured, sessions are
+    // daemon-global (it can solve client 1's session), and an oversize
+    // frame only costs one error line.
+    let mut c2 = Client::connect(&addr);
+    c2.send("solve nosuch");
+    let v = parse(&c2.recv()).unwrap();
+    assert_eq!(v.get("kind").and_then(|k| k.as_str()), Some("bad_request"));
+    c2.send("solve s1");
+    let v = parse(&c2.recv()).unwrap();
+    assert_eq!(v.get("status").and_then(|s| s.as_str()), Some("ok"));
+    assert_eq!(
+        v.get("x_hash").and_then(|h| h.as_str()),
+        Some(hash_wire.as_str()),
+        "solves are bitwise identical across clients"
+    );
+    c2.send(&"y".repeat(2048));
+    let v = parse(&c2.recv()).unwrap();
+    assert_eq!(
+        v.get("kind").and_then(|k| k.as_str()),
+        Some("oversize_frame")
+    );
+
+    // Client 3 queues a job and vanishes mid-stream: the daemon keeps
+    // serving everyone else.
+    {
+        let mut c3 = Client::connect(&addr);
+        c3.send(&format!("refactor s1 {path}"));
+        // Dropped here without reading the response.
+    }
+    std::thread::sleep(Duration::from_millis(400));
+    // The disconnect may have cancelled the refactor mid-job; either way
+    // the session stays usable: a fresh factor + solve reproduces the
+    // original bits.
+    c1.send(&format!("factor s1 {path}"));
+    let v = parse(&c1.recv()).unwrap();
+    assert_eq!(v.get("status").and_then(|s| s.as_str()), Some("ok"));
+    c1.send("solve s1");
+    let v = parse(&c1.recv()).unwrap();
+    assert_eq!(v.get("status").and_then(|s| s.as_str()), Some("ok"));
+    assert_eq!(
+        v.get("x_hash").and_then(|h| h.as_str()),
+        Some(hash_wire.as_str()),
+        "recovered session solves bitwise identically"
+    );
+    c1.send("stats");
+    let v = parse(&c1.recv()).unwrap();
+    assert_eq!(v.get("status").and_then(|s| s.as_str()), Some("ok"));
+    assert!(
+        v.get("connections_dropped")
+            .and_then(|c| c.as_num())
+            .unwrap()
+            >= 1.0,
+        "the dropped client was counted"
+    );
+
+    // Shutdown from client 1 drains and acks; the daemon exits.
+    c1.send("shutdown");
+    let ack = parse(&c1.recv()).unwrap();
+    assert_eq!(ack.get("op").and_then(|o| o.as_str()), Some("shutdown"));
+    assert_eq!(ack.get("drained").and_then(|d| d.as_bool()), Some(true));
+    let summary = daemon.join().unwrap();
+    assert!(summary.jobs >= 8, "{summary:?}");
+    assert_eq!(summary.connections, 3);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_daemon_round_trips_and_cleans_up() {
+    use std::os::unix::net::UnixStream;
+    let path = gen_matrix("unixsock");
+    let sock = std::env::temp_dir()
+        .join(format!("parsplu_srv_{}.sock", std::process::id()))
+        .to_string_lossy()
+        .into_owned();
+    let listener = Listener::bind(&format!("unix:{sock}")).unwrap();
+    let cfg = ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    };
+    let daemon = {
+        let _sockpath = sock.clone();
+        std::thread::spawn(move || serve_daemon(cfg, listener, None).unwrap())
+    };
+    let stream = UnixStream::connect(&sock).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut w = stream.try_clone().unwrap();
+    writeln!(w, "analyze u {path}").unwrap();
+    writeln!(w, "factor u {path}").unwrap();
+    writeln!(w, "solve u").unwrap();
+    writeln!(w, "shutdown").unwrap();
+    w.flush().unwrap();
+    let mut lines = Vec::new();
+    for _ in 0..4 {
+        let mut l = String::new();
+        reader.read_line(&mut l).unwrap();
+        lines.push(l.trim_end().to_string());
+    }
+    for l in &lines[..3] {
+        let v = parse(l).unwrap();
+        assert_eq!(v.get("status").and_then(|s| s.as_str()), Some("ok"), "{l}");
+    }
+    let ack = parse(&lines[3]).unwrap();
+    assert_eq!(ack.get("drained").and_then(|d| d.as_bool()), Some(true));
+    daemon.join().unwrap();
+    assert!(
+        !std::path::Path::new(&sock).exists(),
+        "socket path is unlinked on listener drop"
+    );
+    let _ = std::fs::remove_file(&path);
+}
