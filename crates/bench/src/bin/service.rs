@@ -31,8 +31,10 @@
 //! single-core host expect roughly flat jobs/sec across client counts
 //! (the daemon multiplexes, it cannot parallelize).
 
+use parsplu::persist::Durability;
 use parsplu::serve::{serve_daemon, Listener, ServeConfig};
 use splu_bench::{min_time, suite};
+use splu_client::{AddrBook, RetryPolicy};
 use splu_core::{Options, SluSession, SparseLu};
 use splu_matgen::manufactured_rhs;
 use splu_sparse::CscMatrix;
@@ -66,6 +68,12 @@ enum Record {
         jobs_per_sec: f64,
     },
     Concurrent {
+        clients: usize,
+        jobs: usize,
+        jobs_per_sec: f64,
+    },
+    Durability {
+        mode: &'static str,
         clients: usize,
         jobs: usize,
         jobs_per_sec: f64,
@@ -140,6 +148,78 @@ fn concurrent_throughput(paths: &[String], clients: usize, jobs_per_client: usiz
     let ack = round_trip(&mut w, &mut r, "shutdown");
     assert!(ack.contains("\"drained\":true"), "bad shutdown ack: {ack}");
     daemon.join().expect("daemon thread");
+
+    let jobs = clients * jobs_per_client;
+    (jobs, jobs as f64 / elapsed)
+}
+
+/// Journaled-daemon throughput: same shape as [`concurrent_throughput`]
+/// but every timed job is a mutating `refactor` (so each one pays a
+/// journal append) against a daemon running with `--state-dir` and the
+/// given `--durability` mode. The client side is the retry library, so
+/// these rows measure the stack a production caller actually sees.
+fn durability_throughput(
+    paths: &[String],
+    mode: Durability,
+    clients: usize,
+    jobs_per_client: usize,
+) -> (usize, f64) {
+    let state_dir = std::env::temp_dir().join(format!(
+        "parsplu_service_journal_{}_{}",
+        mode.name(),
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&state_dir);
+    let listener = Listener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr_string();
+    let cfg = ServeConfig {
+        workers: 4,
+        state_dir: Some(state_dir.clone()),
+        durability: mode,
+        ..ServeConfig::default()
+    };
+    let daemon = std::thread::spawn(move || serve_daemon(cfg, listener, None).expect("daemon"));
+
+    let book = AddrBook::new(addr);
+    let ready = Barrier::new(clients + 1);
+    let go = Barrier::new(clients + 1);
+    let elapsed = std::thread::scope(|scope| {
+        for c in 0..clients {
+            let (book, ready, go) = (book.clone(), &ready, &go);
+            let path = &paths[c % paths.len()];
+            scope.spawn(move || {
+                let mut cl = splu_client::Client::new(
+                    book,
+                    format!("svc{c}"),
+                    0xd00d ^ c as u64,
+                    RetryPolicy::default(),
+                );
+                cl.call(&format!("analyze d{c} {path}")).expect("analyze");
+                cl.call(&format!("factor d{c} {path}")).expect("factor");
+                ready.wait();
+                go.wait();
+                for _ in 0..jobs_per_client {
+                    cl.call(&format!("refactor d{c} {path}")).expect("refactor");
+                }
+            });
+        }
+        ready.wait();
+        let t = Instant::now();
+        go.wait();
+        t
+    })
+    .elapsed()
+    .as_secs_f64();
+
+    let mut cl = splu_client::Client::new(book, "svc-ctl", 1, RetryPolicy::default());
+    let ack = cl.call_once("shutdown").expect("shutdown");
+    assert_eq!(
+        ack.get("drained").and_then(|d| d.as_bool()),
+        Some(true),
+        "bad shutdown ack: {ack:?}"
+    );
+    daemon.join().expect("daemon thread");
+    let _ = std::fs::remove_dir_all(&state_dir);
 
     let jobs = clients * jobs_per_client;
     (jobs, jobs as f64 / elapsed)
@@ -263,6 +343,28 @@ fn main() {
             jobs_per_sec,
         });
     }
+    // Durability cost: the same daemon shape with a journal attached, one
+    // row per `--durability` mode. Every timed job is a mutating refactor
+    // (each pays an append; strict also pays an fsync before the ack).
+    let dur_clients = 4usize;
+    let dur_jobs = if reduced { 16 } else { 64 };
+    for mode in [Durability::Strict, Durability::Relaxed] {
+        let (jobs, jobs_per_sec) = durability_throughput(&paths, mode, dur_clients, dur_jobs);
+        println!(
+            "journaled throughput ({:>7}): {dur_clients} clients, {jobs} refactors, \
+             {jobs_per_sec:.1} jobs/s",
+            mode.name()
+        );
+        records.push(Record::Durability {
+            mode: match mode {
+                Durability::Strict => "strict",
+                Durability::Relaxed => "relaxed",
+            },
+            clients: dur_clients,
+            jobs,
+            jobs_per_sec,
+        });
+    }
     for p in &paths {
         let _ = std::fs::remove_file(p);
     }
@@ -322,6 +424,19 @@ fn main() {
                 json,
                 "  {{\"matrix\": \"suite\", \"threads\": {clients}, \"kind\": \"concurrent\", \
                  \"clients\": {clients}, \"jobs\": {jobs}, \"jobs_per_sec\": {jobs_per_sec:.6}}}{sep}"
+            ),
+            // The mode rides in `matrix` so the diff key (matrix,
+            // threads, kind) keeps strict and relaxed rows distinct.
+            Record::Durability {
+                mode,
+                clients,
+                jobs,
+                jobs_per_sec,
+            } => writeln!(
+                json,
+                "  {{\"matrix\": \"suite-{mode}\", \"threads\": {clients}, \
+                 \"kind\": \"durability\", \"durability\": \"{mode}\", \
+                 \"jobs\": {jobs}, \"jobs_per_sec\": {jobs_per_sec:.6}}}{sep}"
             ),
         }
         .expect("string write");

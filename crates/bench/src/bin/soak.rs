@@ -15,7 +15,14 @@
 //!   `session_evicted` path (re-analyze, re-factor, retry);
 //! * **worker panic** — with `--features failpoints`, a serial phase arms
 //!   a panic inside a `Factor(k)` task and asserts containment (the job
-//!   fails with `worker_panic`, the daemon and session survive).
+//!   fails with `worker_panic`, the daemon and session survive);
+//! * **kill–replay** — a final phase runs the daemon as a *child process*
+//!   with a durable journal (`--state-dir`, strict durability), SIGKILLs
+//!   it several times mid-burst and restarts it against the same state
+//!   dir while retry clients (`splu_client`) ride through: zero
+//!   acknowledged jobs lost, retried duplicates served from the replay
+//!   cache (per daemon counters), and every post-restart solve bitwise
+//!   equal to the fresh-solver oracle.
 //!
 //! Invariants checked across the whole run:
 //!
@@ -39,8 +46,10 @@
 //! written to `--log` (default `soak.log`); the process exits non-zero on
 //! any invariant violation.
 
+use parsplu::persist::Durability;
 use parsplu::serve::{serve_daemon, solution_hash, Listener, ServeConfig};
 use splu_bench::json::{parse, Json};
+use splu_client::{AddrBook, RetryPolicy};
 use splu_core::{Options, SluSession};
 use splu_matgen::manufactured_rhs;
 use std::io::{BufRead, BufReader, Write as IoWrite};
@@ -76,6 +85,8 @@ struct Totals {
     disconnects_injected: AtomicU64,
     oversize_injected: AtomicU64,
     nul_injected: AtomicU64,
+    kills_injected: AtomicU64,
+    duplicates_replayed: AtomicU64,
     failures: AtomicU64,
 }
 
@@ -342,7 +353,324 @@ fn worker_panic_phase(
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// Kill–replay phase: SIGKILL the daemon mid-burst, restart on the same
+// journal, prove no acknowledged work is lost.
+// ---------------------------------------------------------------------------
+
+/// Child-process entry: bind a loopback socket, announce it on stdout as
+/// `listening on ADDR`, and serve with a strict-durability journal in
+/// `state_dir` until killed or shut down. Invoked by re-execing this
+/// binary with `--daemon-child`; never returns to the soak `main`.
+fn daemon_child(state_dir: String) -> ! {
+    let cfg = ServeConfig {
+        workers: 4,
+        queue_cap: 8,
+        max_line_bytes: 4096,
+        state_dir: Some(std::path::PathBuf::from(state_dir)),
+        durability: Durability::Strict,
+        ..ServeConfig::default()
+    };
+    let listener = Listener::bind("127.0.0.1:0").expect("daemon child: bind loopback");
+    println!("listening on {}", listener.local_addr_string());
+    std::io::stdout().flush().ok();
+    match serve_daemon(cfg, listener, None) {
+        Ok(_) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("daemon child failed: {e:?}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Spawns a fresh daemon child on `state_dir` and returns it with the
+/// address it announced.
+fn spawn_daemon_child(state_dir: &std::path::Path) -> (std::process::Child, String) {
+    let exe = std::env::current_exe().expect("current exe");
+    let mut child = std::process::Command::new(exe)
+        .arg("--daemon-child")
+        .arg(state_dir)
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn daemon child");
+    let mut banner = String::new();
+    BufReader::new(child.stdout.take().expect("child stdout"))
+        .read_line(&mut banner)
+        .expect("read child banner");
+    let addr = banner
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("bad daemon child banner: {banner:?}"))
+        .to_string();
+    (child, addr)
+}
+
+/// The per-client loop of the kill–replay phase: a retry client works one
+/// session through a solve/refactor mix while the daemon is being
+/// SIGKILLed and restarted underneath it. Every `Ok` is an acknowledged
+/// job; the caller re-sends the last acknowledged refactor under its
+/// original job id afterwards to prove dedup. Returns that (line, id).
+#[allow(clippy::too_many_arguments)]
+fn kill_replay_client(
+    c: usize,
+    book: AddrBook,
+    path: &str,
+    expected_hash: &str,
+    jobs: usize,
+    seed: u64,
+    done: &AtomicU64,
+    totals: &Totals,
+) -> Result<(String, String), String> {
+    let mut rng = Rng(seed ^ (c as u64).wrapping_mul(0x2545_f491_4f6c_dd1d));
+    let sess = format!("kr{c}");
+    let policy = RetryPolicy {
+        deadline: Duration::from_secs(120),
+        ..RetryPolicy::default()
+    };
+    let mut cl = splu_client::Client::new(book, format!("kr{c}"), seed ^ c as u64, policy);
+    cl.call(&format!("analyze {sess} {path}"))
+        .map_err(|e| format!("client {c}: analyze: {e}"))?;
+    cl.call(&format!("factor {sess} {path}"))
+        .map_err(|e| format!("client {c}: factor: {e}"))?;
+
+    let mut refactors = 0usize;
+    let mut last_acked: Option<(String, String)> = None;
+    for j in 0..jobs {
+        // First job is always a mutating refactor so every client has an
+        // acknowledged journaled job to replay; after that, 60/40
+        // solve/refactor.
+        if j > 0 && rng.below(100) < 60 {
+            let v = cl
+                .call(&format!("solve {sess}"))
+                .map_err(|e| format!("client {c} job {j}: solve: {e}"))?;
+            let h = v.get("x_hash").and_then(|h| h.as_str()).unwrap_or("?");
+            if h != expected_hash {
+                return Err(format!(
+                    "client {c} job {j}: x_hash {h} != fresh-solver {expected_hash}"
+                ));
+            }
+            totals.solve_hashes_checked.fetch_add(1, Ordering::Relaxed);
+        } else {
+            refactors += 1;
+            let line = format!("refactor {sess} {path}");
+            let id = format!("kr{c}-r{refactors}");
+            cl.call_with_id(&line, &id)
+                .map_err(|e| format!("client {c} job {j}: refactor: {e}"))?;
+            last_acked = Some((line, id));
+        }
+        totals.jobs_ok.fetch_add(1, Ordering::Relaxed);
+        done.fetch_add(1, Ordering::Relaxed);
+    }
+    last_acked.ok_or_else(|| format!("client {c}: no acknowledged refactor"))
+}
+
+/// Runs the whole kill–replay phase: a journaled child daemon, `clients`
+/// retry clients, `kills` SIGKILL+restart cycles spread across the burst,
+/// then duplicate-resend, oracle-solve and daemon-counter checks.
+#[allow(clippy::too_many_arguments)]
+fn kill_replay_phase(
+    path: &str,
+    expected_hash: &str,
+    clients: usize,
+    jobs: usize,
+    kills: usize,
+    seed: u64,
+    totals: &Totals,
+    log: &Log,
+) -> Result<(), String> {
+    let state_dir = std::env::temp_dir().join(format!("parsplu_soak_state_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_dir);
+    let (child, addr) = spawn_daemon_child(&state_dir);
+    let book = AddrBook::new(addr);
+    log.push(format!(
+        "kill-replay: {clients} clients x {jobs} jobs, {kills} SIGKILLs, state dir {}",
+        state_dir.display()
+    ));
+
+    let done = AtomicU64::new(0);
+    let total_jobs = (clients * jobs) as u64;
+    let acked: Mutex<Vec<(usize, String, String)>> = Mutex::new(Vec::new());
+    let errors: Vec<String> = std::thread::scope(|scope| {
+        // The killer: wait until the burst reaches each threshold, then
+        // SIGKILL the daemon and restart it on the same state dir. The
+        // book repoints every client's next reconnect.
+        let killer = {
+            let book = book.clone();
+            let state_dir = state_dir.clone();
+            let done = &done;
+            scope.spawn(move || {
+                let mut child = child;
+                for k in 1..=kills {
+                    let target = total_jobs * k as u64 / (kills as u64 + 1);
+                    let patience = Instant::now();
+                    while done.load(Ordering::Relaxed) < target
+                        && patience.elapsed() < Duration::from_secs(60)
+                    {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    child.kill().expect("SIGKILL daemon child");
+                    child.wait().expect("reap daemon child");
+                    totals.kills_injected.fetch_add(1, Ordering::Relaxed);
+                    let at = done.load(Ordering::Relaxed);
+                    let (next, addr) = spawn_daemon_child(&state_dir);
+                    log.push(format!(
+                        "kill-replay: SIGKILL #{k} at {at}/{total_jobs} jobs; restarted at {addr}"
+                    ));
+                    book.set(addr);
+                    child = next;
+                }
+                child
+            })
+        };
+        let client_errors: Vec<String> = {
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    let book = book.clone();
+                    let (acked, done) = (&acked, &done);
+                    scope.spawn(move || {
+                        kill_replay_client(c, book, path, expected_hash, jobs, seed, done, totals)
+                            .map(|(line, id)| acked.lock().unwrap().push((c, line, id)))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .filter_map(|h| match h.join() {
+                    Ok(Ok(())) => None,
+                    Ok(Err(e)) => Some(e),
+                    Err(_) => Some("kill-replay client thread panicked".to_string()),
+                })
+                .collect()
+        };
+        let mut errors = client_errors;
+
+        // Post-burst checks against the final (post-restart) daemon.
+        let child = killer.join().expect("killer thread");
+        let check = || -> Result<(), String> {
+            let policy = RetryPolicy {
+                deadline: Duration::from_secs(120),
+                ..RetryPolicy::default()
+            };
+            let mut cl = splu_client::Client::new(book.clone(), "kr-check", seed ^ 0xc8ec, policy);
+            let before = cl
+                .call("stats")
+                .map_err(|e| format!("pre-check stats: {e}"))?;
+            let deduped0 = before
+                .get("jobs_deduped_replay")
+                .and_then(|n| n.as_num())
+                .ok_or_else(|| format!("stats without jobs_deduped_replay: {before:?}"))?;
+
+            // Every client's last *acknowledged* refactor, re-sent under
+            // its original job id: the daemon must recognize it as
+            // already applied and answer from the replay cache instead of
+            // running it again.
+            let acked = acked.lock().unwrap();
+            if acked.len() != clients {
+                return Err(format!(
+                    "only {}/{clients} clients recorded an acknowledged refactor",
+                    acked.len()
+                ));
+            }
+            for (c, line, id) in acked.iter() {
+                let v = cl
+                    .call_with_id(line, id)
+                    .map_err(|e| format!("client {c}: duplicate resend of {id}: {e}"))?;
+                if v.status() != "ok" {
+                    return Err(format!("client {c}: duplicate {id} got {v:?}"));
+                }
+            }
+            let after = cl
+                .call("stats")
+                .map_err(|e| format!("post-check stats: {e}"))?;
+            let deduped = after
+                .get("jobs_deduped_replay")
+                .and_then(|n| n.as_num())
+                .unwrap_or(-1.0);
+            let delta = deduped - deduped0;
+            if delta < clients as f64 {
+                return Err(format!(
+                    "expected >= {clients} deduped duplicates, counters moved {deduped0} -> {deduped}"
+                ));
+            }
+            totals
+                .duplicates_replayed
+                .fetch_add(delta as u64, Ordering::Relaxed);
+            let replayed = after
+                .get("sessions_replayed")
+                .and_then(|n| n.as_num())
+                .unwrap_or(-1.0);
+            if replayed < clients as f64 {
+                return Err(format!(
+                    "final daemon replayed {replayed} sessions, wanted >= {clients}"
+                ));
+            }
+            let journal_bytes = after
+                .get("journal_bytes")
+                .and_then(|n| n.as_num())
+                .unwrap_or(0.0);
+            let appends = after
+                .get("journal_appends")
+                .and_then(|n| n.as_num())
+                .unwrap_or(0.0);
+            if journal_bytes <= 0.0 {
+                return Err(format!("stats reports empty journal: {after:?}"));
+            }
+            if after.get("durability").and_then(|d| d.as_str()) != Some("strict") {
+                return Err(format!("stats without strict durability: {after:?}"));
+            }
+
+            // Acknowledged state survived the kills: every revived
+            // session still solves to the oracle's exact bits.
+            for c in 0..clients {
+                let v = cl
+                    .call(&format!("solve kr{c}"))
+                    .map_err(|e| format!("post-restart solve kr{c}: {e}"))?;
+                let h = v.get("x_hash").and_then(|h| h.as_str()).unwrap_or("?");
+                if h != expected_hash {
+                    return Err(format!(
+                        "post-restart solve kr{c}: x_hash {h} != {expected_hash}"
+                    ));
+                }
+                totals.solve_hashes_checked.fetch_add(1, Ordering::Relaxed);
+            }
+            log.push(format!(
+                "kill-replay: {clients} duplicates deduped (counter {deduped0} -> {deduped}), \
+                 {replayed} sessions replayed, journal {journal_bytes} bytes / {appends} appends, \
+                 {clients} post-restart solves bit-identical"
+            ));
+
+            let ack = cl
+                .call_once("shutdown")
+                .map_err(|e| format!("kill-replay shutdown: {e}"))?;
+            if ack.get("drained").and_then(splu_client::Json::as_bool) != Some(true) {
+                return Err(format!("kill-replay shutdown ack: {ack:?}"));
+            }
+            Ok(())
+        };
+        if let Err(e) = check() {
+            errors.push(e);
+        }
+        let mut child = child;
+        let _ = child.wait();
+        errors
+    });
+    if errors.is_empty() {
+        let _ = std::fs::remove_dir_all(&state_dir);
+        Ok(())
+    } else {
+        // Keep the journal: with the soak log it is the post-mortem.
+        Err(errors.join("; "))
+    }
+}
+
 fn main() {
+    // Re-exec entry for the kill–replay phase's daemon process.
+    let mut argv = std::env::args().skip(1);
+    if argv.next().as_deref() == Some("--daemon-child") {
+        daemon_child(argv.next().expect("--daemon-child needs a state dir"));
+    }
+    drop(argv);
+
     let mut seed = 42u64;
     let reduced = std::env::var_os("PARSPLU_REDUCED").is_some();
     let mut clients: usize = if reduced { 4 } else { 16 };
@@ -393,7 +721,7 @@ fn main() {
         queue_cap: 8,
         max_line_bytes,
         session_budget: Some(budget),
-        idle_timeout: None,
+        ..ServeConfig::default()
     };
     let listener = Listener::bind("127.0.0.1:0").expect("bind loopback");
     let addr = listener.local_addr_string();
@@ -509,6 +837,26 @@ fn main() {
         }
     }
     let summary = daemon.join().expect("daemon thread");
+
+    // Final phase: the daemon as a child process with a strict journal,
+    // SIGKILLed and restarted mid-burst. Everything acknowledged must
+    // survive; everything retried must dedup.
+    let kr_jobs = if reduced { 8 } else { 16 };
+    let kr_kills = if reduced { 2 } else { 3 };
+    if let Err(e) = kill_replay_phase(
+        &path,
+        &expected_hash,
+        clients,
+        kr_jobs,
+        kr_kills,
+        seed,
+        &totals,
+        &log,
+    ) {
+        totals.failures.fetch_add(1, Ordering::Relaxed);
+        log.push(format!("FAILURE: kill-replay: {e}"));
+        eprintln!("soak FAILURE: kill-replay: {e}");
+    }
     let _ = std::fs::remove_file(&path);
 
     let failures = totals.failures.load(Ordering::Relaxed);
@@ -516,7 +864,8 @@ fn main() {
     let line = format!(
         "soak done: {done} jobs ok in {concurrent_secs:.1}s ({:.0} jobs/s), \
          {} solves hash-checked, {} evictions recovered, {} overload retries, \
-         {} disconnects, {} oversize, {} nul frames injected; daemon saw {} jobs / {} conns; \
+         {} disconnects, {} oversize, {} nul frames injected; \
+         {} SIGKILLs survived, {} duplicates deduped; daemon saw {} jobs / {} conns; \
          {failures} failure(s)",
         done as f64 / concurrent_secs,
         totals.solve_hashes_checked.load(Ordering::Relaxed),
@@ -525,6 +874,8 @@ fn main() {
         totals.disconnects_injected.load(Ordering::Relaxed),
         totals.oversize_injected.load(Ordering::Relaxed),
         totals.nul_injected.load(Ordering::Relaxed),
+        totals.kills_injected.load(Ordering::Relaxed),
+        totals.duplicates_replayed.load(Ordering::Relaxed),
         summary.jobs,
         summary.connections,
     );

@@ -602,6 +602,30 @@ pub fn validate_bench_service(doc: &Json) -> Result<usize, String> {
                     return Err(format!("{ctx}: non-positive jobs_per_sec {rate}"));
                 }
             }
+            // Journaled-daemon throughput with a given `--durability`
+            // mode; the mode is folded into `matrix` ("suite-strict" /
+            // "suite-relaxed") so the diff key (matrix, threads, kind)
+            // keeps strict and relaxed rows distinct.
+            "durability" => {
+                let mode = require_str(r, "durability", &ctx)?;
+                if !matches!(mode, "strict" | "relaxed") {
+                    return Err(format!("{ctx}: bad durability mode {mode:?}"));
+                }
+                let matrix = require_str(r, "matrix", &ctx)?;
+                if !matrix.ends_with(mode) {
+                    return Err(format!(
+                        "{ctx}: matrix {matrix:?} must encode the durability mode {mode:?}"
+                    ));
+                }
+                let jobs = require_num(r, "jobs", &ctx)?;
+                if jobs < 1.0 || jobs.fract() != 0.0 {
+                    return Err(format!("{ctx}: bad job count {jobs}"));
+                }
+                let rate = require_num(r, "jobs_per_sec", &ctx)?;
+                if rate.is_nan() || rate <= 0.0 {
+                    return Err(format!("{ctx}: non-positive jobs_per_sec {rate}"));
+                }
+            }
             other => return Err(format!("{ctx}: bad kind {other:?}")),
         }
     }
@@ -743,9 +767,13 @@ mod tests {
             {"matrix": "m", "threads": 4, "kind": "serve",
              "jobs": 120, "jobs_per_sec": 37.5},
             {"matrix": "suite", "threads": 16, "kind": "concurrent",
-             "clients": 16, "jobs": 512, "jobs_per_sec": 88.0}
+             "clients": 16, "jobs": 512, "jobs_per_sec": 88.0},
+            {"matrix": "suite-strict", "threads": 4, "kind": "durability",
+             "durability": "strict", "jobs": 256, "jobs_per_sec": 41.0},
+            {"matrix": "suite-relaxed", "threads": 4, "kind": "durability",
+             "durability": "relaxed", "jobs": 256, "jobs_per_sec": 55.0}
         ]"#;
-        assert_eq!(validate_bench_service(&parse(good).unwrap()), Ok(3));
+        assert_eq!(validate_bench_service(&parse(good).unwrap()), Ok(5));
         for bad in [
             // Unknown kind.
             r#"[{"matrix": "m", "threads": 1, "kind": "warmup",
@@ -770,6 +798,12 @@ mod tests {
             // ...and a positive throughput.
             r#"[{"matrix": "suite", "threads": 4, "kind": "concurrent",
                  "clients": 4, "jobs": 10, "jobs_per_sec": 0.0}]"#,
+            // Durability rows need a known mode...
+            r#"[{"matrix": "suite-paranoid", "threads": 4, "kind": "durability",
+                 "durability": "paranoid", "jobs": 10, "jobs_per_sec": 5.0}]"#,
+            // ...encoded in the matrix name (the diff key).
+            r#"[{"matrix": "suite", "threads": 4, "kind": "durability",
+                 "durability": "strict", "jobs": 10, "jobs_per_sec": 5.0}]"#,
         ] {
             assert!(
                 validate_bench_service(&parse(bad).unwrap()).is_err(),

@@ -1,0 +1,268 @@
+//! A minimal JSON reader for serve responses.
+//!
+//! The workspace is offline (no serde), and the client crate sits below
+//! the bench crate in the dependency order, so it carries its own tiny
+//! recursive-descent parser: one-line serve responses are flat objects of
+//! strings, numbers and booleans, which is all this needs to be good at.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number, as `f64`.
+    Num(f64),
+    /// String, escapes decoded.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object, key-ordered.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// The value at `key` if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The boolean if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Convenience: the `"status"` field, or `"?"` when absent.
+    pub fn status(&self) -> &str {
+        self.get("status").and_then(Json::as_str).unwrap_or("?")
+    }
+
+    /// Convenience: the `"kind"` field, or `""` when absent.
+    pub fn kind(&self) -> &str {
+        self.get("kind").and_then(Json::as_str).unwrap_or("")
+    }
+}
+
+/// Parses one complete JSON document, rejecting trailing garbage.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let b = text.as_bytes();
+    let mut pos = 0usize;
+    let v = value(b, &mut pos)?;
+    ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing characters at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn ws(b: &[u8], pos: &mut usize) {
+    while matches!(b.get(*pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+        *pos += 1;
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => Ok(Json::Str(string(b, pos)?)),
+        Some(b't') => literal(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => literal(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => literal(b, pos, "null", Json::Null),
+        Some(_) => number(b, pos),
+    }
+}
+
+fn literal(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("invalid literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if matches!(b.get(*pos), Some(b'-')) {
+        *pos += 1;
+    }
+    while matches!(
+        b.get(*pos),
+        Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    ) {
+        *pos += 1;
+    }
+    let s = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    s.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("invalid number {s:?} at byte {start}"))
+}
+
+fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    *pos += 1; // opening quote, checked by the caller
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+                *pos += 1;
+            }
+            Some(&c) if c < 0x20 => {
+                return Err(format!(
+                    "unescaped control character at byte {pos}",
+                    pos = *pos
+                ))
+            }
+            Some(_) => {
+                let s = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                let ch = s.chars().next().expect("non-empty");
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1;
+    let mut items = Vec::new();
+    ws(b, pos);
+    if matches!(b.get(*pos), Some(b']')) {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(value(b, pos)?);
+        ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1;
+    let mut map = BTreeMap::new();
+    ws(b, pos);
+    if matches!(b.get(*pos), Some(b'}')) {
+        *pos += 1;
+        return Ok(Json::Obj(map));
+    }
+    loop {
+        ws(b, pos);
+        if !matches!(b.get(*pos), Some(b'"')) {
+            return Err(format!("expected a key at byte {pos}", pos = *pos));
+        }
+        let key = string(b, pos)?;
+        ws(b, pos);
+        if !matches!(b.get(*pos), Some(b':')) {
+            return Err(format!("expected ':' at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        map.insert(key, value(b, pos)?);
+        ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_serve_response() {
+        let v = parse(
+            r#"{"id":7,"op":"solve","session":"s1","status":"ok","seconds":0.00123,"residual":1.2e-15,"x_hash":"0xdeadbeefcafef00d","nested":[1,2,{"a":true}],"none":null}"#,
+        )
+        .unwrap();
+        assert_eq!(v.status(), "ok");
+        assert_eq!(v.kind(), "");
+        assert_eq!(v.get("id").and_then(Json::as_num), Some(7.0));
+        assert_eq!(
+            v.get("x_hash").and_then(Json::as_str),
+            Some("0xdeadbeefcafef00d")
+        );
+        assert_eq!(v.get("none"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn decodes_escapes_and_rejects_garbage() {
+        let v = parse(r#"{"error":"a \"quoted\" path\nA"}"#).unwrap();
+        assert_eq!(
+            v.get("error").and_then(Json::as_str),
+            Some("a \"quoted\" path\nA")
+        );
+        assert!(parse("{").is_err());
+        assert!(parse(r#"{"a":1} extra"#).is_err());
+        assert!(parse(r#"{"a":01x}"#).is_err());
+        assert!(parse("").is_err());
+    }
+}

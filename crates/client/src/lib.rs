@@ -1,0 +1,467 @@
+//! A reconnecting retry client for the `parsplu serve` protocol.
+//!
+//! The serve daemon speaks one-line JSON over TCP (or stdio), crashes are
+//! survivable on the server side (the durable journal replays acknowledged
+//! work), and every job may carry an idempotency token (`--job-id`). This
+//! crate is the client half of that contract:
+//!
+//! * **Per-job deadlines** — [`Client::call`] keeps retrying until the
+//!   job's deadline, never longer; socket read timeouts are derived from
+//!   the time remaining.
+//! * **Exponential backoff with jitter** — transport failures (connect
+//!   refused while the daemon restarts, a dropped socket mid-call) back
+//!   off exponentially with a ±50% jitter so a fleet of clients does not
+//!   reconnect in lockstep.
+//! * **`retry_after_hint` honoring** — a structured `overloaded` /
+//!   `shutting_down` refusal carries the server's own estimate of when
+//!   capacity returns; the client sleeps that hint (bounded) instead of
+//!   guessing.
+//! * **Reconnect-and-resend under the same job id** — a lost response is
+//!   indistinguishable from a lost request, so the client resends the
+//!   *identical* line (same `--job-id`) on a fresh connection; the
+//!   daemon's idempotency layer turns an already-applied duplicate into
+//!   the original cached response instead of a double execution.
+//!
+//! The address is read through an [`AddrBook`] on every connect, so a
+//! harness restarting the daemon on a new ephemeral port just updates the
+//! book and in-flight retries follow it.
+
+pub mod json;
+
+pub use json::{parse, Json};
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A shared, mutable server address: clients re-read it on every
+/// reconnect, so a daemon restarted on a new port is found as soon as the
+/// restarter calls [`AddrBook::set`].
+#[derive(Clone)]
+pub struct AddrBook(Arc<Mutex<String>>);
+
+impl AddrBook {
+    /// A book holding `addr` (e.g. `127.0.0.1:45123`).
+    pub fn new(addr: impl Into<String>) -> AddrBook {
+        AddrBook(Arc::new(Mutex::new(addr.into())))
+    }
+
+    /// Replaces the address (daemon restarted elsewhere).
+    pub fn set(&self, addr: impl Into<String>) {
+        *self.0.lock().unwrap() = addr.into();
+    }
+
+    /// The current address.
+    pub fn get(&self) -> String {
+        self.0.lock().unwrap().clone()
+    }
+}
+
+/// Retry tuning for [`Client::call`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Hard per-job deadline: `call` returns [`CallError::Deadline`] once
+    /// this much wall time has elapsed without a terminal response.
+    pub deadline: Duration,
+    /// First backoff after a transport failure; doubles per consecutive
+    /// failure.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Ceiling on a single `retry_after_hint` sleep (the server's hint is
+    /// an estimate, not a command).
+    pub hint_cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            deadline: Duration::from_secs(60),
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(500),
+            hint_cap: Duration::from_millis(250),
+        }
+    }
+}
+
+/// Why [`Client::call`] gave up.
+#[derive(Debug)]
+pub enum CallError {
+    /// The per-job deadline expired. `last` describes the most recent
+    /// failure (transport error or retryable refusal) for diagnostics.
+    Deadline {
+        /// Wall time spent before giving up.
+        elapsed: Duration,
+        /// Human-readable description of the last obstacle.
+        last: String,
+    },
+    /// The server answered with a terminal structured error (anything
+    /// other than `overloaded`/`shutting_down`/`idle_timeout`) — e.g.
+    /// `bad_request`, `session_evicted`, or `duplicate_replay` (which
+    /// proves the work *was* applied; query instead of retrying).
+    Failed(Json),
+}
+
+impl std::fmt::Display for CallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CallError::Deadline { elapsed, last } => {
+                write!(f, "deadline after {elapsed:.1?}: {last}")
+            }
+            CallError::Failed(v) => write!(f, "server error: kind={} {v:?}", v.kind()),
+        }
+    }
+}
+
+/// Cumulative client-side retry accounting, for harness assertions.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Fresh TCP connections established (first connect included).
+    pub connects: u64,
+    /// Identical lines resent after a transport failure (the idempotent
+    /// retry path).
+    pub resends: u64,
+    /// `retry_after_hint` sleeps honored.
+    pub hint_sleeps: u64,
+}
+
+/// The reconnecting client. Not thread-safe by design — one client per
+/// harness thread, mirroring one connection per feeder on the server.
+pub struct Client {
+    book: AddrBook,
+    policy: RetryPolicy,
+    conn: Option<(TcpStream, BufReader<TcpStream>)>,
+    /// splitmix64 state for backoff jitter — deterministic per seed.
+    rng: u64,
+    /// Monotone sequence feeding generated job ids.
+    seq: u64,
+    id_prefix: String,
+    /// Retry accounting.
+    pub stats: ClientStats,
+}
+
+/// Ops that mutate or read session state and therefore ride the
+/// idempotent `--job-id` path; control ops (`stats`, `shutdown`, `quit`)
+/// are sent bare.
+fn takes_job_id(line: &str) -> bool {
+    matches!(
+        line.split_whitespace().next().unwrap_or(""),
+        "analyze" | "factor" | "refactor" | "solve"
+    )
+}
+
+impl Client {
+    /// A client reading addresses from `book`. `id_prefix` namespaces the
+    /// generated job ids (use a distinct prefix per client so ids never
+    /// collide across sessions); `seed` makes the backoff jitter
+    /// replayable.
+    pub fn new(
+        book: AddrBook,
+        id_prefix: impl Into<String>,
+        seed: u64,
+        policy: RetryPolicy,
+    ) -> Client {
+        Client {
+            book,
+            policy,
+            conn: None,
+            rng: seed | 1,
+            seq: 0,
+            id_prefix: id_prefix.into(),
+            stats: ClientStats::default(),
+        }
+    }
+
+    /// Uniform in `[0, 1)` (splitmix64).
+    fn jitter_unit(&mut self) -> f64 {
+        self.rng = self.rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// The backoff before retry number `attempt` (0-based): exponential
+    /// from the base, capped, with ±50% jitter.
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let exp = self
+            .policy
+            .backoff_base
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.policy.backoff_cap);
+        exp.mul_f64(0.5 + self.jitter_unit())
+    }
+
+    /// Drops the current connection (next attempt reconnects).
+    pub fn disconnect(&mut self) {
+        self.conn = None;
+    }
+
+    fn ensure_conn(&mut self, remaining: Duration) -> Result<(), String> {
+        if self.conn.is_some() {
+            return Ok(());
+        }
+        let addr = self.book.get();
+        let stream = TcpStream::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        stream.set_nodelay(true).ok();
+        stream
+            .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))
+            .map_err(|e| format!("read timeout: {e}"))?;
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| format!("clone stream: {e}"))?,
+        );
+        self.conn = Some((stream, reader));
+        self.stats.connects += 1;
+        Ok(())
+    }
+
+    /// One bare request/response round-trip on the current connection —
+    /// no retries, no job id. For control ops (`stats`, `shutdown`) and
+    /// tests that need exact-one-attempt semantics.
+    pub fn call_once(&mut self, line: &str) -> Result<Json, String> {
+        self.ensure_conn(self.policy.deadline)?;
+        let (stream, reader) = self.conn.as_mut().expect("just connected");
+        let io = (|| {
+            writeln!(stream, "{line}")?;
+            stream.flush()?;
+            let mut resp = String::new();
+            reader.read_line(&mut resp)?;
+            Ok::<String, std::io::Error>(resp)
+        })();
+        match io {
+            Err(e) => {
+                self.conn = None;
+                Err(format!("transport: {e}"))
+            }
+            Ok(resp) if resp.is_empty() => {
+                self.conn = None;
+                Err("connection closed before the response".to_string())
+            }
+            Ok(resp) => {
+                parse(resp.trim_end()).map_err(|e| format!("unparseable response {resp:?}: {e}"))
+            }
+        }
+    }
+
+    /// Sends `line` with a freshly generated job id (for session ops) and
+    /// retries — across backpressure, reconnects and daemon restarts —
+    /// until success, a terminal error, or the per-job deadline.
+    pub fn call(&mut self, line: &str) -> Result<Json, CallError> {
+        self.seq += 1;
+        let wire = if takes_job_id(line) {
+            format!("{line} --job-id {}-{}", self.id_prefix, self.seq)
+        } else {
+            line.to_string()
+        };
+        self.call_wire(&wire)
+    }
+
+    /// [`Client::call`] with a caller-chosen job id — for resending a job
+    /// whose id must survive the caller's own restarts.
+    pub fn call_with_id(&mut self, line: &str, job_id: &str) -> Result<Json, CallError> {
+        self.call_wire(&format!("{line} --job-id {job_id}"))
+    }
+
+    fn call_wire(&mut self, wire: &str) -> Result<Json, CallError> {
+        let started = Instant::now();
+        let mut failures = 0u32;
+        let mut last = String::from("no attempt made");
+        let mut sent_once = false;
+        loop {
+            let elapsed = started.elapsed();
+            let Some(remaining) = self.policy.deadline.checked_sub(elapsed) else {
+                return Err(CallError::Deadline { elapsed, last });
+            };
+            if let Err(e) = self.ensure_conn(remaining) {
+                last = e;
+                failures += 1;
+                let pause = self.backoff(failures - 1).min(remaining);
+                std::thread::sleep(pause);
+                continue;
+            }
+            if sent_once {
+                self.stats.resends += 1;
+            }
+            match self.call_once(wire) {
+                Err(e) => {
+                    // A lost response is indistinguishable from a lost
+                    // request; the job id makes the resend safe.
+                    sent_once = true;
+                    last = e;
+                    failures += 1;
+                    let pause = self.backoff(failures - 1).min(remaining);
+                    std::thread::sleep(pause);
+                }
+                Ok(v) => {
+                    sent_once = true;
+                    if v.status() == "ok" {
+                        return Ok(v);
+                    }
+                    match v.kind() {
+                        "overloaded" | "shutting_down" => {
+                            failures = 0; // the server is alive, just busy
+                            let hint = v
+                                .get("retry_after_hint")
+                                .and_then(Json::as_num)
+                                .unwrap_or(0.05)
+                                .max(0.001);
+                            let pause = Duration::from_secs_f64(hint)
+                                .min(self.policy.hint_cap)
+                                .min(remaining);
+                            last = format!("refused: {}", v.kind());
+                            self.stats.hint_sleeps += 1;
+                            std::thread::sleep(pause);
+                        }
+                        // The server closed us for idling; reconnect and
+                        // resend.
+                        "idle_timeout" => {
+                            self.conn = None;
+                            last = "idle timeout".to_string();
+                        }
+                        _ => return Err(CallError::Failed(v)),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn ok_line(id: u64) -> String {
+        format!(r#"{{"id":{id},"op":"solve","session":"s","status":"ok","seconds":0.001}}"#)
+    }
+
+    #[test]
+    fn backoff_is_capped_and_jittered() {
+        let mut c = Client::new(AddrBook::new("127.0.0.1:1"), "t", 7, RetryPolicy::default());
+        let mut seen = std::collections::HashSet::new();
+        for attempt in 0..20 {
+            let b = c.backoff(attempt);
+            // cap 500ms, max jitter x1.5
+            assert!(b <= Duration::from_millis(750), "attempt {attempt}: {b:?}");
+            seen.insert(b);
+        }
+        assert!(seen.len() > 10, "jitter should spread the samples");
+        // Early backoffs stay near the base.
+        let first = c.backoff(0);
+        assert!(first >= Duration::from_millis(5) && first <= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn reconnects_and_resends_the_same_job_id() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            // First connection: read the request, drop without answering
+            // (a crash from the client's point of view).
+            let (s1, _) = listener.accept().unwrap();
+            let mut r1 = BufReader::new(s1);
+            let mut line1 = String::new();
+            r1.read_line(&mut line1).unwrap();
+            drop(r1);
+            // Second connection: same line must arrive (same job id).
+            let (s2, _) = listener.accept().unwrap();
+            let mut r2 = BufReader::new(s2.try_clone().unwrap());
+            let mut line2 = String::new();
+            r2.read_line(&mut line2).unwrap();
+            let mut w = s2;
+            writeln!(w, "{}", ok_line(1)).unwrap();
+            (line1, line2)
+        });
+        let mut c = Client::new(
+            AddrBook::new(addr),
+            "c9",
+            42,
+            RetryPolicy {
+                deadline: Duration::from_secs(20),
+                ..RetryPolicy::default()
+            },
+        );
+        let v = c.call("solve s").expect("retry should succeed");
+        assert_eq!(v.status(), "ok");
+        let (line1, line2) = server.join().unwrap();
+        assert_eq!(line1, line2, "resend must reuse the job id");
+        assert!(line1.contains("--job-id c9-1"), "line: {line1}");
+        assert!(c.stats.resends >= 1);
+        assert!(c.stats.connects >= 2);
+    }
+
+    #[test]
+    fn honors_retry_after_hint_then_succeeds() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (s, _) = listener.accept().unwrap();
+            let mut r = BufReader::new(s.try_clone().unwrap());
+            let mut w = s;
+            let mut line = String::new();
+            r.read_line(&mut line).unwrap();
+            writeln!(
+                w,
+                r#"{{"id":1,"op":"solve","session":"s","status":"error","kind":"overloaded","exit_code":8,"queue_depth":8,"retry_after_hint":0.012}}"#
+            )
+            .unwrap();
+            line.clear();
+            r.read_line(&mut line).unwrap();
+            writeln!(w, "{}", ok_line(2)).unwrap();
+        });
+        let mut c = Client::new(AddrBook::new(addr), "h", 3, RetryPolicy::default());
+        let t0 = Instant::now();
+        let v = c.call("solve s").expect("should ride out the refusal");
+        assert_eq!(v.status(), "ok");
+        assert!(c.stats.hint_sleeps >= 1);
+        assert!(t0.elapsed() >= Duration::from_millis(10), "hint not slept");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn terminal_errors_do_not_retry_and_deadline_is_enforced() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            // Terminal error first...
+            let (s, _) = listener.accept().unwrap();
+            let mut r = BufReader::new(s.try_clone().unwrap());
+            let mut w = s;
+            let mut line = String::new();
+            r.read_line(&mut line).unwrap();
+            writeln!(
+                w,
+                r#"{{"id":1,"op":"solve","session":"s","status":"error","kind":"bad_request","exit_code":2,"error":"nope"}}"#
+            )
+            .unwrap();
+            // ...then a connection that never answers (deadline test).
+            let mut line = String::new();
+            r.read_line(&mut line).unwrap();
+            std::thread::sleep(Duration::from_millis(400));
+        });
+        let mut c = Client::new(
+            AddrBook::new(addr),
+            "d",
+            11,
+            RetryPolicy {
+                deadline: Duration::from_millis(200),
+                ..RetryPolicy::default()
+            },
+        );
+        match c.call("solve s") {
+            Err(CallError::Failed(v)) => assert_eq!(v.kind(), "bad_request"),
+            other => panic!("wanted Failed(bad_request), got {other:?}"),
+        }
+        let t0 = Instant::now();
+        match c.call("solve s") {
+            Err(CallError::Deadline { .. }) => {}
+            other => panic!("wanted Deadline, got {other:?}"),
+        }
+        assert!(t0.elapsed() < Duration::from_secs(5));
+        server.join().unwrap();
+    }
+}

@@ -57,11 +57,23 @@ pub enum Counter {
     /// after budget enforcement — staying at or below the configured
     /// budget is the eviction invariant.
     ResidentSessionBytesPeak,
+    /// Sessions revived bitwise-identically from the durable journal on
+    /// daemon startup (replayed `analyze` lines that produced a live
+    /// session).
+    SessionsReplayed,
+    /// Jobs answered from the idempotency replay cache instead of being
+    /// re-executed, because their `job_id` was already applied.
+    JobsDedupedReplay,
+    /// Records appended to the durable session journal (acknowledged
+    /// mutating jobs plus compaction markers).
+    JournalAppends,
+    /// Journal compactions that completed (atomic snapshot + rename).
+    JournalCompactions,
 }
 
 impl Counter {
     /// All counters, in registry order.
-    pub const ALL: [Counter; 15] = [
+    pub const ALL: [Counter; 19] = [
         Counter::FillL,
         Counter::FillU,
         Counter::FactorCalls,
@@ -77,6 +89,10 @@ impl Counter {
         Counter::ConnectionsDropped,
         Counter::QueueDepthPeak,
         Counter::ResidentSessionBytesPeak,
+        Counter::SessionsReplayed,
+        Counter::JobsDedupedReplay,
+        Counter::JournalAppends,
+        Counter::JournalCompactions,
     ];
 
     /// Stable snake_case name, used as the JSON key in run reports.
@@ -97,6 +113,10 @@ impl Counter {
             Counter::ConnectionsDropped => "connections_dropped",
             Counter::QueueDepthPeak => "queue_depth_peak",
             Counter::ResidentSessionBytesPeak => "resident_session_bytes_peak",
+            Counter::SessionsReplayed => "sessions_replayed",
+            Counter::JobsDedupedReplay => "jobs_deduped_replay",
+            Counter::JournalAppends => "journal_appends",
+            Counter::JournalCompactions => "journal_compactions",
         }
     }
 }

@@ -27,7 +27,9 @@ pub struct CliError {
     /// `2` usage/input errors, `3` numerical failures, `4` contained
     /// worker panics, `5` deadline exceeded, `6` watchdog stall,
     /// `7` session evicted under the serve memory budget, `8` serve
-    /// overload / shutdown refusal, `130` cancelled (Ctrl-C).
+    /// overload / shutdown refusal, `9` duplicate job id with its cached
+    /// response evicted, `10` journal append failure after an in-memory
+    /// mutation, `130` cancelled (Ctrl-C).
     pub exit_code: i32,
 }
 
@@ -113,6 +115,15 @@ SERVE MODE:
                            session gets a `session_evicted` error (exit
                            code 7) until it re-runs `analyze`
     --idle-timeout <secs>  drop socket connections idle longer than this
+    --state-dir <dir>      durable session journal: acknowledged analyze/
+                           factor/refactor jobs are CRC-framed and appended
+                           here, then replayed on startup so sessions
+                           survive a crash bitwise-identically (torn tails
+                           are truncated, never fatal); the journal is
+                           compacted down to live-session state as it grows
+    --durability strict|relaxed   `strict` fsyncs each journal append
+                           before the job is acknowledged (SIGKILL-safe);
+                           `relaxed` batches syncs [strict]
   Job grammar (tokens are whitespace-separated):
     analyze  <session> <matrix.mtx> [options]   symbolic analysis, cached
     factor   <session> <values.mtx> [options]   numeric-only factorization
@@ -123,16 +134,22 @@ SERVE MODE:
     shutdown                                    drain all queued jobs,
                                                 refuse new ones, ack last
     quit                                        end this feeder/connection
+  Any job may carry `--job-id <token>`: an idempotency key. Retrying a job
+  under the same id returns the original cached response instead of
+  re-executing (a `duplicate_replay` error, exit 9, once the response has
+  aged out of the bounded cache); ids are journaled, so retries stay safe
+  across a daemon crash and restart.
   `factor`/`refactor` values must match the analyzed pattern (a mismatch is
   a structured error, the session stays usable). Per-job `--time-limit` /
   `--watchdog` bound that job alone. Each response embeds a run report
   (schema `parsplu-run-report/1`) for analyze/factor/refactor jobs; error
   responses carry a machine-readable `kind` (bad_request, numeric,
   worker_panic, deadline, stalled, session_evicted, overloaded,
-  shutting_down, cancelled, oversize_frame, invalid_frame, idle_timeout)
-  next to the exit code a local run would have used. `solve` responses
-  include `x_hash`, an FNV-1a hash of the solution's exact bit patterns,
-  for bitwise reproducibility checks.
+  duplicate_replay, journal_corrupt, shutting_down, cancelled,
+  oversize_frame, invalid_frame, idle_timeout) next to the exit code a
+  local run would have used. `solve` responses include `x_hash`, an FNV-1a
+  hash of the solution's exact bit patterns, for bitwise reproducibility
+  checks.
 
 OPTIONS:
   --threads <N>         worker threads for the numerical phase   [1]
@@ -194,6 +211,10 @@ EXIT CODES:
   6    the liveness watchdog declared a stall (diagnosis on stderr)
   7    serve: the session was evicted under --session-budget (re-analyze)
   8    serve: overloaded (bounded queue full) or shutting down
+  9    serve: duplicate --job-id already applied, original response no
+       longer cached (the work was done; do not blindly retry)
+  10   serve: the journal append failed after the job mutated memory;
+       durability is not guaranteed until the state-dir is writable
   130  cancelled by Ctrl-C (128 + SIGINT); the run drained cleanly
 ";
 
@@ -736,6 +757,18 @@ fn cmd_serve(flags: &[String], token: Option<&CancelToken>) -> Result<String, Cl
                     return Err(CliError::from("idle timeout must be positive"));
                 }
                 cfg.idle_timeout = Some(Duration::from_secs_f64(secs));
+            }
+            "--state-dir" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::from("--state-dir needs a directory path"))?;
+                cfg.state_dir = Some(std::path::PathBuf::from(v));
+            }
+            "--durability" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::from("--durability needs `strict` or `relaxed`"))?;
+                cfg.durability = crate::persist::Durability::parse(v).map_err(CliError::from)?;
             }
             other => return Err(CliError::from(format!("unknown serve option `{other}`"))),
         }

@@ -42,6 +42,7 @@
 //! ```
 
 pub mod cli;
+pub mod persist;
 pub mod serve;
 
 pub use splu_core as core;

@@ -29,23 +29,38 @@
 //! * **Graceful shutdown** — the `shutdown` op (or Ctrl-C) stops intake,
 //!   drains every queued job, flushes the final responses, and only then
 //!   acknowledges. Accepted work is never dropped.
+//! * **Durability** (DESIGN.md §6) — with `--state-dir`, every
+//!   acknowledged mutating job (`analyze`/`factor`/`refactor`) is
+//!   appended to a CRC-framed journal ([`crate::persist`]) *before* the
+//!   ack under `--durability strict`; on startup the journal is replayed
+//!   through the same job path, reviving every session bitwise
+//!   identically (the pipeline is deterministic, so replaying inputs
+//!   reconstructs state exactly). The journal is compacted down to
+//!   live-session state once it outgrows its post-compaction baseline.
+//! * **Idempotency** — a client may tag any job with `--job-id <token>`;
+//!   per-session applied-id tracking plus a bounded response cache means
+//!   a retried duplicate returns the original response instead of
+//!   re-executing, and journaled ids keep retries safe across a crash.
 //!
 //! Every response is one JSON line. Errors carry `"kind"` (a stable
 //! machine-readable taxonomy: `bad_request`, `numeric`, `worker_panic`,
 //! `deadline`, `stalled`, `session_evicted`, `overloaded`,
-//! `shutting_down`, `cancelled`, `oversize_frame`, `invalid_frame`) next
-//! to the CLI exit code a local run would have used.
+//! `duplicate_replay`, `journal_corrupt`, `shutting_down`, `cancelled`,
+//! `oversize_frame`, `invalid_frame`, `idle_timeout`) next to the CLI
+//! exit code a local run would have used.
 
 use crate::cli::{
     compact_json, json_escape, load, matrix_name, parse_flags, read_vector, CliError,
 };
+use crate::persist::{Damage, Durability, Journal, Record};
 use splu_core::{CancelToken, LuError, MatrixMeta, ObsSession, RunReport, RunStatus, SluSession};
 use splu_matgen::manufactured_rhs;
 use splu_obs::{Counter, MetricsRegistry};
 use splu_sched::{Lane, LaneRejected};
 use splu_sparse::{relative_residual, CscMatrix};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, ErrorKind, Write as IoWrite};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -74,6 +89,12 @@ pub struct ServeConfig {
     /// Drop socket connections idle longer than this; `None` disables the
     /// idle timeout. (Ignored by the stdio loop, whose reader blocks.)
     pub idle_timeout: Option<Duration>,
+    /// Directory for the durable session journal; `None` runs in-memory
+    /// only (state is lost on exit, as before PR 10).
+    pub state_dir: Option<PathBuf>,
+    /// When the journal acknowledges: `strict` fsyncs before the ack,
+    /// `relaxed` batches syncs. Ignored without `state_dir`.
+    pub durability: Durability,
 }
 
 impl Default for ServeConfig {
@@ -84,6 +105,8 @@ impl Default for ServeConfig {
             max_line_bytes: 16 * 1024 * 1024,
             session_budget: None,
             idle_timeout: None,
+            state_dir: None,
+            durability: Durability::Strict,
         }
     }
 }
@@ -116,6 +139,8 @@ pub fn kind_of_exit(exit_code: i32) -> &'static str {
         6 => "stalled",
         7 => "session_evicted",
         8 => "overloaded",
+        9 => "duplicate_replay",
+        10 => "journal_corrupt",
         130 => "cancelled",
         _ => "error",
     }
@@ -195,6 +220,14 @@ impl<R: BufRead> FrameReader<R> {
         }
     }
 
+    /// Bytes of an unterminated line currently buffered (or being
+    /// discarded in skip mode). Non-zero at an idle timeout means the
+    /// client stalled mid-frame; the daemon reports the abandoned partial
+    /// frame instead of silently dropping it.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() + self.skipping
+    }
+
     fn emit_line(&mut self) -> Frame {
         let mut bytes = std::mem::take(&mut self.buf);
         if bytes.last() == Some(&b'\r') {
@@ -271,6 +304,13 @@ impl<R: BufRead> FrameReader<R> {
 pub(crate) struct ServeEntry {
     pub(crate) session: SluSession,
     pub(crate) matrix: Option<CscMatrix>,
+    /// The exact `analyze` job line that created this session, kept so a
+    /// journal compaction can snapshot the session as one replayable
+    /// record instead of its whole history.
+    pub(crate) analyze_line: Option<String>,
+    /// The most recent successful `factor`/`refactor` line, for the same
+    /// compaction snapshot.
+    pub(crate) numeric_line: Option<String>,
 }
 
 /// Resident bytes a retained values matrix costs the pool.
@@ -434,6 +474,23 @@ impl SessionPool {
         }
     }
 
+    /// Every live session's cell, name-sorted for a deterministic
+    /// compaction snapshot.
+    fn live_cells(&self) -> Vec<(String, Arc<Mutex<ServeEntry>>)> {
+        let inner = self.inner.lock().unwrap();
+        let mut cells: Vec<_> = inner
+            .slots
+            .iter()
+            .filter_map(|(name, slot)| match slot {
+                Slot::Live { cell, .. } => Some((name.clone(), Arc::clone(cell))),
+                _ => None,
+            })
+            .collect();
+        drop(inner);
+        cells.sort_by(|a, b| a.0.cmp(&b.0));
+        cells
+    }
+
     /// Aggregate state (for the `stats` op).
     pub(crate) fn stats(&self) -> PoolStats {
         let inner = self.inner.lock().unwrap();
@@ -494,6 +551,105 @@ impl Drop for Pinned<'_> {
 }
 
 // ---------------------------------------------------------------------------
+// Idempotency tracking
+// ---------------------------------------------------------------------------
+
+/// Applied job ids remembered per session before the oldest are forgotten
+/// (a forgotten id's retry re-executes — harmless, the pipeline is
+/// deterministic and session mutations are idempotent replacements).
+const APPLIED_ID_CAP: usize = 4096;
+
+/// Full responses cached per session for duplicate replay; ids past this
+/// window stay *applied* but answer retries with `duplicate_replay`
+/// (exit 9) instead of the original response.
+const RESPONSE_CACHE_CAP: usize = 256;
+
+/// What the tracker knows about a job id.
+enum IdStatus {
+    /// Never seen: execute normally.
+    New,
+    /// Applied, original response still cached: return it verbatim.
+    Cached(String),
+    /// Applied, but the response aged out of the cache (or the ack
+    /// predates a crash): the caller gets `duplicate_replay`.
+    Evicted,
+}
+
+/// Per-session applied-id set plus the bounded response-replay cache.
+/// Lives outside the session pool so idempotency survives evictions and
+/// re-analyzes. Same-session jobs are lane-serialized, so check→execute→
+/// mark needs no cross-job locking beyond the tracker map's mutex.
+#[derive(Default)]
+struct IdTracker {
+    /// Applied ids, oldest first (the eviction order).
+    order: VecDeque<String>,
+    /// id → cached response (`None` once evicted from the response cache
+    /// or restored id-only from the journal).
+    entries: HashMap<String, Option<String>>,
+    /// Ids currently holding a cached response, oldest first.
+    cached: VecDeque<String>,
+}
+
+impl IdTracker {
+    fn check(&self, id: &str) -> IdStatus {
+        match self.entries.get(id) {
+            None => IdStatus::New,
+            Some(Some(resp)) => IdStatus::Cached(resp.clone()),
+            Some(None) => IdStatus::Evicted,
+        }
+    }
+
+    /// Marks `id` applied, caching `response` when given. Never
+    /// downgrades: re-marking a cached id with `None` (a journal
+    /// `AppliedIds` record replayed after the job itself) keeps the
+    /// cached response.
+    fn mark(&mut self, id: &str, response: Option<String>) {
+        match self.entries.get_mut(id) {
+            Some(slot) => {
+                if slot.is_none() && response.is_some() {
+                    *slot = response;
+                    self.cached.push_back(id.to_string());
+                }
+            }
+            None => {
+                let has_response = response.is_some();
+                self.order.push_back(id.to_string());
+                self.entries.insert(id.to_string(), response);
+                if has_response {
+                    self.cached.push_back(id.to_string());
+                }
+                while self.order.len() > APPLIED_ID_CAP {
+                    if let Some(old) = self.order.pop_front() {
+                        self.entries.remove(&old);
+                    }
+                }
+            }
+        }
+        while self.cached.len() > RESPONSE_CACHE_CAP {
+            if let Some(old) = self.cached.pop_front() {
+                if let Some(slot) = self.entries.get_mut(&old) {
+                    *slot = None;
+                }
+            }
+        }
+    }
+}
+
+/// Pulls the optional `--job-id <token>` pair out of a tokenized job
+/// line (it is a protocol-level flag, not a `parse_flags` option).
+fn extract_job_id(toks: &mut Vec<String>) -> Result<Option<String>, String> {
+    let Some(i) = toks.iter().position(|t| t == "--job-id") else {
+        return Ok(None);
+    };
+    if i + 1 >= toks.len() {
+        return Err("--job-id needs a value".to_string());
+    }
+    let id = toks.remove(i + 1);
+    toks.remove(i);
+    Ok(Some(id))
+}
+
+// ---------------------------------------------------------------------------
 // Engine
 // ---------------------------------------------------------------------------
 
@@ -541,10 +697,24 @@ pub struct Engine<'e> {
     /// `retry_after_hint` of overload rejections.
     job_ns: AtomicU64,
     pending_ack: Mutex<Option<(Reply<'e>, u64)>>,
+    /// The durable session journal (`--state-dir`), absent for
+    /// in-memory-only engines.
+    journal: Option<Journal>,
+    /// Per-session idempotency trackers, keyed by session name. Outlives
+    /// pool evictions on purpose.
+    trackers: Mutex<HashMap<String, IdTracker>>,
+    /// Set while the startup replay runs: jobs skip the duplicate check
+    /// (every journaled line must re-execute) and never re-journal.
+    replaying: AtomicBool,
+    /// splitmix64 sequence feeding the retry-hint jitter.
+    jitter_seq: AtomicU64,
+    started: Instant,
 }
 
 impl<'e> Engine<'e> {
-    /// A fresh engine with its own metrics registry and session pool.
+    /// A fresh in-memory engine with its own metrics registry and session
+    /// pool. Ignores `cfg.state_dir`; use [`Engine::open`] for a durable
+    /// engine.
     pub fn new(cfg: ServeConfig) -> Self {
         let cfg = ServeConfig {
             workers: cfg.workers.max(1),
@@ -563,7 +733,82 @@ impl<'e> Engine<'e> {
             draining: AtomicBool::new(false),
             job_ns: AtomicU64::new(0),
             pending_ack: Mutex::new(None),
+            journal: None,
+            trackers: Mutex::new(HashMap::new()),
+            replaying: AtomicBool::new(false),
+            jitter_seq: AtomicU64::new(0),
+            started: Instant::now(),
         }
+    }
+
+    /// [`Engine::new`] plus durability: opens (or creates) the journal
+    /// under `cfg.state_dir` if one is configured, truncates any torn
+    /// tail, and replays the surviving records through the normal job
+    /// path, reviving every journaled session bitwise-identically.
+    pub fn open(cfg: ServeConfig) -> Result<Self, CliError> {
+        let state_dir = cfg.state_dir.clone();
+        let mut engine = Engine::new(cfg);
+        let Some(dir) = state_dir else {
+            return Ok(engine);
+        };
+        let (journal, recovered) = Journal::open(&dir, engine.cfg.durability)
+            .map_err(|e| CliError::from(format!("journal: {e}")))?;
+        match recovered.damage {
+            Some(Damage::TornTail { dropped_bytes }) => eprintln!(
+                "parsplu serve: journal had a torn tail ({dropped_bytes} byte(s), a crash \
+                 mid-append); truncated to the last whole record"
+            ),
+            Some(Damage::Corrupt {
+                offset,
+                dropped_bytes,
+            }) => eprintln!(
+                "parsplu serve: journal record at byte {offset} failed its CRC; dropped \
+                 {dropped_bytes} byte(s) and kept the valid prefix"
+            ),
+            None => {}
+        }
+        engine.journal = Some(journal);
+        engine.replay(recovered.records);
+        Ok(engine)
+    }
+
+    /// Re-executes recovered journal records in order. `Job` lines run
+    /// through [`serve_job`] exactly like live traffic (minus the
+    /// duplicate check and re-journaling); `AppliedIds` records restore
+    /// the idempotency trackers id-only.
+    fn replay(&self, records: Vec<Record>) {
+        if records.is_empty() {
+            return;
+        }
+        self.replaying.store(true, Ordering::Release);
+        let mut jobs = 0u64;
+        for rec in records {
+            match rec {
+                Record::Job { line, .. } => {
+                    jobs += 1;
+                    let id = self.next_id();
+                    let response = serve_job(self, id, &line, None);
+                    if response.contains(r#""status":"error""#) {
+                        // The original run succeeded; a replay failure
+                        // means the environment changed (e.g. the matrix
+                        // file is gone). Serve what survives.
+                        eprintln!("parsplu serve: journal replay of `{line}` failed: {response}");
+                    }
+                }
+                Record::AppliedIds { session, ids } => {
+                    let mut trackers = self.trackers.lock().unwrap();
+                    let tracker = trackers.entry(session).or_default();
+                    for id in ids {
+                        tracker.mark(&id, None);
+                    }
+                }
+                Record::Compacted { .. } => {}
+            }
+        }
+        self.replaying.store(false, Ordering::Release);
+        let sessions = self.pool.stats().sessions as u64;
+        self.metrics.add(Counter::SessionsReplayed, sessions);
+        eprintln!("parsplu serve: replayed {jobs} journaled job(s), revived {sessions} session(s)");
     }
 
     /// The engine's configuration.
@@ -629,9 +874,108 @@ impl<'e> Engine<'e> {
         }
     }
 
+    /// A uniform sample in `[0, 1)` from a splitmix64 sequence — cheap,
+    /// lock-free, and deterministic per engine (no wall-clock seeding).
+    fn jitter_unit(&self) -> f64 {
+        let s = self
+            .jitter_seq
+            .fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed)
+            .wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
     fn retry_after_hint(&self, depth: usize) -> f64 {
         let ewma_s = self.job_ns.load(Ordering::Relaxed) as f64 / 1e9;
-        ((depth as f64 + 1.0) * ewma_s).max(0.05)
+        let base = ((depth as f64 + 1.0) * ewma_s).max(0.05);
+        // ±25% bounded jitter so a herd of clients rejected together
+        // (after a drain or restart) does not retry in lockstep and
+        // re-overload the same lane in phase.
+        base * (0.75 + 0.5 * self.jitter_unit())
+    }
+
+    /// Looks up `job_id`'s status for `name`'s session.
+    fn check_applied(&self, name: &str, job_id: &str) -> IdStatus {
+        let trackers = self.trackers.lock().unwrap();
+        match trackers.get(name) {
+            Some(t) => t.check(job_id),
+            None => IdStatus::New,
+        }
+    }
+
+    /// Marks `job_id` applied for `name`, caching the response.
+    fn mark_applied(&self, name: &str, job_id: &str, response: Option<String>) {
+        let mut trackers = self.trackers.lock().unwrap();
+        trackers
+            .entry(name.to_string())
+            .or_default()
+            .mark(job_id, response);
+    }
+
+    /// Compacts the journal once it has outgrown its post-compaction
+    /// baseline: the whole job history is replaced by one snapshot per
+    /// live session (last analyze line + last numeric line) plus the
+    /// applied-id sets. Called after appends; a no-op without a journal
+    /// or below the growth threshold, and aborted (retried after later
+    /// appends) while any session is mid-job.
+    fn maybe_compact(&self) {
+        /// Never compact below this size — churning a tiny journal buys
+        /// nothing.
+        const COMPACT_MIN_BYTES: u64 = 256 * 1024;
+        let Some(journal) = &self.journal else {
+            return;
+        };
+        if journal.bytes() < (journal.compact_baseline() * 4).max(COMPACT_MIN_BYTES) {
+            return;
+        }
+        match journal.compact_with(|| self.gather_snapshot()) {
+            Ok(true) => self.metrics.incr(Counter::JournalCompactions),
+            Ok(false) => {}
+            Err(e) => eprintln!("parsplu serve: journal compaction failed: {e}"),
+        }
+    }
+
+    /// The compaction snapshot: equivalent-under-replay records for the
+    /// current state. Runs under the journal writer lock (so concurrent
+    /// mutating jobs append to the *new* file, never into the discarded
+    /// one); returns `None` — aborting the compaction — if any session is
+    /// locked by an in-flight job, rather than stalling the append path.
+    fn gather_snapshot(&self) -> Option<Vec<Record>> {
+        let cells = self.pool.live_cells();
+        let mut records = Vec::new();
+        for (_, cell) in &cells {
+            let entry = cell.try_lock().ok()?;
+            for line in [&entry.analyze_line, &entry.numeric_line]
+                .into_iter()
+                .flatten()
+            {
+                let mut toks: Vec<String> = line.split_whitespace().map(String::from).collect();
+                let job_id = extract_job_id(&mut toks).ok().flatten();
+                records.push(Record::Job {
+                    job_id,
+                    line: line.clone(),
+                });
+            }
+        }
+        let trackers = self.trackers.lock().unwrap();
+        let mut names: Vec<&String> = trackers.keys().collect();
+        names.sort();
+        for name in names {
+            let ids: Vec<String> = trackers[name].order.iter().cloned().collect();
+            if !ids.is_empty() {
+                records.push(Record::AppliedIds {
+                    session: name.clone(),
+                    ids,
+                });
+            }
+        }
+        records.push(Record::Compacted {
+            live_sessions: cells.len() as u64,
+        });
+        Some(records)
     }
 
     /// Routes one line: skips blanks/comments, answers control ops,
@@ -710,6 +1054,9 @@ impl<'e> Engine<'e> {
             FrameFault::Nul { len } => format!(
                 r#"{{"id":{id},"op":"frame","session":"","status":"error","kind":"invalid_frame","exit_code":2,"bytes":{len},"error":"NUL byte in a {len}-byte job line; binary frames are not accepted"}}"#
             ),
+            FrameFault::Partial { len } => format!(
+                r#"{{"id":{id},"op":"frame","session":"","status":"error","kind":"invalid_frame","exit_code":2,"bytes":{len},"error":"connection idled out with a {len}-byte partial frame buffered (no trailing newline); the fragment was discarded"}}"#
+            ),
         }
     }
 
@@ -730,8 +1077,12 @@ impl<'e> Engine<'e> {
             Some(b) => b.to_string(),
             None => "null".to_string(),
         };
+        let durability = match &self.journal {
+            Some(j) => format!(r#""{}""#, j.durability().name()),
+            None => "null".to_string(),
+        };
         format!(
-            r#"{{"id":{id},"op":"stats","session":"","status":"ok","workers":{},"queue_cap":{},"queue_depths":[{}],"queue_depth_peak":{},"sessions":{},"evicted_tombstones":{},"resident_bytes":{},"resident_bytes_peak":{},"session_budget":{budget},"draining":{},"jobs_dispatched":{},"sessions_evicted":{},"jobs_rejected_overload":{},"connections_dropped":{}}}"#,
+            r#"{{"id":{id},"op":"stats","session":"","status":"ok","workers":{},"queue_cap":{},"queue_depths":[{}],"queue_depth_peak":{},"sessions":{},"evicted_tombstones":{},"resident_bytes":{},"resident_bytes_peak":{},"session_budget":{budget},"draining":{},"jobs_dispatched":{},"sessions_evicted":{},"jobs_rejected_overload":{},"connections_dropped":{},"uptime_s":{:.3},"durability":{durability},"journal_bytes":{},"journal_appends":{},"journal_compactions":{},"sessions_replayed":{},"jobs_deduped_replay":{}}}"#,
             self.cfg.workers,
             self.cfg.queue_cap,
             depths.join(","),
@@ -745,7 +1096,24 @@ impl<'e> Engine<'e> {
             self.metrics.get(Counter::SessionsEvicted),
             self.metrics.get(Counter::JobsRejectedOverload),
             self.metrics.get(Counter::ConnectionsDropped),
+            self.started.elapsed().as_secs_f64(),
+            self.journal.as_ref().map_or(0, |j| j.bytes()),
+            self.metrics.get(Counter::JournalAppends),
+            self.metrics.get(Counter::JournalCompactions),
+            self.metrics.get(Counter::SessionsReplayed),
+            self.metrics.get(Counter::JobsDedupedReplay),
         )
+    }
+
+    /// Forces any batched (relaxed-durability) journal writes to disk —
+    /// the drain path, so a graceful shutdown never loses acknowledged
+    /// work even in relaxed mode.
+    pub fn sync_journal(&self) {
+        if let Some(j) = &self.journal {
+            if let Err(e) = j.sync() {
+                eprintln!("parsplu serve: journal sync on drain failed: {e}");
+            }
+        }
     }
 
     /// Writes the deferred `shutdown` acknowledgement (after the lanes are
@@ -763,12 +1131,16 @@ impl<'e> Engine<'e> {
     /// engine's live values (the per-job report was built from a per-job
     /// registry where they are always zero).
     fn fold_daemon_counters(&self, report: &mut RunReport) {
-        const DAEMON: [Counter; 5] = [
+        const DAEMON: [Counter; 9] = [
             Counter::SessionsEvicted,
             Counter::JobsRejectedOverload,
             Counter::ConnectionsDropped,
             Counter::QueueDepthPeak,
             Counter::ResidentSessionBytesPeak,
+            Counter::SessionsReplayed,
+            Counter::JobsDedupedReplay,
+            Counter::JournalAppends,
+            Counter::JournalCompactions,
         ];
         for c in DAEMON {
             let v = self.metrics.get(c);
@@ -795,6 +1167,12 @@ pub enum FrameFault {
         /// Length of the rejected line.
         len: usize,
     },
+    /// The connection idled out with an unterminated line still buffered;
+    /// the fragment is reported (then discarded) instead of vanishing.
+    Partial {
+        /// Buffered bytes of the abandoned frame.
+        len: usize,
+    },
 }
 
 fn refusal_response(id: u64, op: &str, name: &str) -> String {
@@ -810,21 +1188,85 @@ fn refusal_response(id: u64, op: &str, name: &str) -> String {
 // ---------------------------------------------------------------------------
 
 /// Runs one serve-mode job line, returning the one-line JSON response.
+///
+/// This is also the idempotency and durability boundary. The optional
+/// `--job-id <token>` is stripped here (it is protocol, not job
+/// grammar): a duplicate of an applied id returns the cached original
+/// response (or `duplicate_replay`, exit 9, once the response has aged
+/// out). A successful mutating job is journaled *before* the response is
+/// returned — if the append fails, the response becomes
+/// `journal_corrupt` (exit 10) and the id is *not* marked applied, so
+/// the client's retry re-executes (deterministically, to the same state)
+/// rather than trusting an ack the disk never saw.
 fn serve_job(engine: &Engine<'_>, id: u64, line: &str, token: Option<&CancelToken>) -> String {
-    let toks: Vec<String> = line.split_whitespace().map(String::from).collect();
-    let op = toks[0].clone();
+    let mut toks: Vec<String> = line.split_whitespace().map(String::from).collect();
+    let job_id = match extract_job_id(&mut toks) {
+        Ok(j) => j,
+        Err(msg) => {
+            return format!(
+                r#"{{"id":{id},"op":"","session":"","status":"error","kind":"bad_request","exit_code":2,"error":"{}"}}"#,
+                json_escape(&msg)
+            )
+        }
+    };
+    let op = toks.first().cloned().unwrap_or_default();
     let name = toks.get(1).cloned().unwrap_or_default();
     let head = format!(
         r#"{{"id":{id},"op":"{}","session":"{}""#,
         json_escape(&op),
         json_escape(&name)
     );
+    let replaying = engine.replaying.load(Ordering::Acquire);
+    if let Some(jid) = &job_id {
+        if !replaying {
+            match engine.check_applied(&name, jid) {
+                IdStatus::New => {}
+                IdStatus::Cached(original) => {
+                    engine.metrics.incr(Counter::JobsDedupedReplay);
+                    return original;
+                }
+                IdStatus::Evicted => {
+                    return format!(
+                        r#"{head},"status":"error","kind":"duplicate_replay","exit_code":9,"job_id":"{}","error":"job id already applied but its response is no longer cached; the work was done — query the session instead of retrying"}}"#,
+                        json_escape(jid)
+                    );
+                }
+            }
+        }
+    }
     let t0 = Instant::now();
-    match serve_job_inner(engine, &toks, token) {
-        Ok(fields) => format!(
-            r#"{head},"status":"ok","seconds":{:.6}{fields}}}"#,
-            t0.elapsed().as_secs_f64()
-        ),
+    match serve_job_inner(engine, &toks, line, token) {
+        Ok(fields) => {
+            let response = format!(
+                r#"{head},"status":"ok","seconds":{:.6}{fields}}}"#,
+                t0.elapsed().as_secs_f64()
+            );
+            let mutating = matches!(op.as_str(), "analyze" | "factor" | "refactor");
+            if mutating && !replaying {
+                if let Some(journal) = &engine.journal {
+                    let record = Record::Job {
+                        job_id: job_id.clone(),
+                        line: line.to_string(),
+                    };
+                    if let Err(e) = journal.append(&record) {
+                        // In-memory state mutated but durability failed:
+                        // the ack must not claim what the disk refused.
+                        // The id stays unapplied so a retry re-executes
+                        // (idempotently) once the disk recovers.
+                        return format!(
+                            r#"{head},"status":"error","kind":"journal_corrupt","exit_code":10,"error":"job applied in memory but the journal append failed ({}); durability is not guaranteed — retry once the state-dir is writable"}}"#,
+                            json_escape(&e.to_string())
+                        );
+                    }
+                    engine.metrics.incr(Counter::JournalAppends);
+                    engine.maybe_compact();
+                }
+            }
+            if let Some(jid) = &job_id {
+                engine.mark_applied(&name, jid, Some(response.clone()));
+            }
+            response
+        }
         Err(e) => format!(
             r#"{head},"status":"error","kind":"{}","exit_code":{},"error":"{}"}}"#,
             kind_of_exit(e.exit_code),
@@ -839,9 +1281,13 @@ fn serve_job(engine: &Engine<'_>, id: u64, line: &str, token: Option<&CancelToke
 fn serve_job_inner(
     engine: &Engine<'_>,
     toks: &[String],
+    line: &str,
     token: Option<&CancelToken>,
 ) -> Result<String, CliError> {
-    let op = toks[0].as_str();
+    let op = toks
+        .first()
+        .ok_or_else(|| CliError::from("a job line needs an op"))?
+        .as_str();
     let name = toks
         .get(1)
         .ok_or_else(|| CliError::from(format!("`{op}` needs a session name")))?;
@@ -881,6 +1327,8 @@ fn serve_job_inner(
                 ServeEntry {
                     session,
                     matrix: None,
+                    analyze_line: Some(line.to_string()),
+                    numeric_line: None,
                 },
             )?;
             engine.fold_daemon_counters(&mut report);
@@ -913,6 +1361,7 @@ fn serve_job_inner(
             let result = match outcome {
                 Ok(()) => {
                     e.matrix = Some(a);
+                    e.numeric_line = Some(line.to_string());
                     let mut report = obs.report(meta, &opts, RunStatus::success());
                     engine.fold_daemon_counters(&mut report);
                     Ok((entry_bytes(&e), compact_json(&report.to_json())))
@@ -993,7 +1442,7 @@ pub fn serve_loop_with<R: BufRead, W: IoWrite + Send>(
     writer: &Mutex<W>,
     token: Option<&CancelToken>,
 ) -> Result<usize, CliError> {
-    let engine = Engine::new(cfg);
+    let engine = Engine::open(cfg)?;
     let mut frames = FrameReader::new(reader, engine.cfg().max_line_bytes);
     std::thread::scope(|scope| {
         let workers = engine.start_workers(scope);
@@ -1023,6 +1472,7 @@ pub fn serve_loop_with<R: BufRead, W: IoWrite + Send>(
         for h in workers {
             let _ = h.join();
         }
+        engine.sync_journal();
         engine.flush_shutdown_ack();
     });
     Ok(engine.jobs_dispatched() as usize)
@@ -1212,7 +1662,7 @@ pub fn serve_daemon(
     listener
         .set_nonblocking(true)
         .map_err(|e| CliError::from(format!("listener setup: {e}")))?;
-    let engine = Engine::new(cfg);
+    let engine = Engine::open(cfg)?;
     let connections = AtomicU64::new(0);
     std::thread::scope(|scope| {
         let workers = engine.start_workers(scope);
@@ -1245,6 +1695,7 @@ pub fn serve_daemon(
         for h in workers {
             let _ = h.join();
         }
+        engine.sync_journal();
         engine.flush_shutdown_ack();
     });
     Ok(ServeSummary {
@@ -1311,6 +1762,16 @@ fn serve_connection(engine: &Engine<'_>, conn: Conn) {
             Frame::Idle => {
                 if let Some(limit) = engine.cfg().idle_timeout {
                     if last_activity.elapsed() >= limit {
+                        // A half-sent line deserves a structured answer,
+                        // not a silent drop: report the abandoned
+                        // fragment before the idle notice closes the
+                        // connection.
+                        let pending = frames.buffered();
+                        if pending > 0 {
+                            sink.owed.fetch_add(1, Ordering::AcqRel);
+                            let _ =
+                                reply(&engine.frame_response(FrameFault::Partial { len: pending }));
+                        }
                         sink.owed.fetch_add(1, Ordering::AcqRel);
                         let _ = reply(&engine.idle_response(limit));
                         break;
@@ -1500,6 +1961,8 @@ mod tests {
         ServeEntry {
             session,
             matrix: None,
+            analyze_line: None,
+            numeric_line: None,
         }
     }
 

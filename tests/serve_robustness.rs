@@ -67,6 +67,8 @@ const ERROR_KINDS: &[&str] = &[
     "oversize_frame",
     "invalid_frame",
     "idle_timeout",
+    "duplicate_replay",
+    "journal_corrupt",
     "error",
 ];
 
@@ -484,6 +486,262 @@ fn tcp_daemon_multiplexes_clients_and_survives_disconnects() {
     assert!(summary.jobs >= 8, "{summary:?}");
     assert_eq!(summary.connections, 3);
     let _ = std::fs::remove_file(&path);
+}
+
+fn tmp_state_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("parsplu_srv_state_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn duplicate_job_ids_return_the_cached_response_verbatim() {
+    let path = gen_matrix("dedup");
+    // workers=1 keeps the lane FIFO, so the duplicate factor is checked
+    // only after the original was applied and its response cached.
+    let script = format!(
+        "analyze a {path} --job-id j-a\nfactor a {path} --job-id j-f\n\
+         factor a {path} --job-id j-f\nsolve a\nquit\n"
+    );
+    let responses = run_script(
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+        script,
+    );
+    assert_eq!(responses.len(), 4, "{responses:?}");
+    for l in &responses {
+        let v = parse(l).unwrap();
+        assert_eq!(v.get("status").and_then(|s| s.as_str()), Some("ok"), "{l}");
+    }
+    // The retried duplicate is the original response byte for byte —
+    // including the original response id, which a re-execution could
+    // never reproduce (ids are strictly increasing).
+    assert_eq!(
+        responses[1], responses[2],
+        "duplicate --job-id must replay the cached response"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn journal_replays_sessions_bitwise_identically_across_restarts() {
+    let path = gen_matrix("revive");
+    let state = tmp_state_dir("revive");
+    let cfg = || ServeConfig {
+        workers: 1,
+        state_dir: Some(state.clone()),
+        ..ServeConfig::default()
+    };
+    // Run 1: build a session, record the solve bits, exit (no shutdown —
+    // the journal must not depend on a graceful drain).
+    let script = format!("analyze a {path}\nfactor a {path}\nsolve a\nquit\n");
+    let responses = run_script(cfg(), script);
+    assert_eq!(responses.len(), 3, "{responses:?}");
+    let hash = parse(&responses[2])
+        .unwrap()
+        .get("x_hash")
+        .and_then(|h| h.as_str())
+        .expect("solve reports x_hash")
+        .to_string();
+
+    // Run 2: a fresh engine on the same state dir revives the session
+    // from the journal alone — no analyze, no factor — and solves to the
+    // exact same bits.
+    let responses = run_script(cfg(), "solve a\nstats\nquit\n".to_string());
+    assert_eq!(responses.len(), 2, "{responses:?}");
+    // `stats` is answered inline by the feeder while `solve` rides a
+    // worker lane, so match the two responses by op, not by position.
+    let parsed: Vec<_> = responses.iter().map(|l| parse(l).unwrap()).collect();
+    let by_op = |op: &str| {
+        parsed
+            .iter()
+            .find(|v| v.get("op").and_then(|o| o.as_str()) == Some(op))
+            .unwrap_or_else(|| panic!("no {op} response in {responses:?}"))
+    };
+    let v = by_op("solve");
+    assert_eq!(
+        v.get("status").and_then(|s| s.as_str()),
+        Some("ok"),
+        "{responses:?}"
+    );
+    assert_eq!(
+        v.get("x_hash").and_then(|h| h.as_str()),
+        Some(hash.as_str()),
+        "replayed session must solve bitwise identically"
+    );
+    let stats = by_op("stats");
+    assert_eq!(
+        stats.get("sessions_replayed").and_then(|n| n.as_num()),
+        Some(1.0),
+        "{responses:?}"
+    );
+    assert_eq!(
+        stats.get("durability").and_then(|d| d.as_str()),
+        Some("strict")
+    );
+    assert!(stats.get("journal_bytes").and_then(|n| n.as_num()).unwrap() > 0.0);
+    assert!(stats.get("uptime_s").and_then(|n| n.as_num()).unwrap() >= 0.0);
+    let _ = std::fs::remove_dir_all(&state);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn applied_ids_without_cached_responses_refuse_with_exit_9() {
+    use parsplu::persist::{Durability, Journal, Record};
+    let path = gen_matrix("exit9");
+    let state = tmp_state_dir("exit9");
+    // Hand-build the journal a compaction would leave behind: the job
+    // lines that rebuild the session, plus an applied-ids record whose
+    // cached responses are gone.
+    {
+        let (journal, recovered) = Journal::open(&state, Durability::Strict).unwrap();
+        assert!(recovered.records.is_empty());
+        journal
+            .append(&Record::Job {
+                job_id: None,
+                line: format!("analyze a {path}"),
+            })
+            .unwrap();
+        journal
+            .append(&Record::Job {
+                job_id: None,
+                line: format!("factor a {path}"),
+            })
+            .unwrap();
+        journal
+            .append(&Record::AppliedIds {
+                session: "a".to_string(),
+                ids: vec!["old-77".to_string()],
+            })
+            .unwrap();
+    }
+    // A retry of the pre-compaction job id is recognized as applied, but
+    // there is no response to replay: structured refusal, exit code 9.
+    let script = format!("refactor a {path} --job-id old-77\nsolve a\nquit\n");
+    let responses = run_script(
+        ServeConfig {
+            workers: 1,
+            state_dir: Some(state.clone()),
+            ..ServeConfig::default()
+        },
+        script,
+    );
+    assert_eq!(responses.len(), 2, "{responses:?}");
+    let v = parse(&responses[0]).unwrap();
+    assert_eq!(
+        v.get("kind").and_then(|k| k.as_str()),
+        Some("duplicate_replay"),
+        "{responses:?}"
+    );
+    assert_eq!(v.get("exit_code").and_then(|c| c.as_num()), Some(9.0));
+    assert_eq!(v.get("job_id").and_then(|j| j.as_str()), Some("old-77"));
+    // The session itself is alive and was NOT double-applied: the solve
+    // still works off the replayed factorization.
+    let solved = parse(&responses[1]).unwrap();
+    assert_eq!(
+        solved.get("status").and_then(|s| s.as_str()),
+        Some("ok"),
+        "{responses:?}"
+    );
+    let _ = std::fs::remove_dir_all(&state);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn overload_hints_are_jittered_within_bounds() {
+    // No workers are running, so submissions stay queued and every
+    // overflow rejection is deterministic.
+    let engine = Engine::new(ServeConfig {
+        workers: 1,
+        queue_cap: 1,
+        ..ServeConfig::default()
+    });
+    let out: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let reply: Reply<'_> = {
+        let out = Arc::clone(&out);
+        Arc::new(move |s: &str| {
+            out.lock().unwrap().push(s.to_string());
+            true
+        })
+    };
+    assert_eq!(engine.submit("solve s1", &reply, None), Submitted::Queued);
+    let mut hints = Vec::new();
+    for _ in 0..16 {
+        assert_eq!(engine.submit("solve s1", &reply, None), Submitted::Rejected);
+        let line = out.lock().unwrap().pop().unwrap();
+        let hint = parse(&line)
+            .unwrap()
+            .get("retry_after_hint")
+            .and_then(|h| h.as_num())
+            .unwrap();
+        hints.push(hint);
+    }
+    // With an empty service-time EWMA the base hint is 0.05s; the ±25%
+    // jitter keeps every sample strictly positive and inside the band.
+    for &h in &hints {
+        assert!(h > 0.0, "{hints:?}");
+        assert!((0.0375..=0.0625).contains(&h), "{hints:?}");
+    }
+    let distinct: std::collections::HashSet<String> =
+        hints.iter().map(|h| format!("{h:.6}")).collect();
+    assert!(
+        distinct.len() > 1,
+        "hints must be jittered, not constant: {hints:?}"
+    );
+}
+
+#[test]
+fn idle_timeout_reports_a_buffered_partial_frame_before_closing() {
+    let listener = Listener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr_string();
+    let cfg = ServeConfig {
+        workers: 1,
+        idle_timeout: Some(Duration::from_millis(200)),
+        ..ServeConfig::default()
+    };
+    let daemon = std::thread::spawn(move || serve_daemon(cfg, listener, None).unwrap());
+
+    // Send half a line — no newline — and go quiet.
+    let mut c = Client::connect(&addr);
+    write!(c.stream, "solve s").unwrap();
+    c.stream.flush().unwrap();
+    // The daemon idles out: first a structured invalid_frame naming the
+    // buffered fragment, then the idle notice, then the close.
+    let partial = parse(&c.recv()).unwrap();
+    assert_eq!(
+        partial.get("kind").and_then(|k| k.as_str()),
+        Some("invalid_frame"),
+        "partial-frame response first"
+    );
+    assert_eq!(partial.get("bytes").and_then(|b| b.as_num()), Some(7.0));
+    assert!(
+        partial
+            .get("error")
+            .and_then(|e| e.as_str())
+            .unwrap()
+            .contains("partial frame"),
+        "{partial:?}"
+    );
+    let idle = parse(&c.recv()).unwrap();
+    assert_eq!(
+        idle.get("kind").and_then(|k| k.as_str()),
+        Some("idle_timeout")
+    );
+    let mut rest = String::new();
+    assert_eq!(
+        c.reader.read_line(&mut rest).unwrap(),
+        0,
+        "connection closed after the idle notice"
+    );
+
+    // The daemon survives and still serves fresh connections.
+    let mut c2 = Client::connect(&addr);
+    c2.send("shutdown");
+    let ack = parse(&c2.recv()).unwrap();
+    assert_eq!(ack.get("drained").and_then(|d| d.as_bool()), Some(true));
+    daemon.join().unwrap();
 }
 
 #[cfg(unix)]
